@@ -1,0 +1,76 @@
+"""E19 — hybrid consistency models (challenge 6, slide 97).
+
+"Graph data and relational data may have different requirements on the
+consistency models."  Over a 5-replica set, measures write cost (replica
+round trips) and convergence at each level, and the mixed policy the slide
+sketches: strong relational balances + eventual social edges.
+
+Expected shape: STRONG writes cost N round trips and are never stale;
+EVENTUAL writes cost 1 and leave staleness for anti-entropy; QUORUM sits
+between and keeps read-your-majority.
+"""
+
+import pytest
+
+from repro.txn.consistency import ConsistencyLevel, ConsistencyPolicy, ReplicaSet
+
+WRITES = 300
+
+
+@pytest.mark.parametrize(
+    "level", [ConsistencyLevel.STRONG, ConsistencyLevel.QUORUM, ConsistencyLevel.EVENTUAL]
+)
+def test_write_cost_per_level(benchmark, level):
+    def run():
+        replicas = ReplicaSet(replicas=5, seed=1)
+        for i in range(WRITES):
+            replicas.write(f"k{i}", i, level)
+        return replicas
+
+    replicas = benchmark.pedantic(run, rounds=3, iterations=1)
+    per_write = replicas.round_trips / WRITES
+    stale = sum(1 for i in range(WRITES) if replicas.staleness(f"k{i}") > 0)
+    print(
+        f"\n[E19] {level.value}: {per_write:.1f} round trips/write, "
+        f"{stale}/{WRITES} keys stale before anti-entropy"
+    )
+    if level is ConsistencyLevel.STRONG:
+        assert per_write == 5.0 and stale == 0
+    if level is ConsistencyLevel.EVENTUAL:
+        assert per_write == 1.0 and stale > 0
+
+
+def test_anti_entropy_convergence(benchmark):
+    def run():
+        replicas = ReplicaSet(replicas=5, seed=2)
+        for i in range(WRITES):
+            replicas.write(f"k{i}", i, ConsistencyLevel.EVENTUAL)
+        replicas.tick()
+        return replicas
+
+    replicas = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert replicas.is_converged()
+    assert all(replicas.staleness(f"k{i}") == 0 for i in range(WRITES))
+
+
+def test_mixed_policy_cost(benchmark):
+    """The slide-97 deployment: relational strict, graph eventual."""
+    policy = ConsistencyPolicy()
+    policy.set_level("rel:accounts", ConsistencyLevel.STRONG)
+    policy.set_level("graph:knows", ConsistencyLevel.EVENTUAL)
+
+    def run():
+        accounts = ReplicaSet(replicas=5, seed=3)
+        edges = ReplicaSet(replicas=5, seed=4)
+        for i in range(WRITES):
+            accounts.write(f"a{i}", i, policy.level_for("rel:accounts"))
+            edges.write(f"e{i}", i, policy.level_for("graph:knows"))
+        return accounts.round_trips, edges.round_trips
+
+    strong_cost, eventual_cost = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert strong_cost == 5 * WRITES
+    assert eventual_cost == WRITES
+    print(
+        f"\n[E19] mixed policy: relational={strong_cost} trips, "
+        f"graph={eventual_cost} trips for {WRITES} writes each"
+    )

@@ -1,0 +1,111 @@
+"""E10 — GIN ``jsonb_ops`` vs ``jsonb_path_ops`` (slide 82).
+
+Measures, for a corpus of nested documents:
+
+* build time per operator class;
+* containment (`@>`) probe time;
+* index size (posting entries);
+* candidate-set size before recheck (the false-positive trade-off the
+  slide describes with its {"foo": {"bar": "baz"}} example).
+
+Expected shape: ``jsonb_path_ops`` is smaller and produces fewer (or equal)
+candidates for structural probes; ``jsonb_ops`` additionally answers
+key-exists queries, which path_ops cannot.
+"""
+
+import random
+
+import pytest
+
+from repro.core import datamodel
+from repro.errors import UnsupportedIndexOperationError
+from repro.indexes.inverted import GinJsonbOps, GinJsonbPathOps
+
+N_DOCS = 400
+
+
+def _corpus():
+    rng = random.Random(9)
+    docs = {}
+    keys = ["color", "size", "brand", "meta", "tags"]
+    values = ["red", "blue", "green", "s", "m", "l", "acme", "zen"]
+    for rid in range(N_DOCS):
+        doc = {
+            rng.choice(keys): rng.choice(values),
+            "meta": {rng.choice(keys): rng.choice(values)},
+            "tags": [rng.choice(values) for _ in range(rng.randint(0, 3))],
+        }
+        docs[rid] = doc
+    return docs
+
+
+CORPUS = _corpus()
+# Structural probe: value nested under a key chain — the discriminating case.
+PROBE = {"meta": {"color": "red"}}
+
+
+def _expected():
+    return sorted(
+        rid for rid, doc in CORPUS.items() if datamodel.contains(doc, PROBE)
+    )
+
+
+def _build(cls):
+    index = cls()
+    for rid, doc in CORPUS.items():
+        index.insert(doc, rid)
+    return index
+
+
+@pytest.mark.parametrize("cls", [GinJsonbOps, GinJsonbPathOps])
+def test_build(benchmark, cls):
+    index = benchmark(_build, cls)
+    assert index.document_count == N_DOCS
+
+
+@pytest.mark.parametrize("cls", [GinJsonbOps, GinJsonbPathOps])
+def test_containment_probe(benchmark, cls):
+    index = _build(cls)
+    result = benchmark(
+        lambda: index.search_contains(PROBE, CORPUS.__getitem__)
+    )
+    assert result == _expected()
+
+
+def test_size_and_candidate_trade_off(benchmark):
+    ops = _build(GinJsonbOps)
+    path_ops = _build(GinJsonbPathOps)
+    ops_candidates, _ = ops.contains_candidates(PROBE)
+    path_candidates, _ = path_ops.contains_candidates(PROBE)
+    true_hits = len(_expected())
+
+    def both_probe():
+        ops.contains_candidates(PROBE)
+        path_ops.contains_candidates(PROBE)
+
+    benchmark(both_probe)
+
+    # The slide-82 shape: path_ops is smaller and more selective.
+    assert path_ops.memory_items() < ops.memory_items()
+    assert len(path_candidates) <= len(ops_candidates)
+    assert path_candidates >= set(_expected())
+    print(
+        f"\n[E10] index size (posting entries): jsonb_ops="
+        f"{ops.memory_items()}, jsonb_path_ops={path_ops.memory_items()}\n"
+        f"[E10] candidates before recheck (true hits={true_hits}): "
+        f"jsonb_ops={len(ops_candidates)}, "
+        f"jsonb_path_ops={len(path_candidates)}"
+    )
+
+
+def test_key_exists_only_jsonb_ops(benchmark):
+    ops = _build(GinJsonbOps)
+    path_ops = _build(GinJsonbPathOps)
+    hits = benchmark(lambda: ops.key_exists("brand"))
+    assert hits == {
+        rid for rid, doc in CORPUS.items()
+        if any(tag == "K" and item == "brand"
+               for tag, item in datamodel.iter_keys_and_values(doc))
+    }
+    with pytest.raises(UnsupportedIndexOperationError):
+        path_ops.key_exists("brand")

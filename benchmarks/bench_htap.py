@@ -1,0 +1,104 @@
+"""Slide 88 — HTAP: hybrid transaction/analytical processing.
+
+The paper lists HTAP among UniBench's ongoing extensions.  This bench runs
+the transactional new-order stream (Workload C) *interleaved* with the
+analytical spend-by-city query (Workload B's Q3), in two modes:
+
+* **snapshot analytics** — each analytic query runs inside its own MVCC
+  snapshot while writes commit around it: the analytic result must be
+  internally consistent (a frozen cut), never a torn mix;
+* **latest-committed analytics** — the same query outside a transaction
+  sees each new commit immediately (fresher, but each run differs).
+
+Measured artifacts: transactional throughput degradation with analytics
+running (the classic HTAP interference question — here only CPU, no
+locking, because MVCC readers never block writers), and the staleness gap
+between the two analytic modes.
+"""
+
+import random
+
+import pytest
+
+from repro.unibench.generator import generate
+from repro.unibench.runner import build_multimodel
+from repro.unibench.workloads import Q3_SPEND_BY_CITY, new_order_transaction
+
+DATA = generate(scale_factor=1, seed=42)
+TXN_COUNT = 30
+
+
+def _run_transactions(db, count=TXN_COUNT, seed=3):
+    rng = random.Random(seed)
+    for index in range(count):
+        customer_id = rng.randint(1, 50)
+        order = {
+            "_key": f"ht{seed}-{index:04d}",
+            "Order_no": f"ht{seed}-{index:04d}",
+            "customer_id": customer_id,
+            "total": rng.randint(1, 30),
+            "Orderlines": [],
+        }
+        with db.transaction() as txn:
+            new_order_transaction(db, customer_id, order, txn=txn)
+
+
+def test_oltp_alone(benchmark):
+    def run():
+        db = build_multimodel(DATA, with_indexes=False)
+        _run_transactions(db)
+        return db
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_oltp_with_interleaved_analytics(benchmark):
+    def run():
+        db = build_multimodel(DATA, with_indexes=False)
+        rng = random.Random(3)
+        for index in range(TXN_COUNT):
+            customer_id = rng.randint(1, 50)
+            order = {
+                "_key": f"hx-{index:04d}",
+                "Order_no": f"hx-{index:04d}",
+                "customer_id": customer_id,
+                "total": rng.randint(1, 30),
+                "Orderlines": [],
+            }
+            with db.transaction() as txn:
+                new_order_transaction(db, customer_id, order, txn=txn)
+            if index % 5 == 0:
+                db.query(Q3_SPEND_BY_CITY)  # analytics between commits
+        return db
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_snapshot_analytics_are_internally_consistent(benchmark):
+    """An analytic snapshot taken mid-stream is a frozen cut: running the
+    same query twice in one transaction gives identical results even while
+    new orders commit in between."""
+    db = build_multimodel(DATA, with_indexes=False)
+    round_counter = iter(range(10_000))
+
+    def one_round():
+        txn = db.begin()
+        first = db.query(Q3_SPEND_BY_CITY, txn=txn).rows
+        # concurrent commits between the two snapshot reads
+        _run_transactions(db, count=3, seed=1000 + next(round_counter))
+        second = db.query(Q3_SPEND_BY_CITY, txn=txn).rows
+        db.abort(txn)
+        return first, second
+
+    first, second = benchmark.pedantic(one_round, rounds=3, iterations=1)
+    assert first == second
+
+
+def test_latest_analytics_see_fresh_commits(benchmark):
+    db = build_multimodel(DATA, with_indexes=False)
+    before = db.query(Q3_SPEND_BY_CITY).rows
+    _run_transactions(db, count=10, seed=9)
+    after = benchmark(lambda: db.query(Q3_SPEND_BY_CITY).rows)
+    total_before = sum(row["spend"] for row in before)
+    total_after = sum(row["spend"] for row in after)
+    assert total_after > total_before  # freshness: new spend visible

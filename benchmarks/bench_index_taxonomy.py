@@ -1,0 +1,139 @@
+"""E11 — the index taxonomy trade-offs (slides 78-81).
+
+* point lookup: extendible hash vs B+tree vs full scan
+  (slide 79: "extendible hashing — significantly faster");
+* range scan: B+tree vs full scan (hash indexes refuse, also slide 79);
+* low-cardinality COUNT: bitmap vs scan (slide 80, Caché);
+* SUM over a numeric column: bit-slice vs scan (slide 80).
+
+Expected shape: hash ≤ btree << scan for points; btree << scan for ranges;
+bitmap/bitslice answer aggregates without touching rows.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import UnsupportedIndexOperationError
+from repro.indexes.bitmap import BitmapIndex, BitSliceIndex
+from repro.indexes.btree import BPlusTree
+from repro.indexes.hashindex import ExtendibleHashIndex
+
+N = 5000
+rng = random.Random(3)
+ROWS = [
+    {"id": i, "city": rng.choice(["Prague", "Helsinki", "Brno", "Oslo"]),
+     "amount": rng.randint(0, 500)}
+    for i in range(N)
+]
+TARGET_ID = N // 2
+
+
+def _btree():
+    tree = BPlusTree(order=64)
+    for row in ROWS:
+        tree.insert(row["id"], row["id"])
+    return tree
+
+
+def _hash():
+    index = ExtendibleHashIndex(bucket_capacity=16)
+    for row in ROWS:
+        index.insert(row["id"], row["id"])
+    return index
+
+
+class TestPointLookup:
+    def test_hash_point(self, benchmark):
+        index = _hash()
+        assert benchmark(index.search, TARGET_ID) == [TARGET_ID]
+
+    def test_btree_point(self, benchmark):
+        tree = _btree()
+        assert benchmark(tree.search, TARGET_ID) == [TARGET_ID]
+
+    def test_scan_point(self, benchmark):
+        result = benchmark(
+            lambda: [row["id"] for row in ROWS if row["id"] == TARGET_ID]
+        )
+        assert result == [TARGET_ID]
+
+
+class TestRangeScan:
+    LOW, HIGH = 1000, 1200
+
+    def test_btree_range(self, benchmark):
+        tree = _btree()
+        result = benchmark(tree.range_search, self.LOW, self.HIGH)
+        assert len(result) == self.HIGH - self.LOW + 1
+
+    def test_scan_range(self, benchmark):
+        result = benchmark(
+            lambda: [r["id"] for r in ROWS if self.LOW <= r["id"] <= self.HIGH]
+        )
+        assert len(result) == self.HIGH - self.LOW + 1
+
+    def test_hash_refuses_ranges(self, benchmark):
+        index = _hash()
+
+        def refused():
+            try:
+                index.range_search(self.LOW, self.HIGH)
+            except UnsupportedIndexOperationError:
+                return True
+            return False
+
+        assert benchmark(refused)
+
+
+class TestBitmapAggregates:
+    def _bitmap(self):
+        index = BitmapIndex()
+        for row in ROWS:
+            index.insert(row["city"], row["id"])
+        return index
+
+    def test_bitmap_count(self, benchmark):
+        index = self._bitmap()
+        count = benchmark(index.count, "Prague")
+        assert count == sum(1 for row in ROWS if row["city"] == "Prague")
+
+    def test_scan_count(self, benchmark):
+        count = benchmark(
+            lambda: sum(1 for row in ROWS if row["city"] == "Prague")
+        )
+        assert count == sum(1 for row in ROWS if row["city"] == "Prague")
+
+    def test_bitmap_boolean_combination(self, benchmark):
+        index = self._bitmap()
+        result = benchmark(index.search_any, ["Brno", "Oslo"])
+        assert len(result) == sum(
+            1 for row in ROWS if row["city"] in ("Brno", "Oslo")
+        )
+
+
+class TestBitSliceAggregates:
+    def _bitslice_and_bitmap(self):
+        amounts = BitSliceIndex()
+        cities = BitmapIndex()
+        for row in ROWS:
+            amounts.insert(row["amount"], row["id"])
+            cities.insert(row["city"], row["id"])
+        return amounts, cities
+
+    def test_bitslice_sum(self, benchmark):
+        amounts, _cities = self._bitslice_and_bitmap()
+        total = benchmark(amounts.total)
+        assert total == sum(row["amount"] for row in ROWS)
+
+    def test_scan_sum(self, benchmark):
+        total = benchmark(lambda: sum(row["amount"] for row in ROWS))
+        assert total == sum(row["amount"] for row in ROWS)
+
+    def test_bitslice_filtered_sum(self, benchmark):
+        amounts, cities = self._bitslice_and_bitmap()
+        prague = cities.bitmap_for("Prague")
+        total = benchmark(amounts.total, prague)
+        assert total == sum(
+            row["amount"] for row in ROWS if row["city"] == "Prague"
+        )

@@ -1,0 +1,75 @@
+"""E7/E8 — the JSON path queries of slides 37/73/74.
+
+Times the PostgreSQL operator family over the customer/orders data and the
+Oracle-NoSQL nested-array forms through MMQL, asserting the slide results.
+"""
+
+import pytest
+
+from repro.document import jsonpath
+from repro.query.engine import run_query
+
+ORDER = {
+    "Order_no": "0c6df508",
+    "Orderlines": [
+        {"Product_no": "2724f", "Product_Name": "Toy", "Price": 66},
+        {"Product_no": "3424g", "Product_Name": "Book", "Price": 40},
+    ],
+}
+
+
+class TestPostgresOperators:
+    def test_arrow_text(self, benchmark):
+        # orders->>'Order_no'
+        value = benchmark(jsonpath.get_field_text, ORDER, "Order_no")
+        assert value == "0c6df508"
+
+    def test_path_navigation(self, benchmark):
+        # orders#>'{Orderlines,1}'->>'Product_Name'  (slide 73)
+        def slide_73():
+            element = jsonpath.get_path(ORDER, "{Orderlines,1}")
+            return jsonpath.get_field_text(element, "Product_Name")
+
+        assert benchmark(slide_73) == "Book"
+
+    def test_containment(self, benchmark):
+        probe = {"Orderlines": [{"Product_no": "3424g"}]}
+        assert benchmark(jsonpath.contains, ORDER, probe)
+
+    def test_set_and_delete_path(self, benchmark):
+        def rewrite():
+            updated = jsonpath.set_path(ORDER, "{Orderlines,0,Price}", 70)
+            return jsonpath.delete_path(updated, "{Orderlines,1}")
+
+        result = benchmark(rewrite)
+        assert result["Orderlines"] == [
+            {"Product_no": "2724f", "Product_Name": "Toy", "Price": 70}
+        ]
+
+
+class TestOracleNoSqlForms:
+    """Slide 74 via MMQL over a populated engine."""
+
+    def test_indexed_line_filter(self, benchmark, mm_db):
+        # SELECT … WHERE c.orders.orderlines[0].price > 50
+        result = benchmark(
+            run_query,
+            mm_db,
+            "FOR o IN orders FILTER o.Orderlines[0].Price > 50 "
+            "RETURN {order_no: o.Order_no, first: o.Orderlines[0].Product_Name}",
+        )
+        assert all(row["order_no"] for row in result.rows)
+
+    def test_element_filter(self, benchmark, mm_db):
+        # [c.orders.orderlines[$element.price > 35]]
+        result = benchmark(
+            run_query,
+            mm_db,
+            "FOR o IN orders "
+            "LET pricey = o.Orderlines[* FILTER $CURRENT.Price > 35] "
+            "FILTER LENGTH(pricey) > 0 "
+            "RETURN {order_no: o.Order_no, lines: pricey[*].Product_no}",
+        )
+        assert result.rows
+        for row in result.rows:
+            assert row["lines"]

@@ -1,0 +1,123 @@
+"""Slides 44-46 (Cassandra JSON) and 67/71 (Caché object model),
+regenerated in the harness like the survey tables.
+
+* the slide-45 nested ``INSERT JSON`` round-trips through a schema-defined
+  wide-column table;
+* the slide-46 ``SELECT JSON`` output is byte-identical;
+* the slide-71 object projection (instances as rows, inheritance
+  flattened) is produced and timed against hierarchy size.
+"""
+
+import json
+
+import pytest
+
+from repro.core.context import EngineContext
+from repro.objectmodel import ObjectStore
+from repro.widecolumn import CqlColumn, UserDefinedType, WideColumnTable
+
+ORDERLINE = UserDefinedType(
+    "orderline",
+    (("product_no", "text"), ("product_name", "text"), ("price", "float")),
+)
+MYORDER = UserDefinedType(
+    "myorder", (("order_no", "text"), ("orderlines", ("list", ORDERLINE)))
+)
+
+MARY = {
+    "id": 1,
+    "name": "Mary",
+    "address": "Prague",
+    "orders": [
+        {
+            "order_no": "0c6df508",
+            "orderlines": [
+                {"product_no": "2724f", "product_name": "Toy", "price": 66},
+                {"product_no": "3424g", "product_name": "Book", "price": 40},
+            ],
+        }
+    ],
+}
+
+
+def _customer_table():
+    return WideColumnTable(
+        EngineContext(),
+        "customer",
+        [
+            CqlColumn("id", "int"),
+            CqlColumn("name", "text"),
+            CqlColumn("address", "text"),
+            CqlColumn("orders", ("list", MYORDER)),
+        ],
+        primary_key="id",
+    )
+
+
+def test_slide_45_insert_json(benchmark):
+    def insert():
+        table = _customer_table()
+        table.insert_json(json.dumps(MARY))
+        return table
+
+    table = benchmark.pedantic(insert, rounds=5, iterations=1)
+    row = table.get(1)
+    assert row["orders"][0]["orderlines"][0]["product_name"] == "Toy"
+
+
+def test_slide_46_select_json(benchmark):
+    users = WideColumnTable(
+        EngineContext(),
+        "users",
+        [CqlColumn("id", "text"), CqlColumn("age", "int"), CqlColumn("country", "text")],
+        primary_key="id",
+    )
+    users.insert({"id": "Irena", "age": 37, "country": "CZ"})
+    output = benchmark(users.select_json)
+    assert output == ['{"id": "Irena", "age": 37, "country": "CZ"}']
+    print("\n[slide 46] SELECT JSON * FROM myspace.users:\n  " + output[0])
+
+
+def _object_hierarchy(instances_per_class=50):
+    store = ObjectStore(EngineContext())
+    store.define_class("Person", {"name": "string", "age": "number"})
+    store.define_class("Employee", {"salary": "number"}, extends="Person")
+    store.define_class("Manager", {"reports": "number"}, extends="Employee")
+    for i in range(instances_per_class):
+        store.create("Person", {"name": f"p{i}", "age": 20 + i % 40})
+        store.create("Employee", {"name": f"e{i}", "salary": i * 100})
+        store.create("Manager", {"name": f"m{i}", "reports": i % 9})
+    return store
+
+
+def test_slide_71_flattened_projection(benchmark):
+    store = _object_hierarchy()
+    rows = benchmark(store.as_table, "Person")
+    assert len(rows) == 150  # inheritance flattened: all three classes
+    assert {row["_class"] for row in rows} == {"Person", "Employee", "Manager"}
+    assert all(set(row) == {"_class", "_oid", "name", "age"} for row in rows)
+
+
+def test_object_point_read(benchmark):
+    store = _object_hierarchy()
+    oid = store.create("Manager", {"name": "target", "reports": 5})
+    instance = benchmark(store.get, "Manager", oid)
+    assert instance["name"] == "target"
+
+
+def test_globals_order_navigation(benchmark):
+    store = _object_hierarchy()
+
+    def order_walk():
+        count = 0
+        oid = None
+        children = store.globals.children(("Employee",))
+        if not children:
+            return 0
+        oid = children[0]
+        while oid is not None:
+            count += 1
+            oid = store.globals.order(("Employee", oid))
+        return count
+
+    assert benchmark(order_walk) == 50

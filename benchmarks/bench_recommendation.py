@@ -1,0 +1,56 @@
+"""E1 — the running example's recommendation query (slides 26-30).
+
+Regenerates the slide result and compares four execution strategies:
+optimized MMQL (index nested-loop join), naive MMQL (no optimizer),
+hand-written model-API joins, and the polyglot client-side join (whose
+extra cost is round trips, printed in the polyglot row).
+
+Expected shape: optimized MMQL ≥ hand-written >> naive; the polyglot path
+is CPU-cheap here but pays round trips that dominate in any real network.
+"""
+
+from repro.query.engine import run_query
+from repro.unibench.workloads import (
+    Q1_RECOMMENDATION,
+    workload_b_api,
+    workload_b_polyglot,
+)
+
+BIND = {"min_credit": 5000}
+
+
+def _expected(db):
+    return sorted(workload_b_api(db))
+
+
+def test_mmql_optimized(benchmark, mm_db):
+    result = benchmark(lambda: run_query(mm_db, Q1_RECOMMENDATION, BIND))
+    assert sorted(result.rows) == _expected(mm_db)
+    assert result.stats["index_lookups"] > 0
+
+
+def test_mmql_naive_no_optimizer(benchmark, mm_db):
+    result = benchmark(
+        lambda: run_query(mm_db, Q1_RECOMMENDATION, BIND, optimize_query=False)
+    )
+    assert sorted(result.rows) == _expected(mm_db)
+    assert result.stats["index_lookups"] == 0
+
+
+def test_mmql_no_indexes(benchmark, mm_db_noindex):
+    result = benchmark(lambda: run_query(mm_db_noindex, Q1_RECOMMENDATION, BIND))
+    assert sorted(result.rows) == _expected(mm_db_noindex)
+
+
+def test_api_handwritten(benchmark, mm_db):
+    products = benchmark(lambda: workload_b_api(mm_db))
+    assert sorted(products) == _expected(mm_db)
+
+
+def test_polyglot_client_join(benchmark, polyglot_app, mm_db):
+    outcome = benchmark(lambda: workload_b_polyglot(polyglot_app))
+    assert sorted(outcome["products"]) == _expected(mm_db)
+    print(
+        f"\n[E1] polyglot round trips per query: {outcome['round_trips']} "
+        "(multi-model: 0)"
+    )

@@ -1,0 +1,55 @@
+"""Scaling sweep: UniBench Q1 across scale factors.
+
+The "where crossovers fall" question: the multi-model engine's per-query
+cost grows with data (index nested-loops stay near-linear in result size),
+while the polyglot deployment's round-trip count grows with the *join
+frontier* — at any realistic network latency the polyglot curve crosses the
+engine's almost immediately.  The rows printed per scale factor record both
+curves; the asserted shape is monotone growth of polyglot round trips and
+agreement of results at every scale.
+"""
+
+import pytest
+
+from repro.unibench.generator import generate
+from repro.unibench.runner import build_multimodel, build_polyglot
+from repro.unibench.workloads import workload_b_mmql, workload_b_polyglot
+
+
+@pytest.mark.parametrize("scale_factor", [1, 2, 4])
+def test_q1_engine_scaling(benchmark, scale_factor):
+    data = generate(scale_factor=scale_factor, seed=42)
+    db = build_multimodel(data)
+    result = benchmark(workload_b_mmql, db, "Q1")
+    assert result.rows
+    print(
+        f"\n[scaling] SF={scale_factor}: {len(result.rows)} products, "
+        f"{result.stats['scanned']} scanned, "
+        f"{result.stats['index_lookups']} index lookups"
+    )
+
+
+@pytest.mark.parametrize("scale_factor", [1, 2, 4])
+def test_q1_polyglot_scaling(benchmark, scale_factor):
+    data = generate(scale_factor=scale_factor, seed=42)
+    db = build_multimodel(data)
+    app = build_polyglot(data)
+    outcome = benchmark(workload_b_polyglot, app)
+    engine_rows = sorted(workload_b_mmql(db, "Q1").rows)
+    assert sorted(outcome["products"]) == engine_rows
+    print(
+        f"\n[scaling] SF={scale_factor}: polyglot round trips = "
+        f"{outcome['round_trips']}"
+    )
+
+
+def test_round_trips_grow_with_scale(benchmark):
+    trips = []
+    for scale_factor in (1, 2, 4):
+        data = generate(scale_factor=scale_factor, seed=42)
+        app = build_polyglot(data)
+        trips.append(workload_b_polyglot(app)["round_trips"])
+
+    benchmark(lambda: None)  # the measurement above is the artifact
+    assert trips[0] < trips[1] < trips[2]
+    print(f"\n[scaling] polyglot round trips by SF 1/2/4: {trips}")

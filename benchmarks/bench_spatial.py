@@ -1,0 +1,83 @@
+"""Spatial extension — R-tree vs scan (title figure's 'Spatial' model;
+slide 78 notes MySQL's R-trees for spatial data).
+
+Window queries and k-NN through the R-tree against brute-force scans over
+the same records.  Expected shape: the R-tree wins both, with the margin
+growing in data size; inserts pay the tree-maintenance tax.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.core.context import EngineContext
+from repro.spatial import Rect, SpatialStore
+
+N = 3000
+
+
+def _build():
+    store = SpatialStore(EngineContext(), "places", rtree_fanout=16)
+    rng = random.Random(8)
+    points = {}
+    for i in range(N):
+        x, y = rng.uniform(0, 1000), rng.uniform(0, 1000)
+        store.put_point(f"p{i}", x, y, {"i": i})
+        points[f"p{i}"] = (x, y)
+    return store, points
+
+
+STORE, POINTS = _build()
+WINDOW = (100.0, 100.0, 200.0, 250.0)
+TARGET = (500.0, 500.0)
+
+
+def _window_brute():
+    min_x, min_y, max_x, max_y = WINDOW
+    return sorted(
+        key
+        for key, (x, y) in POINTS.items()
+        if min_x <= x <= max_x and min_y <= y <= max_y
+    )
+
+
+def test_window_rtree(benchmark):
+    result = benchmark(STORE.window, *WINDOW)
+    assert result == _window_brute()
+
+
+def test_window_scan(benchmark):
+    result = benchmark(_window_brute)
+    assert result == STORE.window(*WINDOW)
+
+
+def test_nearest_rtree(benchmark):
+    result = benchmark(STORE.nearest, *TARGET, 10)
+    brute = sorted(
+        (math.hypot(x - TARGET[0], y - TARGET[1]), key)
+        for key, (x, y) in POINTS.items()
+    )[:10]
+    assert [key for key, _distance in result] == [key for _d, key in brute]
+
+
+def test_nearest_scan(benchmark):
+    def brute():
+        return sorted(
+            (math.hypot(x - TARGET[0], y - TARGET[1]), key)
+            for key, (x, y) in POINTS.items()
+        )[:10]
+
+    assert len(benchmark(brute)) == 10
+
+
+def test_insert_cost(benchmark):
+    def insert_batch():
+        store = SpatialStore(EngineContext(), "tmp", rtree_fanout=16)
+        rng = random.Random(1)
+        for i in range(500):
+            store.put_point(f"q{i}", rng.uniform(0, 100), rng.uniform(0, 100))
+        return store
+
+    store = benchmark.pedantic(insert_batch, rounds=3, iterations=1)
+    assert len(store.rtree) == 500

@@ -1,0 +1,112 @@
+"""E15 — OctopusDB storage-view selection (slides 15-16).
+
+The same workload — point reads, full scans, one-attribute analytics, an
+equality search — against four storage views over the same central log:
+
+* log-only (no materialization: every read replays the log),
+* row view (key → record),
+* column view (attribute → values),
+* index view (hash index on the searched attribute).
+
+Expected shape: each view wins exactly the access pattern it materializes —
+that is the tutorial's point that "query optimization, view maintenance and
+index selection become a single problem: storage view selection".
+"""
+
+import random
+
+import pytest
+
+from repro.indexes.hashindex import ExtendibleHashIndex
+from repro.storage.log import CentralLog, LogOp
+from repro.storage.views import ColumnView, IndexView, LogOnlyView, RowView
+
+N = 2000
+NS = "t"
+
+
+def _build():
+    log = CentralLog()
+    log_only = LogOnlyView(log)
+    rows = RowView(log)
+    columns = ColumnView(log)
+    index = IndexView(log, NS, ("city",), ExtendibleHashIndex())
+    rng = random.Random(4)
+    for i in range(N):
+        log.append(
+            1, LogOp.INSERT, NS, i,
+            {"id": i, "city": rng.choice(["Prague", "Helsinki", "Brno"]),
+             "amount": rng.randint(0, 99)},
+        )
+    return log, log_only, rows, columns, index
+
+
+LOG, LOG_ONLY, ROWS, COLUMNS, INDEX = _build()
+TARGET = N // 2
+
+
+class TestPointRead:
+    def test_log_only_point(self, benchmark):
+        record = benchmark(LOG_ONLY.get, NS, TARGET)
+        assert record["id"] == TARGET
+
+    def test_row_view_point(self, benchmark):
+        record = benchmark(ROWS.get, NS, TARGET)
+        assert record["id"] == TARGET
+
+
+class TestScan:
+    def test_log_only_scan(self, benchmark):
+        count = benchmark(lambda: sum(1 for _ in LOG_ONLY.scan(NS)))
+        assert count == N
+
+    def test_row_view_scan(self, benchmark):
+        count = benchmark(lambda: sum(1 for _ in ROWS.scan(NS)))
+        assert count == N
+
+
+class TestColumnAnalytics:
+    def test_row_view_aggregate(self, benchmark):
+        total = benchmark(
+            lambda: sum(record["amount"] for _k, record in ROWS.scan(NS))
+        )
+        assert total > 0
+
+    def test_column_view_aggregate(self, benchmark):
+        total = benchmark(
+            lambda: sum(value for _k, value in COLUMNS.scan_column(NS, "amount"))
+        )
+        assert total == sum(record["amount"] for _k, record in ROWS.scan(NS))
+
+
+class TestEqualitySearch:
+    def _expected(self):
+        return sorted(
+            key for key, record in ROWS.scan(NS) if record["city"] == "Brno"
+        )
+
+    def test_scan_search(self, benchmark):
+        result = benchmark(
+            lambda: sorted(
+                key for key, record in ROWS.scan(NS)
+                if record["city"] == "Brno"
+            )
+        )
+        assert result == self._expected()
+
+    def test_index_view_search(self, benchmark):
+        result = benchmark(lambda: sorted(INDEX.search("Brno")))
+        assert result == self._expected()
+
+
+def test_view_catch_up_cost(benchmark):
+    """Creating a view late costs one log replay — the storage-view
+    selection 'build' price the optimizer would weigh."""
+
+    def late_view():
+        rows = RowView(LOG, subscribe=False)
+        applied = rows.catch_up()
+        return applied
+
+    applied = benchmark(late_view)
+    assert applied == len(LOG)

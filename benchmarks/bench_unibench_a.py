@@ -1,0 +1,50 @@
+"""E12 — UniBench Workload A: data insertion and reading (slide 87).
+
+Insert throughput per deployment (multi-model engine vs four polyglot
+stores) and mixed point-read throughput.  The polyglot row also reports
+round trips — its real-world cost unit.
+"""
+
+import pytest
+
+from repro.core.database import MultiModelDB
+from repro.polyglot.integrator import PolyglotECommerce
+from repro.unibench.generator import (
+    generate,
+    load_into_multimodel,
+    load_into_polyglot,
+)
+from repro.unibench.workloads import workload_a_multimodel, workload_a_polyglot
+
+DATA = generate(scale_factor=1, seed=42)
+
+
+def test_insert_multimodel(benchmark):
+    def load():
+        db = MultiModelDB()
+        load_into_multimodel(db, DATA, with_indexes=False)
+        return db
+
+    db = benchmark.pedantic(load, rounds=3, iterations=1)
+    assert db.table("customers").count() == len(DATA.customers)
+
+
+def test_insert_polyglot(benchmark):
+    def load():
+        app = PolyglotECommerce()
+        load_into_polyglot(app, DATA)
+        return app
+
+    app = benchmark.pedantic(load, rounds=3, iterations=1)
+    assert app.customers.count() == len(DATA.customers)
+
+
+def test_read_multimodel(benchmark, mm_db):
+    result = benchmark(workload_a_multimodel, mm_db, DATA)
+    assert result["hits"] > result["reads"] // 2
+
+
+def test_read_polyglot(benchmark, polyglot_app):
+    result = benchmark(workload_a_polyglot, polyglot_app, DATA)
+    assert result["round_trips"] == result["reads"]
+    print(f"\n[E12] polyglot reads paid {result['round_trips']} round trips")

@@ -1,0 +1,38 @@
+"""E13 — UniBench Workload B: cross-model queries Q1-Q5 (slide 87).
+
+Each query spans at least two models; Q1 is additionally compared against
+the polyglot client-side join.  Expected shape: the engine answers every
+query in-process; the polyglot path needs one round trip per join step and
+cannot run Q3-Q5 at all without materializing intermediate results in the
+application.
+"""
+
+import pytest
+
+from repro.unibench.workloads import (
+    QUERIES_B,
+    workload_b_mmql,
+    workload_b_polyglot,
+)
+
+
+@pytest.mark.parametrize("query_id", sorted(QUERIES_B))
+def test_mmql_query(benchmark, mm_db, query_id):
+    result = benchmark(workload_b_mmql, mm_db, query_id)
+    assert result.rows, f"{query_id} returned nothing"
+
+
+def test_q1_polyglot(benchmark, polyglot_app, mm_db):
+    outcome = benchmark(workload_b_polyglot, polyglot_app)
+    engine_rows = sorted(workload_b_mmql(mm_db, "Q1").rows)
+    assert sorted(outcome["products"]) == engine_rows
+    print(
+        f"\n[E13] Q1 polyglot round trips: {outcome['round_trips']}; "
+        "engine round trips: 0"
+    )
+
+
+def test_q1_index_effect(benchmark, mm_db_noindex):
+    result = benchmark(workload_b_mmql, mm_db_noindex, "Q1")
+    assert result.stats["index_lookups"] == 0
+    assert result.rows

@@ -1,0 +1,64 @@
+"""E14 — UniBench Workload C: cross-model transactions (slide 87).
+
+New-order transactions touching the order collection, the cart bucket and
+the customer relation.  The multi-model engine runs them atomically (MVCC;
+contention shows up as clean aborts).  The polyglot baseline commits each
+store separately; injected crashes leave measurable inconsistencies.
+
+Expected shape: multi-model violations are always 0; polyglot violations
+grow with the crash rate.
+"""
+
+import pytest
+
+from repro.unibench.generator import generate
+from repro.unibench.runner import build_multimodel, build_polyglot
+from repro.unibench.workloads import workload_c_multimodel, workload_c_polyglot
+
+DATA = generate(scale_factor=1, seed=42)
+
+
+def test_multimodel_transactions(benchmark):
+    def run():
+        db = build_multimodel(DATA, with_indexes=False)
+        return workload_c_multimodel(db, DATA, transactions=50, hot_customers=5)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result["commits"] + result["aborts"] == 50
+    assert result["violations"] == 0
+    print(
+        f"\n[E14] multi-model: {result['commits']} commits / "
+        f"{result['aborts']} aborts / {result['violations']} violations"
+    )
+
+
+def test_multimodel_low_contention(benchmark):
+    def run():
+        db = build_multimodel(DATA, with_indexes=False)
+        return workload_c_multimodel(db, DATA, transactions=50, hot_customers=90)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result["violations"] == 0
+    print(
+        f"\n[E14] low contention: {result['aborts']} aborts of 50 "
+        "(contention knob works)"
+    )
+
+
+@pytest.mark.parametrize("crash_rate", [0.0, 0.2, 0.4])
+def test_polyglot_transactions(benchmark, crash_rate):
+    def run():
+        app = build_polyglot(DATA)
+        return workload_c_polyglot(
+            app, DATA, transactions=50, crash_rate=crash_rate
+        )
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    if crash_rate == 0.0:
+        assert result["violations"] == 0
+    else:
+        assert result["violations"] > 0
+    print(
+        f"\n[E14] polyglot crash_rate={crash_rate}: "
+        f"{result['crashed']} crashes → {result['violations']} violations"
+    )

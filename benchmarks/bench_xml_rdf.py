@@ -1,0 +1,97 @@
+"""E9 — XML/JSON unified-tree queries and the DB2-RDF layout choice.
+
+* the slide-76 cross-format join, timed end to end;
+* XPath over XML vs the same logical query over JSON (one language, two
+  formats — the MarkLogic claim of slide 56);
+* RDF pattern matching per DB2 layout (slide 35): subject-bound probes via
+  direct primary/secondary vs full scans.
+"""
+
+import random
+
+import pytest
+
+from repro.core.context import EngineContext
+from repro.rdf.store import TripleStore
+from repro.xmlmodel.store import TreeStore
+from repro.xmlmodel.xpath import XPath
+
+PRODUCT_XML = (
+    '<product no="3424g"><name>The King\'s Speech</name>'
+    "<author>Mark Logue</author><author>Peter Conradi</author></product>"
+)
+ORDER_JSON = {
+    "Order_no": "0c6df508",
+    "Orderlines": [
+        {"Product_no": "2724f", "Product_Name": "Toy", "Price": 66},
+        {"Product_no": "3424g", "Product_Name": "Book", "Price": 40},
+    ],
+}
+
+
+@pytest.fixture(scope="module")
+def tree_store():
+    store = TreeStore(EngineContext(), "docs")
+    store.insert_xml("/myXML1.xml", PRODUCT_XML)
+    store.insert_json("/myJSON1.json", ORDER_JSON)
+    return store
+
+
+def test_slide_76_join(benchmark, tree_store):
+    def join():
+        product_no = tree_store.xpath("/myXML1.xml", "/product/@no")[0].value
+        order = tree_store.doc("/myJSON1.json")
+        if product_no in XPath("/Orderlines/Product_no").string_values(order):
+            return XPath("/Order_no").string_values(order)
+        return []
+
+    assert benchmark(join) == ["0c6df508"]
+
+
+def test_xpath_over_xml(benchmark, tree_store):
+    values = benchmark(tree_store.xpath_values, "/myXML1.xml", "/product/author")
+    assert values == ["Mark Logue", "Peter Conradi"]
+
+
+def test_xpath_over_json(benchmark, tree_store):
+    values = benchmark(
+        tree_store.xpath_values, "/myJSON1.json", "/Orderlines[Price > 50]/Product_Name"
+    )
+    assert values == ["Toy"]
+
+
+@pytest.fixture(scope="module")
+def triples():
+    store = TripleStore(EngineContext(), "bench")
+    rng = random.Random(6)
+    for i in range(2000):
+        store.add(f"s{i % 200}", f"p{i % 10}", f"o{rng.randint(0, 400)}")
+    return store
+
+
+def test_rdf_subject_bound_direct_primary(benchmark, triples):
+    result = benchmark(triples.match, "s7", "?p", "?o")
+    assert result
+
+
+def test_rdf_subject_predicate_direct_secondary(benchmark, triples):
+    result = benchmark(triples.match, "s7", "p7", "?o")
+    assert all(t[0] == "s7" and t[1] == "p7" for t in result)
+
+
+def test_rdf_object_bound_reverse_primary(benchmark, triples):
+    benchmark(triples.match, "?s", "?p", "o100")
+
+
+def test_rdf_full_scan(benchmark, triples):
+    result = benchmark(triples.match)
+    assert len(result) == triples.count_triples()
+
+
+def test_rdf_bgp_join(benchmark, triples):
+    result = benchmark(
+        triples.query,
+        [("s7", "p7", "?x"), ("?y", "p3", "?x")],
+    )
+    for binding in result:
+        assert binding["?x"]

@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one artifact of the paper (see DESIGN.md §4 for
+the experiment index).  Data builds are module/session scoped so the timed
+sections measure queries, not loading.
+"""
+
+import pytest
+
+from repro.unibench.generator import generate
+from repro.unibench.runner import build_multimodel, build_polyglot
+
+SCALE_FACTOR = 1
+SEED = 42
+
+
+@pytest.fixture(scope="session")
+def unibench_data():
+    return generate(scale_factor=SCALE_FACTOR, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def mm_db(unibench_data):
+    """Multi-model engine, loaded and indexed."""
+    return build_multimodel(unibench_data, with_indexes=True)
+
+
+@pytest.fixture(scope="session")
+def mm_db_noindex(unibench_data):
+    """Multi-model engine without secondary indexes (scan baselines)."""
+    return build_multimodel(unibench_data, with_indexes=False)
+
+
+@pytest.fixture(scope="session")
+def polyglot_app(unibench_data):
+    return build_polyglot(unibench_data)

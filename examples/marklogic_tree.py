@@ -1,0 +1,63 @@
+"""The MarkLogic unified-tree pattern (slides 56-58 and 76).
+
+Stores an XML product and a JSON order in the same tree store, queries both
+with the same XPath language, and reproduces the slide-76 cross-format join:
+
+    let $product := fn:doc("/myXML1.xml")/product
+    let $order   := fn:doc("/myJSON1.json")[Orderlines/Product_no = $product/@no]
+    return $order/Order_no          =>  0c6df508
+
+Run:  python examples/marklogic_tree.py
+"""
+
+from repro import MultiModelDB
+from repro.xmlmodel import XPath
+
+
+def main() -> None:
+    db = MultiModelDB()
+    store = db.create_tree_store("docs")
+
+    # xdmp:document-insert("/myXML1.xml", <product no="3424g">…)
+    store.insert_xml(
+        "/myXML1.xml",
+        '<product no="3424g">'
+        "<name>The King's Speech</name>"
+        "<author>Mark Logue</author>"
+        "<author>Peter Conradi</author>"
+        "</product>",
+    )
+
+    # xdmp.documentInsert("/myJSON1.json", {…})   (slide 58)
+    store.insert_json(
+        "/myJSON1.json",
+        {
+            "Order_no": "0c6df508",
+            "Orderlines": [
+                {"Product_no": "2724f", "Product_Name": "Toy", "Price": 66},
+                {"Product_no": "3424g", "Product_Name": "Book", "Price": 40},
+            ],
+        },
+    )
+
+    # Same XPath language over both formats.
+    print("XML  /product/name       :", store.xpath_values("/myXML1.xml", "/product/name"))
+    print("XML  /product/author[2]  :", store.xpath_values("/myXML1.xml", "/product/author[2]"))
+    print("JSON /Order_no           :", store.xpath_values("/myJSON1.json", "/Order_no"))
+    print(
+        "JSON lines with Price>50 :",
+        store.xpath_values("/myJSON1.json", "/Orderlines[Price > 50]/Product_Name"),
+    )
+
+    # The slide-76 cross-format join.
+    product_no = store.xpath("/myXML1.xml", "/product/@no")[0].value
+    order = store.doc("/myJSON1.json")
+    ordered_products = XPath("/Orderlines/Product_no").string_values(order)
+    if product_no in ordered_products:
+        result = XPath("/Order_no").string_values(order)
+        print(f"join: product {product_no} appears in order {result[0]}")
+        assert result == ["0c6df508"]
+
+
+if __name__ == "__main__":
+    main()

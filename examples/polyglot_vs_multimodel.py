@@ -1,0 +1,89 @@
+"""Polyglot persistence vs. one multi-model database (slides 7-10, 23).
+
+Builds the same e-commerce workload twice:
+
+* the **polyglot** way — four separate databases (documents, key/value,
+  graph) integrated in application code, paying a round trip per store
+  call and offering no cross-store atomicity;
+* the **multi-model** way — one engine, one query, one transaction.
+
+Then it demonstrates the two cons from slide 9 quantitatively: cross-model
+query round trips, and consistency violations after simulated crashes.
+
+Run:  python examples/polyglot_vs_multimodel.py
+"""
+
+from repro.polyglot import PartialFailure, PolyglotECommerce
+from repro.unibench import (
+    build_multimodel,
+    generate,
+    load_into_polyglot,
+    workload_b_mmql,
+    workload_b_polyglot,
+    workload_c_multimodel,
+    workload_c_polyglot,
+)
+
+
+def main() -> None:
+    data = generate(scale_factor=1, seed=42)
+    print("data:", data.summary())
+    print()
+
+    db = build_multimodel(data)
+    app = PolyglotECommerce()
+    load_into_polyglot(app, data)
+
+    # --- cross-model query (slide 9: "hard to handle inter-model queries")
+    mm = workload_b_mmql(db, "Q1")
+    pg = workload_b_polyglot(app)
+    print("Recommendation query (UniBench Q1):")
+    print(
+        f"  multi-model : {len(mm.rows)} products, "
+        f"{mm.stats['scanned']} records scanned, "
+        f"{mm.stats['index_lookups']} index lookups, 0 network round trips"
+    )
+    print(
+        f"  polyglot    : {len(pg['products'])} products, "
+        f"{pg['round_trips']} network round trips (one per store call)"
+    )
+    assert sorted(mm.rows) == sorted(pg["products"])
+    print("  same answer both ways:", sorted(mm.rows)[:5], "…")
+    print()
+
+    # --- cross-model transaction (slide 9: "…and transactions")
+    print("New-order transactions under failure/contention (UniBench C):")
+    c_mm = workload_c_multimodel(db, data, transactions=50, hot_customers=5)
+    c_pg = workload_c_polyglot(app, data, transactions=50, crash_rate=0.2)
+    print(
+        f"  multi-model : {c_mm['commits']} commits, {c_mm['aborts']} clean "
+        f"aborts, {c_mm['violations']} consistency violations"
+    )
+    print(
+        f"  polyglot    : {c_pg['completed']} completed, {c_pg['crashed']} "
+        f"crashes, {c_pg['violations']} consistency violations left behind"
+    )
+    print()
+
+    # --- a single polyglot partial failure, up close
+    shop = PolyglotECommerce()
+    shop.add_customer("c1", "Mary", 5000)
+    try:
+        shop.place_order(
+            "c1",
+            {"_key": "ord-1", "Orderlines": [{"Product_no": "x", "Price": 9}]},
+            fail_after="orders",
+        )
+    except PartialFailure as failure:
+        print("Simulated crash:", failure)
+    for violation in shop.check_consistency():
+        print("  inconsistency:", violation)
+    print()
+    print(
+        "The multi-model engine cannot produce that state: its new-order "
+        "transaction is a single atomic commit across all four models."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""Quickstart: one database, six data models, one query language.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Column, ColumnType, IsolationLevel, MultiModelDB, TableSchema
+
+
+def main() -> None:
+    db = MultiModelDB()
+
+    # 1. Relational: a typed table with constraints.
+    db.create_table(
+        TableSchema(
+            "customers",
+            [
+                Column("id", ColumnType.INTEGER, nullable=False),
+                Column("name", ColumnType.STRING, nullable=False),
+                Column("credit_limit", ColumnType.INTEGER),
+            ],
+            primary_key="id",
+            checks={"credit_positive": lambda row: (row["credit_limit"] or 0) >= 0},
+        )
+    )
+    db.table("customers").insert_many(
+        [
+            {"id": 1, "name": "Mary", "credit_limit": 5000},
+            {"id": 2, "name": "John", "credit_limit": 3000},
+        ]
+    )
+
+    # 2. Documents: schemaless JSON.
+    orders = db.create_collection("orders")
+    orders.insert(
+        {
+            "_key": "o1",
+            "customer": 1,
+            "Orderlines": [
+                {"Product_no": "2724f", "Price": 66},
+                {"Product_no": "3424g", "Price": 40},
+            ],
+        }
+    )
+
+    # 3. Key/value: the shopping cart.
+    cart = db.create_bucket("cart")
+    cart.put("2", "o1")
+
+    # 4. Graph: who knows whom.
+    social = db.create_graph("social")
+    social.add_vertex("1", {"name": "Mary"})
+    social.add_vertex("2", {"name": "John"})
+    social.add_edge("1", "2", label="knows")
+
+    # 5. XML / JSON trees with XPath.
+    trees = db.create_tree_store("docs")
+    trees.insert_xml("/p.xml", '<product no="3424g"><name>Book</name></product>')
+    print("XPath:", trees.xpath_values("/p.xml", "/product/name"))
+
+    # 6. RDF triples.
+    vendors = db.create_triple_store("vendors")
+    vendors.add("2724f", "soldBy", "acme")
+    print("RDF:", vendors.query([("?p", "soldBy", "acme")], select=["?p"]))
+
+    # One MMQL query across four of them: products ordered by a friend of a
+    # customer with credit_limit > 3000 (the paper's running example).
+    result = db.query(
+        """
+        FOR c IN customers
+          FILTER c.credit_limit > 3000
+          FOR f IN 1..1 OUTBOUND c.id GRAPH social LABEL 'knows'
+            LET order_no = KV_GET('cart', f._key)
+            FILTER order_no != NULL
+            FOR o IN orders
+              FILTER o._key == order_no
+              RETURN o.Orderlines[*].Product_no
+        """
+    )
+    print("Recommendation:", result.rows)  # [['2724f', '3424g']]
+
+    # Cross-model ACID: all four writes commit or none do.
+    with db.transaction(IsolationLevel.SNAPSHOT) as txn:
+        db.table("customers").insert({"id": 3, "name": "Anne", "credit_limit": 2000}, txn=txn)
+        social.add_vertex("3", {"name": "Anne"}, txn=txn)
+        social.add_edge("3", "1", label="knows", txn=txn)
+        cart.put("3", "o1", txn=txn)
+    print("Customers after txn:", db.table("customers").count())
+
+    # EXPLAIN shows the optimizer's choices.
+    orders.create_index("customer", kind="hash")
+    print()
+    print(db.explain("FOR o IN orders FILTER o.customer == 1 RETURN o"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Run the full UniBench suite (slides 86-88) and print the report.
+
+Workload A: data insertion and reading.
+Workload B: cross-model queries Q1-Q5.
+Workload C: cross-model transactions (with the polyglot baseline's
+            atomicity violations for contrast).
+
+Run:  python examples/unibench_demo.py [scale_factor]
+"""
+
+import sys
+
+from repro.unibench import render_report, run_all
+
+
+def main() -> None:
+    scale_factor = int(sys.argv[1]) if len(sys.argv) > 1 else 1
+    results = run_all(scale_factor=scale_factor, seed=42)
+    print(render_report(results))
+
+
+if __name__ == "__main__":
+    main()

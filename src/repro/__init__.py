@@ -1,0 +1,28 @@
+"""repro — a multi-model database engine.
+
+Reproduction of Jiaheng Lu & Irena Holubová, "Multi-model Data Management:
+What's New and What's Next?" (EDBT 2017).  One integrated backend supports
+relational, document, key/value, graph, XML and RDF data, queried together
+through the MMQL unified language, with cross-model transactions, the full
+index taxonomy, model evolution, a polyglot-persistence baseline, and the
+UniBench benchmark.  See DESIGN.md for the system inventory.
+"""
+
+from repro.core.database import MultiModelDB
+from repro.core.context import EngineContext
+from repro.errors import ReproError
+from repro.relational.schema import Column, ColumnType, TableSchema
+from repro.txn.manager import IsolationLevel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MultiModelDB",
+    "EngineContext",
+    "ReproError",
+    "Column",
+    "ColumnType",
+    "TableSchema",
+    "IsolationLevel",
+    "__version__",
+]

@@ -1,0 +1,204 @@
+"""``repro-shell`` — an interactive MMQL shell.
+
+Usage:
+
+    repro-shell [--wal PATH] [--demo [SCALE]] [-c QUERY] [-f FILE]
+
+* ``--demo`` loads the UniBench e-commerce data set (default scale 1) so
+  there is something to query immediately;
+* ``--wal`` attaches a write-ahead log (recovering from it first when the
+  file already has history);
+* ``-c`` runs one query and exits; ``-f`` runs a ``;``-separated script.
+
+Inside the shell:
+
+    mmql> FOR c IN customers FILTER c.credit_limit > 3000 RETURN c.name
+    mmql> .explain FOR c IN customers RETURN c
+    mmql> .catalog        .stats        .help        .quit
+
+Everything is a plain function over streams, so the shell is unit-testable
+without a TTY.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import IO, Optional
+
+from repro.core.database import MultiModelDB
+from repro.errors import ReproError
+
+__all__ = ["make_demo_db", "run_statement", "repl", "main"]
+
+_HELP = """\
+MMQL shell commands:
+  .help                 this message
+  .catalog              list collections/tables/graphs/buckets/stores
+  .dbstats              record counts, indexes, log and txn counters
+  .explain <query>      show the optimized plan without executing
+  .advise <query>       recommend indexes for a query's predicates
+  .stats                statistics of the last query
+  .quit                 exit
+Anything else is executed as an MMQL query; rows print as JSON lines."""
+
+
+def make_demo_db(scale_factor: int = 1) -> MultiModelDB:
+    """A database pre-loaded with the UniBench e-commerce data set."""
+    from repro.unibench.generator import generate, load_into_multimodel
+
+    db = MultiModelDB()
+    load_into_multimodel(db, generate(scale_factor=scale_factor, seed=42))
+    return db
+
+
+def run_statement(db: MultiModelDB, statement: str, out: IO, state: dict) -> None:
+    """Execute one shell statement (dot-command or MMQL) against *db*."""
+    statement = statement.strip()
+    if not statement:
+        return
+    if statement in (".quit", ".exit"):
+        state["done"] = True
+        return
+    if statement == ".help":
+        print(_HELP, file=out)
+        return
+    if statement == ".catalog":
+        for name, kind in db.catalog().items():
+            print(f"  {name:<20} {kind}", file=out)
+        return
+    if statement == ".dbstats":
+        stats = db.stats()
+        for name, entry in stats["objects"].items():
+            print(
+                f"  {name:<20} {entry['kind']:<12} {entry['records']} records",
+                file=out,
+            )
+        print(f"  indexes: {len(stats['indexes'])}", file=out)
+        print(f"  log entries: {stats['log_entries']}", file=out)
+        print(f"  transactions: {stats['transactions']}", file=out)
+        return
+    if statement == ".stats":
+        stats = state.get("last_stats")
+        if stats is None:
+            print("  no query has run yet", file=out)
+        else:
+            for key, value in stats.items():
+                print(f"  {key}: {value}", file=out)
+        return
+    if statement.startswith(".explain"):
+        query_text = statement[len(".explain"):].strip()
+        if not query_text:
+            print("  usage: .explain <query>", file=out)
+            return
+        try:
+            print(db.explain(query_text), file=out)
+        except ReproError as error:
+            print(f"error: {error}", file=out)
+        return
+    if statement.startswith(".advise"):
+        query_text = statement[len(".advise"):].strip()
+        if not query_text:
+            print("  usage: .advise <query>", file=out)
+            return
+        from repro.query.advisor import advise
+
+        try:
+            recommendations = advise(db, [query_text])
+        except ReproError as error:
+            print(f"error: {error}", file=out)
+            return
+        if not recommendations:
+            print("  no new indexes would help this query", file=out)
+        for recommendation in recommendations:
+            print(f"  {recommendation.describe()}", file=out)
+        return
+    if statement.startswith("."):
+        print(f"unknown command {statement.split()[0]!r}; try .help", file=out)
+        return
+    try:
+        result = db.query(statement)
+    except ReproError as error:
+        print(f"error: {error}", file=out)
+        return
+    for row in result.rows:
+        print(json.dumps(row, default=str), file=out)
+    state["last_stats"] = result.stats
+    print(
+        f"-- {len(result.rows)} row(s); scanned {result.stats['scanned']}, "
+        f"index lookups {result.stats['index_lookups']}",
+        file=out,
+    )
+
+
+def repl(db: MultiModelDB, source: IO, out: IO, prompt: str = "mmql> ") -> None:
+    """Read statements from *source* until EOF or ``.quit``.
+
+    Multi-line queries are supported: a line ending in ``\\`` continues.
+    """
+    state: dict = {"done": False}
+    buffer: list[str] = []
+    interactive = out.isatty() if hasattr(out, "isatty") else False
+    while not state["done"]:
+        if interactive:
+            out.write(prompt if not buffer else "....> ")
+            out.flush()
+        line = source.readline()
+        if not line:
+            break
+        line = line.rstrip("\n")
+        if line.endswith("\\"):
+            buffer.append(line[:-1])
+            continue
+        buffer.append(line)
+        statement = "\n".join(buffer)
+        buffer = []
+        run_statement(db, statement, out, state)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-shell", description="interactive MMQL shell"
+    )
+    parser.add_argument("--wal", help="attach (and recover from) a WAL file")
+    parser.add_argument(
+        "--demo",
+        nargs="?",
+        const=1,
+        type=int,
+        metavar="SCALE",
+        help="load the UniBench demo data set",
+    )
+    parser.add_argument("-c", "--command", help="run one query and exit")
+    parser.add_argument("-f", "--file", help="run a ;-separated script")
+    args = parser.parse_args(argv)
+
+    if args.demo is not None:
+        db = make_demo_db(args.demo)
+    else:
+        db = MultiModelDB()
+    if args.wal:
+        import os
+
+        if os.path.exists(args.wal):
+            db.recover(args.wal)
+        db.attach_wal(args.wal)
+
+    state: dict = {"done": False}
+    if args.command:
+        run_statement(db, args.command, sys.stdout, state)
+        return 0
+    if args.file:
+        with open(args.file, "r", encoding="utf-8") as handle:
+            script = handle.read()
+        for statement in script.split(";"):
+            run_statement(db, statement, sys.stdout, state)
+        return 0
+    print("repro MMQL shell — .help for commands", file=sys.stdout)
+    repl(db, sys.stdin, sys.stdout)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,7 @@
+"""Core: unified data model, shared backend, MultiModelDB facade."""
+
+from repro.core import datamodel
+from repro.core.context import BaseStore, EngineContext
+from repro.core.database import MultiModelDB
+
+__all__ = ["datamodel", "BaseStore", "EngineContext", "MultiModelDB"]

@@ -1,0 +1,129 @@
+"""Shared engine context and the base record store every model builds on.
+
+The paper's definition (slide 11): "a multi-model database is designed to
+support multiple data models against a *single, integrated backend*".  The
+:class:`EngineContext` is that backend: one central log, one row view, one
+column view, one transaction manager, one index manager.  Every model store
+(:mod:`repro.relational`, :mod:`repro.document`, :mod:`repro.keyvalue`,
+:mod:`repro.graph`, :mod:`repro.xmlmodel`, :mod:`repro.rdf`) is a
+:class:`BaseStore` veneer over it — which is exactly what makes cross-model
+queries, cross-model indexes and cross-model transactions possible.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+from repro.core import datamodel
+from repro.errors import UnknownCollectionError
+from repro.indexes.manager import IndexManager
+from repro.storage.log import CentralLog, LogOp
+from repro.storage.views import ColumnView, RowView
+from repro.txn.consistency import ConsistencyPolicy
+from repro.txn.manager import Transaction, TransactionManager
+
+__all__ = ["EngineContext", "BaseStore"]
+
+
+class EngineContext:
+    """The single integrated backend shared by all model APIs."""
+
+    def __init__(self, lock_timeout: float = 5.0):
+        self.log = CentralLog()
+        self.rows = RowView(self.log)
+        self.columns = ColumnView(self.log)
+        self.transactions = TransactionManager(self.log, lock_timeout=lock_timeout)
+        self.indexes = IndexManager(self.log, self.rows)
+        self.consistency = ConsistencyPolicy()
+
+
+class BaseStore:
+    """Keyed record store over the shared backend.
+
+    All methods accept an optional ``txn``: inside a transaction, reads see
+    the transaction's snapshot plus its own writes and writes are buffered;
+    outside, reads hit the row view (latest committed) and each write
+    auto-commits as a single-operation transaction.
+    """
+
+    #: model tag used in the namespace prefix, e.g. "doc"
+    model = "base"
+
+    def __init__(self, context: EngineContext, name: str):
+        self._context = context
+        self.name = name
+        self.namespace = f"{self.model}:{name}"
+
+    # -- write path ------------------------------------------------------------
+
+    def _write(
+        self,
+        key: Any,
+        value: Any,
+        op: LogOp,
+        txn: Optional[Transaction],
+    ) -> None:
+        manager = self._context.transactions
+        if txn is not None:
+            if op is LogOp.DELETE:
+                manager.delete(txn, self.namespace, key)
+            else:
+                manager.write(txn, self.namespace, key, value, op)
+            return
+        local = manager.begin()
+        try:
+            if op is LogOp.DELETE:
+                manager.delete(local, self.namespace, key)
+            else:
+                manager.write(local, self.namespace, key, value, op)
+            manager.commit(local)
+        except BaseException:
+            if local.is_active:
+                manager.abort(local)
+            raise
+
+    def _put(self, key: Any, value: Any, txn: Optional[Transaction] = None) -> None:
+        exists = self._raw_get(key, txn) is not None
+        op = LogOp.UPDATE if exists else LogOp.INSERT
+        self._write(key, datamodel.normalize(value), op, txn)
+
+    def _delete_key(self, key: Any, txn: Optional[Transaction] = None) -> bool:
+        if self._raw_get(key, txn) is None:
+            return False
+        self._write(key, None, LogOp.DELETE, txn)
+        return True
+
+    # -- read path ----------------------------------------------------------------
+
+    def _raw_get(self, key: Any, txn: Optional[Transaction] = None) -> Any:
+        if txn is not None:
+            return self._context.transactions.read(txn, self.namespace, key)
+        return self._context.rows.get(self.namespace, key)
+
+    def _raw_scan(
+        self, txn: Optional[Transaction] = None
+    ) -> Iterator[tuple[Any, Any]]:
+        if txn is not None:
+            return self._context.transactions.scan(txn, self.namespace)
+        return self._context.rows.scan(self.namespace)
+
+    def count(self, txn: Optional[Transaction] = None) -> int:
+        if txn is not None:
+            return sum(1 for _ in self._raw_scan(txn))
+        return self._context.rows.count(self.namespace)
+
+    def contains(self, key: Any, txn: Optional[Transaction] = None) -> bool:
+        return self._raw_get(key, txn) is not None
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    def truncate(self) -> None:
+        """Drop all records (auto-commit; runs outside any transaction)."""
+        self._context.transactions.drop_namespace(self.namespace)
+        self._context.log.append(0, LogOp.DROP_NAMESPACE, self.namespace)
+
+    def __len__(self) -> int:
+        return self.count()
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.namespace} ({self.count()} records)>"

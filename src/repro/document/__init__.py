@@ -1,0 +1,6 @@
+"""Document model: JSON collections + PostgreSQL path operators."""
+
+from repro.document import jsonpath
+from repro.document.store import DocumentCollection
+
+__all__ = ["jsonpath", "DocumentCollection"]

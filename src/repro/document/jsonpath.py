@@ -1,0 +1,193 @@
+"""PostgreSQL-style JSON path operators (slides 37, 73, 82).
+
+The tutorial demonstrates PostgreSQL's JSON operator family on the running
+example; this module reproduces it over data-model values:
+
+=========  =========================================  ===========================
+Operator   PostgreSQL meaning                          Function here
+=========  =========================================  ===========================
+``->``     object field / array element (as JSON)     :func:`get_field`
+``->>``    object field / array element (as text)     :func:`get_field_text`
+``#>``     object at path (as JSON)                    :func:`get_path`
+``#>>``    object at path (as text)                    :func:`get_path_text`
+``@>``     containment                                 :func:`contains` (re-export)
+``?``      top-level key exists                        :func:`has_key`
+``?|``     any of the keys exist                       :func:`has_any_key`
+``?&``     all of the keys exist                       :func:`has_all_keys`
+``#-``     delete at path                              :func:`delete_path`
+=========  =========================================  ===========================
+
+Path strings use the PostgreSQL text form ``'{Orderlines,1,Product_Name}'``
+(parsed by :func:`parse_path`) or plain dotted form ``a.b.0.c``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+
+from repro.core import datamodel
+from repro.core.datamodel import contains  # noqa: F401  (re-export: @>)
+from repro.errors import PathError
+
+__all__ = [
+    "parse_path",
+    "get_field",
+    "get_field_text",
+    "get_path",
+    "get_path_text",
+    "contains",
+    "has_key",
+    "has_any_key",
+    "has_all_keys",
+    "delete_path",
+    "set_path",
+]
+
+
+def parse_path(path: str | tuple | list) -> tuple:
+    """Parse ``'{a,b,1}'`` or ``'a.b.1'`` (or an already-split sequence)
+    into a tuple of str keys / int positions."""
+    if isinstance(path, (tuple, list)):
+        steps = list(path)
+    elif isinstance(path, str):
+        text = path.strip()
+        if text.startswith("{") and text.endswith("}"):
+            text = text[1:-1]
+            steps = [step.strip() for step in text.split(",")] if text else []
+        else:
+            steps = text.split(".") if text else []
+    else:
+        raise PathError(f"cannot parse path from {type(path).__name__!r}")
+    parsed: list = []
+    for step in steps:
+        if isinstance(step, int) and not isinstance(step, bool):
+            parsed.append(step)
+        elif isinstance(step, str):
+            stripped = step.strip()
+            if not stripped:
+                raise PathError(f"empty step in path {path!r}")
+            if stripped.lstrip("-").isdigit():
+                parsed.append(int(stripped))
+            else:
+                parsed.append(stripped)
+        else:
+            raise PathError(f"bad path step {step!r}")
+    return tuple(parsed)
+
+
+def _as_text(value: Any) -> Optional[str]:
+    """The ``->>``/``#>>`` text coercion: strings pass through, scalars use
+    JSON spelling, containers serialize."""
+    if value is None:
+        return None
+    if isinstance(value, str):
+        return value
+    return json.dumps(datamodel.normalize(value), separators=(", ", ": "))
+
+
+def get_field(value: Any, field: str | int) -> Any:
+    """``->``: one object field (str) or array element (int), as a value."""
+    return datamodel.deep_get(value, (field,))
+
+
+def get_field_text(value: Any, field: str | int) -> Optional[str]:
+    """``->>``: like ``->`` but coerced to text."""
+    return _as_text(get_field(value, field))
+
+
+def get_path(value: Any, path: str | tuple | list) -> Any:
+    """``#>``: navigate a full path, as a value."""
+    return datamodel.deep_get(value, parse_path(path))
+
+
+def get_path_text(value: Any, path: str | tuple | list) -> Optional[str]:
+    """``#>>``: like ``#>`` but coerced to text."""
+    return _as_text(get_path(value, path))
+
+
+def has_key(value: Any, key: str) -> bool:
+    """``?``: *key* is a top-level object key (or array member, as in
+    PostgreSQL where arrays test element membership for strings)."""
+    tag = datamodel.type_of(value)
+    if tag is datamodel.TypeTag.OBJECT:
+        return key in value
+    if tag is datamodel.TypeTag.ARRAY:
+        return any(
+            isinstance(item, str) and item == key for item in value
+        )
+    return False
+
+
+def has_any_key(value: Any, keys: list[str]) -> bool:
+    """``?|``"""
+    return any(has_key(value, key) for key in keys)
+
+
+def has_all_keys(value: Any, keys: list[str]) -> bool:
+    """``?&``"""
+    return all(has_key(value, key) for key in keys)
+
+
+def delete_path(value: Any, path: str | tuple | list) -> Any:
+    """``#-``: a copy of *value* with the element at *path* removed
+    (missing paths return the value unchanged, as in PostgreSQL)."""
+    steps = parse_path(path)
+    if not steps:
+        return datamodel.normalize(value)
+    return _delete(datamodel.normalize(value), steps)
+
+
+def _delete(value: Any, steps: tuple) -> Any:
+    step, rest = steps[0], steps[1:]
+    tag = datamodel.type_of(value)
+    if tag is datamodel.TypeTag.OBJECT and isinstance(step, str):
+        if step not in value:
+            return value
+        if not rest:
+            return {key: item for key, item in value.items() if key != step}
+        return {
+            key: _delete(item, rest) if key == step else item
+            for key, item in value.items()
+        }
+    if tag is datamodel.TypeTag.ARRAY and isinstance(step, int):
+        if not -len(value) <= step < len(value):
+            return value
+        position = step % len(value)
+        if not rest:
+            return [item for index, item in enumerate(value) if index != position]
+        return [
+            _delete(item, rest) if index == position else item
+            for index, item in enumerate(value)
+        ]
+    return value
+
+
+def set_path(value: Any, path: str | tuple | list, new_value: Any) -> Any:
+    """``jsonb_set``: a copy of *value* with *path* replaced (intermediate
+    objects are created for missing object keys; missing array positions
+    raise :class:`PathError`)."""
+    steps = parse_path(path)
+    if not steps:
+        return datamodel.normalize(new_value)
+    return _set(datamodel.normalize(value), steps, datamodel.normalize(new_value))
+
+
+def _set(value: Any, steps: tuple, new_value: Any) -> Any:
+    step, rest = steps[0], steps[1:]
+    tag = datamodel.type_of(value)
+    if isinstance(step, str):
+        base = dict(value) if tag is datamodel.TypeTag.OBJECT else {}
+        child = base.get(step)
+        base[step] = new_value if not rest else _set(child if child is not None else {}, rest, new_value)
+        return base
+    if tag is datamodel.TypeTag.ARRAY and isinstance(step, int):
+        if not -len(value) <= step < len(value):
+            raise PathError(f"array position {step} out of range")
+        position = step % len(value)
+        copy = list(value)
+        copy[position] = (
+            new_value if not rest else _set(copy[position], rest, new_value)
+        )
+        return copy
+    raise PathError(f"cannot set step {step!r} inside a {datamodel.type_name(value)}")

@@ -1,0 +1,179 @@
+"""Exception hierarchy for the ``repro`` multi-model database engine.
+
+Every error raised by the public API derives from :class:`ReproError`, so
+callers can catch one base class.  The sub-hierarchy mirrors the subsystems
+described in DESIGN.md: data-model errors, catalog errors, query-language
+errors, transaction errors, storage errors and benchmark errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the engine."""
+
+
+# ---------------------------------------------------------------------------
+# Data model
+# ---------------------------------------------------------------------------
+
+
+class DataModelError(ReproError):
+    """A value violates the unified data-model rules."""
+
+
+class TypeMismatchError(DataModelError):
+    """An operation was applied to values of incompatible types."""
+
+
+class PathError(DataModelError):
+    """A document path expression could not be resolved or parsed."""
+
+
+# ---------------------------------------------------------------------------
+# Catalog / schema
+# ---------------------------------------------------------------------------
+
+
+class CatalogError(ReproError):
+    """Catalog-level problem (unknown or duplicate namespace object)."""
+
+
+class UnknownCollectionError(CatalogError):
+    """The named collection/table/graph/bucket does not exist."""
+
+
+class DuplicateCollectionError(CatalogError):
+    """A namespace object with that name already exists."""
+
+
+class SchemaError(ReproError):
+    """A schema definition or schema check failed."""
+
+
+class ConstraintViolationError(SchemaError):
+    """A row/document violates a declared constraint."""
+
+
+class PrimaryKeyError(ConstraintViolationError):
+    """Primary-key violation: missing, duplicate, or wrongly typed key."""
+
+
+# ---------------------------------------------------------------------------
+# Query language
+# ---------------------------------------------------------------------------
+
+
+class QueryError(ReproError):
+    """Base class for MMQL query problems."""
+
+
+class LexError(QueryError):
+    """The query text could not be tokenized."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class ParseError(QueryError):
+    """The token stream is not a valid MMQL query."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class BindError(QueryError):
+    """A variable or bind parameter is undefined or redefined."""
+
+
+class PlanError(QueryError):
+    """The logical plan could not be built or optimized."""
+
+
+class ExecutionError(QueryError):
+    """A runtime failure while executing a query plan."""
+
+
+class FunctionError(ExecutionError):
+    """A built-in function received bad arguments."""
+
+
+# ---------------------------------------------------------------------------
+# Transactions
+# ---------------------------------------------------------------------------
+
+
+class TransactionError(ReproError):
+    """Base class for transaction failures."""
+
+
+class SerializationError(TransactionError):
+    """Write-write conflict detected under snapshot isolation."""
+
+
+class DeadlockError(TransactionError):
+    """The lock manager chose this transaction as a deadlock victim."""
+
+
+class LockTimeoutError(TransactionError):
+    """A lock could not be acquired within the configured budget."""
+
+
+class InvalidTransactionStateError(TransactionError):
+    """Operation on a transaction that is not active (committed/aborted)."""
+
+
+# ---------------------------------------------------------------------------
+# Storage
+# ---------------------------------------------------------------------------
+
+
+class StorageError(ReproError):
+    """Base class for storage-layer failures."""
+
+
+class PageError(StorageError):
+    """Invalid page access (bad page id, overflow, corrupt slot)."""
+
+
+class WalError(StorageError):
+    """The write-ahead log is corrupt or out of sequence."""
+
+
+class RecoveryError(StorageError):
+    """Crash recovery could not be completed."""
+
+
+# ---------------------------------------------------------------------------
+# Indexes
+# ---------------------------------------------------------------------------
+
+
+class IndexError_(ReproError):
+    """Base class for index subsystem failures.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`IndexError`.
+    """
+
+
+class UnknownIndexError(IndexError_):
+    """The named index does not exist."""
+
+
+class UnsupportedIndexOperationError(IndexError_):
+    """The index type cannot answer the requested operation
+    (e.g. a range scan against a hash index, per slide 79)."""
+
+
+# ---------------------------------------------------------------------------
+# Benchmark / workload
+# ---------------------------------------------------------------------------
+
+
+class BenchmarkError(ReproError):
+    """A benchmark workload was misconfigured."""

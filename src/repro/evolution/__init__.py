@@ -1,0 +1,49 @@
+"""Schema & model evolution (challenge 3): inference, Sinew, mapping,
+migrations."""
+
+from repro.evolution.inference import infer_schema, required_fields_of, schema_diff
+from repro.evolution.mapping import (
+    HybridEntityView,
+    collection_to_graph,
+    collection_to_table,
+    document_to_row,
+    row_to_document,
+    table_to_collection,
+)
+from repro.evolution.migration import (
+    VERSION_FIELD,
+    AddField,
+    DropField,
+    FieldOperation,
+    FlattenField,
+    LazyMigrator,
+    MigrationPlan,
+    NestFields,
+    RenameField,
+    TransformField,
+)
+from repro.evolution.sinew import UniversalRelation, flatten_document
+
+__all__ = [
+    "infer_schema",
+    "required_fields_of",
+    "schema_diff",
+    "HybridEntityView",
+    "collection_to_graph",
+    "collection_to_table",
+    "document_to_row",
+    "row_to_document",
+    "table_to_collection",
+    "VERSION_FIELD",
+    "AddField",
+    "DropField",
+    "FieldOperation",
+    "FlattenField",
+    "LazyMigrator",
+    "MigrationPlan",
+    "NestFields",
+    "RenameField",
+    "TransformField",
+    "UniversalRelation",
+    "flatten_document",
+]

@@ -1,0 +1,114 @@
+"""Schema inference / extraction for schemaless data (challenge 3).
+
+Slide 98 lists "schema language for multi-model data and schema extraction"
+among the theoretical challenges; this module implements the practical core:
+given a stream of JSON documents, infer a descriptive schema — per-path type
+sets, optionality, observed value statistics — of the kind Sinew builds its
+catalog from and AsterixDB's open datatypes imply.
+
+The inferred schema is a plain dict (itself a model value) so it can be
+stored, diffed and queried like any other document.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Iterable, Optional
+
+from repro.core import datamodel
+
+__all__ = ["infer_schema", "schema_diff", "required_fields_of"]
+
+
+def _leaf_type(value: Any) -> str:
+    return datamodel.type_name(value)
+
+
+class _FieldStats:
+    __slots__ = ("types", "present", "samples", "children", "item_types")
+
+    def __init__(self):
+        self.types: set[str] = set()
+        self.present = 0
+        self.samples: list = []
+        self.children: dict[str, "_FieldStats"] = {}
+        self.item_types: set[str] = set()
+
+    def observe(self, value: Any) -> None:
+        self.present += 1
+        tag = datamodel.type_of(value)
+        self.types.add(_leaf_type(value))
+        if tag is datamodel.TypeTag.OBJECT:
+            for key, item in value.items():
+                self.children.setdefault(key, _FieldStats()).observe(item)
+        elif tag is datamodel.TypeTag.ARRAY:
+            for item in value:
+                self.item_types.add(_leaf_type(item))
+        else:
+            if len(self.samples) < 5 and value not in self.samples:
+                self.samples.append(value)
+
+    def describe(self, total: int) -> dict:
+        description: dict[str, Any] = {
+            "types": sorted(self.types),
+            "optional": self.present < total,
+            "presence": self.present / total if total else 0.0,
+        }
+        if self.samples:
+            description["samples"] = sorted(
+                self.samples, key=datamodel.SortKey
+            )
+        if self.item_types:
+            description["items"] = sorted(self.item_types)
+        if self.children:
+            description["fields"] = {
+                key: child.describe(self.present)
+                for key, child in sorted(self.children.items())
+            }
+        return description
+
+
+def infer_schema(documents: Iterable[dict]) -> dict:
+    """Infer a descriptive schema from an iterable of documents.
+
+    Returns ``{"count": N, "fields": {name: {types, optional, presence,
+    [samples], [items], [fields]}}}``; nested objects recurse, arrays record
+    their element types.
+    """
+    root = _FieldStats()
+    count = 0
+    for document in documents:
+        root.observe(datamodel.normalize(document))
+        count += 1
+    description = root.describe(count) if count else {"types": [], "optional": False}
+    return {
+        "count": count,
+        "fields": description.get("fields", {}),
+    }
+
+
+def required_fields_of(schema: dict, min_presence: float = 1.0) -> dict[str, str]:
+    """Fields present in at least *min_presence* of documents with a single
+    type — suitable for :class:`DocumentCollection` required_fields (the
+    open→closed schema promotion of slide 18)."""
+    required = {}
+    for name, description in schema.get("fields", {}).items():
+        if description["presence"] >= min_presence and len(description["types"]) == 1:
+            required[name] = description["types"][0]
+    return required
+
+
+def schema_diff(old: dict, new: dict) -> dict:
+    """Field-level diff between two inferred schemas: added, removed, and
+    type-changed fields (the inputs model evolution planning needs)."""
+    old_fields = old.get("fields", {})
+    new_fields = new.get("fields", {})
+    added = sorted(set(new_fields) - set(old_fields))
+    removed = sorted(set(old_fields) - set(new_fields))
+    changed = {}
+    for name in set(old_fields) & set(new_fields):
+        old_types = old_fields[name]["types"]
+        new_types = new_fields[name]["types"]
+        if old_types != new_types:
+            changed[name] = {"from": old_types, "to": new_types}
+    return {"added": added, "removed": removed, "changed": changed}

@@ -1,0 +1,228 @@
+"""Model mapping & model evolution (challenge 3, slide 94).
+
+"Relational table (legacy data) + JSON document (new data) — model mapping
+among different models of data."
+
+Three families of mappings:
+
+* **row ↔ document** — :func:`row_to_document` / :func:`document_to_row`
+  (flattening nested values into columns, Sinew-style);
+* **bulk copies** — :func:`table_to_collection` (legacy → documents) and
+  :func:`collection_to_table` (documents → typed relation, with schema
+  inference choosing column types);
+* **documents ↔ graph** — :func:`collection_to_graph` reifies reference
+  fields into edges.
+
+:class:`HybridEntityView` is the slide-94 scenario itself: one logical
+entity set whose older members live in a relational table and newer members
+in a document collection, readable (and queryable) through one interface
+without migrating anything.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Optional
+
+from repro.core import datamodel
+from repro.document.store import DocumentCollection
+from repro.errors import SchemaError
+from repro.evolution.inference import infer_schema
+from repro.evolution.sinew import flatten_document
+from repro.graph.store import PropertyGraph
+from repro.relational.schema import Column, ColumnType, TableSchema
+from repro.relational.table import Table
+
+__all__ = [
+    "row_to_document",
+    "document_to_row",
+    "table_to_collection",
+    "collection_to_table",
+    "collection_to_graph",
+    "HybridEntityView",
+]
+
+_TYPE_TO_COLUMN = {
+    "number": ColumnType.FLOAT,
+    "string": ColumnType.STRING,
+    "bool": ColumnType.BOOLEAN,
+    "array": ColumnType.JSON,
+    "object": ColumnType.JSON,
+    "null": ColumnType.JSON,
+}
+
+
+def row_to_document(row: dict, key_column: str = "id") -> dict:
+    """A relational row as a document (the key column becomes ``_key``)."""
+    document = dict(datamodel.normalize(row))
+    if key_column in document:
+        document["_key"] = str(document[key_column])
+    return document
+
+
+def document_to_row(document: dict, columns: Optional[list[str]] = None) -> dict:
+    """A document as a flat row (dotted columns for nested objects)."""
+    flat = flatten_document(
+        {key: value for key, value in document.items() if key != "_key"}
+    )
+    if columns is None:
+        return flat
+    return {column: flat.get(column) for column in columns}
+
+
+def table_to_collection(
+    table: Table, collection: DocumentCollection, batch_txn: Any = None
+) -> int:
+    """Copy every row of *table* into *collection*; returns the count."""
+    copied = 0
+    for row in table.rows(txn=batch_txn):
+        collection.insert(
+            row_to_document(row, table.schema.primary_key), txn=batch_txn
+        )
+        copied += 1
+    return copied
+
+
+def collection_to_table(
+    collection: DocumentCollection,
+    db,
+    table_name: str,
+    primary_key: str = "_key",
+) -> Table:
+    """Create a typed table from a collection via schema inference.
+
+    Single-typed top-level fields become typed columns; union-typed or
+    nested fields become JSON columns (exactly what Oracle's JSON virtual
+    columns and Sinew's typed columns do).
+    """
+    documents = list(collection.all())
+    schema_description = infer_schema(documents)
+    columns = [Column(primary_key, ColumnType.STRING, nullable=False)]
+    for name, description in schema_description["fields"].items():
+        if name == primary_key:
+            continue
+        types = description["types"]
+        if len(types) == 1:
+            column_type = _TYPE_TO_COLUMN[types[0]]
+        else:
+            column_type = ColumnType.JSON
+        columns.append(Column(name, column_type))
+    table = db.create_table(
+        TableSchema(table_name, columns, primary_key=primary_key)
+    )
+    for document in documents:
+        row = {name: document.get(name) for name in table.schema.column_names}
+        row[primary_key] = document["_key"]
+        table.insert(row)
+    return table
+
+
+def collection_to_graph(
+    collection: DocumentCollection,
+    graph: PropertyGraph,
+    reference_fields: dict[str, str],
+) -> tuple[int, int]:
+    """Reify documents as vertices and reference fields as labelled edges.
+
+    ``reference_fields`` maps a document field holding a key (or list of
+    keys) to the edge label to create, e.g. ``{"friends": "knows"}``.
+    Returns (vertices, edges) created.
+    """
+    vertices = 0
+    for document in collection.all():
+        if not graph.has_vertex(document["_key"]):
+            properties = {
+                key: value
+                for key, value in document.items()
+                if key != "_key" and key not in reference_fields
+            }
+            graph.add_vertex(document["_key"], properties)
+            vertices += 1
+    edges = 0
+    for document in collection.all():
+        for field, label in reference_fields.items():
+            targets = document.get(field)
+            if targets is None:
+                continue
+            if not isinstance(targets, list):
+                targets = [targets]
+            for target in targets:
+                target_key = str(target)
+                if graph.has_vertex(target_key):
+                    graph.add_edge(document["_key"], target_key, label=label)
+                    edges += 1
+    return vertices, edges
+
+
+class HybridEntityView:
+    """One entity set across two model eras (slide 94).
+
+    Legacy rows live in *table*; new entities in *collection*.  Reads are
+    unified into document shape; writes go to the new era.  ``migrate``
+    moves legacy rows over, batch by batch, so the cut-over is incremental.
+    """
+
+    def __init__(self, table: Table, collection: DocumentCollection):
+        self._table = table
+        self._collection = collection
+        self._key_column = table.schema.primary_key
+
+    def get(self, key: Any) -> Optional[dict]:
+        """New era wins on key collisions (it is the write path)."""
+        document = self._collection.get(str(key))
+        if document is not None:
+            return document
+        row = self._table.get(key)
+        if row is None:
+            # keys of migrated rows are strings in the collection
+            row = self._table.get(self._coerce_key(key))
+        if row is None:
+            return None
+        return row_to_document(row, self._key_column)
+
+    def _coerce_key(self, key: Any):
+        if isinstance(key, str) and key.lstrip("-").isdigit():
+            return int(key)
+        return key
+
+    def all(self) -> Iterator[dict]:
+        """Every entity, both eras, new-era representation preferred."""
+        seen = set()
+        for document in self._collection.all():
+            seen.add(document["_key"])
+            yield document
+        for row in self._table.rows():
+            key = str(row[self._key_column])
+            if key not in seen:
+                yield row_to_document(row, self._key_column)
+
+    def find(self, predicate: Callable[[dict], bool]) -> list[dict]:
+        return [entity for entity in self.all() if predicate(entity)]
+
+    def count(self) -> int:
+        return sum(1 for _ in self.all())
+
+    def insert(self, document: dict) -> str:
+        """Writes always land in the new era."""
+        return self._collection.insert(document)
+
+    def migrate(self, batch_size: int = 100) -> int:
+        """Move up to *batch_size* legacy rows into the collection;
+        returns how many moved (0 = migration complete)."""
+        moved = 0
+        for row in list(self._table.rows()):
+            if moved >= batch_size:
+                break
+            key = row[self._key_column]
+            if self._collection.get(str(key)) is None:
+                self._collection.insert(row_to_document(row, self._key_column))
+            self._table.delete(key)
+            moved += 1
+        return moved
+
+    @property
+    def legacy_count(self) -> int:
+        return self._table.count()
+
+    @property
+    def migrated_count(self) -> int:
+        return self._collection.count()

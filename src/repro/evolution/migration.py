@@ -1,0 +1,239 @@
+"""Versioned document migrations — "open schema data and model evolution:
+query data with varied schemas and models" (slide 85).
+
+Documents carry a ``_schema_version`` field (0 when absent).  A
+:class:`MigrationPlan` is an ordered list of version steps, each a list of
+field operations:
+
+* :class:`RenameField`, :class:`AddField` (with default or derivation),
+  :class:`DropField`, :class:`TransformField` (pure function),
+  :class:`NestFields` / :class:`FlattenField` (reshape).
+
+Two application modes, matching how production systems roll schema changes:
+
+* **eager** — :meth:`MigrationPlan.apply_all` rewrites every stored
+  document to the target version;
+* **lazy** — :class:`LazyMigrator` upgrades documents *on read*, leaving
+  storage mixed-version (the "query data with varied schemas" case), and
+  can report how much of the collection is still behind.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.core import datamodel
+from repro.errors import SchemaError
+
+__all__ = [
+    "FieldOperation",
+    "RenameField",
+    "AddField",
+    "DropField",
+    "TransformField",
+    "NestFields",
+    "FlattenField",
+    "MigrationPlan",
+    "LazyMigrator",
+    "VERSION_FIELD",
+]
+
+VERSION_FIELD = "_schema_version"
+
+
+class FieldOperation:
+    """One document rewrite step."""
+
+    def apply(self, document: dict) -> dict:
+        raise NotImplementedError
+
+
+class RenameField(FieldOperation):
+    def __init__(self, old: str, new: str):
+        self.old = old
+        self.new = new
+
+    def apply(self, document: dict) -> dict:
+        if self.old not in document:
+            return document
+        updated = dict(document)
+        updated[self.new] = updated.pop(self.old)
+        return updated
+
+
+class AddField(FieldOperation):
+    """Add a field with a constant default or a derivation over the doc."""
+
+    def __init__(
+        self,
+        name: str,
+        default: Any = None,
+        derive: Optional[Callable[[dict], Any]] = None,
+    ):
+        self.name = name
+        self.default = default
+        self.derive = derive
+
+    def apply(self, document: dict) -> dict:
+        if self.name in document:
+            return document
+        updated = dict(document)
+        if self.derive is not None:
+            updated[self.name] = self.derive(document)
+        else:
+            updated[self.name] = datamodel.normalize(self.default)
+        return updated
+
+
+class DropField(FieldOperation):
+    def __init__(self, name: str):
+        self.name = name
+
+    def apply(self, document: dict) -> dict:
+        if self.name not in document:
+            return document
+        updated = dict(document)
+        del updated[self.name]
+        return updated
+
+
+class TransformField(FieldOperation):
+    def __init__(self, name: str, transform: Callable[[Any], Any]):
+        self.name = name
+        self.transform = transform
+
+    def apply(self, document: dict) -> dict:
+        if self.name not in document:
+            return document
+        updated = dict(document)
+        updated[self.name] = datamodel.normalize(self.transform(updated[self.name]))
+        return updated
+
+
+class NestFields(FieldOperation):
+    """Move flat fields under a new object field."""
+
+    def __init__(self, target: str, fields: list[str]):
+        self.target = target
+        self.fields = list(fields)
+
+    def apply(self, document: dict) -> dict:
+        updated = dict(document)
+        nested = {}
+        for field in self.fields:
+            if field in updated:
+                nested[field] = updated.pop(field)
+        if nested:
+            updated[self.target] = nested
+        return updated
+
+
+class FlattenField(FieldOperation):
+    """Inverse of :class:`NestFields`: hoist an object field's members."""
+
+    def __init__(self, source: str):
+        self.source = source
+
+    def apply(self, document: dict) -> dict:
+        nested = document.get(self.source)
+        if datamodel.type_of(nested) is not datamodel.TypeTag.OBJECT:
+            return document
+        updated = dict(document)
+        del updated[self.source]
+        for key, value in nested.items():
+            updated.setdefault(key, value)
+        return updated
+
+
+class MigrationPlan:
+    """Ordered versions; version N is produced by applying step list N
+    (1-indexed) to a version N-1 document."""
+
+    def __init__(self):
+        self._steps: list[list[FieldOperation]] = []
+
+    def add_version(self, operations: list[FieldOperation]) -> int:
+        """Register the next version; returns its number."""
+        self._steps.append(list(operations))
+        return len(self._steps)
+
+    @property
+    def latest_version(self) -> int:
+        return len(self._steps)
+
+    def upgrade(self, document: dict, to_version: Optional[int] = None) -> dict:
+        """A copy of *document* upgraded from its recorded version."""
+        target = self.latest_version if to_version is None else to_version
+        if target > self.latest_version:
+            raise SchemaError(f"no version {target} (latest is {self.latest_version})")
+        current = int(document.get(VERSION_FIELD, 0))
+        if current > target:
+            raise SchemaError(
+                f"document is at version {current}, cannot downgrade to {target}"
+            )
+        upgraded = dict(document)
+        for version in range(current, target):
+            for operation in self._steps[version]:
+                upgraded = operation.apply(upgraded)
+        upgraded[VERSION_FIELD] = target
+        return upgraded
+
+    def apply_all(self, collection, txn=None) -> int:
+        """Eagerly rewrite every stored document to the latest version;
+        returns how many were rewritten."""
+        rewritten = 0
+        for document in list(collection.all(txn)):
+            if int(document.get(VERSION_FIELD, 0)) < self.latest_version:
+                upgraded = self.upgrade(document)
+                collection.replace(document["_key"], upgraded, txn=txn)
+                rewritten += 1
+        return rewritten
+
+
+class LazyMigrator:
+    """Read-through migrator: storage stays mixed-version, reads are
+    always latest-version."""
+
+    def __init__(self, collection, plan: MigrationPlan):
+        self._collection = collection
+        self._plan = plan
+        self.lazy_upgrades = 0
+
+    def get(self, key: str, txn=None) -> Optional[dict]:
+        document = self._collection.get(key, txn=txn)
+        if document is None:
+            return None
+        if int(document.get(VERSION_FIELD, 0)) < self._plan.latest_version:
+            self.lazy_upgrades += 1
+            return self._plan.upgrade(document)
+        return document
+
+    def all(self, txn=None):
+        for document in self._collection.all(txn):
+            if int(document.get(VERSION_FIELD, 0)) < self._plan.latest_version:
+                self.lazy_upgrades += 1
+                yield self._plan.upgrade(document)
+            else:
+                yield document
+
+    def pending_count(self, txn=None) -> int:
+        """Documents still stored below the latest version."""
+        return sum(
+            1
+            for document in self._collection.all(txn)
+            if int(document.get(VERSION_FIELD, 0)) < self._plan.latest_version
+        )
+
+    def settle(self, batch_size: int = 100, txn=None) -> int:
+        """Persist upgrades for up to *batch_size* stale documents (the
+        background compaction real systems pair with lazy reads)."""
+        settled = 0
+        for document in list(self._collection.all(txn)):
+            if settled >= batch_size:
+                break
+            if int(document.get(VERSION_FIELD, 0)) < self._plan.latest_version:
+                self._collection.replace(
+                    document["_key"], self._plan.upgrade(document), txn=txn
+                )
+                settled += 1
+        return settled

@@ -1,0 +1,5 @@
+"""Property-graph model: vertices, edges, edge index, traversals."""
+
+from repro.graph.store import Direction, PropertyGraph
+
+__all__ = ["Direction", "PropertyGraph"]

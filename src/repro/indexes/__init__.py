@@ -1,0 +1,39 @@
+"""Index subsystem: the slide 78-82 taxonomy plus the multi-model index."""
+
+from repro.indexes.base import Index, IndexCapabilities
+from repro.indexes.bitmap import BitmapIndex, BitSliceIndex
+from repro.indexes.btree import BPlusTree
+from repro.indexes.fulltext import FullTextIndex, extract_text, tokenize
+from repro.indexes.hashindex import ExtendibleHashIndex
+from repro.indexes.inverted import GinJsonbOps, GinJsonbPathOps
+from repro.indexes.manager import INDEX_KINDS, IndexManager
+from repro.indexes.multimodel import (
+    EdgeHop,
+    FieldLookupHop,
+    Hop,
+    KeyHop,
+    KvHop,
+    MultiModelJoinIndex,
+)
+
+__all__ = [
+    "Index",
+    "IndexCapabilities",
+    "BitmapIndex",
+    "BitSliceIndex",
+    "BPlusTree",
+    "FullTextIndex",
+    "extract_text",
+    "tokenize",
+    "ExtendibleHashIndex",
+    "GinJsonbOps",
+    "GinJsonbPathOps",
+    "INDEX_KINDS",
+    "IndexManager",
+    "EdgeHop",
+    "FieldLookupHop",
+    "Hop",
+    "KeyHop",
+    "KvHop",
+    "MultiModelJoinIndex",
+]

@@ -1,0 +1,247 @@
+"""A B+tree index.
+
+The tutorial's index taxonomy (slides 78-79) puts B-trees/B+trees at the
+centre: Cassandra secondary indexes, SQL Server, Couchbase, Oracle's shredded
+XML and JSON virtual columns, MySQL, and Oracle NoSQL DB's shard-local
+B-trees all use them because they answer both point lookups *and* range
+scans.  This is a real B+tree: values live only in leaves, leaves are linked
+for in-order range scans, and internal nodes split/merge as the tree grows
+and shrinks.
+
+Keys are arbitrary data-model values ordered by
+:func:`repro.core.datamodel.compare`; each key maps to a *set* of record ids
+(non-unique secondary index), or at most one rid when ``unique=True``.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator, Optional
+
+from repro.core.datamodel import SortKey, compare
+from repro.errors import ConstraintViolationError
+from repro.indexes.base import Index, IndexCapabilities
+
+__all__ = ["BPlusTree"]
+
+
+class _Node:
+    """One B+tree node; ``children`` for internal nodes, ``values`` + ``next``
+    for leaves.  Keys are stored wrapped in :class:`SortKey` so that bisect
+    uses the engine's total order."""
+
+    __slots__ = ("keys", "children", "values", "next", "is_leaf")
+
+    def __init__(self, is_leaf: bool):
+        self.is_leaf = is_leaf
+        self.keys: list[SortKey] = []
+        self.children: list["_Node"] = []
+        self.values: list[list[Any]] = []  # parallel to keys, leaves only
+        self.next: Optional["_Node"] = None
+
+
+class BPlusTree(Index):
+    """B+tree with configurable fan-out (default order 32)."""
+
+    kind = "btree"
+    capabilities = IndexCapabilities(point=True, range_=True)
+
+    def __init__(self, order: int = 32, unique: bool = False, name: str = ""):
+        if order < 4:
+            raise ValueError("B+tree order must be at least 4")
+        self._order = order
+        self._unique = unique
+        self.name = name
+        self._root = _Node(is_leaf=True)
+        self._distinct = 0
+        self._entries = 0
+        self._height = 1
+
+    # -- protocol ----------------------------------------------------------
+
+    def insert(self, key: Any, rid: Any) -> None:
+        """Add *rid* under *key*; splits nodes on overflow."""
+        wrapped = SortKey(key)
+        split = self._insert(self._root, wrapped, rid)
+        if split is not None:
+            sep, right = split
+            new_root = _Node(is_leaf=False)
+            new_root.keys = [sep]
+            new_root.children = [self._root, right]
+            self._root = new_root
+            self._height += 1
+
+    def delete(self, key: Any, rid: Any) -> None:
+        """Remove one (key, rid) association; missing pairs are ignored.
+
+        Underflowed leaves are left in place (lazy deletion) — a standard
+        simplification that keeps the ordering invariants intact; the tree
+        is rebuilt compact by :meth:`bulk_load` if ever needed.
+        """
+        leaf, position = self._find_leaf(SortKey(key))
+        if position is None:
+            return
+        rids = leaf.values[position]
+        for index, stored in enumerate(rids):
+            if stored == rid:
+                del rids[index]
+                self._entries -= 1
+                break
+        else:
+            return
+        if not rids:
+            del leaf.keys[position]
+            del leaf.values[position]
+            self._distinct -= 1
+
+    def search(self, key: Any) -> list[Any]:
+        """Record ids stored under exactly *key* (empty list when absent)."""
+        leaf, position = self._find_leaf(SortKey(key))
+        if position is None:
+            return []
+        return list(leaf.values[position])
+
+    def clear(self) -> None:
+        self._root = _Node(is_leaf=True)
+        self._distinct = 0
+        self._entries = 0
+        self._height = 1
+
+    def __len__(self) -> int:
+        return self._distinct
+
+    @property
+    def entry_count(self) -> int:
+        """Total (key, rid) pairs (distinct keys may hold many rids)."""
+        return self._entries
+
+    @property
+    def height(self) -> int:
+        return self._height
+
+    # -- range scans ---------------------------------------------------------
+
+    def range_search(
+        self,
+        low: Any = None,
+        high: Any = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> list[Any]:
+        """Record ids whose key falls in [low, high] (None = unbounded)."""
+        return [rid for _key, rid in self.range_items(low, high, include_low, include_high)]
+
+    def range_items(
+        self,
+        low: Any = None,
+        high: Any = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> Iterator[tuple[Any, Any]]:
+        """Yield (key, rid) pairs in key order across the linked leaves."""
+        if low is None:
+            node: Optional[_Node] = self._leftmost_leaf()
+            start = 0
+        else:
+            wrapped_low = SortKey(low)
+            node = self._descend(wrapped_low)
+            if include_low:
+                start = bisect.bisect_left(node.keys, wrapped_low)
+            else:
+                start = bisect.bisect_right(node.keys, wrapped_low)
+        wrapped_high = None if high is None else SortKey(high)
+        while node is not None:
+            for position in range(start, len(node.keys)):
+                key = node.keys[position]
+                if wrapped_high is not None:
+                    boundary = compare(key.value, wrapped_high.value)
+                    if boundary > 0 or (boundary == 0 and not include_high):
+                        return
+                for rid in node.values[position]:
+                    yield key.value, rid
+            node = node.next
+            start = 0
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        """All (key, rid) pairs in key order."""
+        return self.range_items()
+
+    def keys_in_order(self) -> list[Any]:
+        seen = []
+        node: Optional[_Node] = self._leftmost_leaf()
+        while node is not None:
+            seen.extend(key.value for key in node.keys)
+            node = node.next
+        return seen
+
+    # -- internals -----------------------------------------------------------
+
+    def _leftmost_leaf(self) -> _Node:
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+        return node
+
+    def _descend(self, key: SortKey) -> _Node:
+        node = self._root
+        while not node.is_leaf:
+            position = bisect.bisect_right(node.keys, key)
+            node = node.children[position]
+        return node
+
+    def _find_leaf(self, key: SortKey) -> tuple[_Node, Optional[int]]:
+        leaf = self._descend(key)
+        position = bisect.bisect_left(leaf.keys, key)
+        if position < len(leaf.keys) and leaf.keys[position] == key:
+            return leaf, position
+        return leaf, None
+
+    def _insert(
+        self, node: _Node, key: SortKey, rid: Any
+    ) -> Optional[tuple[SortKey, _Node]]:
+        """Recursive insert; returns (separator, new right sibling) when the
+        child split and the caller must absorb the separator."""
+        if node.is_leaf:
+            position = bisect.bisect_left(node.keys, key)
+            if position < len(node.keys) and node.keys[position] == key:
+                if self._unique:
+                    raise ConstraintViolationError(
+                        f"unique index {self.name or self.kind!r} already "
+                        f"contains key {key.value!r}"
+                    )
+                node.values[position].append(rid)
+                self._entries += 1
+                return None
+            node.keys.insert(position, key)
+            node.values.insert(position, [rid])
+            self._distinct += 1
+            self._entries += 1
+        else:
+            position = bisect.bisect_right(node.keys, key)
+            split = self._insert(node.children[position], key, rid)
+            if split is not None:
+                sep, right = split
+                node.keys.insert(position, sep)
+                node.children.insert(position + 1, right)
+        if len(node.keys) >= self._order:
+            return self._split(node)
+        return None
+
+    def _split(self, node: _Node) -> tuple[SortKey, _Node]:
+        middle = len(node.keys) // 2
+        right = _Node(is_leaf=node.is_leaf)
+        if node.is_leaf:
+            right.keys = node.keys[middle:]
+            right.values = node.values[middle:]
+            node.keys = node.keys[:middle]
+            node.values = node.values[:middle]
+            right.next = node.next
+            node.next = right
+            separator = right.keys[0]
+        else:
+            separator = node.keys[middle]
+            right.keys = node.keys[middle + 1:]
+            right.children = node.children[middle + 1:]
+            node.keys = node.keys[:middle]
+            node.children = node.children[:middle + 1]
+        return separator, right

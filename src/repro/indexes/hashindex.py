@@ -1,0 +1,157 @@
+"""Extendible hashing index.
+
+Slide 79: "OrientDB — extendible hashing, significantly faster [than SB
+trees for point lookups]"; ArangoDB's primary and edge indexes are hash
+indexes, and DynamoDB partitions by hash.  This module implements classic
+extendible hashing — a directory of 2^d pointers into buckets with local
+depths, doubling the directory only when a full bucket's local depth equals
+the global depth — so the point-lookup-vs-range trade-off of experiment E11
+is structural, not simulated.
+
+Hash indexes deliberately cannot answer range queries (slide 79:
+"user-defined [ArangoDB hash] indices … no range queries"); asking raises
+:class:`UnsupportedIndexOperationError`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.datamodel import hash_value, values_equal
+from repro.errors import ConstraintViolationError, UnsupportedIndexOperationError
+from repro.indexes.base import Index, IndexCapabilities
+
+__all__ = ["ExtendibleHashIndex"]
+
+
+class _Bucket:
+    __slots__ = ("local_depth", "entries")
+
+    def __init__(self, local_depth: int):
+        self.local_depth = local_depth
+        # entries: list of (hash, key, [rids]) — a small open list; the
+        # bucket capacity bounds its length.
+        self.entries: list[list] = []
+
+
+class ExtendibleHashIndex(Index):
+    """Extendible hash index over arbitrary data-model values."""
+
+    kind = "hash"
+    capabilities = IndexCapabilities(point=True)
+
+    def __init__(self, bucket_capacity: int = 8, unique: bool = False, name: str = ""):
+        if bucket_capacity < 1:
+            raise ValueError("bucket capacity must be positive")
+        self._capacity = bucket_capacity
+        self._unique = unique
+        self.name = name
+        self._global_depth = 1
+        bucket_a = _Bucket(local_depth=1)
+        bucket_b = _Bucket(local_depth=1)
+        self._directory: list[_Bucket] = [bucket_a, bucket_b]
+        self._distinct = 0
+        self._entries = 0
+
+    # -- protocol ----------------------------------------------------------
+
+    def insert(self, key: Any, rid: Any) -> None:
+        hashed = hash_value(key)
+        while True:
+            bucket = self._bucket_for(hashed)
+            slot = self._find_entry(bucket, hashed, key)
+            if slot is not None:
+                if self._unique:
+                    raise ConstraintViolationError(
+                        f"unique hash index {self.name or self.kind!r} "
+                        f"already contains key {key!r}"
+                    )
+                slot[2].append(rid)
+                self._entries += 1
+                return
+            if len(bucket.entries) < self._capacity:
+                bucket.entries.append([hashed, key, [rid]])
+                self._distinct += 1
+                self._entries += 1
+                return
+            self._split_bucket(hashed)
+
+    def delete(self, key: Any, rid: Any) -> None:
+        hashed = hash_value(key)
+        bucket = self._bucket_for(hashed)
+        slot = self._find_entry(bucket, hashed, key)
+        if slot is None:
+            return
+        rids = slot[2]
+        for index, stored in enumerate(rids):
+            if stored == rid:
+                del rids[index]
+                self._entries -= 1
+                break
+        else:
+            return
+        if not rids:
+            bucket.entries.remove(slot)
+            self._distinct -= 1
+
+    def search(self, key: Any) -> list[Any]:
+        hashed = hash_value(key)
+        bucket = self._bucket_for(hashed)
+        slot = self._find_entry(bucket, hashed, key)
+        if slot is None:
+            return []
+        return list(slot[2])
+
+    def range_search(self, low: Any = None, high: Any = None, **kwargs) -> list[Any]:
+        raise UnsupportedIndexOperationError(
+            "hash indexes cannot answer range queries (use a B+tree index)"
+        )
+
+    def clear(self) -> None:
+        self.__init__(bucket_capacity=self._capacity, unique=self._unique, name=self.name)
+
+    def __len__(self) -> int:
+        return self._distinct
+
+    @property
+    def entry_count(self) -> int:
+        return self._entries
+
+    @property
+    def global_depth(self) -> int:
+        return self._global_depth
+
+    @property
+    def directory_size(self) -> int:
+        return len(self._directory)
+
+    # -- internals -----------------------------------------------------------
+
+    def _bucket_for(self, hashed: int) -> _Bucket:
+        return self._directory[hashed & ((1 << self._global_depth) - 1)]
+
+    @staticmethod
+    def _find_entry(bucket: _Bucket, hashed: int, key: Any):
+        for entry in bucket.entries:
+            if entry[0] == hashed and values_equal(entry[1], key):
+                return entry
+        return None
+
+    def _split_bucket(self, hashed: int) -> None:
+        mask = (1 << self._global_depth) - 1
+        bucket = self._directory[hashed & mask]
+        if bucket.local_depth == self._global_depth:
+            # Double the directory: each new slot aliases its low-bits twin.
+            self._directory = self._directory + self._directory
+            self._global_depth += 1
+        new_depth = bucket.local_depth + 1
+        bit = 1 << bucket.local_depth
+        zero_bucket = _Bucket(new_depth)
+        one_bucket = _Bucket(new_depth)
+        for entry in bucket.entries:
+            target = one_bucket if entry[0] & bit else zero_bucket
+            target.entries.append(entry)
+        # Repoint every directory slot that referenced the old bucket.
+        for slot in range(len(self._directory)):
+            if self._directory[slot] is bucket:
+                self._directory[slot] = one_bucket if slot & bit else zero_bucket

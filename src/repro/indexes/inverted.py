@@ -1,0 +1,213 @@
+"""GIN-style inverted index over JSON documents (slide 82).
+
+PostgreSQL's Generalized Inverted Index for ``jsonb`` comes in two operator
+classes, both reproduced here:
+
+* ``jsonb_ops`` (:class:`GinJsonbOps`) — "independent index items for each
+  key and value in the data".  Supports the key-exists operators ``?``,
+  ``?|``, ``?&`` *and* the containment operator ``@>``.  For containment it
+  intersects the posting lists of every key and scalar of the probe value,
+  then *rechecks* the candidates because co-occurrence of items does not
+  prove structure (the slide's {"foo": {"bar": "baz"}} example).
+* ``jsonb_path_ops`` (:class:`GinJsonbPathOps`) — "index items only for each
+  value in the data: a hash of the value and the key(s) leading to it".
+  Smaller and more selective for ``@>``, but it *cannot* answer key-exists
+  queries at all.
+
+Both return ``(candidates, recheck_needed)`` from their raw probes so the
+benchmark (E10) can report false-positive/recheck rates, and a cooked
+``search_contains`` that applies the recheck against a record accessor.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable, Iterable, Optional
+
+from repro.core import datamodel
+from repro.core.datamodel import SortKey
+from repro.errors import UnsupportedIndexOperationError
+from repro.indexes.base import Index, IndexCapabilities
+
+__all__ = ["GinJsonbOps", "GinJsonbPathOps"]
+
+
+def _scalar_token(value: Any) -> tuple:
+    """Hashable token for one scalar value, keeping 1 and 1.0 together but
+    1 and True apart (data-model equality semantics)."""
+    tag = datamodel.type_of(value)
+    if tag is datamodel.TypeTag.NUMBER:
+        return ("V", "number", float(value))
+    return ("V", tag.name, value)
+
+
+class _PostingIndex(Index):
+    """Shared machinery: token → set of record ids."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._postings: dict[Any, set] = defaultdict(set)
+        self._doc_count = 0
+        self._docs_seen: set = set()
+
+    # Tokenization is the only thing the two operator classes differ on.
+    def _tokens(self, document: Any) -> set:
+        raise NotImplementedError
+
+    # -- protocol ----------------------------------------------------------
+
+    def insert(self, key: Any, rid: Any) -> None:
+        """Index *key* (a JSON document) under record id *rid*."""
+        for token in self._tokens(key):
+            self._postings[token].add(rid)
+        if rid not in self._docs_seen:
+            self._docs_seen.add(rid)
+            self._doc_count += 1
+
+    def delete(self, key: Any, rid: Any) -> None:
+        for token in self._tokens(key):
+            postings = self._postings.get(token)
+            if postings is None:
+                continue
+            postings.discard(rid)
+            if not postings:
+                del self._postings[token]
+        if rid in self._docs_seen:
+            self._docs_seen.discard(rid)
+            self._doc_count -= 1
+
+    def clear(self) -> None:
+        self._postings.clear()
+        self._docs_seen.clear()
+        self._doc_count = 0
+
+    def __len__(self) -> int:
+        return len(self._postings)
+
+    def memory_items(self) -> int:
+        """Total posting entries — the index-size metric of experiment E10."""
+        return sum(len(postings) for postings in self._postings.values())
+
+    @property
+    def document_count(self) -> int:
+        return self._doc_count
+
+    # -- probes -------------------------------------------------------------
+
+    def _intersect(self, tokens: Iterable[Any]) -> set:
+        result: Optional[set] = None
+        for token in tokens:
+            postings = self._postings.get(token)
+            if not postings:
+                return set()
+            result = set(postings) if result is None else result & postings
+            if not result:
+                return result
+        if result is None:
+            # An empty probe ({} or []) is contained in every document.
+            return set(self._docs_seen)
+        return result
+
+    def contains_candidates(self, probe: Any) -> tuple[set, bool]:
+        """Raw ``@>`` probe: (candidate rids, recheck needed?)."""
+        raise NotImplementedError
+
+    def search_contains(
+        self, probe: Any, fetch: Callable[[Any], Any]
+    ) -> list[Any]:
+        """Cooked ``@>``: candidates filtered by the exact containment
+        recheck, using *fetch(rid)* to load each candidate document."""
+        candidates, recheck = self.contains_candidates(probe)
+        if not recheck:
+            return sorted(candidates, key=SortKey)
+        return sorted(
+            (rid for rid in candidates if datamodel.contains(fetch(rid), probe)),
+            key=SortKey,
+        )
+
+    def search(self, key: Any) -> list[Any]:
+        """Exact-match probe is defined as containment in both directions
+        only at recheck time; the protocol method defers to containment
+        candidates for compatibility with :class:`IndexView`."""
+        candidates, _recheck = self.contains_candidates(key)
+        return sorted(candidates, key=SortKey)
+
+
+class GinJsonbOps(_PostingIndex):
+    """The default GIN operator class (``jsonb_ops``)."""
+
+    kind = "gin-jsonb_ops"
+    capabilities = IndexCapabilities(
+        point=False, containment=True, key_exists=True
+    )
+
+    def _tokens(self, document: Any) -> set:
+        tokens = set()
+        for tag, item in datamodel.iter_keys_and_values(document):
+            if tag == "K":
+                tokens.add(("K", item))
+            else:
+                tokens.add(_scalar_token(item))
+        return tokens
+
+    def contains_candidates(self, probe: Any) -> tuple[set, bool]:
+        # Every key and scalar of the probe must occur in the document; the
+        # structure is not encoded, so a recheck is always required (unless
+        # the probe is a bare scalar, whose token *is* its structure).
+        tokens = self._tokens(probe)
+        recheck = datamodel.type_of(probe) in (
+            datamodel.TypeTag.OBJECT,
+            datamodel.TypeTag.ARRAY,
+        )
+        return self._intersect(tokens), recheck
+
+    # -- key-exists operators (? ?| ?&) -------------------------------------
+
+    def key_exists(self, key: str) -> set:
+        """``?`` — documents having *key* as a (nested) object key."""
+        return set(self._postings.get(("K", key), set()))
+
+    def any_key_exists(self, keys: Iterable[str]) -> set:
+        """``?|`` — union over keys."""
+        result: set = set()
+        for key in keys:
+            result |= self._postings.get(("K", key), set())
+        return result
+
+    def all_keys_exist(self, keys: Iterable[str]) -> set:
+        """``?&`` — intersection over keys."""
+        return self._intersect(("K", key) for key in keys)
+
+
+class GinJsonbPathOps(_PostingIndex):
+    """The ``jsonb_path_ops`` operator class: hashed (path, value) items."""
+
+    kind = "gin-jsonb_path_ops"
+    capabilities = IndexCapabilities(point=False, containment=True)
+
+    def _tokens(self, document: Any) -> set:
+        tokens = set()
+        for path, leaf in datamodel.iter_paths(document):
+            if datamodel.type_of(leaf) in (
+                datamodel.TypeTag.ARRAY,
+                datamodel.TypeTag.OBJECT,
+            ):
+                # Empty containers produce no path item in PostgreSQL either.
+                continue
+            tokens.add(datamodel.hash_value([list(path), _scalar_token(leaf)]))
+        return tokens
+
+    def contains_candidates(self, probe: Any) -> tuple[set, bool]:
+        tokens = self._tokens(probe)
+        if not tokens:
+            # e.g. probe {} — jsonb_path_ops degrades to a full recheck scan.
+            return set(self._docs_seen), True
+        # Hash collisions are possible in principle, so PostgreSQL keeps the
+        # recheck; structurally the hashed path makes false positives rare.
+        return self._intersect(tokens), True
+
+    def key_exists(self, key: str) -> set:
+        raise UnsupportedIndexOperationError(
+            "jsonb_path_ops indexes only the @> operator; key-exists (?) "
+            "requires jsonb_ops (slide 82)"
+        )

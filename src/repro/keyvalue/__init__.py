@@ -1,0 +1,21 @@
+"""Key/value model: buckets, TTL, counters, Riak-style CRDTs."""
+
+from repro.keyvalue.crdt import (
+    GCounter,
+    LWWRegister,
+    ORMap,
+    ORSet,
+    PNCounter,
+    crdt_from_dict,
+)
+from repro.keyvalue.store import KeyValueBucket
+
+__all__ = [
+    "GCounter",
+    "LWWRegister",
+    "ORMap",
+    "ORSet",
+    "PNCounter",
+    "crdt_from_dict",
+    "KeyValueBucket",
+]

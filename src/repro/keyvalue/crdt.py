@@ -1,0 +1,310 @@
+"""Riak Data Types: conflict-free replicated data types (slide 49).
+
+"Riak Data Types — conflict-free replicated data type: sets, maps (enable
+embedding), counters…"  These are state-based (convergent) CRDTs with the
+standard join-semilattice merge:
+
+* :class:`GCounter` — grow-only counter (per-actor maxima);
+* :class:`PNCounter` — increment/decrement (two G-counters);
+* :class:`ORSet` — observed-remove set (add wins over concurrent remove);
+* :class:`LWWRegister` — last-writer-wins register (logical timestamps);
+* :class:`ORMap` — observed-remove map embedding other CRDTs (Riak maps).
+
+All expose ``value()``, ``merge(other)`` (commutative, associative,
+idempotent — property-tested), and dict round-tripping for storage in the
+key/value model.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Optional
+
+from repro.errors import DataModelError
+
+__all__ = ["GCounter", "PNCounter", "ORSet", "LWWRegister", "ORMap", "crdt_from_dict"]
+
+_unique = itertools.count(1)
+
+
+class GCounter:
+    """Grow-only counter: one non-decreasing slot per actor."""
+
+    type_name = "gcounter"
+
+    def __init__(self, actor: str = "a"):
+        self.actor = actor
+        self._slots: dict[str, int] = {}
+
+    def increment(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("GCounter cannot decrease; use PNCounter")
+        self._slots[self.actor] = self._slots.get(self.actor, 0) + amount
+
+    def value(self) -> int:
+        return sum(self._slots.values())
+
+    def merge(self, other: "GCounter") -> "GCounter":
+        merged = GCounter(self.actor)
+        merged._slots = {
+            actor: max(self._slots.get(actor, 0), other._slots.get(actor, 0))
+            for actor in set(self._slots) | set(other._slots)
+        }
+        return merged
+
+    def to_dict(self) -> dict:
+        return {"type": self.type_name, "actor": self.actor, "slots": dict(self._slots)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GCounter":
+        counter = cls(data["actor"])
+        counter._slots = {actor: int(count) for actor, count in data["slots"].items()}
+        return counter
+
+
+class PNCounter:
+    """Increment/decrement counter built from two G-counters."""
+
+    type_name = "pncounter"
+
+    def __init__(self, actor: str = "a"):
+        self.actor = actor
+        self._positive = GCounter(actor)
+        self._negative = GCounter(actor)
+
+    def increment(self, amount: int = 1) -> None:
+        if amount < 0:
+            self.decrement(-amount)
+        else:
+            self._positive.increment(amount)
+
+    def decrement(self, amount: int = 1) -> None:
+        if amount < 0:
+            self.increment(-amount)
+        else:
+            self._negative.increment(amount)
+
+    def value(self) -> int:
+        return self._positive.value() - self._negative.value()
+
+    def merge(self, other: "PNCounter") -> "PNCounter":
+        merged = PNCounter(self.actor)
+        merged._positive = self._positive.merge(other._positive)
+        merged._negative = self._negative.merge(other._negative)
+        return merged
+
+    def to_dict(self) -> dict:
+        return {
+            "type": self.type_name,
+            "actor": self.actor,
+            "p": self._positive.to_dict(),
+            "n": self._negative.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PNCounter":
+        counter = cls(data["actor"])
+        counter._positive = GCounter.from_dict(data["p"])
+        counter._negative = GCounter.from_dict(data["n"])
+        return counter
+
+
+class ORSet:
+    """Observed-remove set: elements carry unique add-tags; a remove only
+    covers tags it has observed, so concurrent add wins."""
+
+    type_name = "orset"
+
+    def __init__(self, actor: str = "a"):
+        self.actor = actor
+        self._adds: dict[str, set[str]] = {}     # element -> live tags
+        self._removed: dict[str, set[str]] = {}  # element -> tombstoned tags
+
+    def add(self, element: str) -> None:
+        tag = f"{self.actor}:{next(_unique)}"
+        self._adds.setdefault(element, set()).add(tag)
+
+    def remove(self, element: str) -> None:
+        tags = self._adds.get(element, set())
+        if tags:
+            self._removed.setdefault(element, set()).update(tags)
+            self._adds[element] = set()
+
+    def __contains__(self, element: str) -> bool:
+        return bool(self._adds.get(element))
+
+    def value(self) -> set[str]:
+        return {element for element, tags in self._adds.items() if tags}
+
+    def merge(self, other: "ORSet") -> "ORSet":
+        merged = ORSet(self.actor)
+        elements = set(self._adds) | set(other._adds)
+        for element in elements:
+            all_tags = self._all_tags(element) | other._all_tags(element)
+            removed = self._removed.get(element, set()) | other._removed.get(
+                element, set()
+            )
+            live = all_tags - removed
+            if live:
+                merged._adds[element] = live
+            if removed:
+                merged._removed[element] = removed
+        return merged
+
+    def _all_tags(self, element: str) -> set[str]:
+        return self._adds.get(element, set()) | self._removed.get(element, set())
+
+    def to_dict(self) -> dict:
+        return {
+            "type": self.type_name,
+            "actor": self.actor,
+            "adds": {element: sorted(tags) for element, tags in self._adds.items()},
+            "removed": {
+                element: sorted(tags) for element, tags in self._removed.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ORSet":
+        instance = cls(data["actor"])
+        instance._adds = {
+            element: set(tags) for element, tags in data["adds"].items()
+        }
+        instance._removed = {
+            element: set(tags) for element, tags in data["removed"].items()
+        }
+        return instance
+
+
+class LWWRegister:
+    """Last-writer-wins register with a logical clock; ties break by actor
+    name so the merge stays deterministic."""
+
+    type_name = "lww"
+
+    def __init__(self, actor: str = "a"):
+        self.actor = actor
+        self._clock = 0
+        self._value: Any = None
+        self._writer = actor
+
+    def set(self, value: Any, clock: Optional[int] = None) -> None:
+        self._clock = self._clock + 1 if clock is None else clock
+        self._value = value
+        self._writer = self.actor
+
+    def value(self) -> Any:
+        return self._value
+
+    def merge(self, other: "LWWRegister") -> "LWWRegister":
+        merged = LWWRegister(self.actor)
+        if (other._clock, other._writer) > (self._clock, self._writer):
+            winner = other
+        else:
+            winner = self
+        merged._clock = max(self._clock, other._clock)
+        merged._value = winner._value
+        merged._writer = winner._writer
+        return merged
+
+    def to_dict(self) -> dict:
+        return {
+            "type": self.type_name,
+            "actor": self.actor,
+            "clock": self._clock,
+            "value": self._value,
+            "writer": self._writer,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LWWRegister":
+        register = cls(data["actor"])
+        register._clock = data["clock"]
+        register._value = data["value"]
+        register._writer = data["writer"]
+        return register
+
+
+class ORMap:
+    """Observed-remove map embedding other CRDTs (the Riak map)."""
+
+    type_name = "ormap"
+
+    _FACTORIES = {
+        "gcounter": GCounter,
+        "pncounter": PNCounter,
+        "orset": ORSet,
+        "lww": LWWRegister,
+    }
+
+    def __init__(self, actor: str = "a"):
+        self.actor = actor
+        self._entries: dict[str, Any] = {}
+
+    def counter(self, field: str) -> PNCounter:
+        return self._get_or_create(field, PNCounter)
+
+    def set_field(self, field: str) -> ORSet:
+        return self._get_or_create(field, ORSet)
+
+    def register(self, field: str) -> LWWRegister:
+        return self._get_or_create(field, LWWRegister)
+
+    def _get_or_create(self, field: str, factory):
+        entry = self._entries.get(field)
+        if entry is None:
+            entry = factory(self.actor)
+            self._entries[field] = entry
+        elif not isinstance(entry, factory):
+            raise DataModelError(
+                f"map field {field!r} already holds a {entry.type_name}"
+            )
+        return entry
+
+    def remove(self, field: str) -> None:
+        self._entries.pop(field, None)
+
+    def fields(self) -> list[str]:
+        return sorted(self._entries)
+
+    def value(self) -> dict:
+        return {field: entry.value() for field, entry in self._entries.items()}
+
+    def merge(self, other: "ORMap") -> "ORMap":
+        merged = ORMap(self.actor)
+        for field in set(self._entries) | set(other._entries):
+            mine = self._entries.get(field)
+            theirs = other._entries.get(field)
+            if mine is not None and theirs is not None:
+                merged._entries[field] = mine.merge(theirs)
+            else:
+                merged._entries[field] = mine or theirs
+        return merged
+
+    def to_dict(self) -> dict:
+        return {
+            "type": self.type_name,
+            "actor": self.actor,
+            "entries": {
+                field: entry.to_dict() for field, entry in self._entries.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ORMap":
+        instance = cls(data["actor"])
+        instance._entries = {
+            field: crdt_from_dict(entry) for field, entry in data["entries"].items()
+        }
+        return instance
+
+
+def crdt_from_dict(data: dict) -> Any:
+    """Rehydrate any CRDT from its stored dict form."""
+    factories = dict(ORMap._FACTORIES)
+    factories["ormap"] = ORMap
+    type_name = data.get("type")
+    factory = factories.get(type_name)
+    if factory is None:
+        raise DataModelError(f"unknown CRDT type {type_name!r}")
+    return factory.from_dict(data)

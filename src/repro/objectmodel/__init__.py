@@ -1,0 +1,6 @@
+"""Object model: Caché-style globals + classes with flattened inheritance."""
+
+from repro.objectmodel.classes import ObjectClass, ObjectStore
+from repro.objectmodel.globals import GlobalsStore
+
+__all__ = ["ObjectClass", "ObjectStore", "GlobalsStore"]

@@ -1,0 +1,231 @@
+"""The object model: classes, inheritance, and SQL projection (slides 67/71).
+
+Caché's object model per the tutorial:
+
+* classes with typed properties that "can inherit (all properties) from
+  other classes" (OrientDB phrases it the same way, slide 61);
+* objects stored physically in sparse multidimensional arrays — here each
+  instance lives in a :class:`repro.objectmodel.globals.GlobalsStore` under
+  ``(class, oid, property)``, which is literally the Caché storage layout;
+* "SQL + object concepts: instances of classes accessible as rows of
+  tables; inheritance is 'flattened'" (slide 71) —
+  :meth:`ObjectStore.as_table` projects a class *and all its subclasses*
+  onto the class's flattened column set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional
+
+from repro.core import datamodel
+from repro.core.context import EngineContext
+from repro.errors import SchemaError, UnknownCollectionError
+from repro.objectmodel.globals import GlobalsStore
+from repro.txn.manager import Transaction
+
+__all__ = ["ObjectClass", "ObjectStore"]
+
+_PROPERTY_TYPES = ("number", "string", "bool", "any")
+
+
+@dataclass(frozen=True)
+class ObjectClass:
+    """One class definition."""
+
+    name: str
+    properties: tuple[tuple[str, str], ...]
+    parent: Optional[str] = None
+
+
+class ObjectStore:
+    """A class registry + object instances over one globals store."""
+
+    def __init__(self, context: EngineContext, name: str = "objects"):
+        self.name = name
+        self._globals = GlobalsStore(context, name)
+        self._classes: dict[str, ObjectClass] = {}
+        self._next_oid = 1
+
+    @property
+    def globals(self) -> GlobalsStore:
+        return self._globals
+
+    def truncate(self) -> None:
+        """Drop every instance (class definitions survive)."""
+        self._globals.truncate()
+
+    # -- class definitions -------------------------------------------------------
+
+    def define_class(
+        self,
+        name: str,
+        properties: dict[str, str],
+        extends: Optional[str] = None,
+    ) -> ObjectClass:
+        if name in self._classes:
+            raise SchemaError(f"class {name!r} already defined")
+        if extends is not None and extends not in self._classes:
+            raise SchemaError(f"unknown parent class {extends!r}")
+        for prop, type_name in properties.items():
+            if type_name not in _PROPERTY_TYPES:
+                raise SchemaError(
+                    f"class {name!r}: property {prop!r} has unknown type "
+                    f"{type_name!r} (use {_PROPERTY_TYPES})"
+                )
+        cls = ObjectClass(name, tuple(sorted(properties.items())), extends)
+        self._classes[name] = cls
+        return cls
+
+    def class_of(self, name: str) -> ObjectClass:
+        cls = self._classes.get(name)
+        if cls is None:
+            raise UnknownCollectionError(f"unknown class {name!r}")
+        return cls
+
+    def all_properties(self, name: str) -> dict[str, str]:
+        """The class's property set including everything inherited
+        ("can inherit all properties from other classes")."""
+        merged: dict[str, str] = {}
+        chain: list[ObjectClass] = []
+        cls: Optional[ObjectClass] = self.class_of(name)
+        while cls is not None:
+            chain.append(cls)
+            cls = self._classes.get(cls.parent) if cls.parent else None
+        for ancestor in reversed(chain):
+            for prop, type_name in ancestor.properties:
+                merged[prop] = type_name
+        return merged
+
+    def is_subclass_of(self, name: str, ancestor: str) -> bool:
+        cls: Optional[ObjectClass] = self.class_of(name)
+        while cls is not None:
+            if cls.name == ancestor:
+                return True
+            cls = self._classes.get(cls.parent) if cls.parent else None
+        return False
+
+    def subclasses_of(self, name: str) -> list[str]:
+        """*name* itself plus every (transitive) subclass."""
+        self.class_of(name)
+        return sorted(
+            candidate
+            for candidate in self._classes
+            if self.is_subclass_of(candidate, name)
+        )
+
+    # -- instances -----------------------------------------------------------------
+
+    @staticmethod
+    def _check_type(value: Any, type_name: str, context: str) -> Any:
+        if value is None or type_name == "any":
+            return datamodel.normalize(value)
+        tag = datamodel.type_of(value)
+        expected = {
+            "number": datamodel.TypeTag.NUMBER,
+            "string": datamodel.TypeTag.STRING,
+            "bool": datamodel.TypeTag.BOOL,
+        }[type_name]
+        if tag is not expected:
+            raise SchemaError(
+                f"{context}: expected {type_name}, got {datamodel.type_name(value)}"
+            )
+        return value
+
+    def create(
+        self,
+        class_name: str,
+        properties: Optional[dict] = None,
+        txn: Optional[Transaction] = None,
+    ) -> int:
+        """Instantiate; returns the object id.  Physically: one node per
+        property in the sparse multidimensional array."""
+        schema = self.all_properties(class_name)
+        properties = properties or {}
+        unknown = set(properties) - set(schema)
+        if unknown:
+            raise SchemaError(
+                f"class {class_name!r} has no properties {sorted(unknown)}"
+            )
+        oid = self._next_oid
+        self._next_oid += 1
+        self._globals.set((class_name, oid), "exists", txn)
+        for prop, value in properties.items():
+            checked = self._check_type(
+                value, schema[prop], f"{class_name}.{prop}"
+            )
+            if checked is not None:
+                self._globals.set((class_name, oid, prop), checked, txn)
+        return oid
+
+    def get(
+        self, class_name: str, oid: int, txn: Optional[Transaction] = None
+    ) -> Optional[dict]:
+        if not self._globals.defined((class_name, oid), txn):
+            return None
+        schema = self.all_properties(class_name)
+        instance = {"_class": class_name, "_oid": oid}
+        for prop in schema:
+            instance[prop] = self._globals.get((class_name, oid, prop), txn)
+        return instance
+
+    def set_property(
+        self,
+        class_name: str,
+        oid: int,
+        prop: str,
+        value: Any,
+        txn: Optional[Transaction] = None,
+    ) -> None:
+        schema = self.all_properties(class_name)
+        if prop not in schema:
+            raise SchemaError(f"class {class_name!r} has no property {prop!r}")
+        if not self._globals.defined((class_name, oid), txn):
+            raise UnknownCollectionError(f"no {class_name} object {oid}")
+        self._globals.set(
+            (class_name, oid, prop),
+            self._check_type(value, schema[prop], f"{class_name}.{prop}"),
+            txn,
+        )
+
+    def delete(
+        self, class_name: str, oid: int, txn: Optional[Transaction] = None
+    ) -> bool:
+        return self._globals.kill((class_name, oid), txn) > 0
+
+    def instances_of(
+        self,
+        class_name: str,
+        include_subclasses: bool = True,
+        txn: Optional[Transaction] = None,
+    ) -> Iterator[dict]:
+        """Polymorphic iteration over a class hierarchy."""
+        names = (
+            self.subclasses_of(class_name)
+            if include_subclasses
+            else [class_name]
+        )
+        for name in names:
+            for oid in self._globals.children((name,), txn):
+                instance = self.get(name, oid, txn)
+                if instance is not None:
+                    yield instance
+
+    # -- the SQL projection (slide 71) ------------------------------------------------
+
+    def as_table(
+        self, class_name: str, txn: Optional[Transaction] = None
+    ) -> list[dict]:
+        """Instances of *class_name* and its subclasses as rows with the
+        class's flattened (inherited) columns — "inheritance is flattened".
+        Subclass-only properties are projected away; every row carries the
+        pseudo-columns ``_class`` and ``_oid``."""
+        columns = list(self.all_properties(class_name))
+        rows = []
+        for instance in self.instances_of(class_name, True, txn):
+            row = {"_class": instance["_class"], "_oid": instance["_oid"]}
+            for column in columns:
+                row[column] = instance.get(column)
+            rows.append(row)
+        rows.sort(key=lambda row: row["_oid"])
+        return rows

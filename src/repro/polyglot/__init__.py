@@ -1,0 +1,18 @@
+"""Polyglot-persistence baseline: separate stores + client-side integration."""
+
+from repro.polyglot.integrator import PartialFailure, PolyglotECommerce
+from repro.polyglot.stores import (
+    NetworkMeter,
+    PolyglotDocumentStore,
+    PolyglotGraphStore,
+    PolyglotKeyValueStore,
+)
+
+__all__ = [
+    "PartialFailure",
+    "PolyglotECommerce",
+    "NetworkMeter",
+    "PolyglotDocumentStore",
+    "PolyglotGraphStore",
+    "PolyglotKeyValueStore",
+]

@@ -1,0 +1,146 @@
+"""The polyglot e-commerce application: client-side integration layer.
+
+Slide 9's cons of polyglot persistence, made executable:
+
+* "hard to handle inter-model queries" — :meth:`recommend_products` joins
+  customers (documents), friends (graph), carts (key/value) and orders
+  (documents) *in application code*, paying one round trip per store call;
+* "hard to handle inter-model transactions" — :meth:`place_order` writes
+  three stores with **no atomicity**: a crash between writes
+  (``fail_after``) leaves the stores inconsistent, which
+  :meth:`check_consistency` detects.  The multi-model engine's
+  transactional equivalent can never exhibit this (UniBench Workload C,
+  experiment E14).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.polyglot.stores import (
+    NetworkMeter,
+    PolyglotDocumentStore,
+    PolyglotGraphStore,
+    PolyglotKeyValueStore,
+)
+
+__all__ = ["PartialFailure", "PolyglotECommerce"]
+
+
+class PartialFailure(RuntimeError):
+    """Simulated crash between two store writes."""
+
+
+class PolyglotECommerce:
+    """Slide 7's deployment: four databases, one application."""
+
+    def __init__(self):
+        self.meter = NetworkMeter()
+        self.customers = PolyglotDocumentStore("customers", self.meter)
+        self.orders = PolyglotDocumentStore("orders", self.meter)
+        self.carts = PolyglotKeyValueStore("cart", self.meter)
+        self.social = PolyglotGraphStore("social", self.meter)
+        self._placed_seq = 0
+
+    # -- data loading ------------------------------------------------------------
+
+    def add_customer(self, customer_id: str, name: str, credit_limit: int) -> None:
+        self.customers.insert(
+            {"_key": customer_id, "name": name, "credit_limit": credit_limit}
+        )
+        self.social.add_vertex(customer_id, {"name": name})
+
+    def befriend(self, customer_a: str, customer_b: str) -> None:
+        self.social.add_edge(customer_a, customer_b, label="knows")
+
+    # -- the cross-model query (client-side joins) -----------------------------------
+
+    def recommend_products(self, min_credit: int) -> list[str]:
+        """Products ordered by friends of customers with
+        credit_limit > min_credit — the slide 27 recommendation query, done
+        the polyglot way: one store call per join step."""
+        rich = self.customers.find(
+            lambda customer: (customer.get("credit_limit") or 0) > min_credit
+        )
+        products: list[str] = []
+        for customer in rich:
+            friends = self.social.neighbors(customer["_key"], label="knows")
+            for friend in friends:
+                order_no = self.carts.get(friend)
+                if order_no is None:
+                    continue
+                order = self.orders.get(order_no)
+                if order is None:
+                    continue
+                for line in order.get("Orderlines", []):
+                    products.append(line["Product_no"])
+        return products
+
+    # -- the cross-model "transaction" (no atomicity) ----------------------------------
+
+    def place_order(
+        self,
+        customer_id: str,
+        order: dict,
+        fail_after: Optional[str] = None,
+    ) -> str:
+        """Create an order, point the customer's cart at it, and record the
+        spend on the customer — three stores, three separate commits.
+
+        ``fail_after`` ∈ {"orders", "cart"} aborts between store writes,
+        modelling the process crash a distributed-transaction coordinator
+        would have protected against.
+        """
+        order = dict(order)
+        self._placed_seq += 1
+        # Markers for the consistency audit: which flow created the order,
+        # for whom, and in what sequence.
+        order["placed"] = self._placed_seq
+        order["placed_for"] = customer_id
+        order_no = self.orders.insert(order)
+        if fail_after == "orders":
+            raise PartialFailure("crashed after writing the order store")
+        self.carts.put(customer_id, order_no)
+        if fail_after == "cart":
+            raise PartialFailure("crashed after writing the cart store")
+        total = sum(line.get("Price", 0) for line in order.get("Orderlines", []))
+        self.customers.update(customer_id, {"last_order_total": total})
+        return order_no
+
+    def check_consistency(self) -> list[str]:
+        """Invariant audit across the stores; returns violation messages.
+
+        Only orders created through :meth:`place_order` are audited (they
+        carry the ``placed`` sequence marker).  For each customer, the
+        *latest* placed order must be the one their cart references, and
+        their document's last_order_total must match it — exactly the state
+        an atomic cross-store transaction would have guaranteed.
+        """
+        violations = []
+        latest: dict[str, dict] = {}
+        for order in self.orders.all():
+            sequence = order.get("placed")
+            if not sequence:
+                continue
+            customer_id = order.get("placed_for", "")
+            current = latest.get(customer_id)
+            if current is None or sequence > current["placed"]:
+                latest[customer_id] = order
+        for customer_id, order in sorted(latest.items()):
+            cart_pointer = self.carts.get(customer_id)
+            if cart_pointer != order["_key"]:
+                violations.append(
+                    f"order {order['_key']} exists but the cart of customer "
+                    f"{customer_id} does not reference it"
+                )
+                continue
+            total = sum(
+                line.get("Price", 0) for line in order.get("Orderlines", [])
+            )
+            customer = self.customers.get(customer_id)
+            if customer is None or customer.get("last_order_total") != total:
+                violations.append(
+                    f"customer {customer_id} cart points at order "
+                    f"{order['_key']} but last_order_total is stale"
+                )
+        return violations

@@ -1,0 +1,156 @@
+"""Standalone single-model stores for the polyglot-persistence baseline.
+
+Slide 7's architecture: "Sales → MongoDB, Shopping-cart → Redis, Social
+media → Neo4j, Customer → MongoDB" — one *separate* database per model.
+Each store here owns its own private backend (its own log, views and
+transaction manager), so nothing can be shared: no cross-store queries, no
+cross-store transactions.  That isolation is the point of the baseline.
+
+Every public operation charges one *round trip* to a shared
+:class:`NetworkMeter` — the client/server hop a real polyglot deployment
+pays per store call — so the benchmarks (E12-E14) can compare round-trip
+counts against the multi-model engine's single-process execution.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Optional
+
+from repro.core.context import EngineContext
+from repro.document.store import DocumentCollection
+from repro.graph.store import Direction, PropertyGraph
+from repro.keyvalue.store import KeyValueBucket
+
+__all__ = [
+    "NetworkMeter",
+    "PolyglotDocumentStore",
+    "PolyglotKeyValueStore",
+    "PolyglotGraphStore",
+]
+
+
+class NetworkMeter:
+    """Counts simulated client↔server round trips."""
+
+    def __init__(self):
+        self.round_trips = 0
+
+    def charge(self, trips: int = 1) -> None:
+        self.round_trips += trips
+
+    def reset(self) -> int:
+        count = self.round_trips
+        self.round_trips = 0
+        return count
+
+
+class PolyglotDocumentStore:
+    """A MongoDB-like document database (its own backend)."""
+
+    def __init__(self, name: str, meter: NetworkMeter):
+        self._context = EngineContext()
+        self._collection = DocumentCollection(self._context, name)
+        self._meter = meter
+        self.name = name
+
+    def insert(self, document: dict) -> str:
+        self._meter.charge()
+        return self._collection.insert(document)
+
+    def get(self, key: str) -> Optional[dict]:
+        self._meter.charge()
+        return self._collection.get(key)
+
+    def update(self, key: str, patch: dict) -> bool:
+        self._meter.charge()
+        return self._collection.update(key, patch)
+
+    def delete(self, key: str) -> bool:
+        self._meter.charge()
+        return self._collection.delete(key)
+
+    def find(self, predicate: Callable[[dict], bool]) -> list[dict]:
+        self._meter.charge()
+        return self._collection.find(predicate)
+
+    def all(self) -> list[dict]:
+        self._meter.charge()
+        return list(self._collection.all())
+
+    def count(self) -> int:
+        self._meter.charge()
+        return self._collection.count()
+
+
+class PolyglotKeyValueStore:
+    """A Redis-like key/value database (its own backend)."""
+
+    def __init__(self, name: str, meter: NetworkMeter):
+        self._context = EngineContext()
+        self._bucket = KeyValueBucket(self._context, name)
+        self._meter = meter
+        self.name = name
+
+    def put(self, key: str, value: Any) -> None:
+        self._meter.charge()
+        self._bucket.put(key, value)
+
+    def get(self, key: str) -> Any:
+        self._meter.charge()
+        return self._bucket.get(key)
+
+    def get_many(self, keys: list[str]) -> dict[str, Any]:
+        # A pipelined MGET is still one round trip — Redis semantics.
+        self._meter.charge()
+        return self._bucket.get_many(keys)
+
+    def delete(self, key: str) -> bool:
+        self._meter.charge()
+        return self._bucket.delete(key)
+
+    def increment(self, key: str, amount: int = 1) -> int:
+        self._meter.charge()
+        return self._bucket.increment(key, amount)
+
+
+class PolyglotGraphStore:
+    """A Neo4j-like graph database (its own backend)."""
+
+    def __init__(self, name: str, meter: NetworkMeter):
+        self._context = EngineContext()
+        self._graph = PropertyGraph(self._context, name)
+        self._meter = meter
+        self.name = name
+
+    def add_vertex(self, key: str, properties: Optional[dict] = None) -> str:
+        self._meter.charge()
+        return self._graph.add_vertex(key, properties)
+
+    def add_edge(self, from_key: str, to_key: str, label: str = "") -> str:
+        self._meter.charge()
+        return self._graph.add_edge(from_key, to_key, label=label)
+
+    def vertex(self, key: str) -> Optional[dict]:
+        self._meter.charge()
+        return self._graph.vertex(key)
+
+    def neighbors(
+        self, key: str, direction: str = Direction.OUTBOUND, label: Optional[str] = None
+    ) -> list[str]:
+        self._meter.charge()
+        return self._graph.neighbors(key, direction, label)
+
+    def traverse(
+        self,
+        start: str,
+        min_depth: int,
+        max_depth: int,
+        direction: str = Direction.OUTBOUND,
+        label: Optional[str] = None,
+    ) -> list[tuple[str, int]]:
+        self._meter.charge()
+        return self._graph.traverse(start, min_depth, max_depth, direction, label)
+
+    def remove_vertex(self, key: str) -> bool:
+        self._meter.charge()
+        return self._graph.remove_vertex(key)

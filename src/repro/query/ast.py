@@ -1,0 +1,335 @@
+"""MMQL abstract syntax tree.
+
+A query is a list of *operations* ending in RETURN (or a DML operation);
+expressions form their own small tree.  Dataclasses keep the AST printable
+and comparable, which the parser and optimizer tests rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = [
+    # expressions
+    "Expr",
+    "Literal",
+    "VarRef",
+    "BindVar",
+    "AttrAccess",
+    "IndexAccess",
+    "Expansion",
+    "FuncCall",
+    "UnaryOp",
+    "BinOp",
+    "RangeExpr",
+    "ArrayLiteral",
+    "ObjectLiteral",
+    "SubQuery",
+    "InlineFilter",
+    "Ternary",
+    # operations
+    "Operation",
+    "ForOp",
+    "TraversalOp",
+    "ShortestPathOp",
+    "FilterOp",
+    "LetOp",
+    "SortOp",
+    "SortKeySpec",
+    "LimitOp",
+    "CollectOp",
+    "ReturnOp",
+    "InsertOp",
+    "UpdateOp",
+    "RemoveOp",
+    "ReplaceOp",
+    "UpsertOp",
+    "Query",
+]
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Base expression node."""
+
+    def children(self) -> list["Expr"]:
+        return []
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: Any
+
+
+@dataclass(frozen=True)
+class VarRef(Expr):
+    name: str
+
+
+@dataclass(frozen=True)
+class BindVar(Expr):
+    name: str
+
+
+@dataclass(frozen=True)
+class AttrAccess(Expr):
+    subject: Expr
+    attribute: str
+
+    def children(self):
+        return [self.subject]
+
+
+@dataclass(frozen=True)
+class IndexAccess(Expr):
+    subject: Expr
+    index: Expr
+
+    def children(self):
+        return [self.subject, self.index]
+
+
+@dataclass(frozen=True)
+class Expansion(Expr):
+    """``expr[*]`` — map the rest of the access chain over an array.
+
+    ``suffix`` is applied to each element with the pseudo-variable
+    ``$CURRENT`` bound (built by the parser)."""
+
+    subject: Expr
+    suffix: Optional[Expr] = None
+
+    def children(self):
+        return [self.subject] + ([self.suffix] if self.suffix else [])
+
+
+@dataclass(frozen=True)
+class InlineFilter(Expr):
+    """``expr[* FILTER cond]`` — Oracle-NoSQL's ``[$element.price > 35]``
+    (slide 74).  ``condition`` sees each element as ``$CURRENT``."""
+
+    subject: Expr
+    condition: Expr
+
+    def children(self):
+        return [self.subject, self.condition]
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    name: str
+    args: tuple[Expr, ...]
+
+    def children(self):
+        return list(self.args)
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    op: str  # "-" | "NOT"
+    operand: Expr
+
+    def children(self):
+        return [self.operand]
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: str  # == != < <= > >= + - * / % AND OR IN LIKE
+    left: Expr
+    right: Expr
+
+    def children(self):
+        return [self.left, self.right]
+
+
+@dataclass(frozen=True)
+class RangeExpr(Expr):
+    low: Expr
+    high: Expr
+
+    def children(self):
+        return [self.low, self.high]
+
+
+@dataclass(frozen=True)
+class ArrayLiteral(Expr):
+    items: tuple[Expr, ...]
+
+    def children(self):
+        return list(self.items)
+
+
+@dataclass(frozen=True)
+class ObjectLiteral(Expr):
+    items: tuple[tuple[str, Expr], ...]
+
+    def children(self):
+        return [value for _key, value in self.items]
+
+
+@dataclass(frozen=True)
+class Ternary(Expr):
+    """``condition ? then : otherwise`` (lazy in both branches)."""
+
+    condition: Expr
+    then: Expr
+    otherwise: Expr
+
+    def children(self):
+        return [self.condition, self.then, self.otherwise]
+
+
+@dataclass(frozen=True)
+class SubQuery(Expr):
+    query: "Query"
+
+
+# ---------------------------------------------------------------------------
+# Operations
+# ---------------------------------------------------------------------------
+
+
+class Operation:
+    """Base query operation."""
+
+
+@dataclass
+class ForOp(Operation):
+    """``FOR var IN source`` — source is a collection/table name
+    (:class:`VarRef`) or any array-valued expression."""
+
+    var: str
+    source: Expr
+
+
+@dataclass
+class TraversalOp(Operation):
+    """``FOR var[, edge_var] IN min..max OUTBOUND start GRAPH g
+    [LABEL 'knows']`` — ``edge_var`` binds the discovery edge document
+    (null for the start vertex at depth 0)."""
+
+    var: str
+    min_depth: int
+    max_depth: int
+    direction: str  # outbound | inbound | any
+    start: Expr
+    graph: str
+    label: Optional[str] = None
+    edge_var: Optional[str] = None
+
+
+@dataclass
+class ShortestPathOp(Operation):
+    """``FOR v IN OUTBOUND|INBOUND|ANY SHORTEST_PATH start TO goal GRAPH g``
+    — binds *var* to each vertex document along the path, in order."""
+
+    var: str
+    direction: str
+    start: Expr
+    goal: Expr
+    graph: str
+
+
+@dataclass
+class FilterOp(Operation):
+    condition: Expr
+
+
+@dataclass
+class LetOp(Operation):
+    var: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class SortKeySpec:
+    expr: Expr
+    ascending: bool = True
+
+
+@dataclass
+class SortOp(Operation):
+    keys: list[SortKeySpec]
+
+
+@dataclass
+class LimitOp(Operation):
+    offset: int
+    count: int
+
+
+@dataclass
+class CollectOp(Operation):
+    """``COLLECT g = expr [AGGREGATE a = FUNC(expr), …]
+    [WITH COUNT INTO c] [INTO groupsVar]``
+
+    ``aggregates`` entries are (variable, function name, argument expr);
+    the function must be one of the array aggregates (SUM/MIN/MAX/AVG/
+    COUNT/UNIQUE), applied to the argument evaluated per group member.
+    """
+
+    groups: list[tuple[str, Expr]]
+    count_into: Optional[str] = None
+    into: Optional[str] = None
+    aggregates: list[tuple[str, str, Expr]] = field(default_factory=list)
+
+
+@dataclass
+class ReturnOp(Operation):
+    expr: Expr
+    distinct: bool = False
+
+
+@dataclass
+class InsertOp(Operation):
+    document: Expr
+    target: str
+
+
+@dataclass
+class UpdateOp(Operation):
+    key: Expr
+    changes: Expr
+    target: str
+
+
+@dataclass
+class RemoveOp(Operation):
+    key: Expr
+    target: str
+
+
+@dataclass
+class ReplaceOp(Operation):
+    """``REPLACE key WITH document IN target`` — whole-record replacement
+    (unlike UPDATE's merge)."""
+
+    key: Expr
+    document: Expr
+    target: str
+
+
+@dataclass
+class UpsertOp(Operation):
+    """``UPSERT search INSERT doc UPDATE patch INTO target`` (AQL shape):
+    when a record matching the *search* example exists, merge *patch* into
+    it; otherwise insert *doc*."""
+
+    search: Expr
+    insert_doc: Expr
+    update_patch: Expr
+    target: str
+
+
+@dataclass
+class Query:
+    operations: list[Operation] = field(default_factory=list)
+
+    def __iter__(self):
+        return iter(self.operations)

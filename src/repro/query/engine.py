@@ -1,0 +1,39 @@
+"""MMQL front door: parse → optimize → execute (and EXPLAIN)."""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.query.executor import ExecContext, Result, execute
+from repro.query.optimizer import optimize
+from repro.query.parser import parse
+from repro.query.plan import render_plan
+
+__all__ = ["run_query", "explain_query"]
+
+
+def run_query(
+    db: Any,
+    text: str,
+    bind_vars: Optional[dict] = None,
+    txn: Any = None,
+    optimize_query: bool = True,
+) -> Result:
+    """Parse, optimize and execute an MMQL query against *db*.
+
+    ``optimize_query=False`` executes the naive plan — the baseline the
+    optimizer benchmark compares against.
+    """
+    query = parse(text)
+    if optimize_query:
+        query = optimize(query, db)
+    ctx = ExecContext(db=db, bind_vars=bind_vars or {}, txn=txn)
+    return execute(ctx, query)
+
+
+def explain_query(db: Any, text: str, bind_vars: Optional[dict] = None) -> str:
+    """The optimized physical plan as text (bind vars affect index choice
+    only through constancy, so they are optional)."""
+    del bind_vars
+    query = optimize(parse(text), db)
+    return render_plan(query)

@@ -1,0 +1,646 @@
+"""MMQL execution: expression evaluation + the operation pipeline.
+
+Execution follows the classic iterator model: each operation transforms a
+stream of *frames* (variable bindings); RETURN materializes result rows.
+Frames flow lazily through FOR/FILTER/LET; SORT and COLLECT are pipeline
+breakers.
+
+Statistics are collected per query (documents scanned, index lookups,
+filters applied) so benchmarks and EXPLAIN ANALYZE-style assertions can
+verify *how* a result was produced, not just what it is.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+from repro.core import datamodel
+from repro.errors import BindError, ExecutionError, UnknownCollectionError
+from repro.query import ast
+from repro.query.functions import call_function
+from repro.query.plan import IndexScanOp
+
+__all__ = ["ExecContext", "Result", "execute"]
+
+
+@dataclass
+class ExecContext:
+    """Everything evaluation needs: the database, bind parameters, the
+    optional enclosing transaction, and the stats accumulator."""
+
+    db: Any
+    bind_vars: dict
+    txn: Any = None
+    stats: dict = field(
+        default_factory=lambda: {
+            "scanned": 0,
+            "filtered_out": 0,
+            "index_lookups": 0,
+            "indexes_used": [],
+            "rows_returned": 0,
+            "writes": 0,
+        }
+    )
+
+
+@dataclass
+class Result:
+    """Query result: rows plus execution statistics."""
+
+    rows: list
+    stats: dict
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self):
+        return len(self.rows)
+
+    def __getitem__(self, index):
+        return self.rows[index]
+
+    def first(self):
+        return self.rows[0] if self.rows else None
+
+
+# ---------------------------------------------------------------------------
+# Expression evaluation
+# ---------------------------------------------------------------------------
+
+
+def evaluate(ctx: ExecContext, expr: ast.Expr, frame: dict) -> Any:
+    if isinstance(expr, ast.Literal):
+        return expr.value
+    if isinstance(expr, ast.VarRef):
+        if expr.name in frame:
+            return frame[expr.name]
+        raise BindError(f"unknown variable {expr.name!r}")
+    if isinstance(expr, ast.BindVar):
+        if expr.name in ctx.bind_vars:
+            return datamodel.normalize(ctx.bind_vars[expr.name])
+        raise BindError(f"missing bind parameter @{expr.name}")
+    if isinstance(expr, ast.AttrAccess):
+        subject = evaluate(ctx, expr.subject, frame)
+        return datamodel.deep_get(subject, (expr.attribute,))
+    if isinstance(expr, ast.IndexAccess):
+        subject = evaluate(ctx, expr.subject, frame)
+        index = evaluate(ctx, expr.index, frame)
+        if isinstance(index, bool) or not isinstance(index, (int, str)):
+            raise ExecutionError(
+                f"index values must be integers or strings, got "
+                f"{datamodel.type_name(index)}"
+            )
+        return datamodel.deep_get(subject, (index,))
+    if isinstance(expr, ast.Expansion):
+        subject = evaluate(ctx, expr.subject, frame)
+        if datamodel.type_of(subject) is not datamodel.TypeTag.ARRAY:
+            return []
+        if expr.suffix is None:
+            return list(subject)
+        output = []
+        for element in subject:
+            inner = dict(frame)
+            inner["$CURRENT"] = element
+            output.append(evaluate(ctx, expr.suffix, inner))
+        return output
+    if isinstance(expr, ast.InlineFilter):
+        subject = evaluate(ctx, expr.subject, frame)
+        if datamodel.type_of(subject) is not datamodel.TypeTag.ARRAY:
+            return []
+        output = []
+        for element in subject:
+            inner = dict(frame)
+            inner["$CURRENT"] = element
+            if datamodel.truthy(evaluate(ctx, expr.condition, inner)):
+                output.append(element)
+        return output
+    if isinstance(expr, ast.FuncCall):
+        args = [evaluate(ctx, arg, frame) for arg in expr.args]
+        return call_function(ctx, expr.name, args)
+    if isinstance(expr, ast.UnaryOp):
+        operand = evaluate(ctx, expr.operand, frame)
+        if expr.op == "-":
+            if datamodel.type_of(operand) is not datamodel.TypeTag.NUMBER:
+                raise ExecutionError("unary - expects a number")
+            return -operand
+        return not datamodel.truthy(operand)
+    if isinstance(expr, ast.BinOp):
+        return _binop(ctx, expr, frame)
+    if isinstance(expr, ast.RangeExpr):
+        low = evaluate(ctx, expr.low, frame)
+        high = evaluate(ctx, expr.high, frame)
+        for bound in (low, high):
+            if datamodel.type_of(bound) is not datamodel.TypeTag.NUMBER:
+                raise ExecutionError("range bounds must be numbers")
+        return list(range(int(low), int(high) + 1))
+    if isinstance(expr, ast.ArrayLiteral):
+        return [evaluate(ctx, item, frame) for item in expr.items]
+    if isinstance(expr, ast.ObjectLiteral):
+        return {key: evaluate(ctx, value, frame) for key, value in expr.items}
+    if isinstance(expr, ast.Ternary):
+        if datamodel.truthy(evaluate(ctx, expr.condition, frame)):
+            return evaluate(ctx, expr.then, frame)
+        return evaluate(ctx, expr.otherwise, frame)
+    if isinstance(expr, ast.SubQuery):
+        rows, _writes = _run_pipeline(ctx, expr.query, dict(frame))
+        return rows
+    raise ExecutionError(f"cannot evaluate {type(expr).__name__}")
+
+
+def _binop(ctx: ExecContext, expr: ast.BinOp, frame: dict) -> Any:
+    op = expr.op
+    if op == "AND":
+        left = evaluate(ctx, expr.left, frame)
+        if not datamodel.truthy(left):
+            return False
+        return datamodel.truthy(evaluate(ctx, expr.right, frame))
+    if op == "OR":
+        left = evaluate(ctx, expr.left, frame)
+        if datamodel.truthy(left):
+            return True
+        return datamodel.truthy(evaluate(ctx, expr.right, frame))
+    left = evaluate(ctx, expr.left, frame)
+    right = evaluate(ctx, expr.right, frame)
+    if op in ("==", "!=", "<", "<=", ">", ">="):
+        comparison = datamodel.compare(left, right)
+        return {
+            "==": comparison == 0,
+            "!=": comparison != 0,
+            "<": comparison < 0,
+            "<=": comparison <= 0,
+            ">": comparison > 0,
+            ">=": comparison >= 0,
+        }[op]
+    if op == "IN":
+        if datamodel.type_of(right) is not datamodel.TypeTag.ARRAY:
+            raise ExecutionError("IN expects an array on the right")
+        return any(datamodel.values_equal(left, item) for item in right)
+    if op == "LIKE":
+        if not isinstance(left, str) or not isinstance(right, str):
+            return False
+        # re.escape leaves % and _ untouched, so the SQL wildcards survive
+        # escaping and can be rewritten into regex equivalents.
+        pattern = "^" + re.escape(right).replace("%", ".*").replace("_", ".") + "$"
+        return re.match(pattern, left, re.DOTALL) is not None
+    if op in ("+", "-", "*", "/", "%"):
+        for operand in (left, right):
+            if datamodel.type_of(operand) is not datamodel.TypeTag.NUMBER:
+                raise ExecutionError(
+                    f"arithmetic {op} expects numbers, got "
+                    f"{datamodel.type_name(operand)} (use CONCAT for strings)"
+                )
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                raise ExecutionError("division by zero")
+            return left / right
+        if right == 0:
+            raise ExecutionError("modulo by zero")
+        return left % right
+    raise ExecutionError(f"unknown operator {op!r}")
+
+
+# ---------------------------------------------------------------------------
+# Data sources
+# ---------------------------------------------------------------------------
+
+
+def _iter_source(ctx: ExecContext, name: str) -> Iterator[Any]:
+    """Stream the natural row shape of any catalog object."""
+    kind = ctx.db.kind_of(name)
+    store = ctx.db.resolve(name)
+    if kind == "table":
+        for row in store.rows(txn=ctx.txn):
+            ctx.stats["scanned"] += 1
+            yield row
+    elif kind == "collection":
+        for document in store.all(txn=ctx.txn):
+            ctx.stats["scanned"] += 1
+            yield document
+    elif kind == "bucket":
+        for key, value in store.items(txn=ctx.txn):
+            ctx.stats["scanned"] += 1
+            yield {"_key": key, "value": value}
+    elif kind == "graph":
+        for vertex in store.vertices(txn=ctx.txn):
+            ctx.stats["scanned"] += 1
+            yield vertex
+    elif kind == "trees":
+        for uri in store.uris(txn=ctx.txn):
+            ctx.stats["scanned"] += 1
+            yield {"uri": uri, "format": store.format_of(uri, txn=ctx.txn)}
+    elif kind == "triples":
+        for triple in store.triples(txn=ctx.txn):
+            ctx.stats["scanned"] += 1
+            yield list(triple)
+    elif kind == "spatial":
+        for key, record in store.all(txn=ctx.txn):
+            ctx.stats["scanned"] += 1
+            yield {"_key": key, **record}
+    elif kind == "wide":
+        for row in store.rows(txn=ctx.txn):
+            ctx.stats["scanned"] += 1
+            yield row
+    else:
+        raise UnknownCollectionError(f"cannot iterate a {kind}")
+
+
+# ---------------------------------------------------------------------------
+# Operation pipeline
+# ---------------------------------------------------------------------------
+
+
+def _apply_for(ctx, operation: ast.ForOp, frames):
+    for frame in frames:
+        if (
+            isinstance(operation.source, ast.VarRef)
+            and operation.source.name not in frame
+        ):
+            # a catalog name (collections shadowable by variables)
+            values: Any = _iter_source(ctx, operation.source.name)
+        else:
+            values = evaluate(ctx, operation.source, frame)
+            if datamodel.type_of(values) is not datamodel.TypeTag.ARRAY:
+                raise ExecutionError(
+                    f"FOR expects an array or collection, got "
+                    f"{datamodel.type_name(values)}"
+                )
+        for value in values:
+            child = dict(frame)
+            child[operation.var] = value
+            yield child
+
+
+def _apply_traversal(ctx, operation: ast.TraversalOp, frames):
+    graph = ctx.db.graph(operation.graph)
+    for frame in frames:
+        start = evaluate(ctx, operation.start, frame)
+        if isinstance(start, dict):
+            start = start.get("_key")
+        if isinstance(start, (int, float)) and not isinstance(start, bool):
+            # Vertex keys are strings; numeric ids (e.g. from a relational
+            # primary key) coerce, so `FOR f IN 1..1 OUTBOUND c.id …` works.
+            start = str(int(start))
+        if not isinstance(start, str):
+            raise ExecutionError("traversal start must be a vertex key or vertex")
+        if operation.edge_var is not None:
+            visits = graph.traverse_with_edges(
+                start,
+                operation.min_depth,
+                operation.max_depth,
+                operation.direction,
+                operation.label,
+                txn=ctx.txn,
+            )
+        else:
+            visits = [
+                (key, depth, None)
+                for key, depth in graph.traverse(
+                    start,
+                    operation.min_depth,
+                    operation.max_depth,
+                    operation.direction,
+                    operation.label,
+                    txn=ctx.txn,
+                )
+            ]
+        for key, _depth, edge in visits:
+            vertex = graph.vertex(key, txn=ctx.txn)
+            if vertex is None:
+                continue
+            ctx.stats["scanned"] += 1
+            child = dict(frame)
+            child[operation.var] = vertex
+            if operation.edge_var is not None:
+                child[operation.edge_var] = edge
+            yield child
+
+
+def _apply_index_scan(ctx, operation: IndexScanOp, frames):
+    store = ctx.db.resolve(operation.source_name)
+    namespace = store.namespace
+    for frame in frames:
+        if ctx.txn is not None:
+            # Indexes reflect the latest committed state, not this snapshot:
+            # fall back to scan + the original full predicate.
+            for value in _iter_source(ctx, operation.source_name):
+                child = dict(frame)
+                child[operation.var] = value
+                if operation.original_condition is None or datamodel.truthy(
+                    evaluate(ctx, operation.original_condition, child)
+                ):
+                    yield child
+            continue
+        probe = evaluate(ctx, operation.value, frame)
+        index_view = ctx.db.context.indexes.get(operation.index_name)
+        ctx.stats["index_lookups"] += 1
+        if operation.index_name not in ctx.stats["indexes_used"]:
+            ctx.stats["indexes_used"].append(operation.index_name)
+        for key in index_view.search(probe):
+            record = ctx.db.context.rows.get(namespace, key)
+            if record is None:
+                continue
+            child = dict(frame)
+            child[operation.var] = record
+            if operation.residual is not None and not datamodel.truthy(
+                evaluate(ctx, operation.residual, child)
+            ):
+                ctx.stats["filtered_out"] += 1
+                continue
+            yield child
+
+
+def _coerce_vertex_key(value, what: str) -> str:
+    if isinstance(value, dict):
+        value = value.get("_key")
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        value = str(int(value))
+    if not isinstance(value, str):
+        raise ExecutionError(f"{what} must be a vertex key or vertex")
+    return value
+
+
+def _apply_shortest_path(ctx, operation: ast.ShortestPathOp, frames):
+    graph = ctx.db.graph(operation.graph)
+    for frame in frames:
+        start = _coerce_vertex_key(
+            evaluate(ctx, operation.start, frame), "shortest-path start"
+        )
+        goal = _coerce_vertex_key(
+            evaluate(ctx, operation.goal, frame), "shortest-path goal"
+        )
+        path = graph.shortest_path(start, goal, operation.direction, txn=ctx.txn)
+        for key in path or []:
+            vertex = graph.vertex(key, txn=ctx.txn)
+            if vertex is None:
+                continue
+            ctx.stats["scanned"] += 1
+            child = dict(frame)
+            child[operation.var] = vertex
+            yield child
+
+
+def _apply_filter(ctx, operation: ast.FilterOp, frames):
+    for frame in frames:
+        if datamodel.truthy(evaluate(ctx, operation.condition, frame)):
+            yield frame
+        else:
+            ctx.stats["filtered_out"] += 1
+
+
+def _apply_let(ctx, operation: ast.LetOp, frames):
+    for frame in frames:
+        child = dict(frame)
+        child[operation.var] = evaluate(ctx, operation.value, frame)
+        yield child
+
+
+def _apply_sort(ctx, operation: ast.SortOp, frames):
+    import functools
+
+    materialized = list(frames)
+
+    def compare_frames(frame_a, frame_b):
+        for key in operation.keys:
+            value_a = evaluate(ctx, key.expr, frame_a)
+            value_b = evaluate(ctx, key.expr, frame_b)
+            comparison = datamodel.compare(value_a, value_b)
+            if comparison != 0:
+                return comparison if key.ascending else -comparison
+        return 0
+
+    materialized.sort(key=functools.cmp_to_key(compare_frames))
+    return iter(materialized)
+
+
+def _apply_limit(ctx, operation: ast.LimitOp, frames):
+    return itertools.islice(frames, operation.offset, operation.offset + operation.count)
+
+
+def _apply_collect(ctx, operation: ast.CollectOp, frames):
+    from repro.query.functions import call_function
+
+    groups: dict[int, dict] = {}
+    order: list[int] = []
+    for frame in frames:
+        key_values = [
+            (name, evaluate(ctx, expr, frame)) for name, expr in operation.groups
+        ]
+        token = datamodel.hash_value([value for _name, value in key_values])
+        if token not in groups:
+            groups[token] = {
+                "keys": dict(key_values),
+                "count": 0,
+                "members": [],
+                "aggregate_inputs": [[] for _ in operation.aggregates],
+            }
+            order.append(token)
+        group = groups[token]
+        group["count"] += 1
+        for position, (_name, _func, arg) in enumerate(operation.aggregates):
+            group["aggregate_inputs"][position].append(
+                evaluate(ctx, arg, frame)
+            )
+        if operation.into:
+            group["members"].append(
+                {name: value for name, value in frame.items() if not name.startswith("$")}
+            )
+    for token in order:
+        group = groups[token]
+        frame = dict(group["keys"])
+        for position, (name, func, _arg) in enumerate(operation.aggregates):
+            frame[name] = call_function(
+                ctx, func, [group["aggregate_inputs"][position]]
+            )
+        if operation.count_into:
+            frame[operation.count_into] = group["count"]
+        if operation.into:
+            frame[operation.into] = group["members"]
+        yield frame
+
+
+def _dml_target(ctx, name: str):
+    kind = ctx.db.kind_of(name)
+    store = ctx.db.resolve(name)
+    return kind, store
+
+
+def _apply_insert(ctx, operation: ast.InsertOp, frames):
+    kind, store = _dml_target(ctx, operation.target)
+    for frame in frames:
+        document = evaluate(ctx, operation.document, frame)
+        if kind == "collection":
+            key = store.insert(document, txn=ctx.txn)
+        elif kind == "table":
+            key = store.insert(document, txn=ctx.txn)
+        elif kind == "bucket":
+            if (
+                datamodel.type_of(document) is not datamodel.TypeTag.OBJECT
+                or "_key" not in document
+            ):
+                raise ExecutionError(
+                    "INSERT into a bucket needs {_key: …, value: …}"
+                )
+            store.put(document["_key"], document.get("value"), txn=ctx.txn)
+            key = document["_key"]
+        else:
+            raise ExecutionError(f"cannot INSERT into a {kind}")
+        ctx.stats["writes"] += 1
+        yield key
+
+
+def _apply_update(ctx, operation: ast.UpdateOp, frames):
+    kind, store = _dml_target(ctx, operation.target)
+    for frame in frames:
+        key = evaluate(ctx, operation.key, frame)
+        if isinstance(key, dict):
+            key = key.get("_key", key.get("id"))
+        changes = evaluate(ctx, operation.changes, frame)
+        if kind == "collection":
+            updated = store.update(key, changes, txn=ctx.txn)
+        elif kind == "table":
+            updated = store.update(key, changes, txn=ctx.txn)
+        elif kind == "bucket":
+            store.put(key, changes, txn=ctx.txn)
+            updated = True
+        else:
+            raise ExecutionError(f"cannot UPDATE a {kind}")
+        if updated:
+            ctx.stats["writes"] += 1
+            yield key
+
+
+def _apply_remove(ctx, operation: ast.RemoveOp, frames):
+    kind, store = _dml_target(ctx, operation.target)
+    for frame in frames:
+        key = evaluate(ctx, operation.key, frame)
+        if isinstance(key, dict):
+            key = key.get("_key", key.get("id"))
+        removed = store.delete(key, txn=ctx.txn)
+        if removed:
+            ctx.stats["writes"] += 1
+            yield key
+
+
+def _apply_replace(ctx, operation: ast.ReplaceOp, frames):
+    kind, store = _dml_target(ctx, operation.target)
+    for frame in frames:
+        key = evaluate(ctx, operation.key, frame)
+        if isinstance(key, dict):
+            key = key.get("_key", key.get("id"))
+        document = evaluate(ctx, operation.document, frame)
+        if kind in ("collection", "table"):
+            replaced = store.replace(key, document, txn=ctx.txn)
+        elif kind == "bucket":
+            store.put(key, document, txn=ctx.txn)
+            replaced = True
+        else:
+            raise ExecutionError(f"cannot REPLACE in a {kind}")
+        if replaced:
+            ctx.stats["writes"] += 1
+            yield key
+
+
+def _apply_upsert(ctx, operation: ast.UpsertOp, frames):
+    kind, store = _dml_target(ctx, operation.target)
+    for frame in frames:
+        search = evaluate(ctx, operation.search, frame)
+        if datamodel.type_of(search) is not datamodel.TypeTag.OBJECT:
+            raise ExecutionError("UPSERT search must be an object example")
+        existing_key = None
+        if kind == "collection":
+            matches = store.find_by_example(search, txn=ctx.txn)
+            if matches:
+                existing_key = matches[0]["_key"]
+        elif kind == "table":
+            for row in store.rows(txn=ctx.txn):
+                if all(
+                    datamodel.values_equal(row.get(column), value)
+                    for column, value in search.items()
+                ):
+                    existing_key = row[store.schema.primary_key]
+                    break
+        else:
+            raise ExecutionError(f"cannot UPSERT into a {kind}")
+        if existing_key is not None:
+            patch = evaluate(ctx, operation.update_patch, frame)
+            store.update(existing_key, patch, txn=ctx.txn)
+            key = existing_key
+        else:
+            document = evaluate(ctx, operation.insert_doc, frame)
+            key = store.insert(document, txn=ctx.txn)
+        ctx.stats["writes"] += 1
+        yield key
+
+
+def _run_pipeline(ctx: ExecContext, query: ast.Query, initial_frame: dict):
+    """Execute a (sub)query; returns (rows, write_count_delta)."""
+    frames: Iterator[dict] = iter([initial_frame])
+    rows: list = []
+    writes_before = ctx.stats["writes"]
+    for operation in query.operations:
+        if isinstance(operation, IndexScanOp):
+            frames = _apply_index_scan(ctx, operation, frames)
+        elif isinstance(operation, ast.ForOp):
+            frames = _apply_for(ctx, operation, frames)
+        elif isinstance(operation, ast.TraversalOp):
+            frames = _apply_traversal(ctx, operation, frames)
+        elif isinstance(operation, ast.ShortestPathOp):
+            frames = _apply_shortest_path(ctx, operation, frames)
+        elif isinstance(operation, ast.FilterOp):
+            frames = _apply_filter(ctx, operation, frames)
+        elif isinstance(operation, ast.LetOp):
+            frames = _apply_let(ctx, operation, frames)
+        elif isinstance(operation, ast.SortOp):
+            frames = _apply_sort(ctx, operation, frames)
+        elif isinstance(operation, ast.LimitOp):
+            frames = _apply_limit(ctx, operation, frames)
+        elif isinstance(operation, ast.CollectOp):
+            frames = _apply_collect(ctx, operation, frames)
+        elif isinstance(operation, ast.ReturnOp):
+            seen: list = []
+            for frame in frames:
+                value = evaluate(ctx, operation.expr, frame)
+                if operation.distinct:
+                    if any(datamodel.values_equal(value, kept) for kept in seen):
+                        continue
+                    seen.append(value)
+                rows.append(value)
+            return rows, ctx.stats["writes"] - writes_before
+        elif isinstance(operation, ast.InsertOp):
+            rows = list(_apply_insert(ctx, operation, frames))
+            return rows, ctx.stats["writes"] - writes_before
+        elif isinstance(operation, ast.UpdateOp):
+            rows = list(_apply_update(ctx, operation, frames))
+            return rows, ctx.stats["writes"] - writes_before
+        elif isinstance(operation, ast.RemoveOp):
+            rows = list(_apply_remove(ctx, operation, frames))
+            return rows, ctx.stats["writes"] - writes_before
+        elif isinstance(operation, ast.ReplaceOp):
+            rows = list(_apply_replace(ctx, operation, frames))
+            return rows, ctx.stats["writes"] - writes_before
+        elif isinstance(operation, ast.UpsertOp):
+            rows = list(_apply_upsert(ctx, operation, frames))
+            return rows, ctx.stats["writes"] - writes_before
+        else:
+            raise ExecutionError(f"cannot execute {type(operation).__name__}")
+    # No RETURN/DML: drain the pipeline for its side effects (none) and
+    # produce no rows.
+    for _frame in frames:
+        pass
+    return rows, ctx.stats["writes"] - writes_before
+
+
+def execute(ctx: ExecContext, query: ast.Query) -> Result:
+    """Run an optimized query and package the result."""
+    rows, _writes = _run_pipeline(ctx, query, {})
+    ctx.stats["rows_returned"] = len(rows)
+    return Result(rows=rows, stats=ctx.stats)

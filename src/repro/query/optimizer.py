@@ -1,0 +1,444 @@
+"""Rule-based query optimizer.
+
+Three classic rewrites, each observable in EXPLAIN output and measured by
+the optimizer benchmark:
+
+1. **Constant folding** — pure arithmetic/boolean subtrees collapse to
+   literals.
+2. **Filter pushdown** — a FILTER moves directly after the earliest
+   operation that binds all variables it references, so non-matching rows
+   leave the pipeline as soon as possible.
+3. **Index selection** (slides 78-82) — ``FOR x IN coll`` immediately
+   followed by ``FILTER x.path == constant`` becomes an
+   :class:`repro.query.plan.IndexScanOp` when the catalog has a point index
+   on that path; remaining conjuncts stay as a residual filter.
+
+The rules are deliberately independent functions so the ablation benchmark
+can toggle them one at a time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Optional
+
+from repro.query import ast
+from repro.query.plan import IndexScanOp
+
+__all__ = ["optimize", "fold_constants", "push_down_filters", "select_indexes"]
+
+_FOLDABLE_BINOPS = {"+", "-", "*", "/", "%", "==", "!=", "<", "<=", ">", ">=", "AND", "OR"}
+
+
+# ---------------------------------------------------------------------------
+# Rule 1: constant folding
+# ---------------------------------------------------------------------------
+
+
+def _fold_expr(expr: ast.Expr) -> ast.Expr:
+    if isinstance(expr, ast.BinOp):
+        left = _fold_expr(expr.left)
+        right = _fold_expr(expr.right)
+        if (
+            isinstance(left, ast.Literal)
+            and isinstance(right, ast.Literal)
+            and expr.op in _FOLDABLE_BINOPS
+        ):
+            folded = _try_fold(expr.op, left.value, right.value)
+            if folded is not _NO_FOLD:
+                return ast.Literal(folded)
+        return ast.BinOp(expr.op, left, right)
+    if isinstance(expr, ast.UnaryOp):
+        operand = _fold_expr(expr.operand)
+        if isinstance(operand, ast.Literal):
+            if expr.op == "-" and isinstance(operand.value, (int, float)):
+                return ast.Literal(-operand.value)
+            if expr.op == "NOT":
+                from repro.core.datamodel import truthy
+
+                return ast.Literal(not truthy(operand.value))
+        return ast.UnaryOp(expr.op, operand)
+    if isinstance(expr, ast.AttrAccess):
+        return ast.AttrAccess(_fold_expr(expr.subject), expr.attribute)
+    if isinstance(expr, ast.IndexAccess):
+        return ast.IndexAccess(_fold_expr(expr.subject), _fold_expr(expr.index))
+    if isinstance(expr, ast.FuncCall):
+        return ast.FuncCall(expr.name, tuple(_fold_expr(arg) for arg in expr.args))
+    if isinstance(expr, ast.ArrayLiteral):
+        return ast.ArrayLiteral(tuple(_fold_expr(item) for item in expr.items))
+    if isinstance(expr, ast.ObjectLiteral):
+        return ast.ObjectLiteral(
+            tuple((key, _fold_expr(value)) for key, value in expr.items)
+        )
+    if isinstance(expr, ast.Expansion):
+        return ast.Expansion(
+            _fold_expr(expr.subject),
+            _fold_expr(expr.suffix) if expr.suffix else None,
+        )
+    if isinstance(expr, ast.InlineFilter):
+        return ast.InlineFilter(_fold_expr(expr.subject), _fold_expr(expr.condition))
+    if isinstance(expr, ast.RangeExpr):
+        return ast.RangeExpr(_fold_expr(expr.low), _fold_expr(expr.high))
+    if isinstance(expr, ast.Ternary):
+        condition = _fold_expr(expr.condition)
+        then = _fold_expr(expr.then)
+        otherwise = _fold_expr(expr.otherwise)
+        if isinstance(condition, ast.Literal):
+            from repro.core.datamodel import truthy
+
+            return then if truthy(condition.value) else otherwise
+        return ast.Ternary(condition, then, otherwise)
+    return expr
+
+
+class _NoFold:
+    pass
+
+
+_NO_FOLD = _NoFold()
+
+
+def _try_fold(op: str, left: Any, right: Any) -> Any:
+    from repro.core import datamodel
+
+    try:
+        if op in ("+", "-", "*", "/", "%"):
+            if (
+                datamodel.type_of(left) is not datamodel.TypeTag.NUMBER
+                or datamodel.type_of(right) is not datamodel.TypeTag.NUMBER
+            ):
+                return _NO_FOLD
+            if op == "+":
+                return left + right
+            if op == "-":
+                return left - right
+            if op == "*":
+                return left * right
+            if op == "/":
+                return _NO_FOLD if right == 0 else left / right
+            return _NO_FOLD if right == 0 else left % right
+        comparison = datamodel.compare(left, right)
+        if op == "==":
+            return comparison == 0
+        if op == "!=":
+            return comparison != 0
+        if op == "<":
+            return comparison < 0
+        if op == "<=":
+            return comparison <= 0
+        if op == ">":
+            return comparison > 0
+        if op == ">=":
+            return comparison >= 0
+        if op == "AND":
+            return datamodel.truthy(left) and datamodel.truthy(right)
+        if op == "OR":
+            return datamodel.truthy(left) or datamodel.truthy(right)
+    except Exception:
+        return _NO_FOLD
+    return _NO_FOLD
+
+
+def fold_constants(query: ast.Query) -> ast.Query:
+    operations: list[ast.Operation] = []
+    for operation in query.operations:
+        operations.append(_map_operation_exprs(operation, _fold_expr))
+    return ast.Query(operations)
+
+
+def _map_operation_exprs(operation: ast.Operation, mapper) -> ast.Operation:
+    if isinstance(operation, ast.FilterOp):
+        return ast.FilterOp(mapper(operation.condition))
+    if isinstance(operation, ast.ForOp):
+        return ast.ForOp(operation.var, mapper(operation.source))
+    if isinstance(operation, ast.LetOp):
+        return ast.LetOp(operation.var, mapper(operation.value))
+    if isinstance(operation, ast.SortOp):
+        return ast.SortOp(
+            [ast.SortKeySpec(mapper(key.expr), key.ascending) for key in operation.keys]
+        )
+    if isinstance(operation, ast.ReturnOp):
+        return ast.ReturnOp(mapper(operation.expr), operation.distinct)
+    if isinstance(operation, ast.TraversalOp):
+        return dataclasses.replace(operation, start=mapper(operation.start))
+    if isinstance(operation, ast.ShortestPathOp):
+        return dataclasses.replace(
+            operation, start=mapper(operation.start), goal=mapper(operation.goal)
+        )
+    if isinstance(operation, ast.CollectOp):
+        return ast.CollectOp(
+            [(name, mapper(expr)) for name, expr in operation.groups],
+            operation.count_into,
+            operation.into,
+            [
+                (name, func, mapper(arg))
+                for name, func, arg in operation.aggregates
+            ],
+        )
+    if isinstance(operation, ast.ReplaceOp):
+        return ast.ReplaceOp(
+            mapper(operation.key), mapper(operation.document), operation.target
+        )
+    if isinstance(operation, ast.UpsertOp):
+        return ast.UpsertOp(
+            mapper(operation.search),
+            mapper(operation.insert_doc),
+            mapper(operation.update_patch),
+            operation.target,
+        )
+    if isinstance(operation, ast.InsertOp):
+        return ast.InsertOp(mapper(operation.document), operation.target)
+    if isinstance(operation, ast.UpdateOp):
+        return ast.UpdateOp(
+            mapper(operation.key), mapper(operation.changes), operation.target
+        )
+    if isinstance(operation, ast.RemoveOp):
+        return ast.RemoveOp(mapper(operation.key), operation.target)
+    return operation
+
+
+# ---------------------------------------------------------------------------
+# Rule 2: filter pushdown
+# ---------------------------------------------------------------------------
+
+
+def _variables_in(expr: ast.Expr) -> set[str]:
+    names: set[str] = set()
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.VarRef):
+            names.add(node.name)
+        if isinstance(node, ast.SubQuery):
+            for operation in node.query.operations:
+                names |= _operation_reads(operation)
+        stack.extend(node.children())
+    names.discard("$CURRENT")
+    return names
+
+
+def _operation_reads(operation: ast.Operation) -> set[str]:
+    reads: set[str] = set()
+    if isinstance(operation, ast.FilterOp):
+        reads |= _variables_in(operation.condition)
+    elif isinstance(operation, ast.ForOp):
+        reads |= _variables_in(operation.source)
+    elif isinstance(operation, ast.LetOp):
+        reads |= _variables_in(operation.value)
+    elif isinstance(operation, ast.SortOp):
+        for key in operation.keys:
+            reads |= _variables_in(key.expr)
+    elif isinstance(operation, ast.ReturnOp):
+        reads |= _variables_in(operation.expr)
+    elif isinstance(operation, ast.TraversalOp):
+        reads |= _variables_in(operation.start)
+    elif isinstance(operation, ast.ShortestPathOp):
+        reads |= _variables_in(operation.start)
+        reads |= _variables_in(operation.goal)
+    elif isinstance(operation, ast.CollectOp):
+        for _name, expr in operation.groups:
+            reads |= _variables_in(expr)
+        for _name, _func, arg in operation.aggregates:
+            reads |= _variables_in(arg)
+    elif isinstance(operation, (ast.InsertOp, ast.UpdateOp, ast.RemoveOp)):
+        for attr in ("document", "key", "changes"):
+            expr = getattr(operation, attr, None)
+            if expr is not None:
+                reads |= _variables_in(expr)
+    return reads
+
+
+def _operation_binds(operation: ast.Operation) -> set[str]:
+    if isinstance(operation, ast.TraversalOp):
+        bound = {operation.var}
+        if operation.edge_var:
+            bound.add(operation.edge_var)
+        return bound
+    if isinstance(operation, (ast.ForOp, ast.ShortestPathOp)):
+        return {operation.var}
+    if isinstance(operation, IndexScanOp):
+        return {operation.var}
+    if isinstance(operation, ast.LetOp):
+        return {operation.var}
+    if isinstance(operation, ast.CollectOp):
+        bound = {name for name, _expr in operation.groups}
+        bound |= {name for name, _func, _arg in operation.aggregates}
+        if operation.count_into:
+            bound.add(operation.count_into)
+        if operation.into:
+            bound.add(operation.into)
+        return bound
+    return set()
+
+
+def push_down_filters(query: ast.Query) -> ast.Query:
+    """Move each FILTER to just after the last operation binding a variable
+    it reads.  Barriers (SORT/LIMIT/COLLECT/DML) are never crossed because
+    crossing them changes semantics."""
+    operations = list(query.operations)
+    barriers = (
+        ast.SortOp,
+        ast.LimitOp,
+        ast.CollectOp,
+        ast.InsertOp,
+        ast.UpdateOp,
+        ast.RemoveOp,
+        ast.ReplaceOp,
+        ast.UpsertOp,
+    )
+    changed = True
+    while changed:
+        changed = False
+        for index, operation in enumerate(operations):
+            if not isinstance(operation, ast.FilterOp):
+                continue
+            needed = _variables_in(operation.condition)
+            target = 0
+            blocked = False
+            for earlier_index in range(index - 1, -1, -1):
+                earlier = operations[earlier_index]
+                if isinstance(earlier, barriers):
+                    blocked = True
+                    target = earlier_index + 1
+                    break
+                if _operation_binds(earlier) & needed:
+                    target = earlier_index + 1
+                    break
+            del blocked
+            if target < index:
+                operations.pop(index)
+                operations.insert(target, operation)
+                changed = True
+                break
+    return ast.Query(operations)
+
+
+# ---------------------------------------------------------------------------
+# Rule 3: index selection
+# ---------------------------------------------------------------------------
+
+
+def _equality_conjuncts(condition: ast.Expr) -> list[ast.Expr]:
+    """Split a condition into AND-conjuncts."""
+    if isinstance(condition, ast.BinOp) and condition.op == "AND":
+        return _equality_conjuncts(condition.left) + _equality_conjuncts(condition.right)
+    return [condition]
+
+
+def _attr_path(expr: ast.Expr, var: str) -> Optional[tuple]:
+    """``var.a.b`` → ("a", "b"); anything else → None."""
+    steps: list[str] = []
+    node = expr
+    while isinstance(node, ast.AttrAccess):
+        steps.append(node.attribute)
+        node = node.subject
+    if isinstance(node, ast.VarRef) and node.name == var and steps:
+        return tuple(reversed(steps))
+    return None
+
+
+def _is_probe_value(expr: ast.Expr, loop_var: str) -> bool:
+    """True when *expr* can serve as an index probe: it must not depend on
+    the loop variable itself (correlated outer variables are fine — the
+    probe is re-evaluated per outer frame, which is an index nested-loop
+    join)."""
+    if isinstance(expr, ast.SubQuery):
+        return False
+    return loop_var not in _variables_in(expr)
+
+
+def select_indexes(query: ast.Query, db) -> ast.Query:
+    """Rewrite scan+filter pairs into index scans where the catalog allows."""
+    operations = list(query.operations)
+    result: list[ast.Operation] = []
+    index = 0
+    while index < len(operations):
+        operation = operations[index]
+        next_operation = operations[index + 1] if index + 1 < len(operations) else None
+        rewritten = None
+        if (
+            isinstance(operation, ast.ForOp)
+            and isinstance(operation.source, ast.VarRef)
+            and isinstance(next_operation, ast.FilterOp)
+        ):
+            rewritten = _try_index_scan(operation, next_operation, db)
+        if rewritten is not None:
+            result.append(rewritten)
+            index += 2
+        else:
+            result.append(operation)
+            index += 1
+    return ast.Query(result)
+
+
+def _try_index_scan(
+    for_op: ast.ForOp, filter_op: ast.FilterOp, db
+) -> Optional[IndexScanOp]:
+    from repro.query.statistics import index_selectivity
+
+    source_name = for_op.source.name
+    try:
+        namespace = db.resolve(source_name).namespace
+    except Exception:
+        return None
+    conjuncts = _equality_conjuncts(filter_op.condition)
+    # Collect every index-servable conjunct, then pick the most selective
+    # index (fewest expected matches per probe) — the cost-based choice.
+    candidates: list[tuple[float, int, Any, tuple, ast.Expr]] = []
+    for position, conjunct in enumerate(conjuncts):
+        if not (isinstance(conjunct, ast.BinOp) and conjunct.op == "=="):
+            continue
+        for path_side, value_side in (
+            (conjunct.left, conjunct.right),
+            (conjunct.right, conjunct.left),
+        ):
+            path = _attr_path(path_side, for_op.var)
+            if path is None or not _is_probe_value(value_side, for_op.var):
+                continue
+            index_view = db.context.indexes.find(namespace, path, "point")
+            if index_view is None:
+                continue
+            candidates.append(
+                (index_selectivity(index_view), position, index_view, path, value_side)
+            )
+    if not candidates:
+        return None
+    candidates.sort(key=lambda entry: (entry[0], entry[1]))
+    _selectivity, position, index_view, path, value_side = candidates[0]
+    residual_conjuncts = conjuncts[:position] + conjuncts[position + 1:]
+    residual = None
+    for part in residual_conjuncts:
+        residual = part if residual is None else ast.BinOp("AND", residual, part)
+    return IndexScanOp(
+        var=for_op.var,
+        source_name=source_name,
+        path=path,
+        value=value_side,
+        index_name=index_view.index.name,
+        index_kind=index_view.index.kind,
+        residual=residual,
+        original_condition=filter_op.condition,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def optimize(
+    query: ast.Query,
+    db,
+    fold: bool = True,
+    pushdown: bool = True,
+    indexes: bool = True,
+) -> ast.Query:
+    """Apply the rule pipeline (each rule optional, for ablations)."""
+    optimized = query
+    if fold:
+        optimized = fold_constants(optimized)
+    if pushdown:
+        optimized = push_down_filters(optimized)
+    if indexes:
+        optimized = select_indexes(optimized, db)
+    return optimized

@@ -1,0 +1,157 @@
+"""Physical plan nodes and plan rendering (EXPLAIN).
+
+The optimizer rewrites parsed operations into a physical plan: most AST
+operations execute directly, but scans with suitable predicates become
+:class:`IndexScanOp` (the optimizer's index-selection step, slide 78-82) and
+the storage-view/column decisions are recorded for EXPLAIN output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.query import ast
+
+__all__ = ["IndexScanOp", "render_plan"]
+
+
+@dataclass
+class IndexScanOp(ast.Operation):
+    """``FOR var IN collection FILTER var.path == value`` rewritten to probe
+    a secondary index.
+
+    ``residual`` is any remaining filter condition; ``fallback_condition``
+    re-applies the full original predicate when the scan cannot use the
+    index (inside snapshots older than the index's data, the executor falls
+    back to scan + filter).
+    """
+
+    var: str
+    source_name: str
+    path: tuple
+    value: ast.Expr
+    index_name: str
+    index_kind: str
+    residual: Optional[ast.Expr] = None
+    original_condition: Optional[ast.Expr] = None
+
+
+def _expr_text(expr: ast.Expr) -> str:
+    if isinstance(expr, ast.Literal):
+        return repr(expr.value)
+    if isinstance(expr, ast.VarRef):
+        return expr.name
+    if isinstance(expr, ast.BindVar):
+        return f"@{expr.name}"
+    if isinstance(expr, ast.AttrAccess):
+        return f"{_expr_text(expr.subject)}.{expr.attribute}"
+    if isinstance(expr, ast.IndexAccess):
+        return f"{_expr_text(expr.subject)}[{_expr_text(expr.index)}]"
+    if isinstance(expr, ast.Expansion):
+        suffix = f" -> {_expr_text(expr.suffix)}" if expr.suffix else ""
+        return f"{_expr_text(expr.subject)}[*]{suffix}"
+    if isinstance(expr, ast.InlineFilter):
+        return f"{_expr_text(expr.subject)}[* FILTER {_expr_text(expr.condition)}]"
+    if isinstance(expr, ast.FuncCall):
+        return f"{expr.name}({', '.join(_expr_text(arg) for arg in expr.args)})"
+    if isinstance(expr, ast.UnaryOp):
+        return f"{expr.op} {_expr_text(expr.operand)}"
+    if isinstance(expr, ast.BinOp):
+        return f"({_expr_text(expr.left)} {expr.op} {_expr_text(expr.right)})"
+    if isinstance(expr, ast.RangeExpr):
+        return f"{_expr_text(expr.low)}..{_expr_text(expr.high)}"
+    if isinstance(expr, ast.ArrayLiteral):
+        return f"[{', '.join(_expr_text(item) for item in expr.items)}]"
+    if isinstance(expr, ast.ObjectLiteral):
+        inner = ", ".join(f"{key}: {_expr_text(value)}" for key, value in expr.items)
+        return f"{{{inner}}}"
+    if isinstance(expr, ast.Ternary):
+        return (
+            f"({_expr_text(expr.condition)} ? {_expr_text(expr.then)} : "
+            f"{_expr_text(expr.otherwise)})"
+        )
+    if isinstance(expr, ast.SubQuery):
+        return "(subquery)"
+    return type(expr).__name__
+
+
+def _operation_lines(operation: ast.Operation, indent: int) -> list[str]:
+    pad = "  " * indent
+    if isinstance(operation, IndexScanOp):
+        lines = [
+            f"{pad}IndexScan {operation.var} IN {operation.source_name} "
+            f"USING {operation.index_kind} index {operation.index_name!r} "
+            f"ON {'.'.join(operation.path)} == {_expr_text(operation.value)}"
+        ]
+        if operation.residual is not None:
+            lines.append(f"{pad}  Residual: {_expr_text(operation.residual)}")
+        return lines
+    if isinstance(operation, ast.ForOp):
+        return [f"{pad}Scan {operation.var} IN {_expr_text(operation.source)}"]
+    if isinstance(operation, ast.TraversalOp):
+        label = f" LABEL {operation.label!r}" if operation.label else ""
+        return [
+            f"{pad}Traverse {operation.var} IN "
+            f"{operation.min_depth}..{operation.max_depth} "
+            f"{operation.direction.upper()} {_expr_text(operation.start)} "
+            f"GRAPH {operation.graph}{label} (edge index)"
+        ]
+    if isinstance(operation, ast.ShortestPathOp):
+        return [
+            f"{pad}ShortestPath {operation.var} "
+            f"{operation.direction.upper()} {_expr_text(operation.start)} "
+            f"TO {_expr_text(operation.goal)} GRAPH {operation.graph}"
+        ]
+    if isinstance(operation, ast.FilterOp):
+        return [f"{pad}Filter {_expr_text(operation.condition)}"]
+    if isinstance(operation, ast.LetOp):
+        return [f"{pad}Let {operation.var} = {_expr_text(operation.value)}"]
+    if isinstance(operation, ast.SortOp):
+        keys = ", ".join(
+            f"{_expr_text(key.expr)} {'ASC' if key.ascending else 'DESC'}"
+            for key in operation.keys
+        )
+        return [f"{pad}Sort {keys}"]
+    if isinstance(operation, ast.LimitOp):
+        return [f"{pad}Limit offset={operation.offset} count={operation.count}"]
+    if isinstance(operation, ast.CollectOp):
+        groups = ", ".join(f"{name} = {_expr_text(expr)}" for name, expr in operation.groups)
+        extras = []
+        if operation.count_into:
+            extras.append(f"WITH COUNT INTO {operation.count_into}")
+        if operation.into:
+            extras.append(f"INTO {operation.into}")
+        return [f"{pad}Collect {groups} {' '.join(extras)}".rstrip()]
+    if isinstance(operation, ast.ReturnOp):
+        distinct = "DISTINCT " if operation.distinct else ""
+        return [f"{pad}Return {distinct}{_expr_text(operation.expr)}"]
+    if isinstance(operation, ast.InsertOp):
+        return [f"{pad}Insert {_expr_text(operation.document)} INTO {operation.target}"]
+    if isinstance(operation, ast.UpdateOp):
+        return [
+            f"{pad}Update {_expr_text(operation.key)} WITH "
+            f"{_expr_text(operation.changes)} IN {operation.target}"
+        ]
+    if isinstance(operation, ast.RemoveOp):
+        return [f"{pad}Remove {_expr_text(operation.key)} IN {operation.target}"]
+    if isinstance(operation, ast.ReplaceOp):
+        return [
+            f"{pad}Replace {_expr_text(operation.key)} WITH "
+            f"{_expr_text(operation.document)} IN {operation.target}"
+        ]
+    if isinstance(operation, ast.UpsertOp):
+        return [
+            f"{pad}Upsert {_expr_text(operation.search)} INSERT "
+            f"{_expr_text(operation.insert_doc)} UPDATE "
+            f"{_expr_text(operation.update_patch)} INTO {operation.target}"
+        ]
+    return [f"{pad}{type(operation).__name__}"]
+
+
+def render_plan(query: ast.Query) -> str:
+    """Human-readable plan, one operation per line, pipeline order."""
+    lines = []
+    for indent, operation in enumerate(query.operations):
+        lines.extend(_operation_lines(operation, indent))
+    return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""Catalog statistics for cost-based decisions.
+
+The optimizer's index selection asks: of the (possibly several) equality
+conjuncts that an index could serve, which one to probe?  The classic
+answer is selectivity — expected matches per probe = rows / distinct keys.
+These statistics come straight from live structures (row-view counts and
+index distinct counts), so they are always current and cost nothing to
+maintain.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+__all__ = ["collection_cardinality", "index_selectivity", "estimate_probe_cost"]
+
+
+def collection_cardinality(db, source_name: str) -> int:
+    """Current record count of a catalog object."""
+    store = db.resolve(source_name)
+    namespace = getattr(store, "namespace", None)
+    if namespace is None:
+        return 0
+    return db.context.rows.count(namespace)
+
+
+def index_selectivity(index_view) -> float:
+    """Expected fraction of rows matched by one equality probe
+    (1/distinct-keys; 1.0 when the index is empty — i.e. useless)."""
+    distinct = len(index_view.index)
+    if distinct <= 0:
+        return 1.0
+    return 1.0 / distinct
+
+
+def estimate_probe_cost(db, source_name: str, index_view) -> float:
+    """Estimated rows fetched per probe: cardinality × selectivity."""
+    cardinality = collection_cardinality(db, source_name)
+    return cardinality * index_selectivity(index_view)

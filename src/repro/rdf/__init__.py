@@ -1,0 +1,5 @@
+"""RDF model: triple store with DB2-RDF layouts and BGP queries."""
+
+from repro.rdf.store import Triple, TripleStore, is_variable
+
+__all__ = ["Triple", "TripleStore", "is_variable"]

@@ -1,0 +1,6 @@
+"""Relational model: typed schemas, constraints, tables (slides 34-39)."""
+
+from repro.relational.schema import Column, ColumnType, TableSchema
+from repro.relational.table import Table
+
+__all__ = ["Column", "ColumnType", "TableSchema", "Table"]

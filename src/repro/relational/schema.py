@@ -1,0 +1,145 @@
+"""Relational schemas: typed columns and declarative constraints.
+
+The relational model is the tutorial's "biggest set" (slide 34): typed
+columns, primary keys, NOT NULL and CHECK constraints.  Following the
+multi-model extensions it surveys (PostgreSQL JSONB columns, SQL Server
+NVARCHAR JSON, Oracle XMLType), a column may be declared with type ``json``
+or ``xml`` — the gateway through which documents live inside relations
+(experiment E7 queries a JSONB ``orders`` column exactly like slide 37).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.core import datamodel
+from repro.errors import ConstraintViolationError, SchemaError
+
+__all__ = ["ColumnType", "Column", "TableSchema"]
+
+
+class ColumnType:
+    """Column type names and their data-model admission checks."""
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    STRING = "string"
+    BOOLEAN = "boolean"
+    JSON = "json"
+    XML = "xml"
+
+    _CHECKS: dict[str, Callable[[Any], bool]] = {}
+
+    @classmethod
+    def validate(cls, type_name: str, value: Any) -> bool:
+        """True when *value* is admissible for *type_name* (NULL always is —
+        nullability is a separate constraint)."""
+        if value is None:
+            return True
+        tag = datamodel.type_of(value)
+        if type_name == cls.INTEGER:
+            return tag is datamodel.TypeTag.NUMBER and float(value).is_integer()
+        if type_name == cls.FLOAT:
+            return tag is datamodel.TypeTag.NUMBER
+        if type_name == cls.STRING:
+            return tag is datamodel.TypeTag.STRING
+        if type_name == cls.BOOLEAN:
+            return tag is datamodel.TypeTag.BOOL
+        if type_name == cls.JSON:
+            return True  # any model value is JSON
+        if type_name == cls.XML:
+            return tag is datamodel.TypeTag.STRING or tag is datamodel.TypeTag.OBJECT
+        raise SchemaError(f"unknown column type {type_name!r}")
+
+    ALL = (INTEGER, FLOAT, STRING, BOOLEAN, JSON, XML)
+
+
+@dataclass
+class Column:
+    """One column definition."""
+
+    name: str
+    type: str = ColumnType.JSON
+    nullable: bool = True
+    default: Any = None
+
+    def __post_init__(self):
+        if self.type not in ColumnType.ALL:
+            raise SchemaError(f"unknown column type {self.type!r}")
+
+    def admit(self, value: Any, table: str) -> Any:
+        """Validate and normalize one cell value."""
+        if value is None:
+            value = self.default
+        if value is None:
+            if not self.nullable:
+                raise ConstraintViolationError(
+                    f"{table}.{self.name} is NOT NULL"
+                )
+            return None
+        if not ColumnType.validate(self.type, value):
+            raise ConstraintViolationError(
+                f"{table}.{self.name} expects {self.type}, got "
+                f"{datamodel.type_name(value)} ({value!r})"
+            )
+        return datamodel.normalize(value)
+
+
+@dataclass
+class TableSchema:
+    """Table definition: ordered columns, primary key, CHECK predicates.
+
+    ``checks`` maps a constraint name to a predicate over the full row dict;
+    predicates must be pure.
+    """
+
+    name: str
+    columns: list[Column]
+    primary_key: str = "id"
+    checks: dict[str, Callable[[dict], bool]] = field(default_factory=dict)
+
+    def __post_init__(self):
+        names = [column.name for column in self.columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in table {self.name!r}")
+        if self.primary_key not in names:
+            raise SchemaError(
+                f"primary key {self.primary_key!r} is not a column of "
+                f"table {self.name!r}"
+            )
+        self._by_name = {column.name: column for column in self.columns}
+
+    def column(self, name: str) -> Column:
+        column = self._by_name.get(name)
+        if column is None:
+            raise SchemaError(f"table {self.name!r} has no column {name!r}")
+        return column
+
+    @property
+    def column_names(self) -> list[str]:
+        return [column.name for column in self.columns]
+
+    def admit_row(self, row: dict) -> dict:
+        """Validate a full row: unknown columns rejected, types checked,
+        defaults applied, CHECK constraints evaluated, PK present."""
+        unknown = set(row) - set(self._by_name)
+        if unknown:
+            raise SchemaError(
+                f"table {self.name!r} has no columns {sorted(unknown)}"
+            )
+        admitted = {}
+        for column in self.columns:
+            admitted[column.name] = column.admit(row.get(column.name), self.name)
+        if admitted[self.primary_key] is None:
+            raise ConstraintViolationError(
+                f"table {self.name!r}: primary key {self.primary_key!r} "
+                "must not be NULL"
+            )
+        for check_name, predicate in self.checks.items():
+            if not predicate(admitted):
+                raise ConstraintViolationError(
+                    f"table {self.name!r}: CHECK {check_name!r} failed for "
+                    f"row {admitted!r}"
+                )
+        return admitted

@@ -1,0 +1,6 @@
+"""Spatial model: R-tree indexed geo records (the title figure's 'Spatial')."""
+
+from repro.spatial.rtree import Rect, RTree
+from repro.spatial.store import SpatialStore, geometry_to_rect
+
+__all__ = ["Rect", "RTree", "SpatialStore", "geometry_to_rect"]

@@ -1,0 +1,314 @@
+"""An R-tree index for spatial data.
+
+The tutorial's title figure lists *Spatial* among the models a multi-model
+database must host, and slide 78 notes "Oracle MySQL — spatial data
+R-trees".  This is a real dynamic R-tree (Guttman's original, with
+quadratic split): rectangles in leaves, minimum bounding rectangles in
+internal nodes, inserts choose the child needing least enlargement, and
+overflowing nodes split by the quadratic seed heuristic.
+
+Geometry is 2-D; entries are ``(Rect, rid)``.  Points are zero-area
+rectangles.  Queries: rectangle intersection search, containment search,
+and k-nearest-neighbour by best-first branch and bound.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional
+
+from repro.errors import UnsupportedIndexOperationError
+from repro.indexes.base import Index, IndexCapabilities
+
+__all__ = ["Rect", "RTree"]
+
+
+@dataclass(frozen=True)
+class Rect:
+    """Axis-aligned rectangle (min_x ≤ max_x, min_y ≤ max_y)."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self):
+        if self.min_x > self.max_x or self.min_y > self.max_y:
+            raise ValueError(f"degenerate rect {self}")
+
+    @classmethod
+    def point(cls, x: float, y: float) -> "Rect":
+        return cls(x, y, x, y)
+
+    @property
+    def area(self) -> float:
+        return (self.max_x - self.min_x) * (self.max_y - self.min_y)
+
+    def union(self, other: "Rect") -> "Rect":
+        return Rect(
+            min(self.min_x, other.min_x),
+            min(self.min_y, other.min_y),
+            max(self.max_x, other.max_x),
+            max(self.max_y, other.max_y),
+        )
+
+    def enlargement(self, other: "Rect") -> float:
+        """Area growth needed to absorb *other*."""
+        return self.union(other).area - self.area
+
+    def intersects(self, other: "Rect") -> bool:
+        return not (
+            other.min_x > self.max_x
+            or other.max_x < self.min_x
+            or other.min_y > self.max_y
+            or other.max_y < self.min_y
+        )
+
+    def contains(self, other: "Rect") -> bool:
+        return (
+            self.min_x <= other.min_x
+            and self.min_y <= other.min_y
+            and self.max_x >= other.max_x
+            and self.max_y >= other.max_y
+        )
+
+    def min_distance_to(self, x: float, y: float) -> float:
+        """Euclidean distance from a point to this rectangle (0 inside)."""
+        dx = max(self.min_x - x, 0.0, x - self.max_x)
+        dy = max(self.min_y - y, 0.0, y - self.max_y)
+        return math.hypot(dx, dy)
+
+    def center(self) -> tuple[float, float]:
+        return ((self.min_x + self.max_x) / 2, (self.min_y + self.max_y) / 2)
+
+
+class _Node:
+    __slots__ = ("is_leaf", "entries")
+
+    def __init__(self, is_leaf: bool):
+        self.is_leaf = is_leaf
+        # leaves: list of (Rect, rid); internal: list of (Rect, _Node)
+        self.entries: list[tuple[Rect, Any]] = []
+
+    def mbr(self) -> Rect:
+        rect = self.entries[0][0]
+        for other, _child in self.entries[1:]:
+            rect = rect.union(other)
+        return rect
+
+
+class RTree(Index):
+    """Guttman R-tree with quadratic split."""
+
+    kind = "rtree"
+    capabilities = IndexCapabilities(point=False)
+
+    def __init__(self, max_entries: int = 8, name: str = ""):
+        if max_entries < 4:
+            raise ValueError("R-tree needs max_entries >= 4")
+        self._max = max_entries
+        self._min = max(2, max_entries // 2)
+        self.name = name
+        self._root = _Node(is_leaf=True)
+        self._size = 0
+        self._height = 1
+
+    # -- protocol ----------------------------------------------------------
+
+    def insert(self, key: Any, rid: Any) -> None:
+        """Insert a :class:`Rect` (or (x, y) point tuple) for *rid*."""
+        rect = self._coerce(key)
+        split = self._insert(self._root, rect, rid, self._height)
+        if split is not None:
+            old_root = self._root
+            self._root = _Node(is_leaf=False)
+            self._root.entries = [
+                (old_root.mbr(), old_root),
+                (split.mbr(), split),
+            ]
+            self._height += 1
+        self._size += 1
+
+    def delete(self, key: Any, rid: Any) -> None:
+        """Remove one (rect, rid) entry (exact match); no tree condensation
+        beyond removing empty leaves (lazy, like the B+tree)."""
+        rect = self._coerce(key)
+        if self._delete(self._root, rect, rid):
+            self._size -= 1
+
+    def search(self, key: Any) -> list[Any]:
+        """rids whose rectangle intersects *key* (the natural probe)."""
+        return self.search_intersects(key)
+
+    def clear(self) -> None:
+        self._root = _Node(is_leaf=True)
+        self._size = 0
+        self._height = 1
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        return self._height
+
+    # -- queries --------------------------------------------------------------
+
+    def search_intersects(self, key: Any) -> list[Any]:
+        query = self._coerce(key)
+        result: list[Any] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            for rect, child in node.entries:
+                if not rect.intersects(query):
+                    continue
+                if node.is_leaf:
+                    result.append(child)
+                else:
+                    stack.append(child)
+        return result
+
+    def search_contained_in(self, key: Any) -> list[Any]:
+        """rids whose rectangle lies fully inside *key*."""
+        query = self._coerce(key)
+        result: list[Any] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            for rect, child in node.entries:
+                if node.is_leaf:
+                    if query.contains(rect):
+                        result.append(child)
+                elif rect.intersects(query):
+                    stack.append(child)
+        return result
+
+    def nearest(self, x: float, y: float, k: int = 1) -> list[tuple[float, Any]]:
+        """k nearest entries to (x, y) as (distance, rid), best-first."""
+        if k < 1:
+            return []
+        counter = itertools.count()
+        heap: list[tuple[float, int, bool, Any]] = [
+            (0.0, next(counter), False, self._root)
+        ]
+        found: list[tuple[float, Any]] = []
+        while heap and len(found) < k:
+            distance, _tie, is_entry, payload = heapq.heappop(heap)
+            if is_entry:
+                found.append((distance, payload))
+                continue
+            node: _Node = payload
+            for rect, child in node.entries:
+                child_distance = rect.min_distance_to(x, y)
+                heapq.heappush(
+                    heap,
+                    (child_distance, next(counter), node.is_leaf, child),
+                )
+        return found
+
+    # -- internals ----------------------------------------------------------------
+
+    @staticmethod
+    def _coerce(key: Any) -> Rect:
+        if isinstance(key, Rect):
+            return key
+        if (
+            isinstance(key, (tuple, list))
+            and len(key) == 2
+            and all(isinstance(value, (int, float)) for value in key)
+        ):
+            return Rect.point(float(key[0]), float(key[1]))
+        if isinstance(key, (tuple, list)) and len(key) == 4:
+            return Rect(*(float(value) for value in key))
+        raise UnsupportedIndexOperationError(
+            f"R-tree keys are Rects, (x, y) points or 4-tuples; got {key!r}"
+        )
+
+    def _insert(
+        self, node: _Node, rect: Rect, rid: Any, level: int
+    ) -> Optional[_Node]:
+        if node.is_leaf:
+            node.entries.append((rect, rid))
+        else:
+            best_index = min(
+                range(len(node.entries)),
+                key=lambda i: (
+                    node.entries[i][0].enlargement(rect),
+                    node.entries[i][0].area,
+                ),
+            )
+            child_rect, child = node.entries[best_index]
+            split = self._insert(child, rect, rid, level - 1)
+            node.entries[best_index] = (child.mbr(), child)
+            if split is not None:
+                node.entries.append((split.mbr(), split))
+        if len(node.entries) > self._max:
+            return self._quadratic_split(node)
+        return None
+
+    def _quadratic_split(self, node: _Node) -> _Node:
+        entries = node.entries
+        # Pick the two seeds wasting the most area together.
+        worst = None
+        seeds = (0, 1)
+        for i in range(len(entries)):
+            for j in range(i + 1, len(entries)):
+                waste = (
+                    entries[i][0].union(entries[j][0]).area
+                    - entries[i][0].area
+                    - entries[j][0].area
+                )
+                if worst is None or waste > worst:
+                    worst = waste
+                    seeds = (i, j)
+        first, second = seeds
+        group_a = [entries[first]]
+        group_b = [entries[second]]
+        rest = [
+            entry
+            for index, entry in enumerate(entries)
+            if index not in (first, second)
+        ]
+        rect_a = group_a[0][0]
+        rect_b = group_b[0][0]
+        for entry in rest:
+            # Respect the minimum fill factor.
+            remaining = len(rest) - (len(group_a) + len(group_b) - 2)
+            if len(group_a) + remaining <= self._min:
+                group_a.append(entry)
+                rect_a = rect_a.union(entry[0])
+                continue
+            if len(group_b) + remaining <= self._min:
+                group_b.append(entry)
+                rect_b = rect_b.union(entry[0])
+                continue
+            if rect_a.enlargement(entry[0]) <= rect_b.enlargement(entry[0]):
+                group_a.append(entry)
+                rect_a = rect_a.union(entry[0])
+            else:
+                group_b.append(entry)
+                rect_b = rect_b.union(entry[0])
+        node.entries = group_a
+        sibling = _Node(is_leaf=node.is_leaf)
+        sibling.entries = group_b
+        return sibling
+
+    def _delete(self, node: _Node, rect: Rect, rid: Any) -> bool:
+        if node.is_leaf:
+            for index, (stored_rect, stored_rid) in enumerate(node.entries):
+                if stored_rid == rid and stored_rect == rect:
+                    del node.entries[index]
+                    return True
+            return False
+        for index, (stored_rect, child) in enumerate(node.entries):
+            if stored_rect.intersects(rect) and self._delete(child, rect, rid):
+                if child.entries:
+                    node.entries[index] = (child.mbr(), child)
+                else:
+                    del node.entries[index]
+                return True
+        return False

@@ -1,0 +1,149 @@
+"""Checkpoints: bounding recovery time and log growth.
+
+A checkpoint materializes the committed state (every namespace of the row
+view) plus the covering LSN into one JSON file.  Recovery then becomes
+*load checkpoint + replay the WAL tail*, and the WAL can be truncated up to
+the checkpoint LSN — the standard protocol, applied to the central logical
+log.
+
+Checkpoints must be taken at a quiescent point (no active transactions);
+:meth:`Checkpointer.write` asserts this via the transaction manager when
+one is supplied.  Because the engine publishes a transaction's writes to
+the log atomically (writes + COMMIT appended back-to-back under the commit
+mutex), any LSN between transactions is a consistent cut.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Optional
+
+from repro.core.datamodel import canonical_json
+from repro.errors import RecoveryError
+from repro.storage.log import CentralLog, LogOp
+from repro.storage.views import RowView
+from repro.storage.wal import WriteAheadLog
+
+__all__ = ["write_checkpoint", "load_checkpoint", "recover_from_checkpoint", "truncate_wal"]
+
+_FORMAT_VERSION = 1
+
+
+def write_checkpoint(
+    path: str,
+    rows: RowView,
+    log: CentralLog,
+    transactions: Any = None,
+) -> int:
+    """Write a checkpoint file covering everything up to the current LSN;
+    returns that LSN.  Refuses when transactions are still active."""
+    if transactions is not None and transactions.active_count:
+        raise RecoveryError(
+            f"cannot checkpoint with {transactions.active_count} active "
+            "transaction(s)"
+        )
+    lsn = log.last_lsn
+    snapshot = {
+        "version": _FORMAT_VERSION,
+        "lsn": lsn,
+        "namespaces": {
+            namespace: [[key, value] for key, value in rows.scan(namespace)]
+            for namespace in rows.namespaces()
+        },
+    }
+    temp_path = path + ".tmp"
+    with open(temp_path, "w", encoding="utf-8") as handle:
+        handle.write(canonical_json(snapshot))
+    os.replace(temp_path, path)  # atomic publish
+    return lsn
+
+
+def load_checkpoint(path: str) -> tuple[int, dict]:
+    """Read a checkpoint file; returns (covered lsn, {namespace: pairs})."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            snapshot = json.load(handle)
+    except FileNotFoundError:
+        return 0, {}
+    except json.JSONDecodeError as error:
+        raise RecoveryError(f"corrupt checkpoint {path!r}: {error}") from error
+    if snapshot.get("version") != _FORMAT_VERSION:
+        raise RecoveryError(
+            f"checkpoint {path!r} has version {snapshot.get('version')!r}, "
+            f"expected {_FORMAT_VERSION}"
+        )
+    return snapshot["lsn"], snapshot["namespaces"]
+
+
+def recover_from_checkpoint(
+    checkpoint_path: str,
+    wal_path: str,
+    log: CentralLog,
+) -> tuple[int, int]:
+    """Rebuild state into *log*: checkpoint contents first, then the WAL
+    tail (committed transactions with lsn beyond the checkpoint).
+
+    Returns (records from checkpoint, records redone from the WAL tail).
+    """
+    covered_lsn, namespaces = load_checkpoint(checkpoint_path)
+    from_checkpoint = 0
+    for namespace, pairs in namespaces.items():
+        for key, value in pairs:
+            log.append(0, LogOp.INSERT, namespace, key, value)
+            from_checkpoint += 1
+
+    records = [
+        record
+        for record in WriteAheadLog.read_records(wal_path)
+        if record["lsn"] > covered_lsn
+    ]
+    committed = {
+        record["txn"] for record in records if record["op"] == LogOp.COMMIT.value
+    }
+    aborted = {
+        record["txn"] for record in records if record["op"] == LogOp.ABORT.value
+    }
+    data_ops = {LogOp.INSERT.value, LogOp.UPDATE.value, LogOp.DELETE.value}
+    redone = 0
+    for record in records:
+        if record["op"] in data_ops:
+            if record["txn"] in committed and record["txn"] not in aborted:
+                log.append(
+                    record["txn"],
+                    LogOp(record["op"]),
+                    record["ns"],
+                    record["key"],
+                    record["value"],
+                    record["before"],
+                )
+                redone += 1
+        elif record["op"] == LogOp.DROP_NAMESPACE.value:
+            log.append(record["txn"], LogOp.DROP_NAMESPACE, record["ns"])
+    return from_checkpoint, redone
+
+
+def truncate_wal(wal_path: str, up_to_lsn: int) -> int:
+    """Drop WAL records covered by a checkpoint; returns how many were
+    dropped.  Rewrites the file atomically."""
+    kept_lines = []
+    dropped = 0
+    for record in WriteAheadLog.read_records(wal_path):
+        if record["lsn"] > up_to_lsn:
+            kept_lines.append(record)
+        else:
+            dropped += 1
+    temp_path = wal_path + ".tmp"
+    with WriteAheadLog(temp_path, sync=False) as wal:
+        for record in kept_lines:
+            wal.append(
+                record["lsn"],
+                record["txn"],
+                record["op"],
+                record["ns"],
+                record["key"],
+                record["value"],
+                record["before"],
+            )
+    os.replace(temp_path, wal_path)
+    return dropped

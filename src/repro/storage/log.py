@@ -1,0 +1,162 @@
+"""The central logical log — the OctopusDB idea (slides 15-16).
+
+"All data is collected in a central log, i.e. all insert and update
+operations create logical log-entries in that log.  Based on that log, define
+several types of optional storage views."
+
+Every mutation in the engine, whatever the data model, is appended here as a
+:class:`LogEntry`.  Storage views (:mod:`repro.storage.views`) subscribe to
+the log and maintain materialized representations — a row store, a column
+store, indexes.  This is what makes the engine "one size fits all" at the
+storage layer: the query optimizer's index-selection problem and the view
+maintenance problem collapse into storage-view selection, exactly as the
+tutorial describes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+from repro.errors import StorageError
+
+__all__ = ["LogOp", "LogEntry", "CentralLog"]
+
+
+class LogOp(enum.Enum):
+    """Logical operation kinds recorded in the central log."""
+
+    INSERT = "insert"
+    UPDATE = "update"
+    DELETE = "delete"
+    CREATE_NAMESPACE = "create_namespace"
+    DROP_NAMESPACE = "drop_namespace"
+    COMMIT = "commit"
+    ABORT = "abort"
+    CHECKPOINT = "checkpoint"
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One immutable logical log record.
+
+    ``namespace`` is the fully qualified store name (``"doc:orders"``,
+    ``"rel:customers"``, ``"graph:knows"`` …); ``key`` is the record's
+    primary key within it.  ``before`` carries the pre-image for updates and
+    deletes so views (and recovery undo) can be maintained incrementally.
+    """
+
+    lsn: int
+    txn_id: int
+    op: LogOp
+    namespace: str = ""
+    key: Any = None
+    value: Any = None
+    before: Any = None
+    meta: dict = field(default_factory=dict)
+
+    def is_data_op(self) -> bool:
+        """True for entries that change records (not txn/checkpoint marks)."""
+        return self.op in (LogOp.INSERT, LogOp.UPDATE, LogOp.DELETE)
+
+
+class CentralLog:
+    """Append-only in-memory logical log with subscriber fan-out.
+
+    Subscribers (storage views) are invoked synchronously on append, in
+    registration order, so a view is always consistent with the log tail the
+    moment :meth:`append` returns.
+    """
+
+    def __init__(self):
+        self._entries: list[LogEntry] = []
+        self._subscribers: list[Callable[[LogEntry], None]] = []
+        self._next_lsn = 1
+        # Number of entries dropped from the front by truncation; the entry
+        # at list position i always has lsn == _offset + i + 1.
+        self._offset = 0
+
+    # -- writing -----------------------------------------------------------
+
+    def append(
+        self,
+        txn_id: int,
+        op: LogOp,
+        namespace: str = "",
+        key: Any = None,
+        value: Any = None,
+        before: Any = None,
+        meta: Optional[dict] = None,
+    ) -> LogEntry:
+        """Create, store and fan out a new log entry; returns it."""
+        entry = LogEntry(
+            lsn=self._next_lsn,
+            txn_id=txn_id,
+            op=op,
+            namespace=namespace,
+            key=key,
+            value=value,
+            before=before,
+            meta=meta or {},
+        )
+        self._next_lsn += 1
+        self._entries.append(entry)
+        for subscriber in self._subscribers:
+            subscriber(entry)
+        return entry
+
+    # -- subscription ------------------------------------------------------
+
+    def subscribe(self, callback: Callable[[LogEntry], None]) -> None:
+        """Register a view-maintenance callback for future entries."""
+        self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[LogEntry], None]) -> None:
+        self._subscribers.remove(callback)
+
+    # -- reading -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[LogEntry]:
+        return iter(self._entries)
+
+    @property
+    def last_lsn(self) -> int:
+        """LSN of the most recent entry (0 when the log is empty)."""
+        return self._next_lsn - 1
+
+    def entries_since(self, lsn: int) -> Iterator[LogEntry]:
+        """Yield entries with ``entry.lsn > lsn`` in LSN order."""
+        # The retained log is dense in LSN, so position math suffices.
+        start = max(lsn - self._offset, 0)
+        if start >= len(self._entries):
+            return iter(())
+        return iter(self._entries[start:])
+
+    def entry_at(self, lsn: int) -> LogEntry:
+        """Return the entry with exactly this LSN."""
+        position = lsn - self._offset - 1
+        if not 0 <= position < len(self._entries):
+            raise StorageError(f"no log entry with lsn {lsn}")
+        return self._entries[position]
+
+    # -- truncation --------------------------------------------------------
+
+    def truncate_before(self, lsn: int) -> int:
+        """Drop entries with ``entry.lsn < lsn`` (after a checkpoint has
+        made them redundant).  Returns the number of dropped entries.
+
+        LSNs keep counting from where they were — the log stays dense in
+        *position* terms via the recorded offset.
+        """
+        keep_from = len(self._entries)
+        for index, entry in enumerate(self._entries):
+            if entry.lsn >= lsn:
+                keep_from = index
+                break
+        del self._entries[:keep_from]
+        self._offset += keep_from
+        return keep_from

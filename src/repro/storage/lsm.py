@@ -1,0 +1,190 @@
+"""Log-structured merge tree: memtable + SSTables (slide 41).
+
+"Cassandra — column store with sparse tables.  SSTables (Sorted String
+Tables) — proposed in Google system Bigtable."
+
+A faithful small LSM: writes go to a sorted in-memory *memtable*; when it
+exceeds its budget it is flushed to an immutable :class:`SSTable` (a sorted
+run with a sparse index); reads check the memtable then SSTables newest-
+first; deletes write tombstones; :meth:`LsmTree.compact` merges all runs,
+dropping shadowed versions and tombstones.  Range scans merge all runs with
+a heap.
+
+Keys are strings (Bigtable/Cassandra semantics); values are any data-model
+value.
+"""
+
+from __future__ import annotations
+
+import bisect
+import heapq
+from typing import Any, Iterator, Optional
+
+__all__ = ["SSTable", "LsmTree", "TOMBSTONE"]
+
+
+class _Tombstone:
+    """Sentinel marking a deleted key inside a run."""
+
+    def __repr__(self) -> str:
+        return "<tombstone>"
+
+
+TOMBSTONE = _Tombstone()
+
+
+class SSTable:
+    """Immutable sorted run with a sparse index every *stride* keys."""
+
+    def __init__(self, items: list[tuple[str, Any]], stride: int = 16):
+        # items must arrive sorted and key-unique (the memtable guarantees it).
+        self._keys = [key for key, _value in items]
+        self._values = [value for _key, value in items]
+        self._stride = max(stride, 1)
+        self._sparse = [
+            (self._keys[position], position)
+            for position in range(0, len(self._keys), self._stride)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    @property
+    def sparse_index_size(self) -> int:
+        return len(self._sparse)
+
+    def get(self, key: str) -> tuple[bool, Any]:
+        """(found, value) — value may be TOMBSTONE."""
+        position = self._locate(key)
+        if position is not None:
+            return True, self._values[position]
+        return False, None
+
+    def _locate(self, key: str) -> Optional[int]:
+        # Sparse index narrows the search window; then binary search within.
+        window = bisect.bisect_right([entry[0] for entry in self._sparse], key)
+        start = self._sparse[window - 1][1] if window else 0
+        end = min(start + self._stride, len(self._keys))
+        position = bisect.bisect_left(self._keys, key, start, end)
+        if position < len(self._keys) and self._keys[position] == key:
+            return position
+        return None
+
+    def items(self) -> Iterator[tuple[str, Any]]:
+        return iter(zip(self._keys, self._values))
+
+    def range(self, low: Optional[str], high: Optional[str]) -> Iterator[tuple[str, Any]]:
+        start = 0 if low is None else bisect.bisect_left(self._keys, low)
+        for position in range(start, len(self._keys)):
+            key = self._keys[position]
+            if high is not None and key > high:
+                return
+            yield key, self._values[position]
+
+
+class LsmTree:
+    """Memtable + levelled list of SSTables (newest first)."""
+
+    def __init__(self, memtable_limit: int = 256, sstable_stride: int = 16):
+        if memtable_limit < 1:
+            raise ValueError("memtable limit must be positive")
+        self._limit = memtable_limit
+        self._stride = sstable_stride
+        self._memtable: dict[str, Any] = {}
+        self._sstables: list[SSTable] = []  # newest first
+        self.flushes = 0
+        self.compactions = 0
+
+    # -- writes --------------------------------------------------------------
+
+    def put(self, key: str, value: Any) -> None:
+        if not isinstance(key, str):
+            raise TypeError("LSM keys are strings (Bigtable semantics)")
+        self._memtable[key] = value
+        if len(self._memtable) >= self._limit:
+            self.flush()
+
+    def delete(self, key: str) -> None:
+        """Write a tombstone; the key may live in older runs."""
+        self.put(key, TOMBSTONE)
+
+    def flush(self) -> None:
+        """Freeze the memtable into a new SSTable."""
+        if not self._memtable:
+            return
+        items = sorted(self._memtable.items())
+        self._sstables.insert(0, SSTable(items, self._stride))
+        self._memtable = {}
+        self.flushes += 1
+
+    # -- reads ---------------------------------------------------------------
+
+    def get(self, key: str) -> Any:
+        """Latest value for *key*, or None when absent/deleted."""
+        if key in self._memtable:
+            value = self._memtable[key]
+            return None if value is TOMBSTONE else value
+        for run in self._sstables:
+            found, value = run.get(key)
+            if found:
+                return None if value is TOMBSTONE else value
+        return None
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def range(
+        self, low: Optional[str] = None, high: Optional[str] = None
+    ) -> Iterator[tuple[str, Any]]:
+        """Merged, de-duplicated range scan across all runs, in key order."""
+        sources: list[Iterator[tuple[str, Any]]] = []
+        memtable_items = sorted(
+            (key, value)
+            for key, value in self._memtable.items()
+            if (low is None or key >= low) and (high is None or key <= high)
+        )
+        sources.append(iter(memtable_items))
+        for run in self._sstables:
+            sources.append(run.range(low, high))
+        # Heap-merge; ties broken by source age (0 = memtable = newest).
+        heap: list[tuple[str, int, Any, Iterator]] = []
+        for age, source in enumerate(sources):
+            for key, value in source:
+                heap.append((key, age, value, source))
+                break
+        heapq.heapify(heap)
+        last_key: Optional[str] = None
+        while heap:
+            key, age, value, source = heapq.heappop(heap)
+            for next_key, next_value in source:
+                heapq.heappush(heap, (next_key, age, next_value, source))
+                break
+            if key == last_key:
+                continue  # an older version, shadowed
+            last_key = key
+            if value is not TOMBSTONE:
+                yield key, value
+
+    def items(self) -> Iterator[tuple[str, Any]]:
+        return self.range()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.items())
+
+    # -- maintenance -----------------------------------------------------------
+
+    def compact(self) -> None:
+        """Merge every run into one, dropping shadowed versions and
+        tombstones entirely (full compaction makes tombstones reclaimable)."""
+        merged = list(self.range())
+        self._memtable = {}
+        self._sstables = [SSTable(merged, self._stride)] if merged else []
+        self.compactions += 1
+
+    @property
+    def sstable_count(self) -> int:
+        return len(self._sstables)
+
+    @property
+    def memtable_size(self) -> int:
+        return len(self._memtable)

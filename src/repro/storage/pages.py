@@ -1,0 +1,297 @@
+"""Slotted pages, a page file, a buffer pool, and a record heap.
+
+The tutorial surveys engines whose storage bottoms out in pages (PostgreSQL,
+DB2, Oracle) — this module is that substrate.  It is used by the persistence
+path and by the storage benchmarks; the in-memory row view remains the fast
+path for queries.
+
+Layout of a slotted page (all integers big-endian, 4 bytes):
+
+    [ slot_count | free_offset | slot_0 (off,len) | slot_1 … ]  …  [ data ]
+
+Records grow from the end of the page toward the slot directory.  Deleted
+slots keep their entry with length 0 (tombstone) so record ids stay stable;
+space is reclaimed by :meth:`SlottedPage.compact`.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.errors import PageError
+
+__all__ = ["PAGE_SIZE", "RecordId", "SlottedPage", "PageFile", "BufferPool", "RecordHeap"]
+
+PAGE_SIZE = 4096
+_HEADER = struct.Struct(">II")  # slot_count, free_offset
+_SLOT = struct.Struct(">II")  # offset, length
+
+
+@dataclass(frozen=True, order=True)
+class RecordId:
+    """Stable address of a record: (page number, slot number)."""
+
+    page: int
+    slot: int
+
+    def __repr__(self) -> str:
+        return f"rid({self.page},{self.slot})"
+
+
+class SlottedPage:
+    """One fixed-size page with a slot directory."""
+
+    def __init__(self, data: Optional[bytearray] = None):
+        if data is None:
+            self._data = bytearray(PAGE_SIZE)
+            self._set_header(0, PAGE_SIZE)
+        else:
+            if len(data) != PAGE_SIZE:
+                raise PageError(f"page must be {PAGE_SIZE} bytes, got {len(data)}")
+            self._data = bytearray(data)
+
+    # -- header/slot accessors ------------------------------------------------
+
+    def _header(self) -> tuple[int, int]:
+        return _HEADER.unpack_from(self._data, 0)
+
+    def _set_header(self, slot_count: int, free_offset: int) -> None:
+        _HEADER.pack_into(self._data, 0, slot_count, free_offset)
+
+    def _slot(self, slot: int) -> tuple[int, int]:
+        return _SLOT.unpack_from(self._data, _HEADER.size + slot * _SLOT.size)
+
+    def _set_slot(self, slot: int, offset: int, length: int) -> None:
+        _SLOT.pack_into(self._data, _HEADER.size + slot * _SLOT.size, offset, length)
+
+    # -- public API ------------------------------------------------------------
+
+    @property
+    def slot_count(self) -> int:
+        return self._header()[0]
+
+    def free_space(self) -> int:
+        """Bytes available for one more record (including its slot entry)."""
+        slot_count, free_offset = self._header()
+        directory_end = _HEADER.size + (slot_count + 1) * _SLOT.size
+        return max(free_offset - directory_end, 0)
+
+    def insert(self, record: bytes) -> int:
+        """Store *record*, returning its slot number."""
+        if len(record) > PAGE_SIZE - _HEADER.size - _SLOT.size:
+            raise PageError(
+                f"record of {len(record)} bytes can never fit in a page"
+            )
+        if len(record) + _SLOT.size > self.free_space():
+            raise PageError("page full")
+        slot_count, free_offset = self._header()
+        new_offset = free_offset - len(record)
+        self._data[new_offset:free_offset] = record
+        self._set_slot(slot_count, new_offset, len(record))
+        self._set_header(slot_count + 1, new_offset)
+        return slot_count
+
+    def read(self, slot: int) -> bytes:
+        offset, length = self._checked_slot(slot)
+        if length == 0:
+            raise PageError(f"slot {slot} is deleted")
+        return bytes(self._data[offset:offset + length])
+
+    def delete(self, slot: int) -> None:
+        """Tombstone the slot (record ids of other slots stay valid)."""
+        self._checked_slot(slot)
+        self._set_slot(slot, 0, 0)
+
+    def is_live(self, slot: int) -> bool:
+        _offset, length = self._checked_slot(slot)
+        return length > 0
+
+    def records(self) -> Iterator[tuple[int, bytes]]:
+        """Yield (slot, record) for live slots."""
+        for slot in range(self.slot_count):
+            offset, length = self._slot(slot)
+            if length:
+                yield slot, bytes(self._data[offset:offset + length])
+
+    def compact(self) -> dict[int, int]:
+        """Rewrite the page dropping tombstones; returns {old_slot: new_slot}."""
+        live = list(self.records())
+        self._data = bytearray(PAGE_SIZE)
+        self._set_header(0, PAGE_SIZE)
+        mapping = {}
+        for old_slot, record in live:
+            mapping[old_slot] = self.insert(record)
+        return mapping
+
+    def to_bytes(self) -> bytes:
+        return bytes(self._data)
+
+    def _checked_slot(self, slot: int) -> tuple[int, int]:
+        if not 0 <= slot < self.slot_count:
+            raise PageError(f"slot {slot} out of range (page has {self.slot_count})")
+        return self._slot(slot)
+
+
+class PageFile:
+    """A growable array of pages, optionally backed by a real file."""
+
+    def __init__(self, path: Optional[str] = None):
+        self._path = path
+        self._pages: list[bytearray] = []
+        if path is not None:
+            self._load()
+
+    def _load(self) -> None:
+        try:
+            with open(self._path, "rb") as handle:
+                raw = handle.read()
+        except FileNotFoundError:
+            return
+        if len(raw) % PAGE_SIZE:
+            raise PageError(f"{self._path} is not a whole number of pages")
+        for start in range(0, len(raw), PAGE_SIZE):
+            self._pages.append(bytearray(raw[start:start + PAGE_SIZE]))
+
+    @property
+    def page_count(self) -> int:
+        return len(self._pages)
+
+    def allocate(self) -> int:
+        self._pages.append(bytearray(SlottedPage().to_bytes()))
+        return len(self._pages) - 1
+
+    def read_page(self, page_number: int) -> bytearray:
+        if not 0 <= page_number < len(self._pages):
+            raise PageError(f"page {page_number} does not exist")
+        return bytearray(self._pages[page_number])
+
+    def write_page(self, page_number: int, data: bytes) -> None:
+        if not 0 <= page_number < len(self._pages):
+            raise PageError(f"page {page_number} does not exist")
+        if len(data) != PAGE_SIZE:
+            raise PageError("page data has wrong size")
+        self._pages[page_number] = bytearray(data)
+
+    def sync(self) -> None:
+        """Write all pages back to the backing file (no-op when in-memory)."""
+        if self._path is None:
+            return
+        with open(self._path, "wb") as handle:
+            for page in self._pages:
+                handle.write(page)
+
+
+class BufferPool:
+    """LRU buffer pool over a :class:`PageFile` with hit/miss accounting."""
+
+    def __init__(self, file: PageFile, capacity: int = 64):
+        if capacity < 1:
+            raise ValueError("buffer pool needs capacity >= 1")
+        self._file = file
+        self._capacity = capacity
+        self._frames: dict[int, SlottedPage] = {}
+        self._dirty: set[int] = set()
+        self._lru: list[int] = []
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, page_number: int) -> SlottedPage:
+        if page_number in self._frames:
+            self.hits += 1
+            self._lru.remove(page_number)
+            self._lru.append(page_number)
+            return self._frames[page_number]
+        self.misses += 1
+        if len(self._frames) >= self._capacity:
+            self._evict()
+        page = SlottedPage(self._file.read_page(page_number))
+        self._frames[page_number] = page
+        self._lru.append(page_number)
+        return page
+
+    def mark_dirty(self, page_number: int) -> None:
+        if page_number not in self._frames:
+            raise PageError(f"page {page_number} is not resident")
+        self._dirty.add(page_number)
+
+    def _evict(self) -> None:
+        victim = self._lru.pop(0)
+        page = self._frames.pop(victim)
+        if victim in self._dirty:
+            self._file.write_page(victim, page.to_bytes())
+            self._dirty.discard(victim)
+
+    def flush(self) -> None:
+        """Write every dirty resident page back."""
+        for page_number in sorted(self._dirty):
+            self._file.write_page(page_number, self._frames[page_number].to_bytes())
+        self._dirty.clear()
+        self._file.sync()
+
+
+class RecordHeap:
+    """A heap of variable-length records over pages + buffer pool.
+
+    Records are opaque bytes; callers serialize with
+    :func:`repro.core.datamodel.canonical_json`.
+    """
+
+    def __init__(self, file: Optional[PageFile] = None, pool_capacity: int = 64):
+        self._file = file or PageFile()
+        self._pool = BufferPool(self._file, pool_capacity)
+        self._last_page: Optional[int] = (
+            self._file.page_count - 1 if self._file.page_count else None
+        )
+        self._live = 0
+        if self._file.page_count:
+            self._live = sum(
+                1
+                for page_number in range(self._file.page_count)
+                for _ in SlottedPage(self._file.read_page(page_number)).records()
+            )
+
+    @property
+    def pool(self) -> BufferPool:
+        return self._pool
+
+    def __len__(self) -> int:
+        return self._live
+
+    def insert(self, record: bytes) -> RecordId:
+        if self._last_page is not None:
+            page = self._pool.get(self._last_page)
+            if page.free_space() >= len(record) + 8:
+                slot = page.insert(record)
+                self._pool.mark_dirty(self._last_page)
+                self._live += 1
+                return RecordId(self._last_page, slot)
+        self._last_page = self._file.allocate()
+        page = self._pool.get(self._last_page)
+        slot = page.insert(record)
+        self._pool.mark_dirty(self._last_page)
+        self._live += 1
+        return RecordId(self._last_page, slot)
+
+    def read(self, rid: RecordId) -> bytes:
+        return self._pool.get(rid.page).read(rid.slot)
+
+    def delete(self, rid: RecordId) -> None:
+        self._pool.get(rid.page).delete(rid.slot)
+        self._pool.mark_dirty(rid.page)
+        self._live -= 1
+
+    def update(self, rid: RecordId, record: bytes) -> RecordId:
+        """Replace a record; may relocate (returns the new rid)."""
+        self.delete(rid)
+        return self.insert(record)
+
+    def scan(self) -> Iterator[tuple[RecordId, bytes]]:
+        for page_number in range(self._file.page_count):
+            page = self._pool.get(page_number)
+            for slot, record in page.records():
+                yield RecordId(page_number, slot), record
+
+    def flush(self) -> None:
+        self._pool.flush()

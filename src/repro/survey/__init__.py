@@ -1,0 +1,23 @@
+"""The tutorial's DBMS classification tables as data (E2-E6)."""
+
+from repro.survey.matrices import (
+    CLASSIFICATION,
+    FEATURE_MATRICES,
+    SystemEntry,
+    lookup,
+    render_all,
+    render_classification,
+    render_matrix,
+    systems_in_category,
+)
+
+__all__ = [
+    "CLASSIFICATION",
+    "FEATURE_MATRICES",
+    "SystemEntry",
+    "lookup",
+    "render_all",
+    "render_classification",
+    "render_matrix",
+    "systems_in_category",
+]

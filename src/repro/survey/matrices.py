@@ -1,0 +1,307 @@
+"""The tutorial's classification tables as structured data (E2-E6).
+
+Slides 32/39/47/53/59/61/67 classify multi-model DBMSs by their primary
+model and compare them on formats, storage strategy, query languages,
+indices, scale-out, flexible schema, data combination and cloud support.
+This module encodes every row verbatim and renders the tables, so the
+benchmark target ``bench_survey_tables.py`` regenerates the paper's tables
+exactly and tests can assert individual cells.
+
+``Y``/``N``/``-`` values follow the slides (``-`` = not stated).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = [
+    "SystemEntry",
+    "CLASSIFICATION",
+    "FEATURE_MATRICES",
+    "systems_in_category",
+    "lookup",
+    "render_classification",
+    "render_matrix",
+    "render_all",
+]
+
+
+@dataclass(frozen=True)
+class SystemEntry:
+    """One row of a feature matrix."""
+
+    name: str
+    formats: str
+    storage: str
+    query_languages: str
+    indices: str
+    scale_out: str
+    flexible_schema: str
+    combine_data: str
+    cloud: str
+
+
+#: Slide 32 — "Classification and Timeline".
+CLASSIFICATION: dict[str, list[str]] = {
+    "relational": [
+        "PostgreSQL", "SQL Server", "IBM DB2", "Oracle DB", "Oracle MySQL", "Sinew",
+    ],
+    "column": ["Cassandra", "CrateDB", "DynamoDB", "HPE Vertica"],
+    "keyvalue": ["Riak", "c-treeACE", "Oracle NoSQL DB"],
+    "document": ["ArangoDB", "Couchbase", "MarkLogic"],
+    "graph": ["OrientDB"],
+    "object": ["InterSystems Caché"],
+    "special": ["NuoDB", "Redis", "Aerospike", "SAP HANA DB", "Octopus DB"],
+}
+
+
+FEATURE_MATRICES: dict[str, list[SystemEntry]] = {
+    # Slide 39 — relational multi-model DBMSs.
+    "relational": [
+        SystemEntry(
+            "PostgreSQL",
+            "relational, key/value, JSON, XML",
+            "relational tables - text or binary format + indices",
+            "SQL ext.",
+            "inverted",
+            "N", "Y", "Y", "N",
+        ),
+        SystemEntry(
+            "SQL Server",
+            "relational, XML, JSON, ...",
+            "text, relational tables",
+            "SQL ext.",
+            "B-tree, full-text",
+            "Y", "Y", "Y", "N",
+        ),
+        SystemEntry(
+            "IBM DB2",
+            "relational, XML, RDF",
+            "native XML type / relations for RDF",
+            "Extended SQL / XML / SPARQL 1.0/1.1",
+            "XML paths / B+ tree, fulltext",
+            "Y", "Y", "Y", "N",
+        ),
+        SystemEntry(
+            "Oracle DB",
+            "relational, XML, JSON",
+            "relational, native XML",
+            "SQL/XML, JSON SQL ext.",
+            "bitmap, B+ tree, function-based, XMLIndex",
+            "Y", "N", "Y", "Y",
+        ),
+        SystemEntry(
+            "Oracle MySQL",
+            "relational, key/value",
+            "relational",
+            "SQL, memcached API",
+            "B-tree",
+            "Y", "N", "Y", "Y",
+        ),
+        SystemEntry(
+            "Sinew",
+            "relational, key/value, nested document, ...",
+            "logically a universal relation, physically partially materialized",
+            "SQL",
+            "-",
+            "-", "Y", "Y", "N",
+        ),
+    ],
+    # Slide 47 — column multi-model DBMSs.
+    "column": [
+        SystemEntry(
+            "Cassandra",
+            "text, user-defined type",
+            "sparse tables",
+            "SQL-like CQL",
+            "inverted, B+ tree",
+            "Y", "N", "Y", "Y",
+        ),
+        SystemEntry(
+            "CrateDB",
+            "relational, JSON, BLOB, arrays",
+            "columnar store based on Lucene and Elasticsearch",
+            "SQL",
+            "Lucene",
+            "Y", "Y", "Y", "N",
+        ),
+        SystemEntry(
+            "DynamoDB",
+            "key/value, document (JSON)",
+            "column store",
+            "simple API (get / put / update) + simple queries over indices",
+            "hashing",
+            "Y", "Y", "Y", "Y",
+        ),
+        SystemEntry(
+            "HPE Vertica",
+            "JSON, CSV",
+            "flex tables + map",
+            "SQL-like for materialized data",
+            "",
+            "Y", "Y", "Y", "N",
+        ),
+    ],
+    # Slide 53 — key/value multi-model DBMSs.
+    "keyvalue": [
+        SystemEntry(
+            "Riak",
+            "key/value, XML, JSON",
+            "key/value pairs in buckets",
+            "Solr",
+            "Solr",
+            "Y", "N", "Y", "N",
+        ),
+        SystemEntry(
+            "c-treeACE",
+            "key/value + SQL API",
+            "record-oriented ISAM",
+            "SQL",
+            "ISAM",
+            "Y", "Y", "-", "N",
+        ),
+        SystemEntry(
+            "Oracle NoSQL DB",
+            "key/value, (hierarchical) table API",
+            "key/value",
+            "SQL",
+            "B-tree",
+            "Y", "N", "Y", "N",
+        ),
+    ],
+    # Slide 59 — document multi-model DBMSs.
+    "document": [
+        SystemEntry(
+            "ArangoDB",
+            "key/value, document, graph",
+            "document store allowing references",
+            "SQL-like AQL",
+            "mainly hash (eventually unique or sparse)",
+            "Y", "Y", "Y", "N",
+        ),
+        SystemEntry(
+            "Couchbase",
+            "key/value, document, distributed cache",
+            "document store + append-only write",
+            "SQL-based N1QL",
+            "B+tree, B+trie",
+            "Y", "Y", "Y", "N",
+        ),
+        SystemEntry(
+            "MarkLogic",
+            "XML, JSON, RDF, binary, text, ...",
+            "storing like hierarchical XML data",
+            "XPath, XQuery, SQL-like",
+            "inverted + native XML",
+            "Y", "Y", "Y", "N",
+        ),
+    ],
+    # Slide 61 — graph multi-model DBMSs.
+    "graph": [
+        SystemEntry(
+            "OrientDB",
+            "graph, document, key/value, object",
+            "key/value pairs + object-oriented links",
+            "Gremlin, SQL ext.",
+            "SB-tree, ext. hashing, Lucene",
+            "Y", "Y", "Y", "N",
+        ),
+    ],
+    # Slide 67 — object multi-model DBMSs.
+    "object": [
+        SystemEntry(
+            "Caché",
+            "object, SQL or multi-dimensional, document (JSON, XML) API",
+            "multi-dimensional arrays",
+            "SQL with object extensions",
+            "bitmap, bitslice, standard",
+            "Y", "Y", "-", "N",
+        ),
+    ],
+}
+
+_HEADERS = [
+    "System",
+    "Formats",
+    "Storage strategy",
+    "Query languages",
+    "Indices",
+    "Scale out",
+    "Flex. schema",
+    "Comb. data",
+    "Cloud",
+]
+
+
+def systems_in_category(category: str) -> list[str]:
+    """Names in one slide-32 category."""
+    return list(CLASSIFICATION[category])
+
+
+def lookup(system: str) -> Optional[SystemEntry]:
+    """Find a system's feature row across all matrices."""
+    for entries in FEATURE_MATRICES.values():
+        for entry in entries:
+            if entry.name.lower() == system.lower():
+                return entry
+    return None
+
+
+def _row_of(entry: SystemEntry) -> list[str]:
+    return [
+        entry.name,
+        entry.formats,
+        entry.storage,
+        entry.query_languages,
+        entry.indices,
+        entry.scale_out,
+        entry.flexible_schema,
+        entry.combine_data,
+        entry.cloud,
+    ]
+
+
+def render_matrix(category: str, width: int = 28) -> str:
+    """One feature matrix as aligned text (long cells wrap by truncation
+    with an ellipsis so the table stays a table)."""
+    entries = FEATURE_MATRICES[category]
+
+    def clip(text: str) -> str:
+        return text if len(text) <= width else text[: width - 1] + "…"
+
+    rows = [[clip(cell) for cell in _HEADERS]]
+    rows += [[clip(cell) for cell in _row_of(entry)] for entry in entries]
+    widths = [max(len(row[i]) for row in rows) for i in range(len(_HEADERS))]
+    lines = []
+    for index, row in enumerate(rows):
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        if index == 0:
+            lines.append("-+-".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def render_classification() -> str:
+    """Slide 32's classification table as text."""
+    lines = [f"{'Category':<12} | Systems", "-" * 60]
+    for category, systems in CLASSIFICATION.items():
+        lines.append(f"{category:<12} | {', '.join(systems)}")
+    return "\n".join(lines)
+
+
+def render_all() -> str:
+    """Every table, in slide order."""
+    parts = ["Classification and Timeline (slide 32)", render_classification()]
+    slide_of = {
+        "relational": 39,
+        "column": 47,
+        "keyvalue": 53,
+        "document": 59,
+        "graph": 61,
+        "object": 67,
+    }
+    for category, slide in slide_of.items():
+        parts.append("")
+        parts.append(f"{category.title()} multi-model DBMSs (slide {slide})")
+        parts.append(render_matrix(category))
+    return "\n".join(parts)

@@ -1,0 +1,16 @@
+"""Transactions: MVCC, 2PL, and hybrid consistency (challenge 6)."""
+
+from repro.txn.consistency import ConsistencyLevel, ConsistencyPolicy, ReplicaSet
+from repro.txn.locks import LockManager, LockMode
+from repro.txn.manager import IsolationLevel, Transaction, TransactionManager
+
+__all__ = [
+    "ConsistencyLevel",
+    "ConsistencyPolicy",
+    "ReplicaSet",
+    "LockManager",
+    "LockMode",
+    "IsolationLevel",
+    "Transaction",
+    "TransactionManager",
+]

@@ -1,0 +1,148 @@
+"""Hybrid consistency models for multi-model data (challenge 6, slide 97).
+
+"Graph data and relational data may have different requirements on the
+consistency models" — the tutorial's example pairs strictly consistent
+relational balances with eventually consistent social-graph edges.
+
+This module simulates a replicated namespace so that the trade-off is
+*measurable* (experiment E19).  A :class:`ReplicaSet` holds N replicas; a
+write at a given :class:`ConsistencyLevel` synchronously applies to a quorum
+of that level's size and leaves the rest to asynchronous anti-entropy
+(:meth:`ReplicaSet.tick`).  Reads contact a level-dependent number of
+replicas and return the newest version seen.  Costs are counted in
+*replica round-trips*, the currency real systems pay in.
+
+Levels:
+
+* ``STRONG``   — write W = N, read R = 1 (read-one/write-all);
+* ``QUORUM``   — W = R = ⌊N/2⌋+1 (overlapping majorities ⇒ monotonic reads);
+* ``EVENTUAL`` — W = R = 1, convergence only via anti-entropy ticks.
+
+A :class:`ConsistencyPolicy` assigns a level per namespace, which is how the
+engine expresses "relational = strong, graph = eventual".
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from typing import Any, Optional
+
+__all__ = ["ConsistencyLevel", "ConsistencyPolicy", "ReplicaSet"]
+
+
+class ConsistencyLevel(enum.Enum):
+    STRONG = "strong"
+    QUORUM = "quorum"
+    EVENTUAL = "eventual"
+
+
+class ConsistencyPolicy:
+    """Per-namespace consistency levels with a default."""
+
+    def __init__(self, default: ConsistencyLevel = ConsistencyLevel.STRONG):
+        self._default = default
+        self._levels: dict[str, ConsistencyLevel] = {}
+
+    def set_level(self, namespace: str, level: ConsistencyLevel | str) -> None:
+        if isinstance(level, str):
+            level = ConsistencyLevel(level)
+        self._levels[namespace] = level
+
+    def level_for(self, namespace: str) -> ConsistencyLevel:
+        return self._levels.get(namespace, self._default)
+
+    def as_dict(self) -> dict[str, str]:
+        return {namespace: level.value for namespace, level in sorted(self._levels.items())}
+
+
+class _Replica:
+    __slots__ = ("store",)
+
+    def __init__(self):
+        # key -> (version, value)
+        self.store: dict[Any, tuple[int, Any]] = {}
+
+
+class ReplicaSet:
+    """N replicas of one namespace with level-dependent write/read fan-out."""
+
+    def __init__(self, replicas: int = 3, seed: int = 0):
+        if replicas < 1:
+            raise ValueError("need at least one replica")
+        self._replicas = [_Replica() for _ in range(replicas)]
+        self._rng = random.Random(seed)
+        self._version = 0
+        # pending anti-entropy: list of (replica_index, key, version, value)
+        self._pending: list[tuple[int, Any, int, Any]] = []
+        self.round_trips = 0
+
+    @property
+    def replica_count(self) -> int:
+        return len(self._replicas)
+
+    def _fanout(self, level: ConsistencyLevel, write: bool) -> int:
+        n = len(self._replicas)
+        if level is ConsistencyLevel.STRONG:
+            return n if write else 1
+        if level is ConsistencyLevel.QUORUM:
+            return n // 2 + 1
+        return 1
+
+    # -- operations -----------------------------------------------------------
+
+    def write(self, key: Any, value: Any, level: ConsistencyLevel) -> int:
+        """Write synchronously to the level's quorum; returns round-trips."""
+        self._version += 1
+        fanout = self._fanout(level, write=True)
+        targets = self._rng.sample(range(len(self._replicas)), fanout)
+        for index in range(len(self._replicas)):
+            if index in targets:
+                self._replicas[index].store[key] = (self._version, value)
+            else:
+                self._pending.append((index, key, self._version, value))
+        self.round_trips += fanout
+        return fanout
+
+    def read(self, key: Any, level: ConsistencyLevel) -> tuple[Any, int]:
+        """Read from the level's quorum; returns (value, round-trips).
+
+        STRONG reads are served by any replica because strong writes hit all
+        of them; QUORUM reads overlap the write quorum; EVENTUAL reads one
+        random replica and may be stale.
+        """
+        fanout = self._fanout(level, write=False)
+        targets = self._rng.sample(range(len(self._replicas)), fanout)
+        best: Optional[tuple[int, Any]] = None
+        for index in targets:
+            entry = self._replicas[index].store.get(key)
+            if entry is not None and (best is None or entry[0] > best[0]):
+                best = entry
+        self.round_trips += fanout
+        return (best[1] if best else None), fanout
+
+    # -- convergence -------------------------------------------------------------
+
+    def tick(self, budget: Optional[int] = None) -> int:
+        """Apply up to *budget* pending anti-entropy deliveries (all when
+        None); returns how many were applied."""
+        if budget is None:
+            budget = len(self._pending)
+        applied = 0
+        while self._pending and applied < budget:
+            index, key, version, value = self._pending.pop(0)
+            current = self._replicas[index].store.get(key)
+            if current is None or current[0] < version:
+                self._replicas[index].store[key] = (version, value)
+            applied += 1
+        return applied
+
+    def staleness(self, key: Any) -> int:
+        """Versions the most-behind replica lags for *key* (0 = converged)."""
+        versions = [
+            replica.store.get(key, (0, None))[0] for replica in self._replicas
+        ]
+        return max(versions) - min(versions)
+
+    def is_converged(self) -> bool:
+        return not self._pending

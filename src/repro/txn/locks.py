@@ -1,0 +1,149 @@
+"""Two-phase-locking lock manager with deadlock detection.
+
+Used by the SERIALIZABLE isolation level (challenge 6, slide 97: different
+models "may have different requirements on the consistency models" — the
+engine offers lock-based serializability where snapshot isolation is not
+enough, e.g. for relational balance checks in UniBench Workload C).
+
+Locks are shared/exclusive on arbitrary hashable resources (we lock
+``(namespace, key)`` pairs and whole namespaces).  Blocking acquires wait on
+a condition variable; before waiting, a waits-for graph cycle check runs and
+the *requesting* transaction is killed with :class:`DeadlockError` if it
+would close a cycle (wound-wait flavoured: the newcomer dies, so running
+transactions finish).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import defaultdict
+from typing import Hashable
+
+from repro.errors import DeadlockError, LockTimeoutError
+
+__all__ = ["LockMode", "LockManager"]
+
+
+class LockMode:
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+class _LockState:
+    __slots__ = ("holders", "mode")
+
+    def __init__(self):
+        self.holders: set[int] = set()
+        self.mode: str | None = None  # None when free
+
+
+class LockManager:
+    """Thread-safe S/X lock table keyed by resource."""
+
+    def __init__(self, timeout: float = 5.0):
+        self._timeout = timeout
+        self._lock = threading.Lock()
+        self._condition = threading.Condition(self._lock)
+        self._table: dict[Hashable, _LockState] = defaultdict(_LockState)
+        # waits_for[txn] = set of txns it currently waits on
+        self._waits_for: dict[int, set[int]] = defaultdict(set)
+        self._held: dict[int, set[Hashable]] = defaultdict(set)
+
+    # -- acquisition --------------------------------------------------------
+
+    def acquire(self, txn_id: int, resource: Hashable, mode: str) -> None:
+        """Acquire (or upgrade to) *mode* on *resource* for *txn_id*.
+
+        Raises :class:`DeadlockError` when waiting would close a cycle and
+        :class:`LockTimeoutError` when the wait exceeds the budget.
+        """
+        if mode not in (LockMode.SHARED, LockMode.EXCLUSIVE):
+            raise ValueError(f"bad lock mode {mode!r}")
+        with self._condition:
+            deadline = time.monotonic() + self._timeout
+            while True:
+                state = self._table[resource]
+                if self._compatible(state, txn_id, mode):
+                    state.holders.add(txn_id)
+                    state.mode = self._resulting_mode(state, mode)
+                    self._held[txn_id].add(resource)
+                    self._waits_for.pop(txn_id, None)
+                    return
+                blockers = state.holders - {txn_id}
+                self._waits_for[txn_id] = set(blockers)
+                if self._closes_cycle(txn_id):
+                    self._waits_for.pop(txn_id, None)
+                    raise DeadlockError(
+                        f"transaction {txn_id} would deadlock waiting for "
+                        f"{sorted(blockers)} on {resource!r}"
+                    )
+                self._condition.wait(timeout=0.05)
+                if time.monotonic() > deadline:
+                    self._waits_for.pop(txn_id, None)
+                    raise LockTimeoutError(
+                        f"transaction {txn_id} timed out waiting for "
+                        f"{resource!r} (mode {mode})"
+                    )
+
+    def release_all(self, txn_id: int) -> None:
+        """Release every lock held by *txn_id* (end of its second phase)."""
+        with self._condition:
+            for resource in self._held.pop(txn_id, set()):
+                state = self._table.get(resource)
+                if state is None:
+                    continue
+                state.holders.discard(txn_id)
+                if not state.holders:
+                    state.mode = None
+                    self._table.pop(resource, None)
+                elif state.mode == LockMode.EXCLUSIVE:
+                    # The exclusive holder left; remaining holders (if any)
+                    # must have been the same txn, so this cannot happen —
+                    # but keep the invariant tight.
+                    state.mode = LockMode.SHARED
+            self._waits_for.pop(txn_id, None)
+            self._condition.notify_all()
+
+    # -- introspection ---------------------------------------------------------
+
+    def holds(self, txn_id: int, resource: Hashable) -> bool:
+        with self._lock:
+            state = self._table.get(resource)
+            return bool(state and txn_id in state.holders)
+
+    def held_resources(self, txn_id: int) -> set:
+        with self._lock:
+            return set(self._held.get(txn_id, set()))
+
+    # -- internals --------------------------------------------------------------
+
+    @staticmethod
+    def _compatible(state: _LockState, txn_id: int, mode: str) -> bool:
+        if not state.holders:
+            return True
+        if state.holders == {txn_id}:
+            return True  # re-entrant and upgrade
+        if mode == LockMode.SHARED and state.mode == LockMode.SHARED:
+            return True
+        return False
+
+    @staticmethod
+    def _resulting_mode(state: _LockState, mode: str) -> str:
+        if state.mode == LockMode.EXCLUSIVE or mode == LockMode.EXCLUSIVE:
+            return LockMode.EXCLUSIVE
+        return LockMode.SHARED
+
+    def _closes_cycle(self, start: int) -> bool:
+        """DFS over the waits-for graph looking for a path back to *start*."""
+        stack = list(self._waits_for.get(start, ()))
+        seen = set()
+        while stack:
+            current = stack.pop()
+            if current == start:
+                return True
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self._waits_for.get(current, ()))
+        return False

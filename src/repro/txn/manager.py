@@ -1,0 +1,323 @@
+"""MVCC transaction manager — cross-model ACID (challenge 6).
+
+The tutorial's strongest argument for multi-model over polyglot persistence
+(slides 9 and 23) is that *one* system can "guarantee inter-model data
+consistency": a single transaction may touch the customer relation, the
+shopping-cart key/value pair, the order document and the social graph, and
+either all of it commits or none.  Because every model in this engine writes
+through the same central log, that guarantee falls out of one transaction
+manager.
+
+Design:
+
+* **Snapshot isolation (default)** — each transaction reads the newest
+  version committed at or before its begin timestamp plus its own buffered
+  writes; at commit, first-committer-wins write-write conflict detection
+  raises :class:`SerializationError`.
+* **Serializable** — snapshot machinery plus two-phase locking through
+  :class:`repro.txn.locks.LockManager` (S on reads, X on writes), which also
+  closes snapshot isolation's write-skew anomaly.
+* **Read committed** — reads always see the newest committed version
+  (no stable snapshot), writes conflict-checked only against concurrent
+  commits to the same key after the *write*, i.e. last-committer-wins is
+  prevented but non-repeatable reads are allowed.
+
+Writes are buffered in the transaction's write set and only hit the central
+log at commit — so storage views (and therefore every model API and the
+query engine) only ever see committed data, and abort is trivial.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+from repro.core import datamodel
+from repro.errors import (
+    InvalidTransactionStateError,
+    SerializationError,
+)
+from repro.storage.log import CentralLog, LogOp
+from repro.txn.locks import LockManager, LockMode
+
+__all__ = ["IsolationLevel", "Transaction", "TransactionManager"]
+
+
+class IsolationLevel(enum.Enum):
+    READ_COMMITTED = "read_committed"
+    SNAPSHOT = "snapshot"
+    SERIALIZABLE = "serializable"
+
+
+class _TxnStatus(enum.Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass
+class _Version:
+    """One committed version of a record."""
+
+    commit_ts: int
+    value: Any  # None encodes deletion
+    txn_id: int
+
+
+@dataclass
+class _PendingWrite:
+    op: LogOp
+    value: Any
+    before: Any
+
+
+@dataclass
+class Transaction:
+    """Handle for an open transaction.  Use through the manager (or the
+    :class:`repro.core.database.MultiModelDB` session API)."""
+
+    txn_id: int
+    begin_ts: int
+    isolation: IsolationLevel
+    status: _TxnStatus = _TxnStatus.ACTIVE
+    writes: dict[tuple[str, Any], _PendingWrite] = field(default_factory=dict)
+    read_keys: set[tuple[str, Any]] = field(default_factory=set)
+
+    @property
+    def is_active(self) -> bool:
+        return self.status is _TxnStatus.ACTIVE
+
+
+class TransactionManager:
+    """Versioned store + commit protocol over a central log."""
+
+    def __init__(self, log: CentralLog, lock_timeout: float = 5.0):
+        self._log = log
+        self._clock = 0  # logical timestamp: bumped on begin and commit
+        self._next_txn_id = 1
+        self._versions: dict[tuple[str, Any], list[_Version]] = {}
+        self._active: dict[int, Transaction] = {}
+        self._locks = LockManager(timeout=lock_timeout)
+        self._mutex = threading.RLock()
+        self.commits = 0
+        self.aborts = 0
+        self.conflicts = 0
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def begin(
+        self, isolation: IsolationLevel | str = IsolationLevel.SNAPSHOT
+    ) -> Transaction:
+        if isinstance(isolation, str):
+            isolation = IsolationLevel(isolation)
+        with self._mutex:
+            self._clock += 1
+            txn = Transaction(
+                txn_id=self._next_txn_id,
+                begin_ts=self._clock,
+                isolation=isolation,
+            )
+            self._next_txn_id += 1
+            self._active[txn.txn_id] = txn
+            return txn
+
+    def commit(self, txn: Transaction) -> None:
+        """Validate, assign a commit timestamp, publish to the central log."""
+        self._require_active(txn)
+        with self._mutex:
+            try:
+                self._validate(txn)
+            except SerializationError:
+                self.conflicts += 1
+                self._finish(txn, _TxnStatus.ABORTED)
+                raise
+            self._clock += 1
+            commit_ts = self._clock
+            for (namespace, key), write in txn.writes.items():
+                chain = self._versions.setdefault((namespace, key), [])
+                value = None if write.op is LogOp.DELETE else write.value
+                chain.append(_Version(commit_ts, value, txn.txn_id))
+                self._log.append(
+                    txn.txn_id,
+                    write.op,
+                    namespace,
+                    key,
+                    write.value,
+                    write.before,
+                )
+            self._log.append(txn.txn_id, LogOp.COMMIT, meta={"ts": commit_ts})
+            self.commits += 1
+            self._finish(txn, _TxnStatus.COMMITTED)
+
+    def abort(self, txn: Transaction) -> None:
+        self._require_active(txn)
+        with self._mutex:
+            if txn.writes:
+                self._log.append(txn.txn_id, LogOp.ABORT)
+            self.aborts += 1
+            self._finish(txn, _TxnStatus.ABORTED)
+
+    def _finish(self, txn: Transaction, status: _TxnStatus) -> None:
+        txn.status = status
+        self._active.pop(txn.txn_id, None)
+        self._locks.release_all(txn.txn_id)
+
+    def _require_active(self, txn: Transaction) -> None:
+        if not txn.is_active:
+            raise InvalidTransactionStateError(
+                f"transaction {txn.txn_id} is {txn.status.value}"
+            )
+
+    # -- reads -------------------------------------------------------------------
+
+    def read(self, txn: Transaction, namespace: str, key: Any) -> Any:
+        """Value of (namespace, key) visible to *txn* (None if absent)."""
+        self._require_active(txn)
+        pending = txn.writes.get((namespace, key))
+        if pending is not None:
+            return None if pending.op is LogOp.DELETE else pending.value
+        if txn.isolation is IsolationLevel.SERIALIZABLE:
+            self._locks.acquire(txn.txn_id, (namespace, key), LockMode.SHARED)
+        txn.read_keys.add((namespace, key))
+        with self._mutex:
+            return self._visible_value(txn, namespace, key)
+
+    def scan(self, txn: Transaction, namespace: str) -> Iterator[tuple[Any, Any]]:
+        """Snapshot-consistent scan of a namespace (committed-visible
+        versions merged with the transaction's own writes)."""
+        self._require_active(txn)
+        with self._mutex:
+            keys = {
+                key
+                for (chain_namespace, key) in self._versions
+                if chain_namespace == namespace
+            }
+            result = {}
+            for key in keys:
+                value = self._visible_value(txn, namespace, key)
+                if value is not None:
+                    result[datamodel.hash_value(key)] = (key, value)
+        for (write_namespace, key), pending in txn.writes.items():
+            if write_namespace != namespace:
+                continue
+            hashed = datamodel.hash_value(key)
+            if pending.op is LogOp.DELETE:
+                result.pop(hashed, None)
+            else:
+                result[hashed] = (key, pending.value)
+        return iter(sorted(result.values(), key=lambda kv: datamodel.SortKey(kv[0])))
+
+    def _visible_value(self, txn: Transaction, namespace: str, key: Any) -> Any:
+        chain = self._versions.get((namespace, key))
+        if not chain:
+            return None
+        if txn.isolation is IsolationLevel.READ_COMMITTED:
+            return chain[-1].value
+        visible = None
+        for version in chain:
+            if version.commit_ts <= txn.begin_ts:
+                visible = version
+        return visible.value if visible else None
+
+    # -- writes -------------------------------------------------------------------
+
+    def write(
+        self,
+        txn: Transaction,
+        namespace: str,
+        key: Any,
+        value: Any,
+        op: LogOp = LogOp.INSERT,
+    ) -> None:
+        """Buffer a write (INSERT/UPDATE/DELETE) in the transaction."""
+        self._require_active(txn)
+        if txn.isolation is IsolationLevel.SERIALIZABLE:
+            self._locks.acquire(txn.txn_id, (namespace, key), LockMode.EXCLUSIVE)
+        before = self.read_committed_latest(namespace, key)
+        txn.writes[(namespace, key)] = _PendingWrite(op, value, before)
+
+    def delete(self, txn: Transaction, namespace: str, key: Any) -> None:
+        self.write(txn, namespace, key, None, LogOp.DELETE)
+
+    # -- validation ----------------------------------------------------------------
+
+    def _validate(self, txn: Transaction) -> None:
+        """First-committer-wins: abort if any written key has a version
+        committed after this transaction began."""
+        for (namespace, key) in txn.writes:
+            chain = self._versions.get((namespace, key), [])
+            if chain and chain[-1].commit_ts > txn.begin_ts:
+                raise SerializationError(
+                    f"write-write conflict on {namespace}:{key!r} "
+                    f"(committed at ts {chain[-1].commit_ts} after this "
+                    f"transaction began at ts {txn.begin_ts})"
+                )
+
+    # -- helpers --------------------------------------------------------------------
+
+    def read_committed_latest(self, namespace: str, key: Any) -> Any:
+        chain = self._versions.get((namespace, key))
+        return chain[-1].value if chain else None
+
+    def run(self, work, isolation=IsolationLevel.SNAPSHOT, retries: int = 0):
+        """Execute ``work(txn)`` in a transaction; commit on success, abort
+        on exception.  ``retries`` re-runs on serialization conflicts."""
+        attempt = 0
+        while True:
+            txn = self.begin(isolation)
+            try:
+                result = work(txn)
+            except BaseException:
+                if txn.is_active:
+                    self.abort(txn)
+                raise
+            try:
+                self.commit(txn)
+                return result
+            except SerializationError:
+                attempt += 1
+                if attempt > retries:
+                    raise
+
+    def garbage_collect(self) -> int:
+        """Drop versions no active transaction can see; returns the count."""
+        with self._mutex:
+            horizon = min(
+                (txn.begin_ts for txn in self._active.values()),
+                default=self._clock,
+            )
+            dropped = 0
+            for chain_key, chain in list(self._versions.items()):
+                keep_from = 0
+                for index in range(len(chain) - 1, -1, -1):
+                    if chain[index].commit_ts <= horizon:
+                        keep_from = index
+                        break
+                dropped += keep_from
+                del chain[:keep_from]
+                if chain and chain[-1].value is None and len(chain) == 1 and chain[0].commit_ts <= horizon:
+                    dropped += 1
+                    del self._versions[chain_key]
+            return dropped
+
+    def drop_namespace(self, namespace: str) -> None:
+        """Forget every version chain of *namespace* (DDL path: truncate /
+        drop collection).  The caller is responsible for the matching
+        DROP_NAMESPACE entry in the central log."""
+        with self._mutex:
+            for chain_key in [
+                chain_key
+                for chain_key in self._versions
+                if chain_key[0] == namespace
+            ]:
+                del self._versions[chain_key]
+
+    @property
+    def version_count(self) -> int:
+        return sum(len(chain) for chain in self._versions.values())
+
+    @property
+    def active_count(self) -> int:
+        return len(self._active)

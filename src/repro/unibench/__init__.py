@@ -1,0 +1,45 @@
+"""UniBench: the multi-model benchmark (slides 86-88)."""
+
+from repro.unibench.generator import (
+    UniBenchData,
+    generate,
+    load_into_multimodel,
+    load_into_polyglot,
+)
+from repro.unibench.runner import (
+    build_multimodel,
+    build_polyglot,
+    render_report,
+    run_all,
+)
+from repro.unibench.workloads import (
+    QUERIES_B,
+    new_order_transaction,
+    workload_a_multimodel,
+    workload_a_polyglot,
+    workload_b_api,
+    workload_b_mmql,
+    workload_b_polyglot,
+    workload_c_multimodel,
+    workload_c_polyglot,
+)
+
+__all__ = [
+    "UniBenchData",
+    "generate",
+    "load_into_multimodel",
+    "load_into_polyglot",
+    "build_multimodel",
+    "build_polyglot",
+    "render_report",
+    "run_all",
+    "QUERIES_B",
+    "new_order_transaction",
+    "workload_a_multimodel",
+    "workload_a_polyglot",
+    "workload_b_api",
+    "workload_b_mmql",
+    "workload_b_polyglot",
+    "workload_c_multimodel",
+    "workload_c_polyglot",
+]

@@ -1,0 +1,139 @@
+"""UniBench runner: builds both deployments, runs A/B/C, renders a report.
+
+This is the module the ``benchmarks/bench_unibench_*.py`` targets and the
+``examples/unibench_demo.py`` script drive; it returns plain dicts so
+pytest-benchmark and the report renderer can both consume the results.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Optional
+
+from repro.core.database import MultiModelDB
+from repro.polyglot.integrator import PolyglotECommerce
+from repro.unibench import workloads
+from repro.unibench.generator import (
+    UniBenchData,
+    generate,
+    load_into_multimodel,
+    load_into_polyglot,
+)
+
+__all__ = ["build_multimodel", "build_polyglot", "run_all", "render_report"]
+
+
+def build_multimodel(
+    data: UniBenchData, with_indexes: bool = True
+) -> MultiModelDB:
+    db = MultiModelDB()
+    load_into_multimodel(db, data, with_indexes=with_indexes)
+    return db
+
+
+def build_polyglot(data: UniBenchData) -> PolyglotECommerce:
+    app = PolyglotECommerce()
+    load_into_polyglot(app, data)
+    return app
+
+
+def _timed(fn, *args, **kwargs) -> tuple[Any, float]:
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def run_all(scale_factor: int = 1, seed: int = 42) -> dict:
+    """Run every workload against both deployments; returns the full
+    result tree (used by EXPERIMENTS.md and the demo example)."""
+    data = generate(scale_factor, seed)
+    db = build_multimodel(data)
+    app = build_polyglot(data)
+
+    results: dict[str, Any] = {"scale_factor": scale_factor, "data": data.summary()}
+
+    a_mm, t_mm = _timed(workloads.workload_a_multimodel, db, data)
+    a_pg, t_pg = _timed(workloads.workload_a_polyglot, app, data)
+    results["A"] = {
+        "multimodel": {**a_mm, "seconds": t_mm},
+        "polyglot": {**a_pg, "seconds": t_pg},
+    }
+
+    results["B"] = {}
+    for query_id in workloads.QUERIES_B:
+        result, seconds = _timed(workloads.workload_b_mmql, db, query_id)
+        results["B"][query_id] = {
+            "multimodel": {"rows": len(result.rows), "seconds": seconds,
+                           "stats": result.stats},
+        }
+    pg_q1, seconds = _timed(workloads.workload_b_polyglot, app)
+    results["B"]["Q1"]["polyglot"] = {
+        "rows": len(pg_q1["products"]),
+        "round_trips": pg_q1["round_trips"],
+        "seconds": seconds,
+    }
+    # Cross-check Q1 three ways.
+    api_products = workloads.workload_b_api(db)
+    results["B"]["Q1"]["agreement"] = sorted(pg_q1["products"]) == sorted(
+        api_products
+    ) and sorted(api_products) == sorted(
+        workloads.workload_b_mmql(db, "Q1").rows
+    )
+
+    c_mm, t_mm = _timed(workloads.workload_c_multimodel, db, data)
+    c_pg, t_pg = _timed(workloads.workload_c_polyglot, app, data)
+    results["C"] = {
+        "multimodel": {**c_mm, "seconds": t_mm},
+        "polyglot": {**c_pg, "seconds": t_pg},
+    }
+    return results
+
+
+def render_report(results: dict) -> str:
+    """Plain-text report in the shape of the paper's workload table."""
+    lines = [
+        f"UniBench  (scale factor {results['scale_factor']})",
+        "=" * 64,
+        "data: " + ", ".join(f"{k}={v}" for k, v in results["data"].items()),
+        "",
+        "Workload A — insertion & reading",
+        f"  multi-model : {results['A']['multimodel']['reads']} reads, "
+        f"{results['A']['multimodel']['hits']} hits, "
+        f"{results['A']['multimodel']['seconds'] * 1000:.1f} ms",
+        f"  polyglot    : {results['A']['polyglot']['reads']} reads, "
+        f"{results['A']['polyglot']['hits']} hits, "
+        f"{results['A']['polyglot']['round_trips']} round trips, "
+        f"{results['A']['polyglot']['seconds'] * 1000:.1f} ms",
+        "",
+        "Workload B — cross-model queries",
+    ]
+    for query_id, entry in results["B"].items():
+        mm = entry["multimodel"]
+        line = (
+            f"  {query_id}: {mm['rows']} rows in {mm['seconds'] * 1000:.1f} ms "
+            f"(scanned {mm['stats']['scanned']}, "
+            f"index lookups {mm['stats']['index_lookups']})"
+        )
+        if "polyglot" in entry:
+            pg = entry["polyglot"]
+            line += (
+                f"  |  polyglot: {pg['rows']} rows, {pg['round_trips']} "
+                f"round trips, {pg['seconds'] * 1000:.1f} ms"
+            )
+        lines.append(line)
+    if "agreement" in results["B"].get("Q1", {}):
+        lines.append(
+            f"  Q1 three-way agreement (MMQL vs API vs polyglot): "
+            f"{results['B']['Q1']['agreement']}"
+        )
+    c_mm = results["C"]["multimodel"]
+    c_pg = results["C"]["polyglot"]
+    lines += [
+        "",
+        "Workload C — cross-model transactions",
+        f"  multi-model : {c_mm['commits']} commits, {c_mm['aborts']} aborts, "
+        f"{c_mm['violations']} consistency violations",
+        f"  polyglot    : {c_pg['completed']} completed, {c_pg['crashed']} crashed, "
+        f"{c_pg['violations']} consistency violations",
+    ]
+    return "\n".join(lines)

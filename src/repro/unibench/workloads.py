@@ -1,0 +1,326 @@
+"""UniBench workloads A, B, C (slide 87).
+
+* **Workload A — data insertion and reading**: per-model inserts followed
+  by point reads; measured for the multi-model engine and the polyglot
+  deployment (whose cost unit is store round trips).
+* **Workload B — cross-model query**: five queries, each spanning at least
+  two models, implemented three ways where applicable: MMQL against the
+  engine, hand-written against the engine's APIs, and client-side joins
+  against the polyglot stores.
+* **Workload C — cross-model transaction**: the new-order transaction
+  touching the order collection, the cart bucket and the customer relation;
+  run under contention for abort-rate measurements, and against the
+  polyglot baseline with crash injection for atomicity violations.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Optional
+
+from repro.errors import SerializationError
+from repro.polyglot.integrator import PartialFailure, PolyglotECommerce
+from repro.unibench.generator import UniBenchData
+
+__all__ = [
+    "workload_a_multimodel",
+    "workload_a_polyglot",
+    "QUERIES_B",
+    "workload_b_mmql",
+    "workload_b_api",
+    "workload_b_polyglot",
+    "new_order_transaction",
+    "workload_c_multimodel",
+    "workload_c_polyglot",
+]
+
+
+# ---------------------------------------------------------------------------
+# Workload A — insertion and reading
+# ---------------------------------------------------------------------------
+
+
+def workload_a_multimodel(db, data: UniBenchData, reads: int = 200, seed: int = 7) -> dict:
+    """Point reads across all models of an already-loaded engine."""
+    rng = random.Random(seed)
+    customers = db.table("customers")
+    orders = db.collection("orders")
+    cart = db.bucket("cart")
+    social = db.graph("social")
+    hits = 0
+    for _ in range(reads):
+        kind = rng.choice(["rel", "doc", "kv", "graph"])
+        if kind == "rel":
+            row = customers.get(rng.randint(1, len(data.customers)))
+            hits += row is not None
+        elif kind == "doc":
+            order = orders.get(rng.choice(data.orders)["_key"])
+            hits += order is not None
+        elif kind == "kv":
+            value = cart.get(str(rng.randint(1, len(data.customers))))
+            hits += value is not None
+        else:
+            vertex = social.vertex(str(rng.randint(1, len(data.customers))))
+            hits += vertex is not None
+    return {"reads": reads, "hits": hits}
+
+
+def workload_a_polyglot(app: PolyglotECommerce, data: UniBenchData, reads: int = 200, seed: int = 7) -> dict:
+    rng = random.Random(seed)
+    hits = 0
+    app.meter.reset()
+    for _ in range(reads):
+        kind = rng.choice(["rel", "doc", "kv", "graph"])
+        if kind in ("rel", "doc"):
+            store = app.customers if kind == "rel" else app.orders
+            key = (
+                str(rng.randint(1, len(data.customers)))
+                if kind == "rel"
+                else rng.choice(data.orders)["_key"]
+            )
+            hits += store.get(key) is not None
+        elif kind == "kv":
+            hits += app.carts.get(str(rng.randint(1, len(data.customers)))) is not None
+        else:
+            hits += app.social.vertex(str(rng.randint(1, len(data.customers)))) is not None
+    return {"reads": reads, "hits": hits, "round_trips": app.meter.round_trips}
+
+
+# ---------------------------------------------------------------------------
+# Workload B — cross-model queries
+# ---------------------------------------------------------------------------
+
+#: Q1 — the running example (slides 27-28): products ordered by a friend of
+#: a customer whose credit_limit > @min_credit.
+Q1_RECOMMENDATION = """
+FOR c IN customers
+  FILTER c.credit_limit > @min_credit
+  FOR friend IN 1..1 OUTBOUND c.id GRAPH social LABEL 'knows'
+    LET order_no = KV_GET('cart', friend._key)
+    FILTER order_no != NULL
+    FOR o IN orders
+      FILTER o.Order_no == order_no
+      FOR line IN o.Orderlines
+        RETURN DISTINCT line.Product_no
+"""
+
+#: Q2 — orders of customers living in @city (relational ⋈ document).
+Q2_CITY_ORDERS = """
+FOR c IN customers
+  FILTER c.city == @city
+  FOR o IN orders
+    FILTER o.customer_id == c.id
+    RETURN {customer: c.name, order: o.Order_no, total: o.total}
+"""
+
+#: Q3 — total spend per city (relational ⋈ document + aggregation).
+Q3_SPEND_BY_CITY = """
+FOR o IN orders
+  LET c = DOCUMENT('customers', o.customer_id)
+  COLLECT city = c.city INTO members
+  SORT city
+  RETURN {city: city, spend: SUM(members[*].o.total)}
+"""
+
+#: Q4 — products in @category with positive feedback (document ⋈ document
+#: ⋈ full-text flavoured predicate).
+Q4_CATEGORY_FEEDBACK = """
+FOR p IN products
+  FILTER p.category == @category
+  LET praise = (
+    FOR f IN feedback
+      FILTER f.product_no == p.product_no AND f.positive == true
+      RETURN f._key
+  )
+  FILTER LENGTH(praise) > 0
+  SORT p.product_no
+  RETURN {product: p.product_no, reviews: LENGTH(praise)}
+"""
+
+#: Q5 — two-hop friend recommendation with vendor country (graph depth 2 ⋈
+#: key/value ⋈ document ⋈ RDF).
+Q5_TWO_HOP_VENDORS = """
+FOR friend IN 2..2 OUTBOUND @start GRAPH social LABEL 'knows'
+  LET order_no = KV_GET('cart', friend._key)
+  FILTER order_no != NULL
+  FOR o IN orders
+    FILTER o.Order_no == order_no
+    FOR line IN o.Orderlines
+      FOR triple IN RDF_MATCH('vendors', line.Product_no, 'soldBy', '?v')
+        RETURN DISTINCT {product: line.Product_no, vendor: triple[2]}
+"""
+
+QUERIES_B = {
+    "Q1": (Q1_RECOMMENDATION, {"min_credit": 5000}),
+    "Q2": (Q2_CITY_ORDERS, {"city": "Prague"}),
+    "Q3": (Q3_SPEND_BY_CITY, {}),
+    "Q4": (Q4_CATEGORY_FEEDBACK, {"category": "Book"}),
+    "Q5": (Q5_TWO_HOP_VENDORS, {"start": "10"}),
+}
+
+
+def workload_b_mmql(db, query_id: str = "Q1", bind_vars: Optional[dict] = None):
+    text, defaults = QUERIES_B[query_id]
+    return db.query(text, {**defaults, **(bind_vars or {})})
+
+
+def workload_b_api(db, min_credit: int = 5000) -> list[str]:
+    """Q1 hand-written against the engine APIs (no query language) — the
+    reference the MMQL result is checked against."""
+    customers = db.table("customers")
+    social = db.graph("social")
+    cart = db.bucket("cart")
+    orders = db.collection("orders")
+    seen: list[str] = []
+    for row in customers.select(where=lambda r: r["credit_limit"] > min_credit):
+        for friend in social.neighbors(str(row["id"]), label="knows"):
+            order_no = cart.get(friend)
+            if order_no is None:
+                continue
+            order = orders.find_path_equals("Order_no", order_no)
+            if not order:
+                continue
+            for line in order[0]["Orderlines"]:
+                if line["Product_no"] not in seen:
+                    seen.append(line["Product_no"])
+    return seen
+
+
+def workload_b_polyglot(app: PolyglotECommerce, min_credit: int = 5000) -> dict:
+    """Q1 against the polyglot stores; returns products and round trips."""
+    app.meter.reset()
+    products = app.recommend_products(min_credit)
+    unique = []
+    for product in products:
+        if product not in unique:
+            unique.append(product)
+    return {"products": unique, "round_trips": app.meter.round_trips}
+
+
+# ---------------------------------------------------------------------------
+# Workload C — cross-model transactions
+# ---------------------------------------------------------------------------
+
+
+def new_order_transaction(db, customer_id: int, order: dict, txn=None) -> str:
+    """The UniBench new-order transaction: insert the order document, point
+    the cart at it, and debit the customer's credit — three models, one
+    atomic unit when *txn* is supplied."""
+    orders = db.collection("orders")
+    cart = db.bucket("cart")
+    customers = db.table("customers")
+
+    order_no = orders.insert(order, txn=txn)
+    cart.put(str(customer_id), order_no, txn=txn)
+    row = customers.get(customer_id, txn=txn)
+    if row is None:
+        raise ValueError(f"no customer {customer_id}")
+    customers.update(
+        customer_id,
+        {"credit_limit": row["credit_limit"] - order.get("total", 0)},
+        txn=txn,
+    )
+    return order_no
+
+
+def workload_c_multimodel(
+    db,
+    data: UniBenchData,
+    transactions: int = 50,
+    hot_customers: int = 5,
+    seed: int = 11,
+) -> dict:
+    """Run contended new-order transactions; returns commit/abort counts.
+
+    ``hot_customers`` shrinks the customer pool to force write-write
+    conflicts on the cart/credit records (the contention knob)."""
+    rng = random.Random(seed)
+    commits = 0
+    aborts = 0
+    for index in range(transactions):
+        customer_id = rng.randint(1, hot_customers)
+        order = {
+            "Order_no": f"wc{seed}-{index:05d}",
+            "_key": f"wc{seed}-{index:05d}",
+            "customer_id": customer_id,
+            "total": rng.randint(5, 50),
+            "Orderlines": [
+                {"Product_no": rng.choice(data.products)["product_no"],
+                 "Price": 10, "Quantity": 1}
+            ],
+        }
+        txn = db.begin()
+        try:
+            new_order_transaction(db, customer_id, order, txn=txn)
+            # Interleave a rival on the same hot customer some of the time.
+            if rng.random() < 0.3:
+                rival = db.begin()
+                db.bucket("cart").put(str(customer_id), "rival-order", txn=rival)
+                db.commit(rival)
+            db.commit(txn)
+            commits += 1
+        except SerializationError:
+            aborts += 1
+    violations = _audit_multimodel(db)
+    return {
+        "transactions": transactions,
+        "commits": commits,
+        "aborts": aborts,
+        "violations": violations,
+    }
+
+
+def _audit_multimodel(db) -> int:
+    """Atomicity audit: every order created by workload C must be fully
+    wired (cart pointer consistent) — partial states count as violations."""
+    orders = db.collection("orders")
+    cart = db.bucket("cart")
+    violations = 0
+    for order in orders.all():
+        key = order.get("_key", "")
+        if not key.startswith("wc"):
+            continue
+        pointer = cart.get(str(order["customer_id"]))
+        # The cart may legitimately point at a newer order; a violation is
+        # an order whose customer has NO cart pointer at all.
+        if pointer is None:
+            violations += 1
+    return violations
+
+
+def workload_c_polyglot(
+    app: PolyglotECommerce,
+    data: UniBenchData,
+    transactions: int = 50,
+    crash_rate: float = 0.2,
+    seed: int = 11,
+) -> dict:
+    """The same new-order flow against separate stores with crash
+    injection; partial failures leave real inconsistencies behind."""
+    rng = random.Random(seed)
+    completed = 0
+    crashed = 0
+    for index in range(transactions):
+        customer_id = str(rng.randint(1, len(data.customers)))
+        order = {
+            "_key": f"pc{seed}-{index:05d}",
+            "Order_no": f"pc{seed}-{index:05d}",
+            "Orderlines": [
+                {"Product_no": rng.choice(data.products)["product_no"],
+                 "Price": 10}
+            ],
+        }
+        fail_after = None
+        if rng.random() < crash_rate:
+            fail_after = rng.choice(["orders", "cart"])
+        try:
+            app.place_order(customer_id, order, fail_after=fail_after)
+            completed += 1
+        except PartialFailure:
+            crashed += 1
+    return {
+        "transactions": transactions,
+        "completed": completed,
+        "crashed": crashed,
+        "violations": len(app.check_consistency()),
+    }

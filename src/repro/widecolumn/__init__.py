@@ -1,0 +1,5 @@
+"""Wide-column model: CQL-style sparse tables with UDTs and JSON I/O."""
+
+from repro.widecolumn.table import CqlColumn, UserDefinedType, WideColumnTable
+
+__all__ = ["CqlColumn", "UserDefinedType", "WideColumnTable"]

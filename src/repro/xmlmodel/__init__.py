@@ -1,0 +1,15 @@
+"""XML/JSON unified tree model with XPath (the MarkLogic pattern)."""
+
+from repro.xmlmodel.store import TreeStore
+from repro.xmlmodel.tree import Node, from_json, parse_xml
+from repro.xmlmodel.xpath import AttributeValue, XPath, evaluate
+
+__all__ = [
+    "TreeStore",
+    "Node",
+    "from_json",
+    "parse_xml",
+    "AttributeValue",
+    "XPath",
+    "evaluate",
+]

@@ -1,0 +1,273 @@
+"""The MarkLogic-style unified tree model (slides 56-57).
+
+"MarkLogic models a JSON document similarly to an XML document = a tree,
+rooted at an auxiliary document node; nodes below: JSON objects, arrays, and
+text, number, Boolean, null values — a unified way to manage and index
+documents of both types."
+
+One :class:`Node` class represents both formats:
+
+=============  =======================  ==========================
+kind           XML source               JSON source
+=============  =======================  ==========================
+``document``   the document root        the document root
+``element``    ``<product …>``          object property (name set)
+``object``     —                        ``{…}``
+``array``      —                        ``[…]``
+``text``       text content             string value
+``number``     —                        number value
+``boolean``    —                        true/false
+``null``       —                        null
+=============  =======================  ==========================
+
+XML attributes live in ``attributes``.  Both sources answer the same XPath
+queries (:mod:`repro.xmlmodel.xpath`) — which is what makes the slide-76
+cross-format join work.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ElementTree
+from typing import Any, Iterator, Optional
+
+from repro.core import datamodel
+from repro.errors import DataModelError, SchemaError
+
+__all__ = ["Node", "parse_xml", "from_json"]
+
+_LEAF_KINDS = ("text", "number", "boolean", "null")
+_KINDS = ("document", "element", "object", "array") + _LEAF_KINDS
+
+
+class Node:
+    """One node of the unified tree."""
+
+    __slots__ = ("kind", "name", "value", "attributes", "children", "parent")
+
+    def __init__(
+        self,
+        kind: str,
+        name: str = "",
+        value: Any = None,
+        attributes: Optional[dict[str, str]] = None,
+        children: Optional[list["Node"]] = None,
+    ):
+        if kind not in _KINDS:
+            raise SchemaError(f"unknown node kind {kind!r}")
+        self.kind = kind
+        self.name = name
+        self.value = value
+        self.attributes = dict(attributes or {})
+        self.children: list[Node] = []
+        self.parent: Optional[Node] = None
+        for child in children or []:
+            self.append(child)
+
+    # -- structure -------------------------------------------------------------
+
+    def append(self, child: "Node") -> "Node":
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def descendants(self) -> Iterator["Node"]:
+        """Document-order descendants (self excluded)."""
+        for child in self.children:
+            yield child
+            yield from child.descendants()
+
+    def child_elements(self, name: Optional[str] = None) -> list["Node"]:
+        return [
+            child
+            for child in self.children
+            if child.kind == "element" and (name is None or child.name == name)
+        ]
+
+    # -- values -----------------------------------------------------------------
+
+    def string_value(self) -> str:
+        """XPath string-value: concatenated descendant text/leaf values."""
+        if self.kind == "text":
+            return self.value or ""
+        if self.kind in ("number", "boolean", "null"):
+            if self.value is None:
+                return ""
+            if self.value is True:
+                return "true"
+            if self.value is False:
+                return "false"
+            return repr(self.value) if not isinstance(self.value, float) else str(self.value)
+        return "".join(child.string_value() for child in self.children)
+
+    def typed_value(self) -> Any:
+        """Leaf value with its JSON type where known, else the string value."""
+        if self.kind in ("number", "boolean", "null"):
+            return self.value
+        if self.kind == "text":
+            return self.value
+        if self.kind == "array":
+            return [child.typed_value() for child in self.children]
+        if self.kind == "object":
+            return {child.name: child.typed_value() for child in self.children}
+        if self.kind == "element" and len(self.children) == 1:
+            return self.children[0].typed_value()
+        return self.string_value()
+
+    # -- serialization --------------------------------------------------------------
+
+    def to_xml(self) -> str:
+        """Serialize an element (or document holding one element) to XML."""
+        if self.kind == "document":
+            roots = [child for child in self.children if child.kind == "element"]
+            if len(roots) != 1:
+                raise DataModelError("XML documents need exactly one root element")
+            return roots[0].to_xml()
+        if self.kind != "element":
+            raise DataModelError(f"cannot serialize a {self.kind} node to XML")
+        element = self._to_etree()
+        return ElementTree.tostring(element, encoding="unicode")
+
+    def _to_etree(self) -> ElementTree.Element:
+        element = ElementTree.Element(self.name, dict(self.attributes))
+        text_parts = []
+        for child in self.children:
+            if child.kind == "element":
+                element.append(child._to_etree())
+            else:
+                text_parts.append(child.string_value())
+        if text_parts:
+            element.text = "".join(text_parts)
+        return element
+
+    def to_json(self) -> Any:
+        """Back to a JSON value (trees built by :func:`from_json` round-trip
+        exactly; XML elements fall back to their string value, as real
+        systems' lossy json:transform does)."""
+        if self.kind == "document":
+            if len(self.children) != 1:
+                raise DataModelError("document has no single content root")
+            return self.children[0].to_json()
+        if self.kind in ("number", "boolean", "null", "text"):
+            return self.value
+        if self.kind == "array":
+            return [child.to_json() for child in self.children]
+        if self.kind == "object":
+            result: dict[str, Any] = {}
+            for child in self.children:
+                mark = child.attributes.get(ARRAY_MARK)
+                if mark == "empty":
+                    result[child.name] = []
+                elif mark == "1":
+                    result.setdefault(child.name, []).append(child.to_json())
+                else:
+                    result[child.name] = child.to_json()
+            return result
+        # element: a JSON property wrapper holds exactly one value node;
+        # anything else is XML content rendered as its string value.
+        if len(self.children) == 1 and self.children[0].kind != "element":
+            return self.children[0].to_json()
+        return self.string_value()
+
+    def to_dict(self) -> dict:
+        """Storable dict form (used by the XML store)."""
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "value": self.value,
+            "attributes": dict(self.attributes),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Node":
+        return cls(
+            data["kind"],
+            data.get("name", ""),
+            data.get("value"),
+            data.get("attributes") or {},
+            [cls.from_dict(child) for child in data.get("children", [])],
+        )
+
+    def __repr__(self) -> str:
+        label = self.name or self.kind
+        return f"<Node {self.kind}:{label} children={len(self.children)}>"
+
+
+def parse_xml(text: str) -> Node:
+    """Parse an XML string into a unified tree rooted at a document node."""
+    try:
+        root = ElementTree.fromstring(text)
+    except ElementTree.ParseError as error:
+        raise DataModelError(f"bad XML: {error}") from error
+    document = Node("document")
+    document.append(_from_etree(root))
+    return document
+
+
+def _from_etree(element: ElementTree.Element) -> Node:
+    node = Node("element", name=element.tag, attributes=dict(element.attrib))
+    if element.text and element.text.strip():
+        node.append(Node("text", value=element.text))
+    for child in element:
+        node.append(_from_etree(child))
+        if child.tail and child.tail.strip():
+            node.append(Node("text", value=child.tail))
+    return node
+
+
+#: internal attribute marking property elements that came from a JSON array
+ARRAY_MARK = "__array__"
+
+
+def from_json(value: Any, name: str = "") -> Node:
+    """Build the unified tree for a JSON value (slide 57's picture).
+
+    Object properties become *element* nodes (so XPath name tests address
+    them exactly like XML elements).  A property whose value is an array
+    becomes one element per item — the XML idiom for repetition — so XPath
+    predicates apply per item (``/Orderlines[Price > 50]`` filters order
+    lines, not the whole array).  Array wrappers carry the internal
+    attribute :data:`ARRAY_MARK` so :meth:`Node.to_json` can rebuild the
+    array faithfully (including empty arrays).
+    """
+    document = Node("document")
+    document.append(_json_node(datamodel.normalize(value), name))
+    return document
+
+
+def _json_node(value: Any, name: str) -> Node:
+    tag = datamodel.type_of(value)
+    if tag is datamodel.TypeTag.OBJECT:
+        container = Node("object", name=name)
+        for key, item in value.items():
+            for wrapper in _property_nodes(key, item):
+                container.append(wrapper)
+        return container
+    if tag is datamodel.TypeTag.ARRAY:
+        container = Node("array", name=name)
+        for item in value:
+            container.append(_json_node(item, name))
+        return container
+    if tag is datamodel.TypeTag.STRING:
+        return Node("text", name=name, value=value)
+    if tag is datamodel.TypeTag.NUMBER:
+        return Node("number", name=name, value=value)
+    if tag is datamodel.TypeTag.BOOL:
+        return Node("boolean", name=name, value=value)
+    return Node("null", name=name, value=None)
+
+
+def _property_nodes(key: str, item: Any) -> list[Node]:
+    """Element wrapper(s) for one object property."""
+    if datamodel.type_of(item) is datamodel.TypeTag.ARRAY:
+        if not item:
+            return [Node("element", name=key, attributes={ARRAY_MARK: "empty"})]
+        wrappers = []
+        for member in item:
+            wrapper = Node("element", name=key, attributes={ARRAY_MARK: "1"})
+            wrapper.append(_json_node(member, key))
+            wrappers.append(wrapper)
+        return wrappers
+    wrapper = Node("element", name=key)
+    wrapper.append(_json_node(item, key))
+    return [wrapper]

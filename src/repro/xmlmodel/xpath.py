@@ -1,0 +1,347 @@
+"""An XPath subset over the unified tree (slide 75: "MarkLogic — JSON can be
+accessed using XPath; tree representation like for XML").
+
+Supported grammar (enough for every query the tutorial shows, including the
+slide-76 cross-format join):
+
+    path       := '/'? step (('/' | '//') step)*
+    step       := name | '*' | '@' name | 'text()' | '..'  predicate*
+    predicate  := '[' integer ']'
+                | '[' relpath ']'                      (existence)
+                | '[' relpath op literal ']'
+                | '[' '@' name op literal ']'
+    op         := '=' | '!=' | '<' | '<=' | '>' | '>='
+    literal    := 'quoted' | "quoted" | number
+
+Semantics follow XPath 1.0: ``//`` is descendant-or-self, predicates with a
+node-set operand are existential ("some matching node compares true"),
+positions are 1-based.  JSON container nodes (object/array) are *transparent*
+to child steps, so ``/Orderlines/Product_no`` works on a JSON tree exactly as
+it would on the equivalent XML.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional, Union
+
+from repro.errors import PathError
+from repro.xmlmodel.tree import Node
+
+__all__ = ["XPath", "evaluate", "AttributeValue"]
+
+
+@dataclass(frozen=True)
+class AttributeValue:
+    """Result item for an ``@name`` step."""
+
+    owner_name: str
+    name: str
+    value: str
+
+    def string_value(self) -> str:
+        return self.value
+
+
+Result = Union[Node, AttributeValue]
+
+
+def _logical_children(node: Node) -> Iterator[Node]:
+    """Child elements and leaves, looking through transparent JSON
+    containers (document, object, array)."""
+    for child in node.children:
+        if child.kind in ("object", "array"):
+            yield from _logical_children(child)
+        else:
+            yield child
+
+
+def _logical_descendants(node: Node) -> Iterator[Node]:
+    for child in _logical_children(node):
+        yield child
+        yield from _logical_descendants(child)
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Predicate:
+    position: Optional[int] = None
+    relpath: Optional["XPath"] = None
+    attribute: Optional[str] = None
+    op: Optional[str] = None
+    literal: Any = None
+
+
+@dataclass
+class _Step:
+    axis: str  # "child" or "descendant"
+    test: str  # element name, "*", "@name", "text()", ".."
+    predicates: list[_Predicate] = field(default_factory=list)
+
+
+_TOKEN = re.compile(
+    r"""
+    (?P<dslash>//)
+  | (?P<slash>/)
+  | (?P<lbr>\[)
+  | (?P<rbr>\])
+  | (?P<op><=|>=|!=|=|<|>)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<number>-?\d+(?:\.\d+)?)
+  | (?P<name>@?[A-Za-z_][\w.\-]*(?:\(\))?|\*|\.\.)
+  | (?P<space>\s+)
+""",
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN.match(text, position)
+        if match is None:
+            raise PathError(f"bad XPath near {text[position:position + 10]!r}")
+        position = match.end()
+        kind = match.lastgroup
+        if kind != "space":
+            tokens.append((kind, match.group()))
+    return tokens
+
+
+class XPath:
+    """A compiled XPath expression."""
+
+    def __init__(self, expression: str):
+        self.expression = expression
+        self._absolute, self._steps = _parse(expression)
+
+    def __repr__(self) -> str:
+        return f"XPath({self.expression!r})"
+
+    # -- evaluation ----------------------------------------------------------
+
+    def evaluate(self, node: Node) -> list[Result]:
+        """All matching nodes/attributes, in document order."""
+        current: list[Result] = [node]
+        for step in self._steps:
+            current = _apply_step(step, current)
+        return current
+
+    def string_values(self, node: Node) -> list[str]:
+        return [item.string_value() for item in self.evaluate(node)]
+
+    def first(self, node: Node) -> Optional[Result]:
+        results = self.evaluate(node)
+        return results[0] if results else None
+
+    def exists(self, node: Node) -> bool:
+        return bool(self.evaluate(node))
+
+
+def evaluate(expression: str, node: Node) -> list[Result]:
+    """One-shot convenience wrapper."""
+    return XPath(expression).evaluate(node)
+
+
+class _Parser:
+    def __init__(self, tokens: list[tuple[str, str]], expression: str):
+        self._tokens = tokens
+        self._position = 0
+        self._expression = expression
+
+    def peek(self) -> Optional[tuple[str, str]]:
+        if self._position < len(self._tokens):
+            return self._tokens[self._position]
+        return None
+
+    def next(self) -> tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise PathError(f"unexpected end of XPath {self._expression!r}")
+        self._position += 1
+        return token
+
+    def expect(self, kind: str) -> str:
+        token = self.next()
+        if token[0] != kind:
+            raise PathError(
+                f"expected {kind} in XPath {self._expression!r}, got {token[1]!r}"
+            )
+        return token[1]
+
+    def done(self) -> bool:
+        return self._position >= len(self._tokens)
+
+
+def _parse(expression: str) -> tuple[bool, list[_Step]]:
+    parser = _Parser(_tokenize(expression), expression)
+    absolute = False
+    steps: list[_Step] = []
+    token = parser.peek()
+    axis = "child"
+    if token and token[0] in ("slash", "dslash"):
+        absolute = True
+        axis = "descendant" if token[0] == "dslash" else "child"
+        parser.next()
+    while not parser.done():
+        name = parser.expect("name")
+        step = _Step(axis=axis, test=name)
+        while parser.peek() and parser.peek()[0] == "lbr":
+            parser.next()
+            step.predicates.append(_parse_predicate(parser))
+            parser.expect("rbr")
+        steps.append(step)
+        if parser.done():
+            break
+        kind, _text = parser.next()
+        if kind == "dslash":
+            axis = "descendant"
+        elif kind == "slash":
+            axis = "child"
+        else:
+            raise PathError(f"expected / in XPath {expression!r}")
+    if not steps:
+        raise PathError(f"empty XPath {expression!r}")
+    return absolute, steps
+
+
+def _parse_predicate(parser: _Parser) -> _Predicate:
+    kind, text = parser.peek()
+    if kind == "number" and "." not in text:
+        parser.next()
+        return _Predicate(position=int(text))
+    # Parse a relative path (possibly attribute-leading) up to op or ].
+    path_tokens: list[tuple[str, str]] = []
+    while parser.peek() and parser.peek()[0] in ("name", "slash", "dslash"):
+        path_tokens.append(parser.next())
+    if not path_tokens:
+        raise PathError("empty predicate")
+    predicate = _Predicate()
+    if len(path_tokens) == 1 and path_tokens[0][1].startswith("@"):
+        predicate.attribute = path_tokens[0][1][1:]
+    else:
+        rel_expression = "".join(text for _kind, text in path_tokens)
+        predicate.relpath = XPath(rel_expression)
+    token = parser.peek()
+    if token and token[0] == "op":
+        predicate.op = parser.next()[1]
+        literal_kind, literal_text = parser.next()
+        if literal_kind == "string":
+            predicate.literal = literal_text[1:-1]
+        elif literal_kind == "number":
+            predicate.literal = (
+                float(literal_text) if "." in literal_text else int(literal_text)
+            )
+        else:
+            raise PathError(f"bad literal {literal_text!r} in predicate")
+    return predicate
+
+
+# ---------------------------------------------------------------------------
+# Evaluation
+# ---------------------------------------------------------------------------
+
+
+def _apply_step(step: _Step, context: list[Result]) -> list[Result]:
+    output: list[Result] = []
+    for item in context:
+        if not isinstance(item, Node):
+            continue  # attributes have no children
+        output.extend(_select(step, item))
+    if step.predicates:
+        for predicate in step.predicates:
+            output = _filter(predicate, output)
+    return output
+
+
+def _select(step: _Step, node: Node) -> list[Result]:
+    test = step.test
+    if test.startswith("@"):
+        name = test[1:]
+        candidates = (
+            [node]
+            if step.axis == "child"
+            else [node] + [d for d in _logical_descendants(node)]
+        )
+        results: list[Result] = []
+        for candidate in candidates:
+            if candidate.kind == "element" and name in candidate.attributes:
+                results.append(
+                    AttributeValue(candidate.name, name, candidate.attributes[name])
+                )
+        return results
+    if test == "..":
+        parent = node.parent
+        while parent is not None and parent.kind in ("object", "array"):
+            parent = parent.parent
+        return [parent] if parent is not None else []
+    pool = (
+        _logical_children(node)
+        if step.axis == "child"
+        else _logical_descendants(node)
+    )
+    if test == "text()":
+        return [child for child in pool if child.kind in ("text", "number", "boolean", "null")]
+    if test == "*":
+        return [child for child in pool if child.kind == "element"]
+    return [
+        child for child in pool if child.kind == "element" and child.name == test
+    ]
+
+
+def _filter(predicate: _Predicate, items: list[Result]) -> list[Result]:
+    if predicate.position is not None:
+        index = predicate.position - 1
+        return [items[index]] if 0 <= index < len(items) else []
+    kept = []
+    for item in items:
+        if _predicate_holds(predicate, item):
+            kept.append(item)
+    return kept
+
+
+def _predicate_holds(predicate: _Predicate, item: Result) -> bool:
+    if not isinstance(item, Node):
+        return False
+    if predicate.attribute is not None:
+        value = item.attributes.get(predicate.attribute)
+        if predicate.op is None:
+            return value is not None
+        return value is not None and _compare(value, predicate.op, predicate.literal)
+    operands = predicate.relpath.evaluate(item)
+    if predicate.op is None:
+        return bool(operands)
+    return any(
+        _compare(operand.string_value(), predicate.op, predicate.literal)
+        for operand in operands
+    )
+
+
+def _compare(left: str, op: str, right: Any) -> bool:
+    if isinstance(right, (int, float)):
+        try:
+            left_value: Any = float(left)
+        except ValueError:
+            return False
+        right_value: Any = float(right)
+    else:
+        left_value, right_value = left, str(right)
+    if op == "=":
+        return left_value == right_value
+    if op == "!=":
+        return left_value != right_value
+    if op == "<":
+        return left_value < right_value
+    if op == "<=":
+        return left_value <= right_value
+    if op == ">":
+        return left_value > right_value
+    if op == ">=":
+        return left_value >= right_value
+    raise PathError(f"unknown operator {op!r}")

@@ -1,0 +1,125 @@
+"""MMQL shell tests (stream-driven, no TTY)."""
+
+import io
+import json
+
+import pytest
+
+from repro import MultiModelDB
+from repro.cli import make_demo_db, repl, run_statement
+
+
+@pytest.fixture(scope="module")
+def demo_db():
+    return make_demo_db(scale_factor=1)
+
+
+def _run(db, statement):
+    out = io.StringIO()
+    state = {"done": False}
+    run_statement(db, statement, out, state)
+    return out.getvalue(), state
+
+
+class TestRunStatement:
+    def test_query_prints_json_rows(self, demo_db):
+        output, _state = _run(
+            demo_db, "FOR c IN customers SORT c.id LIMIT 2 RETURN c.name"
+        )
+        lines = output.strip().splitlines()
+        assert len(lines) == 3  # 2 rows + summary
+        assert json.loads(lines[0])
+        assert lines[-1].startswith("-- 2 row(s)")
+
+    def test_error_reported_not_raised(self, demo_db):
+        output, _state = _run(demo_db, "FOR broken FILTER")
+        assert output.startswith("error:")
+
+    def test_catalog(self, demo_db):
+        output, _state = _run(demo_db, ".catalog")
+        assert "customers" in output
+        assert "table" in output
+
+    def test_explain(self, demo_db):
+        output, _state = _run(
+            demo_db, ".explain FOR o IN orders FILTER o.Order_no == 'x' RETURN o"
+        )
+        assert "IndexScan" in output
+
+    def test_explain_usage(self, demo_db):
+        output, _state = _run(demo_db, ".explain")
+        assert "usage" in output
+
+    def test_stats_lifecycle(self, demo_db):
+        out = io.StringIO()
+        state = {"done": False}
+        run_statement(demo_db, ".stats", out, state)
+        assert "no query" in out.getvalue()
+        run_statement(demo_db, "RETURN 1", out, state)
+        out2 = io.StringIO()
+        run_statement(demo_db, ".stats", out2, state)
+        assert "rows_returned: 1" in out2.getvalue()
+
+    def test_advise(self, demo_db):
+        output, _state = _run(
+            demo_db,
+            ".advise FOR c IN customers FILTER c.city == 'Prague' RETURN c",
+        )
+        assert "customers(city)" in output
+
+    def test_advise_indexed_query(self, demo_db):
+        output, _state = _run(
+            demo_db,
+            ".advise FOR o IN orders FILTER o.Order_no == 'x' RETURN o",
+        )
+        assert "no new indexes" in output
+
+    def test_advise_usage(self, demo_db):
+        output, _state = _run(demo_db, ".advise")
+        assert "usage" in output
+
+    def test_unknown_command(self, demo_db):
+        output, _state = _run(demo_db, ".bogus")
+        assert "unknown command" in output
+
+    def test_quit_sets_done(self, demo_db):
+        _output, state = _run(demo_db, ".quit")
+        assert state["done"] is True
+
+    def test_help(self, demo_db):
+        output, _state = _run(demo_db, ".help")
+        assert ".catalog" in output
+
+    def test_blank_is_noop(self, demo_db):
+        output, _state = _run(demo_db, "   ")
+        assert output == ""
+
+
+class TestRepl:
+    def test_scripted_session(self, demo_db):
+        source = io.StringIO(
+            "RETURN 1 + 1\n"
+            ".catalog\n"
+            ".quit\n"
+            "RETURN 99\n"   # after .quit: must not run
+        )
+        out = io.StringIO()
+        repl(demo_db, source, out)
+        text = out.getvalue()
+        assert "2" in text
+        assert "customers" in text
+        assert "99" not in text
+
+    def test_multiline_continuation(self, demo_db):
+        source = io.StringIO(
+            "FOR c IN customers \\\n  FILTER c.id == 1 \\\n  RETURN c.name\n"
+        )
+        out = io.StringIO()
+        repl(demo_db, source, out)
+        assert "-- 1 row(s)" in out.getvalue()
+
+    def test_eof_terminates(self):
+        db = MultiModelDB()
+        out = io.StringIO()
+        repl(db, io.StringIO(""), out)
+        assert out.getvalue() == ""

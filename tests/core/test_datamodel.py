@@ -1,0 +1,240 @@
+"""Unit and property tests for the unified data model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import datamodel as dm
+from repro.errors import DataModelError
+
+
+# Reusable hypothesis strategy for arbitrary model values.
+json_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(10**9), max_value=10**9)
+    | st.floats(allow_nan=False, allow_infinity=False, width=32)
+    | st.text(max_size=12),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=6), children, max_size=4),
+    max_leaves=12,
+)
+
+
+class TestTypeOf:
+    def test_null(self):
+        assert dm.type_of(None) is dm.TypeTag.NULL
+
+    def test_bool_is_not_number(self):
+        assert dm.type_of(True) is dm.TypeTag.BOOL
+        assert dm.type_of(1) is dm.TypeTag.NUMBER
+
+    def test_float_and_int_are_numbers(self):
+        assert dm.type_of(1.5) is dm.TypeTag.NUMBER
+        assert dm.type_of(7) is dm.TypeTag.NUMBER
+
+    def test_string(self):
+        assert dm.type_of("x") is dm.TypeTag.STRING
+
+    def test_array_accepts_tuple(self):
+        assert dm.type_of((1, 2)) is dm.TypeTag.ARRAY
+
+    def test_object(self):
+        assert dm.type_of({"a": 1}) is dm.TypeTag.OBJECT
+
+    def test_rejects_foreign_type(self):
+        with pytest.raises(DataModelError):
+            dm.type_of({1, 2})
+
+    def test_type_name(self):
+        assert dm.type_name([1]) == "array"
+
+
+class TestNormalize:
+    def test_tuple_becomes_list(self):
+        assert dm.normalize((1, (2, 3))) == [1, [2, 3]]
+
+    def test_rejects_nan(self):
+        with pytest.raises(DataModelError):
+            dm.normalize(float("nan"))
+
+    def test_rejects_non_string_keys(self):
+        with pytest.raises(DataModelError):
+            dm.normalize({1: "a"})
+
+    def test_no_aliasing(self):
+        source = {"a": [1, 2]}
+        copy = dm.normalize(source)
+        copy["a"].append(3)
+        assert source["a"] == [1, 2]
+
+
+class TestCompare:
+    def test_cross_type_order(self):
+        ordering = [None, False, True, -1, 0, 3.5, "", "a", [1], {"a": 1}]
+        for i, low in enumerate(ordering):
+            for high in ordering[i + 1:]:
+                assert dm.compare(low, high) < 0
+                assert dm.compare(high, low) > 0
+
+    def test_int_float_equality(self):
+        assert dm.compare(1, 1.0) == 0
+
+    def test_bool_not_equal_number(self):
+        assert dm.compare(True, 1) != 0
+
+    def test_array_elementwise_then_length(self):
+        assert dm.compare([1, 2], [1, 3]) < 0
+        assert dm.compare([1, 2], [1, 2, 0]) < 0
+
+    def test_object_by_keys_then_values(self):
+        assert dm.compare({"a": 1}, {"b": 1}) < 0
+        assert dm.compare({"a": 1}, {"a": 2}) < 0
+        assert dm.compare({"a": 1, "b": 2}, {"b": 2, "a": 1}) == 0
+
+    @given(json_values, json_values)
+    def test_antisymmetry(self, a, b):
+        assert dm.compare(a, b) == -dm.compare(b, a)
+
+    @given(json_values, json_values, json_values)
+    def test_transitivity(self, a, b, c):
+        if dm.compare(a, b) <= 0 and dm.compare(b, c) <= 0:
+            assert dm.compare(a, c) <= 0
+
+    @given(json_values)
+    def test_reflexive(self, a):
+        assert dm.compare(a, a) == 0
+
+
+class TestTruthy:
+    @pytest.mark.parametrize("value", [None, False, 0, 0.0, ""])
+    def test_falsey(self, value):
+        assert dm.truthy(value) is False
+
+    @pytest.mark.parametrize("value", [True, 1, -2, "x", [], {}, [0], {"a": None}])
+    def test_truthy(self, value):
+        assert dm.truthy(value) is True
+
+
+class TestSortKey:
+    def test_sorted_uses_total_order(self):
+        values = [{"b": 1}, "zebra", None, 3, [1], True]
+        ordered = sorted(values, key=dm.SortKey)
+        assert ordered == [None, True, 3, "zebra", [1], {"b": 1}]
+
+    def test_hash_consistent_with_eq(self):
+        assert hash(dm.SortKey(1)) == hash(dm.SortKey(1.0))
+        assert dm.SortKey(1) == dm.SortKey(1.0)
+
+
+class TestContains:
+    def test_scalar(self):
+        assert dm.contains(5, 5)
+        assert not dm.contains(5, 6)
+
+    def test_object_subset(self):
+        hay = {"foo": {"bar": "baz"}, "extra": 1}
+        assert dm.contains(hay, {"foo": {"bar": "baz"}})
+        assert not dm.contains(hay, {"foo": {"bar": "qux"}})
+
+    def test_array_order_insensitive(self):
+        assert dm.contains([1, 2, 3], [3, 1])
+        assert not dm.contains([1, 2], [4])
+
+    def test_array_contains_bare_scalar(self):
+        assert dm.contains([1, 2, 3], 2)
+
+    def test_nested_array_of_objects(self):
+        hay = {"tags": [{"k": "a"}, {"k": "b"}]}
+        assert dm.contains(hay, {"tags": [{"k": "b"}]})
+
+    def test_type_mismatch_is_false(self):
+        assert not dm.contains({"a": 1}, [1])
+
+    @given(json_values)
+    def test_every_value_contains_itself(self, value):
+        assert dm.contains(value, value)
+
+    @given(st.dictionaries(st.text(max_size=4), json_values, max_size=5))
+    def test_object_contains_each_single_pair(self, obj):
+        for key, value in obj.items():
+            assert dm.contains(obj, {key: value})
+
+
+class TestIterPaths:
+    def test_simple_object(self):
+        assert set(dm.iter_paths({"a": 1, "b": {"c": 2}})) == {
+            (("a",), 1),
+            (("b", "c"), 2),
+        }
+
+    def test_arrays_use_marker_not_position(self):
+        paths = list(dm.iter_paths({"xs": [10, 20]}))
+        assert paths == [(("xs", "[]"), 10), (("xs", "[]"), 20)]
+
+    def test_empty_containers_are_leaves(self):
+        assert list(dm.iter_paths({"a": {}})) == [(("a",), {})]
+        assert list(dm.iter_paths({"a": []})) == [(("a",), [])]
+
+
+class TestIterKeysAndValues:
+    def test_example_from_slide_82(self):
+        # {"foo": {"bar": "baz"}} decomposes into foo, bar, and baz.
+        items = set(dm.iter_keys_and_values({"foo": {"bar": "baz"}}))
+        assert items == {("K", "foo"), ("K", "bar"), ("V", "baz")}
+
+    def test_array_values(self):
+        items = set(dm.iter_keys_and_values({"xs": [1, 2]}))
+        assert items == {("K", "xs"), ("V", 1), ("V", 2)}
+
+
+class TestCanonicalJsonAndHash:
+    def test_key_order_irrelevant(self):
+        assert dm.canonical_json({"b": 1, "a": 2}) == dm.canonical_json(
+            {"a": 2, "b": 1}
+        )
+
+    def test_hash_stability(self):
+        assert dm.hash_value({"a": [1, "x"]}) == dm.hash_value({"a": [1, "x"]})
+
+    @given(json_values, json_values)
+    def test_equal_values_hash_equal(self, a, b):
+        if dm.compare(a, b) == 0:
+            assert dm.hash_value(a) == dm.hash_value(b)
+
+
+class TestDeepGet:
+    ORDER = {
+        "Order_no": "0c6df508",
+        "Orderlines": [
+            {"Product_no": "2724f", "Price": 66},
+            {"Product_no": "3424g", "Price": 40},
+        ],
+    }
+
+    def test_object_key(self):
+        assert dm.deep_get(self.ORDER, ("Order_no",)) == "0c6df508"
+
+    def test_array_index(self):
+        assert dm.deep_get(self.ORDER, ("Orderlines", 1, "Product_no")) == "3424g"
+
+    def test_missing_returns_none(self):
+        assert dm.deep_get(self.ORDER, ("nope", "deeper")) is None
+
+    def test_out_of_range_returns_none(self):
+        assert dm.deep_get(self.ORDER, ("Orderlines", 9)) is None
+
+    def test_negative_index(self):
+        assert dm.deep_get(self.ORDER, ("Orderlines", -1, "Price")) == 40
+
+
+class TestDeepMerge:
+    def test_recursive_merge(self):
+        base = {"a": {"x": 1, "y": 2}, "b": 1}
+        patch = {"a": {"y": 3}, "c": 4}
+        assert dm.deep_merge(base, patch) == {"a": {"x": 1, "y": 3}, "b": 1, "c": 4}
+
+    def test_scalar_replaces(self):
+        assert dm.deep_merge({"a": 1}, 5) == 5
+
+    def test_explicit_null_overwrites(self):
+        assert dm.deep_merge({"a": 1}, {"a": None}) == {"a": None}

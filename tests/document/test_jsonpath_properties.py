@@ -1,0 +1,92 @@
+"""Property-based laws for the JSON path operators."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import datamodel as dm
+from repro.document import jsonpath
+
+# Documents with only object nesting (paths are key chains).
+object_docs = st.recursive(
+    st.integers(0, 9) | st.text(max_size=5) | st.booleans() | st.none(),
+    lambda children: st.dictionaries(
+        st.sampled_from(["a", "b", "c", "d"]), children, max_size=3
+    ),
+    max_leaves=10,
+)
+
+key_paths = st.lists(st.sampled_from(["a", "b", "c", "d"]), min_size=1, max_size=4)
+
+
+def _paths_of(value, prefix=()):
+    """All object key-chain paths through *value*."""
+    if dm.type_of(value) is dm.TypeTag.OBJECT:
+        for key, item in value.items():
+            yield prefix + (key,)
+            yield from _paths_of(item, prefix + (key,))
+
+
+class TestSetGetLaw:
+    @settings(max_examples=60, deadline=None)
+    @given(object_docs, key_paths, st.integers(0, 99))
+    def test_get_after_set(self, doc, path, value):
+        if dm.type_of(doc) is not dm.TypeTag.OBJECT:
+            doc = {"a": doc}
+        updated = jsonpath.set_path(doc, tuple(path), value)
+        assert dm.values_equal(jsonpath.get_path(updated, tuple(path)), value)
+
+    @settings(max_examples=60, deadline=None)
+    @given(object_docs, key_paths, st.integers(0, 99))
+    def test_set_is_pure(self, doc, path, value):
+        if dm.type_of(doc) is not dm.TypeTag.OBJECT:
+            doc = {"a": doc}
+        snapshot = dm.normalize(doc)
+        jsonpath.set_path(doc, tuple(path), value)
+        assert dm.values_equal(doc, snapshot)
+
+
+class TestDeleteLaw:
+    @settings(max_examples=60, deadline=None)
+    @given(object_docs)
+    def test_delete_every_real_path_removes_it(self, doc):
+        if dm.type_of(doc) is not dm.TypeTag.OBJECT:
+            doc = {"a": doc}
+        for path in list(_paths_of(doc))[:8]:
+            trimmed = jsonpath.delete_path(doc, path)
+            assert jsonpath.get_path(trimmed, path) is None
+            # Deleting never touches siblings' subtree count upward.
+            assert dm.type_of(trimmed) is dm.TypeTag.OBJECT
+
+    @settings(max_examples=40, deadline=None)
+    @given(object_docs, key_paths)
+    def test_delete_missing_is_identity(self, doc, path):
+        if dm.type_of(doc) is not dm.TypeTag.OBJECT:
+            doc = {"a": doc}
+        if jsonpath.get_path(doc, tuple(path)) is None and not _prefix_exists(
+            doc, path
+        ):
+            assert dm.values_equal(jsonpath.delete_path(doc, tuple(path)), doc)
+
+
+def _prefix_exists(doc, path):
+    """True when some prefix of *path* resolves to a non-object (so the
+    delete would be a no-op anyway) or the full path exists."""
+    current = doc
+    for step in path:
+        if dm.type_of(current) is not dm.TypeTag.OBJECT or step not in current:
+            return False
+        current = current[step]
+    return True
+
+
+class TestContainmentMonotonicity:
+    @settings(max_examples=60, deadline=None)
+    @given(object_docs, key_paths, st.integers(0, 99))
+    def test_set_path_makes_fragment_contained(self, doc, path, value):
+        if dm.type_of(doc) is not dm.TypeTag.OBJECT:
+            doc = {"a": doc}
+        updated = jsonpath.set_path(doc, tuple(path), value)
+        fragment = value
+        for step in reversed(path):
+            fragment = {step: fragment}
+        assert dm.contains(updated, fragment)

@@ -1,0 +1,204 @@
+"""Document model tests: CRUD, QBE, path operators, GIN-served queries."""
+
+import pytest
+
+from repro.core.context import EngineContext
+from repro.document import DocumentCollection, jsonpath
+from repro.errors import PathError, PrimaryKeyError, SchemaError
+
+ORDER_1 = {
+    "_key": "0c6df508",
+    "Order_no": "0c6df508",
+    "Orderlines": [
+        {"Product_no": "2724f", "Product_Name": "Toy", "Price": 66},
+        {"Product_no": "3424g", "Product_Name": "Book", "Price": 40},
+    ],
+}
+ORDER_2 = {
+    "_key": "0c6df511",
+    "Order_no": "0c6df511",
+    "Orderlines": [
+        {"Product_no": "2454f", "Product_Name": "Computer", "Price": 34},
+    ],
+}
+
+
+@pytest.fixture()
+def orders():
+    collection = DocumentCollection(EngineContext(), "orders")
+    collection.insert(ORDER_1)
+    collection.insert(ORDER_2)
+    return collection
+
+
+class TestCrud:
+    def test_insert_get(self, orders):
+        assert orders.get("0c6df508")["Order_no"] == "0c6df508"
+
+    def test_key_assignment(self):
+        collection = DocumentCollection(EngineContext(), "c")
+        key = collection.insert({"a": 1})
+        assert collection.get(key)["a"] == 1
+
+    def test_duplicate_key(self, orders):
+        with pytest.raises(PrimaryKeyError):
+            orders.insert(ORDER_1)
+
+    def test_non_object_rejected(self, orders):
+        with pytest.raises(SchemaError):
+            orders.insert([1, 2])
+
+    def test_non_string_key_rejected(self, orders):
+        with pytest.raises(SchemaError):
+            orders.insert({"_key": 42})
+
+    def test_replace(self, orders):
+        assert orders.replace("0c6df511", {"Order_no": "new"})
+        document = orders.get("0c6df511")
+        assert document["Order_no"] == "new"
+        assert "Orderlines" not in document
+
+    def test_update_deep_merge(self, orders):
+        orders.update("0c6df511", {"status": {"paid": True}})
+        orders.update("0c6df511", {"status": {"shipped": False}})
+        assert orders.get("0c6df511")["status"] == {
+            "paid": True,
+            "shipped": False,
+        }
+
+    def test_delete(self, orders):
+        assert orders.delete("0c6df511")
+        assert orders.get("0c6df511") is None
+        assert not orders.delete("0c6df511")
+
+
+class TestOpenClosedSchema:
+    def test_required_fields(self):
+        collection = DocumentCollection(
+            EngineContext(), "c", required_fields={"name": "string"}
+        )
+        collection.insert({"name": "ok", "extra": 1})  # open: extras allowed
+        with pytest.raises(SchemaError):
+            collection.insert({"extra": 1})
+        with pytest.raises(SchemaError):
+            collection.insert({"name": 42})
+
+    def test_closed_rejects_extras(self):
+        collection = DocumentCollection(
+            EngineContext(),
+            "c",
+            required_fields={"name": "string"},
+            closed=True,
+        )
+        collection.insert({"name": "ok"})
+        with pytest.raises(SchemaError):
+            collection.insert({"name": "ok", "extra": 1})
+
+    def test_closed_requires_fields(self):
+        with pytest.raises(SchemaError):
+            DocumentCollection(EngineContext(), "c", closed=True)
+
+
+class TestQueries:
+    def test_find_predicate(self, orders):
+        cheap = orders.find(
+            lambda doc: all(line["Price"] < 50 for line in doc["Orderlines"])
+        )
+        assert [doc["Order_no"] for doc in cheap] == ["0c6df511"]
+
+    def test_find_by_example(self, orders):
+        hits = orders.find_by_example(
+            {"Orderlines": [{"Product_no": "3424g"}]}
+        )
+        assert [doc["Order_no"] for doc in hits] == ["0c6df508"]
+
+    def test_find_contains_scan_vs_gin_agree(self, orders):
+        probe = {"Orderlines": [{"Product_Name": "Toy"}]}
+        scanned = orders.find_contains(probe)
+        orders.create_index(kind="gin")
+        indexed = orders.find_contains(probe)
+        assert [d["_key"] for d in scanned] == [d["_key"] for d in indexed]
+        assert indexed[0]["Order_no"] == "0c6df508"
+
+    def test_find_path_equals(self, orders):
+        hits = orders.find_path_equals("Order_no", "0c6df511")
+        assert len(hits) == 1
+
+    def test_find_path_equals_with_index(self, orders):
+        orders.create_index("Order_no", kind="hash")
+        hits = orders.find_path_equals("Order_no", "0c6df508")
+        assert [doc["_key"] for doc in hits] == ["0c6df508"]
+
+    def test_limit(self, orders):
+        assert len(orders.find(lambda doc: True, limit=1)) == 1
+
+
+class TestJsonPathOperators:
+    """Experiment E7: the operator table of slide 72/73."""
+
+    def test_arrow(self):
+        assert jsonpath.get_field(ORDER_1, "Order_no") == "0c6df508"
+        assert jsonpath.get_field([10, 20], 1) == 20
+
+    def test_arrow_text_coercion(self):
+        assert jsonpath.get_field_text({"n": 66}, "n") == "66"
+        assert jsonpath.get_field_text({"s": "x"}, "s") == "x"
+        assert jsonpath.get_field_text({}, "missing") is None
+
+    def test_hash_arrow_postgres_path_syntax(self):
+        # slide 73: orders#>'{Orderlines,1}'->>'Product_Name'
+        element = jsonpath.get_path(ORDER_1, "{Orderlines,1}")
+        assert jsonpath.get_field_text(element, "Product_Name") == "Book"
+
+    def test_dotted_path_syntax(self):
+        assert jsonpath.get_path(ORDER_1, "Orderlines.0.Price") == 66
+
+    def test_path_text(self):
+        assert jsonpath.get_path_text(ORDER_1, "{Orderlines,0,Price}") == "66"
+
+    def test_key_exists_operators(self):
+        doc = {"a": 1, "b": 2}
+        assert jsonpath.has_key(doc, "a")
+        assert not jsonpath.has_key(doc, "z")
+        assert jsonpath.has_any_key(doc, ["z", "b"])
+        assert not jsonpath.has_all_keys(doc, ["a", "z"])
+        assert jsonpath.has_key(["x", "y"], "x")  # array membership
+
+    def test_delete_path(self):
+        trimmed = jsonpath.delete_path(ORDER_1, "{Orderlines,0}")
+        assert len(trimmed["Orderlines"]) == 1
+        assert trimmed["Orderlines"][0]["Product_no"] == "3424g"
+        # original untouched
+        assert len(ORDER_1["Orderlines"]) == 2
+
+    def test_delete_missing_path_is_noop(self):
+        assert jsonpath.delete_path({"a": 1}, "{b,c}") == {"a": 1}
+
+    def test_set_path(self):
+        updated = jsonpath.set_path(ORDER_1, "{Orderlines,0,Price}", 70)
+        assert updated["Orderlines"][0]["Price"] == 70
+
+    def test_set_path_creates_objects(self):
+        assert jsonpath.set_path({}, "a.b", 1) == {"a": {"b": 1}}
+
+    def test_set_path_array_out_of_range(self):
+        with pytest.raises(PathError):
+            jsonpath.set_path({"xs": [1]}, "{xs,5}", 0)
+
+    def test_parse_path_errors(self):
+        with pytest.raises(PathError):
+            jsonpath.parse_path("{a,,b}")
+        with pytest.raises(PathError):
+            jsonpath.parse_path(3.5)
+
+    def test_containment_reexport(self):
+        assert jsonpath.contains(ORDER_1, {"Order_no": "0c6df508"})
+
+
+class TestTransactions:
+    def test_snapshot_isolation_on_documents(self, orders):
+        manager = orders._context.transactions
+        reader = manager.begin()
+        orders.update("0c6df508", {"touched": True})
+        assert "touched" not in orders.get("0c6df508", txn=reader)
+        assert orders.get("0c6df508")["touched"] is True

@@ -1,0 +1,103 @@
+"""Graph pattern matching and networkx interop."""
+
+import pytest
+
+from repro.core.context import EngineContext
+from repro.graph import PropertyGraph
+
+
+@pytest.fixture()
+def graph():
+    graph = PropertyGraph(EngineContext(), "net")
+    for key, props in [
+        ("mary", {"age": 30}),
+        ("john", {"age": 25}),
+        ("anne", {"age": 35}),
+        ("acme", {"kind": "company"}),
+    ]:
+        graph.add_vertex(key, props)
+    graph.add_edge("mary", "john", label="knows")
+    graph.add_edge("anne", "mary", label="knows")
+    graph.add_edge("mary", "acme", label="works_at")
+    graph.add_edge("john", "acme", label="works_at")
+    return graph
+
+
+class TestPatternMatching:
+    def test_single_pattern_variables(self, graph):
+        result = graph.match([("?a", "knows", "?b")])
+        assert result == [
+            {"?a": "anne", "?b": "mary"},
+            {"?a": "mary", "?b": "john"},
+        ]
+
+    def test_constant_endpoint(self, graph):
+        result = graph.match([("mary", "knows", "?x")])
+        assert result == [{"?x": "john"}]
+
+    def test_label_none_matches_all(self, graph):
+        result = graph.match([("mary", None, "?x")])
+        assert {binding["?x"] for binding in result} == {"john", "acme"}
+
+    def test_conjunctive_join(self, graph):
+        # colleagues: two distinct people working at the same place
+        result = graph.match(
+            [("?a", "works_at", "?c"), ("?b", "works_at", "?c")],
+            where=lambda binding: binding["?a"] < binding["?b"],
+        )
+        assert result == [{"?a": "john", "?b": "mary", "?c": "acme"}]
+
+    def test_chain_pattern(self, graph):
+        # friend-of-friend: anne knows mary knows john
+        result = graph.match([("?x", "knows", "?y"), ("?y", "knows", "?z")])
+        assert result == [{"?x": "anne", "?y": "mary", "?z": "john"}]
+
+    def test_no_match(self, graph):
+        assert graph.match([("john", "knows", "?x")]) == []
+
+    def test_empty_patterns(self, graph):
+        assert graph.match([]) == []
+
+    def test_shared_variable_consistency(self, graph):
+        # ?x must be the same vertex in both patterns
+        result = graph.match(
+            [("?x", "knows", "john"), ("?x", "works_at", "acme")]
+        )
+        assert result == [{"?x": "mary"}]
+
+    def test_inside_transaction(self, graph):
+        manager = graph._context.transactions
+        txn = manager.begin()
+        graph.add_vertex("eve", txn=txn)
+        graph.add_edge("eve", "mary", label="knows", txn=txn)
+        assert {b["?a"] for b in graph.match([("?a", "knows", "mary")], txn=txn)} == {
+            "anne",
+            "eve",
+        }
+        manager.abort(txn)
+        assert {b["?a"] for b in graph.match([("?a", "knows", "mary")])} == {"anne"}
+
+
+class TestNetworkxExport:
+    def test_structure_preserved(self, graph):
+        nx_graph = graph.to_networkx()
+        assert nx_graph.number_of_nodes() == 4
+        assert nx_graph.number_of_edges() == 4
+        assert nx_graph.nodes["mary"]["age"] == 30
+        assert nx_graph.has_edge("mary", "john")
+
+    def test_edge_properties(self, graph):
+        nx_graph = graph.to_networkx()
+        labels = {
+            data.get("label")
+            for _u, _v, data in nx_graph.edges(data=True)
+        }
+        assert labels == {"knows", "works_at"}
+
+    def test_analytics_pagerank(self, graph):
+        import networkx
+
+        nx_graph = graph.to_networkx()
+        ranks = networkx.pagerank(networkx.DiGraph(nx_graph))
+        # acme receives two inbound work edges: highest rank.
+        assert max(ranks, key=ranks.get) == "acme"

@@ -1,0 +1,168 @@
+"""Unit + property tests for the B+tree index."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.datamodel import compare
+from repro.errors import ConstraintViolationError
+from repro.indexes.btree import BPlusTree
+
+
+class TestBasics:
+    def test_insert_and_search(self):
+        tree = BPlusTree(order=4)
+        tree.insert(5, "r5")
+        tree.insert(3, "r3")
+        tree.insert(8, "r8")
+        assert tree.search(5) == ["r5"]
+        assert tree.search(99) == []
+
+    def test_duplicate_keys_accumulate_rids(self):
+        tree = BPlusTree(order=4)
+        tree.insert("x", 1)
+        tree.insert("x", 2)
+        assert sorted(tree.search("x")) == [1, 2]
+        assert len(tree) == 1
+        assert tree.entry_count == 2
+
+    def test_unique_rejects_duplicates(self):
+        tree = BPlusTree(order=4, unique=True, name="pk")
+        tree.insert(1, "a")
+        with pytest.raises(ConstraintViolationError):
+            tree.insert(1, "b")
+
+    def test_delete(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1, "a")
+        tree.insert(1, "b")
+        tree.delete(1, "a")
+        assert tree.search(1) == ["b"]
+        tree.delete(1, "b")
+        assert tree.search(1) == []
+        assert len(tree) == 0
+
+    def test_delete_missing_is_noop(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1, "a")
+        tree.delete(2, "x")
+        tree.delete(1, "x")
+        assert tree.search(1) == ["a"]
+
+    def test_clear(self):
+        tree = BPlusTree(order=4)
+        for i in range(50):
+            tree.insert(i, i)
+        tree.clear()
+        assert len(tree) == 0
+        assert tree.search(10) == []
+
+    def test_splits_grow_height(self):
+        tree = BPlusTree(order=4)
+        for i in range(100):
+            tree.insert(i, i)
+        assert tree.height > 1
+        for i in range(100):
+            assert tree.search(i) == [i]
+
+    def test_order_too_small(self):
+        with pytest.raises(ValueError):
+            BPlusTree(order=2)
+
+
+class TestRangeScans:
+    def test_inclusive_range(self):
+        tree = BPlusTree(order=4)
+        for i in range(20):
+            tree.insert(i, f"r{i}")
+        assert tree.range_search(5, 8) == ["r5", "r6", "r7", "r8"]
+
+    def test_exclusive_bounds(self):
+        tree = BPlusTree(order=4)
+        for i in range(10):
+            tree.insert(i, i)
+        assert tree.range_search(2, 5, include_low=False, include_high=False) == [3, 4]
+
+    def test_unbounded_low(self):
+        tree = BPlusTree(order=4)
+        for i in range(10):
+            tree.insert(i, i)
+        assert tree.range_search(None, 2) == [0, 1, 2]
+
+    def test_unbounded_high(self):
+        tree = BPlusTree(order=4)
+        for i in range(10):
+            tree.insert(i, i)
+        assert tree.range_search(7, None) == [7, 8, 9]
+
+    def test_full_scan_in_order(self):
+        tree = BPlusTree(order=4)
+        values = random.Random(7).sample(range(1000), 200)
+        for value in values:
+            tree.insert(value, value)
+        assert tree.keys_in_order() == sorted(values)
+
+    def test_mixed_type_keys_follow_total_order(self):
+        tree = BPlusTree(order=4)
+        keys = [None, True, 3, "a", [1], {"k": 1}]
+        for index, key in enumerate(keys):
+            tree.insert(key, index)
+        assert tree.keys_in_order() == keys
+
+    def test_range_over_strings(self):
+        tree = BPlusTree(order=4)
+        for word in ["apple", "banana", "cherry", "date", "fig"]:
+            tree.insert(word, word)
+        assert tree.range_search("banana", "date") == ["banana", "cherry", "date"]
+
+
+class TestProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(-500, 500), max_size=150))
+    def test_matches_reference_dict(self, values):
+        tree = BPlusTree(order=6)
+        reference: dict[int, list[int]] = {}
+        for index, value in enumerate(values):
+            tree.insert(value, index)
+            reference.setdefault(value, []).append(index)
+        for key, rids in reference.items():
+            assert sorted(tree.search(key)) == sorted(rids)
+        assert tree.keys_in_order() == sorted(reference)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.integers(0, 80), min_size=1, max_size=120),
+        st.integers(0, 80),
+        st.integers(0, 80),
+    )
+    def test_range_matches_filter(self, values, a, b):
+        low, high = min(a, b), max(a, b)
+        tree = BPlusTree(order=5)
+        for index, value in enumerate(values):
+            tree.insert(value, index)
+        expected = sorted(
+            index for index, value in enumerate(values) if low <= value <= high
+        )
+        assert sorted(tree.range_search(low, high)) == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 30), st.booleans()), max_size=120))
+    def test_interleaved_insert_delete(self, operations):
+        tree = BPlusTree(order=5)
+        reference: dict[int, set] = {}
+        for step, (key, is_delete) in enumerate(operations):
+            if is_delete and reference.get(key):
+                rid = next(iter(reference[key]))
+                reference[key].discard(rid)
+                if not reference[key]:
+                    del reference[key]
+                tree.delete(key, rid)
+            else:
+                reference.setdefault(key, set()).add(step)
+                tree.insert(key, step)
+        for key in range(31):
+            assert sorted(tree.search(key), key=repr) == sorted(
+                reference.get(key, set()), key=repr
+            )
+        assert tree.keys_in_order() == sorted(reference)

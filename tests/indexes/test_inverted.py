@@ -1,0 +1,149 @@
+"""Tests for the GIN inverted indexes: jsonb_ops vs jsonb_path_ops (E10)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import datamodel as dm
+from repro.errors import UnsupportedIndexOperationError
+from repro.indexes.inverted import GinJsonbOps, GinJsonbPathOps
+
+DOCS = {
+    1: {"foo": {"bar": "baz"}},
+    2: {"foo": "baz", "bar": 1},           # same tokens, different structure
+    3: {"foo": {"bar": "qux"}},
+    4: {"other": True},
+    5: {"foo": {"bar": "baz"}, "extra": [1, 2]},
+}
+
+
+def _fetch(rid):
+    return DOCS[rid]
+
+
+def _build(cls):
+    index = cls()
+    for rid, doc in DOCS.items():
+        index.insert(doc, rid)
+    return index
+
+
+class TestGinJsonbOps:
+    def test_containment_with_recheck(self):
+        index = _build(GinJsonbOps)
+        probe = {"foo": {"bar": "baz"}}
+        candidates, recheck = index.contains_candidates(probe)
+        assert recheck is True
+        # Doc 2 has all three tokens (foo, bar, baz) but the wrong structure:
+        # it must appear as a candidate (slide 82) …
+        assert 2 in candidates
+        # … and be removed by the recheck.
+        assert index.search_contains(probe, _fetch) == [1, 5]
+
+    def test_key_exists(self):
+        index = _build(GinJsonbOps)
+        assert index.key_exists("foo") == {1, 2, 3, 5}
+        assert index.key_exists("bar") == {1, 2, 3, 5}
+        assert index.key_exists("missing") == set()
+
+    def test_any_and_all_keys(self):
+        index = _build(GinJsonbOps)
+        assert index.any_key_exists(["other", "extra"]) == {4, 5}
+        assert index.all_keys_exist(["foo", "extra"]) == {5}
+
+    def test_delete(self):
+        index = _build(GinJsonbOps)
+        index.delete(DOCS[1], 1)
+        assert index.search_contains({"foo": {"bar": "baz"}}, _fetch) == [5]
+        assert index.document_count == 4
+
+    def test_empty_probe_matches_all(self):
+        index = _build(GinJsonbOps)
+        candidates, _ = index.contains_candidates({})
+        assert candidates == set(DOCS)
+
+    def test_scalar_probe_no_recheck(self):
+        index = GinJsonbOps()
+        index.insert("hello", 1)
+        index.insert("world", 2)
+        candidates, recheck = index.contains_candidates("hello")
+        assert candidates == {1}
+        assert recheck is False
+
+
+class TestGinJsonbPathOps:
+    def test_structural_probe_excludes_flat_doc(self):
+        index = _build(GinJsonbPathOps)
+        probe = {"foo": {"bar": "baz"}}
+        candidates, recheck = index.contains_candidates(probe)
+        # The hashed path item foo.bar→baz distinguishes doc 2 already.
+        assert 2 not in candidates
+        assert candidates == {1, 5}
+        assert recheck is True
+
+    def test_no_key_exists_support(self):
+        index = _build(GinJsonbPathOps)
+        with pytest.raises(UnsupportedIndexOperationError):
+            index.key_exists("foo")
+
+    def test_smaller_than_jsonb_ops(self):
+        ops = _build(GinJsonbOps)
+        path_ops = _build(GinJsonbPathOps)
+        # jsonb_ops stores keys and values separately; path_ops one item per
+        # leaf — the slide-82 size trade-off.
+        assert path_ops.memory_items() < ops.memory_items()
+
+    def test_empty_probe_degrades_to_scan(self):
+        index = _build(GinJsonbPathOps)
+        candidates, recheck = index.contains_candidates({})
+        assert candidates == set(DOCS)
+        assert recheck is True
+
+    def test_array_probes(self):
+        index = GinJsonbPathOps()
+        index.insert({"tags": ["red", "blue"]}, 1)
+        index.insert({"tags": ["green"]}, 2)
+        assert index.search_contains(
+            {"tags": ["red"]}, {1: {"tags": ["red", "blue"]}, 2: {"tags": ["green"]}}.__getitem__
+        ) == [1]
+
+
+class TestAgainstExactSemantics:
+    """Both GIN modes, after recheck, must agree exactly with datamodel.contains."""
+
+    documents = st.lists(
+        st.dictionaries(
+            st.sampled_from(["a", "b", "c", "d"]),
+            st.recursive(
+                st.integers(0, 3) | st.sampled_from(["x", "y"]),
+                lambda children: st.dictionaries(
+                    st.sampled_from(["p", "q"]), children, max_size=2
+                ),
+                max_leaves=4,
+            ),
+            max_size=3,
+        ),
+        min_size=1,
+        max_size=12,
+    )
+
+    @settings(max_examples=30, deadline=None)
+    @given(documents, st.integers(0, 11))
+    def test_jsonb_ops_matches_contains(self, docs, probe_pick):
+        probe = docs[probe_pick % len(docs)]
+        index = GinJsonbOps()
+        store = dict(enumerate(docs))
+        for rid, doc in store.items():
+            index.insert(doc, rid)
+        expected = sorted(rid for rid, doc in store.items() if dm.contains(doc, probe))
+        assert index.search_contains(probe, store.__getitem__) == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(documents, st.integers(0, 11))
+    def test_jsonb_path_ops_matches_contains(self, docs, probe_pick):
+        probe = docs[probe_pick % len(docs)]
+        index = GinJsonbPathOps()
+        store = dict(enumerate(docs))
+        for rid, doc in store.items():
+            index.insert(doc, rid)
+        expected = sorted(rid for rid, doc in store.items() if dm.contains(doc, probe))
+        assert index.search_contains(probe, store.__getitem__) == expected

@@ -1,0 +1,132 @@
+"""Multi-model join index tests (challenge 4 / experiment E18)."""
+
+import pytest
+
+from repro import Column, ColumnType, MultiModelDB, TableSchema
+from repro.indexes.multimodel import (
+    EdgeHop,
+    FieldLookupHop,
+    KeyHop,
+    KvHop,
+    MultiModelJoinIndex,
+)
+
+
+@pytest.fixture()
+def db():
+    db = MultiModelDB()
+    db.create_table(
+        TableSchema(
+            "customers",
+            [Column("id", ColumnType.INTEGER, nullable=False),
+             Column("credit_limit", ColumnType.INTEGER)],
+            primary_key="id",
+        )
+    )
+    for i in (1, 2, 3):
+        db.table("customers").insert({"id": i, "credit_limit": i * 1000})
+    social = db.create_graph("social")
+    for key in ("1", "2", "3"):
+        social.add_vertex(key)
+    social.add_edge("1", "2", label="knows")
+    social.add_edge("3", "1", label="knows")
+    cart = db.create_bucket("cart")
+    cart.put("1", "34e5e759")
+    cart.put("2", "0c6df508")
+    orders = db.create_collection("orders")
+    orders.insert({"_key": "0c6df508", "Order_no": "0c6df508"})
+    orders.insert({"_key": "34e5e759", "Order_no": "34e5e759"})
+    return db
+
+
+def _recommendation_index(db):
+    """vertex key → order keys of friends' carts (the running example's
+    chain as one index)."""
+    return MultiModelJoinIndex(
+        db.context.log,
+        db.context.rows,
+        source_namespace=db.graph("social").vertex_namespace,
+        hops=[
+            EdgeHop(db.graph("social").edge_namespace, "outbound"),
+            KvHop(db.bucket("cart").namespace),
+            FieldLookupHop(db.collection("orders").namespace, "Order_no"),
+        ],
+        name="friend-orders",
+    )
+
+
+class TestJoinIndex:
+    def test_chain_lookup(self, db):
+        index = _recommendation_index(db)
+        assert index.lookup("1") == frozenset({"0c6df508"})   # Mary→John→cart
+        assert index.lookup("3") == frozenset({"34e5e759"})   # Anne→Mary→cart
+        assert index.lookup("2") == frozenset()               # John has no friends
+
+    def test_lookup_many(self, db):
+        index = _recommendation_index(db)
+        assert index.lookup_many(["1", "3"]) == {"0c6df508", "34e5e759"}
+
+    def test_staleness_and_rebuild(self, db):
+        index = _recommendation_index(db)
+        index.lookup("1")
+        assert not index.is_stale
+        db.graph("social").add_edge("2", "3", label="knows")
+        assert index.is_stale
+        db.bucket("cart").put("3", "0c6df508")
+        # John→Anne's cart now resolves too.
+        assert index.lookup("2") == frozenset({"0c6df508"})
+        assert index.rebuild_count == 2
+
+    def test_unrelated_namespace_does_not_invalidate(self, db):
+        index = _recommendation_index(db)
+        index.lookup("1")
+        db.create_bucket("unrelated").put("x", 1)
+        assert not index.is_stale
+
+    def test_len_counts_sources(self, db):
+        index = _recommendation_index(db)
+        assert len(index) == 3
+
+    def test_key_hop(self, db):
+        index = MultiModelJoinIndex(
+            db.context.log,
+            db.context.rows,
+            source_namespace=db.bucket("cart").namespace,
+            hops=[
+                KvHop(db.bucket("cart").namespace),
+                KeyHop(db.collection("orders").namespace),
+            ],
+        )
+        assert index.lookup("2") == frozenset({"0c6df508"})
+
+    def test_inbound_edge_hop(self, db):
+        index = MultiModelJoinIndex(
+            db.context.log,
+            db.context.rows,
+            source_namespace=db.graph("social").vertex_namespace,
+            hops=[EdgeHop(db.graph("social").edge_namespace, "inbound")],
+        )
+        assert index.lookup("1") == frozenset({"3"})
+
+    def test_needs_hops(self, db):
+        with pytest.raises(ValueError):
+            MultiModelJoinIndex(
+                db.context.log, db.context.rows, "x", hops=[]
+            )
+
+    def test_agrees_with_query_engine(self, db):
+        """The index must compute the same friend→order mapping the MMQL
+        recommendation pipeline does."""
+        index = _recommendation_index(db)
+        for customer in (1, 2, 3):
+            via_query = db.query(
+                """
+                FOR f IN 1..1 OUTBOUND @start GRAPH social LABEL 'knows'
+                  LET order_no = KV_GET('cart', f._key)
+                  FILTER order_no != NULL
+                  FOR o IN orders FILTER o.Order_no == order_no
+                    RETURN o._key
+                """,
+                {"start": str(customer)},
+            )
+            assert set(via_query.rows) == set(index.lookup(str(customer)))

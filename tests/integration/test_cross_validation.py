@@ -1,0 +1,123 @@
+"""Cross-subsystem validation: independent implementations must agree.
+
+Three pairs of redundant machinery answer the same logical questions:
+
+* XPath over the JSON tree  vs  jsonpath over the raw document;
+* the GIN indexes  vs  datamodel.contains (covered in tests/indexes);
+* graph pattern matching  vs  the RDF BGP engine over reified edges.
+
+Property tests here drive the first and third pairs with random data —
+any disagreement is a bug in one of the two implementations.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import datamodel as dm
+from repro.core.context import EngineContext
+from repro.document import jsonpath
+from repro.graph import PropertyGraph
+from repro.rdf import TripleStore
+from repro.xmlmodel import XPath, from_json
+
+object_docs = st.recursive(
+    st.integers(0, 9) | st.sampled_from(["x", "y", "z"]),
+    lambda children: st.dictionaries(
+        st.sampled_from(["a", "b", "c"]), children, max_size=3
+    ),
+    max_leaves=8,
+)
+
+
+def _object_paths(value, prefix=()):
+    if dm.type_of(value) is dm.TypeTag.OBJECT:
+        for key, item in value.items():
+            yield prefix + (key,)
+            yield from _object_paths(item, prefix + (key,))
+
+
+class TestXPathVsJsonPath:
+    @settings(max_examples=50, deadline=None)
+    @given(object_docs)
+    def test_scalar_leaves_agree(self, doc):
+        if dm.type_of(doc) is not dm.TypeTag.OBJECT:
+            doc = {"a": doc}
+        tree = from_json(doc)
+        for path in _object_paths(doc):
+            value = jsonpath.get_path(doc, path)
+            if dm.type_of(value) in (dm.TypeTag.OBJECT, dm.TypeTag.ARRAY):
+                continue
+            xpath_values = XPath("/" + "/".join(path)).string_values(tree)
+            expected = jsonpath.get_path_text(doc, path)
+            assert expected in xpath_values
+
+    def test_array_expansion_agrees(self):
+        doc = {
+            "Orderlines": [
+                {"Product_no": "2724f"},
+                {"Product_no": "3424g"},
+            ]
+        }
+        tree = from_json(doc)
+        via_xpath = XPath("/Orderlines/Product_no").string_values(tree)
+        via_ops = [
+            line["Product_no"] for line in jsonpath.get_field(doc, "Orderlines")
+        ]
+        assert via_xpath == via_ops
+
+
+edges = st.lists(
+    st.tuples(
+        st.sampled_from(["a", "b", "c", "d"]),
+        st.sampled_from(["knows", "likes"]),
+        st.sampled_from(["a", "b", "c", "d"]),
+    ),
+    max_size=12,
+    unique=True,
+)
+
+
+class TestGraphMatchVsRdfBgp:
+    @settings(max_examples=40, deadline=None)
+    @given(edges)
+    def test_two_hop_pattern_agrees(self, edge_list):
+        context = EngineContext()
+        graph = PropertyGraph(context, "g")
+        triples = TripleStore(context, "t")
+        for vertex in "abcd":
+            graph.add_vertex(vertex)
+        for source, label, target in edge_list:
+            graph.add_edge(source, target, label=label)
+            triples.add(source, label, target)
+
+        graph_result = {
+            (binding["?x"], binding["?y"], binding["?z"])
+            for binding in graph.match(
+                [("?x", "knows", "?y"), ("?y", "likes", "?z")]
+            )
+        }
+        rdf_result = {
+            (binding["?x"], binding["?y"], binding["?z"])
+            for binding in triples.query(
+                [("?x", "knows", "?y"), ("?y", "likes", "?z")]
+            )
+        }
+        assert graph_result == rdf_result
+
+    @settings(max_examples=40, deadline=None)
+    @given(edges, st.sampled_from(["a", "b", "c", "d"]))
+    def test_neighbors_agree(self, edge_list, start):
+        context = EngineContext()
+        graph = PropertyGraph(context, "g")
+        triples = TripleStore(context, "t")
+        for vertex in "abcd":
+            graph.add_vertex(vertex)
+        for source, label, target in edge_list:
+            graph.add_edge(source, target, label=label)
+            triples.add(source, label, target)
+        via_graph = set(graph.neighbors(start, "outbound", label="knows"))
+        via_rdf = {
+            binding["?o"]
+            for binding in triples.query([(start, "knows", "?o")])
+        }
+        assert via_graph == via_rdf

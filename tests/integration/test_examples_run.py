@@ -1,0 +1,36 @@
+"""Every example script must run clean (they all assert their own outputs),
+so the examples cannot rot as the API evolves."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", SCRIPTS, ids=lambda path: path.name)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout  # every example prints its findings
+
+
+def test_all_examples_discovered():
+    names = {script.name for script in SCRIPTS}
+    assert {
+        "quickstart.py",
+        "ecommerce_recommendation.py",
+        "polyglot_vs_multimodel.py",
+        "model_evolution.py",
+        "unibench_demo.py",
+        "marklogic_tree.py",
+        "spatial_city_guide.py",
+    } <= names

@@ -1,0 +1,203 @@
+"""Experiment E1: the tutorial's running example end-to-end (slides 26-30).
+
+Data (slide 27):
+  * customer relation: Mary 5000, John 3000, Anne 2000;
+  * social graph: Mary knows John, Anne knows Mary;
+  * shopping-cart key/value: "1" → "34e5e759", "2" → "0c6df508";
+  * order JSON document 0c6df508 with two lines (Toy 66, Book 40).
+
+Recommendation query: "return all product_no which are ordered by a friend
+of a customer whose credit_limit > 3000" — expected result, per slides
+28/30: ["2724f", "3424g"].
+"""
+
+import pytest
+
+from repro import Column, ColumnType, MultiModelDB, TableSchema
+
+ORDER_0C6DF508 = {
+    "_key": "0c6df508",
+    "Order_no": "0c6df508",
+    "Orderlines": [
+        {"Product_no": "2724f", "Product_Name": "Toy", "Price": 66},
+        {"Product_no": "3424g", "Product_Name": "Book", "Price": 40},
+    ],
+}
+
+ORDER_34E5E759 = {
+    "_key": "34e5e759",
+    "Order_no": "34e5e759",
+    "Orderlines": [
+        {"Product_no": "9999x", "Product_Name": "Pen", "Price": 2},
+    ],
+}
+
+
+@pytest.fixture()
+def db():
+    db = MultiModelDB()
+    db.create_table(
+        TableSchema(
+            "customers",
+            [
+                Column("id", ColumnType.INTEGER, nullable=False),
+                Column("name", ColumnType.STRING, nullable=False),
+                Column("credit_limit", ColumnType.INTEGER),
+            ],
+            primary_key="id",
+        )
+    )
+    db.table("customers").insert_many(
+        [
+            {"id": 1, "name": "Mary", "credit_limit": 5000},
+            {"id": 2, "name": "John", "credit_limit": 3000},
+            {"id": 3, "name": "Anne", "credit_limit": 2000},
+        ]
+    )
+    social = db.create_graph("social")
+    for key, name in [("1", "Mary"), ("2", "John"), ("3", "Anne")]:
+        social.add_vertex(key, {"name": name})
+    social.add_edge("1", "2", label="knows")   # Mary knows John
+    social.add_edge("3", "1", label="knows")   # Anne knows Mary
+    cart = db.create_bucket("cart")
+    cart.put("1", "34e5e759")
+    cart.put("2", "0c6df508")
+    orders = db.create_collection("orders")
+    orders.insert(ORDER_0C6DF508)
+    orders.insert(ORDER_34E5E759)
+    return db
+
+
+RECOMMENDATION_MMQL = """
+LET CustomerIDs = (FOR c IN customers FILTER c.credit_limit > 3000 RETURN c.id)
+FOR cid IN CustomerIDs
+  FOR Friend IN 1..1 OUTBOUND cid GRAPH social LABEL 'knows'
+    LET order_no = KV_GET('cart', Friend._key)
+    FILTER order_no != NULL
+    FOR o IN orders
+      FILTER o.Order_no == order_no
+      RETURN o.Orderlines[*].Product_no
+"""
+
+
+class TestRecommendationQuery:
+    def test_slide_28_result(self, db):
+        """The AQL result on slide 28: ["2724f", "3424g"]."""
+        result = db.query(RECOMMENDATION_MMQL)
+        assert result.rows == [["2724f", "3424g"]]
+
+    def test_flattened_distinct_form(self, db):
+        result = db.query(
+            """
+            FOR c IN customers
+              FILTER c.credit_limit > 3000
+              FOR f IN 1..1 OUTBOUND c.id GRAPH social LABEL 'knows'
+                LET order_no = KV_GET('cart', f._key)
+                FILTER order_no != NULL
+                FOR o IN orders
+                  FILTER o.Order_no == order_no
+                  FOR line IN o.Orderlines
+                    RETURN DISTINCT line.Product_no
+            """
+        )
+        assert result.rows == ["2724f", "3424g"]
+
+    def test_threshold_3000_inclusive_excludes_john(self, db):
+        """Only Mary (5000) passes credit_limit > 3000; her friend is John,
+        whose cart holds 0c6df508."""
+        result = db.query(
+            "FOR c IN customers FILTER c.credit_limit > 3000 RETURN c.name"
+        )
+        assert result.rows == ["Mary"]
+
+    def test_lower_threshold_adds_marys_cart(self, db):
+        """With credit_limit > 2000, John also qualifies — but John's friend
+        list is empty (edges point Mary→John), so the result is unchanged."""
+        result = db.query(
+            RECOMMENDATION_MMQL.replace("> 3000", "> 2000")
+        )
+        assert result.rows == [["2724f", "3424g"]]
+
+    def test_anne_knows_mary_path(self, db):
+        """With threshold > 1000, Anne qualifies; her friend Mary's cart
+        holds 34e5e759 (the Pen order)."""
+        result = db.query(RECOMMENDATION_MMQL.replace("> 3000", "> 1000"))
+        flat = sorted(p for row in result.rows for p in row)
+        assert flat == ["2724f", "3424g", "9999x"]
+
+    def test_orientdb_style_via_functions(self, db):
+        """Slide 30's OrientDB expand(out('Knows')…) shape via functions."""
+        result = db.query(
+            """
+            FOR c IN customers
+              FILTER c.credit_limit > 3000
+              FOR friend IN NEIGHBORS('social', TO_STRING(c.id), 'outbound', 'knows')
+                LET order_no = KV_GET('cart', friend)
+                FILTER order_no != NULL
+                LET o = FIRST(FOR x IN orders FILTER x.Order_no == order_no RETURN x)
+                RETURN o.Orderlines[*].Product_no
+            """
+        )
+        assert result.rows == [["2724f", "3424g"]]
+
+    def test_result_shape_stable_with_index(self, db):
+        db.collection("orders").create_index("Order_no", kind="hash")
+        result = db.query(RECOMMENDATION_MMQL)
+        assert result.rows == [["2724f", "3424g"]]
+        assert result.stats["index_lookups"] >= 1
+
+
+class TestCrossModelTransactionOnExample:
+    def test_new_friend_and_order_atomic(self, db):
+        with db.transaction() as txn:
+            db.graph("social").add_vertex("4", {"name": "Eve"}, txn=txn)
+            db.graph("social").add_edge("1", "4", label="knows", txn=txn)
+            db.bucket("cart").put("4", "neworder", txn=txn)
+            db.collection("orders").insert(
+                {"_key": "neworder", "Order_no": "neworder",
+                 "Orderlines": [{"Product_no": "z1", "Price": 5}]},
+                txn=txn,
+            )
+        result = db.query(RECOMMENDATION_MMQL)
+        flat = sorted(p for row in result.rows for p in row)
+        assert flat == ["2724f", "3424g", "z1"]
+
+    def test_failed_transaction_leaves_example_intact(self, db):
+        from repro.errors import ConstraintViolationError
+
+        with pytest.raises(ConstraintViolationError):
+            with db.transaction() as txn:
+                db.bucket("cart").put("1", "overwritten", txn=txn)
+                # Fails: duplicate primary key in the relational model.
+                db.table("customers").insert(
+                    {"id": 1, "name": "Dup"}, txn=txn
+                )
+        assert db.bucket("cart").get("1") == "34e5e759"
+
+
+class TestCatalog:
+    def test_catalog_lists_everything(self, db):
+        assert db.catalog() == {
+            "customers": "table",
+            "social": "graph",
+            "cart": "bucket",
+            "orders": "collection",
+        }
+
+    def test_kind_mismatch(self, db):
+        from repro.errors import UnknownCollectionError
+
+        with pytest.raises(UnknownCollectionError):
+            db.collection("customers")
+        with pytest.raises(UnknownCollectionError):
+            db.table("nothing")
+
+    def test_duplicate_names_rejected(self, db):
+        from repro.errors import DuplicateCollectionError
+
+        with pytest.raises(DuplicateCollectionError):
+            db.create_bucket("orders")
+
+    def test_drop(self, db):
+        db.drop("cart")
+        assert "cart" not in db.catalog()

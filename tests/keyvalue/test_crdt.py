@@ -1,0 +1,252 @@
+"""CRDT tests: convergence laws (commutative/associative/idempotent merge)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.context import EngineContext
+from repro.errors import DataModelError
+from repro.keyvalue import (
+    GCounter,
+    KeyValueBucket,
+    LWWRegister,
+    ORMap,
+    ORSet,
+    PNCounter,
+    crdt_from_dict,
+)
+
+
+class TestGCounter:
+    def test_increment_and_value(self):
+        counter = GCounter("a")
+        counter.increment()
+        counter.increment(4)
+        assert counter.value() == 5
+
+    def test_no_decrement(self):
+        with pytest.raises(ValueError):
+            GCounter().increment(-1)
+
+    def test_merge_takes_per_actor_max(self):
+        left = GCounter("a")
+        right = GCounter("b")
+        left.increment(3)
+        right.increment(2)
+        merged = left.merge(right)
+        assert merged.value() == 5
+        # Idempotent: merging again changes nothing.
+        assert merged.merge(right).value() == 5
+
+    def test_roundtrip(self):
+        counter = GCounter("a")
+        counter.increment(7)
+        assert crdt_from_dict(counter.to_dict()).value() == 7
+
+
+class TestPNCounter:
+    def test_inc_dec(self):
+        counter = PNCounter("a")
+        counter.increment(10)
+        counter.decrement(3)
+        assert counter.value() == 7
+
+    def test_negative_amounts_flip(self):
+        counter = PNCounter("a")
+        counter.increment(-2)
+        assert counter.value() == -2
+
+    def test_merge(self):
+        left = PNCounter("a")
+        right = PNCounter("b")
+        left.increment(5)
+        right.decrement(2)
+        assert left.merge(right).value() == 3
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(-5, 5), max_size=20), st.lists(st.integers(-5, 5), max_size=20))
+    def test_merge_commutative(self, ops_a, ops_b):
+        left = PNCounter("a")
+        right = PNCounter("b")
+        for amount in ops_a:
+            left.increment(amount)
+        for amount in ops_b:
+            right.increment(amount)
+        assert left.merge(right).value() == right.merge(left).value()
+
+
+class TestORSet:
+    def test_add_remove(self):
+        members = ORSet("a")
+        members.add("x")
+        members.add("y")
+        members.remove("x")
+        assert members.value() == {"y"}
+        assert "y" in members
+        assert "x" not in members
+
+    def test_concurrent_add_wins(self):
+        left = ORSet("a")
+        right = ORSet("b")
+        left.add("item")
+        # right observed nothing yet; it removes (covers no tags).
+        right.remove("item")
+        merged = left.merge(right)
+        assert "item" in merged
+
+    def test_observed_remove(self):
+        left = ORSet("a")
+        left.add("item")
+        right = crdt_from_dict(left.to_dict())  # replicate
+        right.actor = "b"
+        right.remove("item")  # observed the tag: remove covers it
+        merged = left.merge(right)
+        assert "item" not in merged
+
+    def test_readd_after_remove(self):
+        members = ORSet("a")
+        members.add("x")
+        members.remove("x")
+        members.add("x")
+        assert "x" in members
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.sampled_from(["p", "q", "r"]), max_size=15))
+    def test_merge_idempotent(self, elements):
+        replica = ORSet("a")
+        for element in elements:
+            replica.add(element)
+        assert replica.merge(replica).value() == replica.value()
+
+
+class TestLWWRegister:
+    def test_last_write_wins(self):
+        left = LWWRegister("a")
+        right = LWWRegister("b")
+        left.set("old", clock=1)
+        right.set("new", clock=2)
+        assert left.merge(right).value() == "new"
+        assert right.merge(left).value() == "new"
+
+    def test_tie_breaks_by_actor(self):
+        left = LWWRegister("a")
+        right = LWWRegister("b")
+        left.set("from-a", clock=5)
+        right.set("from-b", clock=5)
+        assert left.merge(right).value() == "from-b"
+        assert right.merge(left).value() == "from-b"
+
+
+class TestORMap:
+    def test_embedded_types(self):
+        profile = ORMap("a")
+        profile.counter("visits").increment(3)
+        profile.set_field("tags").add("vip")
+        profile.register("name").set("Mary")
+        assert profile.value() == {
+            "visits": 3,
+            "tags": {"vip"},
+            "name": "Mary",
+        }
+
+    def test_type_conflict(self):
+        profile = ORMap("a")
+        profile.counter("f")
+        with pytest.raises(DataModelError):
+            profile.set_field("f")
+
+    def test_merge_fieldwise(self):
+        left = ORMap("a")
+        right = ORMap("b")
+        left.counter("visits").increment(2)
+        right.counter("visits").increment(3)
+        right.set_field("tags").add("new")
+        merged = left.merge(right)
+        assert merged.value()["visits"] == 5
+        assert merged.value()["tags"] == {"new"}
+
+    def test_roundtrip(self):
+        profile = ORMap("a")
+        profile.counter("visits").increment(1)
+        profile.set_field("tags").add("x")
+        restored = crdt_from_dict(profile.to_dict())
+        assert restored.value() == profile.value()
+
+
+class TestMergeLaws:
+    """Commutativity, associativity and idempotence of CRDT merge — the
+    properties that make them conflict-free."""
+
+    @staticmethod
+    def _orset_from(ops, actor):
+        members = ORSet(actor)
+        for element, keep in ops:
+            members.add(element)
+            if not keep:
+                members.remove(element)
+        return members
+
+    orset_ops = st.lists(
+        st.tuples(st.sampled_from(["p", "q", "r"]), st.booleans()), max_size=10
+    )
+
+    @settings(max_examples=30, deadline=None)
+    @given(orset_ops, orset_ops)
+    def test_orset_commutative(self, ops_a, ops_b):
+        left = self._orset_from(ops_a, "a")
+        right = self._orset_from(ops_b, "b")
+        assert left.merge(right).value() == right.merge(left).value()
+
+    @settings(max_examples=30, deadline=None)
+    @given(orset_ops, orset_ops, orset_ops)
+    def test_orset_associative(self, ops_a, ops_b, ops_c):
+        a = self._orset_from(ops_a, "a")
+        b = self._orset_from(ops_b, "b")
+        c = self._orset_from(ops_c, "c")
+        assert a.merge(b).merge(c).value() == a.merge(b.merge(c)).value()
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.integers(-5, 5), max_size=10),
+        st.lists(st.integers(-5, 5), max_size=10),
+        st.lists(st.integers(-5, 5), max_size=10),
+    )
+    def test_pncounter_associative(self, ops_a, ops_b, ops_c):
+        counters = []
+        for actor, ops in (("a", ops_a), ("b", ops_b), ("c", ops_c)):
+            counter = PNCounter(actor)
+            for amount in ops:
+                counter.increment(amount)
+            counters.append(counter)
+        a, b, c = counters
+        assert a.merge(b).merge(c).value() == a.merge(b.merge(c)).value()
+
+    @settings(max_examples=30, deadline=None)
+    @given(orset_ops)
+    def test_ormap_merge_idempotent(self, ops):
+        profile = ORMap("a")
+        for element, keep in ops:
+            profile.set_field("tags").add(element)
+            if not keep:
+                profile.set_field("tags").remove(element)
+            profile.counter("hits").increment()
+        assert profile.merge(profile).value() == profile.value()
+
+
+class TestBucketIntegration:
+    def test_put_crdt_merges_replicas(self):
+        bucket = KeyValueBucket(EngineContext(), "crdts")
+        replica_a = PNCounter("a")
+        replica_a.increment(2)
+        bucket.put_crdt("likes", replica_a)
+        replica_b = PNCounter("b")
+        replica_b.increment(3)
+        bucket.put_crdt("likes", replica_b)  # merge, not overwrite
+        assert bucket.get_crdt("likes").value() == 5
+
+    def test_get_crdt_missing(self):
+        bucket = KeyValueBucket(EngineContext(), "crdts")
+        assert bucket.get_crdt("nope") is None
+
+    def test_unknown_crdt_type(self):
+        with pytest.raises(DataModelError):
+            crdt_from_dict({"type": "mystery"})

@@ -1,0 +1,179 @@
+"""Object-model tests: globals ($ORDER, kill, subtrees) and classes
+(inheritance, polymorphic iteration, flattened SQL projection)."""
+
+import pytest
+
+from repro.core.context import EngineContext
+from repro.errors import SchemaError, UnknownCollectionError
+from repro.objectmodel import GlobalsStore, ObjectStore
+
+
+@pytest.fixture()
+def globals_store():
+    store = GlobalsStore(EngineContext(), "g")
+    store.set(("Person", 1, "name"), "Mary")
+    store.set(("Person", 1, "city"), "Prague")
+    store.set(("Person", 2, "name"), "John")
+    store.set(("Company", 1, "name"), "Acme")
+    return store
+
+
+class TestGlobals:
+    def test_set_get(self, globals_store):
+        assert globals_store.get(("Person", 1, "name")) == "Mary"
+        assert globals_store.get(("Person", 9, "name")) is None
+
+    def test_defined(self, globals_store):
+        assert globals_store.defined(("Person", 2, "name"))
+        assert not globals_store.defined(("Person", 2, "city"))
+
+    def test_children_in_order(self, globals_store):
+        assert globals_store.children(("Person",)) == [1, 2]
+        assert globals_store.children(("Person", 1)) == ["city", "name"]
+        assert globals_store.children() == ["Company", "Person"]
+
+    def test_order_dollar_order(self, globals_store):
+        assert globals_store.order(("Person", 1)) == 2
+        assert globals_store.order(("Person", 2)) is None
+        assert globals_store.order(("Person", 1, "city")) == "name"
+
+    def test_walk_subtree(self, globals_store):
+        nodes = list(globals_store.walk(("Person", 1)))
+        assert nodes == [
+            (("Person", 1, "city"), "Prague"),
+            (("Person", 1, "name"), "Mary"),
+        ]
+
+    def test_kill_subtree(self, globals_store):
+        removed = globals_store.kill(("Person", 1))
+        assert removed == 2
+        assert globals_store.get(("Person", 1, "name")) is None
+        assert globals_store.get(("Person", 2, "name")) == "John"
+
+    def test_bad_subscripts(self, globals_store):
+        with pytest.raises(SchemaError):
+            globals_store.set((), 1)
+        with pytest.raises(SchemaError):
+            globals_store.set((["nested"],), 1)
+
+    def test_transactional_walk(self, globals_store):
+        manager = globals_store._context.transactions
+        txn = manager.begin()
+        globals_store.set(("Person", 3, "name"), "Anne", txn=txn)
+        assert globals_store.children(("Person",)) == [1, 2]
+        assert globals_store.children(("Person",), txn=txn) == [1, 2, 3]
+        manager.abort(txn)
+        assert globals_store.children(("Person",)) == [1, 2]
+
+    def test_overwrite(self, globals_store):
+        globals_store.set(("Person", 1, "name"), "Maria")
+        assert globals_store.get(("Person", 1, "name")) == "Maria"
+        # order directory must not duplicate the node
+        assert globals_store.children(("Person", 1)) == ["city", "name"]
+
+
+@pytest.fixture()
+def objects():
+    store = ObjectStore(EngineContext())
+    store.define_class("Person", {"name": "string", "age": "number"})
+    store.define_class("Employee", {"salary": "number"}, extends="Person")
+    store.define_class("Manager", {"reports": "number"}, extends="Employee")
+    return store
+
+
+class TestClasses:
+    def test_inherited_properties(self, objects):
+        assert objects.all_properties("Manager") == {
+            "name": "string",
+            "age": "number",
+            "salary": "number",
+            "reports": "number",
+        }
+
+    def test_subclass_relations(self, objects):
+        assert objects.is_subclass_of("Manager", "Person")
+        assert not objects.is_subclass_of("Person", "Manager")
+        assert objects.subclasses_of("Person") == ["Employee", "Manager", "Person"]
+
+    def test_duplicate_class(self, objects):
+        with pytest.raises(SchemaError):
+            objects.define_class("Person", {})
+
+    def test_unknown_parent(self, objects):
+        with pytest.raises(SchemaError):
+            objects.define_class("X", {}, extends="Ghost")
+
+    def test_bad_property_type(self, objects):
+        with pytest.raises(SchemaError):
+            objects.define_class("Y", {"x": "varchar"})
+
+
+class TestInstances:
+    def test_create_and_get(self, objects):
+        oid = objects.create("Employee", {"name": "Mary", "salary": 100})
+        instance = objects.get("Employee", oid)
+        assert instance["name"] == "Mary"
+        assert instance["salary"] == 100
+        assert instance["age"] is None
+        assert instance["_class"] == "Employee"
+
+    def test_unknown_property(self, objects):
+        with pytest.raises(SchemaError):
+            objects.create("Person", {"shoe_size": 44})
+
+    def test_type_check(self, objects):
+        with pytest.raises(SchemaError):
+            objects.create("Person", {"age": "old"})
+
+    def test_set_property(self, objects):
+        oid = objects.create("Person", {"name": "Anne"})
+        objects.set_property("Person", oid, "age", 30)
+        assert objects.get("Person", oid)["age"] == 30
+        with pytest.raises(UnknownCollectionError):
+            objects.set_property("Person", 999, "age", 1)
+
+    def test_delete(self, objects):
+        oid = objects.create("Person", {"name": "Gone"})
+        assert objects.delete("Person", oid)
+        assert objects.get("Person", oid) is None
+        assert not objects.delete("Person", oid)
+
+    def test_polymorphic_iteration(self, objects):
+        objects.create("Person", {"name": "P"})
+        objects.create("Employee", {"name": "E", "salary": 1})
+        objects.create("Manager", {"name": "M", "reports": 3})
+        all_people = list(objects.instances_of("Person"))
+        assert {instance["name"] for instance in all_people} == {"P", "E", "M"}
+        employees_only = list(objects.instances_of("Employee", include_subclasses=False))
+        assert {instance["name"] for instance in employees_only} == {"E"}
+
+    def test_stored_in_globals(self, objects):
+        oid = objects.create("Person", {"name": "Mary"})
+        # The Caché layout: ^objects(class, oid, property) = value.
+        assert objects.globals.get(("Person", oid, "name")) == "Mary"
+
+
+class TestSqlProjection:
+    """Slide 71: instances as table rows, inheritance flattened."""
+
+    def test_as_table_flattens_inheritance(self, objects):
+        objects.create("Person", {"name": "P", "age": 50})
+        objects.create("Manager", {"name": "M", "salary": 9, "reports": 3})
+        rows = objects.as_table("Person")
+        assert len(rows) == 2
+        manager_row = next(row for row in rows if row["_class"] == "Manager")
+        # Projected onto Person's columns: no salary/reports columns.
+        assert set(manager_row) == {"_class", "_oid", "name", "age"}
+        assert manager_row["name"] == "M"
+
+    def test_as_table_of_subclass_includes_inherited_columns(self, objects):
+        objects.create("Employee", {"name": "E", "salary": 7})
+        rows = objects.as_table("Employee")
+        assert rows[0]["salary"] == 7
+        assert rows[0]["name"] == "E"
+
+    def test_rows_ordered_by_oid(self, objects):
+        first = objects.create("Person", {"name": "A"})
+        second = objects.create("Person", {"name": "B"})
+        rows = objects.as_table("Person")
+        assert [row["_oid"] for row in rows] == [first, second]

@@ -1,0 +1,110 @@
+"""Polyglot-persistence baseline tests: round trips, client joins,
+non-atomic transactions."""
+
+import pytest
+
+from repro.polyglot import (
+    NetworkMeter,
+    PartialFailure,
+    PolyglotDocumentStore,
+    PolyglotECommerce,
+    PolyglotGraphStore,
+    PolyglotKeyValueStore,
+)
+
+
+class TestStoresAreIsolated:
+    def test_each_store_own_backend(self):
+        meter = NetworkMeter()
+        docs = PolyglotDocumentStore("a", meter)
+        kv = PolyglotKeyValueStore("b", meter)
+        assert docs._context is not kv._context
+
+    def test_round_trip_accounting(self):
+        meter = NetworkMeter()
+        docs = PolyglotDocumentStore("a", meter)
+        docs.insert({"_key": "1"})
+        docs.get("1")
+        docs.find(lambda d: True)
+        assert meter.round_trips == 3
+        assert meter.reset() == 3
+        assert meter.round_trips == 0
+
+    def test_mget_is_one_round_trip(self):
+        meter = NetworkMeter()
+        kv = PolyglotKeyValueStore("b", meter)
+        kv.put("a", 1)
+        kv.put("b", 2)
+        meter.reset()
+        assert kv.get_many(["a", "b"]) == {"a": 1, "b": 2}
+        assert meter.round_trips == 1
+
+    def test_graph_store(self):
+        meter = NetworkMeter()
+        graph = PolyglotGraphStore("g", meter)
+        graph.add_vertex("1")
+        graph.add_vertex("2")
+        graph.add_edge("1", "2", label="knows")
+        assert graph.neighbors("1", label="knows") == ["2"]
+        assert graph.traverse("1", 1, 1) == [("2", 1)]
+
+
+@pytest.fixture()
+def shop():
+    shop = PolyglotECommerce()
+    shop.add_customer("1", "Mary", 5000)
+    shop.add_customer("2", "John", 3000)
+    shop.add_customer("3", "Anne", 2000)
+    shop.befriend("1", "2")
+    shop.befriend("3", "1")
+    shop.orders.insert(
+        {
+            "_key": "0c6df508",
+            "Orderlines": [
+                {"Product_no": "2724f", "Price": 66},
+                {"Product_no": "3424g", "Price": 40},
+            ],
+        }
+    )
+    shop.carts.put("2", "0c6df508")
+    return shop
+
+
+class TestClientSideJoin:
+    def test_recommendation_result(self, shop):
+        assert shop.recommend_products(3000) == ["2724f", "3424g"]
+
+    def test_round_trips_grow_with_data(self, shop):
+        shop.meter.reset()
+        shop.recommend_products(3000)
+        first = shop.meter.reset()
+        shop.add_customer("4", "Eve", 9000)
+        shop.befriend("4", "2")
+        shop.meter.reset()
+        shop.recommend_products(3000)
+        assert shop.meter.round_trips > first
+
+
+class TestNonAtomicTransactions:
+    ORDER = {"_key": "new1", "Orderlines": [{"Product_no": "x", "Price": 10}]}
+
+    def test_happy_path_is_consistent(self, shop):
+        shop.place_order("1", dict(self.ORDER))
+        assert shop.check_consistency() == []
+
+    def test_crash_after_orders_leaves_dangling_order(self, shop):
+        with pytest.raises(PartialFailure):
+            shop.place_order("1", dict(self.ORDER), fail_after="orders")
+        violations = shop.check_consistency()
+        assert any("does not reference it" in message for message in violations)
+
+    def test_crash_after_cart_leaves_stale_customer(self, shop):
+        with pytest.raises(PartialFailure):
+            shop.place_order("1", dict(self.ORDER), fail_after="cart")
+        violations = shop.check_consistency()
+        assert any("stale" in message for message in violations)
+
+    def test_preloaded_orders_not_audited(self, shop):
+        # The fixture's raw order (not placed via place_order) must not
+        # count as a violation.
+        assert shop.check_consistency() == []

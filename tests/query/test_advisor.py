@@ -1,0 +1,97 @@
+"""Index advisor tests: recommendations, impact order, apply-then-measure."""
+
+import pytest
+
+from repro import Column, ColumnType, MultiModelDB, TableSchema
+from repro.errors import ParseError
+from repro.query.advisor import advise, apply
+from repro.query.engine import run_query
+
+
+@pytest.fixture()
+def db():
+    db = MultiModelDB()
+    db.create_table(
+        TableSchema(
+            "customers",
+            [
+                Column("id", ColumnType.INTEGER, nullable=False),
+                Column("city", ColumnType.STRING),
+                Column("tier", ColumnType.STRING),
+            ],
+            primary_key="id",
+        )
+    )
+    for i in range(60):
+        db.table("customers").insert(
+            {"id": i, "city": ["Prague", "Brno"][i % 2], "tier": f"t{i % 5}"}
+        )
+    orders = db.create_collection("orders")
+    for i in range(60):
+        orders.insert({"_key": str(i), "customer_id": i % 60, "status": "open"})
+    return db
+
+
+WORKLOAD = [
+    "FOR c IN customers FILTER c.city == 'Prague' RETURN c.id",
+    "FOR c IN customers FILTER c.city == @city RETURN c",
+    "FOR c IN customers FILTER c.tier == 't1' RETURN c",
+    # correlated join predicate inside a subquery:
+    "FOR c IN customers "
+    "LET orders = (FOR o IN orders FILTER o.customer_id == c.id RETURN o) "
+    "RETURN LENGTH(orders)",
+]
+
+
+class TestAdvise:
+    def test_counts_and_order(self, db):
+        recommendations = advise(db, WORKLOAD)
+        as_pairs = [(r.source_name, r.path, r.occurrences) for r in recommendations]
+        assert as_pairs[0] == ("customers", ("city",), 2)
+        assert ("customers", ("tier",), 1) in as_pairs
+        assert ("orders", ("customer_id",), 1) in as_pairs
+
+    def test_existing_index_not_recommended(self, db):
+        db.table("customers").create_index("city", kind="hash")
+        recommendations = advise(db, WORKLOAD)
+        assert all(r.path != ("city",) for r in recommendations)
+
+    def test_unknown_collection_ignored(self, db):
+        recommendations = advise(
+            db, ["FOR x IN no_such FILTER x.a == 1 RETURN x"]
+        )
+        assert recommendations == []
+
+    def test_loop_var_dependent_value_not_recommended(self, db):
+        recommendations = advise(
+            db, ["FOR c IN customers FILTER c.city == c.tier RETURN c"]
+        )
+        assert recommendations == []
+
+    def test_bad_query_raises(self, db):
+        with pytest.raises(ParseError):
+            advise(db, ["FOR broken FILTER"])
+
+    def test_describe(self, db):
+        recommendation = advise(db, WORKLOAD)[0]
+        text = recommendation.describe()
+        assert "customers(city)" in text
+        assert "2 predicate" in text
+
+
+class TestApply:
+    def test_apply_creates_indexes_optimizer_uses_them(self, db):
+        text = "FOR c IN customers FILTER c.city == 'Prague' RETURN c.id"
+        before = run_query(db, text)
+        assert before.stats["index_lookups"] == 0
+
+        created = apply(db, advise(db, WORKLOAD))
+        assert len(created) == 3
+
+        after = run_query(db, text)
+        assert after.stats["index_lookups"] == 1
+        assert sorted(after.rows) == sorted(before.rows)
+
+    def test_advise_after_apply_is_empty(self, db):
+        apply(db, advise(db, WORKLOAD))
+        assert advise(db, WORKLOAD) == []

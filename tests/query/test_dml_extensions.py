@@ -1,0 +1,176 @@
+"""REPLACE / UPSERT / COLLECT AGGREGATE extensions to MMQL."""
+
+import pytest
+
+from repro import Column, ColumnType, MultiModelDB, TableSchema
+from repro.errors import ExecutionError, ParseError
+
+
+@pytest.fixture()
+def db():
+    db = MultiModelDB()
+    db.create_table(
+        TableSchema(
+            "customers",
+            [
+                Column("id", ColumnType.INTEGER, nullable=False),
+                Column("name", ColumnType.STRING),
+                Column("city", ColumnType.STRING),
+                Column("spend", ColumnType.INTEGER, default=0),
+            ],
+            primary_key="id",
+        )
+    )
+    db.table("customers").insert_many(
+        [
+            {"id": 1, "name": "Mary", "city": "Prague", "spend": 100},
+            {"id": 2, "name": "John", "city": "Helsinki", "spend": 60},
+            {"id": 3, "name": "Anne", "city": "Prague", "spend": 40},
+        ]
+    )
+    inventory = db.create_collection("inventory")
+    inventory.insert({"_key": "p1", "sku": "toy-1", "stock": 5})
+    return db
+
+
+class TestReplace:
+    def test_replace_document(self, db):
+        db.query("REPLACE 'p1' WITH {sku: 'toy-1', stock: 9} IN inventory")
+        document = db.collection("inventory").get("p1")
+        assert document["stock"] == 9
+
+    def test_replace_drops_unset_fields(self, db):
+        db.collection("inventory").update("p1", {"extra": True})
+        db.query("REPLACE 'p1' WITH {sku: 'toy-1'} IN inventory")
+        assert "extra" not in db.collection("inventory").get("p1")
+
+    def test_replace_table_row(self, db):
+        db.query(
+            "REPLACE 1 WITH {id: 1, name: 'Mary', city: 'Brno', spend: 0} "
+            "IN customers"
+        )
+        row = db.table("customers").get(1)
+        assert row["city"] == "Brno"
+
+    def test_replace_per_frame(self, db):
+        keys = db.query(
+            "FOR c IN customers FILTER c.city == 'Prague' "
+            "REPLACE c.id WITH {id: c.id, name: c.name, city: 'Moved'} "
+            "IN customers"
+        )
+        assert len(keys.rows) == 2
+        assert db.table("customers").get(3)["city"] == "Moved"
+        assert db.table("customers").get(3)["spend"] == 0  # default restored
+
+    def test_replace_missing_yields_nothing(self, db):
+        result = db.query("REPLACE 'ghost' WITH {a: 1} IN inventory")
+        assert result.rows == []
+
+    def test_replace_on_graph_rejected(self, db):
+        db.create_graph("g")
+        with pytest.raises(ExecutionError):
+            db.query("REPLACE 'x' WITH {a: 1} IN g")
+
+
+class TestUpsert:
+    def test_upsert_updates_existing(self, db):
+        db.query(
+            "UPSERT {sku: 'toy-1'} "
+            "INSERT {sku: 'toy-1', stock: 1} "
+            "UPDATE {stock: 99} INTO inventory"
+        )
+        assert db.collection("inventory").get("p1")["stock"] == 99
+        assert db.collection("inventory").count() == 1
+
+    def test_upsert_inserts_new(self, db):
+        db.query(
+            "UPSERT {sku: 'book-7'} "
+            "INSERT {sku: 'book-7', stock: 3} "
+            "UPDATE {stock: 0} INTO inventory"
+        )
+        assert db.collection("inventory").count() == 2
+        hits = db.collection("inventory").find_by_example({"sku": "book-7"})
+        assert hits[0]["stock"] == 3
+
+    def test_upsert_on_table(self, db):
+        db.query(
+            "UPSERT {name: 'Mary'} "
+            "INSERT {id: 9, name: 'Mary'} "
+            "UPDATE {spend: 500} INTO customers"
+        )
+        assert db.table("customers").get(1)["spend"] == 500
+        db.query(
+            "UPSERT {name: 'Zed'} "
+            "INSERT {id: 9, name: 'Zed'} "
+            "UPDATE {spend: 1} INTO customers"
+        )
+        assert db.table("customers").get(9)["name"] == "Zed"
+
+    def test_upsert_search_must_be_object(self, db):
+        with pytest.raises(ExecutionError):
+            db.query("UPSERT 1 INSERT {a: 1} UPDATE {a: 2} INTO inventory")
+
+    def test_upsert_transactional(self, db):
+        txn = db.begin()
+        db.query(
+            "UPSERT {sku: 'txn-item'} INSERT {sku: 'txn-item', stock: 1} "
+            "UPDATE {stock: 2} INTO inventory",
+            txn=txn,
+        )
+        assert db.collection("inventory").count() == 1  # invisible outside
+        db.commit(txn)
+        assert db.collection("inventory").count() == 2
+
+
+class TestCollectAggregate:
+    def test_sum_per_group(self, db):
+        result = db.query(
+            "FOR c IN customers "
+            "COLLECT city = c.city AGGREGATE total = SUM(c.spend) "
+            "SORT city RETURN {city, total}"
+        )
+        assert result.rows == [
+            {"city": "Helsinki", "total": 60},
+            {"city": "Prague", "total": 140},
+        ]
+
+    def test_multiple_aggregates(self, db):
+        result = db.query(
+            "FOR c IN customers "
+            "COLLECT city = c.city "
+            "AGGREGATE top = MAX(c.spend), low = MIN(c.spend) "
+            "WITH COUNT INTO n "
+            "SORT city RETURN {city, top, low, n}"
+        )
+        assert result.rows[1] == {
+            "city": "Prague", "top": 100, "low": 40, "n": 2,
+        }
+
+    def test_aggregate_without_groups(self, db):
+        result = db.query(
+            "FOR c IN customers "
+            "COLLECT AGGREGATE grand = SUM(c.spend) "
+            "RETURN grand"
+        )
+        assert result.rows == [200]
+
+    def test_avg(self, db):
+        result = db.query(
+            "FOR c IN customers "
+            "COLLECT AGGREGATE mean = AVG(c.spend) RETURN mean"
+        )
+        assert result.rows == [pytest.approx(200 / 3)]
+
+    def test_bad_aggregate_shape(self, db):
+        with pytest.raises(ParseError):
+            db.query(
+                "FOR c IN customers COLLECT AGGREGATE x = c.spend RETURN x"
+            )
+
+    def test_explain_renders_new_ops(self, db):
+        plan = db.explain("REPLACE 'p1' WITH {a: 1} IN inventory")
+        assert "Replace" in plan
+        plan = db.explain(
+            "UPSERT {a: 1} INSERT {a: 1} UPDATE {b: 2} INTO inventory"
+        )
+        assert "Upsert" in plan

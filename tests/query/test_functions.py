@@ -1,0 +1,135 @@
+"""Systematic coverage of the MMQL built-in function library."""
+
+import pytest
+
+from repro import MultiModelDB
+from repro.errors import FunctionError
+
+
+@pytest.fixture(scope="module")
+def db():
+    db = MultiModelDB()
+    trees = db.create_tree_store("docs")
+    trees.insert_json("/o.json", {"Order_no": "o1", "lines": [{"p": "x"}]})
+    graph = db.create_graph("g")
+    for key in "abc":
+        graph.add_vertex(key)
+    graph.add_edge("a", "b", label="e")
+    graph.add_edge("b", "c", label="e")
+    return db
+
+
+def q(db, text):
+    return db.query(text).rows[0]
+
+
+class TestArrayFunctions:
+    def test_length_variants(self, db):
+        assert q(db, "RETURN LENGTH([1,2,3])") == 3
+        assert q(db, "RETURN LENGTH('abc')") == 3
+        assert q(db, "RETURN LENGTH({a: 1})") == 1
+        assert q(db, "RETURN LENGTH(NULL)") == 0
+        with pytest.raises(FunctionError):
+            db.query("RETURN LENGTH(5)")
+
+    def test_min_max_avg_skip_nulls(self, db):
+        assert q(db, "RETURN MIN([3, NULL, 1])") == 1
+        assert q(db, "RETURN MAX([3, NULL, 1])") == 3
+        assert q(db, "RETURN AVG([2, NULL, 4])") == 3
+        assert q(db, "RETURN MIN([])") is None
+
+    def test_sum_type_error(self, db):
+        with pytest.raises(FunctionError):
+            db.query("RETURN SUM([1, 'x'])")
+
+    def test_flatten(self, db):
+        assert q(db, "RETURN FLATTEN([[1, 2], [3], 4])") == [1, 2, 3, 4]
+        assert q(db, "RETURN FLATTEN([[1, [2]]], 2)") == [1, 2]
+
+    def test_append_first_last_reverse_sorted(self, db):
+        assert q(db, "RETURN APPEND([1], 2)") == [1, 2]
+        assert q(db, "RETURN FIRST([7, 8])") == 7
+        assert q(db, "RETURN LAST([7, 8])") == 8
+        assert q(db, "RETURN FIRST([])") is None
+        assert q(db, "RETURN REVERSE([1, 2])") == [2, 1]
+        assert q(db, "RETURN SORTED([3, 1, 2])") == [1, 2, 3]
+
+    def test_sorted_cross_type(self, db):
+        assert q(db, "RETURN SORTED(['b', 2, NULL])") == [None, 2, "b"]
+
+    def test_range_function(self, db):
+        assert q(db, "RETURN RANGE(2, 5)") == [2, 3, 4, 5]
+
+
+class TestStringFunctions:
+    def test_upper_lower_substring(self, db):
+        assert q(db, "RETURN UPPER('abc')") == "ABC"
+        assert q(db, "RETURN LOWER('ABC')") == "abc"
+        assert q(db, "RETURN SUBSTRING('hello', 1, 3)") == "ell"
+        assert q(db, "RETURN SUBSTRING('hello', 2)") == "llo"
+
+    def test_contains_and_split(self, db):
+        assert q(db, "RETURN CONTAINS('hello', 'ell')") is True
+        assert q(db, "RETURN SPLIT('a,b,c', ',')") == ["a", "b", "c"]
+
+    def test_type_errors(self, db):
+        with pytest.raises(FunctionError):
+            db.query("RETURN UPPER(1)")
+        with pytest.raises(FunctionError):
+            db.query("RETURN CONTAINS(1, 'x')")
+
+
+class TestObjectAndMiscFunctions:
+    def test_keys_values_merge(self, db):
+        assert q(db, "RETURN KEYS({b: 1, a: 2})") == ["a", "b"]
+        assert q(db, "RETURN VALUES({b: 1, a: 2})") == [2, 1]
+        assert q(db, "RETURN MERGE({a: 1}, {b: 2}, {a: 9})") == {"a": 9, "b": 2}
+
+    def test_not_null(self, db):
+        assert q(db, "RETURN NOT_NULL(NULL, NULL, 3, 4)") == 3
+        assert q(db, "RETURN NOT_NULL(NULL)") is None
+
+    def test_typename(self, db):
+        assert q(db, "RETURN TYPENAME([1])") == "array"
+        assert q(db, "RETURN TYPENAME(NULL)") == "null"
+
+    def test_numeric(self, db):
+        assert q(db, "RETURN ABS(-4)") == 4
+        assert q(db, "RETURN FLOOR(1.7)") == 1
+        assert q(db, "RETURN CEIL(1.2)") == 2
+        assert q(db, "RETURN ROUND(1.25, 1)") == pytest.approx(1.2)
+
+    def test_to_number(self, db):
+        assert q(db, "RETURN TO_NUMBER('42')") == 42
+        assert q(db, "RETURN TO_NUMBER('4.5')") == 4.5
+        assert q(db, "RETURN TO_NUMBER('nope')") is None
+        assert q(db, "RETURN TO_NUMBER(true)") == 1
+
+    def test_bad_arity(self, db):
+        with pytest.raises(FunctionError):
+            db.query("RETURN ABS()")
+
+
+class TestCrossModelFunctions:
+    def test_xpath_function(self, db):
+        assert q(db, "RETURN XPATH('docs', '/o.json', '/Order_no')") == ["o1"]
+
+    def test_traverse_function(self, db):
+        assert q(db, "RETURN TRAVERSE('g', 'a', 1, 2, 'outbound', 'e')") == [
+            "b", "c",
+        ]
+
+    def test_edges_function(self, db):
+        edges = q(db, "RETURN EDGES('g', 'a', 'outbound')")
+        assert len(edges) == 1
+        assert edges[0]["_to"] == "b"
+
+    def test_json_helpers(self, db):
+        assert q(db, "RETURN JSON_CONTAINS({a: {b: 1}}, {a: {b: 1}})") is True
+        assert q(db, "RETURN HAS({a: 1}, 'a')") is True
+        assert q(db, "RETURN JSON_PATH({a: {b: 7}}, 'a.b')") == 7
+
+    def test_document_wrong_kind(self, db):
+        db.create_bucket("kv")
+        with pytest.raises(FunctionError):
+            db.query("RETURN DOCUMENT('kv', 'x')")

@@ -1,0 +1,90 @@
+"""The SHORTEST_PATH traversal form and db.stats()/.dbstats."""
+
+import io
+
+import pytest
+
+from repro import MultiModelDB
+from repro.errors import ParseError
+
+
+@pytest.fixture()
+def db():
+    db = MultiModelDB()
+    graph = db.create_graph("g")
+    for key in "abcde":
+        graph.add_vertex(key, {"name": key.upper()})
+    graph.add_edge("a", "b")
+    graph.add_edge("b", "c")
+    graph.add_edge("c", "d")
+    graph.add_edge("a", "e")
+    graph.add_edge("e", "d")
+    return db
+
+
+class TestShortestPathSyntax:
+    def test_path_vertices_in_order(self, db):
+        result = db.query(
+            "FOR v IN OUTBOUND SHORTEST_PATH 'a' TO 'd' GRAPH g RETURN v.name"
+        )
+        assert result.rows in (["A", "E", "D"], ["A", "B", "C", "D"])
+        assert len(result.rows) == 3  # BFS finds the shorter route via e
+
+    def test_unreachable_is_empty(self, db):
+        db.graph("g").add_vertex("island")
+        result = db.query(
+            "FOR v IN OUTBOUND SHORTEST_PATH 'a' TO 'island' GRAPH g RETURN v"
+        )
+        assert result.rows == []
+
+    def test_bind_vars_and_expressions(self, db):
+        result = db.query(
+            "FOR v IN ANY SHORTEST_PATH @from TO @to GRAPH g RETURN v._key",
+            {"from": "d", "to": "a"},
+        )
+        assert result.rows[0] == "d"
+        assert result.rows[-1] == "a"
+
+    def test_same_start_goal(self, db):
+        result = db.query(
+            "FOR v IN ANY SHORTEST_PATH 'b' TO 'b' GRAPH g RETURN v._key"
+        )
+        assert result.rows == ["b"]
+
+    def test_explain(self, db):
+        plan = db.explain(
+            "FOR v IN OUTBOUND SHORTEST_PATH 'a' TO 'd' GRAPH g RETURN v"
+        )
+        assert "ShortestPath" in plan
+
+    def test_edge_var_rejected(self, db):
+        with pytest.raises(ParseError):
+            db.query("FOR v, e IN OUTBOUND SHORTEST_PATH 'a' TO 'd' GRAPH g RETURN v")
+
+    def test_per_frame_paths(self, db):
+        result = db.query(
+            "FOR goal IN ['d', 'c'] "
+            "FOR v IN OUTBOUND SHORTEST_PATH 'a' TO goal GRAPH g "
+            "COLLECT g2 = goal WITH COUNT INTO hops SORT g2 RETURN {g2, hops}"
+        )
+        assert result.rows == [{"g2": "c", "hops": 3}, {"g2": "d", "hops": 3}]
+
+
+class TestDbStats:
+    def test_stats_shape(self, db):
+        db.create_bucket("kv").put("x", 1)
+        stats = db.stats()
+        assert stats["objects"]["g"]["kind"] == "graph"
+        assert stats["objects"]["g"]["records"] == 10  # 5 vertices + 5 edges
+        assert stats["objects"]["kv"]["records"] == 1
+        assert stats["transactions"]["commits"] >= 1
+        assert stats["log_entries"] > 0
+
+    def test_cli_dbstats(self, db):
+        from repro.cli import run_statement
+
+        out = io.StringIO()
+        run_statement(db, ".dbstats", out, {"done": False})
+        text = out.getvalue()
+        assert "graph" in text
+        assert "log entries" in text

@@ -1,0 +1,103 @@
+"""Cost-based index choice: the optimizer picks the most selective index."""
+
+import pytest
+
+from repro import Column, ColumnType, MultiModelDB, TableSchema
+from repro.query.optimizer import select_indexes
+from repro.query.parser import parse
+from repro.query.plan import IndexScanOp
+from repro.query.statistics import (
+    collection_cardinality,
+    estimate_probe_cost,
+    index_selectivity,
+)
+
+
+@pytest.fixture()
+def db():
+    db = MultiModelDB()
+    db.create_table(
+        TableSchema(
+            "events",
+            [
+                Column("id", ColumnType.INTEGER, nullable=False),
+                Column("level", ColumnType.STRING),   # 2 distinct values
+                Column("user", ColumnType.STRING),    # 100 distinct values
+            ],
+            primary_key="id",
+        )
+    )
+    table = db.table("events")
+    for i in range(200):
+        table.insert(
+            {"id": i, "level": "info" if i % 2 else "error", "user": f"u{i % 100}"}
+        )
+    table.create_index("level", kind="hash")
+    table.create_index("user", kind="hash")
+    return db
+
+
+class TestStatistics:
+    def test_cardinality(self, db):
+        assert collection_cardinality(db, "events") == 200
+
+    def test_selectivity(self, db):
+        namespace = db.table("events").namespace
+        level_index = db.context.indexes.find(namespace, ("level",), "point")
+        user_index = db.context.indexes.find(namespace, ("user",), "point")
+        assert index_selectivity(level_index) == pytest.approx(1 / 2)
+        assert index_selectivity(user_index) == pytest.approx(1 / 100)
+
+    def test_probe_cost(self, db):
+        namespace = db.table("events").namespace
+        user_index = db.context.indexes.find(namespace, ("user",), "point")
+        assert estimate_probe_cost(db, "events", user_index) == pytest.approx(2.0)
+
+    def test_empty_index_selectivity_is_one(self, db):
+        collection = db.create_collection("empty")
+        view = collection.create_index("f", kind="hash")
+        assert index_selectivity(view) == 1.0
+
+
+class TestCostBasedChoice:
+    def test_picks_more_selective_conjunct(self, db):
+        query = select_indexes(
+            parse(
+                "FOR e IN events "
+                "FILTER e.level == 'error' AND e.user == 'u7' RETURN e.id"
+            ),
+            db,
+        )
+        scan = query.operations[0]
+        assert isinstance(scan, IndexScanOp)
+        assert scan.path == ("user",)  # 1/100 beats 1/2
+        assert scan.residual is not None
+
+    def test_order_of_conjuncts_does_not_matter(self, db):
+        query = select_indexes(
+            parse(
+                "FOR e IN events "
+                "FILTER e.user == 'u7' AND e.level == 'error' RETURN e.id"
+            ),
+            db,
+        )
+        assert query.operations[0].path == ("user",)
+
+    def test_execution_uses_choice(self, db):
+        result = db.query(
+            "FOR e IN events FILTER e.level == 'error' AND e.user == 'u8' "
+            "RETURN e.id"
+        )
+        assert sorted(result.rows) == [8, 108]  # u8 ids are even → error level
+        assert result.stats["indexes_used"] == ["hash:rel:events:user"]
+
+    def test_results_identical_to_scan(self, db):
+        text = (
+            "FOR e IN events FILTER e.level == 'info' AND e.user == 'u3' "
+            "RETURN e.id"
+        )
+        from repro.query.engine import run_query
+
+        optimized = run_query(db, text)
+        naive = run_query(db, text, optimize_query=False)
+        assert sorted(optimized.rows) == sorted(naive.rows)

@@ -1,0 +1,89 @@
+"""The FOR v, e IN … traversal form (edge variable binding)."""
+
+import pytest
+
+from repro import MultiModelDB
+from repro.errors import ParseError
+
+
+@pytest.fixture()
+def db():
+    db = MultiModelDB()
+    graph = db.create_graph("social")
+    for key in ("1", "2", "3"):
+        graph.add_vertex(key, {"name": f"v{key}"})
+    graph.add_edge("1", "2", label="knows", properties={"since": 2015})
+    graph.add_edge("2", "3", label="knows", properties={"since": 2020})
+    return db
+
+
+class TestEdgeVariable:
+    def test_edge_properties_accessible(self, db):
+        result = db.query(
+            "FOR v, e IN 1..1 OUTBOUND '1' GRAPH social "
+            "RETURN {to: v._key, since: e.since}"
+        )
+        assert result.rows == [{"to": "2", "since": 2015}]
+
+    def test_multi_hop_edges(self, db):
+        result = db.query(
+            "FOR v, e IN 1..2 OUTBOUND '1' GRAPH social "
+            "SORT v._key RETURN e.since"
+        )
+        assert result.rows == [2015, 2020]
+
+    def test_depth_zero_edge_is_null(self, db):
+        result = db.query(
+            "FOR v, e IN 0..1 OUTBOUND '1' GRAPH social "
+            "SORT v._key RETURN {v: v._key, e: e}"
+        )
+        assert result.rows[0] == {"v": "1", "e": None}
+        assert result.rows[1]["e"]["since"] == 2015
+
+    def test_filter_on_edge(self, db):
+        result = db.query(
+            "FOR v, e IN 1..2 OUTBOUND '1' GRAPH social "
+            "FILTER e.since >= 2020 RETURN v._key"
+        )
+        assert result.rows == ["3"]
+
+    def test_edge_var_outside_traversal_rejected(self, db):
+        with pytest.raises(ParseError):
+            db.query("FOR a, b IN [1, 2] RETURN a")
+        with pytest.raises(ParseError):
+            db.query("FOR a, b IN 1..5 RETURN a")
+
+    def test_traverse_with_edges_api(self, db):
+        graph = db.graph("social")
+        visits = graph.traverse_with_edges("1", 0, 2)
+        assert [(key, depth) for key, depth, _e in visits] == [
+            ("1", 0), ("2", 1), ("3", 2),
+        ]
+        assert visits[0][2] is None
+        assert visits[1][2]["since"] == 2015
+
+    def test_inbound_edge_var(self, db):
+        result = db.query(
+            "FOR v, e IN 1..1 INBOUND '3' GRAPH social RETURN e.since"
+        )
+        assert result.rows == [2020]
+
+    def test_pushdown_respects_edge_var_binding(self, db):
+        """A filter on the edge variable must stay after the traversal."""
+        from repro.query import ast
+        from repro.query.optimizer import push_down_filters
+        from repro.query.parser import parse
+
+        query = push_down_filters(
+            parse(
+                "FOR c IN customers "
+                "FOR v, e IN 1..1 OUTBOUND '1' GRAPH social "
+                "FILTER e.since > 2000 RETURN v"
+            )
+        )
+        kinds = [type(op).__name__ for op in query.operations]
+        assert kinds == ["ForOp", "TraversalOp", "FilterOp", "ReturnOp"]
+
+    def test_keyword_named_object_keys_keep_case(self, db):
+        result = db.query("RETURN {to: 1, filter: 2, graph: 3}")
+        assert result.rows == [{"to": 1, "filter": 2, "graph": 3}]

@@ -1,0 +1,167 @@
+"""Triple store tests: DB2-RDF layouts, BGP joins, FILTER, aggregates."""
+
+import pytest
+
+from repro.core.context import EngineContext
+from repro.errors import QueryError
+from repro.rdf import TripleStore, is_variable
+
+TRIPLES = [
+    ("mary", "knows", "john"),
+    ("anne", "knows", "mary"),
+    ("mary", "ordered", "order1"),
+    ("john", "ordered", "order2"),
+    ("order1", "contains", "toy"),
+    ("order1", "contains", "book"),
+    ("order2", "contains", "computer"),
+    ("mary", "livesIn", "prague"),
+    ("john", "livesIn", "helsinki"),
+]
+
+
+@pytest.fixture()
+def store():
+    store = TripleStore(EngineContext(), "ecommerce")
+    store.add_many(TRIPLES)
+    return store
+
+
+class TestBasics:
+    def test_add_and_count(self, store):
+        assert store.count_triples() == len(TRIPLES)
+
+    def test_duplicate_add(self, store):
+        assert store.add("mary", "knows", "john") is False
+
+    def test_remove(self, store):
+        assert store.remove("mary", "knows", "john")
+        assert store.match("mary", "knows", "?o") == []
+        assert not store.remove("mary", "knows", "john")
+
+    def test_variables_cannot_be_stored(self, store):
+        with pytest.raises(QueryError):
+            store.add("?s", "p", "o")
+
+    def test_is_variable(self):
+        assert is_variable("?x")
+        assert not is_variable("x")
+
+
+class TestMatchLayouts:
+    def test_direct_primary(self, store):
+        assert store.match("mary", "?p", "?o") == [
+            ("mary", "knows", "john"),
+            ("mary", "livesIn", "prague"),
+            ("mary", "ordered", "order1"),
+        ]
+
+    def test_direct_secondary(self, store):
+        assert store.match("order1", "contains", "?o") == [
+            ("order1", "contains", "book"),
+            ("order1", "contains", "toy"),
+        ]
+
+    def test_reverse_primary(self, store):
+        assert store.match("?s", "?p", "mary") == [("anne", "knows", "mary")]
+
+    def test_reverse_secondary(self, store):
+        assert store.match("?s", "contains", "toy") == [
+            ("order1", "contains", "toy")
+        ]
+
+    def test_full_scan(self, store):
+        assert len(store.match()) == len(TRIPLES)
+
+    def test_fully_bound(self, store):
+        assert store.match("mary", "knows", "john") == [("mary", "knows", "john")]
+        assert store.match("mary", "knows", "anne") == []
+
+
+class TestBgpQuery:
+    def test_single_pattern(self, store):
+        result = store.query([("?who", "livesIn", "prague")])
+        assert result == [{"?who": "mary"}]
+
+    def test_join_across_patterns(self, store):
+        # What products did friends-of-anne order?  (the recommendation
+        # query in RDF form)
+        result = store.query(
+            [
+                ("anne", "knows", "?friend"),
+                ("?friend", "ordered", "?order"),
+                ("?order", "contains", "?product"),
+            ],
+            select=["?product"],
+        )
+        assert sorted(binding["?product"] for binding in result) == ["book", "toy"]
+
+    def test_shared_variable_consistency(self, store):
+        result = store.query(
+            [("?x", "knows", "?y"), ("?y", "knows", "?z")],
+        )
+        assert result == [{"?x": "anne", "?y": "mary", "?z": "john"}]
+
+    def test_filter(self, store):
+        result = store.query(
+            [("?s", "livesIn", "?city")],
+            where=lambda b: b["?city"] != "prague",
+        )
+        assert result == [{"?s": "john", "?city": "helsinki"}]
+
+    def test_order_and_limit(self, store):
+        result = store.query(
+            [("?s", "livesIn", "?city")],
+            order_by="?city",
+            limit=1,
+        )
+        assert result[0]["?city"] == "helsinki"
+
+    def test_distinct(self, store):
+        result = store.query(
+            [("order1", "contains", "?p"), ("?o", "contains", "?p")],
+            select=["?o"],
+            distinct=True,
+        )
+        assert result == [{"?o": "order1"}]
+
+    def test_empty_patterns_rejected(self, store):
+        with pytest.raises(QueryError):
+            store.query([])
+
+    def test_select_validates_variables(self, store):
+        with pytest.raises(QueryError):
+            store.query([("?s", "knows", "?o")], select=["s"])
+
+
+class TestAggregates:
+    def test_count(self, store):
+        assert store.count([("?o", "contains", "?p")]) == 3
+
+    def test_count_grouped(self, store):
+        groups = store.count([("?o", "contains", "?p")], group_by="?o")
+        assert groups == {"order1": 2, "order2": 1}
+
+
+class TestTransactions:
+    def test_layouts_only_see_committed(self, store):
+        manager = store._context.transactions
+        txn = manager.begin()
+        store.add("eve", "knows", "mary", txn=txn)
+        # Layout-served match must not see the uncommitted triple…
+        assert store.match("eve", "?p", "?o") == []
+        # …but the transaction itself does (scan path).
+        assert store.match("eve", "?p", "?o", txn=txn) == [("eve", "knows", "mary")]
+        manager.commit(txn)
+        assert store.match("eve", "?p", "?o") == [("eve", "knows", "mary")]
+
+    def test_abort_leaves_layouts_clean(self, store):
+        manager = store._context.transactions
+        txn = manager.begin()
+        store.add("eve", "knows", "mary", txn=txn)
+        manager.abort(txn)
+        assert store.match("eve", "?p", "?o") == []
+
+    def test_truncate_clears_layouts(self, store):
+        store.truncate()
+        assert store.match() == []
+        assert store.match("mary", "?p", "?o") == []

@@ -1,0 +1,203 @@
+"""Relational model tests: schemas, constraints, queries, JSON columns."""
+
+import pytest
+
+from repro.core.context import EngineContext
+from repro.errors import (
+    ConstraintViolationError,
+    PrimaryKeyError,
+    SchemaError,
+)
+from repro.relational import Column, ColumnType, Table, TableSchema
+
+CUSTOMER_SCHEMA = TableSchema(
+    name="customers",
+    columns=[
+        Column("id", ColumnType.INTEGER, nullable=False),
+        Column("name", ColumnType.STRING, nullable=False),
+        Column("credit_limit", ColumnType.INTEGER),
+        Column("orders", ColumnType.JSON),
+    ],
+    primary_key="id",
+    checks={"credit_non_negative": lambda row: (row["credit_limit"] or 0) >= 0},
+)
+
+# The running example's customer relation (slide 27).
+CUSTOMERS = [
+    {"id": 1, "name": "Mary", "credit_limit": 5000},
+    {"id": 2, "name": "John", "credit_limit": 3000},
+    {"id": 3, "name": "Anne", "credit_limit": 2000},
+]
+
+
+@pytest.fixture()
+def table():
+    context = EngineContext()
+    table = Table(context, CUSTOMER_SCHEMA)
+    table.insert_many(CUSTOMERS)
+    return table
+
+
+class TestSchema:
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [Column("a"), Column("a")], primary_key="a")
+
+    def test_primary_key_must_exist(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [Column("a")], primary_key="zz")
+
+    def test_unknown_column_type(self):
+        with pytest.raises(SchemaError):
+            Column("a", "varchar")
+
+    def test_integer_admits_whole_floats(self):
+        column = Column("n", ColumnType.INTEGER)
+        assert column.admit(3.0, "t") == 3.0
+        with pytest.raises(ConstraintViolationError):
+            column.admit(3.5, "t")
+
+    def test_boolean_is_not_integer(self):
+        column = Column("n", ColumnType.INTEGER)
+        with pytest.raises(ConstraintViolationError):
+            column.admit(True, "t")
+
+    def test_defaults_applied(self):
+        schema = TableSchema(
+            "t",
+            [Column("id", ColumnType.INTEGER, nullable=False),
+             Column("active", ColumnType.BOOLEAN, default=True)],
+            primary_key="id",
+        )
+        assert schema.admit_row({"id": 1})["active"] is True
+
+
+class TestInsert:
+    def test_insert_and_get(self, table):
+        assert table.get(1)["name"] == "Mary"
+        assert table.count() == 3
+
+    def test_duplicate_pk(self, table):
+        with pytest.raises(PrimaryKeyError):
+            table.insert({"id": 1, "name": "Dup"})
+
+    def test_not_null(self, table):
+        with pytest.raises(ConstraintViolationError):
+            table.insert({"id": 9, "name": None})
+
+    def test_unknown_column(self, table):
+        with pytest.raises(SchemaError):
+            table.insert({"id": 9, "name": "X", "bogus": 1})
+
+    def test_check_constraint(self, table):
+        with pytest.raises(ConstraintViolationError):
+            table.insert({"id": 9, "name": "X", "credit_limit": -5})
+
+    def test_type_check(self, table):
+        with pytest.raises(ConstraintViolationError):
+            table.insert({"id": 9, "name": 42})
+
+
+class TestUpdateDelete:
+    def test_update(self, table):
+        assert table.update(1, {"credit_limit": 9000})
+        assert table.get(1)["credit_limit"] == 9000
+
+    def test_update_missing(self, table):
+        assert not table.update(99, {"credit_limit": 1})
+
+    def test_update_cannot_change_pk(self, table):
+        with pytest.raises(PrimaryKeyError):
+            table.update(1, {"id": 42})
+
+    def test_update_validates(self, table):
+        with pytest.raises(ConstraintViolationError):
+            table.update(1, {"credit_limit": -1})
+
+    def test_delete(self, table):
+        assert table.delete(3)
+        assert table.get(3) is None
+        assert not table.delete(3)
+
+
+class TestSelect:
+    def test_where(self, table):
+        rich = table.select(where=lambda row: row["credit_limit"] > 3000)
+        assert [row["name"] for row in rich] == ["Mary"]
+
+    def test_projection(self, table):
+        names = table.select(columns=["name"])
+        assert {"name": "Mary"} in names
+        assert all(set(row) == {"name"} for row in names)
+
+    def test_projection_checks_columns(self, table):
+        with pytest.raises(SchemaError):
+            table.select(columns=["nope"])
+
+    def test_order_and_limit(self, table):
+        top = table.select(order_by="credit_limit", descending=True, limit=2)
+        assert [row["name"] for row in top] == ["Mary", "John"]
+
+    def test_where_equals_scan(self, table):
+        assert table.where_equals("name", "John")[0]["id"] == 2
+
+    def test_where_equals_with_index(self, table):
+        table.create_index("name")
+        rows = table.where_equals("name", "Anne")
+        assert [row["id"] for row in rows] == [3]
+
+    def test_index_stays_fresh(self, table):
+        table.create_index("name")
+        table.insert({"id": 9, "name": "Anne", "credit_limit": 1})
+        assert {row["id"] for row in table.where_equals("name", "Anne")} == {3, 9}
+        table.delete(3)
+        assert {row["id"] for row in table.where_equals("name", "Anne")} == {9}
+
+
+class TestJsonColumn:
+    """Experiment E7: the PostgreSQL JSONB pattern of slides 37/73."""
+
+    ORDER = {
+        "Order_no": "0c6df508",
+        "Orderlines": [
+            {"Product_no": "2724f", "Product_Name": "Toy", "Price": 66},
+            {"Product_no": "3424g", "Product_Name": "Book", "Price": 40},
+        ],
+    }
+
+    def test_store_and_navigate(self, table):
+        table.update(1, {"orders": self.ORDER})
+        assert table.json_path(1, "orders", ("Order_no",)) == "0c6df508"
+        # orders#>'{Orderlines,1}'->>'Product_Name' from slide 73:
+        assert (
+            table.json_path(1, "orders", ("Orderlines", 1, "Product_Name"))
+            == "Book"
+        )
+
+    def test_missing_path(self, table):
+        table.update(1, {"orders": self.ORDER})
+        assert table.json_path(1, "orders", ("nope",)) is None
+        assert table.json_path(99, "orders", ("Order_no",)) is None
+
+
+class TestTransactions:
+    def test_rollback(self, table):
+        manager = table._context.transactions
+        txn = manager.begin()
+        table.insert({"id": 10, "name": "Temp"}, txn=txn)
+        assert table.get(10, txn=txn)["name"] == "Temp"
+        manager.abort(txn)
+        assert table.get(10) is None
+
+    def test_commit(self, table):
+        manager = table._context.transactions
+        txn = manager.begin()
+        table.insert({"id": 10, "name": "Kept"}, txn=txn)
+        table.update(1, {"credit_limit": 1}, txn=txn)
+        manager.commit(txn)
+        assert table.get(10)["name"] == "Kept"
+        assert table.get(1)["credit_limit"] == 1
+
+    def test_truncate(self, table):
+        table.truncate()
+        assert table.count() == 0

@@ -1,0 +1,230 @@
+"""Spatial model tests: R-tree invariants, store queries, MMQL geo functions."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import MultiModelDB
+from repro.core.context import EngineContext
+from repro.errors import SchemaError, UnsupportedIndexOperationError
+from repro.spatial import Rect, RTree, SpatialStore, geometry_to_rect
+
+
+class TestRect:
+    def test_area_and_union(self):
+        a = Rect(0, 0, 2, 2)
+        b = Rect(1, 1, 4, 3)
+        assert a.area == 4
+        assert a.union(b) == Rect(0, 0, 4, 3)
+        assert a.enlargement(b) == 12 - 4
+
+    def test_intersects(self):
+        assert Rect(0, 0, 2, 2).intersects(Rect(1, 1, 3, 3))
+        assert Rect(0, 0, 1, 1).intersects(Rect(1, 1, 2, 2))  # touching counts
+        assert not Rect(0, 0, 1, 1).intersects(Rect(2, 2, 3, 3))
+
+    def test_contains(self):
+        assert Rect(0, 0, 4, 4).contains(Rect(1, 1, 2, 2))
+        assert not Rect(0, 0, 4, 4).contains(Rect(3, 3, 5, 5))
+
+    def test_min_distance(self):
+        rect = Rect(0, 0, 2, 2)
+        assert rect.min_distance_to(1, 1) == 0
+        assert rect.min_distance_to(5, 2) == 3
+        assert rect.min_distance_to(5, 6) == pytest.approx(5.0)
+
+    def test_degenerate_rect_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(2, 0, 0, 2)
+
+
+class TestRTree:
+    def _grid_tree(self, n=100):
+        tree = RTree(max_entries=6)
+        rng = random.Random(1)
+        points = {}
+        for i in range(n):
+            x, y = rng.uniform(0, 100), rng.uniform(0, 100)
+            tree.insert((x, y), i)
+            points[i] = (x, y)
+        return tree, points
+
+    def test_intersection_matches_brute_force(self):
+        tree, points = self._grid_tree()
+        query = Rect(20, 20, 60, 70)
+        expected = sorted(
+            rid for rid, (x, y) in points.items()
+            if query.intersects(Rect.point(x, y))
+        )
+        assert sorted(tree.search_intersects(query)) == expected
+
+    def test_containment(self):
+        tree = RTree()
+        tree.insert(Rect(0, 0, 1, 1), "in")
+        tree.insert(Rect(0, 0, 9, 9), "straddles")
+        assert tree.search_contained_in(Rect(-1, -1, 2, 2)) == ["in"]
+
+    def test_nearest_matches_brute_force(self):
+        tree, points = self._grid_tree()
+        target = (50.0, 50.0)
+        result = tree.nearest(*target, k=5)
+        brute = sorted(
+            (math.hypot(x - target[0], y - target[1]), rid)
+            for rid, (x, y) in points.items()
+        )[:5]
+        assert [rid for _distance, rid in result] == [rid for _d, rid in brute]
+        for (distance, rid), (bd, _brid) in zip(result, brute):
+            assert distance == pytest.approx(bd)
+
+    def test_delete(self):
+        tree = RTree()
+        tree.insert((1, 1), "a")
+        tree.insert((2, 2), "b")
+        tree.delete((1, 1), "a")
+        assert tree.search_intersects(Rect(0, 0, 3, 3)) == ["b"]
+        assert len(tree) == 1
+
+    def test_splits_keep_height_consistent(self):
+        tree, points = self._grid_tree(300)
+        assert tree.height >= 3
+        assert len(tree) == 300
+        everything = tree.search_intersects(Rect(-1, -1, 101, 101))
+        assert sorted(everything) == sorted(points)
+
+    def test_bad_key(self):
+        with pytest.raises(UnsupportedIndexOperationError):
+            RTree().insert("not geometry", 1)
+
+    def test_small_fanout_rejected(self):
+        with pytest.raises(ValueError):
+            RTree(max_entries=2)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0, 100, allow_nan=False),
+                st.floats(0, 100, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=80,
+        ),
+        st.tuples(
+            st.floats(0, 100, allow_nan=False),
+            st.floats(0, 100, allow_nan=False),
+        ),
+    )
+    def test_window_property(self, points, corner):
+        tree = RTree(max_entries=5)
+        for rid, (x, y) in enumerate(points):
+            tree.insert((x, y), rid)
+        cx, cy = corner
+        query = Rect(min(cx, 50), min(cy, 50), max(cx, 50), max(cy, 50))
+        expected = sorted(
+            rid for rid, (x, y) in enumerate(points)
+            if query.intersects(Rect.point(x, y))
+        )
+        assert sorted(tree.search_intersects(query)) == expected
+
+
+class TestSpatialStore:
+    @pytest.fixture()
+    def store(self):
+        store = SpatialStore(EngineContext(), "places")
+        store.put_point("cafe", 1, 1, {"name": "Cafe"})
+        store.put_point("park", 5, 5, {"name": "Park"})
+        store.put_box("campus", 4, 4, 8, 8, {"name": "Campus"})
+        return store
+
+    def test_geometry_roundtrip(self, store):
+        record = store.get("campus")
+        assert record["geometry"]["type"] == "box"
+        assert record["properties"]["name"] == "Campus"
+
+    def test_window(self, store):
+        assert store.window(0, 0, 2, 2) == ["cafe"]
+        assert store.window(4.5, 4.5, 6, 6) == ["campus", "park"]
+
+    def test_within(self, store):
+        assert store.within(0, 0, 6, 6) == ["cafe", "park"]  # box sticks out
+
+    def test_nearest(self, store):
+        # campus box's corner (4,4) is closer to the origin than park (5,5)
+        result = store.nearest(0, 0, k=3)
+        assert [key for key, _d in result] == ["cafe", "campus", "park"]
+        assert result[0][1] == pytest.approx(math.hypot(1, 1))
+        assert result[1][1] == pytest.approx(math.hypot(4, 4))
+
+    def test_update_moves_geometry(self, store):
+        store.put_point("cafe", 50, 50)
+        assert store.window(0, 0, 2, 2) == []
+        assert store.window(49, 49, 51, 51) == ["cafe"]
+
+    def test_delete(self, store):
+        assert store.delete("park")
+        assert store.window(4, 4, 6, 6) == ["campus"]
+
+    def test_bad_geometry(self, store):
+        with pytest.raises(SchemaError):
+            geometry_to_rect({"type": "circle"})
+        with pytest.raises(SchemaError):
+            store.put_box("bad", 5, 5, 1, 1)
+
+    def test_transactional_isolation(self, store):
+        manager = store._context.transactions
+        txn = manager.begin()
+        store.put_point("new", 1.5, 1.5, txn=txn)
+        # R-tree (committed view) doesn't see it; the snapshot path does.
+        assert store.window(1, 1, 2, 2) == ["cafe"]
+        assert store.window(1, 1, 2, 2, txn=txn) == ["cafe", "new"]
+        assert [k for k, _ in store.nearest(1.4, 1.4, k=1, txn=txn)] == ["new"]
+        manager.commit(txn)
+        assert store.window(1, 1, 2, 2) == ["cafe", "new"]
+
+
+class TestMmqlGeoFunctions:
+    @pytest.fixture()
+    def db(self):
+        db = MultiModelDB()
+        places = db.create_spatial("places")
+        places.put_point("a", 0, 0, {"kind": "shop"})
+        places.put_point("b", 10, 10, {"kind": "park"})
+        places.put_point("c", 1, 2, {"kind": "shop"})
+        return db
+
+    def test_geo_window(self, db):
+        assert db.query("RETURN GEO_WINDOW('places', -1, -1, 3, 3)").rows == [
+            ["a", "c"]
+        ]
+
+    def test_geo_nearest(self, db):
+        assert db.query("RETURN GEO_NEAREST('places', 9, 9, 2)").rows == [
+            ["b", "c"]
+        ]
+
+    def test_geo_distance(self, db):
+        assert db.query("RETURN GEO_DISTANCE(0, 0, 3, 4)").rows == [5.0]
+
+    def test_iterate_spatial_store(self, db):
+        result = db.query(
+            "FOR p IN places FILTER p.properties.kind == 'shop' "
+            "SORT p._key RETURN p._key"
+        )
+        assert result.rows == ["a", "c"]
+
+    def test_cross_model_geo_join(self, db):
+        """Spatial ⋈ document: shops near a point with metadata."""
+        meta = db.create_collection("meta")
+        meta.insert({"_key": "a", "rating": 5})
+        meta.insert({"_key": "c", "rating": 2})
+        result = db.query(
+            """
+            FOR key IN GEO_NEAREST('places', 0, 0, 2)
+              LET doc = DOCUMENT('meta', key)
+              FILTER doc != NULL AND doc.rating >= 4
+              RETURN key
+            """
+        )
+        assert result.rows == ["a"]

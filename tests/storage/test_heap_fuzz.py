@@ -1,0 +1,71 @@
+"""Randomized heap/page persistence fuzzing against a dict reference."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.pages import PageFile, RecordHeap
+
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "delete", "update", "read"]),
+        st.binary(min_size=1, max_size=600),
+    ),
+    max_size=80,
+)
+
+
+class TestHeapFuzz:
+    @settings(max_examples=30, deadline=None)
+    @given(operations)
+    def test_matches_reference(self, ops):
+        heap = RecordHeap()
+        reference: dict = {}
+        live: list = []
+        for op, payload in ops:
+            if op == "insert":
+                rid = heap.insert(payload)
+                reference[rid] = payload
+                live.append(rid)
+            elif op == "delete" and live:
+                rid = live.pop(0)
+                heap.delete(rid)
+                del reference[rid]
+            elif op == "update" and live:
+                rid = live.pop(0)
+                new_rid = heap.update(rid, payload)
+                del reference[rid]
+                reference[new_rid] = payload
+                live.append(new_rid)
+            elif op == "read" and live:
+                rid = live[-1]
+                assert heap.read(rid) == reference[rid]
+        assert len(heap) == len(reference)
+        scanned = {rid: record for rid, record in heap.scan()}
+        assert scanned == reference
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.binary(min_size=1, max_size=800), min_size=1, max_size=40))
+    def test_persistence_roundtrip(self, tmp_path_factory, records):
+        path = str(tmp_path_factory.mktemp("heap") / "fuzz.db")
+        heap = RecordHeap(PageFile(path))
+        rids = [heap.insert(record) for record in records]
+        # Delete every third record before flushing.
+        for rid in rids[::3]:
+            heap.delete(rid)
+        heap.flush()
+
+        reopened = RecordHeap(PageFile(path))
+        survivors = {rid for index, rid in enumerate(rids) if index % 3 != 0}
+        assert len(reopened) == len(survivors)
+        for index, rid in enumerate(rids):
+            if index % 3 != 0:
+                assert reopened.read(rid) == records[index]
+
+    def test_buffer_pool_pressure(self):
+        """Small pool forces evictions; data must survive them."""
+        heap = RecordHeap(pool_capacity=2)
+        rids = [heap.insert(bytes([i]) * 1500) for i in range(40)]
+        assert heap.pool.misses > 0
+        for i, rid in enumerate(rids):
+            assert heap.read(rid) == bytes([i]) * 1500

@@ -1,0 +1,226 @@
+"""Tests for the central log and the OctopusDB-style storage views."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.indexes.btree import BPlusTree
+from repro.indexes.hashindex import ExtendibleHashIndex
+from repro.storage.log import CentralLog, LogOp
+from repro.storage.views import ColumnView, IndexView, LogOnlyView, RowView
+
+
+def _insert(log, namespace, key, value, txn_id=1):
+    return log.append(txn_id, LogOp.INSERT, namespace, key, value)
+
+
+def _update(log, namespace, key, value, before, txn_id=1):
+    return log.append(txn_id, LogOp.UPDATE, namespace, key, value, before)
+
+
+def _delete(log, namespace, key, before=None, txn_id=1):
+    return log.append(txn_id, LogOp.DELETE, namespace, key, before=before)
+
+
+class TestCentralLog:
+    def test_lsns_are_consecutive(self):
+        log = CentralLog()
+        entries = [_insert(log, "t", i, {"v": i}) for i in range(5)]
+        assert [entry.lsn for entry in entries] == [1, 2, 3, 4, 5]
+        assert log.last_lsn == 5
+
+    def test_subscribers_see_every_entry(self):
+        log = CentralLog()
+        seen = []
+        log.subscribe(seen.append)
+        _insert(log, "t", 1, {})
+        _delete(log, "t", 1)
+        assert [entry.op for entry in seen] == [LogOp.INSERT, LogOp.DELETE]
+
+    def test_entries_since(self):
+        log = CentralLog()
+        for i in range(4):
+            _insert(log, "t", i, {})
+        assert [entry.lsn for entry in log.entries_since(2)] == [3, 4]
+        assert list(log.entries_since(99)) == []
+
+    def test_entry_at(self):
+        log = CentralLog()
+        _insert(log, "t", 1, {"a": 1})
+        assert log.entry_at(1).value == {"a": 1}
+        with pytest.raises(StorageError):
+            log.entry_at(2)
+
+    def test_truncate_keeps_lsn_accounting(self):
+        log = CentralLog()
+        for i in range(6):
+            _insert(log, "t", i, {})
+        dropped = log.truncate_before(4)
+        assert dropped == 3
+        assert [entry.lsn for entry in log] == [4, 5, 6]
+        assert log.entry_at(5).lsn == 5
+        assert [entry.lsn for entry in log.entries_since(4)] == [5, 6]
+        # New appends continue the sequence.
+        entry = _insert(log, "t", 99, {})
+        assert entry.lsn == 7
+
+    def test_unsubscribe(self):
+        log = CentralLog()
+        seen = []
+        log.subscribe(seen.append)
+        log.unsubscribe(seen.append)
+        _insert(log, "t", 1, {})
+        assert seen == []
+
+
+class TestRowView:
+    def test_insert_update_delete(self):
+        log = CentralLog()
+        rows = RowView(log)
+        _insert(log, "t", "k1", {"v": 1})
+        assert rows.get("t", "k1") == {"v": 1}
+        _update(log, "t", "k1", {"v": 2}, before={"v": 1})
+        assert rows.get("t", "k1") == {"v": 2}
+        _delete(log, "t", "k1", before={"v": 2})
+        assert rows.get("t", "k1") is None
+        assert not rows.contains("t", "k1")
+
+    def test_scan_and_count(self):
+        log = CentralLog()
+        rows = RowView(log)
+        for i in range(3):
+            _insert(log, "t", i, {"v": i})
+        assert rows.count("t") == 3
+        assert sorted(dict(rows.scan("t"))) == [0, 1, 2]
+
+    def test_namespaces_are_isolated(self):
+        log = CentralLog()
+        rows = RowView(log)
+        _insert(log, "a", 1, {"v": "a"})
+        _insert(log, "b", 1, {"v": "b"})
+        assert rows.get("a", 1) == {"v": "a"}
+        assert rows.get("b", 1) == {"v": "b"}
+        assert rows.namespaces() == ["a", "b"]
+
+    def test_drop_namespace(self):
+        log = CentralLog()
+        rows = RowView(log)
+        _insert(log, "t", 1, {})
+        log.append(1, LogOp.DROP_NAMESPACE, "t")
+        assert rows.count("t") == 0
+
+    def test_catch_up_after_late_creation(self):
+        log = CentralLog()
+        _insert(log, "t", 1, {"v": 1})
+        _insert(log, "t", 2, {"v": 2})
+        rows = RowView(log)
+        assert rows.count("t") == 0
+        applied = rows.catch_up()
+        assert applied == 2
+        assert rows.count("t") == 2
+
+    def test_apply_is_idempotent_per_lsn(self):
+        log = CentralLog()
+        rows = RowView(log)
+        entry = _insert(log, "t", 1, {"v": 1})
+        rows.apply(entry)  # replay of an already-applied entry
+        assert rows.count("t") == 1
+
+
+class TestLogOnlyView:
+    def test_get_replays_history(self):
+        log = CentralLog()
+        view = LogOnlyView(log)
+        _insert(log, "t", "k", {"v": 1})
+        _update(log, "t", "k", {"v": 2}, before={"v": 1})
+        assert view.get("t", "k") == {"v": 2}
+        _delete(log, "t", "k")
+        assert view.get("t", "k") is None
+
+    def test_scan_skips_deleted(self):
+        log = CentralLog()
+        view = LogOnlyView(log)
+        _insert(log, "t", 1, {"v": 1})
+        _insert(log, "t", 2, {"v": 2})
+        _delete(log, "t", 1)
+        assert dict(view.scan("t")) == {2: {"v": 2}}
+
+    def test_agrees_with_row_view(self):
+        log = CentralLog()
+        log_view = LogOnlyView(log)
+        rows = RowView(log)
+        for i in range(20):
+            _insert(log, "t", i % 7, {"v": i})
+        for key in range(7):
+            assert log_view.get("t", key) == rows.get("t", key)
+
+
+class TestColumnView:
+    def test_decomposes_top_level_attributes(self):
+        log = CentralLog()
+        columns = ColumnView(log)
+        _insert(log, "t", 1, {"name": "Mary", "credit": 5000})
+        _insert(log, "t", 2, {"name": "John", "credit": 3000, "city": "Helsinki"})
+        assert columns.column_names("t") == ["city", "credit", "name"]
+        assert dict(columns.scan_column("t", "credit")) == {1: 5000, 2: 3000}
+        assert dict(columns.scan_column("t", "city")) == {2: "Helsinki"}
+
+    def test_update_moves_columns(self):
+        log = CentralLog()
+        columns = ColumnView(log)
+        _insert(log, "t", 1, {"a": 1, "b": 2})
+        _update(log, "t", 1, {"a": 9}, before={"a": 1, "b": 2})
+        assert dict(columns.scan_column("t", "a")) == {1: 9}
+        assert dict(columns.scan_column("t", "b")) == {}
+
+    def test_non_object_records_use_value_column(self):
+        log = CentralLog()
+        columns = ColumnView(log)
+        _insert(log, "kv", "k", 42)
+        assert dict(columns.scan_column("kv", ColumnView.VALUE_COLUMN)) == {"k": 42}
+
+    def test_delete(self):
+        log = CentralLog()
+        columns = ColumnView(log)
+        _insert(log, "t", 1, {"a": 1})
+        _delete(log, "t", 1, before={"a": 1})
+        assert columns.count("t") == 0
+
+
+class TestIndexView:
+    def test_maintains_hash_index(self):
+        log = CentralLog()
+        view = IndexView(log, "t", ("city",), ExtendibleHashIndex())
+        _insert(log, "t", 1, {"city": "Prague"})
+        _insert(log, "t", 2, {"city": "Prague"})
+        _insert(log, "t", 3, {"city": "Helsinki"})
+        assert sorted(view.search("Prague")) == [1, 2]
+        _update(log, "t", 1, {"city": "Brno"}, before={"city": "Prague"})
+        assert view.search("Prague") == [2]
+        _delete(log, "t", 2, before={"city": "Prague"})
+        assert view.search("Prague") == []
+
+    def test_range_search_via_btree(self):
+        log = CentralLog()
+        view = IndexView(log, "t", ("n",), BPlusTree())
+        for i in range(10):
+            _insert(log, "t", i, {"n": i * 10})
+        assert sorted(view.range_search(20, 50)) == [2, 3, 4, 5]
+
+    def test_range_on_hash_raises(self):
+        log = CentralLog()
+        view = IndexView(log, "t", ("n",), ExtendibleHashIndex())
+        with pytest.raises(Exception):
+            view.range_search(1, 2)
+
+    def test_ignores_other_namespaces(self):
+        log = CentralLog()
+        view = IndexView(log, "t", ("n",), ExtendibleHashIndex())
+        _insert(log, "other", 1, {"n": 5})
+        assert view.search(5) == []
+
+    def test_missing_path_not_indexed(self):
+        log = CentralLog()
+        view = IndexView(log, "t", ("n",), ExtendibleHashIndex())
+        _insert(log, "t", 1, {"m": 5})
+        assert view.search(None) == []
+        assert view.search(5) == []

@@ -1,0 +1,241 @@
+"""Tests for slotted pages, the record heap, the buffer pool, and the LSM."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PageError
+from repro.storage.lsm import LsmTree, SSTable
+from repro.storage.pages import (
+    PAGE_SIZE,
+    BufferPool,
+    PageFile,
+    RecordHeap,
+    RecordId,
+    SlottedPage,
+)
+
+
+class TestSlottedPage:
+    def test_insert_and_read(self):
+        page = SlottedPage()
+        slot = page.insert(b"hello")
+        assert page.read(slot) == b"hello"
+
+    def test_multiple_records(self):
+        page = SlottedPage()
+        slots = [page.insert(f"record-{i}".encode()) for i in range(10)]
+        for i, slot in enumerate(slots):
+            assert page.read(slot) == f"record-{i}".encode()
+
+    def test_delete_tombstones(self):
+        page = SlottedPage()
+        slot_a = page.insert(b"a")
+        slot_b = page.insert(b"b")
+        page.delete(slot_a)
+        assert not page.is_live(slot_a)
+        assert page.read(slot_b) == b"b"
+        with pytest.raises(PageError):
+            page.read(slot_a)
+
+    def test_full_page_raises(self):
+        page = SlottedPage()
+        chunk = b"x" * 500
+        with pytest.raises(PageError):
+            for _ in range(20):
+                page.insert(chunk)
+
+    def test_oversized_record(self):
+        page = SlottedPage()
+        with pytest.raises(PageError):
+            page.insert(b"x" * PAGE_SIZE)
+
+    def test_compact_reclaims_space(self):
+        page = SlottedPage()
+        slots = [page.insert(b"y" * 300) for _ in range(8)]
+        for slot in slots[:6]:
+            page.delete(slot)
+        free_before = page.free_space()
+        page.compact()
+        assert page.free_space() > free_before
+        assert [record for _slot, record in page.records()] == [b"y" * 300] * 2
+
+    def test_roundtrip_bytes(self):
+        page = SlottedPage()
+        page.insert(b"persisted")
+        clone = SlottedPage(bytearray(page.to_bytes()))
+        assert clone.read(0) == b"persisted"
+
+    def test_bad_slot(self):
+        page = SlottedPage()
+        with pytest.raises(PageError):
+            page.read(0)
+
+
+class TestRecordHeap:
+    def test_insert_read_across_pages(self):
+        heap = RecordHeap()
+        rids = [heap.insert(f"rec-{i}".encode() * 50) for i in range(100)]
+        assert len({rid.page for rid in rids}) > 1  # spilled to many pages
+        for i, rid in enumerate(rids):
+            assert heap.read(rid) == f"rec-{i}".encode() * 50
+
+    def test_delete_and_len(self):
+        heap = RecordHeap()
+        rid = heap.insert(b"gone")
+        assert len(heap) == 1
+        heap.delete(rid)
+        assert len(heap) == 0
+        with pytest.raises(PageError):
+            heap.read(rid)
+
+    def test_update_relocates(self):
+        heap = RecordHeap()
+        rid = heap.insert(b"small")
+        new_rid = heap.update(rid, b"n" * 2000)
+        assert heap.read(new_rid) == b"n" * 2000
+
+    def test_scan(self):
+        heap = RecordHeap()
+        for i in range(20):
+            heap.insert(bytes([i]))
+        assert sorted(record[0] for _rid, record in heap.scan()) == list(range(20))
+
+    def test_persistence_roundtrip(self, tmp_path):
+        path = str(tmp_path / "heap.db")
+        heap = RecordHeap(PageFile(path))
+        rid = heap.insert(b"durable")
+        heap.flush()
+        reopened = RecordHeap(PageFile(path))
+        assert reopened.read(RecordId(rid.page, rid.slot)) == b"durable"
+        assert len(reopened) == 1
+
+
+class TestBufferPool:
+    def test_eviction_and_hit_rate(self):
+        file = PageFile()
+        for _ in range(10):
+            file.allocate()
+        pool = BufferPool(file, capacity=3)
+        for page_number in range(10):
+            pool.get(page_number)
+        assert pool.misses == 10
+        pool.get(9)
+        assert pool.hits == 1
+
+    def test_dirty_pages_written_back_on_eviction(self):
+        file = PageFile()
+        file.allocate()
+        file.allocate()
+        pool = BufferPool(file, capacity=1)
+        page = pool.get(0)
+        page.insert(b"dirty")
+        pool.mark_dirty(0)
+        pool.get(1)  # evicts page 0
+        fresh = SlottedPage(file.read_page(0))
+        assert fresh.read(0) == b"dirty"
+
+    def test_mark_dirty_requires_residency(self):
+        file = PageFile()
+        file.allocate()
+        pool = BufferPool(file, capacity=1)
+        with pytest.raises(PageError):
+            pool.mark_dirty(0)
+
+
+class TestSSTable:
+    def test_get_with_sparse_index(self):
+        items = [(f"k{i:04d}", i) for i in range(100)]
+        table = SSTable(items, stride=8)
+        assert table.get("k0042") == (True, 42)
+        assert table.get("k9999") == (False, None)
+        assert table.sparse_index_size == 13
+
+    def test_range(self):
+        table = SSTable([(f"k{i}", i) for i in range(10)])
+        assert list(table.range("k3", "k5")) == [("k3", 3), ("k4", 4), ("k5", 5)]
+        assert list(table.range(None, None)) == [(f"k{i}", i) for i in range(10)]
+
+
+class TestLsmTree:
+    def test_put_get(self):
+        lsm = LsmTree(memtable_limit=4)
+        lsm.put("a", 1)
+        assert lsm.get("a") == 1
+        assert lsm.get("zzz") is None
+
+    def test_flush_on_limit(self):
+        lsm = LsmTree(memtable_limit=3)
+        for i in range(10):
+            lsm.put(f"k{i}", i)
+        assert lsm.flushes >= 3
+        for i in range(10):
+            assert lsm.get(f"k{i}") == i
+
+    def test_newest_version_wins(self):
+        lsm = LsmTree(memtable_limit=2)
+        lsm.put("k", "old")
+        lsm.flush()
+        lsm.put("k", "new")
+        assert lsm.get("k") == "new"
+        lsm.flush()
+        assert lsm.get("k") == "new"
+
+    def test_tombstone_shadows_older_runs(self):
+        lsm = LsmTree(memtable_limit=100)
+        lsm.put("k", 1)
+        lsm.flush()
+        lsm.delete("k")
+        assert lsm.get("k") is None
+        assert "k" not in lsm
+        lsm.flush()
+        assert lsm.get("k") is None
+
+    def test_range_merges_runs(self):
+        lsm = LsmTree(memtable_limit=100)
+        lsm.put("a", 1)
+        lsm.put("c", 3)
+        lsm.flush()
+        lsm.put("b", 2)
+        lsm.put("c", 30)  # newer version
+        assert list(lsm.range()) == [("a", 1), ("b", 2), ("c", 30)]
+        assert list(lsm.range("b", "c")) == [("b", 2), ("c", 30)]
+
+    def test_compact_drops_tombstones(self):
+        lsm = LsmTree(memtable_limit=2)
+        for i in range(8):
+            lsm.put(f"k{i}", i)
+        for i in range(4):
+            lsm.delete(f"k{i}")
+        lsm.compact()
+        assert lsm.sstable_count == 1
+        assert len(lsm) == 4
+        assert lsm.get("k0") is None
+        assert lsm.get("k7") == 7
+
+    def test_non_string_key_rejected(self):
+        with pytest.raises(TypeError):
+            LsmTree().put(1, "x")
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from([f"key{i}" for i in range(12)]),
+                st.one_of(st.integers(0, 99), st.none()),
+            ),
+            max_size=120,
+        )
+    )
+    def test_matches_reference_dict(self, operations):
+        lsm = LsmTree(memtable_limit=5)
+        reference: dict[str, int] = {}
+        for key, value in operations:
+            if value is None:
+                lsm.delete(key)
+                reference.pop(key, None)
+            else:
+                lsm.put(key, value)
+                reference[key] = value
+        for key in {key for key, _ in operations}:
+            assert lsm.get(key) == reference.get(key)
+        assert dict(lsm.items()) == reference

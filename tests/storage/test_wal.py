@@ -1,0 +1,135 @@
+"""WAL durability and redo-recovery tests, including simulated crashes."""
+
+import pytest
+
+from repro.errors import WalError
+from repro.storage.log import CentralLog, LogOp
+from repro.storage.views import RowView
+from repro.storage.wal import WriteAheadLog, recover, replay_into
+
+
+def _write_transactions(path, sync=True):
+    """Two committed txns, one aborted, one uncommitted tail."""
+    with WriteAheadLog(path, sync=sync) as wal:
+        wal.append(1, 10, "insert", "t", "a", {"v": 1})
+        wal.append(2, 10, "commit")
+        wal.append(3, 11, "insert", "t", "b", {"v": 2})
+        wal.append(4, 11, "update", "t", "b", {"v": 3}, before={"v": 2})
+        wal.append(5, 11, "commit")
+        wal.append(6, 12, "insert", "t", "c", {"v": 9})
+        wal.append(7, 12, "abort")
+        wal.append(8, 13, "insert", "t", "d", {"v": 4})  # never commits
+
+
+class TestWalRoundTrip:
+    def test_records_survive(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        _write_transactions(path)
+        records = list(WriteAheadLog.read_records(path))
+        assert len(records) == 8
+        assert records[0]["op"] == "insert"
+        assert records[0]["value"] == {"v": 1}
+
+    def test_missing_file_yields_nothing(self, tmp_path):
+        assert list(WriteAheadLog.read_records(str(tmp_path / "nope"))) == []
+
+    def test_shadow_central_log(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        log = CentralLog()
+        with WriteAheadLog(path) as wal:
+            log.subscribe(wal.log_entry)
+            log.append(1, LogOp.INSERT, "t", "k", {"v": 1})
+            log.append(1, LogOp.COMMIT)
+        records = list(WriteAheadLog.read_records(path))
+        assert [record["op"] for record in records] == ["insert", "commit"]
+
+
+class TestRecovery:
+    def test_redo_only_committed(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        _write_transactions(path)
+        log, redone, discarded = recover(path)
+        rows = RowView(log, subscribe=False)
+        rows.catch_up()
+        assert redone == 3
+        assert discarded == 2  # the aborted insert and the uncommitted tail
+        assert rows.get("t", "a") == {"v": 1}
+        assert rows.get("t", "b") == {"v": 3}
+        assert rows.get("t", "c") is None
+        assert rows.get("t", "d") is None
+
+    def test_torn_tail_is_dropped(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        _write_transactions(path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("deadbeef {\"half\": ")  # torn final record
+        log, redone, _ = recover(path)
+        assert redone == 3
+        assert log.last_lsn > 0
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        _write_transactions(path)
+        lines = open(path, encoding="utf-8").read().splitlines()
+        lines[2] = "00000000 {\"corrupt\": true}"
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+        with pytest.raises(WalError):
+            list(WriteAheadLog.read_records(path))
+
+    def test_replay_into_existing_log(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        _write_transactions(path)
+        log = CentralLog()
+        rows = RowView(log)
+        redone, _ = replay_into(path, log)
+        assert redone == 3
+        assert rows.count("t") == 2
+
+    def test_recovery_is_idempotent(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        _write_transactions(path)
+        first, _, _ = recover(path)
+        second, _, _ = recover(path)
+        rows_a = RowView(first, subscribe=False)
+        rows_a.catch_up()
+        rows_b = RowView(second, subscribe=False)
+        rows_b.catch_up()
+        assert dict(rows_a.scan("t")) == dict(rows_b.scan("t"))
+
+    def test_structural_ops_replay(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        with WriteAheadLog(path) as wal:
+            wal.append(1, 1, "create_namespace", "t")
+            wal.append(2, 1, "insert", "t", "k", {"v": 1})
+            wal.append(3, 1, "commit")
+            wal.append(4, 2, "drop_namespace", "t")
+        log, _, _ = recover(path)
+        rows = RowView(log, subscribe=False)
+        rows.catch_up()
+        assert rows.count("t") == 0
+
+
+class TestCrashSimulation:
+    def test_crash_discards_memory_wal_restores(self, tmp_path):
+        """The substitution documented in DESIGN.md §2: crash = drop all
+        in-memory state, recovery = WAL replay."""
+        path = str(tmp_path / "wal.log")
+        log = CentralLog()
+        rows = RowView(log)
+        with WriteAheadLog(path) as wal:
+            log.subscribe(wal.log_entry)
+            for i in range(50):
+                log.append(100 + i, LogOp.INSERT, "t", i, {"v": i})
+                log.append(100 + i, LogOp.COMMIT)
+            # txn 999 updates but crashes before commit
+            log.append(999, LogOp.UPDATE, "t", 0, {"v": -1}, before={"v": 0})
+        del log, rows  # crash
+
+        recovered_log, redone, discarded = recover(path)
+        rows = RowView(recovered_log, subscribe=False)
+        rows.catch_up()
+        assert redone == 50
+        assert discarded == 1
+        assert rows.get("t", 0) == {"v": 0}  # uncommitted update discarded
+        assert rows.count("t") == 50

@@ -1,0 +1,101 @@
+"""Survey table tests (experiments E2-E6): the slide tables round-trip."""
+
+import pytest
+
+from repro.survey import (
+    CLASSIFICATION,
+    FEATURE_MATRICES,
+    lookup,
+    render_all,
+    render_classification,
+    render_matrix,
+    systems_in_category,
+)
+
+
+class TestClassification:
+    def test_slide_32_categories(self):
+        assert set(CLASSIFICATION) == {
+            "relational", "column", "keyvalue", "document", "graph",
+            "object", "special",
+        }
+
+    def test_relational_is_biggest_set(self):
+        # Slide 34: "Biggest set".
+        sizes = {cat: len(systems) for cat, systems in CLASSIFICATION.items()
+                 if cat != "special"}
+        assert max(sizes, key=sizes.get) == "relational"
+
+    def test_membership_examples(self):
+        assert "ArangoDB" in systems_in_category("document")
+        assert "OrientDB" in systems_in_category("graph")
+        assert "Redis" in systems_in_category("special")
+
+
+class TestFeatureCells:
+    """Spot-check cells straight off the slides."""
+
+    def test_postgresql_row(self):
+        entry = lookup("PostgreSQL")
+        assert entry.scale_out == "N"       # the only N in that column
+        assert entry.indices == "inverted"
+        assert "JSON" in entry.formats
+
+    def test_only_postgres_lacks_scale_out(self):
+        entries = FEATURE_MATRICES["relational"]
+        no_scale = [e.name for e in entries if e.scale_out == "N"]
+        assert no_scale == ["PostgreSQL"]
+
+    def test_arangodb_native_multi_model(self):
+        entry = lookup("ArangoDB")
+        assert entry.formats == "key/value, document, graph"
+        assert "AQL" in entry.query_languages
+
+    def test_dynamodb_hashing(self):
+        assert lookup("DynamoDB").indices == "hashing"
+
+    def test_orientdb_models(self):
+        entry = lookup("OrientDB")
+        assert "Gremlin" in entry.query_languages
+        assert "ext. hashing" in entry.indices
+
+    def test_marklogic_formats(self):
+        assert "RDF" in lookup("MarkLogic").formats
+
+    def test_lookup_is_case_insensitive(self):
+        assert lookup("postgresql").name == "PostgreSQL"
+
+    def test_unknown_system(self):
+        assert lookup("MongoDB") is None  # not in the slide matrices
+
+    def test_every_matrix_system_is_classified(self):
+        classified = {
+            system
+            for systems in CLASSIFICATION.values()
+            for system in systems
+        }
+        for entries in FEATURE_MATRICES.values():
+            for entry in entries:
+                # Caché appears as "InterSystems Caché" in classification.
+                assert any(entry.name in system or system in entry.name
+                           for system in classified), entry.name
+
+
+class TestRendering:
+    def test_classification_table(self):
+        text = render_classification()
+        assert "PostgreSQL" in text
+        assert "Octopus DB" in text
+
+    @pytest.mark.parametrize("category", sorted(FEATURE_MATRICES))
+    def test_each_matrix_renders_aligned(self, category):
+        text = render_matrix(category)
+        lines = text.splitlines()
+        assert len(lines) == len(FEATURE_MATRICES[category]) + 2
+        # All rows equally wide (aligned columns).
+        assert len({len(line) for line in lines}) == 1
+
+    def test_render_all_mentions_every_slide(self):
+        text = render_all()
+        for slide in (32, 39, 47, 53, 59, 61, 67):
+            assert f"slide {slide}" in text

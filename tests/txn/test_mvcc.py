@@ -1,0 +1,257 @@
+"""MVCC transaction manager tests: isolation, conflicts, atomicity."""
+
+import pytest
+
+from repro.errors import (
+    InvalidTransactionStateError,
+    SerializationError,
+)
+from repro.storage.log import CentralLog, LogOp
+from repro.storage.views import RowView
+from repro.txn.manager import IsolationLevel, TransactionManager
+
+
+@pytest.fixture()
+def setup():
+    log = CentralLog()
+    rows = RowView(log)
+    manager = TransactionManager(log, lock_timeout=0.3)
+    return log, rows, manager
+
+
+class TestBasicLifecycle:
+    def test_commit_publishes_to_views(self, setup):
+        _log, rows, manager = setup
+        txn = manager.begin()
+        manager.write(txn, "t", "k", {"v": 1})
+        assert rows.get("t", "k") is None  # not visible before commit
+        manager.commit(txn)
+        assert rows.get("t", "k") == {"v": 1}
+
+    def test_abort_discards_writes(self, setup):
+        _log, rows, manager = setup
+        txn = manager.begin()
+        manager.write(txn, "t", "k", {"v": 1})
+        manager.abort(txn)
+        assert rows.get("t", "k") is None
+        assert manager.aborts == 1
+
+    def test_operations_on_finished_txn_raise(self, setup):
+        _log, _rows, manager = setup
+        txn = manager.begin()
+        manager.commit(txn)
+        with pytest.raises(InvalidTransactionStateError):
+            manager.write(txn, "t", "k", 1)
+        with pytest.raises(InvalidTransactionStateError):
+            manager.commit(txn)
+
+    def test_read_own_writes(self, setup):
+        _log, _rows, manager = setup
+        txn = manager.begin()
+        manager.write(txn, "t", "k", {"v": 1})
+        assert manager.read(txn, "t", "k") == {"v": 1}
+        manager.delete(txn, "t", "k")
+        assert manager.read(txn, "t", "k") is None
+
+    def test_atomic_multi_model_commit(self, setup):
+        """The cross-model atomicity claim of slide 23: one txn over four
+        namespaces commits everywhere or nowhere."""
+        _log, rows, manager = setup
+        txn = manager.begin()
+        manager.write(txn, "rel:customers", 1, {"name": "Mary"})
+        manager.write(txn, "kv:cart", "1", "order-1")
+        manager.write(txn, "doc:orders", "order-1", {"total": 66})
+        manager.write(txn, "graph:knows", "e1", {"_from": "1", "_to": "2"})
+        manager.abort(txn)
+        for namespace in ("rel:customers", "kv:cart", "doc:orders", "graph:knows"):
+            assert rows.count(namespace) == 0
+
+
+class TestSnapshotIsolation:
+    def test_repeatable_reads(self, setup):
+        _log, _rows, manager = setup
+        setup_txn = manager.begin()
+        manager.write(setup_txn, "t", "k", {"v": 1})
+        manager.commit(setup_txn)
+
+        reader = manager.begin()
+        assert manager.read(reader, "t", "k") == {"v": 1}
+
+        writer = manager.begin()
+        manager.write(writer, "t", "k", {"v": 2})
+        manager.commit(writer)
+
+        # Snapshot reader still sees the old version.
+        assert manager.read(reader, "t", "k") == {"v": 1}
+        manager.commit(reader)
+
+        late = manager.begin()
+        assert manager.read(late, "t", "k") == {"v": 2}
+
+    def test_first_committer_wins(self, setup):
+        _log, _rows, manager = setup
+        base = manager.begin()
+        manager.write(base, "t", "k", {"v": 0})
+        manager.commit(base)
+
+        txn_a = manager.begin()
+        txn_b = manager.begin()
+        manager.write(txn_a, "t", "k", {"v": "a"})
+        manager.write(txn_b, "t", "k", {"v": "b"})
+        manager.commit(txn_a)
+        with pytest.raises(SerializationError):
+            manager.commit(txn_b)
+        assert manager.conflicts == 1
+        assert manager.read_committed_latest("t", "k") == {"v": "a"}
+
+    def test_disjoint_writes_both_commit(self, setup):
+        _log, rows, manager = setup
+        txn_a = manager.begin()
+        txn_b = manager.begin()
+        manager.write(txn_a, "t", "a", 1)
+        manager.write(txn_b, "t", "b", 2)
+        manager.commit(txn_a)
+        manager.commit(txn_b)
+        assert rows.count("t") == 2
+
+    def test_snapshot_scan(self, setup):
+        _log, _rows, manager = setup
+        base = manager.begin()
+        for i in range(3):
+            manager.write(base, "t", f"k{i}", {"v": i})
+        manager.commit(base)
+
+        reader = manager.begin()
+        writer = manager.begin()
+        manager.write(writer, "t", "k3", {"v": 3})
+        manager.delete(writer, "t", "k0")
+        manager.commit(writer)
+
+        keys = [key for key, _value in manager.scan(reader, "t")]
+        assert keys == ["k0", "k1", "k2"]  # snapshot unaffected
+
+        fresh = manager.begin()
+        keys = [key for key, _value in manager.scan(fresh, "t")]
+        assert keys == ["k1", "k2", "k3"]
+
+    def test_scan_includes_own_writes(self, setup):
+        _log, _rows, manager = setup
+        txn = manager.begin()
+        manager.write(txn, "t", "mine", {"v": 1})
+        assert [key for key, _ in manager.scan(txn, "t")] == ["mine"]
+
+
+class TestReadCommitted:
+    def test_sees_concurrent_commits(self, setup):
+        _log, _rows, manager = setup
+        reader = manager.begin(IsolationLevel.READ_COMMITTED)
+        writer = manager.begin()
+        manager.write(writer, "t", "k", {"v": 1})
+        manager.commit(writer)
+        # Non-repeatable read is allowed at this level.
+        assert manager.read(reader, "t", "k") == {"v": 1}
+
+
+class TestSerializable:
+    def test_write_skew_prevented(self, setup):
+        """Classic write-skew: two doctors both read the on-call count and
+        both sign off.  Snapshot isolation allows it; SERIALIZABLE (2PL)
+        must not."""
+        _log, _rows, manager = setup
+        base = manager.begin()
+        manager.write(base, "oncall", "alice", True)
+        manager.write(base, "oncall", "bob", True)
+        manager.commit(base)
+
+        txn_a = manager.begin(IsolationLevel.SERIALIZABLE)
+        txn_b = manager.begin(IsolationLevel.SERIALIZABLE)
+        assert manager.read(txn_a, "oncall", "alice") is True
+        assert manager.read(txn_a, "oncall", "bob") is True
+        # txn_b's read of alice conflicts with txn_a's later write: under
+        # 2PL one of the transactions fails to make progress.
+        assert manager.read(txn_b, "oncall", "bob") is True
+        manager.write(txn_a, "oncall", "alice", False)
+        from repro.errors import DeadlockError, LockTimeoutError
+
+        with pytest.raises((DeadlockError, LockTimeoutError)):
+            manager.read(txn_b, "oncall", "alice")
+            manager.write(txn_b, "oncall", "bob", False)
+            # If neither read nor write raised we would have write skew.
+            raise AssertionError("write skew was not prevented")
+
+    def test_serializable_simple_commit(self, setup):
+        _log, rows, manager = setup
+        txn = manager.begin(IsolationLevel.SERIALIZABLE)
+        manager.write(txn, "t", "k", 1)
+        manager.commit(txn)
+        assert rows.get("t", "k") == 1
+
+
+class TestRunHelper:
+    def test_run_commits(self, setup):
+        _log, rows, manager = setup
+
+        def work(txn):
+            manager.write(txn, "t", "k", {"v": 1})
+            return "done"
+
+        assert manager.run(work) == "done"
+        assert rows.get("t", "k") == {"v": 1}
+
+    def test_run_aborts_on_exception(self, setup):
+        _log, rows, manager = setup
+
+        def work(txn):
+            manager.write(txn, "t", "k", {"v": 1})
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            manager.run(work)
+        assert rows.get("t", "k") is None
+
+    def test_run_retries_conflicts(self, setup):
+        _log, _rows, manager = setup
+        base = manager.begin()
+        manager.write(base, "t", "counter", 0)
+        manager.commit(base)
+        attempts = []
+
+        def work(txn):
+            attempts.append(1)
+            current = manager.read(txn, "t", "counter")
+            if len(attempts) == 1:
+                # Simulate a concurrent bump that wins the race.
+                rival = manager.begin()
+                manager.write(rival, "t", "counter", current + 10)
+                manager.commit(rival)
+            manager.write(txn, "t", "counter", current + 1, LogOp.UPDATE)
+
+        manager.run(work, retries=2)
+        assert manager.read_committed_latest("t", "counter") == 11
+
+
+class TestGarbageCollection:
+    def test_gc_drops_invisible_versions(self, setup):
+        _log, _rows, manager = setup
+        for i in range(5):
+            txn = manager.begin()
+            manager.write(txn, "t", "k", {"v": i}, LogOp.UPDATE)
+            manager.commit(txn)
+        assert manager.version_count == 5
+        dropped = manager.garbage_collect()
+        assert dropped == 4
+        assert manager.read_committed_latest("t", "k") == {"v": 4}
+
+    def test_gc_respects_active_snapshots(self, setup):
+        _log, _rows, manager = setup
+        txn = manager.begin()
+        manager.write(txn, "t", "k", {"v": 0})
+        manager.commit(txn)
+        reader = manager.begin()
+        for i in range(1, 4):
+            writer = manager.begin()
+            manager.write(writer, "t", "k", {"v": i}, LogOp.UPDATE)
+            manager.commit(writer)
+        manager.garbage_collect()
+        # The reader's snapshot version must survive.
+        assert manager.read(reader, "t", "k") == {"v": 0}

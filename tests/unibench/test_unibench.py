@@ -1,0 +1,231 @@
+"""UniBench tests: generator determinism, workload correctness, runner."""
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.unibench import (
+    build_multimodel,
+    build_polyglot,
+    generate,
+    new_order_transaction,
+    render_report,
+    run_all,
+    workload_a_multimodel,
+    workload_a_polyglot,
+    workload_b_api,
+    workload_b_mmql,
+    workload_b_polyglot,
+    workload_c_multimodel,
+    workload_c_polyglot,
+)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate(scale_factor=1, seed=42)
+
+
+@pytest.fixture(scope="module")
+def db(data):
+    return build_multimodel(data)
+
+
+@pytest.fixture(scope="module")
+def app(data):
+    return build_polyglot(data)
+
+
+class TestGenerator:
+    def test_deterministic(self, data):
+        again = generate(scale_factor=1, seed=42)
+        assert again.customers == data.customers
+        assert again.orders == data.orders
+        assert again.knows_edges == data.knows_edges
+
+    def test_seed_changes_data(self, data):
+        other = generate(scale_factor=1, seed=1)
+        assert other.orders != data.orders
+
+    def test_scaling(self):
+        small = generate(1).summary()
+        big = generate(3).summary()
+        assert big["customers"] == 3 * small["customers"]
+        assert big["orders"] == 3 * small["orders"]
+
+    def test_referential_integrity(self, data):
+        customer_ids = {row["id"] for row in data.customers}
+        product_ids = {product["product_no"] for product in data.products}
+        for order in data.orders:
+            assert order["customer_id"] in customer_ids
+            for line in order["Orderlines"]:
+                assert line["Product_no"] in product_ids
+        for source, target in data.knows_edges:
+            assert int(source) in customer_ids
+            assert int(target) in customer_ids
+        for customer_id, order_no in data.carts.items():
+            assert int(customer_id) in customer_ids
+            assert any(order["_key"] == order_no for order in data.orders)
+
+    def test_order_totals(self, data):
+        for order in data.orders[:20]:
+            expected = sum(
+                line["Price"] * line["Quantity"] for line in order["Orderlines"]
+            )
+            assert order["total"] == expected
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            generate(0)
+
+
+class TestLoaders:
+    def test_multimodel_counts(self, data, db):
+        assert db.table("customers").count() == len(data.customers)
+        assert db.collection("orders").count() == len(data.orders)
+        assert db.graph("social").edge_count() == len(data.knows_edges)
+        assert db.bucket("cart").count() == len(data.carts)
+        assert db.triple_store("vendors").count_triples() == len(data.vendor_triples)
+
+    def test_indexes_created(self, db):
+        names = db.context.indexes.names()
+        assert any("Order_no" in name for name in names)
+        assert "feedback_text" in names
+
+    def test_polyglot_counts(self, data, app):
+        assert app.customers.count() == len(data.customers)
+        assert app.orders.count() == len(data.orders)
+
+
+class TestWorkloadA:
+    def test_multimodel_reads(self, db, data):
+        result = workload_a_multimodel(db, data, reads=100)
+        assert result["reads"] == 100
+        assert result["hits"] > 50
+
+    def test_polyglot_pays_round_trips(self, app, data):
+        result = workload_a_polyglot(app, data, reads=100)
+        assert result["round_trips"] == 100
+        assert result["hits"] > 50
+
+    def test_same_seed_same_hits(self, db, app, data):
+        mm = workload_a_multimodel(db, data, reads=100, seed=3)
+        pg = workload_a_polyglot(app, data, reads=100, seed=3)
+        assert mm["hits"] == pg["hits"]
+
+
+class TestWorkloadB:
+    def test_q1_three_way_agreement(self, db, app):
+        mmql = sorted(workload_b_mmql(db, "Q1").rows)
+        api = sorted(workload_b_api(db))
+        polyglot = sorted(workload_b_polyglot(app)["products"])
+        assert mmql == api == polyglot
+
+    def test_q1_uses_indexes(self, db):
+        result = workload_b_mmql(db, "Q1")
+        assert result.stats["index_lookups"] > 0
+
+    def test_q2_city_join(self, db, data):
+        result = workload_b_mmql(db, "Q2")
+        prague_ids = {
+            row["id"] for row in data.customers if row["city"] == "Prague"
+        }
+        expected = sum(
+            1 for order in data.orders if order["customer_id"] in prague_ids
+        )
+        assert len(result.rows) == expected
+
+    def test_q3_spend_by_city(self, db, data):
+        result = workload_b_mmql(db, "Q3")
+        by_city = {row["city"]: row["spend"] for row in result.rows}
+        city_of = {row["id"]: row["city"] for row in data.customers}
+        expected = {}
+        for order in data.orders:
+            expected[city_of[order["customer_id"]]] = (
+                expected.get(city_of[order["customer_id"]], 0) + order["total"]
+            )
+        assert by_city == expected
+
+    def test_q4_positive_feedback(self, db, data):
+        result = workload_b_mmql(db, "Q4")
+        positive = {
+            review["product_no"] for review in data.feedback if review["positive"]
+        }
+        books = {
+            product["product_no"]
+            for product in data.products
+            if product["category"] == "Book"
+        }
+        assert {row["product"] for row in result.rows} == positive & books
+
+    def test_q5_two_hop_vendors(self, db):
+        result = workload_b_mmql(db, "Q5")
+        for row in result.rows:
+            assert row["vendor"].startswith("vendor")
+
+    def test_polyglot_round_trips_exceed_row_count(self, app):
+        outcome = workload_b_polyglot(app)
+        assert outcome["round_trips"] > 1
+
+
+class TestWorkloadC:
+    def test_new_order_transaction_is_atomic(self, data):
+        db = build_multimodel(data, with_indexes=False)
+        customer = db.table("customers").get(1)
+        before_credit = customer["credit_limit"]
+        order = {
+            "_key": "t1",
+            "Order_no": "t1",
+            "customer_id": 1,
+            "total": 100,
+            "Orderlines": [{"Product_no": data.products[0]["product_no"], "Price": 100, "Quantity": 1}],
+        }
+        with db.transaction() as txn:
+            new_order_transaction(db, 1, order, txn=txn)
+        assert db.collection("orders").get("t1") is not None
+        assert db.bucket("cart").get("1") == "t1"
+        assert db.table("customers").get(1)["credit_limit"] == before_credit - 100
+
+    def test_abort_rolls_back_everything(self, data):
+        db = build_multimodel(data, with_indexes=False)
+        order = {
+            "_key": "t2", "Order_no": "t2", "customer_id": 2, "total": 10,
+            "Orderlines": [],
+        }
+        cart_before = db.bucket("cart").get("2")
+        txn = db.begin()
+        new_order_transaction(db, 2, order, txn=txn)
+        db.abort(txn)
+        assert db.collection("orders").get("t2") is None
+        assert db.bucket("cart").get("2") == cart_before
+
+    def test_contention_causes_aborts_not_violations(self, data):
+        db = build_multimodel(data, with_indexes=False)
+        result = workload_c_multimodel(db, data, transactions=40, hot_customers=3)
+        assert result["commits"] + result["aborts"] == 40
+        assert result["aborts"] > 0
+        assert result["violations"] == 0
+
+    def test_polyglot_crashes_cause_violations(self, data):
+        app = build_polyglot(data)
+        result = workload_c_polyglot(app, data, transactions=40, crash_rate=0.4)
+        assert result["crashed"] > 0
+        assert result["violations"] > 0
+
+    def test_polyglot_no_crashes_no_violations(self, data):
+        app = build_polyglot(data)
+        result = workload_c_polyglot(app, data, transactions=20, crash_rate=0.0)
+        assert result["crashed"] == 0
+        assert result["violations"] == 0
+
+
+class TestRunner:
+    def test_run_all_and_report(self):
+        results = run_all(scale_factor=1, seed=42)
+        assert results["B"]["Q1"]["agreement"] is True
+        assert results["C"]["multimodel"]["violations"] == 0
+        assert results["C"]["polyglot"]["violations"] > 0
+        report = render_report(results)
+        assert "Workload A" in report
+        assert "Workload B" in report
+        assert "Workload C" in report
+        assert "Q5" in report

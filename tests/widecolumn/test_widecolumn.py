@@ -1,0 +1,192 @@
+"""Wide-column tests: the Cassandra examples of slides 44-46, verbatim."""
+
+import json
+
+import pytest
+
+from repro import MultiModelDB
+from repro.core.context import EngineContext
+from repro.errors import ConstraintViolationError, PrimaryKeyError, SchemaError
+from repro.widecolumn import CqlColumn, UserDefinedType, WideColumnTable
+
+# CREATE TYPE myspace.orderline (product_no text, product_name text, price float)
+ORDERLINE = UserDefinedType(
+    "orderline",
+    (("product_no", "text"), ("product_name", "text"), ("price", "float")),
+)
+# CREATE TYPE myspace.myorder (order_no text, orderlines list<frozen<orderline>>)
+MYORDER = UserDefinedType(
+    "myorder",
+    (("order_no", "text"), ("orderlines", ("list", ORDERLINE))),
+)
+
+CUSTOMER_COLUMNS = [
+    CqlColumn("id", "int"),
+    CqlColumn("name", "text"),
+    CqlColumn("address", "text"),
+    CqlColumn("orders", ("list", MYORDER)),
+]
+
+MARY_JSON = json.dumps(
+    {
+        "id": 1,
+        "name": "Mary",
+        "address": "Prague",
+        "orders": [
+            {
+                "order_no": "0c6df508",
+                "orderlines": [
+                    {"product_no": "2724f", "product_name": "Toy", "price": 66},
+                    {"product_no": "3424g", "product_name": "Book", "price": 40},
+                ],
+            }
+        ],
+    }
+)
+
+
+@pytest.fixture()
+def customers():
+    table = WideColumnTable(
+        EngineContext(), "customer", CUSTOMER_COLUMNS, primary_key="id"
+    )
+    table.insert_json(MARY_JSON)
+    return table
+
+
+class TestSchemaDefinition:
+    def test_duplicate_columns(self):
+        with pytest.raises(SchemaError):
+            WideColumnTable(
+                EngineContext(), "t",
+                [CqlColumn("a", "int"), CqlColumn("a", "text")],
+                primary_key="a",
+            )
+
+    def test_pk_must_be_column(self):
+        with pytest.raises(SchemaError):
+            WideColumnTable(
+                EngineContext(), "t", [CqlColumn("a", "int")], primary_key="zz"
+            )
+
+
+class TestSlide45InsertJson:
+    def test_nested_udt_roundtrip(self, customers):
+        row = customers.get(1)
+        assert row["name"] == "Mary"
+        assert row["orders"][0]["orderlines"][1]["product_name"] == "Book"
+        assert row["orders"][0]["orderlines"][0]["price"] == 66.0
+
+    def test_schema_must_be_defined(self, customers):
+        # slide 41: "JSON format (schema of tables must be defined)"
+        with pytest.raises(SchemaError):
+            customers.insert_json('{"id": 9, "unknown_column": 1}')
+
+    def test_udt_field_validation(self, customers):
+        bad = {
+            "id": 9,
+            "orders": [{"order_no": "x", "orderlines": [{"price": "cheap"}]}],
+        }
+        with pytest.raises(ConstraintViolationError):
+            customers.insert(bad)
+
+    def test_udt_unknown_field(self, customers):
+        with pytest.raises(ConstraintViolationError):
+            customers.insert({"id": 9, "orders": [{"bogus": 1}]})
+
+    def test_type_checks(self, customers):
+        with pytest.raises(ConstraintViolationError):
+            customers.insert({"id": "not-int"})
+        with pytest.raises(ConstraintViolationError):
+            customers.insert({"id": 9, "name": 42})
+
+    def test_primary_key_required_and_unique(self, customers):
+        with pytest.raises(ConstraintViolationError):
+            customers.insert({"name": "NoKey"})
+        with pytest.raises(PrimaryKeyError):
+            customers.insert_json(MARY_JSON)
+
+    def test_bad_json_payload(self, customers):
+        with pytest.raises(SchemaError):
+            customers.insert_json("{not json")
+
+
+class TestSlide46SelectJson:
+    def test_exact_slide_output(self):
+        # CREATE TABLE myspace.users (id text PRIMARY KEY, age int, country text)
+        users = WideColumnTable(
+            EngineContext(),
+            "users",
+            [CqlColumn("id", "text"), CqlColumn("age", "int"), CqlColumn("country", "text")],
+            primary_key="id",
+        )
+        users.insert({"id": "Irena", "age": 37, "country": "CZ"})
+        assert users.select_json() == ['{"id": "Irena", "age": 37, "country": "CZ"}']
+
+    def test_sparse_columns_become_null(self, customers):
+        customers.insert({"id": 2, "name": "John"})  # no address, no orders
+        rows = [json.loads(text) for text in customers.select_json()]
+        john = next(row for row in rows if row["id"] == 2)
+        assert john["address"] is None
+        assert john["orders"] is None
+
+    def test_where(self, customers):
+        customers.insert({"id": 2, "name": "John", "address": "Helsinki"})
+        rows = customers.select_json(where=lambda row: row.get("address") == "Prague")
+        assert len(rows) == 1
+        assert json.loads(rows[0])["name"] == "Mary"
+
+
+class TestColumnarPath:
+    def test_column_values_via_shared_column_view(self, customers):
+        customers.insert({"id": 2, "name": "John"})
+        values = dict(customers.column_values("name"))
+        assert values == {1: "Mary", 2: "John"}
+
+    def test_sparse_column_skips_unset(self, customers):
+        customers.insert({"id": 2, "name": "John"})
+        assert dict(customers.column_values("address")) == {1: "Prague"}
+
+    def test_unknown_column(self, customers):
+        with pytest.raises(SchemaError):
+            list(customers.column_values("ghost"))
+
+
+class TestEngineIntegration:
+    def test_catalog_and_mmql(self):
+        db = MultiModelDB()
+        users = db.create_wide_table(
+            "users",
+            [CqlColumn("id", "text"), CqlColumn("age", "int")],
+            primary_key="id",
+        )
+        users.insert({"id": "a", "age": 30})
+        users.insert({"id": "b", "age": 40})
+        result = db.query("FOR u IN users FILTER u.age > 35 RETURN u.id")
+        assert result.rows == ["b"]
+        assert db.catalog()["users"] == "wide"
+
+    def test_transactional(self):
+        db = MultiModelDB()
+        users = db.create_wide_table(
+            "users", [CqlColumn("id", "text")], primary_key="id"
+        )
+        txn = db.begin()
+        users.insert({"id": "x"}, txn=txn)
+        assert users.get("x") is None
+        db.commit(txn)
+        assert users.get("x") == {"id": "x"}
+
+    def test_column_values_inside_txn(self):
+        db = MultiModelDB()
+        users = db.create_wide_table(
+            "users",
+            [CqlColumn("id", "text"), CqlColumn("age", "int")],
+            primary_key="id",
+        )
+        users.insert({"id": "a", "age": 1})
+        txn = db.begin()
+        users.insert({"id": "b", "age": 2}, txn=txn)
+        assert dict(users.column_values("age", txn=txn)) == {"a": 1, "b": 2}
+        db.abort(txn)
+        assert dict(users.column_values("age")) == {"a": 1}
