@@ -36,11 +36,16 @@ _HELP = """\
 MMQL shell commands:
   .help                 this message
   .catalog              list collections/tables/graphs/buckets/stores
-  .dbstats              record counts, indexes, log and txn counters
+  .dbstats              record counts, indexes, log, txn and metric counters
   .explain <query>      show the optimized plan without executing
   .advise <query>       recommend indexes for a query's predicates
   .stats                statistics of the last query
+  .metrics [json]       dump the engine metrics registry (Prometheus text)
+  .trace [on|off]       print a span tree after each query
+  .slowlog [MS|off]     show the slow-query log / set its threshold in ms
   .quit                 exit
+EXPLAIN ANALYZE <query> executes the query and prints the physical plan
+annotated with per-operator rows and wall-time.
 Anything else is executed as an MMQL query; rows print as JSON lines."""
 
 
@@ -69,6 +74,8 @@ def run_statement(db: MultiModelDB, statement: str, out: IO, state: dict) -> Non
             print(f"  {name:<20} {kind}", file=out)
         return
     if statement == ".dbstats":
+        from repro.obs import metrics as obs_metrics
+
         stats = db.stats()
         for name, entry in stats["objects"].items():
             print(
@@ -78,14 +85,94 @@ def run_statement(db: MultiModelDB, statement: str, out: IO, state: dict) -> Non
         print(f"  indexes: {len(stats['indexes'])}", file=out)
         print(f"  log entries: {stats['log_entries']}", file=out)
         print(f"  transactions: {stats['transactions']}", file=out)
+        registry = obs_metrics.REGISTRY
+        print("  metrics:", file=out)
+        for metric_name in (
+            "queries_total",
+            "query_rows_returned_total",
+            "index_lookups_total",
+            "model_ops_total",
+            "txn_commits_total",
+            "wal_appends_total",
+        ):
+            print(f"    {metric_name}: {registry.total(metric_name)}", file=out)
         return
     if statement == ".stats":
         stats = state.get("last_stats")
         if stats is None:
-            print("  no query has run yet", file=out)
+            print(
+                "  no query has run yet — run one and .stats will show its "
+                "scan/index/write counters",
+                file=out,
+            )
         else:
             for key, value in stats.items():
                 print(f"  {key}: {value}", file=out)
+        return
+    if statement.startswith(".metrics"):
+        from repro.obs import export as obs_export
+        from repro.obs import metrics as obs_metrics
+
+        argument = statement[len(".metrics"):].strip().lower()
+        if len(obs_metrics.REGISTRY) == 0:
+            print("  no metrics recorded yet", file=out)
+        elif argument == "json":
+            print(obs_export.json_dump(), file=out)
+        else:
+            print(obs_export.prometheus_text(), file=out)
+        return
+    if statement.startswith(".trace"):
+        from repro.obs import tracing
+
+        argument = statement[len(".trace"):].strip().lower()
+        if argument == "on":
+            tracing.enable()
+            print("  tracing on — span trees print after each query", file=out)
+        elif argument == "off":
+            tracing.disable()
+            print("  tracing off", file=out)
+        elif argument == "":
+            status = "on" if tracing.is_enabled() else "off"
+            print(f"  tracing is {status}; usage: .trace on|off", file=out)
+        else:
+            print("  usage: .trace on|off", file=out)
+        return
+    if statement.startswith(".slowlog"):
+        from repro.obs import slowlog
+
+        argument = statement[len(".slowlog"):].strip().lower()
+        if argument == "off":
+            slowlog.set_threshold(None)
+            slowlog.clear()
+            print("  slow-query log off", file=out)
+        elif argument:
+            try:
+                millis = float(argument)
+            except ValueError:
+                print("  usage: .slowlog [threshold-ms|off]", file=out)
+                return
+            slowlog.set_threshold(millis / 1000.0)
+            print(f"  slow-query log on: threshold {millis:g} ms", file=out)
+        else:
+            threshold = slowlog.get_threshold()
+            if threshold is None:
+                print(
+                    "  slow-query log is off — .slowlog <ms> to enable",
+                    file=out,
+                )
+                return
+            entries = slowlog.entries()
+            print(
+                f"  threshold {threshold * 1000:g} ms, "
+                f"{len(entries)} slow quer{'y' if len(entries) == 1 else 'ies'}",
+                file=out,
+            )
+            for entry in entries:
+                print(
+                    f"  {entry['seconds'] * 1000:8.1f} ms  "
+                    f"{entry['rows']:>6} rows  {entry['query']}",
+                    file=out,
+                )
         return
     if statement.startswith(".explain"):
         query_text = statement[len(".explain"):].strip()
@@ -122,14 +209,24 @@ def run_statement(db: MultiModelDB, statement: str, out: IO, state: dict) -> Non
     except ReproError as error:
         print(f"error: {error}", file=out)
         return
-    for row in result.rows:
-        print(json.dumps(row, default=str), file=out)
+    if result.analyzed is not None:
+        # EXPLAIN ANALYZE: the annotated plan is the output, not the rows.
+        print(result.analyzed, file=out)
+    else:
+        for row in result.rows:
+            print(json.dumps(row, default=str), file=out)
     state["last_stats"] = result.stats
     print(
         f"-- {len(result.rows)} row(s); scanned {result.stats['scanned']}, "
         f"index lookups {result.stats['index_lookups']}",
         file=out,
     )
+    from repro.obs import tracing
+
+    if tracing.is_enabled():
+        trace = tracing.last_trace()
+        if trace is not None:
+            print(tracing.format_span(trace), file=out)
 
 
 def repl(db: MultiModelDB, source: IO, out: IO, prompt: str = "mmql> ") -> None:

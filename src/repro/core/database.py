@@ -27,6 +27,8 @@ from repro.document.store import DocumentCollection
 from repro.errors import DuplicateCollectionError, UnknownCollectionError
 from repro.graph.store import PropertyGraph
 from repro.keyvalue.store import KeyValueBucket
+from repro.obs import metrics as obs_metrics
+from repro.obs.instrument import instrument_store
 from repro.rdf.store import TripleStore
 from repro.relational.schema import TableSchema
 from repro.relational.table import Table
@@ -54,6 +56,10 @@ class MultiModelDB:
             raise DuplicateCollectionError(
                 f"{name!r} already exists (as a {existing_kind})"
             )
+        # Every catalog object reports per-model op counts/latencies into
+        # the metrics registry; the wrappers no-op when observability is
+        # disabled, so registration-time wrapping is unconditional.
+        instrument_store(kind, store)
         self._catalog[name] = (kind, store)
         return store
 
@@ -200,6 +206,11 @@ class MultiModelDB:
             },
         }
 
+    def metrics(self) -> dict:
+        """Snapshot of the engine-wide observability registry
+        (:data:`repro.obs.metrics.REGISTRY`)."""
+        return obs_metrics.REGISTRY.snapshot()
+
     # --------------------------------------------------------- transactions --
 
     def begin(
@@ -244,11 +255,16 @@ class MultiModelDB:
         text: str,
         bind_vars: Optional[dict] = None,
         txn: Optional[Transaction] = None,
+        analyze: bool = False,
     ):
-        """Run an MMQL query; returns a :class:`repro.query.executor.Result`."""
+        """Run an MMQL query; returns a :class:`repro.query.executor.Result`.
+
+        ``analyze=True`` — or a leading ``EXPLAIN ANALYZE`` in *text* —
+        executes with per-operator probes and attaches the annotated plan
+        (``result.analyzed`` / ``result.op_stats``)."""
         from repro.query.engine import run_query
 
-        return run_query(self, text, bind_vars or {}, txn)
+        return run_query(self, text, bind_vars or {}, txn, analyze=analyze)
 
     def explain(self, text: str, bind_vars: Optional[dict] = None) -> str:
         """The optimized plan as text, without executing."""

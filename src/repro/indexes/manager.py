@@ -12,6 +12,7 @@ from typing import Any, Optional
 
 from repro.errors import DuplicateCollectionError, UnknownIndexError
 from repro.indexes.base import Index
+from repro.obs import metrics as obs_metrics
 from repro.indexes.bitmap import BitmapIndex, BitSliceIndex
 from repro.indexes.btree import BPlusTree
 from repro.indexes.fulltext import FullTextIndex
@@ -78,6 +79,8 @@ class IndexManager:
                 structure.insert(indexed, key)
         self._by_name[index_name] = view
         self._by_namespace.setdefault(namespace, []).append(view)
+        if obs_metrics.ENABLED:
+            obs_metrics.counter("indexes_created_total", kind=kind).inc()
         return view
 
     def drop_index(self, name: str) -> None:
@@ -122,7 +125,15 @@ class IndexManager:
             and getattr(view.index.capabilities, "range" if capability == "range" else capability, False)
         ]
         if not candidates:
+            # Access-path miss: the optimizer asked and got nothing — the
+            # scan that follows is exactly what an index would have saved.
+            if obs_metrics.ENABLED:
+                obs_metrics.counter(
+                    "index_access_path_total", outcome="miss"
+                ).inc()
             return None
         if capability == "point":
             candidates.sort(key=lambda view: 0 if view.index.kind == "hash" else 1)
+        if obs_metrics.ENABLED:
+            obs_metrics.counter("index_access_path_total", outcome="hit").inc()
         return candidates[0]

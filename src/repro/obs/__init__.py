@@ -1,0 +1,59 @@
+"""Engine-wide observability: metrics registry, span tracing, exporters,
+slow-query log, and store instrumentation.
+
+Entry points:
+
+* :mod:`repro.obs.metrics` — counters/gauges/histograms in the global
+  :data:`~repro.obs.metrics.REGISTRY`; ``metrics.disable()`` turns every
+  instrumentation site in the engine into a near-zero-cost no-op.
+* :mod:`repro.obs.tracing` — nested wall-time spans (off by default;
+  the shell's ``.trace on`` prints trees after each query).
+* :mod:`repro.obs.export` — Prometheus text and JSON exposition.
+* :mod:`repro.obs.slowlog` — bounded ring of queries over a threshold.
+* :mod:`repro.obs.instrument` — per-model store method wrapping.
+
+See ``docs/OBSERVABILITY.md`` for the full tour.
+"""
+
+from repro.obs import export, instrument, metrics, slowlog, tracing
+from repro.obs.export import json_dump, prometheus_text
+from repro.obs.instrument import instrument_store
+from repro.obs.metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    gauge,
+    histogram,
+    time_block,
+    timed_call,
+)
+from repro.obs.tracing import Span, Tracer, format_span, last_trace, span
+
+__all__ = [
+    "metrics",
+    "tracing",
+    "export",
+    "slowlog",
+    "instrument",
+    "REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "counter",
+    "gauge",
+    "histogram",
+    "time_block",
+    "timed_call",
+    "Span",
+    "Tracer",
+    "span",
+    "last_trace",
+    "format_span",
+    "prometheus_text",
+    "json_dump",
+    "instrument_store",
+]

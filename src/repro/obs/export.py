@@ -1,0 +1,70 @@
+"""Exporters: Prometheus text exposition and JSON dump of the registry.
+
+Both are pure functions over a :class:`repro.obs.metrics.MetricsRegistry`
+so they can be pointed at any registry (tests use private ones) and wired
+to any transport — the shell's ``.metrics`` command, an HTTP endpoint, or
+a file.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+
+__all__ = ["prometheus_text", "json_dump"]
+
+
+def _label_text(labels: tuple, extra: Optional[tuple] = None) -> str:
+    pairs = list(labels)
+    if extra:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(f'{key}="{value}"' for key, value in pairs)
+    return "{" + inner + "}"
+
+
+def prometheus_text(registry: Optional[MetricsRegistry] = None) -> str:
+    """Prometheus-style text exposition of every metric in *registry*.
+
+    Histograms are rendered as ``_count``/``_sum`` plus ``quantile`` series
+    (summary flavour — the engine computes quantiles, not buckets).
+    """
+    registry = registry if registry is not None else REGISTRY
+    lines: list[str] = []
+    seen_types: set[str] = set()
+    for metric in registry.collect():
+        if metric.kind == "histogram":
+            if metric.name not in seen_types:
+                lines.append(f"# TYPE {metric.name} summary")
+                seen_types.add(metric.name)
+            for quantile, value in (
+                ("0.5", metric.quantile(0.50)),
+                ("0.95", metric.quantile(0.95)),
+                ("0.99", metric.quantile(0.99)),
+            ):
+                lines.append(
+                    f"{metric.name}"
+                    f"{_label_text(metric.labels, ('quantile', quantile))} "
+                    f"{value:.9g}"
+                )
+            lines.append(
+                f"{metric.name}_count{_label_text(metric.labels)} {metric.count}"
+            )
+            lines.append(
+                f"{metric.name}_sum{_label_text(metric.labels)} {metric.sum:.9g}"
+            )
+        else:
+            if metric.name not in seen_types:
+                lines.append(f"# TYPE {metric.name} {metric.kind}")
+                seen_types.add(metric.name)
+            lines.append(f"{metric.name}{_label_text(metric.labels)} {metric.value}")
+    return "\n".join(lines)
+
+
+def json_dump(registry: Optional[MetricsRegistry] = None, indent: int = 2) -> str:
+    """The registry snapshot as a JSON document."""
+    registry = registry if registry is not None else REGISTRY
+    return json.dumps(registry.snapshot(), indent=indent, default=str, sort_keys=True)

@@ -1,0 +1,309 @@
+"""Dependency-free metrics primitives: counters, gauges, histograms.
+
+The whole engine reports into one process-wide :class:`MetricsRegistry`
+(:data:`REGISTRY`) so that query, storage, index and transaction counters
+land in a single place — the prerequisite for attributing cost across the
+relational/document/graph/KV/XML paths of a multi-model engine.
+
+Design constraints:
+
+* **Near-zero cost when disabled.** Every instrumentation site guards on
+  the module-level :data:`ENABLED` flag (one attribute load + truth test)
+  and performs no string formatting, no timestamping and no allocation on
+  the disabled path.
+* **Stable handles.** ``registry.counter(name, **labels)`` is
+  get-or-create: modules grab their handles once at import time and
+  :meth:`MetricsRegistry.reset` zeroes values without invalidating them.
+* **Bounded memory.** Histograms keep running count/sum/min/max exactly
+  and a fixed-size ring of recent samples for the p50/p95/p99 quantiles.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Iterator, Optional
+
+__all__ = [
+    "ENABLED",
+    "enable",
+    "disable",
+    "is_enabled",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "counter",
+    "gauge",
+    "histogram",
+    "timed_call",
+    "time_block",
+]
+
+#: Global kill switch. Instrumentation sites check ``metrics.ENABLED``
+#: before touching any metric object.
+ENABLED = True
+
+
+def enable() -> None:
+    """Turn instrumentation on (the default)."""
+    global ENABLED
+    ENABLED = True
+
+
+def disable() -> None:
+    """Turn instrumentation off; all guarded sites become no-ops."""
+    global ENABLED
+    ENABLED = False
+
+
+def is_enabled() -> bool:
+    return ENABLED
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    __slots__ = ("name", "labels", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: tuple = ()):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return f"<Counter {self.name}{dict(self.labels)} = {self.value}>"
+
+
+class Gauge:
+    """Value that can go up and down (active transactions, memtable size)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: tuple = ()):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def inc(self, amount=1) -> None:
+        self.value += amount
+
+    def dec(self, amount=1) -> None:
+        self.value -= amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return f"<Gauge {self.name}{dict(self.labels)} = {self.value}>"
+
+
+class Histogram:
+    """Streaming distribution: exact count/sum/min/max plus a bounded ring
+    of recent samples from which p50/p95/p99 are computed on demand.
+
+    The ring (default 4096 samples) keeps memory constant under any load;
+    quantiles therefore describe *recent* behaviour, which is what a
+    slow-query investigation wants anyway.
+    """
+
+    __slots__ = ("name", "labels", "count", "sum", "min", "max",
+                 "_samples", "_capacity", "_cursor")
+
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: tuple = (), capacity: int = 4096):
+        self.name = name
+        self.labels = labels
+        self._capacity = max(int(capacity), 1)
+        self.reset()
+
+    def reset(self) -> None:
+        self.count = 0
+        self.sum = 0.0
+        self.min = None
+        self.max = None
+        self._samples: list = []
+        self._cursor = 0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if len(self._samples) < self._capacity:
+            self._samples.append(value)
+        else:
+            # Overwrite oldest: a ring of the most recent `capacity` samples.
+            self._samples[self._cursor] = value
+            self._cursor = (self._cursor + 1) % self._capacity
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Linear-interpolated quantile over the retained samples
+        (``q`` in [0, 1]); 0.0 when nothing has been observed."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        position = q * (len(ordered) - 1)
+        lower = int(position)
+        upper = min(lower + 1, len(ordered) - 1)
+        fraction = position - lower
+        return ordered[lower] * (1 - fraction) + ordered[upper] * fraction
+
+    def percentiles(self) -> dict:
+        return {
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<Histogram {self.name}{dict(self.labels)} "
+            f"count={self.count} mean={self.mean:.6f}>"
+        )
+
+
+class MetricsRegistry:
+    """Process-wide catalog of metrics, keyed by (name, sorted labels)."""
+
+    def __init__(self):
+        self._metrics: dict[tuple, Any] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, factory: Callable, name: str, labels: dict):
+        key = (name, tuple(sorted(labels.items())))
+        metric = self._metrics.get(key)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.get(key)
+                if metric is None:
+                    metric = factory(name, key[1])
+                    self._metrics[key] = metric
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        return self._get_or_create(Histogram, name, labels)
+
+    def collect(self) -> Iterator[Any]:
+        """All metrics, sorted by (name, labels) for stable output."""
+        return iter(sorted(self._metrics.values(), key=lambda m: (m.name, m.labels)))
+
+    def snapshot(self) -> dict:
+        """Plain-dict dump: {name: [{labels, ...fields}]} — JSON-friendly."""
+        out: dict[str, list] = {}
+        for metric in self.collect():
+            entry: dict[str, Any] = {"labels": dict(metric.labels)}
+            if metric.kind == "histogram":
+                entry.update(
+                    count=metric.count,
+                    sum=metric.sum,
+                    min=metric.min,
+                    max=metric.max,
+                    mean=metric.mean,
+                    **metric.percentiles(),
+                )
+            else:
+                entry["value"] = metric.value
+            entry["kind"] = metric.kind
+            out.setdefault(metric.name, []).append(entry)
+        return out
+
+    def total(self, name: str) -> float:
+        """Sum of a metric's value (counters/gauges) or count (histograms)
+        across all label sets; 0 when the metric has never been touched."""
+        total = 0
+        for metric in self._metrics.values():
+            if metric.name != name:
+                continue
+            total += metric.count if metric.kind == "histogram" else metric.value
+        return total
+
+    def reset(self) -> None:
+        """Zero every metric, keeping the objects (module-level handles
+        stay valid)."""
+        for metric in self._metrics.values():
+            metric.reset()
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+
+#: The default, engine-wide registry.
+REGISTRY = MetricsRegistry()
+
+
+def counter(name: str, **labels) -> Counter:
+    return REGISTRY.counter(name, **labels)
+
+
+def gauge(name: str, **labels) -> Gauge:
+    return REGISTRY.gauge(name, **labels)
+
+
+def histogram(name: str, **labels) -> Histogram:
+    return REGISTRY.histogram(name, **labels)
+
+
+def timed_call(fn: Callable, *args, metric: Optional[Histogram] = None, **kwargs):
+    """Run ``fn(*args, **kwargs)``; returns ``(result, seconds)``.
+
+    Always measures (callers need the duration regardless); observes into
+    *metric* only when instrumentation is enabled.
+    """
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    elapsed = time.perf_counter() - start
+    if ENABLED and metric is not None:
+        metric.observe(elapsed)
+    return result, elapsed
+
+
+class time_block:
+    """``with time_block(hist): …`` — observe the block's wall time.
+
+    Exposes ``.seconds`` after exit so callers can reuse the measurement.
+    """
+
+    __slots__ = ("metric", "seconds", "_start")
+
+    def __init__(self, metric: Optional[Histogram] = None):
+        self.metric = metric
+        self.seconds = 0.0
+
+    def __enter__(self) -> "time_block":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.seconds = time.perf_counter() - self._start
+        if ENABLED and self.metric is not None:
+            self.metric.observe(self.seconds)

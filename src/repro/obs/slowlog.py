@@ -1,0 +1,63 @@
+"""Slow-query log: queries slower than a configurable threshold are kept
+in a bounded ring for post-hoc inspection (shell command ``.slowlog``).
+
+Disabled by default (``threshold = None``); recording is guarded by the
+caller (:mod:`repro.query.engine`) so the fast path pays one attribute
+check when the log is off.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Optional
+
+__all__ = [
+    "THRESHOLD",
+    "set_threshold",
+    "get_threshold",
+    "record",
+    "entries",
+    "clear",
+]
+
+#: Seconds; ``None`` disables the log entirely.
+THRESHOLD: Optional[float] = None
+
+_ENTRIES: deque = deque(maxlen=128)
+
+
+def set_threshold(seconds: Optional[float]) -> None:
+    """Set the slow-query threshold in seconds (``None`` turns the log off)."""
+    global THRESHOLD
+    if seconds is not None and seconds < 0:
+        raise ValueError("slow-query threshold must be >= 0")
+    THRESHOLD = seconds
+
+
+def get_threshold() -> Optional[float]:
+    return THRESHOLD
+
+
+def record(text: str, seconds: float, rows: int = 0) -> bool:
+    """Record *text* if it crossed the threshold; returns True when kept."""
+    if THRESHOLD is None or seconds < THRESHOLD:
+        return False
+    _ENTRIES.append(
+        {
+            "query": " ".join(text.split())[:500],
+            "seconds": seconds,
+            "rows": rows,
+            "wall_time": time.time(),
+        }
+    )
+    return True
+
+
+def entries() -> list[dict]:
+    """Slow queries recorded so far, oldest first."""
+    return list(_ENTRIES)
+
+
+def clear() -> None:
+    _ENTRIES.clear()

@@ -1,0 +1,166 @@
+"""Context-var span tracer: nested wall-time spans with parent/child
+attribution.
+
+``with span("query.parse"):`` opens a span under whatever span is current
+in this execution context (:mod:`contextvars`, so concurrent queries on
+different threads/tasks never cross-attribute). Finished root spans land
+in the global :data:`TRACER` ring; the shell's ``.trace on`` prints the
+tree after every query.
+
+Tracing is **off** by default and the disabled path allocates nothing:
+:func:`span` returns a shared no-op context manager without creating a
+``Span``.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import time
+from collections import deque
+from typing import Optional
+
+__all__ = [
+    "ENABLED",
+    "enable",
+    "disable",
+    "is_enabled",
+    "Span",
+    "span",
+    "current_span",
+    "Tracer",
+    "TRACER",
+    "last_trace",
+    "format_span",
+]
+
+ENABLED = False
+
+_current: contextvars.ContextVar[Optional["Span"]] = contextvars.ContextVar(
+    "repro_obs_span", default=None
+)
+
+
+def enable() -> None:
+    global ENABLED
+    ENABLED = True
+
+
+def disable() -> None:
+    global ENABLED
+    ENABLED = False
+
+
+def is_enabled() -> bool:
+    return ENABLED
+
+
+class Span:
+    """One timed region. ``children`` are spans opened while this one was
+    current; ``duration`` is wall seconds (0.0 while still open)."""
+
+    __slots__ = ("name", "attrs", "start", "end", "children", "parent")
+
+    def __init__(self, name: str, attrs: Optional[dict] = None,
+                 parent: Optional["Span"] = None):
+        self.name = name
+        self.attrs = attrs or {}
+        self.parent = parent
+        self.start = time.perf_counter()
+        self.end: Optional[float] = None
+        self.children: list[Span] = []
+
+    @property
+    def duration(self) -> float:
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def set(self, **attrs) -> None:
+        """Attach attributes after the span opened (row counts etc.)."""
+        self.attrs.update(attrs)
+
+    def __repr__(self) -> str:
+        return f"<Span {self.name} {self.duration * 1000:.3f}ms>"
+
+
+class Tracer:
+    """Ring of recently finished *root* spans."""
+
+    def __init__(self, keep: int = 32):
+        self.roots: deque[Span] = deque(maxlen=keep)
+
+    def record(self, root: Span) -> None:
+        self.roots.append(root)
+
+    def clear(self) -> None:
+        self.roots.clear()
+
+
+TRACER = Tracer()
+
+
+class _ActiveSpan:
+    """Context manager that opens/closes one span."""
+
+    __slots__ = ("_span", "_token")
+
+    def __init__(self, name: str, attrs: dict):
+        self._span = Span(name, attrs, parent=_current.get())
+        self._token = None
+
+    def __enter__(self) -> Span:
+        self._token = _current.set(self._span)
+        return self._span
+
+    def __exit__(self, *exc_info) -> None:
+        here = self._span
+        here.end = time.perf_counter()
+        _current.reset(self._token)
+        if here.parent is None:
+            TRACER.record(here)
+        else:
+            here.parent.children.append(here)
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc_info):
+        return None
+
+    def set(self, **attrs) -> None:
+        pass
+
+
+_NOOP = _NoopSpan()
+
+
+def span(name: str, **attrs):
+    """Open a nested span (or a shared no-op when tracing is disabled)."""
+    if not ENABLED:
+        return _NOOP
+    return _ActiveSpan(name, attrs)
+
+
+def current_span() -> Optional[Span]:
+    return _current.get()
+
+
+def last_trace() -> Optional[Span]:
+    """The most recently completed root span, if any."""
+    return TRACER.roots[-1] if TRACER.roots else None
+
+
+def format_span(root: Span, indent: int = 0) -> str:
+    """Indented tree: name, wall-time, and attributes per span."""
+    pad = "  " * indent
+    attrs = ""
+    if root.attrs:
+        attrs = " " + " ".join(f"{key}={value!r}" for key, value in root.attrs.items())
+    lines = [f"{pad}{root.name}  {root.duration * 1000:.3f} ms{attrs}"]
+    for child in root.children:
+        lines.append(format_span(child, indent + 1))
+    return "\n".join(lines)

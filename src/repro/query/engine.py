@@ -1,15 +1,42 @@
-"""MMQL front door: parse → optimize → execute (and EXPLAIN)."""
+"""MMQL front door: parse → optimize → execute (and EXPLAIN / ANALYZE).
+
+Every query is observable end to end:
+
+* spans ``query`` → ``query.parse`` / ``query.optimize`` / ``query.execute``
+  (visible with ``repro.obs.tracing`` enabled, e.g. the shell's ``.trace on``),
+* registry metrics ``queries_total``, ``query_seconds``,
+  ``query_phase_seconds{phase=…}``, ``query_rows_returned_total``,
+  ``query_errors_total``,
+* a slow-query log (``repro.obs.slowlog``) when a threshold is set,
+* ``EXPLAIN ANALYZE <query>`` (or ``run_query(…, analyze=True)``) executes
+  the query with per-operator probes and attaches the annotated physical
+  plan to the result (``Result.analyzed`` / ``Result.op_stats``).
+"""
 
 from __future__ import annotations
 
+import re
+import time
 from typing import Any, Optional
 
+from repro.errors import PlanError
+from repro.obs import metrics, slowlog, tracing
 from repro.query.executor import ExecContext, Result, execute
 from repro.query.optimizer import optimize
 from repro.query.parser import parse
-from repro.query.plan import render_plan
+from repro.query.plan import render_analyzed_plan, render_plan
+from repro.query import plan as plan_module
 
 __all__ = ["run_query", "explain_query"]
+
+_EXPLAIN_ANALYZE = re.compile(r"^\s*EXPLAIN\s+ANALYZE\b", re.IGNORECASE)
+
+
+def _strip_analyze_prefix(text: str) -> tuple[str, bool]:
+    match = _EXPLAIN_ANALYZE.match(text)
+    if match:
+        return text[match.end():], True
+    return text, False
 
 
 def run_query(
@@ -18,22 +45,77 @@ def run_query(
     bind_vars: Optional[dict] = None,
     txn: Any = None,
     optimize_query: bool = True,
+    analyze: bool = False,
 ) -> Result:
     """Parse, optimize and execute an MMQL query against *db*.
 
     ``optimize_query=False`` executes the naive plan — the baseline the
-    optimizer benchmark compares against.
+    optimizer benchmark compares against.  ``analyze=True`` (or a leading
+    ``EXPLAIN ANALYZE`` in *text*) additionally measures every pipeline
+    operator and attaches the annotated plan to the result.
     """
-    query = parse(text)
-    if optimize_query:
-        query = optimize(query, db)
-    ctx = ExecContext(db=db, bind_vars=bind_vars or {}, txn=txn)
-    return execute(ctx, query)
+    text, prefixed = _strip_analyze_prefix(text)
+    analyze = analyze or prefixed
+    enabled = metrics.ENABLED
+    perf_counter = time.perf_counter
+    started = perf_counter()
+    with tracing.span("query"):
+        try:
+            with tracing.span("query.parse"):
+                phase_start = perf_counter()
+                query = parse(text)
+                parse_seconds = perf_counter() - phase_start
+            optimize_seconds = 0.0
+            if optimize_query:
+                with tracing.span("query.optimize"):
+                    phase_start = perf_counter()
+                    query = optimize(query, db)
+                    optimize_seconds = perf_counter() - phase_start
+            ctx = ExecContext(
+                db=db, bind_vars=bind_vars or {}, txn=txn, analyze=analyze
+            )
+            with tracing.span("query.execute") as execute_span:
+                phase_start = perf_counter()
+                result = execute(ctx, query)
+                execute_seconds = perf_counter() - phase_start
+                if execute_span is not None:
+                    execute_span.set(rows=len(result.rows))
+        except Exception:
+            if enabled:
+                metrics.counter("query_errors_total").inc()
+            raise
+    elapsed = perf_counter() - started
+    if enabled:
+        metrics.counter("queries_total").inc()
+        metrics.histogram("query_seconds").observe(elapsed)
+        metrics.histogram("query_phase_seconds", phase="parse").observe(
+            parse_seconds
+        )
+        if optimize_query:
+            metrics.histogram("query_phase_seconds", phase="optimize").observe(
+                optimize_seconds
+            )
+        metrics.histogram("query_phase_seconds", phase="execute").observe(
+            execute_seconds
+        )
+        metrics.counter("query_rows_returned_total").inc(len(result.rows))
+    if slowlog.THRESHOLD is not None:
+        slowlog.record(text, elapsed, rows=len(result.rows))
+    if analyze:
+        result.op_stats = plan_module.analyzed_op_stats(ctx.probes)
+        result.analyzed = render_analyzed_plan(query, ctx.probes, elapsed)
+    return result
 
 
 def explain_query(db: Any, text: str, bind_vars: Optional[dict] = None) -> str:
     """The optimized physical plan as text (bind vars affect index choice
     only through constancy, so they are optional)."""
     del bind_vars
+    text, analyze = _strip_analyze_prefix(text)
+    if analyze:
+        raise PlanError(
+            "EXPLAIN ANALYZE executes the query — run it through "
+            "run_query()/db.query() instead of explain()"
+        )
     query = optimize(parse(text), db)
     return render_plan(query)

@@ -14,26 +14,34 @@ from __future__ import annotations
 
 import itertools
 import re
+import time
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Optional
 
 from repro.core import datamodel
 from repro.errors import BindError, ExecutionError, UnknownCollectionError
+from repro.obs import metrics as obs_metrics
 from repro.query import ast
 from repro.query.functions import call_function
 from repro.query.plan import IndexScanOp
 
-__all__ = ["ExecContext", "Result", "execute"]
+__all__ = ["ExecContext", "OpProbe", "Result", "execute"]
 
 
 @dataclass
 class ExecContext:
     """Everything evaluation needs: the database, bind parameters, the
-    optional enclosing transaction, and the stats accumulator."""
+    optional enclosing transaction, and the stats accumulator.
+
+    ``analyze=True`` (the EXPLAIN ANALYZE path) wraps every top-level
+    pipeline operator with an :class:`OpProbe` that records rows produced
+    and wall-time; probes land in ``probes`` in operation order."""
 
     db: Any
     bind_vars: dict
     txn: Any = None
+    analyze: bool = False
+    probes: list = field(default_factory=list)
     stats: dict = field(
         default_factory=lambda: {
             "scanned": 0,
@@ -47,11 +55,46 @@ class ExecContext:
 
 
 @dataclass
+class OpProbe:
+    """Per-operator execution measurements (EXPLAIN ANALYZE).
+
+    ``seconds`` is *cumulative*: the time spent pulling this operator's
+    entire output, which includes its upstream. Self-time is derived by
+    subtracting the previous operator's cumulative time (the pipeline is
+    a chain, so upstream work happens inside downstream pulls)."""
+
+    operation: Any
+    rows_out: int = 0
+    seconds: float = 0.0
+
+
+def _probed(frames: Iterator[dict], probe: OpProbe) -> Iterator[dict]:
+    """Wrap a frame stream, charging pull time and row counts to *probe*."""
+    perf_counter = time.perf_counter
+    while True:
+        start = perf_counter()
+        try:
+            frame = next(frames)
+        except StopIteration:
+            probe.seconds += perf_counter() - start
+            return
+        probe.seconds += perf_counter() - start
+        probe.rows_out += 1
+        yield frame
+
+
+@dataclass
 class Result:
-    """Query result: rows plus execution statistics."""
+    """Query result: rows plus execution statistics.
+
+    ``analyzed``/``op_stats`` are populated only on the EXPLAIN ANALYZE
+    path: the annotated physical plan as text, and the per-operator
+    measurements as a list of dicts."""
 
     rows: list
     stats: dict
+    analyzed: Optional[str] = None
+    op_stats: Optional[list] = None
 
     def __iter__(self):
         return iter(self.rows)
@@ -342,6 +385,10 @@ def _apply_index_scan(ctx, operation: IndexScanOp, frames):
         probe = evaluate(ctx, operation.value, frame)
         index_view = ctx.db.context.indexes.get(operation.index_name)
         ctx.stats["index_lookups"] += 1
+        if obs_metrics.ENABLED:
+            obs_metrics.counter(
+                "index_lookups_total", index=operation.index_name
+            ).inc()
         if operation.index_name not in ctx.stats["indexes_used"]:
             ctx.stats["indexes_used"].append(operation.index_name)
         for key in index_view.search(probe):
@@ -581,12 +628,57 @@ def _apply_upsert(ctx, operation: ast.UpsertOp, frames):
         yield key
 
 
+_DML_APPLIERS = {
+    ast.InsertOp: _apply_insert,
+    ast.UpdateOp: _apply_update,
+    ast.RemoveOp: _apply_remove,
+    ast.ReplaceOp: _apply_replace,
+    ast.UpsertOp: _apply_upsert,
+}
+
+
 def _run_pipeline(ctx: ExecContext, query: ast.Query, initial_frame: dict):
     """Execute a (sub)query; returns (rows, write_count_delta)."""
     frames: Iterator[dict] = iter([initial_frame])
     rows: list = []
     writes_before = ctx.stats["writes"]
+    # Only the outermost pipeline is probed: subqueries run inside a parent
+    # operator and their cost is already charged to it.
+    probes = ctx.probes if ctx.analyze else None
+    if probes is not None:
+        ctx.analyze = False
     for operation in query.operations:
+        terminal_start = time.perf_counter() if probes is not None else 0.0
+        dml_applier = _DML_APPLIERS.get(type(operation))
+        if dml_applier is not None:
+            rows = list(dml_applier(ctx, operation, frames))
+            if probes is not None:
+                probes.append(
+                    OpProbe(
+                        operation,
+                        rows_out=len(rows),
+                        seconds=time.perf_counter() - terminal_start,
+                    )
+                )
+            return rows, ctx.stats["writes"] - writes_before
+        if isinstance(operation, ast.ReturnOp):
+            seen: list = []
+            for frame in frames:
+                value = evaluate(ctx, operation.expr, frame)
+                if operation.distinct:
+                    if any(datamodel.values_equal(value, kept) for kept in seen):
+                        continue
+                    seen.append(value)
+                rows.append(value)
+            if probes is not None:
+                probes.append(
+                    OpProbe(
+                        operation,
+                        rows_out=len(rows),
+                        seconds=time.perf_counter() - terminal_start,
+                    )
+                )
+            return rows, ctx.stats["writes"] - writes_before
         if isinstance(operation, IndexScanOp):
             frames = _apply_index_scan(ctx, operation, frames)
         elif isinstance(operation, ast.ForOp):
@@ -605,33 +697,17 @@ def _run_pipeline(ctx: ExecContext, query: ast.Query, initial_frame: dict):
             frames = _apply_limit(ctx, operation, frames)
         elif isinstance(operation, ast.CollectOp):
             frames = _apply_collect(ctx, operation, frames)
-        elif isinstance(operation, ast.ReturnOp):
-            seen: list = []
-            for frame in frames:
-                value = evaluate(ctx, operation.expr, frame)
-                if operation.distinct:
-                    if any(datamodel.values_equal(value, kept) for kept in seen):
-                        continue
-                    seen.append(value)
-                rows.append(value)
-            return rows, ctx.stats["writes"] - writes_before
-        elif isinstance(operation, ast.InsertOp):
-            rows = list(_apply_insert(ctx, operation, frames))
-            return rows, ctx.stats["writes"] - writes_before
-        elif isinstance(operation, ast.UpdateOp):
-            rows = list(_apply_update(ctx, operation, frames))
-            return rows, ctx.stats["writes"] - writes_before
-        elif isinstance(operation, ast.RemoveOp):
-            rows = list(_apply_remove(ctx, operation, frames))
-            return rows, ctx.stats["writes"] - writes_before
-        elif isinstance(operation, ast.ReplaceOp):
-            rows = list(_apply_replace(ctx, operation, frames))
-            return rows, ctx.stats["writes"] - writes_before
-        elif isinstance(operation, ast.UpsertOp):
-            rows = list(_apply_upsert(ctx, operation, frames))
-            return rows, ctx.stats["writes"] - writes_before
         else:
             raise ExecutionError(f"cannot execute {type(operation).__name__}")
+        if probes is not None:
+            # Charge construction time too: generator appliers return
+            # instantly, but pipeline breakers (SORT) materialize upstream
+            # inside the call above.
+            probe = OpProbe(
+                operation, seconds=time.perf_counter() - terminal_start
+            )
+            probes.append(probe)
+            frames = _probed(frames, probe)
     # No RETURN/DML: drain the pipeline for its side effects (none) and
     # produce no rows.
     for _frame in frames:

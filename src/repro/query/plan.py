@@ -13,7 +13,12 @@ from typing import Optional
 
 from repro.query import ast
 
-__all__ = ["IndexScanOp", "render_plan"]
+__all__ = [
+    "IndexScanOp",
+    "render_plan",
+    "analyzed_op_stats",
+    "render_analyzed_plan",
+]
 
 
 @dataclass
@@ -154,4 +159,53 @@ def render_plan(query: ast.Query) -> str:
     lines = []
     for indent, operation in enumerate(query.operations):
         lines.extend(_operation_lines(operation, indent))
+    return "\n".join(lines)
+
+
+def analyzed_op_stats(probes: list) -> list[dict]:
+    """Per-operator measurements from EXPLAIN ANALYZE probes.
+
+    Probe timing is cumulative (each operator's clock includes its
+    upstream, because upstream rows are pulled from inside downstream
+    ``next()`` calls); self-time is the difference between neighbours,
+    clipped at zero. ``rows_in`` of operator *k* is ``rows_out`` of
+    operator *k-1* — the pipeline starts from one seed frame.
+    """
+    stats = []
+    previous_rows = 1
+    previous_seconds = 0.0
+    for probe in probes:
+        operation = probe.operation
+        label = _operation_lines(operation, 0)[0].strip()
+        stats.append(
+            {
+                "operator": type(operation).__name__,
+                "label": label,
+                "rows_in": previous_rows,
+                "rows_out": probe.rows_out,
+                "seconds": probe.seconds,
+                "self_seconds": max(0.0, probe.seconds - previous_seconds),
+            }
+        )
+        previous_rows = probe.rows_out
+        previous_seconds = max(previous_seconds, probe.seconds)
+    return stats
+
+
+def render_analyzed_plan(
+    query: ast.Query, probes: list, total_seconds: float
+) -> str:
+    """The physical plan annotated with actual rows and wall-time per
+    operator (EXPLAIN ANALYZE output)."""
+    stats = analyzed_op_stats(probes)
+    lines = []
+    for indent, (operation, entry) in enumerate(zip(query.operations, stats)):
+        op_lines = _operation_lines(operation, indent)
+        op_lines[0] += (
+            f"  [rows in={entry['rows_in']} out={entry['rows_out']} "
+            f"self={entry['self_seconds'] * 1000:.3f} ms "
+            f"cum={entry['seconds'] * 1000:.3f} ms]"
+        )
+        lines.extend(op_lines)
+    lines.append(f"Execution time: {total_seconds * 1000:.3f} ms")
     return "\n".join(lines)

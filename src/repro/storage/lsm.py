@@ -18,9 +18,19 @@ from __future__ import annotations
 
 import bisect
 import heapq
+import time
 from typing import Any, Iterator, Optional
 
+from repro.obs import metrics as obs_metrics
+
 __all__ = ["SSTable", "LsmTree", "TOMBSTONE"]
+
+_LSM_PUTS = obs_metrics.counter("lsm_puts_total")
+_LSM_GETS = obs_metrics.counter("lsm_gets_total")
+_LSM_FLUSHES = obs_metrics.counter("lsm_flushes_total")
+_LSM_COMPACTIONS = obs_metrics.counter("lsm_compactions_total")
+_LSM_FLUSH_SECONDS = obs_metrics.histogram("lsm_flush_seconds")
+_LSM_COMPACTION_SECONDS = obs_metrics.histogram("lsm_compaction_seconds")
 
 
 class _Tombstone:
@@ -100,6 +110,8 @@ class LsmTree:
     def put(self, key: str, value: Any) -> None:
         if not isinstance(key, str):
             raise TypeError("LSM keys are strings (Bigtable semantics)")
+        if obs_metrics.ENABLED:
+            _LSM_PUTS.inc()
         self._memtable[key] = value
         if len(self._memtable) >= self._limit:
             self.flush()
@@ -112,15 +124,22 @@ class LsmTree:
         """Freeze the memtable into a new SSTable."""
         if not self._memtable:
             return
+        enabled = obs_metrics.ENABLED
+        start = time.perf_counter() if enabled else 0.0
         items = sorted(self._memtable.items())
         self._sstables.insert(0, SSTable(items, self._stride))
         self._memtable = {}
         self.flushes += 1
+        if enabled:
+            _LSM_FLUSHES.inc()
+            _LSM_FLUSH_SECONDS.observe(time.perf_counter() - start)
 
     # -- reads ---------------------------------------------------------------
 
     def get(self, key: str) -> Any:
         """Latest value for *key*, or None when absent/deleted."""
+        if obs_metrics.ENABLED:
+            _LSM_GETS.inc()
         if key in self._memtable:
             value = self._memtable[key]
             return None if value is TOMBSTONE else value
@@ -176,10 +195,15 @@ class LsmTree:
     def compact(self) -> None:
         """Merge every run into one, dropping shadowed versions and
         tombstones entirely (full compaction makes tombstones reclaimable)."""
+        enabled = obs_metrics.ENABLED
+        start = time.perf_counter() if enabled else 0.0
         merged = list(self.range())
         self._memtable = {}
         self._sstables = [SSTable(merged, self._stride)] if merged else []
         self.compactions += 1
+        if enabled:
+            _LSM_COMPACTIONS.inc()
+            _LSM_COMPACTION_SECONDS.observe(time.perf_counter() - start)
 
     @property
     def sstable_count(self) -> int:

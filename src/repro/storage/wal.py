@@ -16,14 +16,23 @@ from __future__ import annotations
 
 import json
 import os
+import time
 import zlib
 from typing import Any, Iterator, Optional
 
 from repro.core.datamodel import canonical_json
 from repro.errors import WalError
+from repro.obs import metrics as obs_metrics
 from repro.storage.log import CentralLog, LogOp
 
 __all__ = ["WriteAheadLog", "recover", "replay_into"]
+
+# Module-level metric handles: created once, cheap to touch, survive
+# registry resets.
+_WAL_APPENDS = obs_metrics.counter("wal_appends_total")
+_WAL_FSYNCS = obs_metrics.counter("wal_fsyncs_total")
+_WAL_APPEND_SECONDS = obs_metrics.histogram("wal_append_seconds")
+_WAL_REPLAYED = obs_metrics.counter("wal_records_replayed_total")
 
 
 class WriteAheadLog:
@@ -52,6 +61,8 @@ class WriteAheadLog:
         before: Any = None,
     ) -> None:
         """Append one WAL record and (optionally) flush it."""
+        enabled = obs_metrics.ENABLED
+        start = time.perf_counter() if enabled else 0.0
         body = {
             "lsn": lsn,
             "txn": txn_id,
@@ -67,7 +78,12 @@ class WriteAheadLog:
         if self._sync:
             self._file.flush()
             os.fsync(self._file.fileno())
+            if enabled:
+                _WAL_FSYNCS.inc()
         self._records_written += 1
+        if enabled:
+            _WAL_APPENDS.inc()
+            _WAL_APPEND_SECONDS.observe(time.perf_counter() - start)
 
     def log_entry(self, entry) -> None:
         """Adapter: subscribe this to a :class:`CentralLog` to shadow it."""
@@ -84,6 +100,8 @@ class WriteAheadLog:
     def flush(self) -> None:
         self._file.flush()
         os.fsync(self._file.fileno())
+        if obs_metrics.ENABLED:
+            _WAL_FSYNCS.inc()
 
     def close(self) -> None:
         if not self._file.closed:
@@ -188,6 +206,8 @@ def replay_into(path: str, log: CentralLog) -> tuple[int, int]:
                 discarded += 1
         elif op in structural:
             log.append(record["txn"], LogOp(op), record["ns"])
+    if obs_metrics.ENABLED:
+        _WAL_REPLAYED.inc(redone)
     return redone, discarded
 
 

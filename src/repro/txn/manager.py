@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import enum
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Optional
 
@@ -39,10 +40,31 @@ from repro.errors import (
     InvalidTransactionStateError,
     SerializationError,
 )
+from repro.obs import metrics as obs_metrics
 from repro.storage.log import CentralLog, LogOp
 from repro.txn.locks import LockManager, LockMode
 
 __all__ = ["IsolationLevel", "Transaction", "TransactionManager"]
+
+_TXN_BEGINS = obs_metrics.counter("txn_begins_total")
+_TXN_COMMITS = obs_metrics.counter("txn_commits_total")
+_TXN_ABORTS = obs_metrics.counter("txn_aborts_total")
+_TXN_CONFLICTS = obs_metrics.counter("txn_conflicts_total")
+_TXN_ACTIVE = obs_metrics.gauge("txn_active")
+_TXN_COMMIT_SECONDS = obs_metrics.histogram("txn_commit_seconds")
+_TXN_LOCK_WAIT = obs_metrics.histogram("txn_lock_wait_seconds")
+
+
+def _timed_lock_acquire(locks: LockManager, txn_id: int, resource, mode) -> None:
+    """Acquire a lock, charging the wait to the lock-wait histogram."""
+    if not obs_metrics.ENABLED:
+        locks.acquire(txn_id, resource, mode)
+        return
+    start = time.perf_counter()
+    try:
+        locks.acquire(txn_id, resource, mode)
+    finally:
+        _TXN_LOCK_WAIT.observe(time.perf_counter() - start)
 
 
 class IsolationLevel(enum.Enum):
@@ -121,16 +143,23 @@ class TransactionManager:
             )
             self._next_txn_id += 1
             self._active[txn.txn_id] = txn
+            if obs_metrics.ENABLED:
+                _TXN_BEGINS.inc()
+                _TXN_ACTIVE.set(len(self._active))
             return txn
 
     def commit(self, txn: Transaction) -> None:
         """Validate, assign a commit timestamp, publish to the central log."""
         self._require_active(txn)
+        enabled = obs_metrics.ENABLED
+        start = time.perf_counter() if enabled else 0.0
         with self._mutex:
             try:
                 self._validate(txn)
             except SerializationError:
                 self.conflicts += 1
+                if enabled:
+                    _TXN_CONFLICTS.inc()
                 self._finish(txn, _TxnStatus.ABORTED)
                 raise
             self._clock += 1
@@ -150,6 +179,9 @@ class TransactionManager:
             self._log.append(txn.txn_id, LogOp.COMMIT, meta={"ts": commit_ts})
             self.commits += 1
             self._finish(txn, _TxnStatus.COMMITTED)
+            if enabled:
+                _TXN_COMMITS.inc()
+                _TXN_COMMIT_SECONDS.observe(time.perf_counter() - start)
 
     def abort(self, txn: Transaction) -> None:
         self._require_active(txn)
@@ -157,12 +189,16 @@ class TransactionManager:
             if txn.writes:
                 self._log.append(txn.txn_id, LogOp.ABORT)
             self.aborts += 1
+            if obs_metrics.ENABLED:
+                _TXN_ABORTS.inc()
             self._finish(txn, _TxnStatus.ABORTED)
 
     def _finish(self, txn: Transaction, status: _TxnStatus) -> None:
         txn.status = status
         self._active.pop(txn.txn_id, None)
         self._locks.release_all(txn.txn_id)
+        if obs_metrics.ENABLED:
+            _TXN_ACTIVE.set(len(self._active))
 
     def _require_active(self, txn: Transaction) -> None:
         if not txn.is_active:
@@ -179,7 +215,9 @@ class TransactionManager:
         if pending is not None:
             return None if pending.op is LogOp.DELETE else pending.value
         if txn.isolation is IsolationLevel.SERIALIZABLE:
-            self._locks.acquire(txn.txn_id, (namespace, key), LockMode.SHARED)
+            _timed_lock_acquire(
+                self._locks, txn.txn_id, (namespace, key), LockMode.SHARED
+            )
         txn.read_keys.add((namespace, key))
         with self._mutex:
             return self._visible_value(txn, namespace, key)
@@ -234,7 +272,9 @@ class TransactionManager:
         """Buffer a write (INSERT/UPDATE/DELETE) in the transaction."""
         self._require_active(txn)
         if txn.isolation is IsolationLevel.SERIALIZABLE:
-            self._locks.acquire(txn.txn_id, (namespace, key), LockMode.EXCLUSIVE)
+            _timed_lock_acquire(
+                self._locks, txn.txn_id, (namespace, key), LockMode.EXCLUSIVE
+            )
         before = self.read_committed_latest(namespace, key)
         txn.writes[(namespace, key)] = _PendingWrite(op, value, before)
 

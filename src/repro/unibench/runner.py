@@ -7,10 +7,10 @@ pytest-benchmark and the report renderer can both consume the results.
 
 from __future__ import annotations
 
-import time
 from typing import Any, Optional
 
 from repro.core.database import MultiModelDB
+from repro.obs import metrics as obs_metrics
 from repro.polyglot.integrator import PolyglotECommerce
 from repro.unibench import workloads
 from repro.unibench.generator import (
@@ -37,10 +37,14 @@ def build_polyglot(data: UniBenchData) -> PolyglotECommerce:
     return app
 
 
-def _timed(fn, *args, **kwargs) -> tuple[Any, float]:
-    start = time.perf_counter()
-    result = fn(*args, **kwargs)
-    return result, time.perf_counter() - start
+def _timed(workload: str, deployment: str, fn, *args, **kwargs) -> tuple[Any, float]:
+    """Run a workload step, landing its wall-time in the engine metrics
+    registry (``unibench_workload_seconds{workload=…,deployment=…}``) so
+    benchmark timings share a home with the query/storage counters."""
+    metric = obs_metrics.histogram(
+        "unibench_workload_seconds", workload=workload, deployment=deployment
+    )
+    return obs_metrics.timed_call(fn, *args, metric=metric, **kwargs)
 
 
 def run_all(scale_factor: int = 1, seed: int = 42) -> dict:
@@ -52,8 +56,8 @@ def run_all(scale_factor: int = 1, seed: int = 42) -> dict:
 
     results: dict[str, Any] = {"scale_factor": scale_factor, "data": data.summary()}
 
-    a_mm, t_mm = _timed(workloads.workload_a_multimodel, db, data)
-    a_pg, t_pg = _timed(workloads.workload_a_polyglot, app, data)
+    a_mm, t_mm = _timed("A", "multimodel", workloads.workload_a_multimodel, db, data)
+    a_pg, t_pg = _timed("A", "polyglot", workloads.workload_a_polyglot, app, data)
     results["A"] = {
         "multimodel": {**a_mm, "seconds": t_mm},
         "polyglot": {**a_pg, "seconds": t_pg},
@@ -61,12 +65,14 @@ def run_all(scale_factor: int = 1, seed: int = 42) -> dict:
 
     results["B"] = {}
     for query_id in workloads.QUERIES_B:
-        result, seconds = _timed(workloads.workload_b_mmql, db, query_id)
+        result, seconds = _timed(
+            f"B:{query_id}", "multimodel", workloads.workload_b_mmql, db, query_id
+        )
         results["B"][query_id] = {
             "multimodel": {"rows": len(result.rows), "seconds": seconds,
                            "stats": result.stats},
         }
-    pg_q1, seconds = _timed(workloads.workload_b_polyglot, app)
+    pg_q1, seconds = _timed("B:Q1", "polyglot", workloads.workload_b_polyglot, app)
     results["B"]["Q1"]["polyglot"] = {
         "rows": len(pg_q1["products"]),
         "round_trips": pg_q1["round_trips"],
@@ -80,8 +86,8 @@ def run_all(scale_factor: int = 1, seed: int = 42) -> dict:
         workloads.workload_b_mmql(db, "Q1").rows
     )
 
-    c_mm, t_mm = _timed(workloads.workload_c_multimodel, db, data)
-    c_pg, t_pg = _timed(workloads.workload_c_polyglot, app, data)
+    c_mm, t_mm = _timed("C", "multimodel", workloads.workload_c_multimodel, db, data)
+    c_pg, t_pg = _timed("C", "polyglot", workloads.workload_c_polyglot, app, data)
     results["C"] = {
         "multimodel": {**c_mm, "seconds": t_mm},
         "polyglot": {**c_pg, "seconds": t_pg},

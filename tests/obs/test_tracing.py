@@ -1,0 +1,88 @@
+"""Span tracer: nesting, parent/child attribution, and the disabled
+no-op path."""
+
+import pytest
+
+from repro.obs import tracing
+
+
+@pytest.fixture
+def traced():
+    tracing.enable()
+    tracing.TRACER.clear()
+    yield
+    tracing.disable()
+    tracing.TRACER.clear()
+
+
+class TestNesting:
+    def test_parent_child_attribution(self, traced):
+        with tracing.span("root") as root:
+            with tracing.span("child-a") as child_a:
+                with tracing.span("grandchild") as grandchild:
+                    pass
+            with tracing.span("child-b"):
+                pass
+        assert [child.name for child in root.children] == ["child-a", "child-b"]
+        assert child_a.children == [grandchild]
+        assert grandchild.parent is child_a
+        assert child_a.parent is root
+        assert root.parent is None
+
+    def test_only_roots_recorded(self, traced):
+        with tracing.span("outer"):
+            with tracing.span("inner"):
+                pass
+        assert [span.name for span in tracing.TRACER.roots] == ["outer"]
+        assert tracing.last_trace().name == "outer"
+
+    def test_durations_nest(self, traced):
+        with tracing.span("outer") as outer:
+            with tracing.span("inner") as inner:
+                pass
+        assert outer.duration >= inner.duration >= 0.0
+
+    def test_attrs_and_set(self, traced):
+        with tracing.span("q", kind="mmql") as span:
+            span.set(rows=7)
+        assert span.attrs == {"kind": "mmql", "rows": 7}
+
+    def test_format_span_tree(self, traced):
+        with tracing.span("root"):
+            with tracing.span("leaf", rows=3):
+                pass
+        text = tracing.format_span(tracing.last_trace())
+        lines = text.splitlines()
+        assert lines[0].startswith("root")
+        assert lines[1].startswith("  leaf")
+        assert "rows=3" in lines[1]
+        assert "ms" in lines[0]
+
+
+class TestDisabledPath:
+    def test_span_is_shared_noop(self):
+        assert not tracing.is_enabled()
+        with tracing.span("anything") as span:
+            assert span is None
+        assert tracing.span("a") is tracing.span("b")  # shared no-op object
+        assert len(tracing.TRACER.roots) == 0
+
+    def test_query_produces_trace_only_when_enabled(self):
+        from repro.core.database import MultiModelDB
+
+        db = MultiModelDB()
+        db.create_collection("docs")
+        db.collection("docs").insert({"x": 1})
+        tracing.TRACER.clear()
+        db.query("FOR d IN docs RETURN d")
+        assert tracing.last_trace() is None
+        tracing.enable()
+        try:
+            db.query("FOR d IN docs RETURN d")
+        finally:
+            tracing.disable()
+        trace = tracing.last_trace()
+        assert trace is not None and trace.name == "query"
+        names = [child.name for child in trace.children]
+        assert names == ["query.parse", "query.optimize", "query.execute"]
+        assert trace.children[-1].attrs["rows"] == 1
