@@ -3,7 +3,17 @@
 Every benchmark regenerates one artifact of the paper (see DESIGN.md §4 for
 the experiment index).  Data builds are module/session scoped so the timed
 sections measure queries, not loading.
+
+After a timed run (i.e. without ``--benchmark-disable``) the session hook
+below writes one ``BENCH_<experiment>.json`` per benchmark module into the
+repository root — e.g. ``BENCH_recommendation.json`` for
+``bench_recommendation.py`` — mapping each test to its median wall-time in
+seconds.  CI and docs/PERFORMANCE.md read these files; they are regenerable
+artifacts, not sources.
 """
+
+import json
+import pathlib
 
 import pytest
 
@@ -12,6 +22,35 @@ from repro.unibench.runner import build_multimodel, build_polyglot
 
 SCALE_FACTOR = 1
 SEED = 42
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Emit BENCH_<experiment>.json with median seconds per benchmark."""
+    del exitstatus
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None:  # pytest-benchmark not active
+        return
+    per_module: dict = {}
+    for bench in getattr(bench_session, "benchmarks", []):
+        stats = getattr(bench, "stats", None)
+        median = getattr(stats, "median", None)
+        if median is None:  # --benchmark-disable / errored benchmark
+            continue
+        module = pathlib.Path(bench.fullname.split("::")[0]).stem
+        experiment = module[len("bench_"):] if module.startswith("bench_") else module
+        per_module.setdefault(experiment, {})[bench.name] = median
+    root = pathlib.Path(str(session.config.rootpath))
+    for experiment, medians in per_module.items():
+        artifact = root / f"BENCH_{experiment}.json"
+        artifact.write_text(
+            json.dumps(
+                {"experiment": experiment, "median_seconds": medians},
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n",
+            encoding="utf-8",
+        )
 
 
 @pytest.fixture(scope="session")

@@ -41,6 +41,8 @@ MMQL shell commands:
   .advise <query>       recommend indexes for a query's predicates
   .stats                statistics of the last query
   .metrics [json]       dump the engine metrics registry (Prometheus text)
+  .plancache [clear|size N]
+                        show (or clear/resize) the query plan cache
   .trace [on|off]       print a span tree after each query
   .slowlog [MS|off]     show the slow-query log / set its threshold in ms
   .quit                 exit
@@ -91,11 +93,24 @@ def run_statement(db: MultiModelDB, statement: str, out: IO, state: dict) -> Non
             "queries_total",
             "query_rows_returned_total",
             "index_lookups_total",
+            "plan_cache_hits_total",
+            "plan_cache_misses_total",
+            "plan_cache_evictions_total",
+            "hash_join_builds_total",
             "model_ops_total",
             "txn_commits_total",
             "wal_appends_total",
         ):
             print(f"    {metric_name}: {registry.total(metric_name)}", file=out)
+        cache = getattr(db, "plan_cache", None)
+        if cache is not None:
+            cache_stats = cache.stats()
+            print(
+                f"  plan cache: {cache_stats['size']}/{cache_stats['capacity']} "
+                f"entries, {cache_stats['hits']} hits, "
+                f"{cache_stats['misses']} misses",
+                file=out,
+            )
         return
     if statement == ".stats":
         stats = state.get("last_stats")
@@ -120,6 +135,51 @@ def run_statement(db: MultiModelDB, statement: str, out: IO, state: dict) -> Non
             print(obs_export.json_dump(), file=out)
         else:
             print(obs_export.prometheus_text(), file=out)
+        return
+    if statement.startswith(".plancache"):
+        cache = getattr(db, "plan_cache", None)
+        if cache is None:
+            print("  this database has no plan cache", file=out)
+            return
+        argument = statement[len(".plancache"):].strip().lower()
+        if argument == "clear":
+            cache.clear()
+            print("  plan cache cleared", file=out)
+            return
+        if argument.startswith("size"):
+            try:
+                capacity = int(argument[len("size"):].strip())
+            except ValueError:
+                print("  usage: .plancache [clear|size N]", file=out)
+                return
+            cache.resize(capacity)
+            print(f"  plan cache capacity set to {cache.capacity}", file=out)
+            return
+        if argument:
+            print("  usage: .plancache [clear|size N]", file=out)
+            return
+        cache_stats = cache.stats()
+        print(
+            f"  {cache_stats['size']}/{cache_stats['capacity']} entries; "
+            f"{cache_stats['hits']} hits, {cache_stats['misses']} misses, "
+            f"{cache_stats['evictions']} evictions, "
+            f"{cache_stats['invalidations']} DDL invalidations",
+            file=out,
+        )
+        for entry in reversed(cache.entries()):  # most recently used first
+            binds = (
+                " @" + ",@".join(entry["bind_shape"])
+                if entry["bind_shape"]
+                else ""
+            )
+            flavour = "" if entry["optimized"] else " [unoptimized]"
+            query_text = " ".join(entry["query"].split())
+            if len(query_text) > 60:
+                query_text = query_text[:57] + "..."
+            print(
+                f"  {entry['hits']:>5} hits  {query_text}{binds}{flavour}",
+                file=out,
+            )
         return
     if statement.startswith(".trace"):
         from repro.obs import tracing

@@ -43,10 +43,17 @@ __all__ = ["MultiModelDB"]
 class MultiModelDB:
     """An embedded multi-model database."""
 
-    def __init__(self, lock_timeout: float = 5.0):
+    def __init__(self, lock_timeout: float = 5.0, plan_cache_size: int = 128):
+        from repro.query.engine import PlanCache
+
         self.context = EngineContext(lock_timeout=lock_timeout)
         self._catalog: dict[str, tuple[str, Any]] = {}
         self._wal: Optional[WriteAheadLog] = None
+        #: Monotone counter bumped by catalog DDL; together with the index
+        #: manager's ``version`` it stamps plan-cache entries so DDL
+        #: invalidates exactly the plans it could change.
+        self.catalog_version = 0
+        self.plan_cache = PlanCache(plan_cache_size)
 
     # ------------------------------------------------------------------ DDL --
 
@@ -61,6 +68,7 @@ class MultiModelDB:
         # disabled, so registration-time wrapping is unconditional.
         instrument_store(kind, store)
         self._catalog[name] = (kind, store)
+        self.catalog_version += 1
         return store
 
     def create_table(self, schema: TableSchema) -> Table:
@@ -116,6 +124,7 @@ class MultiModelDB:
         kind_store = self._catalog.pop(name, None)
         if kind_store is None:
             raise UnknownCollectionError(f"nothing named {name!r} in the catalog")
+        self.catalog_version += 1
         kind_store[1].truncate()
 
     # -------------------------------------------------------------- catalog --

@@ -42,6 +42,10 @@ class IndexManager:
         self._rows = rows
         self._by_name: dict[str, IndexView] = {}
         self._by_namespace: dict[str, list[IndexView]] = {}
+        #: Monotone DDL counter — plan-cache entries are stamped with it,
+        #: so creating or dropping an index invalidates cached plans whose
+        #: access-path choice could change.
+        self.version = 0
 
     # -- DDL ----------------------------------------------------------------
 
@@ -79,6 +83,7 @@ class IndexManager:
                 structure.insert(indexed, key)
         self._by_name[index_name] = view
         self._by_namespace.setdefault(namespace, []).append(view)
+        self.version += 1
         if obs_metrics.ENABLED:
             obs_metrics.counter("indexes_created_total", kind=kind).inc()
         return view
@@ -89,6 +94,7 @@ class IndexManager:
             raise UnknownIndexError(f"no index named {name!r}")
         self._by_namespace[view.namespace].remove(view)
         self._log.unsubscribe(view.apply)
+        self.version += 1
 
     # -- lookup ---------------------------------------------------------------
 

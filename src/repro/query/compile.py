@@ -1,0 +1,345 @@
+"""Expression compilation: lowering ``ast.Expr`` trees into Python closures.
+
+The interpreter (:func:`repro.query.executor.evaluate`) re-dispatches on the
+node type of every expression for every row.  For hot operators — FILTER
+predicates, RETURN projections, SORT keys, COLLECT groupings — that dispatch
+dominates execution time.  :func:`compile_expr` walks the tree **once** and
+returns a closure ``fn(ctx, frame) -> value`` in which all structural
+decisions (node types, operator kinds, literal values, attribute names,
+LIKE patterns) are resolved at compile time; evaluating a row is then plain
+Python calls with no isinstance chains.
+
+Coverage and fallback
+---------------------
+
+Every expression compiles.  Node kinds the compiler does not lower natively
+(subqueries, array expansion ``[*]``, inline filters — anything that needs
+the pipeline machinery or the ``$CURRENT`` pseudo-variable) compile into a
+closure that calls the interpreter for that *subtree* only; sibling
+subtrees still run compiled.  The fallback is therefore transparent:
+``compile_expr(e)(ctx, frame)`` always produces exactly the same value (and
+raises exactly the same errors) as ``evaluate(ctx, e, frame)``.
+
+:func:`compiles_fully` reports whether a tree lowered without any
+interpreter fallback — tests and EXPLAIN tooling use it; the executor does
+not need to care.
+
+Compilation happens once per (cached) plan: the executor memoizes the
+closure on the operation node, so a warm plan cache pays zero compilation
+cost per query.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable
+
+from repro.core import datamodel
+from repro.errors import BindError, ExecutionError
+from repro.obs import metrics as obs_metrics
+from repro.query import ast
+from repro.query.functions import call_function
+
+__all__ = ["compile_expr", "compiles_fully", "CompiledFn"]
+
+#: A compiled expression: ``fn(ctx, frame) -> value``.
+CompiledFn = Callable[[Any, dict], Any]
+
+_truthy = datamodel.truthy
+_compare = datamodel.compare
+_type_of = datamodel.type_of
+_deep_get = datamodel.deep_get
+_TypeTag = datamodel.TypeTag
+
+#: Node types lowered natively; everything else falls back per subtree.
+_NATIVE_NODES = (
+    ast.Literal,
+    ast.VarRef,
+    ast.BindVar,
+    ast.AttrAccess,
+    ast.IndexAccess,
+    ast.FuncCall,
+    ast.UnaryOp,
+    ast.BinOp,
+    ast.RangeExpr,
+    ast.ArrayLiteral,
+    ast.ObjectLiteral,
+    ast.Ternary,
+)
+
+
+def compiles_fully(expr: ast.Expr) -> bool:
+    """True when *expr* lowers without any interpreter fallback."""
+    if not isinstance(expr, _NATIVE_NODES):
+        return False
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if not isinstance(node, _NATIVE_NODES):
+            return False
+        stack.extend(node.children())
+    return True
+
+
+def _interpreted(expr: ast.Expr) -> CompiledFn:
+    """Per-subtree fallback: delegate this node to the interpreter."""
+    if obs_metrics.ENABLED:
+        obs_metrics.counter(
+            "expr_compile_total", outcome="fallback"
+        ).inc()
+
+    def fallback(ctx, frame):
+        from repro.query.executor import evaluate
+
+        return evaluate(ctx, expr, frame)
+
+    return fallback
+
+
+def compile_expr(expr: ast.Expr) -> CompiledFn:
+    """Lower *expr* into a closure ``fn(ctx, frame) -> value``."""
+    fn = _compile(expr)
+    if obs_metrics.ENABLED:
+        obs_metrics.counter("expr_compile_total", outcome="compiled").inc()
+    return fn
+
+
+def _compile(expr: ast.Expr) -> CompiledFn:
+    if isinstance(expr, ast.Literal):
+        value = expr.value
+        return lambda ctx, frame: value
+
+    if isinstance(expr, ast.VarRef):
+        name = expr.name
+
+        def var_ref(ctx, frame):
+            try:
+                return frame[name]
+            except KeyError:
+                raise BindError(f"unknown variable {name!r}") from None
+
+        return var_ref
+
+    if isinstance(expr, ast.BindVar):
+        name = expr.name
+        normalize = datamodel.normalize
+
+        def bind_var(ctx, frame):
+            try:
+                return normalize(ctx.bind_vars[name])
+            except KeyError:
+                raise BindError(f"missing bind parameter @{name}") from None
+
+        return bind_var
+
+    if isinstance(expr, ast.AttrAccess):
+        # Collapse an attribute chain (``var.a.b.c``) into a single
+        # deep_get over a precomputed path — one call per row instead of
+        # one closure frame per step.
+        path: list = [expr.attribute]
+        node = expr.subject
+        while isinstance(node, ast.AttrAccess):
+            path.append(node.attribute)
+            node = node.subject
+        path_tuple = tuple(reversed(path))
+        subject_fn = _compile(node)
+        return lambda ctx, frame: _deep_get(subject_fn(ctx, frame), path_tuple)
+
+    if isinstance(expr, ast.IndexAccess):
+        subject_fn = _compile(expr.subject)
+        index_fn = _compile(expr.index)
+
+        def index_access(ctx, frame):
+            subject = subject_fn(ctx, frame)
+            index = index_fn(ctx, frame)
+            if isinstance(index, bool) or not isinstance(index, (int, str)):
+                raise ExecutionError(
+                    f"index values must be integers or strings, got "
+                    f"{datamodel.type_name(index)}"
+                )
+            return _deep_get(subject, (index,))
+
+        return index_access
+
+    if isinstance(expr, ast.FuncCall):
+        name = expr.name
+        arg_fns = tuple(_compile(arg) for arg in expr.args)
+
+        def func_call(ctx, frame):
+            return call_function(
+                ctx, name, [fn(ctx, frame) for fn in arg_fns]
+            )
+
+        return func_call
+
+    if isinstance(expr, ast.UnaryOp):
+        operand_fn = _compile(expr.operand)
+        if expr.op == "-":
+
+            def negate(ctx, frame):
+                operand = operand_fn(ctx, frame)
+                if _type_of(operand) is not _TypeTag.NUMBER:
+                    raise ExecutionError("unary - expects a number")
+                return -operand
+
+            return negate
+        return lambda ctx, frame: not _truthy(operand_fn(ctx, frame))
+
+    if isinstance(expr, ast.BinOp):
+        return _compile_binop(expr)
+
+    if isinstance(expr, ast.RangeExpr):
+        low_fn = _compile(expr.low)
+        high_fn = _compile(expr.high)
+
+        def range_expr(ctx, frame):
+            low = low_fn(ctx, frame)
+            high = high_fn(ctx, frame)
+            for bound in (low, high):
+                if _type_of(bound) is not _TypeTag.NUMBER:
+                    raise ExecutionError("range bounds must be numbers")
+            return list(range(int(low), int(high) + 1))
+
+        return range_expr
+
+    if isinstance(expr, ast.ArrayLiteral):
+        item_fns = tuple(_compile(item) for item in expr.items)
+        return lambda ctx, frame: [fn(ctx, frame) for fn in item_fns]
+
+    if isinstance(expr, ast.ObjectLiteral):
+        entry_fns = tuple((key, _compile(value)) for key, value in expr.items)
+        return lambda ctx, frame: {
+            key: fn(ctx, frame) for key, fn in entry_fns
+        }
+
+    if isinstance(expr, ast.Ternary):
+        condition_fn = _compile(expr.condition)
+        then_fn = _compile(expr.then)
+        else_fn = _compile(expr.otherwise)
+        return lambda ctx, frame: (
+            then_fn(ctx, frame)
+            if _truthy(condition_fn(ctx, frame))
+            else else_fn(ctx, frame)
+        )
+
+    # SubQuery / Expansion / InlineFilter (and any future node): interpret
+    # this subtree, keep the rest of the tree compiled.
+    return _interpreted(expr)
+
+
+_COMPARISONS: dict[str, Callable[[int], bool]] = {
+    "==": lambda c: c == 0,
+    "!=": lambda c: c != 0,
+    "<": lambda c: c < 0,
+    "<=": lambda c: c <= 0,
+    ">": lambda c: c > 0,
+    ">=": lambda c: c >= 0,
+}
+
+
+def _like_regex(pattern: str) -> "re.Pattern":
+    # re.escape leaves % and _ untouched, so the SQL wildcards survive
+    # escaping and can be rewritten into regex equivalents.
+    return re.compile(
+        "^" + re.escape(pattern).replace("%", ".*").replace("_", ".") + "$",
+        re.DOTALL,
+    )
+
+
+def _compile_binop(expr: ast.BinOp) -> CompiledFn:
+    op = expr.op
+    left_fn = _compile(expr.left)
+    right_fn = _compile(expr.right)
+
+    if op == "AND":
+
+        def and_op(ctx, frame):
+            if not _truthy(left_fn(ctx, frame)):
+                return False
+            return _truthy(right_fn(ctx, frame))
+
+        return and_op
+
+    if op == "OR":
+
+        def or_op(ctx, frame):
+            if _truthy(left_fn(ctx, frame)):
+                return True
+            return _truthy(right_fn(ctx, frame))
+
+        return or_op
+
+    if op in _COMPARISONS:
+        verdict = _COMPARISONS[op]
+        return lambda ctx, frame: verdict(
+            _compare(left_fn(ctx, frame), right_fn(ctx, frame))
+        )
+
+    if op == "IN":
+        values_equal = datamodel.values_equal
+
+        def in_op(ctx, frame):
+            left = left_fn(ctx, frame)
+            right = right_fn(ctx, frame)
+            if _type_of(right) is not _TypeTag.ARRAY:
+                raise ExecutionError("IN expects an array on the right")
+            return any(values_equal(left, item) for item in right)
+
+        return in_op
+
+    if op == "LIKE":
+        if isinstance(expr.right, ast.Literal) and isinstance(
+            expr.right.value, str
+        ):
+            # Constant pattern: compile the regex once per plan.
+            regex = _like_regex(expr.right.value)
+
+            def like_constant(ctx, frame):
+                left = left_fn(ctx, frame)
+                if not isinstance(left, str):
+                    return False
+                return regex.match(left) is not None
+
+            return like_constant
+
+        def like_dynamic(ctx, frame):
+            left = left_fn(ctx, frame)
+            right = right_fn(ctx, frame)
+            if not isinstance(left, str) or not isinstance(right, str):
+                return False
+            return _like_regex(right).match(left) is not None
+
+        return like_dynamic
+
+    if op in ("+", "-", "*", "/", "%"):
+
+        def arithmetic(ctx, frame):
+            left = left_fn(ctx, frame)
+            right = right_fn(ctx, frame)
+            for operand in (left, right):
+                if _type_of(operand) is not _TypeTag.NUMBER:
+                    raise ExecutionError(
+                        f"arithmetic {op} expects numbers, got "
+                        f"{datamodel.type_name(operand)} "
+                        f"(use CONCAT for strings)"
+                    )
+            if op == "+":
+                return left + right
+            if op == "-":
+                return left - right
+            if op == "*":
+                return left * right
+            if op == "/":
+                if right == 0:
+                    raise ExecutionError("division by zero")
+                return left / right
+            if right == 0:
+                raise ExecutionError("modulo by zero")
+            return left % right
+
+        return arithmetic
+
+    def unknown(ctx, frame):
+        raise ExecutionError(f"unknown operator {op!r}")
+
+    return unknown

@@ -6,19 +6,30 @@ Every query is observable end to end:
   (visible with ``repro.obs.tracing`` enabled, e.g. the shell's ``.trace on``),
 * registry metrics ``queries_total``, ``query_seconds``,
   ``query_phase_seconds{phase=…}``, ``query_rows_returned_total``,
-  ``query_errors_total``,
+  ``query_errors_total``, ``plan_cache_{hits,misses,evictions}_total``,
 * a slow-query log (``repro.obs.slowlog``) when a threshold is set,
 * ``EXPLAIN ANALYZE <query>`` (or ``run_query(…, analyze=True)``) executes
   the query with per-operator probes and attaches the annotated physical
   plan to the result (``Result.analyzed`` / ``Result.op_stats``).
+
+The **plan cache** (:class:`PlanCache`) removes parse+optimize from the hot
+path: plans are keyed on the exact query text plus the *shape* of the bind
+parameters (names and model types — plans never embed bind *values*, so any
+value reuses the plan), and validated against the database's catalog and
+index DDL versions, so ``CREATE INDEX`` / ``drop()`` invalidate exactly the
+plans they could change.  Cached plans also carry their compiled expression
+closures (:mod:`repro.query.compile`), so a warm query skips parsing,
+optimization *and* expression-tree dispatch.
 """
 
 from __future__ import annotations
 
 import re
 import time
+from collections import OrderedDict
 from typing import Any, Optional
 
+from repro.core import datamodel
 from repro.errors import PlanError
 from repro.obs import metrics, slowlog, tracing
 from repro.query.executor import ExecContext, Result, execute
@@ -27,7 +38,7 @@ from repro.query.parser import parse
 from repro.query.plan import render_analyzed_plan, render_plan
 from repro.query import plan as plan_module
 
-__all__ = ["run_query", "explain_query"]
+__all__ = ["PlanCache", "run_query", "explain_query"]
 
 _EXPLAIN_ANALYZE = re.compile(r"^\s*EXPLAIN\s+ANALYZE\b", re.IGNORECASE)
 
@@ -37,6 +48,148 @@ def _strip_analyze_prefix(text: str) -> tuple[str, bool]:
     if match:
         return text[match.end():], True
     return text, False
+
+
+# ---------------------------------------------------------------------------
+# Plan cache
+# ---------------------------------------------------------------------------
+
+
+class PlanCache:
+    """LRU cache of parsed+optimized plans.
+
+    * **Keying** — ``(query text, bind shape, optimized?)``.  The bind
+      shape is the sorted tuple of ``(name, model type tag)`` pairs: the
+      optimizer treats bind parameters as opaque constants, so two
+      executions with different *values* (but the same names/types) share
+      one plan, while adding or removing a parameter — which can change
+      what parses or which index qualifies — gets its own entry.
+    * **Invalidation** — every entry records the catalog and index DDL
+      versions it was planned under; a lookup whose recorded versions no
+      longer match the database's current versions is dropped and counted
+      as a miss, so ``CREATE INDEX``/``DROP``/catalog DDL transparently
+      invalidate affected plans.
+    * **Sizing** — bounded LRU (default 128 entries); evictions are
+      counted.  Plans are ASTs plus compiled closures: small, but
+      unbounded query-text diversity (e.g. values inlined into the text
+      instead of bind parameters) would otherwise grow without limit.
+
+    Counters are mirrored into the observability registry
+    (``plan_cache_hits_total`` / ``plan_cache_misses_total`` /
+    ``plan_cache_evictions_total``) and kept locally so the shell's
+    ``.plancache`` works even with metrics disabled.
+    """
+
+    def __init__(self, capacity: int = 128):
+        self.capacity = max(int(capacity), 1)
+        self._entries: "OrderedDict[tuple, dict]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    @staticmethod
+    def key(text: str, bind_vars: Optional[dict], optimized: bool) -> tuple:
+        shape = tuple(
+            sorted(
+                (name, int(datamodel.type_of(value)))
+                for name, value in (bind_vars or {}).items()
+            )
+        )
+        # Leading/trailing whitespace never changes the plan (an EXPLAIN
+        # ANALYZE prefix strip leaves one behind); interior whitespace can
+        # sit inside string literals, so only the ends are normalized.
+        return (text.strip(), shape, optimized)
+
+    def get(self, key: tuple, versions: tuple) -> Optional[Any]:
+        entry = self._entries.get(key)
+        if entry is not None and entry["versions"] != versions:
+            # DDL happened since this plan was built: drop it.
+            del self._entries[key]
+            self.invalidations += 1
+            entry = None
+        if entry is None:
+            self.misses += 1
+            if metrics.ENABLED:
+                metrics.counter("plan_cache_misses_total").inc()
+            return None
+        self._entries.move_to_end(key)
+        entry["hits"] += 1
+        self.hits += 1
+        if metrics.ENABLED:
+            metrics.counter("plan_cache_hits_total").inc()
+        return entry["plan"]
+
+    def put(self, key: tuple, plan: Any, versions: tuple) -> None:
+        self._entries[key] = {"plan": plan, "versions": versions, "hits": 0}
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            if metrics.ENABLED:
+                metrics.counter("plan_cache_evictions_total").inc()
+
+    def peek_text(self, text: str, versions: tuple) -> Optional[int]:
+        """Prior hit count of a *live* entry for this query text, or None.
+
+        Read-only: EXPLAIN uses it to report cache state without touching
+        LRU order or the hit/miss counters."""
+        text = text.strip()
+        best: Optional[int] = None
+        for key, entry in self._entries.items():
+            if key[0] == text and entry["versions"] == versions:
+                best = max(best or 0, entry["hits"])
+        return best
+
+    def resize(self, capacity: int) -> None:
+        self.capacity = max(int(capacity), 1)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            if metrics.ENABLED:
+                metrics.counter("plan_cache_evictions_total").inc()
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def stats(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "size": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }
+
+    def entries(self) -> list[dict]:
+        """Cached statements, least- to most-recently used (for
+        ``.plancache``)."""
+        return [
+            {
+                "query": key[0].strip(),
+                "bind_shape": [name for name, _tag in key[1]],
+                "optimized": key[2],
+                "hits": entry["hits"],
+            }
+            for key, entry in self._entries.items()
+        ]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+def _ddl_versions(db: Any) -> tuple:
+    """(catalog version, index version) — the plan-validity stamp."""
+    catalog_version = getattr(db, "catalog_version", 0)
+    context = getattr(db, "context", None)
+    index_version = getattr(getattr(context, "indexes", None), "version", 0)
+    return (catalog_version, index_version)
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
 
 
 def run_query(
@@ -53,24 +206,41 @@ def run_query(
     optimizer benchmark compares against.  ``analyze=True`` (or a leading
     ``EXPLAIN ANALYZE`` in *text*) additionally measures every pipeline
     operator and attaches the annotated plan to the result.
+
+    When *db* carries a :class:`PlanCache` (``db.plan_cache``), the
+    parse+optimize phases are skipped entirely on a cache hit; the result's
+    ``stats["plan_cached"]`` records which path ran.
     """
     text, prefixed = _strip_analyze_prefix(text)
     analyze = analyze or prefixed
     enabled = metrics.ENABLED
     perf_counter = time.perf_counter
     started = perf_counter()
+    cache: Optional[PlanCache] = getattr(db, "plan_cache", None)
+    cache_key = versions = None
+    plan_cached = False
     with tracing.span("query"):
         try:
-            with tracing.span("query.parse"):
-                phase_start = perf_counter()
-                query = parse(text)
-                parse_seconds = perf_counter() - phase_start
+            query = None
+            if cache is not None:
+                cache_key = PlanCache.key(text, bind_vars, optimize_query)
+                versions = _ddl_versions(db)
+                query = cache.get(cache_key, versions)
+                plan_cached = query is not None
+            parse_seconds = 0.0
             optimize_seconds = 0.0
-            if optimize_query:
-                with tracing.span("query.optimize"):
+            if query is None:
+                with tracing.span("query.parse"):
                     phase_start = perf_counter()
-                    query = optimize(query, db)
-                    optimize_seconds = perf_counter() - phase_start
+                    query = parse(text)
+                    parse_seconds = perf_counter() - phase_start
+                if optimize_query:
+                    with tracing.span("query.optimize"):
+                        phase_start = perf_counter()
+                        query = optimize(query, db)
+                        optimize_seconds = perf_counter() - phase_start
+                if cache is not None:
+                    cache.put(cache_key, query, versions)
             ctx = ExecContext(
                 db=db, bind_vars=bind_vars or {}, txn=txn, analyze=analyze
             )
@@ -84,17 +254,19 @@ def run_query(
             if enabled:
                 metrics.counter("query_errors_total").inc()
             raise
+    result.stats["plan_cached"] = plan_cached
     elapsed = perf_counter() - started
     if enabled:
         metrics.counter("queries_total").inc()
         metrics.histogram("query_seconds").observe(elapsed)
-        metrics.histogram("query_phase_seconds", phase="parse").observe(
-            parse_seconds
-        )
-        if optimize_query:
-            metrics.histogram("query_phase_seconds", phase="optimize").observe(
-                optimize_seconds
+        if not plan_cached:
+            metrics.histogram("query_phase_seconds", phase="parse").observe(
+                parse_seconds
             )
+            if optimize_query:
+                metrics.histogram(
+                    "query_phase_seconds", phase="optimize"
+                ).observe(optimize_seconds)
         metrics.histogram("query_phase_seconds", phase="execute").observe(
             execute_seconds
         )
@@ -104,12 +276,21 @@ def run_query(
     if analyze:
         result.op_stats = plan_module.analyzed_op_stats(ctx.probes)
         result.analyzed = render_analyzed_plan(query, ctx.probes, elapsed)
+        result.analyzed += (
+            "\nPlan: served from plan cache"
+            if plan_cached
+            else "\nPlan: parsed + optimized this call"
+        )
     return result
 
 
 def explain_query(db: Any, text: str, bind_vars: Optional[dict] = None) -> str:
     """The optimized physical plan as text (bind vars affect index choice
-    only through constancy, so they are optional)."""
+    only through constancy, so they are optional).
+
+    When the database has a plan cache, the first line reports whether a
+    live plan for this exact text is cached (and how often it has been
+    served) — without perturbing the cache."""
     del bind_vars
     text, analyze = _strip_analyze_prefix(text)
     if analyze:
@@ -118,4 +299,13 @@ def explain_query(db: Any, text: str, bind_vars: Optional[dict] = None) -> str:
             "run_query()/db.query() instead of explain()"
         )
     query = optimize(parse(text), db)
-    return render_plan(query)
+    rendered = render_plan(query)
+    cache: Optional[PlanCache] = getattr(db, "plan_cache", None)
+    if cache is not None:
+        hits = cache.peek_text(text, _ddl_versions(db))
+        if hits is None:
+            header = "-- plan: not cached"
+        else:
+            header = f"-- plan: cached (served {hits} time{'s' if hits != 1 else ''})"
+        rendered = f"{header}\n{rendered}"
+    return rendered

@@ -22,10 +22,24 @@ from repro.core import datamodel
 from repro.errors import BindError, ExecutionError, UnknownCollectionError
 from repro.obs import metrics as obs_metrics
 from repro.query import ast
+from repro.query.compile import compile_expr
 from repro.query.functions import call_function
-from repro.query.plan import IndexScanOp
+from repro.query.plan import HashJoinOp, IndexScanOp
 
 __all__ = ["ExecContext", "OpProbe", "Result", "execute"]
+
+
+def _compiled(operation: Any, slot: str, expr: ast.Expr):
+    """Memoized compiled form of *expr*, cached on the operation node.
+
+    Plans live in the plan cache across executions, so compilation happens
+    once per plan, not once per query; a warm cache executes straight
+    closures."""
+    fn = getattr(operation, slot, None)
+    if fn is None:
+        fn = compile_expr(expr)
+        setattr(operation, slot, fn)
+    return fn
 
 
 @dataclass
@@ -50,6 +64,8 @@ class ExecContext:
             "indexes_used": [],
             "rows_returned": 0,
             "writes": 0,
+            "hash_join_builds": 0,
+            "plan_cached": False,
         }
     )
 
@@ -302,6 +318,7 @@ def _iter_source(ctx: ExecContext, name: str) -> Iterator[Any]:
 
 
 def _apply_for(ctx, operation: ast.ForOp, frames):
+    source_fn = _compiled(operation, "_c_source", operation.source)
     for frame in frames:
         if (
             isinstance(operation.source, ast.VarRef)
@@ -310,7 +327,7 @@ def _apply_for(ctx, operation: ast.ForOp, frames):
             # a catalog name (collections shadowable by variables)
             values: Any = _iter_source(ctx, operation.source.name)
         else:
-            values = evaluate(ctx, operation.source, frame)
+            values = source_fn(ctx, frame)
             if datamodel.type_of(values) is not datamodel.TypeTag.ARRAY:
                 raise ExecutionError(
                     f"FOR expects an array or collection, got "
@@ -324,8 +341,9 @@ def _apply_for(ctx, operation: ast.ForOp, frames):
 
 def _apply_traversal(ctx, operation: ast.TraversalOp, frames):
     graph = ctx.db.graph(operation.graph)
+    start_fn = _compiled(operation, "_c_start", operation.start)
     for frame in frames:
-        start = evaluate(ctx, operation.start, frame)
+        start = start_fn(ctx, frame)
         if isinstance(start, dict):
             start = start.get("_key")
         if isinstance(start, (int, float)) and not isinstance(start, bool):
@@ -370,19 +388,30 @@ def _apply_traversal(ctx, operation: ast.TraversalOp, frames):
 def _apply_index_scan(ctx, operation: IndexScanOp, frames):
     store = ctx.db.resolve(operation.source_name)
     namespace = store.namespace
+    value_fn = _compiled(operation, "_c_value", operation.value)
+    residual_fn = (
+        _compiled(operation, "_c_residual", operation.residual)
+        if operation.residual is not None
+        else None
+    )
     for frame in frames:
         if ctx.txn is not None:
             # Indexes reflect the latest committed state, not this snapshot:
             # fall back to scan + the original full predicate.
+            original_fn = (
+                _compiled(operation, "_c_original", operation.original_condition)
+                if operation.original_condition is not None
+                else None
+            )
             for value in _iter_source(ctx, operation.source_name):
                 child = dict(frame)
                 child[operation.var] = value
-                if operation.original_condition is None or datamodel.truthy(
-                    evaluate(ctx, operation.original_condition, child)
+                if original_fn is None or datamodel.truthy(
+                    original_fn(ctx, child)
                 ):
                     yield child
             continue
-        probe = evaluate(ctx, operation.value, frame)
+        probe = value_fn(ctx, frame)
         index_view = ctx.db.context.indexes.get(operation.index_name)
         ctx.stats["index_lookups"] += 1
         if obs_metrics.ENABLED:
@@ -397,8 +426,52 @@ def _apply_index_scan(ctx, operation: IndexScanOp, frames):
                 continue
             child = dict(frame)
             child[operation.var] = record
-            if operation.residual is not None and not datamodel.truthy(
-                evaluate(ctx, operation.residual, child)
+            if residual_fn is not None and not datamodel.truthy(
+                residual_fn(ctx, child)
+            ):
+                ctx.stats["filtered_out"] += 1
+                continue
+            yield child
+
+
+def _apply_hash_join(ctx, operation: HashJoinOp, frames):
+    """Build a hash table over the named collection (the build side) once,
+    then probe it per outer frame — the linear-time replacement for a
+    correlated rescan.
+
+    The table maps ``hash_value(key)`` to ``[(key, record), …]`` buckets;
+    probes confirm with ``compare() == 0`` so hash collisions cannot leak
+    wrong rows and the match semantics (``null == null`` matches,
+    ``1 == 1.0`` matches) are exactly those of the FILTER it replaced.
+    The build is lazy: an empty outer side never scans the collection.
+    """
+    probe_fn = _compiled(operation, "_c_probe", operation.probe)
+    residual_fn = (
+        _compiled(operation, "_c_residual", operation.residual)
+        if operation.residual is not None
+        else None
+    )
+    hash_value = datamodel.hash_value
+    compare = datamodel.compare
+    build_path = operation.build_path
+    table: Optional[dict] = None
+    for frame in frames:
+        if table is None:
+            table = {}
+            for record in _iter_source(ctx, operation.source_name):
+                key = datamodel.deep_get(record, build_path)
+                table.setdefault(hash_value(key), []).append((key, record))
+            ctx.stats["hash_join_builds"] += 1
+            if obs_metrics.ENABLED:
+                obs_metrics.counter("hash_join_builds_total").inc()
+        probe = probe_fn(ctx, frame)
+        for key, record in table.get(hash_value(probe), ()):
+            if compare(key, probe) != 0:
+                continue
+            child = dict(frame)
+            child[operation.var] = record
+            if residual_fn is not None and not datamodel.truthy(
+                residual_fn(ctx, child)
             ):
                 ctx.stats["filtered_out"] += 1
                 continue
@@ -436,36 +509,58 @@ def _apply_shortest_path(ctx, operation: ast.ShortestPathOp, frames):
 
 
 def _apply_filter(ctx, operation: ast.FilterOp, frames):
+    predicate = _compiled(operation, "_c_condition", operation.condition)
+    truthy = datamodel.truthy
     for frame in frames:
-        if datamodel.truthy(evaluate(ctx, operation.condition, frame)):
+        if truthy(predicate(ctx, frame)):
             yield frame
         else:
             ctx.stats["filtered_out"] += 1
 
 
 def _apply_let(ctx, operation: ast.LetOp, frames):
+    value_fn = _compiled(operation, "_c_value", operation.value)
     for frame in frames:
         child = dict(frame)
-        child[operation.var] = evaluate(ctx, operation.value, frame)
+        child[operation.var] = value_fn(ctx, frame)
         yield child
 
 
 def _apply_sort(ctx, operation: ast.SortOp, frames):
-    import functools
+    """Decorate-sort-undecorate: every sort key is evaluated exactly once
+    per frame (the old comparator re-evaluated both sides on *every*
+    comparison, O(n log n) evaluations and allocations).
 
-    materialized = list(frames)
-
-    def compare_frames(frame_a, frame_b):
-        for key in operation.keys:
-            value_a = evaluate(ctx, key.expr, frame_a)
-            value_b = evaluate(ctx, key.expr, frame_b)
-            comparison = datamodel.compare(value_a, value_b)
-            if comparison != 0:
-                return comparison if key.ascending else -comparison
-        return 0
-
-    materialized.sort(key=functools.cmp_to_key(compare_frames))
-    return iter(materialized)
+    :class:`repro.core.datamodel.SortKey` supplies the engine's cross-type
+    total order; NULL has the lowest type tag, so NULLs sort **first**
+    ascending and **last** descending.  Uniform-direction sorts are a
+    single tuple sort; mixed ASC/DESC runs one stable pass per key from
+    the least-significant key outward."""
+    key_fns = getattr(operation, "_c_keys", None)
+    if key_fns is None:
+        key_fns = [compile_expr(key.expr) for key in operation.keys]
+        operation._c_keys = key_fns
+    sort_key = datamodel.SortKey
+    decorated = [
+        (
+            tuple(sort_key(fn(ctx, frame)) for fn in key_fns),
+            frame,
+        )
+        for frame in frames
+    ]
+    directions = [key.ascending for key in operation.keys]
+    if not directions:
+        return iter([frame for _keys, frame in decorated])
+    if all(directions) or not any(directions):
+        decorated.sort(key=lambda entry: entry[0], reverse=not directions[0])
+    else:
+        for position in range(len(directions) - 1, -1, -1):
+            ascending = directions[position]
+            decorated.sort(
+                key=lambda entry: entry[0][position],
+                reverse=not ascending,
+            )
+    return iter([frame for _keys, frame in decorated])
 
 
 def _apply_limit(ctx, operation: ast.LimitOp, frames):
@@ -475,12 +570,21 @@ def _apply_limit(ctx, operation: ast.LimitOp, frames):
 def _apply_collect(ctx, operation: ast.CollectOp, frames):
     from repro.query.functions import call_function
 
+    group_fns = getattr(operation, "_c_groups", None)
+    if group_fns is None:
+        group_fns = [
+            (name, compile_expr(expr)) for name, expr in operation.groups
+        ]
+        operation._c_groups = group_fns
+    agg_fns = getattr(operation, "_c_aggregates", None)
+    if agg_fns is None:
+        agg_fns = [compile_expr(arg) for _name, _func, arg in operation.aggregates]
+        operation._c_aggregates = agg_fns
+
     groups: dict[int, dict] = {}
     order: list[int] = []
     for frame in frames:
-        key_values = [
-            (name, evaluate(ctx, expr, frame)) for name, expr in operation.groups
-        ]
+        key_values = [(name, fn(ctx, frame)) for name, fn in group_fns]
         token = datamodel.hash_value([value for _name, value in key_values])
         if token not in groups:
             groups[token] = {
@@ -492,10 +596,8 @@ def _apply_collect(ctx, operation: ast.CollectOp, frames):
             order.append(token)
         group = groups[token]
         group["count"] += 1
-        for position, (_name, _func, arg) in enumerate(operation.aggregates):
-            group["aggregate_inputs"][position].append(
-                evaluate(ctx, arg, frame)
-            )
+        for position, arg_fn in enumerate(agg_fns):
+            group["aggregate_inputs"][position].append(arg_fn(ctx, frame))
         if operation.into:
             group["members"].append(
                 {name: value for name, value in frame.items() if not name.startswith("$")}
@@ -662,13 +764,20 @@ def _run_pipeline(ctx: ExecContext, query: ast.Query, initial_frame: dict):
                 )
             return rows, ctx.stats["writes"] - writes_before
         if isinstance(operation, ast.ReturnOp):
-            seen: list = []
+            project = _compiled(operation, "_c_expr", operation.expr)
+            # DISTINCT dedups through the model hash (compare-equal values
+            # hash equally); each bucket is verified with values_equal so a
+            # hash collision can never drop a distinct row.
+            seen: dict[int, list] = {}
             for frame in frames:
-                value = evaluate(ctx, operation.expr, frame)
+                value = project(ctx, frame)
                 if operation.distinct:
-                    if any(datamodel.values_equal(value, kept) for kept in seen):
+                    bucket = seen.setdefault(datamodel.hash_value(value), [])
+                    if any(
+                        datamodel.values_equal(value, kept) for kept in bucket
+                    ):
                         continue
-                    seen.append(value)
+                    bucket.append(value)
                 rows.append(value)
             if probes is not None:
                 probes.append(
@@ -681,6 +790,8 @@ def _run_pipeline(ctx: ExecContext, query: ast.Query, initial_frame: dict):
             return rows, ctx.stats["writes"] - writes_before
         if isinstance(operation, IndexScanOp):
             frames = _apply_index_scan(ctx, operation, frames)
+        elif isinstance(operation, HashJoinOp):
+            frames = _apply_hash_join(ctx, operation, frames)
         elif isinstance(operation, ast.ForOp):
             frames = _apply_for(ctx, operation, frames)
         elif isinstance(operation, ast.TraversalOp):

@@ -23,9 +23,15 @@ import dataclasses
 from typing import Any, Optional
 
 from repro.query import ast
-from repro.query.plan import IndexScanOp
+from repro.query.plan import HashJoinOp, IndexScanOp
 
-__all__ = ["optimize", "fold_constants", "push_down_filters", "select_indexes"]
+__all__ = [
+    "optimize",
+    "fold_constants",
+    "push_down_filters",
+    "select_indexes",
+    "build_hash_joins",
+]
 
 _FOLDABLE_BINOPS = {"+", "-", "*", "/", "%", "==", "!=", "<", "<=", ">", ">=", "AND", "OR"}
 
@@ -256,7 +262,7 @@ def _operation_binds(operation: ast.Operation) -> set[str]:
         return bound
     if isinstance(operation, (ast.ForOp, ast.ShortestPathOp)):
         return {operation.var}
-    if isinstance(operation, IndexScanOp):
+    if isinstance(operation, (IndexScanOp, HashJoinOp)):
         return {operation.var}
     if isinstance(operation, ast.LetOp):
         return {operation.var}
@@ -422,6 +428,104 @@ def _try_index_scan(
 
 
 # ---------------------------------------------------------------------------
+# Rule 4: hash joins
+# ---------------------------------------------------------------------------
+
+#: Operations that can emit more than one frame per input frame — the
+#: signal that everything downstream runs once *per outer row*.
+_MULTI_FRAME_OPS = (
+    ast.ForOp,
+    ast.TraversalOp,
+    ast.ShortestPathOp,
+    IndexScanOp,
+    HashJoinOp,
+)
+
+
+def build_hash_joins(query: ast.Query, db) -> ast.Query:
+    """Rewrite correlated inner scans into hash joins.
+
+    Pattern: an inner ``FOR x IN coll`` + ``FILTER … x.path == probe …``
+    pair (after filter pushdown has made them adjacent, and after index
+    selection has taken every pair an index can serve).  Executed naively
+    the pair rescans *coll* once per outer frame — O(outer x inner); the
+    :class:`HashJoinOp` builds a hash table over *coll* once and probes it
+    per frame — O(outer + inner).
+
+    The rewrite only fires when an earlier operation can produce multiple
+    frames (otherwise the scan runs once and a plain filter — or an index
+    scan — is already optimal), and never when the FOR source is a variable
+    bound upstream (that is array iteration, not a collection scan).
+    """
+    operations = list(query.operations)
+    result: list[ast.Operation] = []
+    bound_vars: set[str] = set()
+    inner_loop = False
+    index = 0
+    while index < len(operations):
+        operation = operations[index]
+        next_operation = (
+            operations[index + 1] if index + 1 < len(operations) else None
+        )
+        if (
+            inner_loop
+            and isinstance(operation, ast.ForOp)
+            and isinstance(operation.source, ast.VarRef)
+            and operation.source.name not in bound_vars
+            and isinstance(next_operation, ast.FilterOp)
+        ):
+            rewritten = _try_hash_join(operation, next_operation, db)
+            if rewritten is not None:
+                result.append(rewritten)
+                bound_vars |= _operation_binds(rewritten)
+                inner_loop = True
+                index += 2
+                continue
+        if isinstance(operation, _MULTI_FRAME_OPS):
+            inner_loop = True
+        bound_vars |= _operation_binds(operation)
+        result.append(operation)
+        index += 1
+    return ast.Query(result)
+
+
+def _try_hash_join(
+    for_op: ast.ForOp, filter_op: ast.FilterOp, db
+) -> Optional[HashJoinOp]:
+    source_name = for_op.source.name
+    try:
+        db.resolve(source_name)
+    except Exception:
+        return None
+    conjuncts = _equality_conjuncts(filter_op.condition)
+    for position, conjunct in enumerate(conjuncts):
+        if not (isinstance(conjunct, ast.BinOp) and conjunct.op == "=="):
+            continue
+        for path_side, probe_side in (
+            (conjunct.left, conjunct.right),
+            (conjunct.right, conjunct.left),
+        ):
+            path = _attr_path(path_side, for_op.var)
+            if path is None or not _is_probe_value(probe_side, for_op.var):
+                continue
+            residual_conjuncts = conjuncts[:position] + conjuncts[position + 1:]
+            residual = None
+            for part in residual_conjuncts:
+                residual = (
+                    part if residual is None else ast.BinOp("AND", residual, part)
+                )
+            return HashJoinOp(
+                var=for_op.var,
+                source_name=source_name,
+                build_path=path,
+                probe=probe_side,
+                residual=residual,
+                original_condition=filter_op.condition,
+            )
+    return None
+
+
+# ---------------------------------------------------------------------------
 # Entry point
 # ---------------------------------------------------------------------------
 
@@ -432,8 +536,14 @@ def optimize(
     fold: bool = True,
     pushdown: bool = True,
     indexes: bool = True,
+    hash_joins: bool = True,
 ) -> ast.Query:
-    """Apply the rule pipeline (each rule optional, for ablations)."""
+    """Apply the rule pipeline (each rule optional, for ablations).
+
+    Hash-join building runs last: index selection gets first pick (an
+    index nested-loop probe needs no build and stays current under
+    writes), so only scan+filter pairs no index can serve become hash
+    joins."""
     optimized = query
     if fold:
         optimized = fold_constants(optimized)
@@ -441,4 +551,6 @@ def optimize(
         optimized = push_down_filters(optimized)
     if indexes:
         optimized = select_indexes(optimized, db)
+    if hash_joins:
+        optimized = build_hash_joins(optimized, db)
     return optimized

@@ -15,6 +15,7 @@ from repro.query import ast
 
 __all__ = [
     "IndexScanOp",
+    "HashJoinOp",
     "render_plan",
     "analyzed_op_stats",
     "render_analyzed_plan",
@@ -38,6 +39,31 @@ class IndexScanOp(ast.Operation):
     value: ast.Expr
     index_name: str
     index_kind: str
+    residual: Optional[ast.Expr] = None
+    original_condition: Optional[ast.Expr] = None
+
+
+@dataclass
+class HashJoinOp(ast.Operation):
+    """``FOR var IN collection FILTER var.path == probe`` inside an outer
+    loop, rewritten into a hash join.
+
+    The executor materializes the named collection once into a hash table
+    keyed on ``build_path`` (the *build* side), then probes it with the
+    per-frame value of ``probe`` — turning a correlated rescan (quadratic)
+    into one build plus O(1) probes (linear).  Equality follows the data
+    model's ``==`` (``compare() == 0``), so ``null == null`` matches and
+    ``1 == 1.0``, exactly as the nested-loop filter would.
+
+    ``residual`` holds any remaining filter conjuncts, applied after the
+    join with the inner variable bound; ``original_condition`` preserves
+    the full predicate for EXPLAIN and the rewrite-off differential tests.
+    """
+
+    var: str
+    source_name: str
+    build_path: tuple
+    probe: ast.Expr
     residual: Optional[ast.Expr] = None
     original_condition: Optional[ast.Expr] = None
 
@@ -88,6 +114,16 @@ def _operation_lines(operation: ast.Operation, indent: int) -> list[str]:
             f"{pad}IndexScan {operation.var} IN {operation.source_name} "
             f"USING {operation.index_kind} index {operation.index_name!r} "
             f"ON {'.'.join(operation.path)} == {_expr_text(operation.value)}"
+        ]
+        if operation.residual is not None:
+            lines.append(f"{pad}  Residual: {_expr_text(operation.residual)}")
+        return lines
+    if isinstance(operation, HashJoinOp):
+        lines = [
+            f"{pad}HashJoin {operation.var} IN {operation.source_name} "
+            f"ON {'.'.join(operation.build_path)} == "
+            f"{_expr_text(operation.probe)} "
+            f"(build: hash table over {operation.source_name})"
         ]
         if operation.residual is not None:
             lines.append(f"{pad}  Residual: {_expr_text(operation.residual)}")

@@ -78,11 +78,16 @@ class TestDisabledPath:
         assert tracing.last_trace() is None
         tracing.enable()
         try:
-            db.query("FOR d IN docs RETURN d")
+            # Fresh query text: a plan-cache hit would skip parse/optimize.
+            db.query("FOR d IN docs RETURN d.x")
+            first = tracing.last_trace()
+            # Same text again: served from the plan cache, execute only.
+            db.query("FOR d IN docs RETURN d.x")
         finally:
             tracing.disable()
-        trace = tracing.last_trace()
-        assert trace is not None and trace.name == "query"
-        names = [child.name for child in trace.children]
+        assert first is not None and first.name == "query"
+        names = [child.name for child in first.children]
         assert names == ["query.parse", "query.optimize", "query.execute"]
-        assert trace.children[-1].attrs["rows"] == 1
+        assert first.children[-1].attrs["rows"] == 1
+        cached = tracing.last_trace()
+        assert [child.name for child in cached.children] == ["query.execute"]

@@ -1,0 +1,193 @@
+"""The expression compiler must be observationally identical to the
+interpreter: same values, same errors, for every node kind — with the
+uncovered kinds falling back per subtree."""
+
+import pytest
+
+from repro.core.database import MultiModelDB
+from repro.errors import BindError, ExecutionError
+from repro.query import ast
+from repro.query.compile import compile_expr, compiles_fully
+from repro.query.executor import ExecContext, evaluate
+from repro.query.parser import parse
+
+
+def _expr_of(text: str) -> ast.Expr:
+    """The RETURN expression of ``RETURN <text>``."""
+    query = parse(f"RETURN {text}")
+    return query.operations[-1].expr
+
+
+@pytest.fixture()
+def ctx():
+    db = MultiModelDB()
+    docs = db.create_collection("docs")
+    docs.insert({"_key": "a", "n": 1})
+    docs.insert({"_key": "b", "n": 2})
+    return ExecContext(db=db, bind_vars={"limit": 10, "name": "amy"})
+
+
+FRAME = {
+    "x": 5,
+    "y": 2.5,
+    "s": "hello world",
+    "arr": [3, 1, 2],
+    "doc": {"a": {"b": 42}, "tags": ["red", "blue"]},
+    "flag": True,
+    "nothing": None,
+}
+
+EXPRESSIONS = [
+    "1 + 2 * 3",
+    "x - y",
+    "x % 2 == 1",
+    "-x",
+    "NOT flag",
+    "x > 3 AND y < 3",
+    "x < 3 OR s == 'hello world'",
+    "x != NULL",
+    "nothing == NULL",
+    "doc.a.b",
+    "doc.missing.deeper",
+    "arr[1]",
+    "doc.tags[0]",
+    "x IN arr",
+    "6 IN arr",
+    "s LIKE 'hello%'",
+    "s LIKE '%wor_d'",
+    "s LIKE arr[0]",
+    "1..4",
+    "[x, y, 'z']",
+    "{a: x, b: {c: y}}",
+    "x > 3 ? 'big' : 'small'",
+    "@limit + x",
+    "@name",
+    "LENGTH(arr)",
+    "UPPER(s)",
+    "MAX(arr)",
+    "doc.tags[*]",
+    "arr[* FILTER $CURRENT > 1]",
+]
+
+
+@pytest.mark.parametrize("text", EXPRESSIONS)
+def test_compiled_matches_interpreter(ctx, text):
+    expr = _expr_of(text)
+    assert compile_expr(expr)(ctx, dict(FRAME)) == evaluate(ctx, expr, dict(FRAME))
+
+
+def test_subquery_falls_back_but_works(ctx):
+    expr = _expr_of("(FOR d IN docs SORT d.n RETURN d.n)")
+    assert not compiles_fully(expr)
+    assert compile_expr(expr)(ctx, {}) == [1, 2]
+
+
+def test_expansion_and_inline_filter_fall_back(ctx):
+    assert not compiles_fully(_expr_of("doc.tags[*]"))
+    assert not compiles_fully(_expr_of("arr[* FILTER $CURRENT > 1]"))
+
+
+def test_plain_arithmetic_compiles_fully():
+    assert compiles_fully(_expr_of("1 + x * LENGTH([2, 3])"))
+    assert compiles_fully(_expr_of("x > 3 ? UPPER(s) : @name"))
+
+
+class TestErrors:
+    def test_unknown_variable(self, ctx):
+        fn = compile_expr(_expr_of("missing_var"))
+        with pytest.raises(BindError, match="unknown variable"):
+            fn(ctx, {})
+
+    def test_missing_bind_parameter(self, ctx):
+        fn = compile_expr(_expr_of("@absent"))
+        with pytest.raises(BindError, match="missing bind parameter"):
+            fn(ctx, {})
+
+    def test_division_by_zero(self, ctx):
+        fn = compile_expr(_expr_of("1 / (x - 5)"))
+        with pytest.raises(ExecutionError, match="division by zero"):
+            fn(ctx, dict(FRAME))
+
+    def test_arithmetic_type_error(self, ctx):
+        fn = compile_expr(_expr_of("s + 1"))
+        with pytest.raises(ExecutionError, match="arithmetic"):
+            fn(ctx, dict(FRAME))
+
+    def test_unary_minus_type_error(self, ctx):
+        fn = compile_expr(_expr_of("-s"))
+        with pytest.raises(ExecutionError, match="unary"):
+            fn(ctx, dict(FRAME))
+
+    def test_in_requires_array(self, ctx):
+        fn = compile_expr(_expr_of("x IN s"))
+        with pytest.raises(ExecutionError, match="IN expects an array"):
+            fn(ctx, dict(FRAME))
+
+    def test_bad_index_type(self, ctx):
+        fn = compile_expr(_expr_of("arr[flag]"))
+        with pytest.raises(ExecutionError, match="index values"):
+            fn(ctx, dict(FRAME))
+
+
+class TestShortCircuit:
+    def test_and_skips_right_on_false(self, ctx):
+        # The right side would raise if evaluated.
+        fn = compile_expr(_expr_of("x < 0 AND missing_var"))
+        assert fn(ctx, dict(FRAME)) is False
+
+    def test_or_skips_right_on_true(self, ctx):
+        fn = compile_expr(_expr_of("x > 0 OR missing_var"))
+        assert fn(ctx, dict(FRAME)) is True
+
+    def test_ternary_lazy_branches(self, ctx):
+        fn = compile_expr(_expr_of("x > 0 ? 'ok' : missing_var"))
+        assert fn(ctx, dict(FRAME)) == "ok"
+
+
+class TestSortSemantics:
+    """The decorate-sort-undecorate sort: stability, direction, NULLs."""
+
+    @staticmethod
+    def _db(rows):
+        db = MultiModelDB()
+        coll = db.create_collection("rows")
+        for position, row in enumerate(rows):
+            coll.insert({"_key": f"r{position}", **row})
+        return db
+
+    def test_nulls_first_ascending_last_descending(self):
+        db = self._db([{"v": 2}, {"v": None}, {"v": 1}, {}])
+        ascending = db.query("FOR r IN rows SORT r.v RETURN r.v").rows
+        assert ascending == [None, None, 1, 2]
+        descending = db.query("FOR r IN rows SORT r.v DESC RETURN r.v").rows
+        assert descending == [2, 1, None, None]
+
+    def test_mixed_direction_keys(self):
+        db = self._db(
+            [
+                {"a": 1, "b": "x"},
+                {"a": 2, "b": "x"},
+                {"a": 1, "b": "y"},
+                {"a": 2, "b": "y"},
+            ]
+        )
+        rows = db.query(
+            "FOR r IN rows SORT r.a ASC, r.b DESC RETURN {a: r.a, b: r.b}"
+        ).rows
+        assert rows == [
+            {"a": 1, "b": "y"},
+            {"a": 1, "b": "x"},
+            {"a": 2, "b": "y"},
+            {"a": 2, "b": "x"},
+        ]
+
+    def test_sort_is_stable(self):
+        db = self._db([{"k": 1, "i": n} for n in range(6)])
+        rows = db.query("FOR r IN rows SORT r.k RETURN r.i").rows
+        assert rows == [0, 1, 2, 3, 4, 5]
+
+    def test_heterogeneous_types_total_order(self):
+        db = self._db([{"v": "s"}, {"v": 1}, {"v": True}, {"v": [1]}, {"v": {}}])
+        rows = db.query("FOR r IN rows SORT r.v RETURN r.v").rows
+        # null < bool < number < string < array < object
+        assert rows == [True, 1, "s", [1], {}]

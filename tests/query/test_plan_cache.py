@@ -1,0 +1,132 @@
+"""Plan cache behaviour: keying, LRU, DDL invalidation, observability."""
+
+import pytest
+
+from repro.core.database import MultiModelDB
+from repro.obs import metrics
+from repro.query.engine import PlanCache
+
+
+@pytest.fixture()
+def db():
+    database = MultiModelDB()
+    docs = database.create_collection("docs")
+    for value in range(10):
+        docs.insert({"_key": f"d{value}", "n": value, "city": "Oslo" if value % 2 else "Brno"})
+    return database
+
+
+QUERY = "FOR d IN docs FILTER d.n >= @low RETURN d.n"
+
+
+class TestHitsAndMisses:
+    def test_repeat_query_hits(self, db):
+        before = db.plan_cache.stats()
+        db.query(QUERY, {"low": 5})
+        db.query(QUERY, {"low": 7})  # different value, same shape → same plan
+        after = db.plan_cache.stats()
+        assert after["misses"] == before["misses"] + 1
+        assert after["hits"] == before["hits"] + 1
+
+    def test_stats_flag_reports_cache_path(self, db):
+        first = db.query(QUERY, {"low": 5})
+        second = db.query(QUERY, {"low": 5})
+        assert first.stats["plan_cached"] is False
+        assert second.stats["plan_cached"] is True
+        assert first.rows == second.rows
+
+    def test_bind_shape_distinguishes_entries(self, db):
+        db.query(QUERY, {"low": 5})
+        # Same model type (NUMBER covers int and float) → same shape → hit…
+        hits_before = db.plan_cache.stats()["hits"]
+        db.query(QUERY, {"low": 5.5})
+        assert db.plan_cache.stats()["hits"] == hits_before + 1
+        # …but a differently-typed bind value → new shape → miss.
+        db.query("FOR d IN docs FILTER d.n >= @low RETURN d", {"low": "5"})
+        assert db.plan_cache.stats()["hits"] == hits_before + 1
+
+    def test_optimize_flag_in_key(self, db):
+        from repro.query.engine import run_query
+
+        run_query(db, QUERY, {"low": 5})
+        hits_before = db.plan_cache.stats()["hits"]
+        run_query(db, QUERY, {"low": 5}, optimize_query=False)
+        assert db.plan_cache.stats()["hits"] == hits_before
+
+    def test_obs_counters_mirror(self, db):
+        metrics.REGISTRY.reset()
+        db.query(QUERY, {"low": 5})
+        db.query(QUERY, {"low": 5})
+        assert metrics.REGISTRY.total("plan_cache_hits_total") == 1
+        assert metrics.REGISTRY.total("plan_cache_misses_total") == 1
+
+
+class TestInvalidation:
+    def test_index_ddl_invalidates(self, db):
+        db.query(QUERY, {"low": 5})
+        db.context.indexes.create_index("doc:docs", ("n",), kind="btree")
+        result = db.query(QUERY, {"low": 5})
+        assert result.stats["plan_cached"] is False
+        assert db.plan_cache.stats()["invalidations"] >= 1
+
+    def test_catalog_ddl_invalidates(self, db):
+        db.query(QUERY, {"low": 5})
+        db.create_collection("unrelated")
+        result = db.query(QUERY, {"low": 5})
+        assert result.stats["plan_cached"] is False
+
+    def test_new_index_actually_used_after_invalidation(self, db):
+        point_query = "FOR d IN docs FILTER d.city == @city RETURN d.n"
+        before = db.query(point_query, {"city": "Brno"})
+        assert before.stats["index_lookups"] == 0
+        db.context.indexes.create_index("doc:docs", ("city",), kind="hash")
+        after = db.query(point_query, {"city": "Brno"})
+        assert after.stats["index_lookups"] == 1
+        assert sorted(before.rows) == sorted(after.rows)
+
+
+class TestLRU:
+    def test_eviction_of_least_recently_used(self):
+        cache = PlanCache(capacity=2)
+        versions = (0, 0)
+        cache.put(("a", (), True), "plan-a", versions)
+        cache.put(("b", (), True), "plan-b", versions)
+        assert cache.get(("a", (), True), versions) == "plan-a"  # refresh a
+        cache.put(("c", (), True), "plan-c", versions)           # evicts b
+        assert cache.get(("b", (), True), versions) is None
+        assert cache.get(("a", (), True), versions) == "plan-a"
+        assert cache.stats()["evictions"] == 1
+
+    def test_resize_trims(self):
+        cache = PlanCache(capacity=4)
+        for name in "abcd":
+            cache.put((name, (), True), name, (0, 0))
+        cache.resize(2)
+        assert len(cache) == 2
+        assert cache.get(("d", (), True), (0, 0)) == "d"
+
+    def test_clear(self, db):
+        db.query(QUERY, {"low": 5})
+        assert len(db.plan_cache) == 1
+        db.plan_cache.clear()
+        assert len(db.plan_cache) == 0
+
+
+class TestExplainIndicator:
+    def test_explain_reports_cold_then_cached(self, db):
+        assert "-- plan: not cached" in db.explain(QUERY)
+        db.query(QUERY, {"low": 5})
+        db.query(QUERY, {"low": 5})
+        assert "-- plan: cached (served 1 time)" in db.explain(QUERY)
+
+    def test_explain_analyze_reports_cache_path(self, db):
+        first = db.query("EXPLAIN ANALYZE " + QUERY, {"low": 5})
+        second = db.query("EXPLAIN ANALYZE " + QUERY, {"low": 5})
+        assert "Plan: parsed + optimized this call" in first.analyzed
+        assert "Plan: served from plan cache" in second.analyzed
+
+    def test_explain_does_not_perturb_counters(self, db):
+        db.query(QUERY, {"low": 5})
+        stats_before = db.plan_cache.stats()
+        db.explain(QUERY)
+        assert db.plan_cache.stats() == stats_before
