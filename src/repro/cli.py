@@ -45,6 +45,8 @@ MMQL shell commands:
                         show (or clear/resize) the query plan cache
   .trace [on|off]       print a span tree after each query
   .slowlog [MS|off]     show the slow-query log / set its threshold in ms
+  .faults [arm SITE TRIGGER [EFFECT] [seed N] | disarm SITE|all]
+                        list / arm / disarm fault-injection failpoints
   .quit                 exit
 EXPLAIN ANALYZE <query> executes the query and prints the physical plan
 annotated with per-operator rows and wall-time.
@@ -100,6 +102,9 @@ def run_statement(db: MultiModelDB, statement: str, out: IO, state: dict) -> Non
             "model_ops_total",
             "txn_commits_total",
             "wal_appends_total",
+            "fault_injections_total",
+            "recovery_runs_total",
+            "query_timeouts_total",
         ):
             print(f"    {metric_name}: {registry.total(metric_name)}", file=out)
         cache = getattr(db, "plan_cache", None)
@@ -233,6 +238,81 @@ def run_statement(db: MultiModelDB, statement: str, out: IO, state: dict) -> Non
                     f"{entry['rows']:>6} rows  {entry['query']}",
                     file=out,
                 )
+        return
+    if statement.startswith(".faults"):
+        from repro.fault import registry as fault_registry
+
+        # Importing the durability modules is what registers their sites,
+        # so the listing covers the whole engine even on a fresh shell.
+        import repro.polyglot.integrator  # noqa: F401
+        import repro.storage.checkpoint  # noqa: F401
+        import repro.storage.wal  # noqa: F401
+        import repro.txn.manager  # noqa: F401
+
+        words = statement[len(".faults"):].strip().split()
+        usage = "  usage: .faults [arm SITE TRIGGER [EFFECT] [seed N] | disarm SITE|all]"
+        if not words:
+            states = fault_registry.FAILPOINTS.states()
+            if not states:
+                print("  no failpoints registered", file=out)
+                return
+            for entry in states:
+                if entry["armed"]:
+                    detail = (
+                        f"armed {entry['trigger']} effect={entry['effect']} "
+                        f"fires={entry['fires']}"
+                    )
+                else:
+                    detail = "disarmed"
+                    if entry["fires"]:
+                        detail += f" (fired {entry['fires']})"
+                print(f"  {entry['site']:<36} {detail}", file=out)
+            return
+        command, words = words[0].lower(), words[1:]
+        if command == "disarm":
+            if len(words) != 1:
+                print(usage, file=out)
+                return
+            if words[0].lower() == "all":
+                fault_registry.FAILPOINTS.disarm_all()
+                print("  all failpoints disarmed", file=out)
+                return
+            try:
+                fault_registry.FAILPOINTS.disarm(words[0])
+            except KeyError:
+                print(f"  unknown failpoint {words[0]!r}", file=out)
+                return
+            print(f"  {words[0]} disarmed", file=out)
+            return
+        if command == "arm":
+            seed = None
+            if len(words) >= 2 and words[-2].lower() == "seed":
+                try:
+                    seed = int(words[-1])
+                except ValueError:
+                    print(usage, file=out)
+                    return
+                words = words[:-2]
+            if len(words) not in (2, 3):
+                print(usage, file=out)
+                return
+            site, trigger = words[0], words[1]
+            effect = words[2].lower() if len(words) == 3 else "crash"
+            try:
+                fault_registry.FAILPOINTS.arm(site, trigger, effect, seed=seed)
+            except KeyError:
+                print(f"  unknown failpoint {site!r}", file=out)
+                return
+            except ValueError as error:
+                print(f"error: {error}", file=out)
+                return
+            print(
+                f"  {site} armed: {trigger} effect={effect}"
+                + (f" seed={seed}" if seed is not None else ""),
+                file=out,
+            )
+            return
+        print(usage, file=out)
         return
     if statement.startswith(".explain"):
         query_text = statement[len(".explain"):].strip()

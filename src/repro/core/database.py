@@ -44,7 +44,7 @@ class MultiModelDB:
     """An embedded multi-model database."""
 
     def __init__(self, lock_timeout: float = 5.0, plan_cache_size: int = 128):
-        from repro.query.engine import PlanCache
+        from repro.query.engine import PlanCache, QueryGuardrails
 
         self.context = EngineContext(lock_timeout=lock_timeout)
         self._catalog: dict[str, tuple[str, Any]] = {}
@@ -54,6 +54,9 @@ class MultiModelDB:
         #: invalidates exactly the plans it could change.
         self.catalog_version = 0
         self.plan_cache = PlanCache(plan_cache_size)
+        #: Default query limits (timeout seconds / max result rows); both
+        #: ``None`` — i.e. disabled — unless the deployment opts in.
+        self.guardrails = QueryGuardrails()
 
     # ------------------------------------------------------------------ DDL --
 
@@ -265,15 +268,30 @@ class MultiModelDB:
         bind_vars: Optional[dict] = None,
         txn: Optional[Transaction] = None,
         analyze: bool = False,
+        timeout: Optional[float] = None,
+        max_rows: Optional[int] = None,
     ):
         """Run an MMQL query; returns a :class:`repro.query.executor.Result`.
 
         ``analyze=True`` — or a leading ``EXPLAIN ANALYZE`` in *text* —
         executes with per-operator probes and attaches the annotated plan
-        (``result.analyzed`` / ``result.op_stats``)."""
+        (``result.analyzed`` / ``result.op_stats``).
+
+        ``timeout`` (seconds) / ``max_rows`` bound this query's runtime and
+        result size (:class:`repro.errors.QueryTimeoutError` /
+        :class:`repro.errors.ResourceExhaustedError`); unset, they fall back
+        to ``self.guardrails``, which is disabled by default."""
         from repro.query.engine import run_query
 
-        return run_query(self, text, bind_vars or {}, txn, analyze=analyze)
+        return run_query(
+            self,
+            text,
+            bind_vars or {},
+            txn,
+            analyze=analyze,
+            timeout=timeout,
+            max_rows=max_rows,
+        )
 
     def explain(self, text: str, bind_vars: Optional[dict] = None) -> str:
         """The optimized plan as text, without executing."""

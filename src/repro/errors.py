@@ -102,6 +102,26 @@ class FunctionError(ExecutionError):
     """A built-in function received bad arguments."""
 
 
+class QueryTimeoutError(QueryError):
+    """The query exceeded its wall-clock budget (graceful degradation:
+    the engine gives up deterministically instead of starving the rest of
+    the workload)."""
+
+    def __init__(self, message: str, elapsed: float = 0.0, limit: float = 0.0):
+        super().__init__(message)
+        self.elapsed = elapsed
+        self.limit = limit
+
+
+class ResourceExhaustedError(QueryError):
+    """The query exceeded a resource budget (currently: max result rows)."""
+
+    def __init__(self, message: str, rows: int = 0, limit: int = 0):
+        super().__init__(message)
+        self.rows = rows
+        self.limit = limit
+
+
 # ---------------------------------------------------------------------------
 # Transactions
 # ---------------------------------------------------------------------------
@@ -146,6 +166,34 @@ class WalError(StorageError):
 
 class RecoveryError(StorageError):
     """Crash recovery could not be completed."""
+
+
+# ---------------------------------------------------------------------------
+# Fault injection
+# ---------------------------------------------------------------------------
+
+
+class InjectedFaultError(ReproError):
+    """A failpoint fired with the ``error`` effect.
+
+    Raised by armed failpoint sites that are asked to produce a *recoverable*
+    fault (as opposed to a simulated process crash); callers exercising
+    retry/degradation paths catch this.
+    """
+
+
+class SimulatedCrash(Exception):
+    """A failpoint fired with the ``crash`` effect: the process is presumed
+    dead from this point on.
+
+    Deliberately **not** a :class:`ReproError`: nothing inside the engine may
+    catch and survive it — only the torture harness (which then discards all
+    in-memory state and recovers from the on-disk WAL/checkpoint) handles it.
+    """
+
+    def __init__(self, site: str):
+        super().__init__(f"simulated process crash at failpoint {site!r}")
+        self.site = site
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,42 @@
+"""Fault injection: failpoints, faulty I/O, retries, and the torture harness.
+
+Public surface:
+
+* :mod:`repro.fault.registry` — named failpoint sites with deterministic
+  triggers (``once`` / ``after:K`` / ``every:N`` / ``prob:P``) and effects
+  (``crash`` / ``error`` / ``torn`` / ``bitflip`` / ``enospc``);
+* :mod:`repro.fault.io` — write/flush/fsync/rename shims the WAL and
+  checkpoint writer route through, so injected faults hit real byte sinks;
+* :mod:`repro.fault.retry` — retry-with-backoff for transient faults;
+* :mod:`repro.fault.harness` — the crash-recovery torture driver.
+
+See ``docs/ROBUSTNESS.md`` for the site catalog and the fault matrix.
+"""
+
+from repro.errors import InjectedFaultError, SimulatedCrash
+from repro.fault.registry import (
+    EFFECTS,
+    FAILPOINTS,
+    Failpoint,
+    FailpointRegistry,
+    arm,
+    disarm,
+    disarm_all,
+    register,
+)
+from repro.fault.retry import RetryExhaustedError, retry_with_backoff
+
+__all__ = [
+    "EFFECTS",
+    "FAILPOINTS",
+    "Failpoint",
+    "FailpointRegistry",
+    "InjectedFaultError",
+    "RetryExhaustedError",
+    "SimulatedCrash",
+    "arm",
+    "disarm",
+    "disarm_all",
+    "register",
+    "retry_with_backoff",
+]

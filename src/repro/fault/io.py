@@ -1,0 +1,133 @@
+"""Faulty I/O shim: write/flush/fsync/rename with injectable failures.
+
+The WAL and checkpoint writer route their file operations through these
+helpers so that an armed failpoint can make a *specific* I/O call suffer a
+realistic failure:
+
+========  =====================================================================
+effect    behaviour at a ``write`` site
+========  =====================================================================
+crash     flush what was written so far, then raise :class:`SimulatedCrash`
+torn      write a prefix of the data (a torn/partial line), flush, then crash
+bitflip   silently corrupt one character before writing (latent corruption)
+enospc    raise ``OSError(ENOSPC)`` without writing (disk full)
+error     raise ``OSError(EIO)`` without writing (generic I/O error)
+========  =====================================================================
+
+At ``flush``/``fsync`` sites, ``error``/``enospc`` raise the matching
+``OSError`` (a failed fsync — the durability lie every storage engine must
+assume possible) and ``crash`` raises after the sync completes.  At
+``rename`` sites, ``crash`` raises *before* the rename (the atomic publish
+never happens) and ``error`` raises an ``OSError`` instead of renaming.
+
+Each helper falls through to the plain operation when the failpoint is
+disarmed; sites additionally guard on ``fp.armed`` so the common path costs
+one attribute load.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+from typing import IO, Optional
+
+from repro.errors import SimulatedCrash
+from repro.fault.registry import Failpoint
+
+__all__ = ["write", "flush", "fsync", "rename", "dir_fsync", "corrupt_text"]
+
+
+def corrupt_text(data: str) -> str:
+    """Flip one character near the middle of *data*, never producing a
+    newline (the corruption must stay inside the record's line)."""
+    if not data:
+        return data
+    position = len(data) // 2
+    original = data[position]
+    flipped = chr(ord(original) ^ 1)
+    if flipped in ("\n", "\r"):
+        flipped = chr(ord(original) ^ 2)
+    return data[:position] + flipped + data[position + 1:]
+
+
+def _io_error(effect: str, site: str) -> OSError:
+    if effect == "enospc":
+        return OSError(errno.ENOSPC, f"No space left on device (injected at {site})")
+    return OSError(errno.EIO, f"Input/output error (injected at {site})")
+
+
+def write(handle: IO[str], data: str, fp: Optional[Failpoint] = None) -> None:
+    """Write *data* to *handle*, applying the armed effect of *fp*."""
+    if fp is not None and fp.armed:
+        effect = fp.fires()
+        if effect == "crash":
+            handle.flush()
+            raise SimulatedCrash(fp.name)
+        if effect == "torn":
+            handle.write(data[: max(1, len(data) // 2)])
+            handle.flush()
+            raise SimulatedCrash(fp.name)
+        if effect == "bitflip":
+            data = corrupt_text(data)
+        elif effect in ("enospc", "error"):
+            raise _io_error(effect, fp.name)
+    handle.write(data)
+
+
+def flush(handle: IO[str], fp: Optional[Failpoint] = None) -> None:
+    if fp is not None and fp.armed:
+        effect = fp.fires()
+        if effect in ("enospc", "error", "torn", "bitflip"):
+            raise _io_error(effect, fp.name)
+        if effect == "crash":
+            handle.flush()
+            raise SimulatedCrash(fp.name)
+    handle.flush()
+
+
+def fsync(handle: IO[str], fp: Optional[Failpoint] = None) -> None:
+    """``flush`` + ``os.fsync`` with injectable failed-fsync semantics."""
+    if fp is not None and fp.armed:
+        effect = fp.fires()
+        if effect in ("enospc", "error", "torn", "bitflip"):
+            # The failed fsync: data may or may not be durable, the caller
+            # only knows the guarantee was NOT given.
+            raise _io_error(effect, fp.name)
+        if effect == "crash":
+            handle.flush()
+            os.fsync(handle.fileno())
+            raise SimulatedCrash(fp.name)
+    handle.flush()
+    os.fsync(handle.fileno())
+
+
+def rename(source: str, destination: str, fp: Optional[Failpoint] = None) -> None:
+    """Atomic publish (``os.replace``) with injectable failure *before* the
+    rename — after a crash here, the destination is untouched."""
+    if fp is not None and fp.armed:
+        effect = fp.fires()
+        if effect == "crash":
+            raise SimulatedCrash(fp.name)
+        if effect in ("enospc", "error", "torn", "bitflip"):
+            raise _io_error(effect, fp.name)
+    os.replace(source, destination)
+
+
+def dir_fsync(path: str, fp: Optional[Failpoint] = None) -> None:
+    """fsync the *directory* containing a just-renamed file so the rename
+    itself is durable.  Best-effort on platforms without O_DIRECTORY."""
+    if fp is not None and fp.armed:
+        effect = fp.fires()
+        if effect == "crash":
+            raise SimulatedCrash(fp.name)
+        if effect in ("enospc", "error", "torn", "bitflip"):
+            raise _io_error(effect, fp.name)
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return  # platform without directory fds: nothing more we can do
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)

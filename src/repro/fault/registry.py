@@ -1,0 +1,275 @@
+"""Failpoint registry: named fault-injection sites with deterministic triggers.
+
+The tutorial's pitch for multi-model engines is that *one* system implements
+fault tolerance for every data model — which is only credible if the one
+recovery path is exercised under injected failures.  This module makes
+failure a first-class input: engine code declares **sites** (cheap,
+always-present hooks on the durability and commit paths), and tests, the
+torture harness or the shell **arm** a site with a trigger and an effect.
+
+Design (modelled on FreeBSD failpoints / TiKV ``fail-rs``, without the FFI):
+
+* **Sites are static.**  Modules declare them at import time with
+  :meth:`FailpointRegistry.register`, so the harness can enumerate every
+  site in the engine without executing anything.
+* **Disarmed sites are near-free.**  ``register`` returns a handle whose
+  ``armed`` attribute the site guards on — one attribute load per hit,
+  exactly like the metrics ``ENABLED`` flag.
+* **Triggers are deterministic.**  ``once``, ``after:K`` (fire on the K-th
+  hit), ``every:N`` and ``prob:P`` (seeded RNG) — a failing torture run is
+  reproducible from ``(site, trigger, seed)`` alone.
+* **Effects are interpreted by the site.**  Plain code sites raise
+  (``crash`` → :class:`SimulatedCrash`, ``error`` →
+  :class:`InjectedFaultError`); the I/O shim (:mod:`repro.fault.io`)
+  additionally understands ``torn``, ``bitflip`` and ``enospc``.
+
+Every fire is counted in ``fault_injections_total{site=…, effect=…}``.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Iterator, Optional
+
+from repro.errors import InjectedFaultError, SimulatedCrash
+from repro.obs import metrics as obs_metrics
+
+__all__ = [
+    "EFFECTS",
+    "Failpoint",
+    "FailpointRegistry",
+    "FAILPOINTS",
+    "register",
+    "arm",
+    "disarm",
+    "disarm_all",
+]
+
+#: Effects a failpoint can be armed with.  ``crash``/``error`` work at any
+#: site; the I/O effects only make sense at sites routed through
+#: :mod:`repro.fault.io` (elsewhere they degrade to ``error``).
+EFFECTS = ("crash", "error", "torn", "bitflip", "enospc")
+
+
+class Failpoint:
+    """One named injection site.
+
+    The hot-path contract: sites guard on ``fp.armed`` (a plain attribute)
+    and only call :meth:`fires` / :meth:`check` when it is True, so a
+    disarmed site costs one attribute load.
+    """
+
+    __slots__ = (
+        "name",
+        "description",
+        "armed",
+        "mode",
+        "param",
+        "effect",
+        "seed",
+        "hits",
+        "fires_count",
+        "_rng",
+    )
+
+    def __init__(self, name: str, description: str = ""):
+        self.name = name
+        self.description = description
+        self.armed = False
+        self.mode = "off"
+        self.param = 0.0
+        self.effect = "crash"
+        self.seed: Optional[int] = None
+        self.hits = 0
+        self.fires_count = 0
+        self._rng: Optional[random.Random] = None
+
+    # -- arming ------------------------------------------------------------
+
+    def arm(self, trigger: str, effect: str = "crash", seed: Optional[int] = None) -> None:
+        """Arm with a trigger spec: ``once`` | ``after:K`` | ``every:N`` |
+        ``prob:P``.  ``seed`` makes ``prob`` deterministic (defaults to 0)."""
+        mode, _, raw = trigger.partition(":")
+        mode = mode.strip().lower()
+        if mode == "once":
+            param = 1.0
+        elif mode in ("after", "every"):
+            try:
+                param = float(int(raw))
+            except ValueError:
+                raise ValueError(f"trigger {trigger!r}: expected an integer after ':'")
+            if param < 1:
+                raise ValueError(f"trigger {trigger!r}: count must be >= 1")
+        elif mode == "prob":
+            try:
+                param = float(raw)
+            except ValueError:
+                raise ValueError(f"trigger {trigger!r}: expected a float after ':'")
+            if not 0.0 <= param <= 1.0:
+                raise ValueError(f"trigger {trigger!r}: probability must be in [0, 1]")
+        else:
+            raise ValueError(
+                f"unknown trigger {trigger!r} (use once, after:K, every:N, prob:P)"
+            )
+        if effect not in EFFECTS:
+            raise ValueError(f"unknown effect {effect!r} (use one of {', '.join(EFFECTS)})")
+        self.mode = mode
+        self.param = param
+        self.effect = effect
+        self.seed = seed
+        self._rng = random.Random(0 if seed is None else seed)
+        self.hits = 0
+        self.fires_count = 0
+        self.armed = True
+
+    def disarm(self) -> None:
+        self.armed = False
+        self.mode = "off"
+
+    # -- evaluation --------------------------------------------------------
+
+    def fires(self) -> Optional[str]:
+        """Record one hit; returns the armed effect when the trigger fires,
+        else None.  Call only when ``armed`` (sites guard on it)."""
+        if not self.armed:
+            return None
+        self.hits += 1
+        mode = self.mode
+        if mode == "once":
+            fire = self.hits == 1
+            if fire:
+                self.armed = False  # one-shot: disarm after firing
+        elif mode == "after":
+            fire = self.hits == int(self.param)
+            if fire:
+                self.armed = False
+        elif mode == "every":
+            fire = self.hits % int(self.param) == 0
+        else:  # prob
+            fire = self._rng.random() < self.param
+        if not fire:
+            return None
+        self.fires_count += 1
+        if obs_metrics.ENABLED:
+            obs_metrics.counter(
+                "fault_injections_total", site=self.name, effect=self.effect
+            ).inc()
+        return self.effect
+
+    def check(self) -> None:
+        """Plain-code site hook: raise the armed exception effect when the
+        trigger fires.  Non-exception effects (``torn``/``bitflip``/…)
+        degrade to :class:`InjectedFaultError` outside the I/O shim."""
+        if not self.armed:
+            return
+        effect = self.fires()
+        if effect is None:
+            return
+        if effect == "crash":
+            raise SimulatedCrash(self.name)
+        raise InjectedFaultError(
+            f"injected {effect!r} fault at failpoint {self.name!r}"
+        )
+
+    def state(self) -> dict:
+        """Introspection dict (the shell's ``.faults`` listing)."""
+        if self.armed or self.mode != "off":
+            trigger = self.mode
+            if self.mode in ("after", "every"):
+                trigger = f"{self.mode}:{int(self.param)}"
+            elif self.mode == "prob":
+                trigger = f"prob:{self.param:g}"
+        else:
+            trigger = "off"
+        return {
+            "site": self.name,
+            "description": self.description,
+            "armed": self.armed,
+            "trigger": trigger if self.armed else "off",
+            "effect": self.effect if self.armed else None,
+            "seed": self.seed if self.armed else None,
+            "hits": self.hits,
+            "fires": self.fires_count,
+        }
+
+
+class FailpointRegistry:
+    """Process-wide catalog of failpoints, keyed by site name."""
+
+    def __init__(self):
+        self._sites: dict[str, Failpoint] = {}
+        self._lock = threading.Lock()
+
+    def register(self, name: str, description: str = "") -> Failpoint:
+        """Get-or-create the site (idempotent: modules call this at import
+        time; the first registration's description wins)."""
+        site = self._sites.get(name)
+        if site is None:
+            with self._lock:
+                site = self._sites.get(name)
+                if site is None:
+                    site = Failpoint(name, description)
+                    self._sites[name] = site
+        return site
+
+    def get(self, name: str) -> Failpoint:
+        site = self._sites.get(name)
+        if site is None:
+            raise KeyError(f"no failpoint named {name!r}")
+        return site
+
+    def arm(
+        self,
+        name: str,
+        trigger: str,
+        effect: str = "crash",
+        seed: Optional[int] = None,
+    ) -> Failpoint:
+        site = self.get(name)
+        site.arm(trigger, effect, seed)
+        return site
+
+    def disarm(self, name: str) -> None:
+        self.get(name).disarm()
+
+    def disarm_all(self) -> None:
+        for site in self._sites.values():
+            site.disarm()
+
+    def names(self, prefix: str = "") -> list[str]:
+        return sorted(
+            name for name in self._sites if name.startswith(prefix)
+        )
+
+    def states(self) -> list[dict]:
+        return [self._sites[name].state() for name in self.names()]
+
+    def armed(self) -> list[str]:
+        return [name for name in self.names() if self._sites[name].armed]
+
+    def __iter__(self) -> Iterator[Failpoint]:
+        return iter(self._sites.values())
+
+    def __len__(self) -> int:
+        return len(self._sites)
+
+
+#: The engine-wide registry: every site in the process registers here.
+FAILPOINTS = FailpointRegistry()
+
+
+def register(name: str, description: str = "") -> Failpoint:
+    return FAILPOINTS.register(name, description)
+
+
+def arm(name: str, trigger: str, effect: str = "crash", seed: Optional[int] = None) -> Failpoint:
+    return FAILPOINTS.arm(name, trigger, effect, seed)
+
+
+def disarm(name: str) -> None:
+    FAILPOINTS.disarm(name)
+
+
+def disarm_all() -> None:
+    FAILPOINTS.disarm_all()

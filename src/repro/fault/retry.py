@@ -1,0 +1,62 @@
+"""Retry with exponential backoff, for transient (often injected) faults.
+
+A deliberately small helper: the polyglot workload uses it to model the
+application-level retry loop a client would wrap around a store that can
+suffer transient failures.  The sleep function is injectable so tests and
+benchmarks never actually wait.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Optional
+
+from repro.errors import InjectedFaultError
+from repro.obs import metrics as obs_metrics
+
+__all__ = ["RetryExhaustedError", "retry_with_backoff"]
+
+
+class RetryExhaustedError(InjectedFaultError):
+    """Every attempt failed; carries the last underlying error."""
+
+    def __init__(self, attempts: int, last_error: BaseException):
+        super().__init__(
+            f"gave up after {attempts} attempt(s): {last_error}"
+        )
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+def retry_with_backoff(
+    work: Callable[[int], Any],
+    attempts: int = 3,
+    retry_on: tuple = (InjectedFaultError, OSError),
+    base_delay: float = 0.01,
+    max_delay: float = 1.0,
+    sleep: Optional[Callable[[float], None]] = time.sleep,
+) -> Any:
+    """Call ``work(attempt)`` (0-based attempt index) until it succeeds.
+
+    Retries on *retry_on* exceptions with exponential backoff
+    (``base_delay * 2**attempt``, capped at *max_delay*); any other
+    exception propagates immediately.  After *attempts* failures raises
+    :class:`RetryExhaustedError` chaining the last one.  Passing the attempt
+    index lets callers regenerate per-attempt state (e.g. a fresh
+    idempotency key).  ``sleep=None`` disables the delay entirely.
+    """
+    if attempts < 1:
+        raise ValueError("attempts must be >= 1")
+    last_error: Optional[BaseException] = None
+    for attempt in range(attempts):
+        if attempt and sleep is not None:
+            sleep(min(base_delay * (2 ** (attempt - 1)), max_delay))
+        try:
+            result = work(attempt)
+        except retry_on as error:
+            last_error = error
+            if obs_metrics.ENABLED and attempt + 1 < attempts:
+                obs_metrics.counter("fault_retries_total").inc()
+            continue
+        return result
+    raise RetryExhaustedError(attempts, last_error)

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+from repro.fault import registry as fault_registry
 from repro.polyglot.stores import (
     NetworkMeter,
     PolyglotDocumentStore,
@@ -25,6 +26,19 @@ from repro.polyglot.stores import (
 )
 
 __all__ = ["PartialFailure", "PolyglotECommerce"]
+
+# Failpoint sites between the three store writes of place_order — the
+# atomicity gaps a distributed-transaction coordinator would have closed.
+# Armed (e.g. with a seeded ``prob:P`` trigger) they replace the ad-hoc
+# crash RNG the UniBench workload used to hand-roll.
+_FP_AFTER_ORDERS = fault_registry.register(
+    "polyglot.place_order.after_orders",
+    "crash window after the order-store write",
+)
+_FP_AFTER_CART = fault_registry.register(
+    "polyglot.place_order.after_cart",
+    "crash window after the cart-store write",
+)
 
 
 class PartialFailure(RuntimeError):
@@ -89,7 +103,9 @@ class PolyglotECommerce:
 
         ``fail_after`` ∈ {"orders", "cart"} aborts between store writes,
         modelling the process crash a distributed-transaction coordinator
-        would have protected against.
+        would have protected against; armed failpoints
+        (``polyglot.place_order.after_orders`` / ``…after_cart``) trigger
+        the same windows deterministically.
         """
         order = dict(order)
         self._placed_seq += 1
@@ -98,10 +114,14 @@ class PolyglotECommerce:
         order["placed"] = self._placed_seq
         order["placed_for"] = customer_id
         order_no = self.orders.insert(order)
-        if fail_after == "orders":
+        if fail_after == "orders" or (
+            _FP_AFTER_ORDERS.armed and _FP_AFTER_ORDERS.fires()
+        ):
             raise PartialFailure("crashed after writing the order store")
         self.carts.put(customer_id, order_no)
-        if fail_after == "cart":
+        if fail_after == "cart" or (
+            _FP_AFTER_CART.armed and _FP_AFTER_CART.fires()
+        ):
             raise PartialFailure("crashed after writing the cart store")
         total = sum(line.get("Price", 0) for line in order.get("Orderlines", []))
         self.customers.update(customer_id, {"last_order_total": total})

@@ -30,7 +30,7 @@ from collections import OrderedDict
 from typing import Any, Optional
 
 from repro.core import datamodel
-from repro.errors import PlanError
+from repro.errors import PlanError, QueryTimeoutError, ResourceExhaustedError
 from repro.obs import metrics, slowlog, tracing
 from repro.query.executor import ExecContext, Result, execute
 from repro.query.optimizer import optimize
@@ -38,7 +38,7 @@ from repro.query.parser import parse
 from repro.query.plan import render_analyzed_plan, render_plan
 from repro.query import plan as plan_module
 
-__all__ = ["PlanCache", "run_query", "explain_query"]
+__all__ = ["PlanCache", "QueryGuardrails", "run_query", "explain_query"]
 
 _EXPLAIN_ANALYZE = re.compile(r"^\s*EXPLAIN\s+ANALYZE\b", re.IGNORECASE)
 
@@ -48,6 +48,39 @@ def _strip_analyze_prefix(text: str) -> tuple[str, bool]:
     if match:
         return text[match.end():], True
     return text, False
+
+
+# ---------------------------------------------------------------------------
+# Guardrail defaults
+# ---------------------------------------------------------------------------
+
+
+class QueryGuardrails:
+    """Database-level guardrail defaults, applied to every query that does
+    not pass its own ``timeout``/``max_rows``.
+
+    Both default to ``None`` (disabled): an unconfigured engine runs every
+    query unbounded, exactly as before guardrails existed.  Set via
+    ``db.guardrails.timeout = 2.0`` (seconds) and/or
+    ``db.guardrails.max_rows = 100_000``; a per-call argument always wins
+    over the default.
+    """
+
+    __slots__ = ("timeout", "max_rows")
+
+    def __init__(
+        self,
+        timeout: Optional[float] = None,
+        max_rows: Optional[int] = None,
+    ):
+        self.timeout = timeout
+        self.max_rows = max_rows
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryGuardrails(timeout={self.timeout!r}, "
+            f"max_rows={self.max_rows!r})"
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -199,6 +232,8 @@ def run_query(
     txn: Any = None,
     optimize_query: bool = True,
     analyze: bool = False,
+    timeout: Optional[float] = None,
+    max_rows: Optional[int] = None,
 ) -> Result:
     """Parse, optimize and execute an MMQL query against *db*.
 
@@ -206,6 +241,12 @@ def run_query(
     optimizer benchmark compares against.  ``analyze=True`` (or a leading
     ``EXPLAIN ANALYZE`` in *text*) additionally measures every pipeline
     operator and attaches the annotated plan to the result.
+
+    ``timeout`` (seconds) and ``max_rows`` are the query guardrails: when
+    set, execution raises :class:`QueryTimeoutError` past the deadline or
+    :class:`ResourceExhaustedError` past the row budget.  Both default to
+    *db*-level defaults (``db.guardrails``) when present, and to *off*
+    otherwise — an unconfigured engine pays nothing for them.
 
     When *db* carries a :class:`PlanCache` (``db.plan_cache``), the
     parse+optimize phases are skipped entirely on a cache hit; the result's
@@ -216,6 +257,12 @@ def run_query(
     enabled = metrics.ENABLED
     perf_counter = time.perf_counter
     started = perf_counter()
+    guardrails = getattr(db, "guardrails", None)
+    if guardrails is not None:
+        if timeout is None:
+            timeout = guardrails.timeout
+        if max_rows is None:
+            max_rows = guardrails.max_rows
     cache: Optional[PlanCache] = getattr(db, "plan_cache", None)
     cache_key = versions = None
     plan_cached = False
@@ -244,15 +291,24 @@ def run_query(
             ctx = ExecContext(
                 db=db, bind_vars=bind_vars or {}, txn=txn, analyze=analyze
             )
+            if timeout is not None:
+                ctx.timeout = float(timeout)
+                ctx.deadline = started + ctx.timeout
+            if max_rows is not None:
+                ctx.max_rows = int(max_rows)
             with tracing.span("query.execute") as execute_span:
                 phase_start = perf_counter()
                 result = execute(ctx, query)
                 execute_seconds = perf_counter() - phase_start
                 if execute_span is not None:
                     execute_span.set(rows=len(result.rows))
-        except Exception:
+        except Exception as error:
             if enabled:
                 metrics.counter("query_errors_total").inc()
+                if isinstance(error, QueryTimeoutError):
+                    metrics.counter("query_timeouts_total").inc()
+                elif isinstance(error, ResourceExhaustedError):
+                    metrics.counter("query_row_budget_exceeded_total").inc()
             raise
     result.stats["plan_cached"] = plan_cached
     elapsed = perf_counter() - started

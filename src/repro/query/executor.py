@@ -19,7 +19,13 @@ from dataclasses import dataclass, field
 from typing import Any, Iterator, Optional
 
 from repro.core import datamodel
-from repro.errors import BindError, ExecutionError, UnknownCollectionError
+from repro.errors import (
+    BindError,
+    ExecutionError,
+    QueryTimeoutError,
+    ResourceExhaustedError,
+    UnknownCollectionError,
+)
 from repro.obs import metrics as obs_metrics
 from repro.query import ast
 from repro.query.compile import compile_expr
@@ -49,12 +55,21 @@ class ExecContext:
 
     ``analyze=True`` (the EXPLAIN ANALYZE path) wraps every top-level
     pipeline operator with an :class:`OpProbe` that records rows produced
-    and wall-time; probes land in ``probes`` in operation order."""
+    and wall-time; probes land in ``probes`` in operation order.
+
+    ``deadline``/``max_rows`` are the graceful-degradation guardrails
+    (``deadline`` is an absolute ``time.perf_counter()`` instant).  Both
+    default to None — fully disabled, zero per-row cost beyond a None
+    check — and are enforced at the row sources and the result
+    materializer, so subqueries inherit them through the shared context."""
 
     db: Any
     bind_vars: dict
     txn: Any = None
     analyze: bool = False
+    deadline: Optional[float] = None
+    timeout: Optional[float] = None
+    max_rows: Optional[int] = None
     probes: list = field(default_factory=list)
     stats: dict = field(
         default_factory=lambda: {
@@ -123,6 +138,35 @@ class Result:
 
     def first(self):
         return self.rows[0] if self.rows else None
+
+
+# ---------------------------------------------------------------------------
+# Guardrails
+# ---------------------------------------------------------------------------
+
+
+def _check_deadline(ctx: ExecContext) -> None:
+    """Raise :class:`QueryTimeoutError` when the query's wall-clock budget
+    is spent.  Called per-row at the sources, only when a deadline is set."""
+    now = time.perf_counter()
+    if now > ctx.deadline:
+        limit = ctx.timeout or 0.0
+        raise QueryTimeoutError(
+            f"query exceeded its {limit:g}s timeout",
+            elapsed=now - (ctx.deadline - limit),
+            limit=limit,
+        )
+
+
+def _check_row_budget(ctx: ExecContext, produced: int) -> None:
+    """Raise :class:`ResourceExhaustedError` when the result would exceed
+    the max-rows budget."""
+    if produced > ctx.max_rows:
+        raise ResourceExhaustedError(
+            f"query produced more than max_rows={ctx.max_rows} result rows",
+            rows=produced,
+            limit=ctx.max_rows,
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -273,7 +317,17 @@ def _binop(ctx: ExecContext, expr: ast.BinOp, frame: dict) -> Any:
 
 
 def _iter_source(ctx: ExecContext, name: str) -> Iterator[Any]:
-    """Stream the natural row shape of any catalog object."""
+    """Stream the natural row shape of any catalog object, charging each
+    row against the query deadline when one is set."""
+    if ctx.deadline is None:
+        yield from _iter_source_records(ctx, name)
+        return
+    for value in _iter_source_records(ctx, name):
+        _check_deadline(ctx)
+        yield value
+
+
+def _iter_source_records(ctx: ExecContext, name: str) -> Iterator[Any]:
     kind = ctx.db.kind_of(name)
     store = ctx.db.resolve(name)
     if kind == "table":
@@ -334,6 +388,8 @@ def _apply_for(ctx, operation: ast.ForOp, frames):
                     f"{datamodel.type_name(values)}"
                 )
         for value in values:
+            if ctx.deadline is not None:
+                _check_deadline(ctx)
             child = dict(frame)
             child[operation.var] = value
             yield child
@@ -374,6 +430,8 @@ def _apply_traversal(ctx, operation: ast.TraversalOp, frames):
                 )
             ]
         for key, _depth, edge in visits:
+            if ctx.deadline is not None:
+                _check_deadline(ctx)
             vertex = graph.vertex(key, txn=ctx.txn)
             if vertex is None:
                 continue
@@ -770,6 +828,8 @@ def _run_pipeline(ctx: ExecContext, query: ast.Query, initial_frame: dict):
             # hash collision can never drop a distinct row.
             seen: dict[int, list] = {}
             for frame in frames:
+                if ctx.deadline is not None:
+                    _check_deadline(ctx)
                 value = project(ctx, frame)
                 if operation.distinct:
                     bucket = seen.setdefault(datamodel.hash_value(value), [])
@@ -779,6 +839,8 @@ def _run_pipeline(ctx: ExecContext, query: ast.Query, initial_frame: dict):
                         continue
                     bucket.append(value)
                 rows.append(value)
+                if ctx.max_rows is not None:
+                    _check_row_budget(ctx, len(rows))
             if probes is not None:
                 probes.append(
                     OpProbe(

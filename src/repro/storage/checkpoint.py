@@ -15,12 +15,16 @@ mutex), any LSN between transactions is a consistent cut.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 from typing import Any, Optional
 
 from repro.core.datamodel import canonical_json
-from repro.errors import RecoveryError
+from repro.errors import RecoveryError, SimulatedCrash
+from repro.fault import io as fault_io
+from repro.fault import registry as fault_registry
+from repro.obs import metrics as obs_metrics
 from repro.storage.log import CentralLog, LogOp
 from repro.storage.views import RowView
 from repro.storage.wal import WriteAheadLog
@@ -28,6 +32,25 @@ from repro.storage.wal import WriteAheadLog
 __all__ = ["write_checkpoint", "load_checkpoint", "recover_from_checkpoint", "truncate_wal"]
 
 _FORMAT_VERSION = 1
+
+_CHECKPOINTS_WRITTEN = obs_metrics.counter("checkpoints_written_total")
+_RECOVERY_RUNS = obs_metrics.counter("recovery_runs_total")
+
+# Failpoint sites on the checkpoint publish path.  A crash at any of them
+# must leave either the previous checkpoint or no checkpoint — never a
+# truncated one (write-tmp + fsync + rename + dir fsync).
+_FP_WRITE = fault_registry.register(
+    "checkpoint.write", "writing the checkpoint JSON to the temp file"
+)
+_FP_FSYNC = fault_registry.register(
+    "checkpoint.fsync", "fsync of the temp checkpoint file"
+)
+_FP_RENAME = fault_registry.register(
+    "checkpoint.rename", "atomic rename of temp over the checkpoint"
+)
+_FP_DIR_FSYNC = fault_registry.register(
+    "checkpoint.dir_fsync", "directory fsync making the rename durable"
+)
 
 
 def write_checkpoint(
@@ -52,10 +75,29 @@ def write_checkpoint(
             for namespace in rows.namespaces()
         },
     }
+    # Crash-safe publish: write the whole snapshot to a temp file, fsync it
+    # (the bytes, not just the metadata, must be on disk *before* the
+    # rename), atomically rename over the live checkpoint, then fsync the
+    # directory so the rename itself survives a power cut.  A crash at any
+    # point leaves either the old checkpoint or none — never a torn one.
     temp_path = path + ".tmp"
-    with open(temp_path, "w", encoding="utf-8") as handle:
-        handle.write(canonical_json(snapshot))
-    os.replace(temp_path, path)  # atomic publish
+    try:
+        with open(temp_path, "w", encoding="utf-8") as handle:
+            fault_io.write(handle, canonical_json(snapshot), _FP_WRITE)
+            fault_io.fsync(handle, _FP_FSYNC)
+        fault_io.rename(temp_path, path, _FP_RENAME)
+    except SimulatedCrash:
+        # A crashed process cannot clean up: the orphan temp file stays on
+        # disk, and recovery must (and does) ignore it.
+        raise
+    except BaseException:
+        # Leave no stale temp file behind on a recoverable failure.
+        with contextlib.suppress(OSError):
+            os.remove(temp_path)
+        raise
+    fault_io.dir_fsync(path, _FP_DIR_FSYNC)
+    if obs_metrics.ENABLED:
+        _CHECKPOINTS_WRITTEN.inc()
     return lsn
 
 
@@ -86,6 +128,8 @@ def recover_from_checkpoint(
 
     Returns (records from checkpoint, records redone from the WAL tail).
     """
+    if obs_metrics.ENABLED:
+        _RECOVERY_RUNS.inc()
     covered_lsn, namespaces = load_checkpoint(checkpoint_path)
     from_checkpoint = 0
     for namespace, pairs in namespaces.items():

@@ -20,8 +20,15 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Optional
 
 from repro.errors import StorageError
+from repro.fault import registry as fault_registry
 
 __all__ = ["LogOp", "LogEntry", "CentralLog"]
+
+# Fires *before* the entry is created: a crash here leaves the log (and
+# therefore every subscribed view and the WAL shadow) untouched.
+_FP_APPEND = fault_registry.register(
+    "log.append", "central-log append, before entry creation and fan-out"
+)
 
 
 class LogOp(enum.Enum):
@@ -90,6 +97,8 @@ class CentralLog:
         meta: Optional[dict] = None,
     ) -> LogEntry:
         """Create, store and fan out a new log entry; returns it."""
+        if _FP_APPEND.armed:
+            _FP_APPEND.check()
         entry = LogEntry(
             lsn=self._next_lsn,
             txn_id=txn_id,

@@ -22,6 +22,8 @@ from typing import Any, Iterator, Optional
 
 from repro.core.datamodel import canonical_json
 from repro.errors import WalError
+from repro.fault import io as fault_io
+from repro.fault import registry as fault_registry
 from repro.obs import metrics as obs_metrics
 from repro.storage.log import CentralLog, LogOp
 
@@ -33,6 +35,21 @@ _WAL_APPENDS = obs_metrics.counter("wal_appends_total")
 _WAL_FSYNCS = obs_metrics.counter("wal_fsyncs_total")
 _WAL_APPEND_SECONDS = obs_metrics.histogram("wal_append_seconds")
 _WAL_REPLAYED = obs_metrics.counter("wal_records_replayed_total")
+_RECOVERY_RUNS = obs_metrics.counter("recovery_runs_total")
+
+# Failpoint sites on the WAL durability path (see docs/ROBUSTNESS.md).
+_FP_APPEND_WRITE = fault_registry.register(
+    "wal.append.write", "writing one WAL record line"
+)
+_FP_APPEND_FSYNC = fault_registry.register(
+    "wal.append.fsync", "per-append fsync (sync=True)"
+)
+_FP_FLUSH_FSYNC = fault_registry.register(
+    "wal.flush.fsync", "explicit WriteAheadLog.flush()"
+)
+_FP_CLOSE_FSYNC = fault_registry.register(
+    "wal.close.fsync", "final fsync on clean close"
+)
 
 
 class WriteAheadLog:
@@ -74,10 +91,17 @@ class WriteAheadLog:
         }
         payload = canonical_json(body)
         checksum = zlib.crc32(payload.encode("utf-8"))
-        self._file.write(f"{checksum:08x} {payload}\n")
+        line = f"{checksum:08x} {payload}\n"
+        if _FP_APPEND_WRITE.armed:
+            fault_io.write(self._file, line, _FP_APPEND_WRITE)
+        else:
+            self._file.write(line)
         if self._sync:
-            self._file.flush()
-            os.fsync(self._file.fileno())
+            if _FP_APPEND_FSYNC.armed:
+                fault_io.fsync(self._file, _FP_APPEND_FSYNC)
+            else:
+                self._file.flush()
+                os.fsync(self._file.fileno())
             if enabled:
                 _WAL_FSYNCS.inc()
         self._records_written += 1
@@ -98,14 +122,18 @@ class WriteAheadLog:
         )
 
     def flush(self) -> None:
-        self._file.flush()
-        os.fsync(self._file.fileno())
+        fault_io.fsync(self._file, _FP_FLUSH_FSYNC)
         if obs_metrics.ENABLED:
             _WAL_FSYNCS.inc()
 
     def close(self) -> None:
+        """Fsync, then close.  A clean shutdown must leave the tail durable:
+        flush-without-fsync hands the bytes to the OS but survives neither a
+        power cut nor the torture harness's crash simulation."""
         if not self._file.closed:
-            self._file.flush()
+            fault_io.fsync(self._file, _FP_CLOSE_FSYNC)
+            if obs_metrics.ENABLED:
+                _WAL_FSYNCS.inc()
             self._file.close()
 
     def __enter__(self) -> "WriteAheadLog":
@@ -124,10 +152,17 @@ class WriteAheadLog:
     def read_records(path: str, strict: bool = False) -> Iterator[dict]:
         """Yield WAL records from *path*, verifying checksums.
 
-        A corrupt or torn line *at the tail* is treated as a crash artifact
-        and silently ends the stream; corruption in the middle (followed by
-        valid records) raises :class:`WalError` unless ``strict`` is False
-        in which case it still raises — mid-file corruption is never OK.
+        Corruption semantics, pinned down:
+
+        * **Mid-file corruption** — a bad line *followed by valid records* —
+          always raises :class:`WalError`, regardless of ``strict``: it
+          cannot be a crash artifact (appends are sequential), so the log
+          is damaged and redo from it would be unsound.
+        * **Tail corruption** — bad line(s) at the very end — is the
+          expected signature of a crash mid-append.  By default the torn
+          tail is silently dropped and the stream ends; with
+          ``strict=True`` it raises instead (for integrity audits that
+          must distinguish "cleanly closed" from "crashed").
         """
         if not os.path.exists(path):
             return
@@ -148,7 +183,11 @@ class WriteAheadLog:
                         "followed by valid records (mid-file corruption)"
                     )
                 yield record
-        del strict
+        if pending_bad is not None and strict:
+            raise WalError(
+                f"corrupt WAL tail at line {pending_bad} of {path} "
+                "(crash artifact; re-read with strict=False to drop it)"
+            )
 
     @staticmethod
     def _parse_line(line: str) -> Optional[dict]:
@@ -174,6 +213,8 @@ def replay_into(path: str, log: CentralLog) -> tuple[int, int]:
     Returns ``(redone_ops, discarded_ops)``.  Operations of transactions
     without a commit record are discarded; aborted transactions likewise.
     """
+    if obs_metrics.ENABLED:
+        _RECOVERY_RUNS.inc()
     records = list(WriteAheadLog.read_records(path))
     committed = {
         record["txn"]

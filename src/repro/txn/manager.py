@@ -40,6 +40,7 @@ from repro.errors import (
     InvalidTransactionStateError,
     SerializationError,
 )
+from repro.fault import registry as fault_registry
 from repro.obs import metrics as obs_metrics
 from repro.storage.log import CentralLog, LogOp
 from repro.txn.locks import LockManager, LockMode
@@ -53,6 +54,21 @@ _TXN_CONFLICTS = obs_metrics.counter("txn_conflicts_total")
 _TXN_ACTIVE = obs_metrics.gauge("txn_active")
 _TXN_COMMIT_SECONDS = obs_metrics.histogram("txn_commit_seconds")
 _TXN_LOCK_WAIT = obs_metrics.histogram("txn_lock_wait_seconds")
+
+# Failpoint sites bracketing the commit publish: ``begin`` fires after
+# validation (nothing published), ``mid_publish`` fires after the data
+# records but *before* the COMMIT record (the torn-commit window — recovery
+# must discard the transaction), ``end`` fires after the COMMIT record (the
+# transaction is durable even though commit() never returned).
+_FP_COMMIT_BEGIN = fault_registry.register(
+    "txn.commit.begin", "after validation, before any log append"
+)
+_FP_COMMIT_MID = fault_registry.register(
+    "txn.commit.mid_publish", "after data records, before the COMMIT record"
+)
+_FP_COMMIT_END = fault_registry.register(
+    "txn.commit.end", "after the COMMIT record, before commit() returns"
+)
 
 
 def _timed_lock_acquire(locks: LockManager, txn_id: int, resource, mode) -> None:
@@ -162,36 +178,74 @@ class TransactionManager:
                     _TXN_CONFLICTS.inc()
                 self._finish(txn, _TxnStatus.ABORTED)
                 raise
+            if _FP_COMMIT_BEGIN.armed:
+                _FP_COMMIT_BEGIN.check()
             self._clock += 1
             commit_ts = self._clock
-            for (namespace, key), write in txn.writes.items():
-                chain = self._versions.setdefault((namespace, key), [])
-                value = None if write.op is LogOp.DELETE else write.value
-                chain.append(_Version(commit_ts, value, txn.txn_id))
-                self._log.append(
-                    txn.txn_id,
-                    write.op,
-                    namespace,
-                    key,
-                    write.value,
-                    write.before,
-                )
-            self._log.append(txn.txn_id, LogOp.COMMIT, meta={"ts": commit_ts})
+            appended: list[tuple[str, Any]] = []
+            try:
+                for (namespace, key), write in txn.writes.items():
+                    chain = self._versions.setdefault((namespace, key), [])
+                    value = None if write.op is LogOp.DELETE else write.value
+                    chain.append(_Version(commit_ts, value, txn.txn_id))
+                    appended.append((namespace, key))
+                    self._log.append(
+                        txn.txn_id,
+                        write.op,
+                        namespace,
+                        key,
+                        write.value,
+                        write.before,
+                    )
+                if _FP_COMMIT_MID.armed:
+                    _FP_COMMIT_MID.check()
+                self._log.append(txn.txn_id, LogOp.COMMIT, meta={"ts": commit_ts})
+            except BaseException:
+                # The publish failed before the COMMIT record reached the
+                # log: the transaction did not commit.  Roll back its
+                # version-chain entries and finish it as aborted so a
+                # recoverable failure (an injected or real I/O error) leaves
+                # no dirty versions and no leaked active transaction.
+                for chain_key in appended:
+                    chain = self._versions.get(chain_key)
+                    if (
+                        chain
+                        and chain[-1].commit_ts == commit_ts
+                        and chain[-1].txn_id == txn.txn_id
+                    ):
+                        chain.pop()
+                    if chain is not None and not chain:
+                        self._versions.pop(chain_key, None)
+                self.aborts += 1
+                if enabled:
+                    _TXN_ABORTS.inc()
+                self._finish(txn, _TxnStatus.ABORTED)
+                raise
             self.commits += 1
             self._finish(txn, _TxnStatus.COMMITTED)
             if enabled:
                 _TXN_COMMITS.inc()
                 _TXN_COMMIT_SECONDS.observe(time.perf_counter() - start)
+            # Fires after the COMMIT record: the transaction is durable (and
+            # now committed in memory too) even though commit() never
+            # returns — the crash-after-commit window.
+            if _FP_COMMIT_END.armed:
+                _FP_COMMIT_END.check()
 
     def abort(self, txn: Transaction) -> None:
         self._require_active(txn)
         with self._mutex:
-            if txn.writes:
-                self._log.append(txn.txn_id, LogOp.ABORT)
-            self.aborts += 1
-            if obs_metrics.ENABLED:
-                _TXN_ABORTS.inc()
-            self._finish(txn, _TxnStatus.ABORTED)
+            try:
+                if txn.writes:
+                    self._log.append(txn.txn_id, LogOp.ABORT)
+            finally:
+                # Even if the ABORT record cannot be logged (injected or
+                # real I/O failure), the in-memory abort must complete:
+                # recovery discards uncommitted records with or without it.
+                self.aborts += 1
+                if obs_metrics.ENABLED:
+                    _TXN_ABORTS.inc()
+                self._finish(txn, _TxnStatus.ABORTED)
 
     def _finish(self, txn: Transaction, status: _TxnStatus) -> None:
         txn.status = status

@@ -19,6 +19,8 @@ import random
 from typing import Any, Optional
 
 from repro.errors import SerializationError
+from repro.fault import registry as fault_registry
+from repro.fault.retry import RetryExhaustedError, retry_with_backoff
 from repro.polyglot.integrator import PartialFailure, PolyglotECommerce
 from repro.unibench.generator import UniBenchData
 
@@ -294,33 +296,78 @@ def workload_c_polyglot(
     transactions: int = 50,
     crash_rate: float = 0.2,
     seed: int = 11,
+    retries: int = 0,
 ) -> dict:
     """The same new-order flow against separate stores with crash
-    injection; partial failures leave real inconsistencies behind."""
+    injection; partial failures leave real inconsistencies behind.
+
+    Crashes come from the engine's failpoint registry (the two
+    ``polyglot.place_order.*`` sites, armed with seeded probability
+    triggers derived from ``crash_rate``), not an ad-hoc RNG — so the
+    shell's ``.faults`` sees them and every run is reproducible from the
+    seed.  ``retries`` wraps each order in
+    :func:`repro.fault.retry.retry_with_backoff`; a retried attempt uses a
+    fresh order key (a new idempotency key, the way a real client would).
+    """
     rng = random.Random(seed)
     completed = 0
     crashed = 0
-    for index in range(transactions):
-        customer_id = str(rng.randint(1, len(data.customers)))
-        order = {
-            "_key": f"pc{seed}-{index:05d}",
-            "Order_no": f"pc{seed}-{index:05d}",
-            "Orderlines": [
-                {"Product_no": rng.choice(data.products)["product_no"],
-                 "Price": 10}
-            ],
-        }
-        fail_after = None
-        if rng.random() < crash_rate:
-            fail_after = rng.choice(["orders", "cart"])
-        try:
-            app.place_order(customer_id, order, fail_after=fail_after)
-            completed += 1
-        except PartialFailure:
-            crashed += 1
+    retried = 0
+    sites = (
+        "polyglot.place_order.after_orders",
+        "polyglot.place_order.after_cart",
+    )
+    if crash_rate > 0:
+        # Two independent crash windows share the budget, so the overall
+        # per-transaction crash probability stays ~crash_rate.
+        for offset, site in enumerate(sites):
+            fault_registry.arm(
+                site,
+                f"prob:{crash_rate / 2}",
+                effect="error",
+                seed=seed * 2 + offset,
+            )
+    try:
+        for index in range(transactions):
+            customer_id = str(rng.randint(1, len(data.customers)))
+            product_no = rng.choice(data.products)["product_no"]
+
+            def place(attempt: int, index=index, customer_id=customer_id,
+                      product_no=product_no) -> str:
+                nonlocal retried
+                if attempt:
+                    retried += 1
+                key = f"pc{seed}-{index:05d}" + (f"r{attempt}" if attempt else "")
+                return app.place_order(
+                    customer_id,
+                    {
+                        "_key": key,
+                        "Order_no": key,
+                        "Orderlines": [{"Product_no": product_no, "Price": 10}],
+                    },
+                )
+
+            try:
+                if retries > 0:
+                    retry_with_backoff(
+                        place,
+                        attempts=retries + 1,
+                        retry_on=(PartialFailure,),
+                        sleep=None,
+                    )
+                else:
+                    place(0)
+                completed += 1
+            except (PartialFailure, RetryExhaustedError):
+                crashed += 1
+    finally:
+        if crash_rate > 0:
+            for site in sites:
+                fault_registry.disarm(site)
     return {
         "transactions": transactions,
         "completed": completed,
         "crashed": crashed,
+        "retried": retried,
         "violations": len(app.check_consistency()),
     }

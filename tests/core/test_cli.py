@@ -95,6 +95,65 @@ class TestRunStatement:
         assert output == ""
 
 
+class TestFaultsCommand:
+    @pytest.fixture(autouse=True)
+    def _disarm_everything(self):
+        from repro.fault.registry import FAILPOINTS
+
+        yield
+        FAILPOINTS.disarm_all()
+
+    def test_listing_shows_engine_sites(self, demo_db):
+        output, _state = _run(demo_db, ".faults")
+        assert "wal.append.write" in output
+        assert "txn.commit.mid_publish" in output
+        assert "disarmed" in output
+
+    def test_arm_and_disarm_roundtrip(self, demo_db):
+        output, _state = _run(demo_db, ".faults arm wal.append.write once torn")
+        assert "armed" in output
+        output, _state = _run(demo_db, ".faults")
+        assert "armed once effect=torn" in output
+        output, _state = _run(demo_db, ".faults disarm wal.append.write")
+        assert "disarmed" in output
+
+    def test_arm_with_seed(self, demo_db):
+        output, _state = _run(
+            demo_db,
+            ".faults arm polyglot.place_order.after_cart prob:0.5 error seed 7",
+        )
+        assert "seed=7" in output
+
+    def test_armed_failpoint_affects_queries(self, demo_db):
+        _run(demo_db, ".faults arm log.append every:1 error")
+        output, _state = _run(
+            demo_db, "INSERT {_key: 'fault-probe'} INTO orders"
+        )
+        assert output.startswith("error:")
+        _run(demo_db, ".faults disarm all")
+        output, _state = _run(demo_db, "RETURN 1")
+        assert "error" not in output
+
+    def test_unknown_site_reported(self, demo_db):
+        output, _state = _run(demo_db, ".faults arm no.such.site once")
+        assert "unknown failpoint" in output
+        output, _state = _run(demo_db, ".faults disarm no.such.site")
+        assert "unknown failpoint" in output
+
+    def test_bad_trigger_reported(self, demo_db):
+        output, _state = _run(demo_db, ".faults arm wal.append.write bogus")
+        assert output.startswith("error:")
+
+    def test_usage_on_nonsense(self, demo_db):
+        output, _state = _run(demo_db, ".faults frobnicate")
+        assert "usage" in output
+
+    def test_disarm_all(self, demo_db):
+        _run(demo_db, ".faults arm wal.append.write once")
+        output, _state = _run(demo_db, ".faults disarm all")
+        assert "all failpoints disarmed" in output
+
+
 class TestRepl:
     def test_scripted_session(self, demo_db):
         source = io.StringIO(

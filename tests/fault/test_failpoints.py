@@ -1,0 +1,234 @@
+"""Failpoint registry and I/O shim unit tests."""
+
+import errno
+import io
+
+import pytest
+
+from repro.errors import InjectedFaultError, SimulatedCrash
+from repro.fault import io as fault_io
+from repro.fault.registry import EFFECTS, FAILPOINTS, Failpoint
+
+
+@pytest.fixture(autouse=True)
+def _disarm_everything():
+    yield
+    FAILPOINTS.disarm_all()
+
+
+class TestTriggers:
+    def test_disarmed_site_never_fires(self):
+        fp = Failpoint("t.disarmed")
+        assert fp.armed is False
+        assert fp.fires() is None
+        fp.check()  # no-op
+
+    def test_once_fires_exactly_once_then_disarms(self):
+        fp = Failpoint("t.once")
+        fp.arm("once")
+        assert fp.fires() == "crash"
+        assert fp.armed is False
+        assert fp.fires() is None
+
+    def test_after_fires_on_kth_hit(self):
+        fp = Failpoint("t.after")
+        fp.arm("after:3", effect="error")
+        assert fp.fires() is None
+        assert fp.fires() is None
+        assert fp.fires() == "error"
+        assert fp.armed is False  # one-shot
+
+    def test_every_fires_periodically(self):
+        fp = Failpoint("t.every")
+        fp.arm("every:2", effect="error")
+        outcomes = [fp.fires() for _ in range(6)]
+        assert outcomes == [None, "error", None, "error", None, "error"]
+        assert fp.armed is True  # periodic triggers stay armed
+
+    def test_prob_is_deterministic_per_seed(self):
+        fp_a = Failpoint("t.prob.a")
+        fp_b = Failpoint("t.prob.b")
+        fp_a.arm("prob:0.5", effect="error", seed=1234)
+        fp_b.arm("prob:0.5", effect="error", seed=1234)
+        run_a = [fp_a.fires() for _ in range(50)]
+        run_b = [fp_b.fires() for _ in range(50)]
+        assert run_a == run_b
+        assert any(run_a) and not all(run_a)
+
+    def test_rearming_resets_counters(self):
+        fp = Failpoint("t.rearm")
+        fp.arm("after:2")
+        fp.fires()
+        fp.arm("after:2")
+        assert fp.hits == 0
+        assert fp.fires() is None  # hit 1 of the fresh trigger
+
+    @pytest.mark.parametrize(
+        "trigger", ["bogus", "after:x", "after:0", "prob:2", "prob:x"]
+    )
+    def test_bad_trigger_rejected(self, trigger):
+        fp = Failpoint("t.bad")
+        with pytest.raises(ValueError):
+            fp.arm(trigger)
+        assert fp.armed is False
+
+    def test_bad_effect_rejected(self):
+        fp = Failpoint("t.badeffect")
+        with pytest.raises(ValueError):
+            fp.arm("once", effect="meteor")
+
+    def test_check_raises_typed_exceptions(self):
+        fp = Failpoint("t.check")
+        fp.arm("once", effect="crash")
+        with pytest.raises(SimulatedCrash) as excinfo:
+            fp.check()
+        assert excinfo.value.site == "t.check"
+        fp.arm("once", effect="error")
+        with pytest.raises(InjectedFaultError):
+            fp.check()
+
+    def test_simulated_crash_is_not_a_repro_error(self):
+        # Engine code catches ReproError; SimulatedCrash must tunnel through.
+        from repro.errors import ReproError
+
+        assert not issubclass(SimulatedCrash, ReproError)
+
+
+class TestRegistry:
+    def test_register_is_idempotent(self):
+        first = FAILPOINTS.register("t.reg", "first description")
+        second = FAILPOINTS.register("t.reg", "other description")
+        assert first is second
+        assert first.description == "first description"
+
+    def test_engine_sites_are_registered_on_import(self):
+        import repro.polyglot.integrator  # noqa: F401
+        import repro.storage.checkpoint  # noqa: F401
+        import repro.storage.wal  # noqa: F401
+        import repro.txn.manager  # noqa: F401
+
+        names = FAILPOINTS.names()
+        for expected in (
+            "wal.append.write",
+            "wal.append.fsync",
+            "wal.flush.fsync",
+            "wal.close.fsync",
+            "checkpoint.write",
+            "checkpoint.rename",
+            "log.append",
+            "txn.commit.begin",
+            "txn.commit.mid_publish",
+            "txn.commit.end",
+            "polyglot.place_order.after_orders",
+            "polyglot.place_order.after_cart",
+        ):
+            assert expected in names
+
+    def test_arm_unknown_site_raises(self):
+        with pytest.raises(KeyError):
+            FAILPOINTS.arm("no.such.site", "once")
+
+    def test_disarm_all(self):
+        FAILPOINTS.register("t.all.a").arm("once")
+        FAILPOINTS.register("t.all.b").arm("every:2")
+        assert FAILPOINTS.armed()
+        FAILPOINTS.disarm_all()
+        assert FAILPOINTS.armed() == []
+
+    def test_states_reflect_arming(self):
+        FAILPOINTS.register("t.state").arm("after:5", effect="error", seed=9)
+        entry = next(
+            s for s in FAILPOINTS.states() if s["site"] == "t.state"
+        )
+        assert entry["armed"] is True
+        assert entry["trigger"] == "after:5"
+        assert entry["effect"] == "error"
+        assert entry["seed"] == 9
+
+
+class TestIoShim:
+    def _armed(self, name, effect):
+        fp = Failpoint(name)
+        fp.arm("once", effect=effect)
+        return fp
+
+    def test_write_passthrough_when_disarmed(self):
+        buffer = io.StringIO()
+        fault_io.write(buffer, "hello\n", Failpoint("t.io.off"))
+        assert buffer.getvalue() == "hello\n"
+
+    def test_torn_write_leaves_a_prefix(self):
+        buffer = io.StringIO()
+        with pytest.raises(SimulatedCrash):
+            fault_io.write(buffer, "0123456789\n", self._armed("t.io.torn", "torn"))
+        written = buffer.getvalue()
+        assert 0 < len(written) < len("0123456789\n")
+        assert "0123456789\n".startswith(written)
+
+    def test_bitflip_corrupts_silently(self):
+        buffer = io.StringIO()
+        fault_io.write(buffer, "0123456789\n", self._armed("t.io.flip", "bitflip"))
+        written = buffer.getvalue()
+        assert written != "0123456789\n"
+        assert len(written) == len("0123456789\n")
+        assert written.endswith("\n")  # corruption stays inside the line
+
+    def test_enospc_writes_nothing(self):
+        buffer = io.StringIO()
+        with pytest.raises(OSError) as excinfo:
+            fault_io.write(buffer, "data", self._armed("t.io.enospc", "enospc"))
+        assert excinfo.value.errno == errno.ENOSPC
+        assert buffer.getvalue() == ""
+
+    def test_failed_fsync_raises_eio(self, tmp_path):
+        with open(tmp_path / "f", "w") as handle:
+            with pytest.raises(OSError) as excinfo:
+                fault_io.fsync(handle, self._armed("t.io.fsync", "error"))
+            assert excinfo.value.errno == errno.EIO
+
+    def test_crashed_rename_never_publishes(self, tmp_path):
+        source = tmp_path / "src"
+        source.write_text("x")
+        destination = tmp_path / "dst"
+        with pytest.raises(SimulatedCrash):
+            fault_io.rename(
+                str(source), str(destination), self._armed("t.io.ren", "crash")
+            )
+        assert source.exists()
+        assert not destination.exists()
+
+    def test_corrupt_text_never_introduces_newlines(self):
+        for text in ("a", "ab", "abcdef", '{"k": 10}'):
+            corrupted = fault_io.corrupt_text(text)
+            assert corrupted != text
+            assert "\n" not in corrupted and "\r" not in corrupted
+            assert len(corrupted) == len(text)
+
+    def test_effects_tuple_is_the_public_contract(self):
+        assert EFFECTS == ("crash", "error", "torn", "bitflip", "enospc")
+
+
+class TestCommitPublishRollback:
+    """A recoverable fault during commit publish must leave no residue.
+
+    Regression test: an injected error on ``log.append`` during the
+    auto-commit of an INSERT used to leave the transaction stuck in the
+    active set and a dirty (uncommitted) entry in the MVCC version chain.
+    """
+
+    def test_failed_publish_aborts_cleanly(self):
+        from repro.core.database import MultiModelDB
+
+        db = MultiModelDB()
+        orders = db.create_collection("orders")
+        FAILPOINTS.arm("log.append", "every:1", effect="error")
+        with pytest.raises(InjectedFaultError):
+            orders.insert({"_key": "o1", "total": 10})
+        # no leaked transaction, no dirty version visible
+        assert db.context.transactions.active_count == 0
+        assert orders.get("o1") is None
+        # the same key inserts fine once the fault clears
+        FAILPOINTS.disarm_all()
+        orders.insert({"_key": "o1", "total": 10})
+        assert orders.get("o1")["total"] == 10
+        assert db.context.transactions.active_count == 0

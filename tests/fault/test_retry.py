@@ -1,0 +1,66 @@
+"""retry_with_backoff unit tests."""
+
+import pytest
+
+from repro.errors import InjectedFaultError
+from repro.fault.retry import RetryExhaustedError, retry_with_backoff
+
+
+class TestRetry:
+    def test_success_first_try(self):
+        calls = []
+        result = retry_with_backoff(lambda attempt: calls.append(attempt) or "ok")
+        assert result == "ok"
+        assert calls == [0]
+
+    def test_retries_until_success(self):
+        calls = []
+
+        def flaky(attempt):
+            calls.append(attempt)
+            if attempt < 2:
+                raise InjectedFaultError("transient")
+            return "recovered"
+
+        assert retry_with_backoff(flaky, attempts=5, sleep=None) == "recovered"
+        assert calls == [0, 1, 2]  # attempt index is passed through
+
+    def test_exhaustion_raises_with_last_error(self):
+        def always_fails(attempt):
+            raise InjectedFaultError(f"boom {attempt}")
+
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            retry_with_backoff(always_fails, attempts=3, sleep=None)
+        assert excinfo.value.attempts == 3
+        assert "boom 2" in str(excinfo.value.last_error)
+
+    def test_non_retryable_error_propagates_immediately(self):
+        calls = []
+
+        def fails_differently(attempt):
+            calls.append(attempt)
+            raise KeyError("not transient")
+
+        with pytest.raises(KeyError):
+            retry_with_backoff(fails_differently, attempts=5, sleep=None)
+        assert calls == [0]
+
+    def test_backoff_is_exponential_and_capped(self):
+        delays = []
+
+        def always_fails(attempt):
+            raise OSError("io")
+
+        with pytest.raises(RetryExhaustedError):
+            retry_with_backoff(
+                always_fails,
+                attempts=5,
+                base_delay=0.1,
+                max_delay=0.3,
+                sleep=delays.append,
+            )
+        assert delays == [0.1, 0.2, 0.3, 0.3]
+
+    def test_zero_attempts_rejected(self):
+        with pytest.raises(ValueError):
+            retry_with_backoff(lambda attempt: None, attempts=0)

@@ -110,6 +110,127 @@ class TestRecovery:
         assert rows.count("t") == 0
 
 
+class TestCorruptionModes:
+    """The read_records contract, pinned per corruption mode (strict
+    distinguishes 'cleanly closed' from 'crashed'; mid-file damage is never
+    tolerated)."""
+
+    def test_torn_final_line_dropped_by_default(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        _write_transactions(path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('deadbeef {"half": ')  # no newline: torn mid-write
+        records = list(WriteAheadLog.read_records(path))
+        assert len(records) == 8  # all intact records, torn tail gone
+
+    def test_torn_final_line_raises_in_strict_mode(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        _write_transactions(path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('deadbeef {"half": ')
+        with pytest.raises(WalError, match="tail"):
+            list(WriteAheadLog.read_records(path, strict=True))
+
+    def test_strict_accepts_a_clean_log(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        _write_transactions(path)
+        assert len(list(WriteAheadLog.read_records(path, strict=True))) == 8
+
+    def test_truncated_checksum_prefix_is_tail_corruption(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        _write_transactions(path)
+        # Crash mid-write of the checksum itself: fewer than 8 hex chars.
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("dead")
+        assert len(list(WriteAheadLog.read_records(path))) == 8
+        with pytest.raises(WalError):
+            list(WriteAheadLog.read_records(path, strict=True))
+
+    def test_mid_file_crc_mismatch_raises_even_without_strict(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        _write_transactions(path)
+        lines = open(path, encoding="utf-8").read().splitlines()
+        # Valid JSON, valid-looking prefix, wrong CRC — a bit rot scenario.
+        prefix, payload = lines[3].split(" ", 1)
+        flipped = f"{(int(prefix, 16) ^ 0xFF):08x}"
+        lines[3] = f"{flipped} {payload}"
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+        with pytest.raises(WalError, match="mid-file"):
+            list(WriteAheadLog.read_records(path))
+
+    def test_multiple_torn_tail_lines_dropped(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        _write_transactions(path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("garbage line one\n")
+            handle.write('deadbeef {"half": ')
+        assert len(list(WriteAheadLog.read_records(path))) == 8
+
+    def test_recovery_from_checkpoint_with_torn_wal_tail(self, tmp_path):
+        """Checkpoint + WAL-tail recovery tolerates the same torn tail as
+        full replay, and both agree on the final state."""
+        from repro.storage.checkpoint import (
+            recover_from_checkpoint,
+            write_checkpoint,
+        )
+
+        wal_path = str(tmp_path / "wal.log")
+        checkpoint_path = str(tmp_path / "ckpt.json")
+        log = CentralLog()
+        rows = RowView(log)
+        with WriteAheadLog(wal_path) as wal:
+            log.subscribe(wal.log_entry)
+            log.append(0, LogOp.CREATE_NAMESPACE, "t")
+            for i in range(10):
+                log.append(100 + i, LogOp.INSERT, "t", f"k{i}", {"v": i})
+                log.append(100 + i, LogOp.COMMIT)
+                if i == 4:
+                    write_checkpoint(checkpoint_path, rows, log)
+            # Crash mid-append of an 11th transaction's record:
+            wal._file.write('deadbeef {"torn": ')
+        del log, rows
+
+        full_log = CentralLog()
+        replay_into(wal_path, full_log)
+        full = RowView(full_log, subscribe=False)
+        full.catch_up()
+
+        fast_log = CentralLog()
+        from_checkpoint, redone = recover_from_checkpoint(
+            checkpoint_path, wal_path, fast_log
+        )
+        fast = RowView(fast_log, subscribe=False)
+        fast.catch_up()
+
+        assert from_checkpoint == 5  # k0..k4 from the checkpoint
+        assert redone == 5  # k5..k9 from the WAL tail
+        assert dict(fast.scan("t")) == dict(full.scan("t"))
+        assert full.count("t") == 10
+
+
+class TestCloseDurability:
+    def test_close_fsyncs_the_tail(self, tmp_path):
+        """close() must fsync, not merely flush — counted in
+        wal_fsyncs_total so the durability promise is observable."""
+        from repro.obs import metrics as obs_metrics
+
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path, sync=False)  # no per-append fsync
+        before = obs_metrics.REGISTRY.total("wal_fsyncs_total")
+        wal.append(1, 1, "insert", "t", "a", {"v": 1})
+        wal.append(2, 1, "commit")
+        wal.close()
+        after = obs_metrics.REGISTRY.total("wal_fsyncs_total")
+        assert after == before + 1
+        assert len(list(WriteAheadLog.read_records(path, strict=True))) == 2
+
+    def test_close_is_idempotent(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "wal.log"))
+        wal.close()
+        wal.close()  # second close must not raise on the closed handle
+
+
 class TestCrashSimulation:
     def test_crash_discards_memory_wal_restores(self, tmp_path):
         """The substitution documented in DESIGN.md §2: crash = drop all
