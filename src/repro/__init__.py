@@ -14,7 +14,39 @@ from repro.errors import ReproError
 from repro.relational.schema import Column, ColumnType, TableSchema
 from repro.txn.manager import IsolationLevel
 
-__version__ = "1.0.0"
+
+def _detect_version() -> str:
+    """Single-source the version: installed package metadata first, then the
+    checked-out ``pyproject.toml`` (the PYTHONPATH=src development mode).
+
+    ``python -m repro --version``, the server handshake and the client both
+    report this value, so an embedded engine and a served one can never
+    disagree about what build they are.
+    """
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:
+        pass
+    try:
+        import pathlib
+        import re
+
+        pyproject = pathlib.Path(__file__).resolve().parents[2] / "pyproject.toml"
+        match = re.search(
+            r'^version\s*=\s*"([^"]+)"',
+            pyproject.read_text(encoding="utf-8"),
+            re.MULTILINE,
+        )
+        if match:
+            return match.group(1)
+    except Exception:
+        pass
+    return "0.0.0+unknown"
+
+
+__version__ = _detect_version()
 
 __all__ = [
     "MultiModelDB",

@@ -1,0 +1,27 @@
+"""``python -m repro`` — version stamp or the MMQL shell.
+
+``python -m repro --version`` prints the single-sourced package version
+(the same string the server handshake reports); any other arguments are
+handed to the shell entry point, so ``python -m repro serve --demo`` and
+``python -m repro -c 'RETURN 1'`` behave exactly like ``repro-shell``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in ("--version", "-V"):
+        from repro import __version__
+
+        print(f"repro {__version__}")
+        return 0
+    from repro.cli import main as cli_main
+
+    return cli_main(argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

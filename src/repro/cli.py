@@ -1,14 +1,20 @@
-"""``repro-shell`` — an interactive MMQL shell.
+"""``repro-shell`` — an interactive MMQL shell, a server, and a wire client.
 
 Usage:
 
     repro-shell [--wal PATH] [--demo [SCALE]] [-c QUERY] [-f FILE]
+    repro-shell serve   [--host H] [--port P] [--demo [SCALE]] [--wal PATH]
+                        [--max-sessions N] [--max-inflight N] [--queue-depth N]
+                        [--checkpoint PATH] [--timeout S] [--max-rows N]
+    repro-shell connect [--host H] [--port P] [-c QUERY] [-f FILE]
 
 * ``--demo`` loads the UniBench e-commerce data set (default scale 1) so
   there is something to query immediately;
 * ``--wal`` attaches a write-ahead log (recovering from it first when the
   file already has history);
-* ``-c`` runs one query and exits; ``-f`` runs a ``;``-separated script.
+* ``-c`` runs one query and exits; ``-f`` runs a ``;``-separated script;
+* ``serve`` hosts the database over the wire protocol (docs/SERVER.md);
+* ``connect`` opens the same shell against a running server.
 
 Inside the shell:
 
@@ -30,7 +36,16 @@ from typing import IO, Optional
 from repro.core.database import MultiModelDB
 from repro.errors import ReproError
 
-__all__ = ["make_demo_db", "run_statement", "repl", "main"]
+__all__ = [
+    "make_demo_db",
+    "run_statement",
+    "repl",
+    "run_remote_statement",
+    "remote_repl",
+    "main",
+    "serve_main",
+    "connect_main",
+]
 
 _HELP = """\
 MMQL shell commands:
@@ -394,9 +409,291 @@ def repl(db: MultiModelDB, source: IO, out: IO, prompt: str = "mmql> ") -> None:
         run_statement(db, statement, out, state)
 
 
+# ---------------------------------------------------------------------------
+# Remote shell (the `connect` subcommand)
+# ---------------------------------------------------------------------------
+
+_REMOTE_HELP = """\
+Remote MMQL shell commands:
+  .help                 this message
+  .explain <query>      server-side optimized plan, without executing
+  .begin [ISOLATION]    open a transaction on this session
+  .commit / .abort      finish the session's transaction
+  .set [timeout S|off] [max_rows N|off]
+                        session guardrail overrides (host caps still apply)
+  .server               server stats: sessions, in-flight, limits
+  .info                 server handshake info (version, protocol, limits)
+  .quit                 exit
+Anything else runs as an MMQL query on the server; rows print as JSON."""
+
+
+def run_remote_statement(client, statement: str, out: IO, state: dict) -> None:
+    """Execute one remote-shell statement (dot-command or MMQL)."""
+    statement = statement.strip()
+    if not statement:
+        return
+    if statement in (".quit", ".exit"):
+        state["done"] = True
+        return
+    if statement == ".help":
+        print(_REMOTE_HELP, file=out)
+        return
+    try:
+        if statement == ".server":
+            stats = client.stats()
+            print(
+                f"  uptime {stats['uptime_seconds']}s, "
+                f"{len(stats['sessions'])} session(s), "
+                f"{stats['inflight']} in flight"
+                + (", draining" if stats["draining"] else ""),
+                file=out,
+            )
+            for limit, value in stats["limits"].items():
+                print(f"  {limit}: {value}", file=out)
+            for entry in stats["sessions"]:
+                print(
+                    f"  session {entry['session']} peer={entry['peer']} "
+                    f"requests={entry['requests']} in_txn={entry['in_txn']}",
+                    file=out,
+                )
+            return
+        if statement == ".info":
+            for key, value in client.info().items():
+                print(f"  {key}: {value}", file=out)
+            return
+        if statement.startswith(".begin"):
+            isolation = statement[len(".begin"):].strip() or "snapshot"
+            txn = client.begin(isolation)
+            print(f"  transaction {txn} started ({isolation})", file=out)
+            return
+        if statement == ".commit":
+            client.commit()
+            print("  committed", file=out)
+            return
+        if statement == ".abort":
+            client.abort()
+            print("  aborted", file=out)
+            return
+        if statement.startswith(".set"):
+            words = statement[len(".set"):].strip().split()
+            kwargs: dict = {}
+            index = 0
+            while index < len(words):
+                key = words[index].lower()
+                if key in ("timeout", "max_rows") and index + 1 < len(words):
+                    raw = words[index + 1].lower()
+                    if raw == "off":
+                        kwargs[key] = None
+                    else:
+                        kwargs[key] = float(raw) if key == "timeout" else int(raw)
+                    index += 2
+                else:
+                    print(
+                        "  usage: .set [timeout S|off] [max_rows N|off]",
+                        file=out,
+                    )
+                    return
+            effective = client.set_limits(**kwargs)
+            print(
+                f"  session limits: timeout={effective['timeout']} "
+                f"max_rows={effective['max_rows']}",
+                file=out,
+            )
+            return
+        if statement.startswith(".explain"):
+            query_text = statement[len(".explain"):].strip()
+            if not query_text:
+                print("  usage: .explain <query>", file=out)
+                return
+            print(client.explain(query_text), file=out)
+            return
+        if statement.startswith("."):
+            print(
+                f"unknown command {statement.split()[0]!r}; try .help",
+                file=out,
+            )
+            return
+        result = client.query(statement)
+    except ReproError as error:
+        print(f"error [{error.code}]: {error}", file=out)
+        return
+    except (ConnectionError, OSError, ValueError) as error:
+        print(f"error: {error}", file=out)
+        return
+    if result.analyzed is not None:
+        print(result.analyzed, file=out)
+    else:
+        for row in result.rows:
+            print(json.dumps(row, default=str), file=out)
+    state["last_stats"] = result.stats
+    print(
+        f"-- {len(result.rows)} row(s); scanned {result.stats['scanned']}, "
+        f"index lookups {result.stats['index_lookups']}",
+        file=out,
+    )
+
+
+def remote_repl(client, source: IO, out: IO, prompt: str = "mmql*> ") -> None:
+    """Like :func:`repl`, but every statement goes over the wire."""
+    state: dict = {"done": False}
+    buffer: list[str] = []
+    interactive = out.isatty() if hasattr(out, "isatty") else False
+    while not state["done"]:
+        if interactive:
+            out.write(prompt if not buffer else "....> ")
+            out.flush()
+        line = source.readline()
+        if not line:
+            break
+        line = line.rstrip("\n")
+        if line.endswith("\\"):
+            buffer.append(line[:-1])
+            continue
+        buffer.append(line)
+        statement = "\n".join(buffer)
+        buffer = []
+        run_remote_statement(client, statement, out, state)
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+
+def serve_main(argv: Optional[list[str]] = None) -> int:
+    """``repro-shell serve`` — host a database over the wire protocol."""
+    from repro import __version__
+    from repro.client.client import DEFAULT_PORT
+    from repro.server import ReproServer
+
+    parser = argparse.ArgumentParser(
+        prog="repro-shell serve", description="serve a database over TCP"
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT)
+    parser.add_argument(
+        "--demo", nargs="?", const=1, type=int, metavar="SCALE",
+        help="load the UniBench demo data set",
+    )
+    parser.add_argument("--wal", help="attach (and recover from) a WAL file")
+    parser.add_argument("--max-sessions", type=int, default=64)
+    parser.add_argument("--max-inflight", type=int, default=8)
+    parser.add_argument("--queue-depth", type=int, default=32)
+    parser.add_argument(
+        "--checkpoint", metavar="PATH",
+        help="write a checkpoint here during graceful shutdown",
+    )
+    parser.add_argument(
+        "--timeout", type=float, metavar="S",
+        help="host-wide query timeout cap (db.guardrails.timeout)",
+    )
+    parser.add_argument(
+        "--max-rows", type=int, metavar="N",
+        help="host-wide result row cap (db.guardrails.max_rows)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.demo is not None:
+        db = make_demo_db(args.demo)
+    else:
+        db = MultiModelDB()
+    if args.wal:
+        import os
+
+        if os.path.exists(args.wal):
+            db.recover(args.wal)
+        db.attach_wal(args.wal)
+    if args.timeout is not None:
+        db.guardrails.timeout = args.timeout
+    if args.max_rows is not None:
+        db.guardrails.max_rows = args.max_rows
+
+    server = ReproServer(
+        db,
+        host=args.host,
+        port=args.port,
+        max_sessions=args.max_sessions,
+        max_inflight=args.max_inflight,
+        queue_depth=args.queue_depth,
+        checkpoint_path=args.checkpoint,
+    )
+    host, port = server.start_in_thread()
+    print(
+        f"repro {__version__} serving on {host}:{port} "
+        f"(max {args.max_sessions} sessions, {args.max_inflight} workers; "
+        "Ctrl-C for graceful drain)",
+        file=sys.stdout,
+    )
+    try:
+        import time
+
+        while True:
+            time.sleep(0.5)
+    except KeyboardInterrupt:
+        print("draining…", file=sys.stdout)
+    finally:
+        server.stop()
+        db.close()
+    print("server stopped", file=sys.stdout)
+    return 0
+
+
+def connect_main(argv: Optional[list[str]] = None) -> int:
+    """``repro-shell connect`` — the shell against a running server."""
+    from repro.client import ReproClient
+    from repro.client.client import DEFAULT_PORT
+
+    parser = argparse.ArgumentParser(
+        prog="repro-shell connect", description="remote MMQL shell"
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT)
+    parser.add_argument("-c", "--command", help="run one query and exit")
+    parser.add_argument("-f", "--file", help="run a ;-separated script")
+    args = parser.parse_args(argv)
+
+    try:
+        client = ReproClient(host=args.host, port=args.port)
+        client.connect()
+    except (ConnectionError, OSError) as error:
+        print(f"error: cannot reach {args.host}:{args.port}: {error}",
+              file=sys.stderr)
+        return 1
+    with client:
+        state: dict = {"done": False}
+        if args.command:
+            run_remote_statement(client, args.command, sys.stdout, state)
+            return 0
+        if args.file:
+            with open(args.file, "r", encoding="utf-8") as handle:
+                script = handle.read()
+            for statement in script.split(";"):
+                run_remote_statement(client, statement, sys.stdout, state)
+            return 0
+        info = client.server_info or {}
+        print(
+            f"connected to repro {info.get('version')} at "
+            f"{args.host}:{args.port} (session {info.get('session')}) — "
+            ".help for commands",
+            file=sys.stdout,
+        )
+        remote_repl(client, sys.stdin, sys.stdout)
+    return 0
+
+
 def main(argv: Optional[list[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
+    if argv and argv[0] == "connect":
+        return connect_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-shell", description="interactive MMQL shell"
+    )
+    from repro import __version__
+
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     parser.add_argument("--wal", help="attach (and recover from) a WAL file")
     parser.add_argument(

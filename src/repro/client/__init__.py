@@ -1,0 +1,9 @@
+"""Client library for the repro network service layer.
+
+:class:`~repro.client.client.ReproClient` speaks the length-prefixed JSON
+protocol of :mod:`repro.server` — sync, context-managed, auto-reconnecting.
+"""
+
+from repro.client.client import DEFAULT_PORT, ReproClient
+
+__all__ = ["ReproClient", "DEFAULT_PORT"]

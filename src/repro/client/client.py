@@ -1,0 +1,271 @@
+"""``ReproClient`` — synchronous wire client for a :class:`ReproServer`.
+
+A deliberately small, dependency-free client: one TCP socket, one
+outstanding request at a time (calls are serialized under an internal
+lock, so a client instance may be shared across threads — though one
+client *per* thread is the idiomatic pattern, giving each thread its own
+session and transaction state).
+
+Reconnection uses the engine's canonical retry helper
+(:func:`repro.fault.retry.retry_with_backoff`): transport failures on an
+idle session are retried transparently with exponential backoff, each
+attempt re-dialing the server.  Inside a transaction nothing is retried —
+the server aborted the transaction the moment the connection died, so the
+only honest outcome is an error the application can see.  Retried queries
+are at-least-once: a response lost in flight re-executes the statement.
+
+    with ReproClient(port=port) as client:
+        rows = client.query(
+            "FOR c IN customers FILTER c.credit_limit > @m RETURN c.name",
+            {"m": 5000},
+        ).rows
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Any, Optional
+
+from repro.errors import ProtocolError
+from repro.fault.retry import retry_with_backoff
+from repro.query.executor import Result
+from repro.server import protocol
+
+__all__ = ["ReproClient", "DEFAULT_PORT"]
+
+#: Default TCP port for ``repro-shell serve`` / ``connect``.
+DEFAULT_PORT = 8845
+
+_UNSET = object()
+
+
+class ReproClient:
+    """Synchronous, context-managed client for the repro wire protocol."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        connect_timeout: float = 5.0,
+        request_timeout: Optional[float] = 60.0,
+        retries: int = 3,
+        auto_reconnect: bool = True,
+        backoff_base: float = 0.05,
+        sleep=time.sleep,
+    ):
+        self.host = host
+        self.port = port
+        self.connect_timeout = connect_timeout
+        self.request_timeout = request_timeout
+        self.retries = max(int(retries), 1)
+        self.auto_reconnect = auto_reconnect
+        self.backoff_base = backoff_base
+        self._sleep = sleep  # None disables backoff delays (tests)
+        self._sock: Optional[socket.socket] = None
+        self._lock = threading.RLock()
+        self._next_id = 0
+        self._in_txn = False
+        self.server_info: Optional[dict] = None
+
+    # ------------------------------------------------------------ lifecycle --
+
+    def connect(self) -> dict:
+        """Dial the server and consume the handshake; returns server info.
+
+        Raises the typed error the server greeted us with when admission
+        control refuses the session (e.g.
+        :class:`repro.errors.ServerOverloadedError`)."""
+        with self._lock:
+            self._teardown()
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.connect_timeout
+            )
+            sock.settimeout(self.request_timeout)
+            try:
+                frame = protocol.read_frame(sock)
+                if frame is None:
+                    raise ProtocolError("server closed the connection before hello")
+                if frame.get("ok") is False:
+                    protocol.raise_wire_error(frame.get("error"))
+                hello = frame.get("hello")
+                if not isinstance(hello, dict):
+                    raise ProtocolError(f"expected hello frame, got {frame!r}")
+                if hello.get("protocol") != protocol.PROTOCOL_VERSION:
+                    raise ProtocolError(
+                        f"protocol mismatch: server speaks "
+                        f"{hello.get('protocol')!r}, client "
+                        f"{protocol.PROTOCOL_VERSION!r}"
+                    )
+            except BaseException:
+                sock.close()
+                raise
+            self._sock = sock
+            self._in_txn = False
+            self.server_info = hello
+            return hello
+
+    def close(self) -> None:
+        with self._lock:
+            self._teardown()
+
+    def _teardown(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+        self._in_txn = False
+
+    def __enter__(self) -> "ReproClient":
+        self.connect()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def connected(self) -> bool:
+        return self._sock is not None
+
+    @property
+    def in_txn(self) -> bool:
+        return self._in_txn
+
+    @property
+    def session_id(self) -> Optional[int]:
+        return (self.server_info or {}).get("session")
+
+    @property
+    def server_version(self) -> Optional[str]:
+        return (self.server_info or {}).get("version")
+
+    # ------------------------------------------------------------- plumbing --
+
+    def _roundtrip(self, op: str, params: dict) -> Any:
+        """One request/response exchange on the current socket."""
+        if self._sock is None:
+            raise ConnectionError("client is not connected")
+        self._next_id += 1
+        request_id = self._next_id
+        protocol.write_frame(self._sock, protocol.request(request_id, op, **params))
+        frame = protocol.read_frame(self._sock)
+        if frame is None:
+            raise ConnectionError("server closed the connection mid-request")
+        if frame.get("id") != request_id:
+            raise ProtocolError(
+                f"response id {frame.get('id')!r} does not match "
+                f"request id {request_id}"
+            )
+        if frame.get("ok") is not True:
+            protocol.raise_wire_error(frame.get("error"))
+        return frame.get("result")
+
+    def _call(self, op: str, **params: Any) -> Any:
+        """Roundtrip with transparent reconnect on transport failure.
+
+        Only reconnects when *not* inside a transaction — a reconnect is a
+        brand-new session and silently continuing would lie about the
+        transaction the server already rolled back."""
+        with self._lock:
+            if self._sock is None and not self.auto_reconnect:
+                raise ConnectionError("client is not connected")
+            can_retry = self.auto_reconnect and not self._in_txn
+            if not can_retry:
+                try:
+                    return self._roundtrip(op, params)
+                except (ConnectionError, OSError, socket.timeout):
+                    self._teardown()  # the server-side txn is already dead
+                    raise
+
+            def attempt(index: int) -> Any:
+                if index > 0 or self._sock is None:
+                    self.connect()
+                try:
+                    return self._roundtrip(op, params)
+                except (ConnectionError, OSError, socket.timeout):
+                    self._teardown()
+                    raise
+
+            return retry_with_backoff(
+                attempt,
+                attempts=self.retries,
+                retry_on=(ConnectionError, OSError),
+                base_delay=self.backoff_base,
+                sleep=self._sleep,
+            )
+
+    # ------------------------------------------------------------------ API --
+
+    def query(
+        self,
+        text: str,
+        bind_vars: Optional[dict] = None,
+        analyze: bool = False,
+        timeout: Optional[float] = None,
+        max_rows: Optional[int] = None,
+    ) -> Result:
+        """Run MMQL on the server; returns the same :class:`Result` shape
+        the embedded engine produces (rows + stats, ``analyzed`` text when
+        requested) — values limited to what JSON round-trips."""
+        params: dict[str, Any] = {"text": text, "bind_vars": bind_vars or {}}
+        if analyze:
+            params["analyze"] = True
+        if timeout is not None:
+            params["timeout"] = timeout
+        if max_rows is not None:
+            params["max_rows"] = max_rows
+        payload = self._call("query", **params)
+        return Result(
+            rows=payload.get("rows", []),
+            stats=payload.get("stats", {}),
+            analyzed=payload.get("analyzed"),
+        )
+
+    def explain(self, text: str) -> str:
+        return self._call("explain", text=text)["plan"]
+
+    def begin(self, isolation: str = "snapshot") -> int:
+        result = self._call("begin", isolation=isolation)
+        self._in_txn = True
+        return result["txn"]
+
+    def commit(self) -> None:
+        try:
+            self._call("commit")
+        finally:
+            self._in_txn = False
+
+    def abort(self) -> None:
+        try:
+            self._call("abort")
+        finally:
+            self._in_txn = False
+
+    def set_limits(self, timeout: Any = _UNSET, max_rows: Any = _UNSET) -> dict:
+        """Session-level guardrail overrides (``None`` clears one; the
+        server still caps both at the host's ``db.guardrails``)."""
+        params: dict[str, Any] = {}
+        if timeout is not _UNSET:
+            params["timeout"] = timeout
+        if max_rows is not _UNSET:
+            params["max_rows"] = max_rows
+        return self._call("set", **params)
+
+    def set_consistency(self, name: str, level: str) -> dict:
+        return self._call("set_consistency", name=name, level=level)
+
+    def ping(self) -> bool:
+        return bool(self._call("ping").get("pong"))
+
+    def stats(self) -> dict:
+        return self._call("stats")
+
+    def info(self) -> dict:
+        return self._call("info")
+
+    def __repr__(self) -> str:
+        state = "connected" if self.connected else "disconnected"
+        return f"<ReproClient {self.host}:{self.port} {state}>"

@@ -20,6 +20,7 @@ durability comes from an attached WAL (:meth:`attach_wal`,
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Any, Iterator, Optional
 
 from repro.core.context import EngineContext
@@ -48,6 +49,12 @@ class MultiModelDB:
 
         self.context = EngineContext(lock_timeout=lock_timeout)
         self._catalog: dict[str, tuple[str, Any]] = {}
+        #: Serializes catalog DDL (``_register``/``drop``) against lookups:
+        #: the network server runs sessions on a thread pool, and a DDL
+        #: racing a lookup must never observe a half-registered object or a
+        #: stale version stamp.  Reads take it too — it is uncontended in
+        #: embedded single-threaded use.
+        self._catalog_lock = threading.RLock()
         self._wal: Optional[WriteAheadLog] = None
         #: Monotone counter bumped by catalog DDL; together with the index
         #: manager's ``version`` it stamps plan-cache entries so DDL
@@ -61,17 +68,18 @@ class MultiModelDB:
     # ------------------------------------------------------------------ DDL --
 
     def _register(self, kind: str, name: str, store: Any) -> Any:
-        if name in self._catalog:
-            existing_kind, _ = self._catalog[name]
-            raise DuplicateCollectionError(
-                f"{name!r} already exists (as a {existing_kind})"
-            )
-        # Every catalog object reports per-model op counts/latencies into
-        # the metrics registry; the wrappers no-op when observability is
-        # disabled, so registration-time wrapping is unconditional.
-        instrument_store(kind, store)
-        self._catalog[name] = (kind, store)
-        self.catalog_version += 1
+        with self._catalog_lock:
+            if name in self._catalog:
+                existing_kind, _ = self._catalog[name]
+                raise DuplicateCollectionError(
+                    f"{name!r} already exists (as a {existing_kind})"
+                )
+            # Every catalog object reports per-model op counts/latencies into
+            # the metrics registry; the wrappers no-op when observability is
+            # disabled, so registration-time wrapping is unconditional.
+            instrument_store(kind, store)
+            self._catalog[name] = (kind, store)
+            self.catalog_version += 1
         return store
 
     def create_table(self, schema: TableSchema) -> Table:
@@ -124,20 +132,26 @@ class MultiModelDB:
 
     def drop(self, name: str) -> None:
         """Drop any catalog object and its data."""
-        kind_store = self._catalog.pop(name, None)
-        if kind_store is None:
-            raise UnknownCollectionError(f"nothing named {name!r} in the catalog")
-        self.catalog_version += 1
+        with self._catalog_lock:
+            kind_store = self._catalog.pop(name, None)
+            if kind_store is None:
+                raise UnknownCollectionError(
+                    f"nothing named {name!r} in the catalog"
+                )
+            self.catalog_version += 1
         kind_store[1].truncate()
 
     # -------------------------------------------------------------- catalog --
 
     def catalog(self) -> dict[str, str]:
         """{name: kind} for everything defined."""
-        return {name: kind for name, (kind, _store) in sorted(self._catalog.items())}
+        with self._catalog_lock:
+            items = sorted(self._catalog.items())
+        return {name: kind for name, (kind, _store) in items}
 
     def _get(self, name: str, kind: str) -> Any:
-        entry = self._catalog.get(name)
+        with self._catalog_lock:
+            entry = self._catalog.get(name)
         if entry is None:
             raise UnknownCollectionError(f"no {kind} named {name!r}")
         actual_kind, store = entry
@@ -176,13 +190,15 @@ class MultiModelDB:
 
     def resolve(self, name: str) -> Any:
         """Any catalog object by name (used by the query engine)."""
-        entry = self._catalog.get(name)
+        with self._catalog_lock:
+            entry = self._catalog.get(name)
         if entry is None:
             raise UnknownCollectionError(f"nothing named {name!r} in the catalog")
         return entry[1]
 
     def kind_of(self, name: str) -> str:
-        entry = self._catalog.get(name)
+        with self._catalog_lock:
+            entry = self._catalog.get(name)
         if entry is None:
             raise UnknownCollectionError(f"nothing named {name!r} in the catalog")
         return entry[0]
@@ -191,7 +207,9 @@ class MultiModelDB:
         """Engine-wide statistics: per-object record counts, index names,
         log length, and transaction counters."""
         objects = {}
-        for name, (kind, store) in sorted(self._catalog.items()):
+        with self._catalog_lock:
+            entries = sorted(self._catalog.items())
+        for name, (kind, store) in entries:
             if kind == "graph":
                 count = store.vertex_count() + store.edge_count()
             elif kind == "objects":

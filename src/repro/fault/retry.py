@@ -20,6 +20,8 @@ __all__ = ["RetryExhaustedError", "retry_with_backoff"]
 class RetryExhaustedError(InjectedFaultError):
     """Every attempt failed; carries the last underlying error."""
 
+    code = "FAULT_RETRY_EXHAUSTED"
+
     def __init__(self, attempts: int, last_error: BaseException):
         super().__init__(
             f"gave up after {attempts} attempt(s): {last_error}"

@@ -25,6 +25,7 @@ optimization *and* expression-tree dispatch.
 from __future__ import annotations
 
 import re
+import threading
 import time
 from collections import OrderedDict
 from typing import Any, Optional
@@ -111,11 +112,19 @@ class PlanCache:
     (``plan_cache_hits_total`` / ``plan_cache_misses_total`` /
     ``plan_cache_evictions_total``) and kept locally so the shell's
     ``.plancache`` works even with metrics disabled.
+
+    * **Thread safety** — all mutation (LRU reordering on ``get``,
+      insertion/eviction on ``put``, ``resize``/``clear``) happens under one
+      lock: the server executes concurrent sessions on a thread pool, and an
+      unguarded ``OrderedDict.move_to_end`` during an eviction sweep
+      corrupts the linked list.  The lock is uncontended in embedded
+      single-threaded use.
     """
 
     def __init__(self, capacity: int = 128):
         self.capacity = max(int(capacity), 1)
         self._entries: "OrderedDict[tuple, dict]" = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -135,32 +144,40 @@ class PlanCache:
         return (text.strip(), shape, optimized)
 
     def get(self, key: tuple, versions: tuple) -> Optional[Any]:
-        entry = self._entries.get(key)
-        if entry is not None and entry["versions"] != versions:
-            # DDL happened since this plan was built: drop it.
-            del self._entries[key]
-            self.invalidations += 1
-            entry = None
-        if entry is None:
-            self.misses += 1
-            if metrics.ENABLED:
-                metrics.counter("plan_cache_misses_total").inc()
-            return None
-        self._entries.move_to_end(key)
-        entry["hits"] += 1
-        self.hits += 1
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry["versions"] != versions:
+                # DDL happened since this plan was built: drop it.
+                del self._entries[key]
+                self.invalidations += 1
+                entry = None
+            if entry is None:
+                self.misses += 1
+                plan = None
+            else:
+                self._entries.move_to_end(key)
+                entry["hits"] += 1
+                self.hits += 1
+                plan = entry["plan"]
         if metrics.ENABLED:
-            metrics.counter("plan_cache_hits_total").inc()
-        return entry["plan"]
+            metrics.counter(
+                "plan_cache_hits_total"
+                if plan is not None
+                else "plan_cache_misses_total"
+            ).inc()
+        return plan
 
     def put(self, key: tuple, plan: Any, versions: tuple) -> None:
-        self._entries[key] = {"plan": plan, "versions": versions, "hits": 0}
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
-            if metrics.ENABLED:
-                metrics.counter("plan_cache_evictions_total").inc()
+        evicted = 0
+        with self._lock:
+            self._entries[key] = {"plan": plan, "versions": versions, "hits": 0}
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                evicted += 1
+        if evicted and metrics.ENABLED:
+            metrics.counter("plan_cache_evictions_total").inc(evicted)
 
     def peek_text(self, text: str, versions: tuple) -> Optional[int]:
         """Prior hit count of a *live* entry for this query text, or None.
@@ -169,44 +186,51 @@ class PlanCache:
         LRU order or the hit/miss counters."""
         text = text.strip()
         best: Optional[int] = None
-        for key, entry in self._entries.items():
-            if key[0] == text and entry["versions"] == versions:
-                best = max(best or 0, entry["hits"])
+        with self._lock:
+            for key, entry in self._entries.items():
+                if key[0] == text and entry["versions"] == versions:
+                    best = max(best or 0, entry["hits"])
         return best
 
     def resize(self, capacity: int) -> None:
-        self.capacity = max(int(capacity), 1)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
-            if metrics.ENABLED:
-                metrics.counter("plan_cache_evictions_total").inc()
+        evicted = 0
+        with self._lock:
+            self.capacity = max(int(capacity), 1)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                evicted += 1
+        if evicted and metrics.ENABLED:
+            metrics.counter("plan_cache_evictions_total").inc(evicted)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def stats(self) -> dict:
-        return {
-            "capacity": self.capacity,
-            "size": len(self._entries),
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "invalidations": self.invalidations,
-        }
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "size": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+            }
 
     def entries(self) -> list[dict]:
         """Cached statements, least- to most-recently used (for
         ``.plancache``)."""
-        return [
-            {
-                "query": key[0].strip(),
-                "bind_shape": [name for name, _tag in key[1]],
-                "optimized": key[2],
-                "hits": entry["hits"],
-            }
-            for key, entry in self._entries.items()
-        ]
+        with self._lock:
+            return [
+                {
+                    "query": key[0].strip(),
+                    "bind_shape": [name for name, _tag in key[1]],
+                    "optimized": key[2],
+                    "hits": entry["hits"],
+                }
+                for key, entry in self._entries.items()
+            ]
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -1,0 +1,18 @@
+"""Network service layer: serve one engine to many concurrent clients.
+
+The paper's premise — *one* multi-model engine in place of a zoo of
+single-model stores — only pays off when that one engine is a shared
+service.  This package turns the embedded :class:`repro.MultiModelDB` into
+one: :class:`~repro.server.server.ReproServer` multiplexes many sessions
+over a length-prefixed JSON wire protocol
+(:mod:`repro.server.protocol`), with per-session transaction state
+(:mod:`repro.server.session`), admission control and graceful drain.
+
+The matching client lives in :mod:`repro.client`.
+"""
+
+from repro.server.protocol import MAX_FRAME_BYTES, PROTOCOL_VERSION
+from repro.server.server import ReproServer
+from repro.server.session import Session
+
+__all__ = ["ReproServer", "Session", "PROTOCOL_VERSION", "MAX_FRAME_BYTES"]

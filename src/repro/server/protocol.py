@@ -1,0 +1,252 @@
+"""Length-prefixed JSON wire protocol shared by server and client.
+
+A **frame** is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON encoding one object.  Both directions use the same
+framing; what differs is the payload shape:
+
+* **Request** — ``{"id": N, "op": "query", "params": {...}}``.  ``id`` is a
+  client-chosen correlation number echoed back verbatim; ``params`` carries
+  op-specific arguments (bind variables ride inside ``params.bind_vars`` as
+  plain JSON values).
+* **Success response** — ``{"id": N, "ok": true, "result": {...}}``.
+* **Error response** — ``{"id": N, "ok": false, "error": {"code": C,
+  "message": M, "details": {...}}}`` where ``C`` is a stable code from
+  :mod:`repro.errors`; the client re-raises the matching class via
+  :func:`repro.errors.error_for_code`.
+* **Handshake** — immediately after accepting a connection the server sends
+  one unsolicited frame ``{"hello": {"server": "repro", "version": ...,
+  "protocol": 1, "session": S}}`` (or an error frame with
+  ``SERVER_OVERLOADED`` when the session limit is hit, then closes).
+
+Values that are not JSON-native (dates, bytes reprs, …) are serialized with
+``default=str`` — the same lossy-but-total rule the shell uses to print
+rows.
+
+Failpoints ``server.frame_read`` / ``server.frame_write`` sit on the
+server-side frame boundary so the torture suite can sever or corrupt the
+stream mid-conversation (``error`` effect → the connection is dropped,
+which is exactly what a torn TCP stream looks like to the peer).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+from typing import Any, Optional
+
+from repro.errors import (
+    ProtocolError,
+    code_of,
+    error_details,
+    error_for_code,
+)
+from repro.fault import registry as fault_registry
+from repro.obs import metrics as obs_metrics
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "encode_frame",
+    "decode_payload",
+    "read_frame",
+    "write_frame",
+    "read_frame_async",
+    "write_frame_async",
+    "request",
+    "ok_response",
+    "error_response",
+    "raise_wire_error",
+]
+
+#: Bumped on any incompatible change to the frame or payload shapes; the
+#: client refuses a handshake with a different major protocol.
+PROTOCOL_VERSION = 1
+
+#: Default per-frame size cap.  Large enough for any sane result page,
+#: small enough that a corrupt length prefix cannot make a peer try to
+#: buffer gigabytes.
+MAX_FRAME_BYTES = 32 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+FP_FRAME_READ = fault_registry.register(
+    "server.frame_read",
+    "server-side wire frame read (error => connection drop mid-read)",
+)
+FP_FRAME_WRITE = fault_registry.register(
+    "server.frame_write",
+    "server-side wire frame write (error => connection drop mid-write)",
+)
+
+
+# ---------------------------------------------------------------------------
+# Encoding
+# ---------------------------------------------------------------------------
+
+
+def encode_frame(payload: dict) -> bytes:
+    """Header + JSON body for one payload object."""
+    body = json.dumps(payload, default=str, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+    return _HEADER.pack(len(body)) + body
+
+
+def decode_payload(body: bytes) -> dict:
+    """Parse a frame body; the payload must be a JSON object."""
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as error:
+        raise ProtocolError(f"undecodable frame payload: {error}") from error
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"frame payload must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def _check_length(length: int, max_frame: int) -> None:
+    if length > max_frame:
+        raise ProtocolError(
+            f"peer announced a {length}-byte frame "
+            f"(limit {max_frame}) — corrupt length prefix?"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Blocking I/O (client side, plain sockets)
+# ---------------------------------------------------------------------------
+
+
+def write_frame(sock: socket.socket, payload: dict) -> int:
+    """Send one frame; returns the bytes written."""
+    data = encode_frame(payload)
+    sock.sendall(data)
+    return len(data)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    """Read exactly *count* bytes; None on clean EOF at a frame boundary,
+    :class:`ProtocolError` on EOF mid-frame."""
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if remaining == count and not chunks:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({count - remaining}/{count} bytes)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(
+    sock: socket.socket, max_frame: int = MAX_FRAME_BYTES
+) -> Optional[dict]:
+    """Read one frame; None on clean EOF before any header byte."""
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    _check_length(length, max_frame)
+    body = _recv_exact(sock, length) if length else b""
+    if body is None:
+        raise ProtocolError("connection closed between header and payload")
+    return decode_payload(body)
+
+
+# ---------------------------------------------------------------------------
+# Async I/O (server side)
+# ---------------------------------------------------------------------------
+
+
+async def read_frame_async(
+    reader: asyncio.StreamReader, max_frame: int = MAX_FRAME_BYTES
+) -> Optional[dict]:
+    """Read one frame from a stream reader; None on clean EOF."""
+    if FP_FRAME_READ.armed:
+        FP_FRAME_READ.check()
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise ProtocolError(
+            f"connection closed mid-header ({len(error.partial)}/{_HEADER.size})"
+        ) from error
+    (length,) = _HEADER.unpack(header)
+    _check_length(length, max_frame)
+    try:
+        body = await reader.readexactly(length) if length else b""
+    except asyncio.IncompleteReadError as error:
+        raise ProtocolError(
+            f"connection closed mid-frame ({len(error.partial)}/{length} bytes)"
+        ) from error
+    if obs_metrics.ENABLED:
+        obs_metrics.counter("server_bytes_read_total").inc(_HEADER.size + length)
+    return decode_payload(body)
+
+
+async def write_frame_async(writer: asyncio.StreamWriter, payload: dict) -> int:
+    """Send one frame through a stream writer; returns bytes written."""
+    if FP_FRAME_WRITE.armed:
+        FP_FRAME_WRITE.check()
+    data = encode_frame(payload)
+    writer.write(data)
+    await writer.drain()
+    if obs_metrics.ENABLED:
+        obs_metrics.counter("server_bytes_written_total").inc(len(data))
+    return len(data)
+
+
+# ---------------------------------------------------------------------------
+# Payload shapes
+# ---------------------------------------------------------------------------
+
+
+def request(request_id: int, op: str, **params: Any) -> dict:
+    return {"id": request_id, "op": op, "params": params}
+
+
+def ok_response(request_id: Optional[int], result: Any) -> dict:
+    return {"id": request_id, "ok": True, "result": result}
+
+
+def error_response(request_id: Optional[int], error: BaseException) -> dict:
+    """Serialize any exception into an error frame payload.
+
+    Engine errors travel as their stable code plus JSON-safe instance
+    attributes; anything else (a genuine server bug) becomes ``INTERNAL``
+    with the exception type prefixed so the client log is actionable.
+    """
+    code = code_of(error)
+    message = str(error)
+    if code == "INTERNAL":
+        message = f"{type(error).__name__}: {message}"
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {
+            "code": code,
+            "message": message,
+            "details": error_details(error),
+        },
+    }
+
+
+def raise_wire_error(error_obj: dict) -> None:
+    """Client side: re-raise the typed engine error an error frame carries."""
+    if not isinstance(error_obj, dict):
+        raise ProtocolError(f"malformed error frame: {error_obj!r}")
+    raise error_for_code(
+        str(error_obj.get("code", "INTERNAL")),
+        str(error_obj.get("message", "unknown server error")),
+        error_obj.get("details") or {},
+    )

@@ -1,0 +1,510 @@
+"""Asyncio TCP server hosting one :class:`~repro.core.database.MultiModelDB`.
+
+Architecture (one process, three layers):
+
+* the **event loop** accepts connections, frames requests and responses
+  (:mod:`repro.server.protocol`), and keeps all admission-control state —
+  session count, in-flight counter — single-threaded, so none of it needs
+  locks;
+* a **thread-pool executor bridge** runs every blocking engine call
+  (``query``/``explain``/``commit``/``abort``) off the loop, sized to
+  ``max_inflight`` workers, so one long scan never stalls frame I/O for
+  other sessions;
+* the **engine** underneath is shared: the catalog lock, plan-cache lock
+  and transaction-manager mutex added for this layer make that safe.
+
+Admission control is two gates with typed rejections
+(:class:`repro.errors.ServerOverloadedError` — the request is *refused*,
+never silently queued forever):
+
+* ``max_sessions`` — connections beyond it are greeted with an error frame
+  and closed;
+* ``max_inflight + queue_depth`` — blocking calls beyond the worker count
+  queue in the executor, and past the queue budget they are rejected
+  immediately.
+
+Graceful shutdown (:meth:`ReproServer.shutdown`) stops accepting, lets
+in-flight queries drain (bounded by ``drain_timeout``), aborts transactions
+orphaned by surviving sessions, optionally checkpoints the database, and
+only then tears down connections — so every positively-acknowledged commit
+is durable in the WAL.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Optional
+
+from repro import __version__
+from repro.errors import (
+    InjectedFaultError,
+    ProtocolError,
+    ServerOverloadedError,
+    ServerShutdownError,
+    SessionStateError,
+    SimulatedCrash,
+    code_of,
+)
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracing
+from repro.server import protocol
+from repro.server.session import Session
+
+__all__ = ["ReproServer"]
+
+#: Ops answered inline on the event loop even while draining, so a client
+#: can still observe a shutting-down server.
+_ALWAYS_ALLOWED = frozenset({"ping", "stats", "info"})
+
+
+def _merge_limit(requested, session_value, host_default):
+    """Effective guardrail: the client's request (or its session override)
+    picks the value, but a configured host default is a hard cap — a remote
+    client can tighten ``db.guardrails``, never escape it."""
+    value = requested if requested is not None else session_value
+    if host_default is not None:
+        value = host_default if value is None else min(value, host_default)
+    return value
+
+
+class ReproServer:
+    """Serve one database over the length-prefixed JSON wire protocol."""
+
+    def __init__(
+        self,
+        db: Any,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_sessions: int = 64,
+        max_inflight: int = 8,
+        queue_depth: int = 32,
+        drain_timeout: float = 10.0,
+        checkpoint_path: Optional[str] = None,
+        max_frame: int = protocol.MAX_FRAME_BYTES,
+    ):
+        self.db = db
+        self.host = host
+        self.port = port
+        self.max_sessions = int(max_sessions)
+        self.max_inflight = max(int(max_inflight), 1)
+        self.queue_depth = max(int(queue_depth), 0)
+        self.drain_timeout = drain_timeout
+        self.checkpoint_path = checkpoint_path
+        self.max_frame = max_frame
+
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._sessions: dict[int, tuple[Session, asyncio.StreamWriter]] = {}
+        self._inflight = 0
+        self._drained: Optional[asyncio.Event] = None
+        self._stop_requested: Optional[asyncio.Event] = None
+        self._draining = False
+        self._started_at = time.time()
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------ lifecycle --
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    @property
+    def active_sessions(self) -> int:
+        return len(self._sessions)
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting; returns the bound (host, port) —
+        pass ``port=0`` to let the OS pick a free one."""
+        self._loop = asyncio.get_running_loop()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.max_inflight, thread_name_prefix="repro-exec"
+        )
+        self._drained = asyncio.Event()
+        self._drained.set()
+        self._stop_requested = asyncio.Event()
+        self._draining = False
+        self._started_at = time.time()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.address
+
+    async def serve_until_stopped(self) -> None:
+        """Run until :meth:`request_stop` / :meth:`stop`, then shut down
+        gracefully."""
+        if self._server is None:
+            await self.start()
+        try:
+            await self._stop_requested.wait()
+        finally:
+            await self.shutdown()
+
+    async def shutdown(self, drain: bool = True) -> None:
+        """Stop accepting, drain in-flight queries, checkpoint, tear down."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if drain and self._inflight:
+            try:
+                await asyncio.wait_for(
+                    self._drained.wait(), timeout=self.drain_timeout
+                )
+            except asyncio.TimeoutError:
+                pass  # bounded patience: surviving queries die with the loop
+        # Transactions stranded by sessions that never said commit: roll
+        # them back so their locks and intents don't outlive the server.
+        for session, _writer in list(self._sessions.values()):
+            if session.txn is not None:
+                try:
+                    self.db.abort(session.take_txn("shutdown"))
+                except Exception:
+                    pass
+        if self.checkpoint_path is not None:
+            try:
+                await asyncio.get_running_loop().run_in_executor(
+                    None, self.db.checkpoint, self.checkpoint_path
+                )
+            except Exception:
+                pass  # checkpointing is an optimization; the WAL is truth
+        for _session, writer in list(self._sessions.values()):
+            try:
+                writer.close()
+            except Exception:
+                pass
+        self._sessions.clear()
+        if obs_metrics.ENABLED:
+            obs_metrics.gauge("server_sessions_active").set(0)
+        if self._executor is not None:
+            self._executor.shutdown(wait=drain)
+            self._executor = None
+
+    def request_stop(self) -> None:
+        """Thread-safe: ask the serving loop to shut down."""
+        loop, stop = self._loop, self._stop_requested
+        if loop is not None and stop is not None:
+            loop.call_soon_threadsafe(stop.set)
+
+    # -- background-thread conveniences (tests, benchmarks, `serve`) --------
+
+    def start_in_thread(self) -> tuple[str, int]:
+        """Run the server in a daemon thread; returns the bound address
+        once it is accepting connections."""
+        ready = threading.Event()
+        failure: list[BaseException] = []
+
+        async def main() -> None:
+            try:
+                await self.start()
+            except BaseException as error:  # bind failure must not hang
+                failure.append(error)
+                ready.set()
+                raise
+            ready.set()
+            await self.serve_until_stopped()
+
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(main()),
+            name="repro-server",
+            daemon=True,
+        )
+        self._thread.start()
+        ready.wait(timeout=10.0)
+        if failure:
+            raise failure[0]
+        return self.address
+
+    def stop(self, timeout: float = 15.0) -> None:
+        """Thread-safe: gracefully stop a :meth:`start_in_thread` server."""
+        self.request_stop()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+
+    def __enter__(self) -> "ReproServer":
+        self.start_in_thread()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ---------------------------------------------------------- connections --
+
+    def _server_info(self, session: Optional[Session] = None) -> dict:
+        info = {
+            "server": "repro",
+            "version": __version__,
+            "protocol": protocol.PROTOCOL_VERSION,
+            "limits": {
+                "max_sessions": self.max_sessions,
+                "max_inflight": self.max_inflight,
+                "queue_depth": self.queue_depth,
+                "max_frame": self.max_frame,
+            },
+        }
+        if session is not None:
+            info["session"] = session.session_id
+        return info
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peername = writer.get_extra_info("peername")
+        peer = f"{peername[0]}:{peername[1]}" if peername else "?"
+        if obs_metrics.ENABLED:
+            obs_metrics.counter("server_connections_total").inc()
+        if self._draining or len(self._sessions) >= self.max_sessions:
+            error: Exception
+            if self._draining:
+                error = ServerShutdownError("server is shutting down")
+            else:
+                error = ServerOverloadedError(
+                    f"session limit reached ({self.max_sessions} active)"
+                )
+                if obs_metrics.ENABLED:
+                    obs_metrics.counter("server_overload_rejections_total").inc()
+            try:
+                await protocol.write_frame_async(
+                    writer, protocol.error_response(None, error)
+                )
+            except Exception:
+                pass
+            writer.close()
+            return
+        session = Session(peer=peer)
+        self._sessions[session.session_id] = (session, writer)
+        if obs_metrics.ENABLED:
+            obs_metrics.gauge("server_sessions_active").set(len(self._sessions))
+        try:
+            await protocol.write_frame_async(
+                writer, {"hello": self._server_info(session)}
+            )
+            while True:
+                try:
+                    frame = await protocol.read_frame_async(reader, self.max_frame)
+                except (ProtocolError, InjectedFaultError):
+                    break  # torn/corrupt stream: the connection is gone
+                except (ConnectionResetError, BrokenPipeError, OSError):
+                    break
+                if frame is None:
+                    break  # clean EOF
+                try:
+                    await self._dispatch(session, writer, frame)
+                except (
+                    ProtocolError,
+                    InjectedFaultError,
+                    ConnectionResetError,
+                    BrokenPipeError,
+                    OSError,
+                ):
+                    break  # response could not be delivered
+        except SimulatedCrash:
+            raise  # torture harness territory: nothing here may survive it
+        finally:
+            if session.txn is not None:
+                # The client vanished mid-transaction: roll it back.
+                try:
+                    self.db.abort(session.take_txn("disconnect"))
+                except Exception:
+                    pass
+            self._sessions.pop(session.session_id, None)
+            if obs_metrics.ENABLED:
+                obs_metrics.gauge("server_sessions_active").set(
+                    len(self._sessions)
+                )
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    # ------------------------------------------------------------- dispatch --
+
+    async def _dispatch(
+        self, session: Session, writer: asyncio.StreamWriter, frame: dict
+    ) -> None:
+        request_id = frame.get("id")
+        op = frame.get("op")
+        params = frame.get("params") or {}
+        session.requests += 1
+        session.last_op = op if isinstance(op, str) else None
+        started = time.perf_counter()
+        try:
+            if not isinstance(op, str) or not op:
+                raise ProtocolError(f"request frame without a valid op: {frame!r}")
+            if not isinstance(params, dict):
+                raise ProtocolError("request params must be a JSON object")
+            if obs_metrics.ENABLED:
+                obs_metrics.counter("server_requests_total", op=op).inc()
+            with tracing.span(
+                "server.request", op=op, session=session.session_id
+            ):
+                result = await self._execute_op(session, op, params)
+            payload = protocol.ok_response(request_id, result)
+        except SimulatedCrash:
+            raise
+        except Exception as error:
+            session.errors += 1
+            if obs_metrics.ENABLED:
+                obs_metrics.counter(
+                    "server_errors_total", code=code_of(error)
+                ).inc()
+            payload = protocol.error_response(request_id, error)
+        await protocol.write_frame_async(writer, payload)
+        if obs_metrics.ENABLED:
+            obs_metrics.histogram("server_request_seconds").observe(
+                time.perf_counter() - started
+            )
+
+    async def _execute_op(self, session: Session, op: str, params: dict) -> Any:
+        if self._draining and op not in _ALWAYS_ALLOWED:
+            raise ServerShutdownError(
+                f"server is draining; {op!r} rejected (reconnect elsewhere)"
+            )
+        if op == "ping":
+            return {"pong": True}
+        if op == "info":
+            return self._server_info(session)
+        if op == "stats":
+            return {
+                "uptime_seconds": round(time.time() - self._started_at, 3),
+                "draining": self._draining,
+                "inflight": self._inflight,
+                "sessions": [
+                    entry[0].describe() for entry in self._sessions.values()
+                ],
+                "limits": self._server_info()["limits"],
+            }
+        if op == "query":
+            return await self._op_query(session, params)
+        if op == "explain":
+            text = self._required_text(params)
+            return {"plan": await self._run_blocking(lambda: self.db.explain(text))}
+        if op == "begin":
+            isolation = params.get("isolation", "snapshot")
+            if session.in_txn:
+                raise SessionStateError(
+                    f"session {session.session_id} already has an active "
+                    "transaction — commit or abort it first"
+                )
+            txn = self.db.begin(isolation)
+            session.attach_txn(txn)
+            return {"txn": txn.txn_id, "isolation": str(isolation)}
+        if op == "commit":
+            txn = session.take_txn("commit")
+            try:
+                await self._run_blocking(lambda: self.db.commit(txn))
+            except Exception:
+                # A failed commit (conflict, lock timeout, injected fault)
+                # aborts server-side; the session must not keep a dead txn.
+                if getattr(txn, "is_active", False):
+                    try:
+                        self.db.abort(txn)
+                    except Exception:
+                        pass
+                raise
+            return {"txn": txn.txn_id, "committed": True}
+        if op == "abort":
+            txn = session.take_txn("abort")
+            await self._run_blocking(lambda: self.db.abort(txn))
+            return {"txn": txn.txn_id, "aborted": True}
+        if op == "set":
+            if "timeout" in params:
+                timeout = params["timeout"]
+                session.timeout = None if timeout is None else float(timeout)
+            if "max_rows" in params:
+                max_rows = params["max_rows"]
+                session.max_rows = None if max_rows is None else int(max_rows)
+            return {"timeout": session.timeout, "max_rows": session.max_rows}
+        if op == "set_consistency":
+            name = params.get("name")
+            level = params.get("level")
+            if not name or not level:
+                raise ProtocolError("set_consistency needs 'name' and 'level'")
+            self.db.set_consistency(name, level)
+            return {"name": name, "level": str(level)}
+        raise ProtocolError(f"unknown op {op!r}")
+
+    @staticmethod
+    def _required_text(params: dict) -> str:
+        text = params.get("text")
+        if not isinstance(text, str) or not text.strip():
+            raise ProtocolError("missing query text")
+        return text
+
+    async def _op_query(self, session: Session, params: dict) -> dict:
+        text = self._required_text(params)
+        bind_vars = params.get("bind_vars") or {}
+        if not isinstance(bind_vars, dict):
+            raise ProtocolError("bind_vars must be a JSON object")
+        analyze = bool(params.get("analyze", False))
+        guardrails = getattr(self.db, "guardrails", None)
+        timeout = _merge_limit(
+            params.get("timeout"),
+            session.timeout,
+            getattr(guardrails, "timeout", None),
+        )
+        max_rows = _merge_limit(
+            params.get("max_rows"),
+            session.max_rows,
+            getattr(guardrails, "max_rows", None),
+        )
+        txn = session.txn
+
+        def work():
+            from repro.query.engine import run_query
+
+            return run_query(
+                self.db,
+                text,
+                bind_vars,
+                txn,
+                analyze=analyze,
+                timeout=timeout,
+                max_rows=max_rows,
+            )
+
+        result = await self._run_blocking(work)
+        response = {"rows": result.rows, "stats": result.stats}
+        if result.analyzed is not None:
+            response["analyzed"] = result.analyzed
+        return response
+
+    # ------------------------------------------------- executor bridge ------
+
+    async def _run_blocking(self, work) -> Any:
+        """Run *work* on the thread pool with queue-depth admission control."""
+        budget = self.max_inflight + self.queue_depth
+        if self._inflight >= budget:
+            if obs_metrics.ENABLED:
+                obs_metrics.counter("server_overload_rejections_total").inc()
+            raise ServerOverloadedError(
+                f"{self._inflight} requests in flight or queued "
+                f"(budget {budget}: {self.max_inflight} workers + "
+                f"{self.queue_depth} queue slots) — back off and retry"
+            )
+        if self._executor is None:
+            raise ServerShutdownError("server executor is gone")
+        self._inflight += 1
+        self._drained.clear()
+        if obs_metrics.ENABLED:
+            obs_metrics.gauge("server_inflight_queries").set(self._inflight)
+        try:
+            return await asyncio.get_running_loop().run_in_executor(
+                self._executor, work
+            )
+        finally:
+            self._inflight -= 1
+            if obs_metrics.ENABLED:
+                obs_metrics.gauge("server_inflight_queries").set(self._inflight)
+            if self._inflight == 0:
+                self._drained.set()

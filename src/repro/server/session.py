@@ -1,0 +1,122 @@
+"""Per-connection session state.
+
+One TCP connection = one :class:`Session`.  Requests on a single session
+execute strictly in order (the connection handler reads, dispatches and
+answers one frame at a time), so session state needs no locking of its
+own — *cross*-session concurrency is what the engine-side locks
+(catalog, plan cache, transaction manager) absorb.
+
+A session owns:
+
+* at most one **active transaction** — opened with ``begin``, consumed by
+  ``commit``/``abort``, threaded through every ``query`` in between, and
+  rolled back automatically when the connection dies mid-transaction (a
+  vanished client must never leave locks behind);
+* **guardrail overrides** — per-session ``timeout``/``max_rows`` that take
+  precedence over the database defaults for this session only (the server
+  always enforces whichever is in effect — a remote client cannot opt out
+  of the host's ``db.guardrails`` by simply not sending limits);
+* a requested **consistency level** (applied per named namespace);
+* bookkeeping for ``stats`` and the ``.sessions`` listings: request and
+  error counts, last op, start time.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import Any, Optional
+
+from repro.errors import SessionStateError
+
+__all__ = ["Session"]
+
+_session_ids = itertools.count(1)
+
+
+class Session:
+    """State for one connected client."""
+
+    __slots__ = (
+        "session_id",
+        "peer",
+        "txn",
+        "timeout",
+        "max_rows",
+        "started_at",
+        "requests",
+        "errors",
+        "last_op",
+    )
+
+    def __init__(self, peer: str = "?"):
+        self.session_id = next(_session_ids)
+        self.peer = peer
+        self.txn: Optional[Any] = None
+        #: Session-level guardrail overrides; ``None`` defers to the
+        #: database defaults.
+        self.timeout: Optional[float] = None
+        self.max_rows: Optional[int] = None
+        self.started_at = time.time()
+        self.requests = 0
+        self.errors = 0
+        self.last_op: Optional[str] = None
+
+    # -- transactions --------------------------------------------------------
+
+    @property
+    def in_txn(self) -> bool:
+        return self.txn is not None
+
+    def attach_txn(self, txn: Any) -> None:
+        if self.txn is not None:
+            raise SessionStateError(
+                f"session {self.session_id} already has an active transaction "
+                f"(txn {getattr(self.txn, 'txn_id', '?')}) — commit or abort it first"
+            )
+        self.txn = txn
+
+    def take_txn(self, op: str) -> Any:
+        """Detach and return the active transaction for commit/abort."""
+        if self.txn is None:
+            raise SessionStateError(
+                f"session {self.session_id}: {op} without an active "
+                "transaction — begin one first"
+            )
+        txn, self.txn = self.txn, None
+        return txn
+
+    # -- guardrails ----------------------------------------------------------
+
+    def effective_limits(self, guardrails: Any) -> tuple[Optional[float], Optional[int]]:
+        """(timeout, max_rows) for the next query: the session override when
+        set, else the database default from *guardrails*."""
+        timeout = self.timeout
+        max_rows = self.max_rows
+        if guardrails is not None:
+            if timeout is None:
+                timeout = guardrails.timeout
+            if max_rows is None:
+                max_rows = guardrails.max_rows
+        return timeout, max_rows
+
+    # -- introspection -------------------------------------------------------
+
+    def describe(self) -> dict:
+        return {
+            "session": self.session_id,
+            "peer": self.peer,
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "in_txn": self.in_txn,
+            "timeout": self.timeout,
+            "max_rows": self.max_rows,
+            "requests": self.requests,
+            "errors": self.errors,
+            "last_op": self.last_op,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<Session {self.session_id} peer={self.peer} "
+            f"requests={self.requests} in_txn={self.in_txn}>"
+        )

@@ -30,6 +30,9 @@ __all__ = [
     "QUERIES_B",
     "workload_b_mmql",
     "workload_b_api",
+    "workload_b_remote",
+    "mixed_ab_statements",
+    "run_mixed_ab",
     "workload_b_polyglot",
     "new_order_transaction",
     "workload_c_multimodel",
@@ -186,6 +189,62 @@ def workload_b_api(db, min_credit: int = 5000) -> list[str]:
                 if line["Product_no"] not in seen:
                     seen.append(line["Product_no"])
     return seen
+
+
+def workload_b_remote(client, query_id: str = "Q1", bind_vars: Optional[dict] = None):
+    """Workload B over the wire: same statement, served engine.
+
+    *client* is anything with the :class:`repro.client.ReproClient` query
+    surface, so the differential tests can pass either a wire client or the
+    embedded ``db`` and compare row-for-row."""
+    text, defaults = QUERIES_B[query_id]
+    return client.query(text, {**defaults, **(bind_vars or {})})
+
+
+def mixed_ab_statements(
+    data: UniBenchData,
+    seed: int = 7,
+    reads: int = 20,
+    queries: tuple = ("Q1", "Q2", "Q3", "Q4"),
+) -> list[tuple[str, dict]]:
+    """A deterministic mixed A/B workload as ``(text, bind_vars)`` pairs.
+
+    Workload-A point reads are phrased in MMQL (relational/document/KV
+    lookups) so the *same* statements execute embedded via ``db.query`` or
+    remotely via a wire client — the remote-session acceptance test runs
+    both and compares results.  Seeded shuffling interleaves cheap point
+    reads with the heavier cross-model B queries, which is exactly the mix
+    that exposes session-interleaving bugs."""
+    rng = random.Random(seed)
+    statements: list[tuple[str, dict]] = []
+    for _ in range(reads):
+        kind = rng.choice(["rel", "doc", "kv"])
+        if kind == "rel":
+            statements.append((
+                "FOR c IN customers FILTER c.id == @id RETURN c.name",
+                {"id": rng.randint(1, len(data.customers))},
+            ))
+        elif kind == "doc":
+            statements.append((
+                "FOR o IN orders FILTER o._key == @key RETURN o.Order_no",
+                {"key": rng.choice(data.orders)["_key"]},
+            ))
+        else:
+            statements.append((
+                "RETURN KV_GET('cart', @key)",
+                {"key": str(rng.randint(1, len(data.customers)))},
+            ))
+    for query_id in queries:
+        statements.append(QUERIES_B[query_id])
+    rng.shuffle(statements)
+    return statements
+
+
+def run_mixed_ab(executor, statements: list[tuple[str, dict]]) -> list[list]:
+    """Execute a :func:`mixed_ab_statements` list and return rows per
+    statement.  *executor* is the embedded db or a wire client — both
+    expose ``query(text, bind_vars)``."""
+    return [executor.query(text, dict(binds)).rows for text, binds in statements]
 
 
 def workload_b_polyglot(app: PolyglotECommerce, min_credit: int = 5000) -> dict:

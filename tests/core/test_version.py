@@ -1,0 +1,54 @@
+"""The version is single-sourced: pyproject.toml ↔ ``repro.__version__`` ↔
+``python -m repro --version`` ↔ the server handshake."""
+
+import pathlib
+import re
+import subprocess
+import sys
+
+import repro
+
+
+def _pyproject_version() -> str:
+    pyproject = pathlib.Path(__file__).resolve().parents[2] / "pyproject.toml"
+    match = re.search(
+        r'^version\s*=\s*"([^"]+)"',
+        pyproject.read_text(encoding="utf-8"),
+        re.MULTILINE,
+    )
+    assert match, "pyproject.toml has no version"
+    return match.group(1)
+
+
+def test_dunder_version_matches_pyproject():
+    assert repro.__version__ == _pyproject_version()
+
+
+def test_python_dash_m_repro_version():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "--version"],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert result.returncode == 0
+    assert result.stdout.strip() == f"repro {repro.__version__}"
+
+
+def test_shell_version_flag():
+    from repro.cli import main
+
+    try:
+        main(["--version"])
+    except SystemExit as exit_:
+        assert exit_.code == 0
+
+
+def test_server_handshake_reports_version():
+    from repro import MultiModelDB
+    from repro.client import ReproClient
+    from repro.server import ReproServer
+
+    with ReproServer(MultiModelDB(), port=0) as server:
+        with ReproClient(port=server.port) as client:
+            assert client.server_version == repro.__version__

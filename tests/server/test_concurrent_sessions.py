@@ -1,0 +1,127 @@
+"""Concurrent-session acceptance: N threaded wire clients running mixed
+UniBench A/B statements against one server, compared row-for-row with
+embedded execution of the same statements."""
+
+import threading
+import time
+
+import pytest
+
+from repro.cli import make_demo_db
+from repro.client import ReproClient
+from repro.server import ReproServer
+from repro.unibench.generator import generate
+from repro.unibench.workloads import mixed_ab_statements, run_mixed_ab
+
+CLIENTS = 32
+READS_PER_CLIENT = 6
+
+
+@pytest.fixture(scope="module")
+def unibench_data():
+    return generate(scale_factor=1, seed=42)
+
+
+@pytest.fixture(scope="module")
+def served_demo(unibench_data):
+    db = make_demo_db(scale_factor=1)
+    # Queue depth sized so 32 read sessions are admitted, never rejected;
+    # the overload path is exercised separately in test_server_client.
+    server = ReproServer(db, port=0, max_inflight=8, queue_depth=64)
+    server.start_in_thread()
+    yield server, db
+    server.stop()
+
+
+def test_32_concurrent_sessions_match_embedded(served_demo, unibench_data):
+    server, db = served_demo
+    # Per-client deterministic statement mixes (seeded by client index) and
+    # the embedded ground truth for each, computed before any wire traffic.
+    workloads = [
+        mixed_ab_statements(unibench_data, seed=100 + index, reads=READS_PER_CLIENT)
+        for index in range(CLIENTS)
+    ]
+    expected = [run_mixed_ab(db, statements) for statements in workloads]
+
+    results: list = [None] * CLIENTS
+    errors: list = []
+    barrier = threading.Barrier(CLIENTS)
+
+    def run_client(index: int) -> None:
+        try:
+            with ReproClient(port=server.port) as client:
+                barrier.wait(timeout=30)  # maximize interleaving
+                results[index] = run_mixed_ab(client, workloads[index])
+        except Exception as error:  # pragma: no cover - failure detail
+            errors.append((index, repr(error)))
+
+    threads = [
+        threading.Thread(target=run_client, args=(index,))
+        for index in range(CLIENTS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    assert not errors, f"client failures: {errors[:5]}"
+    for index in range(CLIENTS):
+        assert results[index] == expected[index], (
+            f"client {index} diverged from embedded execution"
+        )
+    # Every session really was its own connection; the server reaps each
+    # one asynchronously after the client closes its socket.
+    deadline = time.monotonic() + 10
+    while server.active_sessions and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert server.active_sessions == 0
+
+
+def test_sessions_with_transactions_do_not_interfere(served_demo):
+    """Half the clients run read-only, half commit distinct writes inside
+    transactions; afterwards exactly the committed writes are visible."""
+    server, db = served_demo
+    writers = 8
+    errors: list = []
+
+    def writer(index: int) -> None:
+        try:
+            with ReproClient(port=server.port) as client:
+                client.begin()
+                client.query(
+                    "INSERT {Order_no: @no, Orderlines: []} INTO orders",
+                    {"no": f"concurrent-{index}"},
+                )
+                if index % 2 == 0:
+                    client.commit()
+                else:
+                    client.abort()
+        except Exception as error:  # pragma: no cover
+            errors.append(repr(error))
+
+    def reader() -> None:
+        try:
+            with ReproClient(port=server.port) as client:
+                for _ in range(5):
+                    client.query(
+                        "FOR c IN customers FILTER c.id == 1 RETURN c.name"
+                    )
+        except Exception as error:  # pragma: no cover
+            errors.append(repr(error))
+
+    threads = [
+        threading.Thread(target=writer, args=(index,)) for index in range(writers)
+    ] + [threading.Thread(target=reader) for _ in range(writers)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    assert not errors, errors[:5]
+    committed = sorted(
+        db.query(
+            "FOR o IN orders FILTER CONTAINS(o.Order_no, 'concurrent-') "
+            "RETURN o.Order_no"
+        ).rows
+    )
+    assert committed == sorted(
+        f"concurrent-{index}" for index in range(writers) if index % 2 == 0
+    )
