@@ -1,0 +1,66 @@
+"""Batched-execution throughput: rows/sec of a scan-heavy query at
+vectorization widths 1 / 64 / 256 / 1024, embedded and over the wire.
+
+The batch_size knob trades per-row interpreter overhead (deadline probes,
+metric increments, operator dispatch) for per-batch amortization; the
+acceptance bar for the batched execution core is **>=1.5x embedded
+throughput at width 256 vs width 1**, recorded in BENCH_batch_scan.json
+(regenerate with ``PYTHONPATH=src python -m pytest benchmarks/bench_batch_scan.py``).
+"""
+
+import pytest
+
+from repro import MultiModelDB
+from repro.client import ReproClient
+from repro.server import ReproServer
+
+SCAN_ROWS = 20_000
+WIDTHS = [1, 64, 256, 1024]
+SCAN = "FOR r IN records RETURN r.n"
+
+
+@pytest.fixture(scope="module")
+def scan_db():
+    db = MultiModelDB()
+    records = db.create_collection("records")
+    for index in range(SCAN_ROWS):
+        records.insert({"_key": str(index), "n": index, "tag": index % 17})
+    return db
+
+
+@pytest.fixture(scope="module")
+def scan_server(scan_db):
+    server = ReproServer(scan_db, port=0)
+    server.start_in_thread()
+    yield server
+    server.stop()
+
+
+@pytest.fixture(scope="module")
+def scan_client(scan_server):
+    with ReproClient(port=scan_server.port, sleep=None) as client:
+        yield client
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+def test_embedded_scan(benchmark, scan_db, width):
+    benchmark.extra_info["rows"] = SCAN_ROWS
+
+    def run():
+        return scan_db.query(SCAN, batch_size=width).rows
+
+    rows = benchmark(run)
+    assert len(rows) == SCAN_ROWS
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+def test_remote_scan(benchmark, scan_client, width):
+    """Same scan over the wire: streamed in cursor chunks, executed at the
+    requested vectorization width server-side."""
+    benchmark.extra_info["rows"] = SCAN_ROWS
+
+    def run():
+        return scan_client.query(SCAN, batch_size=width).rows
+
+    rows = benchmark(run)
+    assert len(rows) == SCAN_ROWS

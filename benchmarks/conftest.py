@@ -31,6 +31,7 @@ def pytest_sessionfinish(session, exitstatus):
     if bench_session is None:  # pytest-benchmark not active
         return
     per_module: dict = {}
+    throughput: dict = {}
     for bench in getattr(bench_session, "benchmarks", []):
         stats = getattr(bench, "stats", None)
         median = getattr(stats, "median", None)
@@ -39,16 +40,19 @@ def pytest_sessionfinish(session, exitstatus):
         module = pathlib.Path(bench.fullname.split("::")[0]).stem
         experiment = module[len("bench_"):] if module.startswith("bench_") else module
         per_module.setdefault(experiment, {})[bench.name] = median
+        # Benchmarks that declare their row volume (benchmark.extra_info
+        # ["rows"]) additionally get a rows/sec throughput record.
+        rows = (getattr(bench, "extra_info", None) or {}).get("rows")
+        if rows and median > 0:
+            throughput.setdefault(experiment, {})[bench.name] = rows / median
     root = pathlib.Path(str(session.config.rootpath))
     for experiment, medians in per_module.items():
+        payload = {"experiment": experiment, "median_seconds": medians}
+        if experiment in throughput:
+            payload["rows_per_second"] = throughput[experiment]
         artifact = root / f"BENCH_{experiment}.json"
         artifact.write_text(
-            json.dumps(
-                {"experiment": experiment, "median_seconds": medians},
-                indent=2,
-                sort_keys=True,
-            )
-            + "\n",
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
             encoding="utf-8",
         )
 

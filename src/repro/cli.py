@@ -58,6 +58,7 @@ MMQL shell commands:
   .metrics [json]       dump the engine metrics registry (Prometheus text)
   .plancache [clear|size N]
                         show (or clear/resize) the query plan cache
+  .batch [N]            show / set the default execution batch size
   .trace [on|off]       print a span tree after each query
   .slowlog [MS|off]     show the slow-query log / set its threshold in ms
   .faults [arm SITE TRIGGER [EFFECT] [seed N] | disarm SITE|all]
@@ -200,6 +201,24 @@ def run_statement(db: MultiModelDB, statement: str, out: IO, state: dict) -> Non
                 f"  {entry['hits']:>5} hits  {query_text}{binds}{flavour}",
                 file=out,
             )
+        return
+    if statement.startswith(".batch"):
+        argument = statement[len(".batch"):].strip()
+        if not argument:
+            ceiling = getattr(getattr(db, "guardrails", None), "max_batch_size", None)
+            suffix = f" (guardrail ceiling {ceiling})" if ceiling is not None else ""
+            print(f"  batch size: {db.batch_size}{suffix}", file=out)
+            return
+        try:
+            width = int(argument)
+        except ValueError:
+            print("  usage: .batch [N]", file=out)
+            return
+        if width < 1:
+            print("  batch size must be >= 1", file=out)
+            return
+        db.batch_size = width
+        print(f"  batch size set to {db.batch_size}", file=out)
         return
     if statement.startswith(".trace"):
         from repro.obs import tracing

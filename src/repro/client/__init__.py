@@ -4,6 +4,6 @@
 protocol of :mod:`repro.server` — sync, context-managed, auto-reconnecting.
 """
 
-from repro.client.client import DEFAULT_PORT, ReproClient
+from repro.client.client import DEFAULT_PORT, ReproClient, ResultCursor
 
-__all__ = ["ReproClient", "DEFAULT_PORT"]
+__all__ = ["ReproClient", "ResultCursor", "DEFAULT_PORT"]

@@ -14,31 +14,152 @@ the server aborted the transaction the moment the connection died, so the
 only honest outcome is an error the application can see.  Retried queries
 are at-least-once: a response lost in flight re-executes the statement.
 
+Queries **stream** by default: :meth:`ReproClient.query` opens a
+server-side cursor (``query_open``) and returns a :class:`ResultCursor`
+that fetches further chunks (``cursor_next``) as it is iterated — the
+server never materializes more than one chunk per stream, so a result
+larger than the 32 MiB frame cap flows through in many small frames.
+``.rows`` / ``fetch_all()`` drain the cursor for eager callers, so the
+one-shot idiom is unchanged:
+
     with ReproClient(port=port) as client:
         rows = client.query(
             "FOR c IN customers FILTER c.credit_limit > @m RETURN c.name",
             {"m": 5000},
         ).rows
+
+Cursor fetches are **never retried**: a cursor is session state, and a
+reconnect lands in a fresh session without it — a transport failure
+mid-stream surfaces as the error it is instead of silently re-running
+the query from the top.
 """
 
 from __future__ import annotations
 
+import re
 import socket
 import threading
 import time
 from typing import Any, Optional
 
-from repro.errors import ProtocolError
+from repro.errors import CursorNotFoundError, ProtocolError
 from repro.fault.retry import retry_with_backoff
-from repro.query.executor import Result
 from repro.server import protocol
 
-__all__ = ["ReproClient", "DEFAULT_PORT"]
+__all__ = ["ReproClient", "ResultCursor", "DEFAULT_PORT"]
 
 #: Default TCP port for ``repro-shell serve`` / ``connect``.
 DEFAULT_PORT = 8845
 
 _UNSET = object()
+
+#: EXPLAIN ANALYZE executes eagerly (probes only mean anything over a
+#: completed run), so such statements bypass the streaming path.
+_EXPLAIN_ANALYZE = re.compile(r"^\s*EXPLAIN\s+ANALYZE\b", re.IGNORECASE)
+
+
+class ResultCursor:
+    """Lazy handle over a server-side streaming result.
+
+    Rows arrive in chunks: iterating fetches the next chunk on demand
+    (``cursor_next``), so a huge result never occupies more than one
+    chunk of server memory at a time.  :meth:`fetch_all` / ``.rows``
+    drain the stream for eager callers — the pre-cursor ``Result``
+    idiom (``client.query(...).rows``) works unchanged.  Fetched rows
+    are retained, so the cursor is re-iterable and indexable after a
+    full drain.
+
+    ``stats`` tracks the server's live execution statistics (updated on
+    every fetched chunk); ``analyzed`` carries the EXPLAIN ANALYZE text
+    for eager/analyze results and is ``None`` on streams.
+    """
+
+    __slots__ = ("_client", "_cursor_id", "_fetched", "stats", "analyzed")
+
+    def __init__(
+        self,
+        client: "ReproClient",
+        cursor_id: Optional[int],
+        rows: list,
+        stats: dict,
+        analyzed: Optional[str] = None,
+    ):
+        self._client = client
+        self._cursor_id = cursor_id  # None once the stream is complete
+        self._fetched = list(rows)
+        self.stats = stats
+        self.analyzed = analyzed
+
+    @property
+    def exhausted(self) -> bool:
+        """True when every row is client-side (no server cursor open)."""
+        return self._cursor_id is None
+
+    def _fetch_more(self) -> None:
+        payload = self._client._cursor_call(
+            "cursor_next", cursor=self._cursor_id
+        )
+        self._fetched.extend(payload.get("rows", []))
+        self.stats = payload.get("stats", self.stats)
+        if not payload.get("has_more"):
+            self._cursor_id = None
+
+    def fetch_all(self) -> list:
+        """Drain the stream; returns the complete row list."""
+        while self._cursor_id is not None:
+            self._fetch_more()
+        return self._fetched
+
+    @property
+    def rows(self) -> list:
+        """The complete row list (drains the stream on first access)."""
+        return self.fetch_all()
+
+    def __iter__(self):
+        index = 0
+        while True:
+            while index < len(self._fetched):
+                yield self._fetched[index]
+                index += 1
+            if self._cursor_id is None:
+                return
+            self._fetch_more()
+
+    def __len__(self) -> int:
+        return len(self.fetch_all())
+
+    def __getitem__(self, item):
+        return self.fetch_all()[item]
+
+    def first(self):
+        """The first row, or ``None`` on an empty result."""
+        for row in self:
+            return row
+        return None
+
+    def close(self) -> None:
+        """Release the server-side cursor without draining it.  A cursor
+        the server already dropped (exhausted, reaped, restarted) closes
+        cleanly."""
+        if self._cursor_id is None:
+            return
+        cursor_id, self._cursor_id = self._cursor_id, None
+        try:
+            self._client._cursor_call("cursor_close", cursor=cursor_id)
+        except (CursorNotFoundError, ConnectionError, OSError):
+            pass
+
+    def __enter__(self) -> "ResultCursor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "complete" if self._cursor_id is None else (
+            f"open cursor {self._cursor_id}"
+        )
+        return f"<ResultCursor {len(self._fetched)} rows fetched, {state}>"
 
 
 class ReproClient:
@@ -197,6 +318,18 @@ class ReproClient:
                 sleep=self._sleep,
             )
 
+    def _cursor_call(self, op: str, **params: Any) -> Any:
+        """Roundtrip that never reconnects: cursors are session state, so
+        a transport failure mid-stream must surface — a retry on a fresh
+        session could only answer ``CURSOR_NOT_FOUND`` or silently
+        re-run the query from the top."""
+        with self._lock:
+            try:
+                return self._roundtrip(op, params)
+            except (ConnectionError, OSError, socket.timeout):
+                self._teardown()
+                raise
+
     # ------------------------------------------------------------------ API --
 
     def query(
@@ -206,22 +339,45 @@ class ReproClient:
         analyze: bool = False,
         timeout: Optional[float] = None,
         max_rows: Optional[int] = None,
-    ) -> Result:
-        """Run MMQL on the server; returns the same :class:`Result` shape
-        the embedded engine produces (rows + stats, ``analyzed`` text when
-        requested) — values limited to what JSON round-trips."""
+        batch_size: Optional[int] = None,
+        chunk_rows: Optional[int] = None,
+        stream: bool = True,
+    ) -> ResultCursor:
+        """Run MMQL on the server; returns a :class:`ResultCursor`.
+
+        By default the result **streams**: the server opens a cursor and
+        ships rows in chunks of ``chunk_rows`` (capped by the server's
+        ``cursor_chunk_rows``) as the cursor is iterated; ``.rows`` /
+        ``fetch_all()`` drain it eagerly.  ``analyze=True`` and
+        ``stream=False`` use the one-shot ``query`` op instead (EXPLAIN
+        ANALYZE is eager by construction), returning an already-complete
+        cursor.  Values are limited to what JSON round-trips."""
         params: dict[str, Any] = {"text": text, "bind_vars": bind_vars or {}}
-        if analyze:
-            params["analyze"] = True
         if timeout is not None:
             params["timeout"] = timeout
         if max_rows is not None:
             params["max_rows"] = max_rows
-        payload = self._call("query", **params)
-        return Result(
-            rows=payload.get("rows", []),
-            stats=payload.get("stats", {}),
-            analyzed=payload.get("analyzed"),
+        if batch_size is not None:
+            params["batch_size"] = batch_size
+        if analyze or not stream or _EXPLAIN_ANALYZE.match(text):
+            if analyze:
+                params["analyze"] = True
+            payload = self._call("query", **params)
+            return ResultCursor(
+                self,
+                None,
+                payload.get("rows", []),
+                payload.get("stats", {}),
+                analyzed=payload.get("analyzed"),
+            )
+        if chunk_rows is not None:
+            params["chunk_rows"] = chunk_rows
+        payload = self._call("query_open", **params)
+        return ResultCursor(
+            self,
+            payload.get("cursor"),
+            payload.get("rows", []),
+            payload.get("stats", {}),
         )
 
     def explain(self, text: str) -> str:

@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Any, Iterator, Optional
 
 from repro.core import datamodel
+from repro.core.cursor import IteratorScanCursor, ScanCursor
 from repro.errors import UnknownCollectionError
 from repro.indexes.manager import IndexManager
 from repro.storage.log import CentralLog, LogOp
@@ -106,6 +107,17 @@ class BaseStore:
         if txn is not None:
             return self._context.transactions.scan(txn, self.namespace)
         return self._context.rows.scan(self.namespace)
+
+    def scan_cursor(self, txn: Optional[Transaction] = None) -> ScanCursor:
+        """Unified batched scan (:class:`repro.core.cursor.ScanCursor`)
+        over this store's natural row shape — the stored record values.
+
+        Stores whose MMQL frame shape differs from the raw record value
+        (key/value buckets, tree stores, triple stores, spatial stores)
+        override this; everything else inherits it."""
+        return IteratorScanCursor(
+            value for _key, value in self._raw_scan(txn)
+        )
 
     def count(self, txn: Optional[Transaction] = None) -> int:
         if txn is not None:

@@ -44,10 +44,19 @@ __all__ = ["MultiModelDB"]
 class MultiModelDB:
     """An embedded multi-model database."""
 
-    def __init__(self, lock_timeout: float = 5.0, plan_cache_size: int = 128):
+    def __init__(
+        self,
+        lock_timeout: float = 5.0,
+        plan_cache_size: int = 128,
+        batch_size: int = 256,
+    ):
         from repro.query.engine import PlanCache, QueryGuardrails
 
         self.context = EngineContext(lock_timeout=lock_timeout)
+        #: Default vectorization width for query execution (frames per
+        #: pipeline batch); per-query ``batch_size`` overrides it and
+        #: ``guardrails.max_batch_size`` caps both.
+        self.batch_size = max(int(batch_size), 1)
         self._catalog: dict[str, tuple[str, Any]] = {}
         #: Serializes catalog DDL (``_register``/``drop``) against lookups:
         #: the network server runs sessions on a thread pool, and a DDL
@@ -288,6 +297,7 @@ class MultiModelDB:
         analyze: bool = False,
         timeout: Optional[float] = None,
         max_rows: Optional[int] = None,
+        batch_size: Optional[int] = None,
     ):
         """Run an MMQL query; returns a :class:`repro.query.executor.Result`.
 
@@ -298,7 +308,11 @@ class MultiModelDB:
         ``timeout`` (seconds) / ``max_rows`` bound this query's runtime and
         result size (:class:`repro.errors.QueryTimeoutError` /
         :class:`repro.errors.ResourceExhaustedError`); unset, they fall back
-        to ``self.guardrails``, which is disabled by default."""
+        to ``self.guardrails``, which is disabled by default.
+
+        ``batch_size`` overrides the vectorization width for this query
+        (default ``self.batch_size``); results are identical at any
+        width."""
         from repro.query.engine import run_query
 
         return run_query(
@@ -309,6 +323,32 @@ class MultiModelDB:
             analyze=analyze,
             timeout=timeout,
             max_rows=max_rows,
+            batch_size=batch_size,
+        )
+
+    def query_cursor(
+        self,
+        text: str,
+        bind_vars: Optional[dict] = None,
+        txn: Optional[Transaction] = None,
+        timeout: Optional[float] = None,
+        max_rows: Optional[int] = None,
+        batch_size: Optional[int] = None,
+    ):
+        """Open a lazy :class:`repro.query.engine.QueryCursor` over an MMQL
+        query: rows stream out through ``next_batch(n)``/iteration instead
+        of materializing up front — the embedded twin of the server's
+        ``query_open``/``cursor_next`` wire cursors."""
+        from repro.query.engine import open_query_cursor
+
+        return open_query_cursor(
+            self,
+            text,
+            bind_vars or {},
+            txn,
+            timeout=timeout,
+            max_rows=max_rows,
+            batch_size=batch_size,
         )
 
     def explain(self, text: str, bind_vars: Optional[dict] = None) -> str:

@@ -18,6 +18,7 @@ from typing import Any, Callable, Iterator, Optional
 
 from repro.core import datamodel
 from repro.core.context import BaseStore, EngineContext
+from repro.core.cursor import warn_deprecated_scan
 from repro.document import jsonpath
 from repro.errors import PrimaryKeyError, SchemaError
 from repro.txn.manager import Transaction
@@ -135,8 +136,9 @@ class DocumentCollection(BaseStore):
     # -- queries -----------------------------------------------------------------
 
     def all(self, txn: Optional[Transaction] = None) -> Iterator[dict]:
-        for _key, document in self._raw_scan(txn):
-            yield document
+        """Deprecated compat shim — use :meth:`scan_cursor` instead."""
+        warn_deprecated_scan("DocumentCollection.all()")
+        return iter(self.scan_cursor(txn=txn))
 
     def find(
         self,
@@ -145,7 +147,7 @@ class DocumentCollection(BaseStore):
         txn: Optional[Transaction] = None,
     ) -> list[dict]:
         result = []
-        for document in self.all(txn):
+        for document in self.scan_cursor(txn=txn):
             if predicate(document):
                 result.append(document)
                 if limit is not None and len(result) >= limit:

@@ -336,6 +336,23 @@ class SessionStateError(ServerError):
     code = "SERVER_SESSION_STATE"
 
 
+class CursorNotFoundError(ServerError):
+    """``cursor_next``/``cursor_close`` named a cursor this session does
+    not hold — it was never opened here, already exhausted, explicitly
+    closed, or reaped after sitting idle past the server's
+    ``cursor_idle_timeout``."""
+
+    code = "CURSOR_NOT_FOUND"
+
+
+class CursorLimitError(ServerOverloadedError):
+    """``query_open`` refused because the session already holds
+    ``max_cursors_per_session`` open cursors.  Close or drain one first;
+    like every overload rejection, the query was **not** executed."""
+
+    code = "CURSOR_LIMIT"
+
+
 # ---------------------------------------------------------------------------
 # Benchmark / workload
 # ---------------------------------------------------------------------------

@@ -74,7 +74,7 @@ def table_to_collection(
 ) -> int:
     """Copy every row of *table* into *collection*; returns the count."""
     copied = 0
-    for row in table.rows(txn=batch_txn):
+    for row in table.scan_cursor(txn=batch_txn):
         collection.insert(
             row_to_document(row, table.schema.primary_key), txn=batch_txn
         )
@@ -94,7 +94,7 @@ def collection_to_table(
     nested fields become JSON columns (exactly what Oracle's JSON virtual
     columns and Sinew's typed columns do).
     """
-    documents = list(collection.all())
+    documents = list(collection.scan_cursor())
     schema_description = infer_schema(documents)
     columns = [Column(primary_key, ColumnType.STRING, nullable=False)]
     for name, description in schema_description["fields"].items():
@@ -128,7 +128,7 @@ def collection_to_graph(
     Returns (vertices, edges) created.
     """
     vertices = 0
-    for document in collection.all():
+    for document in collection.scan_cursor():
         if not graph.has_vertex(document["_key"]):
             properties = {
                 key: value
@@ -138,7 +138,7 @@ def collection_to_graph(
             graph.add_vertex(document["_key"], properties)
             vertices += 1
     edges = 0
-    for document in collection.all():
+    for document in collection.scan_cursor():
         for field, label in reference_fields.items():
             targets = document.get(field)
             if targets is None:
@@ -187,10 +187,10 @@ class HybridEntityView:
     def all(self) -> Iterator[dict]:
         """Every entity, both eras, new-era representation preferred."""
         seen = set()
-        for document in self._collection.all():
+        for document in self._collection.scan_cursor():
             seen.add(document["_key"])
             yield document
-        for row in self._table.rows():
+        for row in self._table.scan_cursor():
             key = str(row[self._key_column])
             if key not in seen:
                 yield row_to_document(row, self._key_column)
@@ -209,7 +209,7 @@ class HybridEntityView:
         """Move up to *batch_size* legacy rows into the collection;
         returns how many moved (0 = migration complete)."""
         moved = 0
-        for row in list(self._table.rows()):
+        for row in list(self._table.scan_cursor()):
             if moved >= batch_size:
                 break
             key = row[self._key_column]

@@ -182,7 +182,7 @@ class MigrationPlan:
         """Eagerly rewrite every stored document to the latest version;
         returns how many were rewritten."""
         rewritten = 0
-        for document in list(collection.all(txn)):
+        for document in list(collection.scan_cursor(txn=txn)):
             if int(document.get(VERSION_FIELD, 0)) < self.latest_version:
                 upgraded = self.upgrade(document)
                 collection.replace(document["_key"], upgraded, txn=txn)
@@ -209,7 +209,7 @@ class LazyMigrator:
         return document
 
     def all(self, txn=None):
-        for document in self._collection.all(txn):
+        for document in self._collection.scan_cursor(txn=txn):
             if int(document.get(VERSION_FIELD, 0)) < self._plan.latest_version:
                 self.lazy_upgrades += 1
                 yield self._plan.upgrade(document)
@@ -220,7 +220,7 @@ class LazyMigrator:
         """Documents still stored below the latest version."""
         return sum(
             1
-            for document in self._collection.all(txn)
+            for document in self._collection.scan_cursor(txn=txn)
             if int(document.get(VERSION_FIELD, 0)) < self._plan.latest_version
         )
 
@@ -228,7 +228,7 @@ class LazyMigrator:
         """Persist upgrades for up to *batch_size* stale documents (the
         background compaction real systems pair with lazy reads)."""
         settled = 0
-        for document in list(self._collection.all(txn)):
+        for document in list(self._collection.scan_cursor(txn=txn)):
             if settled >= batch_size:
                 break
             if int(document.get(VERSION_FIELD, 0)) < self._plan.latest_version:

@@ -23,6 +23,7 @@ from typing import Any, Iterator, Optional
 
 from repro.core import datamodel
 from repro.core.context import BaseStore, EngineContext
+from repro.core.cursor import ScanCursor, warn_deprecated_scan
 from repro.errors import PrimaryKeyError, SchemaError, UnknownCollectionError
 from repro.indexes.hashindex import ExtendibleHashIndex
 from repro.storage.views import IndexView
@@ -115,9 +116,15 @@ class PropertyGraph:
         self._vertices._delete_key(key, txn)
         return True
 
+    def scan_cursor(self, txn: Optional[Transaction] = None) -> ScanCursor:
+        """Unified batched scan over the vertex documents (the graph's
+        natural MMQL frame shape; edges stream via :meth:`edges`)."""
+        return self._vertices.scan_cursor(txn=txn)
+
     def vertices(self, txn: Optional[Transaction] = None) -> Iterator[dict]:
-        for _key, vertex in self._vertices._raw_scan(txn):
-            yield vertex
+        """Deprecated compat shim — use :meth:`scan_cursor` instead."""
+        warn_deprecated_scan("PropertyGraph.vertices()")
+        return iter(self.scan_cursor(txn=txn))
 
     def vertex_count(self, txn: Optional[Transaction] = None) -> int:
         return self._vertices.count(txn)
@@ -419,7 +426,7 @@ class PropertyGraph:
         import networkx
 
         graph = networkx.MultiDiGraph(name=self.name)
-        for vertex in self.vertices(txn):
+        for vertex in self.scan_cursor(txn=txn):
             properties = {k: v for k, v in vertex.items() if k != "_key"}
             graph.add_node(vertex["_key"], **properties)
         for edge in self.edges(txn):

@@ -21,6 +21,7 @@ from typing import Any, Iterator, Optional
 
 from repro.core import datamodel
 from repro.core.context import BaseStore, EngineContext
+from repro.core.cursor import IteratorScanCursor, ScanCursor, warn_deprecated_scan
 from repro.errors import DataModelError
 from repro.keyvalue.crdt import crdt_from_dict
 from repro.txn.manager import Transaction
@@ -94,19 +95,45 @@ class KeyValueBucket(BaseStore):
             if not self._expired(envelope):
                 yield key
 
+    def scan_cursor(
+        self,
+        txn: Optional[Transaction] = None,
+        prefix: Optional[str] = None,
+    ) -> ScanCursor:
+        """Unified batched scan: ``{"_key": key, "value": value}`` frames
+        for every live (unexpired) entry; ``prefix`` narrows to keys
+        sharing it (the DynamoDB sort-key pattern, unified here instead of
+        the bespoke ``scan_prefix``)."""
+        expired = self._expired
+
+        def _frames():
+            for key, envelope in self._raw_scan(txn):
+                if expired(envelope):
+                    continue
+                if prefix is not None and not key.startswith(prefix):
+                    continue
+                yield {"_key": key, "value": envelope["value"]}
+
+        return IteratorScanCursor(_frames())
+
     def items(self, txn: Optional[Transaction] = None) -> Iterator[tuple[str, Any]]:
-        for key, envelope in self._raw_scan(txn):
-            if not self._expired(envelope):
-                yield key, envelope["value"]
+        """Deprecated compat shim — use :meth:`scan_cursor` instead."""
+        warn_deprecated_scan("KeyValueBucket.items()")
+        return (
+            (frame["_key"], frame["value"])
+            for frame in self.scan_cursor(txn=txn)
+        )
 
     def scan_prefix(
         self, prefix: str, txn: Optional[Transaction] = None
     ) -> list[tuple[str, Any]]:
-        """Keys sharing *prefix*, sorted (the DynamoDB sort-key pattern)."""
+        """Deprecated compat shim — use ``scan_cursor(prefix=…)``."""
+        warn_deprecated_scan(
+            "KeyValueBucket.scan_prefix()", "scan_cursor(prefix=…)"
+        )
         return sorted(
-            (key, value)
-            for key, value in self.items(txn)
-            if key.startswith(prefix)
+            (frame["_key"], frame["value"])
+            for frame in self.scan_cursor(txn=txn, prefix=prefix)
         )
 
     def _expired(self, envelope: dict) -> bool:

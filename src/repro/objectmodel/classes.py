@@ -20,6 +20,7 @@ from typing import Any, Iterator, Optional
 
 from repro.core import datamodel
 from repro.core.context import EngineContext
+from repro.core.cursor import IteratorScanCursor, ScanCursor
 from repro.errors import SchemaError, UnknownCollectionError
 from repro.objectmodel.globals import GlobalsStore
 from repro.txn.manager import Transaction
@@ -210,6 +211,21 @@ class ObjectStore:
                 instance = self.get(name, oid, txn)
                 if instance is not None:
                     yield instance
+
+    def scan_cursor(self, txn: Optional[Transaction] = None) -> ScanCursor:
+        """Unified batched scan over every instance of every class, in
+        class-name then oid order — makes the object store FOR-able in
+        MMQL like any other model.  Frames are instance dicts
+        (``{"_class": …, "_oid": …, **properties}``)."""
+
+        def _frames():
+            for name in sorted(self._classes):
+                for oid in self._globals.children((name,), txn):
+                    instance = self.get(name, oid, txn)
+                    if instance is not None:
+                        yield instance
+
+        return IteratorScanCursor(_frames())
 
     # -- the SQL projection (slide 71) ------------------------------------------------
 

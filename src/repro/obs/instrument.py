@@ -45,6 +45,7 @@ INSTRUMENTED_METHODS = (
     "all",
     "rows",
     "items",
+    "scan_cursor",
     "find_by_example",
     # graph
     "add_vertex",

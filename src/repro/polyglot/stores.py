@@ -75,7 +75,7 @@ class PolyglotDocumentStore:
 
     def all(self) -> list[dict]:
         self._meter.charge()
-        return list(self._collection.all())
+        return list(self._collection.scan_cursor())
 
     def count(self) -> int:
         self._meter.charge()

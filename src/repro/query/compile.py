@@ -40,10 +40,20 @@ from repro.obs import metrics as obs_metrics
 from repro.query import ast
 from repro.query.functions import call_function
 
-__all__ = ["compile_expr", "compiles_fully", "CompiledFn"]
+__all__ = [
+    "compile_expr",
+    "compile_filter_batch",
+    "compile_projection_batch",
+    "compiles_fully",
+    "CompiledFn",
+    "BatchFn",
+]
 
 #: A compiled expression: ``fn(ctx, frame) -> value``.
 CompiledFn = Callable[[Any, dict], Any]
+
+#: A compiled batch operator: ``fn(ctx, frames) -> list``.
+BatchFn = Callable[[Any, list], list]
 
 _truthy = datamodel.truthy
 _compare = datamodel.compare
@@ -102,6 +112,31 @@ def compile_expr(expr: ast.Expr) -> CompiledFn:
     if obs_metrics.ENABLED:
         obs_metrics.counter("expr_compile_total", outcome="compiled").inc()
     return fn
+
+
+def compile_filter_batch(expr: ast.Expr) -> BatchFn:
+    """Lower a FILTER predicate into ``fn(ctx, frames) -> kept_frames``.
+
+    The per-frame closure is hoisted out of the loop so a batch pays one
+    Python call per frame plus a single list comprehension — no generator
+    frames, no per-row dispatch."""
+    row_fn = compile_expr(expr)
+    truthy = _truthy
+
+    def filter_batch(ctx, frames):
+        return [frame for frame in frames if truthy(row_fn(ctx, frame))]
+
+    return filter_batch
+
+
+def compile_projection_batch(expr: ast.Expr) -> BatchFn:
+    """Lower a RETURN projection into ``fn(ctx, frames) -> values``."""
+    row_fn = compile_expr(expr)
+
+    def projection_batch(ctx, frames):
+        return [row_fn(ctx, frame) for frame in frames]
+
+    return projection_batch
 
 
 def _compile(expr: ast.Expr) -> CompiledFn:

@@ -31,15 +31,23 @@ from collections import OrderedDict
 from typing import Any, Optional
 
 from repro.core import datamodel
+from repro.core.cursor import DEFAULT_BATCH_SIZE
 from repro.errors import PlanError, QueryTimeoutError, ResourceExhaustedError
 from repro.obs import metrics, slowlog, tracing
-from repro.query.executor import ExecContext, Result, execute
+from repro.query.executor import ExecContext, Result, execute, execute_stream
 from repro.query.optimizer import optimize
 from repro.query.parser import parse
 from repro.query.plan import render_analyzed_plan, render_plan
 from repro.query import plan as plan_module
 
-__all__ = ["PlanCache", "QueryGuardrails", "run_query", "explain_query"]
+__all__ = [
+    "PlanCache",
+    "QueryCursor",
+    "QueryGuardrails",
+    "run_query",
+    "open_query_cursor",
+    "explain_query",
+]
 
 _EXPLAIN_ANALYZE = re.compile(r"^\s*EXPLAIN\s+ANALYZE\b", re.IGNORECASE)
 
@@ -65,22 +73,29 @@ class QueryGuardrails:
     ``db.guardrails.timeout = 2.0`` (seconds) and/or
     ``db.guardrails.max_rows = 100_000``; a per-call argument always wins
     over the default.
+
+    ``max_batch_size`` is a *ceiling* on the vectorization width: a
+    per-query ``batch_size`` request (or the database default) is clamped
+    to it, bounding the executor's per-batch memory footprint.
     """
 
-    __slots__ = ("timeout", "max_rows")
+    __slots__ = ("timeout", "max_rows", "max_batch_size")
 
     def __init__(
         self,
         timeout: Optional[float] = None,
         max_rows: Optional[int] = None,
+        max_batch_size: Optional[int] = None,
     ):
         self.timeout = timeout
         self.max_rows = max_rows
+        self.max_batch_size = max_batch_size
 
     def __repr__(self) -> str:
         return (
             f"QueryGuardrails(timeout={self.timeout!r}, "
-            f"max_rows={self.max_rows!r})"
+            f"max_rows={self.max_rows!r}, "
+            f"max_batch_size={self.max_batch_size!r})"
         )
 
 
@@ -244,6 +259,19 @@ def _ddl_versions(db: Any) -> tuple:
     return (catalog_version, index_version)
 
 
+def _effective_batch_size(db: Any, batch_size: Optional[int]) -> int:
+    """Resolve the vectorization width for one query: the per-query
+    override, else the database default, clamped to the guardrail
+    ceiling and never below 1."""
+    if batch_size is None:
+        batch_size = getattr(db, "batch_size", None) or DEFAULT_BATCH_SIZE
+    batch_size = max(int(batch_size), 1)
+    ceiling = getattr(getattr(db, "guardrails", None), "max_batch_size", None)
+    if ceiling is not None:
+        batch_size = min(batch_size, max(int(ceiling), 1))
+    return batch_size
+
+
 # ---------------------------------------------------------------------------
 # Entry points
 # ---------------------------------------------------------------------------
@@ -258,6 +286,7 @@ def run_query(
     analyze: bool = False,
     timeout: Optional[float] = None,
     max_rows: Optional[int] = None,
+    batch_size: Optional[int] = None,
 ) -> Result:
     """Parse, optimize and execute an MMQL query against *db*.
 
@@ -265,6 +294,11 @@ def run_query(
     optimizer benchmark compares against.  ``analyze=True`` (or a leading
     ``EXPLAIN ANALYZE`` in *text*) additionally measures every pipeline
     operator and attaches the annotated plan to the result.
+
+    ``batch_size`` overrides the vectorization width for this query
+    (default: ``db.batch_size``, clamped to
+    ``db.guardrails.max_batch_size``); results are identical at any
+    width, only the amortization changes.
 
     ``timeout`` (seconds) and ``max_rows`` are the query guardrails: when
     set, execution raises :class:`QueryTimeoutError` past the deadline or
@@ -313,7 +347,11 @@ def run_query(
                 if cache is not None:
                     cache.put(cache_key, query, versions)
             ctx = ExecContext(
-                db=db, bind_vars=bind_vars or {}, txn=txn, analyze=analyze
+                db=db,
+                bind_vars=bind_vars or {},
+                txn=txn,
+                analyze=analyze,
+                batch_size=_effective_batch_size(db, batch_size),
             )
             if timeout is not None:
                 ctx.timeout = float(timeout)
@@ -362,6 +400,146 @@ def run_query(
             else "\nPlan: parsed + optimized this call"
         )
     return result
+
+
+class QueryCursor:
+    """Lazy, batched handle over one running query.
+
+    Rows are produced on demand through :meth:`next_batch` — the pipeline
+    (and its store cursors) advances only as far as the consumer reads, so
+    an abandoned cursor never materializes the full result.  Guardrail
+    errors (timeout, row budget) surface from whichever ``next_batch``
+    call crosses the limit.  The server's wire cursors
+    (``query_open``/``cursor_next``) are thin shims over this class.
+    """
+
+    __slots__ = ("text", "_ctx", "_batches", "_buffer", "_exhausted")
+
+    def __init__(self, ctx: ExecContext, batches, text: str):
+        self.text = text
+        self._ctx = ctx
+        self._batches = batches
+        self._buffer: list = []
+        self._exhausted = False
+
+    @property
+    def stats(self) -> dict:
+        """Live execution statistics (``rows_returned`` advances as the
+        cursor is consumed)."""
+        return self._ctx.stats
+
+    @property
+    def exhausted(self) -> bool:
+        return self._exhausted and not self._buffer
+
+    def next_batch(self, n: int = DEFAULT_BATCH_SIZE) -> list:
+        """Up to *n* result rows; ``[]`` once the query is exhausted."""
+        n = max(int(n), 1)
+        while len(self._buffer) < n and not self._exhausted:
+            try:
+                self._buffer.extend(next(self._batches))
+            except StopIteration:
+                self._exhausted = True
+        if len(self._buffer) <= n:
+            out, self._buffer = self._buffer, []
+        else:
+            out, self._buffer = self._buffer[:n], self._buffer[n:]
+        return out
+
+    def fetch_all(self) -> list:
+        """Drain the cursor; returns every remaining row."""
+        rows: list = []
+        while True:
+            batch = self.next_batch(DEFAULT_BATCH_SIZE)
+            if not batch:
+                return rows
+            rows.extend(batch)
+
+    def __iter__(self):
+        while True:
+            batch = self.next_batch(DEFAULT_BATCH_SIZE)
+            if not batch:
+                return
+            yield from batch
+
+    def close(self) -> None:
+        """Stop the query: drop buffered rows and close the pipeline
+        (source cursors release via their ``finally`` blocks)."""
+        self._exhausted = True
+        self._buffer = []
+        close = getattr(self._batches, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "QueryCursor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def open_query_cursor(
+    db: Any,
+    text: str,
+    bind_vars: Optional[dict] = None,
+    txn: Any = None,
+    optimize_query: bool = True,
+    timeout: Optional[float] = None,
+    max_rows: Optional[int] = None,
+    batch_size: Optional[int] = None,
+) -> QueryCursor:
+    """Open a :class:`QueryCursor` over an MMQL query: same planning path
+    as :func:`run_query` (guardrail defaults, plan cache, DDL-version
+    validation), but execution is *lazy* — rows stream out through
+    ``next_batch`` instead of materializing up front.
+
+    EXPLAIN ANALYZE is eager by construction (probes are only meaningful
+    over a completed run), so an analyze prefix is rejected here."""
+    text, prefixed = _strip_analyze_prefix(text)
+    if prefixed:
+        raise PlanError(
+            "EXPLAIN ANALYZE runs eagerly — use run_query()/db.query() "
+            "instead of a cursor"
+        )
+    started = time.perf_counter()
+    guardrails = getattr(db, "guardrails", None)
+    if guardrails is not None:
+        if timeout is None:
+            timeout = guardrails.timeout
+        if max_rows is None:
+            max_rows = guardrails.max_rows
+    cache: Optional[PlanCache] = getattr(db, "plan_cache", None)
+    plan_cached = False
+    query = None
+    if cache is not None:
+        cache_key = PlanCache.key(text, bind_vars, optimize_query)
+        versions = _ddl_versions(db)
+        query = cache.get(cache_key, versions)
+        plan_cached = query is not None
+    if query is None:
+        with tracing.span("query.parse"):
+            query = parse(text)
+        if optimize_query:
+            with tracing.span("query.optimize"):
+                query = optimize(query, db)
+        if cache is not None:
+            cache.put(cache_key, query, versions)
+    ctx = ExecContext(
+        db=db,
+        bind_vars=bind_vars or {},
+        txn=txn,
+        batch_size=_effective_batch_size(db, batch_size),
+    )
+    if timeout is not None:
+        ctx.timeout = float(timeout)
+        ctx.deadline = started + ctx.timeout
+    if max_rows is not None:
+        ctx.max_rows = int(max_rows)
+    ctx.stats["plan_cached"] = plan_cached
+    if metrics.ENABLED:
+        metrics.counter("queries_total").inc()
+        metrics.counter("query_cursors_total").inc()
+    return QueryCursor(ctx, execute_stream(ctx, query), text)
 
 
 def explain_query(db: Any, text: str, bind_vars: Optional[dict] = None) -> str:

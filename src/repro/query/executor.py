@@ -1,9 +1,18 @@
-"""MMQL execution: expression evaluation + the operation pipeline.
+"""MMQL execution: expression evaluation + the batched operation pipeline.
 
-Execution follows the classic iterator model: each operation transforms a
-stream of *frames* (variable bindings); RETURN materializes result rows.
-Frames flow lazily through FOR/FILTER/LET; SORT and COLLECT are pipeline
-breakers.
+Execution is *vectorized*: each operation transforms a stream of frame
+**batches** (``list[dict]`` of variable bindings, ``ctx.batch_size`` frames
+per batch) rather than single frames.  Per-row costs that used to be paid
+on every frame — deadline checks, row-budget checks, probe bookkeeping,
+generator suspensions — are amortized to once per batch, while the
+per-frame work inside a batch is a tight Python loop or a compiled batch
+closure (:mod:`repro.query.compile`).
+
+Sources pull batches straight from the unified store cursors
+(:func:`repro.core.cursor.open_scan_cursor`); RETURN materializes result
+rows batch-at-a-time, which is also what lets the server stream results
+through wire cursors without materializing everything.  Batches flow
+lazily through FOR/FILTER/LET; SORT and COLLECT are pipeline breakers.
 
 Statistics are collected per query (documents scanned, index lookups,
 filters applied) so benchmarks and EXPLAIN ANALYZE-style assertions can
@@ -12,27 +21,30 @@ verify *how* a result was produced, not just what it is.
 
 from __future__ import annotations
 
-import itertools
 import re
 import time
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Optional
 
 from repro.core import datamodel
+from repro.core.cursor import DEFAULT_BATCH_SIZE, open_scan_cursor
 from repro.errors import (
     BindError,
     ExecutionError,
     QueryTimeoutError,
     ResourceExhaustedError,
-    UnknownCollectionError,
 )
 from repro.obs import metrics as obs_metrics
 from repro.query import ast
-from repro.query.compile import compile_expr
+from repro.query.compile import (
+    compile_expr,
+    compile_filter_batch,
+    compile_projection_batch,
+)
 from repro.query.functions import call_function
 from repro.query.plan import HashJoinOp, IndexScanOp
 
-__all__ = ["ExecContext", "OpProbe", "Result", "execute"]
+__all__ = ["ExecContext", "OpProbe", "Result", "execute", "execute_stream"]
 
 
 def _compiled(operation: Any, slot: str, expr: ast.Expr):
@@ -48,25 +60,38 @@ def _compiled(operation: Any, slot: str, expr: ast.Expr):
     return fn
 
 
+def _compiled_batch(operation: Any, slot: str, expr: ast.Expr, factory):
+    """Like :func:`_compiled` but for batch closures (``fn(ctx, frames)``)."""
+    fn = getattr(operation, slot, None)
+    if fn is None:
+        fn = factory(expr)
+        setattr(operation, slot, fn)
+    return fn
+
+
 @dataclass
 class ExecContext:
     """Everything evaluation needs: the database, bind parameters, the
     optional enclosing transaction, and the stats accumulator.
 
+    ``batch_size`` is the vectorization width: how many frames each
+    pipeline batch carries (per-batch bookkeeping amortizes over it).
+
     ``analyze=True`` (the EXPLAIN ANALYZE path) wraps every top-level
-    pipeline operator with an :class:`OpProbe` that records rows produced
-    and wall-time; probes land in ``probes`` in operation order.
+    pipeline operator with an :class:`OpProbe` that records rows/batches
+    produced and wall-time; probes land in ``probes`` in operation order.
 
     ``deadline``/``max_rows`` are the graceful-degradation guardrails
     (``deadline`` is an absolute ``time.perf_counter()`` instant).  Both
-    default to None — fully disabled, zero per-row cost beyond a None
-    check — and are enforced at the row sources and the result
-    materializer, so subqueries inherit them through the shared context."""
+    default to None — fully disabled — and are enforced per batch at the
+    row sources and the result materializer, so subqueries inherit them
+    through the shared context."""
 
     db: Any
     bind_vars: dict
     txn: Any = None
     analyze: bool = False
+    batch_size: int = DEFAULT_BATCH_SIZE
     deadline: Optional[float] = None
     timeout: Optional[float] = None
     max_rows: Optional[int] = None
@@ -92,26 +117,31 @@ class OpProbe:
     ``seconds`` is *cumulative*: the time spent pulling this operator's
     entire output, which includes its upstream. Self-time is derived by
     subtracting the previous operator's cumulative time (the pipeline is
-    a chain, so upstream work happens inside downstream pulls)."""
+    a chain, so upstream work happens inside downstream pulls).
+    ``batches_out`` counts the batches the operator emitted — with
+    vectorized execution the rows/batches ratio shows the effective
+    batch width."""
 
     operation: Any
     rows_out: int = 0
     seconds: float = 0.0
+    batches_out: int = 0
 
 
-def _probed(frames: Iterator[dict], probe: OpProbe) -> Iterator[dict]:
-    """Wrap a frame stream, charging pull time and row counts to *probe*."""
+def _probed(batches: Iterator[list], probe: OpProbe) -> Iterator[list]:
+    """Wrap a batch stream, charging pull time and row counts to *probe*."""
     perf_counter = time.perf_counter
     while True:
         start = perf_counter()
         try:
-            frame = next(frames)
+            batch = next(batches)
         except StopIteration:
             probe.seconds += perf_counter() - start
             return
         probe.seconds += perf_counter() - start
-        probe.rows_out += 1
-        yield frame
+        probe.rows_out += len(batch)
+        probe.batches_out += 1
+        yield batch
 
 
 @dataclass
@@ -147,7 +177,8 @@ class Result:
 
 def _check_deadline(ctx: ExecContext) -> None:
     """Raise :class:`QueryTimeoutError` when the query's wall-clock budget
-    is spent.  Called per-row at the sources, only when a deadline is set."""
+    is spent.  Called per-batch at the sources and batch-flush points,
+    only when a deadline is set."""
     now = time.perf_counter()
     if now > ctx.deadline:
         limit = ctx.timeout or 0.0
@@ -160,11 +191,13 @@ def _check_deadline(ctx: ExecContext) -> None:
 
 def _check_row_budget(ctx: ExecContext, produced: int) -> None:
     """Raise :class:`ResourceExhaustedError` when the result would exceed
-    the max-rows budget."""
+    the max-rows budget.  The check runs once per result batch, so
+    *produced* may overshoot by up to a batch; the reported row count is
+    clamped to ``max_rows + 1`` (the first row that broke the budget)."""
     if produced > ctx.max_rows:
         raise ResourceExhaustedError(
             f"query produced more than max_rows={ctx.max_rows} result rows",
-            rows=produced,
+            rows=min(produced, ctx.max_rows + 1),
             limit=ctx.max_rows,
         )
 
@@ -316,111 +349,108 @@ def _binop(ctx: ExecContext, expr: ast.BinOp, frame: dict) -> Any:
 # ---------------------------------------------------------------------------
 
 
+def _source_batches(ctx: ExecContext, name: str) -> Iterator[list]:
+    """Stream frame batches from the unified scan cursor of any catalog
+    object, charging scanned-row stats and the query deadline once per
+    batch.  The cursor is snapshot/txn-aware and is always closed, even
+    when the pipeline stops early (LIMIT, errors, abandoned wire
+    cursors)."""
+    cursor = open_scan_cursor(ctx.db, name, txn=ctx.txn)
+    width = ctx.batch_size
+    try:
+        while True:
+            batch = cursor.next_batch(width)
+            if not batch:
+                return
+            ctx.stats["scanned"] += len(batch)
+            if ctx.deadline is not None:
+                _check_deadline(ctx)
+            yield batch
+    finally:
+        cursor.close()
+
+
 def _iter_source(ctx: ExecContext, name: str) -> Iterator[Any]:
-    """Stream the natural row shape of any catalog object, charging each
-    row against the query deadline when one is set."""
-    if ctx.deadline is None:
-        yield from _iter_source_records(ctx, name)
-        return
-    for value in _iter_source_records(ctx, name):
-        _check_deadline(ctx)
-        yield value
+    """Row-at-a-time view of :func:`_source_batches` (hash-join builds and
+    snapshot fallbacks that want plain values)."""
+    for batch in _source_batches(ctx, name):
+        yield from batch
 
 
-def _iter_source_records(ctx: ExecContext, name: str) -> Iterator[Any]:
-    kind = ctx.db.kind_of(name)
-    store = ctx.db.resolve(name)
-    if kind == "table":
-        for row in store.rows(txn=ctx.txn):
-            ctx.stats["scanned"] += 1
-            yield row
-    elif kind == "collection":
-        for document in store.all(txn=ctx.txn):
-            ctx.stats["scanned"] += 1
-            yield document
-    elif kind == "bucket":
-        for key, value in store.items(txn=ctx.txn):
-            ctx.stats["scanned"] += 1
-            yield {"_key": key, "value": value}
-    elif kind == "graph":
-        for vertex in store.vertices(txn=ctx.txn):
-            ctx.stats["scanned"] += 1
-            yield vertex
-    elif kind == "trees":
-        for uri in store.uris(txn=ctx.txn):
-            ctx.stats["scanned"] += 1
-            yield {"uri": uri, "format": store.format_of(uri, txn=ctx.txn)}
-    elif kind == "triples":
-        for triple in store.triples(txn=ctx.txn):
-            ctx.stats["scanned"] += 1
-            yield list(triple)
-    elif kind == "spatial":
-        for key, record in store.all(txn=ctx.txn):
-            ctx.stats["scanned"] += 1
-            yield {"_key": key, **record}
-    elif kind == "wide":
-        for row in store.rows(txn=ctx.txn):
-            ctx.stats["scanned"] += 1
-            yield row
-    else:
-        raise UnknownCollectionError(f"cannot iterate a {kind}")
+def _flatten(batches: Iterator[list]) -> Iterator[dict]:
+    for batch in batches:
+        yield from batch
+
+
+def _chunked(values: list, width: int) -> Iterator[list]:
+    for start in range(0, len(values), max(width, 1)):
+        yield values[start:start + width]
 
 
 # ---------------------------------------------------------------------------
-# Operation pipeline
+# Operation pipeline (batch in, batch out)
 # ---------------------------------------------------------------------------
 
 
-def _apply_for(ctx, operation: ast.ForOp, frames):
+def _apply_for(ctx, operation: ast.ForOp, batches):
     source_fn = _compiled(operation, "_c_source", operation.source)
-    for frame in frames:
-        if (
-            isinstance(operation.source, ast.VarRef)
-            and operation.source.name not in frame
-        ):
-            # a catalog name (collections shadowable by variables)
-            values: Any = _iter_source(ctx, operation.source.name)
-        else:
+    source_is_name = isinstance(operation.source, ast.VarRef)
+    var = operation.var
+    width = ctx.batch_size
+    out: list = []
+    for batch in batches:
+        for frame in batch:
+            if source_is_name and operation.source.name not in frame:
+                # a catalog name (collections shadowable by variables):
+                # consume the store cursor batch-at-a-time.
+                for source_batch in _source_batches(ctx, operation.source.name):
+                    for value in source_batch:
+                        child = dict(frame)
+                        child[var] = value
+                        out.append(child)
+                        if len(out) >= width:
+                            yield out
+                            out = []
+                continue
             values = source_fn(ctx, frame)
             if datamodel.type_of(values) is not datamodel.TypeTag.ARRAY:
                 raise ExecutionError(
                     f"FOR expects an array or collection, got "
                     f"{datamodel.type_name(values)}"
                 )
-        for value in values:
-            if ctx.deadline is not None:
-                _check_deadline(ctx)
-            child = dict(frame)
-            child[operation.var] = value
-            yield child
+            for value in values:
+                child = dict(frame)
+                child[var] = value
+                out.append(child)
+                if len(out) >= width:
+                    if ctx.deadline is not None:
+                        _check_deadline(ctx)
+                    yield out
+                    out = []
+    if out:
+        yield out
 
 
-def _apply_traversal(ctx, operation: ast.TraversalOp, frames):
+def _apply_traversal(ctx, operation: ast.TraversalOp, batches):
     graph = ctx.db.graph(operation.graph)
     start_fn = _compiled(operation, "_c_start", operation.start)
-    for frame in frames:
-        start = start_fn(ctx, frame)
-        if isinstance(start, dict):
-            start = start.get("_key")
-        if isinstance(start, (int, float)) and not isinstance(start, bool):
-            # Vertex keys are strings; numeric ids (e.g. from a relational
-            # primary key) coerce, so `FOR f IN 1..1 OUTBOUND c.id …` works.
-            start = str(int(start))
-        if not isinstance(start, str):
-            raise ExecutionError("traversal start must be a vertex key or vertex")
-        if operation.edge_var is not None:
-            visits = graph.traverse_with_edges(
-                start,
-                operation.min_depth,
-                operation.max_depth,
-                operation.direction,
-                operation.label,
-                txn=ctx.txn,
-            )
-        else:
-            visits = [
-                (key, depth, None)
-                for key, depth in graph.traverse(
+    width = ctx.batch_size
+    out: list = []
+    for batch in batches:
+        for frame in batch:
+            start = start_fn(ctx, frame)
+            if isinstance(start, dict):
+                start = start.get("_key")
+            if isinstance(start, (int, float)) and not isinstance(start, bool):
+                # Vertex keys are strings; numeric ids (e.g. from a relational
+                # primary key) coerce, so `FOR f IN 1..1 OUTBOUND c.id …` works.
+                start = str(int(start))
+            if not isinstance(start, str):
+                raise ExecutionError(
+                    "traversal start must be a vertex key or vertex"
+                )
+            if operation.edge_var is not None:
+                visits = graph.traverse_with_edges(
                     start,
                     operation.min_depth,
                     operation.max_depth,
@@ -428,22 +458,38 @@ def _apply_traversal(ctx, operation: ast.TraversalOp, frames):
                     operation.label,
                     txn=ctx.txn,
                 )
-            ]
-        for key, _depth, edge in visits:
-            if ctx.deadline is not None:
-                _check_deadline(ctx)
-            vertex = graph.vertex(key, txn=ctx.txn)
-            if vertex is None:
-                continue
-            ctx.stats["scanned"] += 1
-            child = dict(frame)
-            child[operation.var] = vertex
-            if operation.edge_var is not None:
-                child[operation.edge_var] = edge
-            yield child
+            else:
+                visits = [
+                    (key, depth, None)
+                    for key, depth in graph.traverse(
+                        start,
+                        operation.min_depth,
+                        operation.max_depth,
+                        operation.direction,
+                        operation.label,
+                        txn=ctx.txn,
+                    )
+                ]
+            for key, _depth, edge in visits:
+                vertex = graph.vertex(key, txn=ctx.txn)
+                if vertex is None:
+                    continue
+                ctx.stats["scanned"] += 1
+                child = dict(frame)
+                child[operation.var] = vertex
+                if operation.edge_var is not None:
+                    child[operation.edge_var] = edge
+                out.append(child)
+                if len(out) >= width:
+                    if ctx.deadline is not None:
+                        _check_deadline(ctx)
+                    yield out
+                    out = []
+    if out:
+        yield out
 
 
-def _apply_index_scan(ctx, operation: IndexScanOp, frames):
+def _apply_index_scan(ctx, operation: IndexScanOp, batches):
     store = ctx.db.resolve(operation.source_name)
     namespace = store.namespace
     value_fn = _compiled(operation, "_c_value", operation.value)
@@ -452,47 +498,60 @@ def _apply_index_scan(ctx, operation: IndexScanOp, frames):
         if operation.residual is not None
         else None
     )
-    for frame in frames:
-        if ctx.txn is not None:
-            # Indexes reflect the latest committed state, not this snapshot:
-            # fall back to scan + the original full predicate.
-            original_fn = (
-                _compiled(operation, "_c_original", operation.original_condition)
-                if operation.original_condition is not None
-                else None
-            )
-            for value in _iter_source(ctx, operation.source_name):
+    width = ctx.batch_size
+    out: list = []
+    for batch in batches:
+        for frame in batch:
+            if ctx.txn is not None:
+                # Indexes reflect the latest committed state, not this
+                # snapshot: fall back to scan + the original full predicate.
+                original_fn = (
+                    _compiled(
+                        operation, "_c_original", operation.original_condition
+                    )
+                    if operation.original_condition is not None
+                    else None
+                )
+                for value in _iter_source(ctx, operation.source_name):
+                    child = dict(frame)
+                    child[operation.var] = value
+                    if original_fn is None or datamodel.truthy(
+                        original_fn(ctx, child)
+                    ):
+                        out.append(child)
+                        if len(out) >= width:
+                            yield out
+                            out = []
+                continue
+            probe = value_fn(ctx, frame)
+            index_view = ctx.db.context.indexes.get(operation.index_name)
+            ctx.stats["index_lookups"] += 1
+            if obs_metrics.ENABLED:
+                obs_metrics.counter(
+                    "index_lookups_total", index=operation.index_name
+                ).inc()
+            if operation.index_name not in ctx.stats["indexes_used"]:
+                ctx.stats["indexes_used"].append(operation.index_name)
+            for key in index_view.search(probe):
+                record = ctx.db.context.rows.get(namespace, key)
+                if record is None:
+                    continue
                 child = dict(frame)
-                child[operation.var] = value
-                if original_fn is None or datamodel.truthy(
-                    original_fn(ctx, child)
+                child[operation.var] = record
+                if residual_fn is not None and not datamodel.truthy(
+                    residual_fn(ctx, child)
                 ):
-                    yield child
-            continue
-        probe = value_fn(ctx, frame)
-        index_view = ctx.db.context.indexes.get(operation.index_name)
-        ctx.stats["index_lookups"] += 1
-        if obs_metrics.ENABLED:
-            obs_metrics.counter(
-                "index_lookups_total", index=operation.index_name
-            ).inc()
-        if operation.index_name not in ctx.stats["indexes_used"]:
-            ctx.stats["indexes_used"].append(operation.index_name)
-        for key in index_view.search(probe):
-            record = ctx.db.context.rows.get(namespace, key)
-            if record is None:
-                continue
-            child = dict(frame)
-            child[operation.var] = record
-            if residual_fn is not None and not datamodel.truthy(
-                residual_fn(ctx, child)
-            ):
-                ctx.stats["filtered_out"] += 1
-                continue
-            yield child
+                    ctx.stats["filtered_out"] += 1
+                    continue
+                out.append(child)
+                if len(out) >= width:
+                    yield out
+                    out = []
+    if out:
+        yield out
 
 
-def _apply_hash_join(ctx, operation: HashJoinOp, frames):
+def _apply_hash_join(ctx, operation: HashJoinOp, batches):
     """Build a hash table over the named collection (the build side) once,
     then probe it per outer frame — the linear-time replacement for a
     correlated rescan.
@@ -513,7 +572,9 @@ def _apply_hash_join(ctx, operation: HashJoinOp, frames):
     compare = datamodel.compare
     build_path = operation.build_path
     table: Optional[dict] = None
-    for frame in frames:
+    width = ctx.batch_size
+    out: list = []
+    for batch in batches:
         if table is None:
             table = {}
             for record in _iter_source(ctx, operation.source_name):
@@ -522,18 +583,24 @@ def _apply_hash_join(ctx, operation: HashJoinOp, frames):
             ctx.stats["hash_join_builds"] += 1
             if obs_metrics.ENABLED:
                 obs_metrics.counter("hash_join_builds_total").inc()
-        probe = probe_fn(ctx, frame)
-        for key, record in table.get(hash_value(probe), ()):
-            if compare(key, probe) != 0:
-                continue
-            child = dict(frame)
-            child[operation.var] = record
-            if residual_fn is not None and not datamodel.truthy(
-                residual_fn(ctx, child)
-            ):
-                ctx.stats["filtered_out"] += 1
-                continue
-            yield child
+        for frame in batch:
+            probe = probe_fn(ctx, frame)
+            for key, record in table.get(hash_value(probe), ()):
+                if compare(key, probe) != 0:
+                    continue
+                child = dict(frame)
+                child[operation.var] = record
+                if residual_fn is not None and not datamodel.truthy(
+                    residual_fn(ctx, child)
+                ):
+                    ctx.stats["filtered_out"] += 1
+                    continue
+                out.append(child)
+                if len(out) >= width:
+                    yield out
+                    out = []
+    if out:
+        yield out
 
 
 def _coerce_vertex_key(value, what: str) -> str:
@@ -546,45 +613,62 @@ def _coerce_vertex_key(value, what: str) -> str:
     return value
 
 
-def _apply_shortest_path(ctx, operation: ast.ShortestPathOp, frames):
+def _apply_shortest_path(ctx, operation: ast.ShortestPathOp, batches):
     graph = ctx.db.graph(operation.graph)
-    for frame in frames:
-        start = _coerce_vertex_key(
-            evaluate(ctx, operation.start, frame), "shortest-path start"
-        )
-        goal = _coerce_vertex_key(
-            evaluate(ctx, operation.goal, frame), "shortest-path goal"
-        )
-        path = graph.shortest_path(start, goal, operation.direction, txn=ctx.txn)
-        for key in path or []:
-            vertex = graph.vertex(key, txn=ctx.txn)
-            if vertex is None:
-                continue
-            ctx.stats["scanned"] += 1
-            child = dict(frame)
-            child[operation.var] = vertex
-            yield child
+    width = ctx.batch_size
+    out: list = []
+    for batch in batches:
+        for frame in batch:
+            start = _coerce_vertex_key(
+                evaluate(ctx, operation.start, frame), "shortest-path start"
+            )
+            goal = _coerce_vertex_key(
+                evaluate(ctx, operation.goal, frame), "shortest-path goal"
+            )
+            path = graph.shortest_path(
+                start, goal, operation.direction, txn=ctx.txn
+            )
+            for key in path or []:
+                vertex = graph.vertex(key, txn=ctx.txn)
+                if vertex is None:
+                    continue
+                ctx.stats["scanned"] += 1
+                child = dict(frame)
+                child[operation.var] = vertex
+                out.append(child)
+                if len(out) >= width:
+                    yield out
+                    out = []
+    if out:
+        yield out
 
 
-def _apply_filter(ctx, operation: ast.FilterOp, frames):
-    predicate = _compiled(operation, "_c_condition", operation.condition)
-    truthy = datamodel.truthy
-    for frame in frames:
-        if truthy(predicate(ctx, frame)):
-            yield frame
-        else:
-            ctx.stats["filtered_out"] += 1
+def _apply_filter(ctx, operation: ast.FilterOp, batches):
+    predicate = _compiled_batch(
+        operation, "_cb_condition", operation.condition, compile_filter_batch
+    )
+    for batch in batches:
+        kept = predicate(ctx, batch)
+        dropped = len(batch) - len(kept)
+        if dropped:
+            ctx.stats["filtered_out"] += dropped
+        if kept:
+            yield kept
 
 
-def _apply_let(ctx, operation: ast.LetOp, frames):
+def _apply_let(ctx, operation: ast.LetOp, batches):
     value_fn = _compiled(operation, "_c_value", operation.value)
-    for frame in frames:
-        child = dict(frame)
-        child[operation.var] = value_fn(ctx, frame)
-        yield child
+    var = operation.var
+    for batch in batches:
+        out = []
+        for frame in batch:
+            child = dict(frame)
+            child[var] = value_fn(ctx, frame)
+            out.append(child)
+        yield out
 
 
-def _apply_sort(ctx, operation: ast.SortOp, frames):
+def _apply_sort(ctx, operation: ast.SortOp, batches):
     """Decorate-sort-undecorate: every sort key is evaluated exactly once
     per frame (the old comparator re-evaluated both sides on *every*
     comparison, O(n log n) evaluations and allocations).
@@ -593,7 +677,8 @@ def _apply_sort(ctx, operation: ast.SortOp, frames):
     total order; NULL has the lowest type tag, so NULLs sort **first**
     ascending and **last** descending.  Uniform-direction sorts are a
     single tuple sort; mixed ASC/DESC runs one stable pass per key from
-    the least-significant key outward."""
+    the least-significant key outward.  A pipeline breaker: materializes
+    every upstream frame, then re-chunks downstream."""
     key_fns = getattr(operation, "_c_keys", None)
     if key_fns is None:
         key_fns = [compile_expr(key.expr) for key in operation.keys]
@@ -604,28 +689,46 @@ def _apply_sort(ctx, operation: ast.SortOp, frames):
             tuple(sort_key(fn(ctx, frame)) for fn in key_fns),
             frame,
         )
-        for frame in frames
+        for frame in _flatten(batches)
     ]
     directions = [key.ascending for key in operation.keys]
-    if not directions:
-        return iter([frame for _keys, frame in decorated])
-    if all(directions) or not any(directions):
-        decorated.sort(key=lambda entry: entry[0], reverse=not directions[0])
-    else:
-        for position in range(len(directions) - 1, -1, -1):
-            ascending = directions[position]
-            decorated.sort(
-                key=lambda entry: entry[0][position],
-                reverse=not ascending,
-            )
-    return iter([frame for _keys, frame in decorated])
+    if directions:
+        if all(directions) or not any(directions):
+            decorated.sort(key=lambda entry: entry[0], reverse=not directions[0])
+        else:
+            for position in range(len(directions) - 1, -1, -1):
+                ascending = directions[position]
+                decorated.sort(
+                    key=lambda entry: entry[0][position],
+                    reverse=not ascending,
+                )
+    return _chunked([frame for _keys, frame in decorated], ctx.batch_size)
 
 
-def _apply_limit(ctx, operation: ast.LimitOp, frames):
-    return itertools.islice(frames, operation.offset, operation.offset + operation.count)
+def _apply_limit(ctx, operation: ast.LimitOp, batches):
+    to_skip = operation.offset
+    remaining = operation.count
+    if remaining <= 0:
+        return
+    for batch in batches:
+        if to_skip:
+            if to_skip >= len(batch):
+                to_skip -= len(batch)
+                continue
+            batch = batch[to_skip:]
+            to_skip = 0
+        if len(batch) > remaining:
+            batch = batch[:remaining]
+        remaining -= len(batch)
+        if batch:
+            yield batch
+        if remaining <= 0:
+            # Early out: stop pulling upstream; source cursors close via
+            # their generators' finally blocks when the pipeline is dropped.
+            return
 
 
-def _apply_collect(ctx, operation: ast.CollectOp, frames):
+def _apply_collect(ctx, operation: ast.CollectOp, batches):
     from repro.query.functions import call_function
 
     group_fns = getattr(operation, "_c_groups", None)
@@ -641,25 +744,32 @@ def _apply_collect(ctx, operation: ast.CollectOp, frames):
 
     groups: dict[int, dict] = {}
     order: list[int] = []
-    for frame in frames:
-        key_values = [(name, fn(ctx, frame)) for name, fn in group_fns]
-        token = datamodel.hash_value([value for _name, value in key_values])
-        if token not in groups:
-            groups[token] = {
-                "keys": dict(key_values),
-                "count": 0,
-                "members": [],
-                "aggregate_inputs": [[] for _ in operation.aggregates],
-            }
-            order.append(token)
-        group = groups[token]
-        group["count"] += 1
-        for position, arg_fn in enumerate(agg_fns):
-            group["aggregate_inputs"][position].append(arg_fn(ctx, frame))
-        if operation.into:
-            group["members"].append(
-                {name: value for name, value in frame.items() if not name.startswith("$")}
-            )
+    for batch in batches:
+        for frame in batch:
+            key_values = [(name, fn(ctx, frame)) for name, fn in group_fns]
+            token = datamodel.hash_value([value for _name, value in key_values])
+            if token not in groups:
+                groups[token] = {
+                    "keys": dict(key_values),
+                    "count": 0,
+                    "members": [],
+                    "aggregate_inputs": [[] for _ in operation.aggregates],
+                }
+                order.append(token)
+            group = groups[token]
+            group["count"] += 1
+            for position, arg_fn in enumerate(agg_fns):
+                group["aggregate_inputs"][position].append(arg_fn(ctx, frame))
+            if operation.into:
+                group["members"].append(
+                    {
+                        name: value
+                        for name, value in frame.items()
+                        if not name.startswith("$")
+                    }
+                )
+    out: list = []
+    width = ctx.batch_size
     for token in order:
         group = groups[token]
         frame = dict(group["keys"])
@@ -671,7 +781,12 @@ def _apply_collect(ctx, operation: ast.CollectOp, frames):
             frame[operation.count_into] = group["count"]
         if operation.into:
             frame[operation.into] = group["members"]
-        yield frame
+        out.append(frame)
+        if len(out) >= width:
+            yield out
+            out = []
+    if out:
+        yield out
 
 
 def _dml_target(ctx, name: str):
@@ -768,7 +883,7 @@ def _apply_upsert(ctx, operation: ast.UpsertOp, frames):
             if matches:
                 existing_key = matches[0]["_key"]
         elif kind == "table":
-            for row in store.rows(txn=ctx.txn):
+            for row in store.scan_cursor(txn=ctx.txn):
                 if all(
                     datamodel.values_equal(row.get(column), value)
                     for column, value in search.items()
@@ -796,95 +911,143 @@ _DML_APPLIERS = {
     ast.UpsertOp: _apply_upsert,
 }
 
+_BATCH_APPLIERS = (
+    (IndexScanOp, _apply_index_scan),
+    (HashJoinOp, _apply_hash_join),
+    (ast.ForOp, _apply_for),
+    (ast.TraversalOp, _apply_traversal),
+    (ast.ShortestPathOp, _apply_shortest_path),
+    (ast.FilterOp, _apply_filter),
+    (ast.LetOp, _apply_let),
+    (ast.SortOp, _apply_sort),
+    (ast.LimitOp, _apply_limit),
+    (ast.CollectOp, _apply_collect),
+)
 
-def _run_pipeline(ctx: ExecContext, query: ast.Query, initial_frame: dict):
-    """Execute a (sub)query; returns (rows, write_count_delta)."""
-    frames: Iterator[dict] = iter([initial_frame])
-    rows: list = []
-    writes_before = ctx.stats["writes"]
+
+def _open_pipeline(ctx: ExecContext, query: ast.Query, initial_frame: dict):
+    """Chain every non-terminal operation over the initial frame.
+
+    Returns ``(batches, terminal, probes)`` where *terminal* is the
+    RETURN/DML operation (or None for a headless pipeline) and *probes*
+    is the probe list when this is the outermost EXPLAIN ANALYZE
+    pipeline, else None."""
+    batches: Iterator[list] = iter([[initial_frame]])
     # Only the outermost pipeline is probed: subqueries run inside a parent
     # operator and their cost is already charged to it.
     probes = ctx.probes if ctx.analyze else None
     if probes is not None:
         ctx.analyze = False
     for operation in query.operations:
-        terminal_start = time.perf_counter() if probes is not None else 0.0
-        dml_applier = _DML_APPLIERS.get(type(operation))
-        if dml_applier is not None:
-            rows = list(dml_applier(ctx, operation, frames))
-            if probes is not None:
-                probes.append(
-                    OpProbe(
-                        operation,
-                        rows_out=len(rows),
-                        seconds=time.perf_counter() - terminal_start,
-                    )
-                )
-            return rows, ctx.stats["writes"] - writes_before
-        if isinstance(operation, ast.ReturnOp):
-            project = _compiled(operation, "_c_expr", operation.expr)
-            # DISTINCT dedups through the model hash (compare-equal values
-            # hash equally); each bucket is verified with values_equal so a
-            # hash collision can never drop a distinct row.
-            seen: dict[int, list] = {}
-            for frame in frames:
-                if ctx.deadline is not None:
-                    _check_deadline(ctx)
-                value = project(ctx, frame)
-                if operation.distinct:
-                    bucket = seen.setdefault(datamodel.hash_value(value), [])
-                    if any(
-                        datamodel.values_equal(value, kept) for kept in bucket
-                    ):
-                        continue
-                    bucket.append(value)
-                rows.append(value)
-                if ctx.max_rows is not None:
-                    _check_row_budget(ctx, len(rows))
-            if probes is not None:
-                probes.append(
-                    OpProbe(
-                        operation,
-                        rows_out=len(rows),
-                        seconds=time.perf_counter() - terminal_start,
-                    )
-                )
-            return rows, ctx.stats["writes"] - writes_before
-        if isinstance(operation, IndexScanOp):
-            frames = _apply_index_scan(ctx, operation, frames)
-        elif isinstance(operation, HashJoinOp):
-            frames = _apply_hash_join(ctx, operation, frames)
-        elif isinstance(operation, ast.ForOp):
-            frames = _apply_for(ctx, operation, frames)
-        elif isinstance(operation, ast.TraversalOp):
-            frames = _apply_traversal(ctx, operation, frames)
-        elif isinstance(operation, ast.ShortestPathOp):
-            frames = _apply_shortest_path(ctx, operation, frames)
-        elif isinstance(operation, ast.FilterOp):
-            frames = _apply_filter(ctx, operation, frames)
-        elif isinstance(operation, ast.LetOp):
-            frames = _apply_let(ctx, operation, frames)
-        elif isinstance(operation, ast.SortOp):
-            frames = _apply_sort(ctx, operation, frames)
-        elif isinstance(operation, ast.LimitOp):
-            frames = _apply_limit(ctx, operation, frames)
-        elif isinstance(operation, ast.CollectOp):
-            frames = _apply_collect(ctx, operation, frames)
+        if (
+            type(operation) in _DML_APPLIERS
+            or isinstance(operation, ast.ReturnOp)
+        ):
+            return batches, operation, probes
+        start = time.perf_counter() if probes is not None else 0.0
+        for op_type, applier in _BATCH_APPLIERS:
+            if isinstance(operation, op_type):
+                batches = applier(ctx, operation, batches)
+                break
         else:
             raise ExecutionError(f"cannot execute {type(operation).__name__}")
         if probes is not None:
             # Charge construction time too: generator appliers return
             # instantly, but pipeline breakers (SORT) materialize upstream
             # inside the call above.
-            probe = OpProbe(
-                operation, seconds=time.perf_counter() - terminal_start
-            )
+            probe = OpProbe(operation, seconds=time.perf_counter() - start)
             probes.append(probe)
-            frames = _probed(frames, probe)
-    # No RETURN/DML: drain the pipeline for its side effects (none) and
-    # produce no rows.
-    for _frame in frames:
-        pass
+            batches = _probed(batches, probe)
+    return batches, None, probes
+
+
+def _return_batches(ctx: ExecContext, operation: ast.ReturnOp, batches, probes):
+    """Project RETURN over the pipeline, batch-at-a-time.
+
+    DISTINCT dedups through the model hash (compare-equal values hash
+    equally); each bucket is verified with values_equal so a hash
+    collision can never drop a distinct row.  Deadline and row-budget
+    guardrails are charged once per batch."""
+    project = _compiled_batch(
+        operation, "_cb_expr", operation.expr, compile_projection_batch
+    )
+    probe = None
+    if probes is not None:
+        probe = OpProbe(operation)
+        probes.append(probe)
+    perf_counter = time.perf_counter
+    seen: Optional[dict] = {} if operation.distinct else None
+    produced = 0
+    start = perf_counter() if probe is not None else 0.0
+    for batch in batches:
+        if ctx.deadline is not None:
+            _check_deadline(ctx)
+        values = project(ctx, batch)
+        if seen is not None:
+            kept = []
+            for value in values:
+                bucket = seen.setdefault(datamodel.hash_value(value), [])
+                if any(
+                    datamodel.values_equal(value, known) for known in bucket
+                ):
+                    continue
+                bucket.append(value)
+                kept.append(value)
+            values = kept
+        produced += len(values)
+        if ctx.max_rows is not None:
+            _check_row_budget(ctx, produced)
+        if values:
+            if probe is not None:
+                probe.seconds += perf_counter() - start
+                probe.rows_out += len(values)
+                probe.batches_out += 1
+            yield values
+            if probe is not None:
+                start = perf_counter()
+    if probe is not None:
+        probe.seconds += perf_counter() - start
+
+
+def _execute_batches(
+    ctx: ExecContext, query: ast.Query, initial_frame: dict
+) -> Iterator[list]:
+    """Run a (sub)query, yielding result-row batches lazily.
+
+    DML pipelines are always drained eagerly (their side effects must not
+    depend on how far a client reads); RETURN pipelines stream."""
+    batches, terminal, probes = _open_pipeline(ctx, query, initial_frame)
+    if terminal is None:
+        # No RETURN/DML: drain the pipeline for its side effects (none)
+        # and produce no rows.
+        for _batch in batches:
+            pass
+        return
+    dml_applier = _DML_APPLIERS.get(type(terminal))
+    if dml_applier is not None:
+        start = time.perf_counter() if probes is not None else 0.0
+        rows = list(dml_applier(ctx, terminal, _flatten(batches)))
+        if probes is not None:
+            probes.append(
+                OpProbe(
+                    terminal,
+                    rows_out=len(rows),
+                    seconds=time.perf_counter() - start,
+                    batches_out=1 if rows else 0,
+                )
+            )
+        if rows:
+            yield rows
+        return
+    yield from _return_batches(ctx, terminal, batches, probes)
+
+
+def _run_pipeline(ctx: ExecContext, query: ast.Query, initial_frame: dict):
+    """Execute a (sub)query eagerly; returns (rows, write_count_delta)."""
+    writes_before = ctx.stats["writes"]
+    rows: list = []
+    for batch in _execute_batches(ctx, query, initial_frame):
+        rows.extend(batch)
     return rows, ctx.stats["writes"] - writes_before
 
 
@@ -893,3 +1056,13 @@ def execute(ctx: ExecContext, query: ast.Query) -> Result:
     rows, _writes = _run_pipeline(ctx, query, {})
     ctx.stats["rows_returned"] = len(rows)
     return Result(rows=rows, stats=ctx.stats)
+
+
+def execute_stream(ctx: ExecContext, query: ast.Query) -> Iterator[list]:
+    """Run an optimized query, yielding result-row **batches** lazily.
+
+    ``ctx.stats["rows_returned"]`` advances as batches are consumed, so a
+    cursor abandoned mid-stream reports how far it actually got."""
+    for batch in _execute_batches(ctx, query, {}):
+        ctx.stats["rows_returned"] += len(batch)
+        yield batch

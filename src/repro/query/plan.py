@@ -219,6 +219,7 @@ def analyzed_op_stats(probes: list) -> list[dict]:
                 "label": label,
                 "rows_in": previous_rows,
                 "rows_out": probe.rows_out,
+                "batches_out": getattr(probe, "batches_out", 0),
                 "seconds": probe.seconds,
                 "self_seconds": max(0.0, probe.seconds - previous_seconds),
             }
@@ -239,6 +240,7 @@ def render_analyzed_plan(
         op_lines = _operation_lines(operation, indent)
         op_lines[0] += (
             f"  [rows in={entry['rows_in']} out={entry['rows_out']} "
+            f"batches={entry['batches_out']} "
             f"self={entry['self_seconds'] * 1000:.3f} ms "
             f"cum={entry['seconds'] * 1000:.3f} ms]"
         )

@@ -20,6 +20,7 @@ from collections import defaultdict
 from typing import Any, Callable, Iterable, Iterator, Optional
 
 from repro.core.context import BaseStore, EngineContext
+from repro.core.cursor import IteratorScanCursor, ScanCursor, warn_deprecated_scan
 from repro.errors import QueryError
 from repro.txn.manager import Transaction
 
@@ -124,9 +125,20 @@ class TripleStore(BaseStore):
 
     # -- single-pattern matching ----------------------------------------------------
 
+    def scan_cursor(self, txn: Optional[Transaction] = None) -> ScanCursor:
+        """Unified batched scan: each frame is one triple as a
+        ``[subject, predicate, object]`` list (the MMQL row shape)."""
+        return IteratorScanCursor(
+            list(stored) for _key, stored in self._raw_scan(txn)
+        )
+
     def triples(self, txn: Optional[Transaction] = None) -> Iterator[Triple]:
-        for _key, stored in self._raw_scan(txn):
-            yield tuple(stored)
+        """Deprecated compat shim — use :meth:`scan_cursor` instead."""
+        warn_deprecated_scan("TripleStore.triples()")
+        return (tuple(frame) for frame in self.scan_cursor(txn=txn))
+
+    def _scan_triples(self, txn: Optional[Transaction] = None) -> Iterator[Triple]:
+        return (tuple(frame) for frame in self.scan_cursor(txn=txn))
 
     def match(
         self,
@@ -144,7 +156,7 @@ class TripleStore(BaseStore):
         * nothing bound → full scan.
         """
         if txn is not None:
-            candidates: Iterable[Triple] = self.triples(txn)
+            candidates: Iterable[Triple] = self._scan_triples(txn)
         elif not is_variable(subject) and not is_variable(predicate):
             candidates = self._direct_secondary.get((subject, predicate), set())
         elif not is_variable(subject):
@@ -154,7 +166,7 @@ class TripleStore(BaseStore):
         elif not is_variable(obj):
             candidates = self._reverse_primary.get(obj, set())
         else:
-            candidates = self.triples()
+            candidates = self._scan_triples()
         result = []
         for triple in candidates:
             if not is_variable(subject) and triple[0] != subject:

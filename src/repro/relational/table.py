@@ -12,6 +12,7 @@ from typing import Any, Callable, Iterator, Optional
 
 from repro.core import datamodel
 from repro.core.context import BaseStore, EngineContext
+from repro.core.cursor import warn_deprecated_scan
 from repro.errors import PrimaryKeyError
 from repro.relational.schema import TableSchema
 from repro.txn.manager import Transaction
@@ -88,10 +89,12 @@ class Table(BaseStore):
     # -- queries ------------------------------------------------------------------
 
     def rows(self, txn: Optional[Transaction] = None) -> Iterator[dict]:
-        """All rows (scan order: primary-key order inside transactions,
-        insertion order otherwise)."""
-        for _key, row in self._raw_scan(txn):
-            yield row
+        """Deprecated compat shim — use :meth:`scan_cursor` instead.
+
+        (Scan order: primary-key order inside transactions, insertion
+        order otherwise — the cursor preserves it.)"""
+        warn_deprecated_scan("Table.rows()")
+        return iter(self.scan_cursor(txn=txn))
 
     def select(
         self,
@@ -103,7 +106,9 @@ class Table(BaseStore):
         txn: Optional[Transaction] = None,
     ) -> list[dict]:
         """SELECT columns FROM self WHERE … ORDER BY … LIMIT …"""
-        result = [row for row in self.rows(txn) if where is None or where(row)]
+        result = [
+            row for row in self.scan_cursor(txn=txn) if where is None or where(row)
+        ]
         if order_by is not None:
             self.schema.column(order_by)
             result.sort(
@@ -135,7 +140,7 @@ class Table(BaseStore):
                 ]
         return [
             row
-            for row in self.rows(txn)
+            for row in self.scan_cursor(txn=txn)
             if datamodel.values_equal(row.get(column), value)
         ]
 

@@ -23,11 +23,22 @@ never silently queued forever):
   queue in the executor, and past the queue budget they are rejected
   immediately.
 
+**Streaming cursors** (``query_open`` / ``cursor_next`` / ``cursor_close``)
+let a client pull a large result in chunks instead of one frame: the server
+holds a lazy engine cursor (:class:`repro.query.engine.QueryCursor`) per
+open stream, scoped to the session, capped at ``max_cursors_per_session``
+(:class:`repro.errors.CursorLimitError`) and reaped by a background task
+after ``cursor_idle_timeout`` seconds without a fetch
+(:class:`repro.errors.CursorNotFoundError` on later touches).  Peak server
+memory per stream is one chunk, not one result set.
+
 Graceful shutdown (:meth:`ReproServer.shutdown`) stops accepting, lets
-in-flight queries drain (bounded by ``drain_timeout``), aborts transactions
-orphaned by surviving sessions, optionally checkpoints the database, and
-only then tears down connections — so every positively-acknowledged commit
-is durable in the WAL.
+in-flight queries drain (bounded by ``drain_timeout``), closes every open
+cursor (mid-stream clients see :class:`repro.errors.ServerShutdownError` on
+their next fetch — cursor ops are not in the always-allowed set while
+draining), aborts transactions orphaned by surviving sessions, optionally
+checkpoints the database, and only then tears down connections — so every
+positively-acknowledged commit is durable in the WAL.
 """
 
 from __future__ import annotations
@@ -40,6 +51,7 @@ from typing import Any, Optional
 
 from repro import __version__
 from repro.errors import (
+    CursorLimitError,
     InjectedFaultError,
     ProtocolError,
     ServerOverloadedError,
@@ -58,6 +70,32 @@ __all__ = ["ReproServer"]
 #: Ops answered inline on the event loop even while draining, so a client
 #: can still observe a shutting-down server.
 _ALWAYS_ALLOWED = frozenset({"ping", "stats", "info"})
+
+
+class _EagerCursor:
+    """Cursor facade over an already-materialized result — used for
+    ``query_open`` inside a transaction, where lazy execution could
+    straddle the commit/abort that ends the snapshot."""
+
+    __slots__ = ("_rows", "_pos", "stats")
+
+    def __init__(self, rows: list, stats: dict):
+        self._rows = rows
+        self._pos = 0
+        self.stats = stats
+
+    @property
+    def exhausted(self) -> bool:
+        return self._pos >= len(self._rows)
+
+    def next_batch(self, n: int) -> list:
+        chunk = self._rows[self._pos : self._pos + max(int(n), 1)]
+        self._pos += len(chunk)
+        return chunk
+
+    def close(self) -> None:
+        self._rows = []
+        self._pos = 0
 
 
 def _merge_limit(requested, session_value, host_default):
@@ -84,6 +122,9 @@ class ReproServer:
         drain_timeout: float = 10.0,
         checkpoint_path: Optional[str] = None,
         max_frame: int = protocol.MAX_FRAME_BYTES,
+        max_cursors_per_session: int = 16,
+        cursor_idle_timeout: float = 300.0,
+        cursor_chunk_rows: int = 1024,
     ):
         self.db = db
         self.host = host
@@ -94,17 +135,22 @@ class ReproServer:
         self.drain_timeout = drain_timeout
         self.checkpoint_path = checkpoint_path
         self.max_frame = max_frame
+        self.max_cursors_per_session = max(int(max_cursors_per_session), 1)
+        self.cursor_idle_timeout = float(cursor_idle_timeout)
+        self.cursor_chunk_rows = max(int(cursor_chunk_rows), 1)
 
         self._server: Optional[asyncio.AbstractServer] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._executor: Optional[ThreadPoolExecutor] = None
         self._sessions: dict[int, tuple[Session, asyncio.StreamWriter]] = {}
+        self._conn_tasks: set = set()
         self._inflight = 0
         self._drained: Optional[asyncio.Event] = None
         self._stop_requested: Optional[asyncio.Event] = None
         self._draining = False
         self._started_at = time.time()
         self._thread: Optional[threading.Thread] = None
+        self._reaper: Optional[asyncio.Task] = None
 
     # ------------------------------------------------------------ lifecycle --
 
@@ -136,7 +182,22 @@ class ReproServer:
             self._handle_connection, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        self._reaper = self._loop.create_task(self._reap_idle_cursors())
         return self.address
+
+    async def _reap_idle_cursors(self) -> None:
+        """Background sweep closing cursors idle past
+        ``cursor_idle_timeout`` — an abandoned client must not pin engine
+        cursors (and their snapshots) forever."""
+        interval = max(min(self.cursor_idle_timeout / 2.0, 5.0), 0.05)
+        while True:
+            await asyncio.sleep(interval)
+            now = time.monotonic()
+            reaped = 0
+            for session, _writer in list(self._sessions.values()):
+                reaped += session.reap_idle_cursors(now, self.cursor_idle_timeout)
+            if reaped and obs_metrics.ENABLED:
+                obs_metrics.counter("server_cursors_reaped_total").inc(reaped)
 
     async def serve_until_stopped(self) -> None:
         """Run until :meth:`request_stop` / :meth:`stop`, then shut down
@@ -151,6 +212,9 @@ class ReproServer:
     async def shutdown(self, drain: bool = True) -> None:
         """Stop accepting, drain in-flight queries, checkpoint, tear down."""
         self._draining = True
+        if self._reaper is not None:
+            self._reaper.cancel()
+            self._reaper = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -162,6 +226,11 @@ class ReproServer:
                 )
             except asyncio.TimeoutError:
                 pass  # bounded patience: surviving queries die with the loop
+        # Open streaming cursors cannot outlive the server: close them so
+        # their pipelines release store cursors; mid-stream clients get
+        # ServerShutdownError on their next cursor_next (the drain gate).
+        for session, _writer in list(self._sessions.values()):
+            session.close_cursors()
         # Transactions stranded by sessions that never said commit: roll
         # them back so their locks and intents don't outlive the server.
         for session, _writer in list(self._sessions.values()):
@@ -183,6 +252,21 @@ class ReproServer:
             except Exception:
                 pass
         self._sessions.clear()
+        # Wait for connection handlers to notice the closed transports and
+        # return on their own; whatever is left past the grace window gets
+        # cancelled *and awaited*, so no half-cancelled task survives into
+        # the event loop's teardown (where it would log a spurious
+        # CancelledError traceback).
+        if self._conn_tasks:
+            done, pending = await asyncio.wait(
+                list(self._conn_tasks), timeout=1.0
+            )
+            del done
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+            self._conn_tasks.clear()
         if obs_metrics.ENABLED:
             obs_metrics.gauge("server_sessions_active").set(0)
         if self._executor is not None:
@@ -250,6 +334,9 @@ class ReproServer:
                 "max_inflight": self.max_inflight,
                 "queue_depth": self.queue_depth,
                 "max_frame": self.max_frame,
+                "max_cursors_per_session": self.max_cursors_per_session,
+                "cursor_idle_timeout": self.cursor_idle_timeout,
+                "cursor_chunk_rows": self.cursor_chunk_rows,
             },
         }
         if session is not None:
@@ -259,6 +346,10 @@ class ReproServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
         peername = writer.get_extra_info("peername")
         peer = f"{peername[0]}:{peername[1]}" if peername else "?"
         if obs_metrics.ENABLED:
@@ -311,6 +402,9 @@ class ReproServer:
         except SimulatedCrash:
             raise  # torture harness territory: nothing here may survive it
         finally:
+            # The connection owns its cursors: a vanished client must not
+            # leave lazy pipelines (and their store cursors) behind.
+            session.close_cursors()
             if session.txn is not None:
                 # The client vanished mid-transaction: roll it back.
                 try:
@@ -386,6 +480,12 @@ class ReproServer:
             }
         if op == "query":
             return await self._op_query(session, params)
+        if op == "query_open":
+            return await self._op_query_open(session, params)
+        if op == "cursor_next":
+            return await self._op_cursor_next(session, params)
+        if op == "cursor_close":
+            return self._op_cursor_close(session, params)
         if op == "explain":
             text = self._required_text(params)
             return {"plan": await self._run_blocking(lambda: self.db.explain(text))}
@@ -441,12 +541,7 @@ class ReproServer:
             raise ProtocolError("missing query text")
         return text
 
-    async def _op_query(self, session: Session, params: dict) -> dict:
-        text = self._required_text(params)
-        bind_vars = params.get("bind_vars") or {}
-        if not isinstance(bind_vars, dict):
-            raise ProtocolError("bind_vars must be a JSON object")
-        analyze = bool(params.get("analyze", False))
+    def _query_limits(self, session: Session, params: dict) -> tuple:
         guardrails = getattr(self.db, "guardrails", None)
         timeout = _merge_limit(
             params.get("timeout"),
@@ -458,6 +553,20 @@ class ReproServer:
             session.max_rows,
             getattr(guardrails, "max_rows", None),
         )
+        return timeout, max_rows
+
+    @staticmethod
+    def _query_inputs(params: dict) -> tuple:
+        text = ReproServer._required_text(params)
+        bind_vars = params.get("bind_vars") or {}
+        if not isinstance(bind_vars, dict):
+            raise ProtocolError("bind_vars must be a JSON object")
+        return text, bind_vars
+
+    async def _op_query(self, session: Session, params: dict) -> dict:
+        text, bind_vars = self._query_inputs(params)
+        analyze = bool(params.get("analyze", False))
+        timeout, max_rows = self._query_limits(session, params)
         txn = session.txn
 
         def work():
@@ -471,6 +580,7 @@ class ReproServer:
                 analyze=analyze,
                 timeout=timeout,
                 max_rows=max_rows,
+                batch_size=params.get("batch_size"),
             )
 
         result = await self._run_blocking(work)
@@ -478,6 +588,124 @@ class ReproServer:
         if result.analyzed is not None:
             response["analyzed"] = result.analyzed
         return response
+
+    # ------------------------------------------------- streaming cursors ----
+
+    def _chunk_rows_for(self, params: dict) -> int:
+        requested = params.get("chunk_rows")
+        if requested is None:
+            return self.cursor_chunk_rows
+        # The server default is also the ceiling: a client may stream in
+        # smaller chunks (bounding frame size), never larger ones.
+        return min(max(int(requested), 1), self.cursor_chunk_rows)
+
+    async def _op_query_open(self, session: Session, params: dict) -> dict:
+        text, bind_vars = self._query_inputs(params)
+        timeout, max_rows = self._query_limits(session, params)
+        chunk_rows = self._chunk_rows_for(params)
+        txn = session.txn
+        # Refuse before executing anything — like every admission
+        # rejection, a CURSOR_LIMIT means the query did not run.
+        if len(session.cursors) >= self.max_cursors_per_session:
+            raise CursorLimitError(
+                f"session {session.session_id} already holds "
+                f"{len(session.cursors)} open cursors "
+                f"(limit {self.max_cursors_per_session}) — close or drain "
+                "one first"
+            )
+
+        def work():
+            from repro.query.engine import open_query_cursor, run_query
+
+            if txn is not None:
+                # Inside a transaction the stream must not outlive the txn
+                # (commit/abort can land between fetches), so execute
+                # eagerly and stream the buffered rows.
+                result = run_query(
+                    self.db, text, bind_vars, txn,
+                    timeout=timeout, max_rows=max_rows,
+                    batch_size=params.get("batch_size"),
+                )
+                cursor: Any = _EagerCursor(result.rows, result.stats)
+            else:
+                cursor = open_query_cursor(
+                    self.db, text, bind_vars,
+                    timeout=timeout, max_rows=max_rows,
+                    batch_size=params.get("batch_size"),
+                )
+            # First chunk rides in the same blocking call: one admission
+            # pass, and DML (executed eagerly on first pull) occupies its
+            # worker for the whole statement.
+            try:
+                return cursor, cursor.next_batch(chunk_rows)
+            except BaseException:
+                cursor.close()
+                raise
+
+        cursor, rows = await self._run_blocking(work)
+        if cursor.exhausted:
+            cursor.close()
+            return {
+                "cursor": None,
+                "rows": rows,
+                "has_more": False,
+                "stats": dict(cursor.stats),
+            }
+        try:
+            entry = session.add_cursor(
+                cursor, chunk_rows, text, self.max_cursors_per_session
+            )
+        except Exception:
+            cursor.close()
+            raise
+        if obs_metrics.ENABLED:
+            obs_metrics.counter("server_cursors_opened_total").inc()
+        return {
+            "cursor": entry.cursor_id,
+            "rows": rows,
+            "has_more": True,
+            "stats": dict(cursor.stats),
+        }
+
+    async def _op_cursor_next(self, session: Session, params: dict) -> dict:
+        cursor_id = params.get("cursor")
+        if not isinstance(cursor_id, int):
+            raise ProtocolError("cursor_next needs an integer 'cursor'")
+        entry = session.get_cursor(cursor_id)
+        entry.touch()
+        try:
+            rows = await self._run_blocking(
+                lambda: entry.cursor.next_batch(entry.chunk_rows)
+            )
+        except Exception:
+            # A failed stream has no resumable state to keep.
+            session.pop_cursor(entry.cursor_id)
+            entry.close()
+            raise
+        if entry.cursor.exhausted:
+            session.pop_cursor(entry.cursor_id)
+            entry.close()
+            return {
+                "cursor": None,
+                "rows": rows,
+                "has_more": False,
+                "stats": dict(entry.cursor.stats),
+            }
+        return {
+            "cursor": entry.cursor_id,
+            "rows": rows,
+            "has_more": True,
+            "stats": dict(entry.cursor.stats),
+        }
+
+    def _op_cursor_close(self, session: Session, params: dict) -> dict:
+        cursor_id = params.get("cursor")
+        if not isinstance(cursor_id, int):
+            raise ProtocolError("cursor_close needs an integer 'cursor'")
+        entry = session.get_cursor(cursor_id)
+        session.pop_cursor(cursor_id)
+        entry.close()
+        return {"cursor": cursor_id, "closed": True}
 
     # ------------------------------------------------- executor bridge ------
 

@@ -17,6 +17,10 @@ A session owns:
   always enforces whichever is in effect — a remote client cannot opt out
   of the host's ``db.guardrails`` by simply not sending limits);
 * a requested **consistency level** (applied per named namespace);
+* **server-side cursors** — open streaming results (``query_open`` /
+  ``cursor_next``), capped per session and reaped when idle, and always
+  closed with the connection so a vanished client cannot leak engine
+  cursors;
 * bookkeeping for ``stats`` and the ``.sessions`` listings: request and
   error counts, last op, start time.
 """
@@ -27,11 +31,49 @@ import itertools
 import time
 from typing import Any, Optional
 
-from repro.errors import SessionStateError
+from repro.errors import CursorLimitError, CursorNotFoundError, SessionStateError
 
-__all__ = ["Session"]
+__all__ = ["ServerCursor", "Session"]
 
 _session_ids = itertools.count(1)
+
+
+class ServerCursor:
+    """One open streaming result held by a session.
+
+    Wraps an engine :class:`~repro.query.engine.QueryCursor` (or anything
+    with ``next_batch``/``close``/``stats``) plus the wire-level
+    bookkeeping: chunk size, idle clock, and the query text for ``stats``
+    listings."""
+
+    __slots__ = ("cursor_id", "cursor", "chunk_rows", "created_at",
+                 "last_used_at", "text")
+
+    def __init__(self, cursor_id: int, cursor: Any, chunk_rows: int,
+                 text: str, now: Optional[float] = None):
+        self.cursor_id = cursor_id
+        self.cursor = cursor
+        self.chunk_rows = max(int(chunk_rows), 1)
+        self.created_at = time.monotonic() if now is None else now
+        self.last_used_at = self.created_at
+        self.text = text
+
+    def touch(self, now: Optional[float] = None) -> None:
+        self.last_used_at = time.monotonic() if now is None else now
+
+    def close(self) -> None:
+        try:
+            self.cursor.close()
+        except Exception:
+            pass
+
+    def describe(self) -> dict:
+        return {
+            "cursor": self.cursor_id,
+            "chunk_rows": self.chunk_rows,
+            "idle_seconds": round(time.monotonic() - self.last_used_at, 3),
+            "text": self.text,
+        }
 
 
 class Session:
@@ -47,6 +89,8 @@ class Session:
         "requests",
         "errors",
         "last_op",
+        "cursors",
+        "_cursor_ids",
     )
 
     def __init__(self, peer: str = "?"):
@@ -61,6 +105,9 @@ class Session:
         self.requests = 0
         self.errors = 0
         self.last_op: Optional[str] = None
+        #: Open streaming results, keyed by cursor id (session-scoped).
+        self.cursors: dict[int, ServerCursor] = {}
+        self._cursor_ids = itertools.count(1)
 
     # -- transactions --------------------------------------------------------
 
@@ -100,6 +147,56 @@ class Session:
                 max_rows = guardrails.max_rows
         return timeout, max_rows
 
+    # -- cursors -------------------------------------------------------------
+
+    def add_cursor(self, cursor: Any, chunk_rows: int, text: str,
+                   limit: int) -> "ServerCursor":
+        """Register an engine cursor; raises :class:`CursorLimitError` at
+        the per-session cap (the caller must close *cursor* on raise)."""
+        if len(self.cursors) >= limit:
+            raise CursorLimitError(
+                f"session {self.session_id} already holds {len(self.cursors)} "
+                f"open cursors (limit {limit}) — close or drain one first"
+            )
+        entry = ServerCursor(next(self._cursor_ids), cursor, chunk_rows, text)
+        self.cursors[entry.cursor_id] = entry
+        return entry
+
+    def get_cursor(self, cursor_id: int) -> "ServerCursor":
+        entry = self.cursors.get(cursor_id)
+        if entry is None:
+            raise CursorNotFoundError(
+                f"session {self.session_id} has no open cursor {cursor_id} "
+                "(never opened, exhausted, closed, or reaped while idle)"
+            )
+        return entry
+
+    def pop_cursor(self, cursor_id: int) -> Optional["ServerCursor"]:
+        return self.cursors.pop(cursor_id, None)
+
+    def close_cursors(self) -> int:
+        """Close every open cursor (disconnect/shutdown path); returns how
+        many were closed."""
+        closed = 0
+        for entry in list(self.cursors.values()):
+            entry.close()
+            closed += 1
+        self.cursors.clear()
+        return closed
+
+    def reap_idle_cursors(self, now: float, idle_timeout: float) -> int:
+        """Close cursors idle longer than *idle_timeout*; returns the count."""
+        stale = [
+            cursor_id
+            for cursor_id, entry in self.cursors.items()
+            if now - entry.last_used_at > idle_timeout
+        ]
+        for cursor_id in stale:
+            entry = self.cursors.pop(cursor_id, None)
+            if entry is not None:
+                entry.close()
+        return len(stale)
+
     # -- introspection -------------------------------------------------------
 
     def describe(self) -> dict:
@@ -113,6 +210,7 @@ class Session:
             "requests": self.requests,
             "errors": self.errors,
             "last_op": self.last_op,
+            "open_cursors": len(self.cursors),
         }
 
     def __repr__(self) -> str:

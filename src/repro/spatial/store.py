@@ -16,6 +16,7 @@ from typing import Any, Iterator, Optional
 
 from repro.core import datamodel
 from repro.core.context import BaseStore, EngineContext
+from repro.core.cursor import IteratorScanCursor, ScanCursor, warn_deprecated_scan
 from repro.errors import SchemaError
 from repro.spatial.rtree import Rect, RTree
 from repro.storage.log import LogEntry, LogOp
@@ -126,8 +127,21 @@ class SpatialStore(BaseStore):
     def delete(self, key: str, txn: Optional[Transaction] = None) -> bool:
         return self._delete_key(key, txn)
 
+    def scan_cursor(self, txn: Optional[Transaction] = None) -> ScanCursor:
+        """Unified batched scan: ``{"_key": key, "geometry": …,
+        "properties": …}`` frames (key folded into the record, MMQL
+        shape)."""
+        return IteratorScanCursor(
+            {"_key": key, **record} for key, record in self._raw_scan(txn)
+        )
+
     def all(self, txn: Optional[Transaction] = None) -> Iterator[tuple[str, dict]]:
-        return self._raw_scan(txn)
+        """Deprecated compat shim — use :meth:`scan_cursor` instead."""
+        warn_deprecated_scan("SpatialStore.all()")
+        return (
+            (frame["_key"], {k: v for k, v in frame.items() if k != "_key"})
+            for frame in self.scan_cursor(txn=txn)
+        )
 
     # -- spatial queries -------------------------------------------------------------
 

@@ -337,7 +337,7 @@ def _audit_multimodel(db) -> int:
     orders = db.collection("orders")
     cart = db.bucket("cart")
     violations = 0
-    for order in orders.all():
+    for order in orders.scan_cursor():
         key = order.get("_key", "")
         if not key.startswith("wc"):
             continue

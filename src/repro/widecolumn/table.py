@@ -28,6 +28,7 @@ from typing import Any, Iterator, Optional
 
 from repro.core import datamodel
 from repro.core.context import BaseStore, EngineContext
+from repro.core.cursor import warn_deprecated_scan
 from repro.errors import ConstraintViolationError, PrimaryKeyError, SchemaError
 from repro.txn.manager import Transaction
 
@@ -173,8 +174,9 @@ class WideColumnTable(BaseStore):
         return self._raw_get(key, txn)
 
     def rows(self, txn: Optional[Transaction] = None) -> Iterator[dict]:
-        for _key, row in self._raw_scan(txn):
-            yield row
+        """Deprecated compat shim — use :meth:`scan_cursor` instead."""
+        warn_deprecated_scan("WideColumnTable.rows()")
+        return iter(self.scan_cursor(txn=txn))
 
     def select_json(
         self,
@@ -185,7 +187,7 @@ class WideColumnTable(BaseStore):
         schema column present (unset sparse columns as null), in column
         declaration order, like slide 46's output."""
         output = []
-        for row in self.rows(txn):
+        for row in self.scan_cursor(txn=txn):
             if where is not None and not where(row):
                 continue
             dense = {

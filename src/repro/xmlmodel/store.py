@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Any, Iterator, Optional
 
 from repro.core.context import BaseStore, EngineContext
+from repro.core.cursor import IteratorScanCursor, ScanCursor, warn_deprecated_scan
 from repro.errors import UnknownCollectionError
 from repro.txn.manager import Transaction
 from repro.xmlmodel.tree import Node, from_json, parse_xml
@@ -59,8 +60,19 @@ class TreeStore(BaseStore):
     def delete(self, uri: str, txn: Optional[Transaction] = None) -> bool:
         return self._delete_key(uri, txn)
 
+    def scan_cursor(self, txn: Optional[Transaction] = None) -> ScanCursor:
+        """Unified batched scan: ``{"uri": …, "format": …}`` frames in URI
+        order (trees themselves stay behind :meth:`doc` — they are not
+        frame-shaped)."""
+        stored = sorted(self._raw_scan(txn), key=lambda pair: pair[0])
+        return IteratorScanCursor(
+            {"uri": uri, "format": record["format"]} for uri, record in stored
+        )
+
     def uris(self, txn: Optional[Transaction] = None) -> list[str]:
-        return sorted(uri for uri, _stored in self._raw_scan(txn))
+        """Deprecated compat shim — use :meth:`scan_cursor` instead."""
+        warn_deprecated_scan("TreeStore.uris()")
+        return [frame["uri"] for frame in self.scan_cursor(txn=txn)]
 
     # -- queries ------------------------------------------------------------------
 
@@ -81,6 +93,7 @@ class TreeStore(BaseStore):
         """Evaluate an XPath against every document: (uri, result) pairs —
         the collection-wide search MarkLogic's universal index serves."""
         compiled = XPath(expression)
-        for uri in self.uris(txn):
+        for frame in self.scan_cursor(txn=txn):
+            uri = frame["uri"]
             for result in compiled.evaluate(self.doc(uri, txn)):
                 yield uri, result

@@ -1,0 +1,91 @@
+"""Differential suite: batched execution is an *optimization*, never a
+semantics change.  Every UniBench workload query must return identical
+rows — and stats-compatible EXPLAIN ANALYZE profiles — at batch_size 1
+(fully degraded), 2 (constant batch churn) and 256 (the default).
+"""
+
+import pytest
+
+from repro.cli import make_demo_db
+from repro.unibench.workloads import QUERIES_B, workload_b_api
+
+WIDTHS = [1, 2, 256]
+
+
+@pytest.fixture(scope="module")
+def db():
+    return make_demo_db(scale_factor=1)
+
+
+@pytest.mark.parametrize("name", sorted(QUERIES_B))
+def test_workload_b_rows_invariant_under_batch_size(db, name):
+    text, binds = QUERIES_B[name]
+    baseline = db.query(text, binds, batch_size=1)
+    for width in WIDTHS[1:]:
+        result = db.query(text, binds, batch_size=width)
+        assert result.rows == baseline.rows, (
+            f"{name} diverged at batch_size={width}"
+        )
+        # The same work was done: identical scan volume at every width.
+        assert result.stats["scanned"] == baseline.stats["scanned"]
+
+
+def test_recommendation_matches_handwritten_at_every_width(db):
+    expected = sorted(workload_b_api(db, min_credit=5000))
+    text, binds = QUERIES_B["Q1"]
+    for width in WIDTHS:
+        assert sorted(db.query(text, binds, batch_size=width).rows) == expected
+
+
+@pytest.mark.parametrize("name", sorted(QUERIES_B))
+def test_explain_analyze_profiles_are_stats_compatible(db, name):
+    """Same operators, same per-operator row counts at every width — only
+    the batch counts (and timings) may differ."""
+    text, binds = QUERIES_B[name]
+    profiles = {
+        width: db.query(text, binds, analyze=True, batch_size=width)
+        for width in WIDTHS
+    }
+    baseline = profiles[1]
+    assert baseline.op_stats, f"{name}: EXPLAIN ANALYZE produced no probes"
+    for width in WIDTHS[1:]:
+        probes = profiles[width].op_stats
+        assert [(p["operator"], p["label"]) for p in probes] == [
+            (p["operator"], p["label"]) for p in baseline.op_stats
+        ], f"{name}: operator pipeline changed at batch_size={width}"
+        assert [(p["rows_in"], p["rows_out"]) for p in probes] == [
+            (p["rows_in"], p["rows_out"]) for p in baseline.op_stats
+        ], f"{name}: per-operator row counts changed at batch_size={width}"
+        for probe in probes:
+            if probe["rows_out"]:
+                assert probe["batches_out"] >= 1
+
+
+def test_wider_batches_mean_fewer_batches(db):
+    text, binds = QUERIES_B["Q3"]
+    narrow = db.query(text, binds, analyze=True, batch_size=1)
+    wide = db.query(text, binds, analyze=True, batch_size=256)
+    narrow_batches = sum(p["batches_out"] for p in narrow.op_stats)
+    wide_batches = sum(p["batches_out"] for p in wide.op_stats)
+    assert wide_batches < narrow_batches
+
+
+def test_dml_invariant_under_batch_size(db):
+    """Write paths run through the same batched pipeline: an INSERT-per-row
+    statement lands the same documents at any width."""
+    for width in WIDTHS:
+        sink = f"equiv_sink_{width}"
+        db.create_collection(sink)
+        db.query(
+            "FOR c IN customers FILTER c.credit_limit > @m "
+            f"INSERT {{name: c.name}} INTO {sink}",
+            {"m": 5000},
+            batch_size=width,
+        )
+    counts = {
+        width: len(db.query(f"FOR s IN equiv_sink_{width} RETURN s").rows)
+        for width in WIDTHS
+    }
+    assert counts[1] >= 1
+    assert counts[2] == counts[1]
+    assert counts[256] == counts[1]

@@ -209,7 +209,12 @@ class TestAdmissionControl:
 
             def slow():
                 with ReproClient(port=server.port) as c:
-                    slow_result["rows"] = len(c.query(SLOW_QUERY).rows)
+                    # Eager on purpose: one long blocking call must occupy
+                    # the single worker for the whole query, so the
+                    # watcher's rejection below cannot race a chunk gap.
+                    slow_result["rows"] = len(
+                        c.query(SLOW_QUERY, stream=False).rows
+                    )
 
             watcher = ReproClient(port=server.port, auto_reconnect=False)
             watcher.connect()
