@@ -1,0 +1,58 @@
+"""Observability overhead on the recommendation fast path (E1).
+
+Two timings of the *same* warm-plan-cache query: one with every
+observability subsystem disabled, one with the full telemetry stack on
+(metrics + tracing + event log + slow-query log armed).  CI reads the
+resulting ``BENCH_obs_overhead.json`` and fails when the "on" median
+costs more than 5% over the "off" median — the budget that keeps
+telemetry safe to leave enabled in production.
+"""
+
+import pytest
+
+from repro.obs import events, metrics, slowlog, tracing
+from repro.query.engine import run_query
+from repro.unibench.workloads import Q1_RECOMMENDATION, workload_b_api
+
+BIND = {"min_credit": 5000}
+
+
+def _set_all(metrics_on: bool, tracing_on: bool, events_on: bool) -> tuple:
+    previous = (metrics.ENABLED, tracing.ENABLED, events.ENABLED)
+    (metrics.enable if metrics_on else metrics.disable)()
+    (tracing.enable if tracing_on else tracing.disable)()
+    (events.enable if events_on else events.disable)()
+    return previous
+
+
+@pytest.fixture()
+def telemetry_off():
+    previous = _set_all(False, False, False)
+    yield
+    _set_all(*previous)
+
+
+@pytest.fixture()
+def telemetry_on():
+    previous = _set_all(True, True, True)
+    threshold = slowlog.get_threshold()
+    slowlog.set_threshold(0.100)  # armed, but the fast path never trips it
+    yield
+    slowlog.set_threshold(threshold)
+    _set_all(*previous)
+    tracing.TRACER.clear()
+
+
+def test_fast_path_telemetry_off(benchmark, mm_db, telemetry_off):
+    run_query(mm_db, Q1_RECOMMENDATION, BIND)  # prime the plan cache
+    result = benchmark(lambda: run_query(mm_db, Q1_RECOMMENDATION, BIND))
+    assert sorted(result.rows) == sorted(workload_b_api(mm_db))
+
+
+def test_fast_path_telemetry_on(benchmark, mm_db, telemetry_on):
+    run_query(mm_db, Q1_RECOMMENDATION, BIND)  # prime the plan cache
+    result = benchmark(lambda: run_query(mm_db, Q1_RECOMMENDATION, BIND))
+    assert sorted(result.rows) == sorted(workload_b_api(mm_db))
+    # The run really was observed: spans recorded, counters ticking.
+    assert len(tracing.TRACER.roots) > 0
+    assert metrics.REGISTRY.total("queries_total") > 0

@@ -60,6 +60,7 @@ MMQL shell commands:
                         show (or clear/resize) the query plan cache
   .batch [N]            show / set the default execution batch size
   .trace [on|off]       print a span tree after each query
+  .events [N] [KIND]    tail the structured event log (optionally filtered)
   .slowlog [MS|off]     show the slow-query log / set its threshold in ms
   .faults [arm SITE TRIGGER [EFFECT] [seed N] | disarm SITE|all]
                         list / arm / disarm fault-injection failpoints
@@ -67,6 +68,28 @@ MMQL shell commands:
 EXPLAIN ANALYZE <query> executes the query and prints the physical plan
 annotated with per-operator rows and wall-time.
 Anything else is executed as an MMQL query; rows print as JSON lines."""
+
+
+def _print_events(tail, argument: str, out: IO) -> None:
+    """Shared ``.events [N] [KIND]`` body for the local and remote shells;
+    *tail* is any ``(n, kind) -> list[dict]`` source."""
+    words = argument.strip().split()
+    limit: Optional[int] = 20
+    kind: Optional[str] = None
+    for word in words:
+        if word.isdigit():
+            limit = int(word)
+        elif word.lower() == "all":
+            limit = None
+        else:
+            kind = word
+    entries = tail(limit, kind)
+    if not entries:
+        suffix = f" of kind {kind!r}" if kind else ""
+        print(f"  no events{suffix} recorded yet", file=out)
+        return
+    for event in entries:
+        print(f"  {json.dumps(event, default=str, sort_keys=True)}", file=out)
 
 
 def make_demo_db(scale_factor: int = 1) -> MultiModelDB:
@@ -235,6 +258,11 @@ def run_statement(db: MultiModelDB, statement: str, out: IO, state: dict) -> Non
             print(f"  tracing is {status}; usage: .trace on|off", file=out)
         else:
             print("  usage: .trace on|off", file=out)
+        return
+    if statement.startswith(".events"):
+        from repro.obs import events as obs_events
+
+        _print_events(obs_events.tail, statement[len(".events"):], out)
         return
     if statement.startswith(".slowlog"):
         from repro.obs import slowlog
@@ -442,6 +470,11 @@ Remote MMQL shell commands:
                         session guardrail overrides (host caps still apply)
   .server               server stats: sessions, in-flight, limits
   .info                 server handshake info (version, protocol, limits)
+  .trace <query>        run the query traced; print the stitched
+                        client+server span tree (one trace across every
+                        fetch of the stream)
+  .events [N] [KIND]    tail the server's structured event log
+  .slowlog [MS|off]     show the server's slow-query log / set threshold
   .quit                 exit
 Anything else runs as an MMQL query on the server; rows print as JSON."""
 
@@ -525,6 +558,68 @@ def run_remote_statement(client, statement: str, out: IO, state: dict) -> None:
                 print("  usage: .explain <query>", file=out)
                 return
             print(client.explain(query_text), file=out)
+            return
+        if statement.startswith(".trace"):
+            query_text = statement[len(".trace"):].strip()
+            if not query_text:
+                print("  usage: .trace <query>", file=out)
+                return
+            cursor = client.query(query_text, trace=True)
+            rows = cursor.rows  # drain so the trace covers every fetch
+            if cursor.trace is not None:
+                print(cursor.trace.format(), file=out)
+            else:
+                print(
+                    "  (server does not advertise the trace feature)",
+                    file=out,
+                )
+            print(f"-- {len(rows)} row(s)", file=out)
+            state["last_stats"] = cursor.stats
+            return
+        if statement.startswith(".events"):
+            _print_events(client.events, statement[len(".events"):], out)
+            return
+        if statement.startswith(".slowlog"):
+            argument = statement[len(".slowlog"):].strip().lower()
+            if argument == "off":
+                client.slowlog(threshold_ms=None)
+                print("  server slow-query log off", file=out)
+                return
+            if argument:
+                try:
+                    millis = float(argument)
+                except ValueError:
+                    print("  usage: .slowlog [threshold-ms|off]", file=out)
+                    return
+                client.slowlog(threshold_ms=millis)
+                print(
+                    f"  server slow-query log on: threshold {millis:g} ms",
+                    file=out,
+                )
+                return
+            payload = client.slowlog()
+            threshold = payload.get("threshold_ms")
+            if threshold is None:
+                print(
+                    "  server slow-query log is off — .slowlog <ms> to enable",
+                    file=out,
+                )
+                return
+            entries = payload.get("entries") or []
+            print(
+                f"  threshold {threshold:g} ms, {len(entries)} "
+                f"slow quer{'y' if len(entries) == 1 else 'ies'}",
+                file=out,
+            )
+            for entry in entries:
+                correlation = ""
+                if entry.get("trace_id"):
+                    correlation = f"  trace={entry['trace_id']}"
+                print(
+                    f"  {entry['seconds'] * 1000:8.1f} ms  "
+                    f"{entry['rows']:>6} rows  {entry['query']}{correlation}",
+                    file=out,
+                )
             return
         if statement.startswith("."):
             print(
@@ -610,6 +705,15 @@ def serve_main(argv: Optional[list[str]] = None) -> int:
         "--max-rows", type=int, metavar="N",
         help="host-wide result row cap (db.guardrails.max_rows)",
     )
+    parser.add_argument(
+        "--telemetry-port", type=int, metavar="P",
+        help="serve HTTP /metrics, /healthz, /stats and /events on this "
+        "port (0 picks a free one)",
+    )
+    parser.add_argument(
+        "--events-file", metavar="PATH",
+        help="append structured events to PATH as JSON lines",
+    )
     args = parser.parse_args(argv)
 
     if args.demo is not None:
@@ -627,6 +731,11 @@ def serve_main(argv: Optional[list[str]] = None) -> int:
     if args.max_rows is not None:
         db.guardrails.max_rows = args.max_rows
 
+    if args.events_file:
+        from repro.obs import events as obs_events
+
+        obs_events.attach_file(args.events_file)
+
     server = ReproServer(
         db,
         host=args.host,
@@ -635,6 +744,7 @@ def serve_main(argv: Optional[list[str]] = None) -> int:
         max_inflight=args.max_inflight,
         queue_depth=args.queue_depth,
         checkpoint_path=args.checkpoint,
+        telemetry_port=args.telemetry_port,
     )
     host, port = server.start_in_thread()
     print(
@@ -643,6 +753,13 @@ def serve_main(argv: Optional[list[str]] = None) -> int:
         "Ctrl-C for graceful drain)",
         file=sys.stdout,
     )
+    if server.telemetry_address is not None:
+        telemetry_host, telemetry_port = server.telemetry_address
+        print(
+            f"telemetry on http://{telemetry_host}:{telemetry_port} "
+            "(/metrics /healthz /stats /events)",
+            file=sys.stdout,
+        )
     try:
         import time
 
@@ -653,6 +770,10 @@ def serve_main(argv: Optional[list[str]] = None) -> int:
     finally:
         server.stop()
         db.close()
+        if args.events_file:
+            from repro.obs import events as obs_events
+
+            obs_events.detach_file()
     print("server stopped", file=sys.stdout)
     return 0
 

@@ -32,6 +32,16 @@ Cursor fetches are **never retried**: a cursor is session state, and a
 reconnect lands in a fresh session without it — a transport failure
 mid-stream surfaces as the error it is instead of silently re-running
 the query from the top.
+
+**Distributed tracing**: when tracing is on (``tracing.enable()``, the
+client's ``trace=True``, or ``query(..., trace=True)`` for one statement)
+and the server advertises the ``trace`` feature in its handshake, every
+request frame carries ``trace_id``/``parent_span_id``; the server
+continues that trace and returns its span tree in the response, which the
+client stitches — across *all* fetches of a streamed cursor — into one
+:class:`StitchedTrace` available as :attr:`ReproClient.last_trace`.
+Against an older server the extra key is simply never sent, so tracing
+needs no protocol bump.
 """
 
 from __future__ import annotations
@@ -44,9 +54,11 @@ from typing import Any, Optional
 
 from repro.errors import CursorNotFoundError, ProtocolError
 from repro.fault.retry import retry_with_backoff
+from repro.obs import events as obs_events
+from repro.obs import tracing
 from repro.server import protocol
 
-__all__ = ["ReproClient", "ResultCursor", "DEFAULT_PORT"]
+__all__ = ["ReproClient", "ResultCursor", "StitchedTrace", "DEFAULT_PORT"]
 
 #: Default TCP port for ``repro-shell serve`` / ``connect``.
 DEFAULT_PORT = 8845
@@ -56,6 +68,58 @@ _UNSET = object()
 #: EXPLAIN ANALYZE executes eagerly (probes only mean anything over a
 #: completed run), so such statements bypass the streaming path.
 _EXPLAIN_ANALYZE = re.compile(r"^\s*EXPLAIN\s+ANALYZE\b", re.IGNORECASE)
+
+
+class StitchedTrace:
+    """One distributed trace as the client observed it: every RPC issued
+    under the trace, each carrying the server's span-summary tree for that
+    request.  A streamed query accumulates its ``query_open`` and every
+    ``cursor_next``/``cursor_close`` here, all sharing one ``trace_id``."""
+
+    __slots__ = ("trace_id", "rpcs")
+
+    def __init__(self, trace_id: str):
+        self.trace_id = trace_id
+        #: Chronological client-side RPC records:
+        #: ``{"op", "span_id", "duration_ms", "server": <span summary>|None}``.
+        self.rpcs: list[dict] = []
+
+    def record(
+        self,
+        op: str,
+        span_id: str,
+        duration_ms: float,
+        server: Optional[dict] = None,
+    ) -> None:
+        self.rpcs.append(
+            {
+                "op": op,
+                "span_id": span_id,
+                "duration_ms": duration_ms,
+                "server": server,
+            }
+        )
+
+    @property
+    def server_spans(self) -> list[dict]:
+        """The server-side span summaries, one per answered RPC."""
+        return [rpc["server"] for rpc in self.rpcs if rpc.get("server")]
+
+    def format(self) -> str:
+        """Indented client→server→engine tree for terminal display."""
+        lines = [f"trace {self.trace_id}"]
+        for rpc in self.rpcs:
+            lines.append(
+                f"  client.{rpc['op']}  {rpc['duration_ms']:.3f} ms "
+                f"span={rpc['span_id']}"
+            )
+            server = rpc.get("server")
+            if server:
+                lines.append(tracing.format_summary(server, indent=2))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"<StitchedTrace {self.trace_id} rpcs={len(self.rpcs)}>"
 
 
 class ResultCursor:
@@ -74,7 +138,8 @@ class ResultCursor:
     for eager/analyze results and is ``None`` on streams.
     """
 
-    __slots__ = ("_client", "_cursor_id", "_fetched", "stats", "analyzed")
+    __slots__ = ("_client", "_cursor_id", "_fetched", "stats", "analyzed",
+                 "trace")
 
     def __init__(
         self,
@@ -83,12 +148,17 @@ class ResultCursor:
         rows: list,
         stats: dict,
         analyzed: Optional[str] = None,
+        trace: Optional[StitchedTrace] = None,
     ):
         self._client = client
         self._cursor_id = cursor_id  # None once the stream is complete
         self._fetched = list(rows)
         self.stats = stats
         self.analyzed = analyzed
+        #: The distributed trace this stream runs under (None untraced);
+        #: every further fetch continues it, so a drained stream shows the
+        #: whole multi-fetch conversation under one trace_id.
+        self.trace = trace
 
     @property
     def exhausted(self) -> bool:
@@ -97,7 +167,7 @@ class ResultCursor:
 
     def _fetch_more(self) -> None:
         payload = self._client._cursor_call(
-            "cursor_next", cursor=self._cursor_id
+            "cursor_next", trace=self.trace, cursor=self._cursor_id
         )
         self._fetched.extend(payload.get("rows", []))
         self.stats = payload.get("stats", self.stats)
@@ -145,7 +215,9 @@ class ResultCursor:
             return
         cursor_id, self._cursor_id = self._cursor_id, None
         try:
-            self._client._cursor_call("cursor_close", cursor=cursor_id)
+            self._client._cursor_call(
+                "cursor_close", trace=self.trace, cursor=cursor_id
+            )
         except (CursorNotFoundError, ConnectionError, OSError):
             pass
 
@@ -175,6 +247,7 @@ class ReproClient:
         auto_reconnect: bool = True,
         backoff_base: float = 0.05,
         sleep=time.sleep,
+        trace: Optional[bool] = None,
     ):
         self.host = host
         self.port = port
@@ -189,6 +262,11 @@ class ReproClient:
         self._next_id = 0
         self._in_txn = False
         self.server_info: Optional[dict] = None
+        #: Tracing policy: True/False force it on/off for this client;
+        #: None (default) follows the global ``tracing`` flag at call time.
+        self.trace = trace
+        #: The most recently completed :class:`StitchedTrace`, if any.
+        self.last_trace: Optional[StitchedTrace] = None
 
     # ------------------------------------------------------------ lifecycle --
 
@@ -265,13 +343,43 @@ class ReproClient:
 
     # ------------------------------------------------------------- plumbing --
 
-    def _roundtrip(self, op: str, params: dict) -> Any:
+    def _tracing_wanted(self) -> bool:
+        return self.trace if self.trace is not None else tracing.is_enabled()
+
+    def _server_traces(self) -> bool:
+        """Did the handshake advertise the ``trace`` feature?  Older
+        servers never see the extra frame key."""
+        features = (self.server_info or {}).get("features")
+        return isinstance(features, (list, tuple)) and "trace" in features
+
+    def _new_trace(self, force: Optional[bool] = None) -> Optional[StitchedTrace]:
+        wanted = force if force is not None else self._tracing_wanted()
+        if not wanted:
+            return None
+        return StitchedTrace(tracing.new_trace_id())
+
+    def _roundtrip(
+        self, op: str, params: dict, trace: Optional[StitchedTrace] = None
+    ) -> Any:
         """One request/response exchange on the current socket."""
         if self._sock is None:
             raise ConnectionError("client is not connected")
         self._next_id += 1
         request_id = self._next_id
-        protocol.write_frame(self._sock, protocol.request(request_id, op, **params))
+        trace_frame = None
+        span_id = None
+        if trace is not None and self._server_traces():
+            # This RPC's own span id becomes the server span's parent, so
+            # the two trees stitch at exactly this request.
+            span_id = tracing.new_span_id()
+            trace_frame = {
+                "trace_id": trace.trace_id,
+                "parent_span_id": span_id,
+            }
+        started = time.perf_counter()
+        protocol.write_frame(
+            self._sock, protocol.request(request_id, op, trace=trace_frame, **params)
+        )
         frame = protocol.read_frame(self._sock)
         if frame is None:
             raise ConnectionError("server closed the connection mid-request")
@@ -280,11 +388,20 @@ class ReproClient:
                 f"response id {frame.get('id')!r} does not match "
                 f"request id {request_id}"
             )
+        if span_id is not None:
+            server_summary = frame.get("trace")
+            trace.record(
+                op,
+                span_id,
+                round((time.perf_counter() - started) * 1000, 3),
+                server_summary if isinstance(server_summary, dict) else None,
+            )
+            self.last_trace = trace
         if frame.get("ok") is not True:
             protocol.raise_wire_error(frame.get("error"))
         return frame.get("result")
 
-    def _call(self, op: str, **params: Any) -> Any:
+    def _call(self, op: str, trace: Any = _UNSET, **params: Any) -> Any:
         """Roundtrip with transparent reconnect on transport failure.
 
         Only reconnects when *not* inside a transaction — a reconnect is a
@@ -293,19 +410,31 @@ class ReproClient:
         with self._lock:
             if self._sock is None and not self.auto_reconnect:
                 raise ConnectionError("client is not connected")
+            if trace is _UNSET:
+                # Bare API calls (ping/begin/commit/…) still trace when
+                # the policy says so; query() decides for itself.
+                trace = self._new_trace()
             can_retry = self.auto_reconnect and not self._in_txn
             if not can_retry:
                 try:
-                    return self._roundtrip(op, params)
+                    return self._roundtrip(op, params, trace=trace)
                 except (ConnectionError, OSError, socket.timeout):
                     self._teardown()  # the server-side txn is already dead
                     raise
 
             def attempt(index: int) -> Any:
                 if index > 0 or self._sock is None:
+                    if index > 0:
+                        obs_events.emit(
+                            "client_reconnect",
+                            host=self.host,
+                            port=self.port,
+                            attempt=index + 1,
+                            op=op,
+                        )
                     self.connect()
                 try:
-                    return self._roundtrip(op, params)
+                    return self._roundtrip(op, params, trace=trace)
                 except (ConnectionError, OSError, socket.timeout):
                     self._teardown()
                     raise
@@ -318,14 +447,16 @@ class ReproClient:
                 sleep=self._sleep,
             )
 
-    def _cursor_call(self, op: str, **params: Any) -> Any:
+    def _cursor_call(
+        self, op: str, trace: Optional[StitchedTrace] = None, **params: Any
+    ) -> Any:
         """Roundtrip that never reconnects: cursors are session state, so
         a transport failure mid-stream must surface — a retry on a fresh
         session could only answer ``CURSOR_NOT_FOUND`` or silently
         re-run the query from the top."""
         with self._lock:
             try:
-                return self._roundtrip(op, params)
+                return self._roundtrip(op, params, trace=trace)
             except (ConnectionError, OSError, socket.timeout):
                 self._teardown()
                 raise
@@ -342,6 +473,7 @@ class ReproClient:
         batch_size: Optional[int] = None,
         chunk_rows: Optional[int] = None,
         stream: bool = True,
+        trace: Optional[bool] = None,
     ) -> ResultCursor:
         """Run MMQL on the server; returns a :class:`ResultCursor`.
 
@@ -351,7 +483,13 @@ class ReproClient:
         ``fetch_all()`` drain it eagerly.  ``analyze=True`` and
         ``stream=False`` use the one-shot ``query`` op instead (EXPLAIN
         ANALYZE is eager by construction), returning an already-complete
-        cursor.  Values are limited to what JSON round-trips."""
+        cursor.  Values are limited to what JSON round-trips.
+
+        ``trace=True`` traces this one statement (client RPCs + server
+        span trees, stitched across every fetch of a streamed result into
+        :attr:`last_trace` / ``cursor.trace``) regardless of the client's
+        default policy."""
+        stitched = self._new_trace(force=trace)
         params: dict[str, Any] = {"text": text, "bind_vars": bind_vars or {}}
         if timeout is not None:
             params["timeout"] = timeout
@@ -362,22 +500,24 @@ class ReproClient:
         if analyze or not stream or _EXPLAIN_ANALYZE.match(text):
             if analyze:
                 params["analyze"] = True
-            payload = self._call("query", **params)
+            payload = self._call("query", trace=stitched, **params)
             return ResultCursor(
                 self,
                 None,
                 payload.get("rows", []),
                 payload.get("stats", {}),
                 analyzed=payload.get("analyzed"),
+                trace=stitched,
             )
         if chunk_rows is not None:
             params["chunk_rows"] = chunk_rows
-        payload = self._call("query_open", **params)
+        payload = self._call("query_open", trace=stitched, **params)
         return ResultCursor(
             self,
             payload.get("cursor"),
             payload.get("rows", []),
             payload.get("stats", {}),
+            trace=stitched,
         )
 
     def explain(self, text: str) -> str:
@@ -421,6 +561,28 @@ class ReproClient:
 
     def info(self) -> dict:
         return self._call("info")
+
+    # -- observability ------------------------------------------------------
+
+    def trace_dump(self, n: Optional[int] = None) -> list[dict]:
+        """Recent server-side trace trees (span-summary dicts)."""
+        params = {"n": n} if n is not None else {}
+        return self._call("trace_dump", **params)["traces"]
+
+    def slowlog(self, threshold_ms: Any = _UNSET) -> dict:
+        """The server's slow-query log; pass ``threshold_ms`` (or None to
+        turn it off) to change the threshold first."""
+        params = {} if threshold_ms is _UNSET else {"threshold_ms": threshold_ms}
+        return self._call("slowlog", **params)
+
+    def events(self, n: Optional[int] = None, kind: Optional[str] = None) -> list[dict]:
+        """Recent structured events from the server's event log."""
+        params: dict[str, Any] = {}
+        if n is not None:
+            params["n"] = n
+        if kind is not None:
+            params["kind"] = kind
+        return self._call("events", **params)["events"]
 
     def __repr__(self) -> str:
         state = "connected" if self.connected else "disconnected"

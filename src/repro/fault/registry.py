@@ -33,6 +33,7 @@ import threading
 from typing import Iterator, Optional
 
 from repro.errors import InjectedFaultError, SimulatedCrash
+from repro.obs import events as obs_events
 from repro.obs import metrics as obs_metrics
 
 __all__ = [
@@ -155,6 +156,13 @@ class Failpoint:
             obs_metrics.counter(
                 "fault_injections_total", site=self.name, effect=self.effect
             ).inc()
+        obs_events.emit(
+            "fault_injected",
+            site=self.name,
+            effect=self.effect,
+            hit=self.hits,
+            fire=self.fires_count,
+        )
         return self.effect
 
     def check(self) -> None:

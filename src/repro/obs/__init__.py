@@ -11,11 +11,19 @@ Entry points:
 * :mod:`repro.obs.export` — Prometheus text and JSON exposition.
 * :mod:`repro.obs.slowlog` — bounded ring of queries over a threshold.
 * :mod:`repro.obs.instrument` — per-model store method wrapping.
+* :mod:`repro.obs.events` — structured JSON-lines event log with
+  trace/session/request correlation ids.
+* :mod:`repro.obs.telemetry` — asyncio HTTP endpoint serving
+  ``/metrics`` (Prometheus), ``/healthz``, ``/stats`` and ``/events``.
 
-See ``docs/OBSERVABILITY.md`` for the full tour.
+Distributed tracing (trace ids, remote-parent adoption, explicit
+cross-thread handoff, span summaries for the wire) lives in
+:mod:`repro.obs.tracing`; see ``docs/OBSERVABILITY.md`` for the full
+tour.
 """
 
-from repro.obs import export, instrument, metrics, slowlog, tracing
+from repro.obs import events, export, instrument, metrics, slowlog, tracing
+from repro.obs.events import EVENTS, EventLog, emit
 from repro.obs.export import json_dump, prometheus_text
 from repro.obs.instrument import instrument_store
 from repro.obs.metrics import (
@@ -30,7 +38,16 @@ from repro.obs.metrics import (
     time_block,
     timed_call,
 )
-from repro.obs.tracing import Span, Tracer, format_span, last_trace, span
+from repro.obs.tracing import (
+    Span,
+    SpanContext,
+    Tracer,
+    format_span,
+    format_summary,
+    last_trace,
+    span,
+    span_summary,
+)
 
 __all__ = [
     "metrics",
@@ -38,6 +55,10 @@ __all__ = [
     "export",
     "slowlog",
     "instrument",
+    "events",
+    "EVENTS",
+    "EventLog",
+    "emit",
     "REGISTRY",
     "Counter",
     "Gauge",
@@ -49,10 +70,13 @@ __all__ = [
     "time_block",
     "timed_call",
     "Span",
+    "SpanContext",
     "Tracer",
     "span",
+    "span_summary",
     "last_trace",
     "format_span",
+    "format_summary",
     "prometheus_text",
     "json_dump",
     "instrument_store",

@@ -2,8 +2,17 @@
 
 Both are pure functions over a :class:`repro.obs.metrics.MetricsRegistry`
 so they can be pointed at any registry (tests use private ones) and wired
-to any transport — the shell's ``.metrics`` command, an HTTP endpoint, or
-a file.
+to any transport — the shell's ``.metrics`` command, the HTTP telemetry
+endpoint (:mod:`repro.obs.telemetry`), or a file.
+
+The Prometheus output follows the text exposition format 0.0.4:
+
+* one ``# HELP`` and ``# TYPE`` pair per metric name (help text comes
+  from :meth:`~repro.obs.metrics.MetricsRegistry.describe`, with a
+  generated fallback);
+* label values escaped (backslash, double-quote, newline);
+* histograms exposed as *cumulative* ``_bucket{le="…"}`` series ending
+  at ``le="+Inf"`` (equal to ``_count``), plus ``_sum`` and ``_count``.
 """
 
 from __future__ import annotations
@@ -13,7 +22,18 @@ from typing import Optional
 
 from repro.obs.metrics import REGISTRY, MetricsRegistry
 
-__all__ = ["prometheus_text", "json_dump"]
+__all__ = ["prometheus_text", "json_dump", "escape_label_value"]
+
+
+def escape_label_value(value) -> str:
+    """Escape a label value per the exposition format: ``\\`` → ``\\\\``,
+    ``"`` → ``\\"``, newline → ``\\n``."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
 
 
 def _label_text(labels: tuple, extra: Optional[tuple] = None) -> str:
@@ -22,44 +42,47 @@ def _label_text(labels: tuple, extra: Optional[tuple] = None) -> str:
         pairs.append(extra)
     if not pairs:
         return ""
-    inner = ",".join(f'{key}="{value}"' for key, value in pairs)
+    inner = ",".join(
+        f'{key}="{escape_label_value(value)}"' for key, value in pairs
+    )
     return "{" + inner + "}"
 
 
 def prometheus_text(registry: Optional[MetricsRegistry] = None) -> str:
-    """Prometheus-style text exposition of every metric in *registry*.
-
-    Histograms are rendered as ``_count``/``_sum`` plus ``quantile`` series
-    (summary flavour — the engine computes quantiles, not buckets).
-    """
+    """Prometheus text exposition (format 0.0.4) of every metric in
+    *registry*."""
     registry = registry if registry is not None else REGISTRY
     lines: list[str] = []
-    seen_types: set[str] = set()
+    described: set[str] = set()
+
+    def _header(metric) -> None:
+        if metric.name in described:
+            return
+        described.add(metric.name)
+        help_text = None
+        help_for = getattr(registry, "help_for", None)
+        if help_for is not None:
+            help_text = help_for(metric.name)
+        if help_text is None:
+            help_text = f"repro engine metric {metric.name}"
+        lines.append(f"# HELP {metric.name} {help_text}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+
     for metric in registry.collect():
+        _header(metric)
         if metric.kind == "histogram":
-            if metric.name not in seen_types:
-                lines.append(f"# TYPE {metric.name} summary")
-                seen_types.add(metric.name)
-            for quantile, value in (
-                ("0.5", metric.quantile(0.50)),
-                ("0.95", metric.quantile(0.95)),
-                ("0.99", metric.quantile(0.99)),
-            ):
+            for le, cumulative in metric.cumulative_buckets():
                 lines.append(
-                    f"{metric.name}"
-                    f"{_label_text(metric.labels, ('quantile', quantile))} "
-                    f"{value:.9g}"
+                    f"{metric.name}_bucket"
+                    f"{_label_text(metric.labels, ('le', le))} {cumulative}"
                 )
-            lines.append(
-                f"{metric.name}_count{_label_text(metric.labels)} {metric.count}"
-            )
             lines.append(
                 f"{metric.name}_sum{_label_text(metric.labels)} {metric.sum:.9g}"
             )
+            lines.append(
+                f"{metric.name}_count{_label_text(metric.labels)} {metric.count}"
+            )
         else:
-            if metric.name not in seen_types:
-                lines.append(f"# TYPE {metric.name} {metric.kind}")
-                seen_types.add(metric.name)
             lines.append(f"{metric.name}{_label_text(metric.labels)} {metric.value}")
     return "\n".join(lines)
 

@@ -14,12 +14,19 @@ Design constraints:
 * **Stable handles.** ``registry.counter(name, **labels)`` is
   get-or-create: modules grab their handles once at import time and
   :meth:`MetricsRegistry.reset` zeroes values without invalidating them.
-* **Bounded memory.** Histograms keep running count/sum/min/max exactly
-  and a fixed-size ring of recent samples for the p50/p95/p99 quantiles.
+* **Bounded memory.** Histograms keep running count/sum/min/max exactly,
+  fixed Prometheus-style latency buckets, and a fixed-size ring of recent
+  samples for the p50/p95/p99 quantiles.  The registry additionally caps
+  **label cardinality**: at most :attr:`MetricsRegistry.max_label_sets`
+  distinct label combinations per metric name — creation beyond the cap
+  folds into one ``overflow="true"`` series and bumps
+  ``obs_labels_dropped_total``, so a site that (mis)labels by session or
+  cursor id cannot grow the registry without bound.
 """
 
 from __future__ import annotations
 
+import bisect
 import threading
 import time
 from typing import Any, Callable, Iterator, Optional
@@ -32,11 +39,14 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "DEFAULT_BUCKETS",
+    "DEFAULT_MAX_LABEL_SETS",
     "MetricsRegistry",
     "REGISTRY",
     "counter",
     "gauge",
     "histogram",
+    "describe",
     "timed_call",
     "time_block",
 ]
@@ -112,9 +122,18 @@ class Gauge:
         return f"<Gauge {self.name}{dict(self.labels)} = {self.value}>"
 
 
+#: Default histogram bucket upper bounds (seconds) — latency-oriented,
+#: 500 µs to 10 s; every histogram also gets an implicit ``+Inf`` bucket.
+DEFAULT_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
 class Histogram:
-    """Streaming distribution: exact count/sum/min/max plus a bounded ring
-    of recent samples from which p50/p95/p99 are computed on demand.
+    """Streaming distribution: exact count/sum/min/max, fixed cumulative
+    buckets for Prometheus exposition, plus a bounded ring of recent
+    samples from which p50/p95/p99 are computed on demand.
 
     The ring (default 4096 samples) keeps memory constant under any load;
     quantiles therefore describe *recent* behaviour, which is what a
@@ -122,14 +141,17 @@ class Histogram:
     """
 
     __slots__ = ("name", "labels", "count", "sum", "min", "max",
-                 "_samples", "_capacity", "_cursor")
+                 "_samples", "_capacity", "_cursor", "buckets",
+                 "bucket_counts")
 
     kind = "histogram"
 
-    def __init__(self, name: str, labels: tuple = (), capacity: int = 4096):
+    def __init__(self, name: str, labels: tuple = (), capacity: int = 4096,
+                 buckets: tuple = DEFAULT_BUCKETS):
         self.name = name
         self.labels = labels
         self._capacity = max(int(capacity), 1)
+        self.buckets = tuple(sorted(buckets))
         self.reset()
 
     def reset(self) -> None:
@@ -139,6 +161,8 @@ class Histogram:
         self.max = None
         self._samples: list = []
         self._cursor = 0
+        #: Per-bucket (non-cumulative) hit counts; the last slot is +Inf.
+        self.bucket_counts = [0] * (len(self.buckets) + 1)
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -147,12 +171,24 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        self.bucket_counts[bisect.bisect_left(self.buckets, value)] += 1
         if len(self._samples) < self._capacity:
             self._samples.append(value)
         else:
             # Overwrite oldest: a ring of the most recent `capacity` samples.
             self._samples[self._cursor] = value
             self._cursor = (self._cursor + 1) % self._capacity
+
+    def cumulative_buckets(self) -> list[tuple[str, int]]:
+        """``(le, cumulative count)`` pairs ending with ``("+Inf", count)``
+        — exactly the series a Prometheus histogram exposes."""
+        out: list[tuple[str, int]] = []
+        running = 0
+        for bound, hits in zip(self.buckets, self.bucket_counts):
+            running += hits
+            out.append((f"{bound:g}", running))
+        out.append(("+Inf", self.count))
+        return out
 
     @property
     def mean(self) -> float:
@@ -186,12 +222,31 @@ class Histogram:
         )
 
 
-class MetricsRegistry:
-    """Process-wide catalog of metrics, keyed by (name, sorted labels)."""
+#: Default per-name label-set cap (see :class:`MetricsRegistry`).
+DEFAULT_MAX_LABEL_SETS = 64
 
-    def __init__(self):
+#: Label set every over-the-cap creation folds into.
+_OVERFLOW_LABELS = (("overflow", "true"),)
+
+
+class MetricsRegistry:
+    """Process-wide catalog of metrics, keyed by (name, sorted labels).
+
+    ``max_label_sets`` bounds how many *distinct labeled series* one
+    metric name may create (``None`` disables the cap).  The cap guards
+    against unbounded-cardinality labels (session ids, cursor ids, raw
+    query text): the first creation past it returns a shared
+    ``{overflow="true"}`` series for that name instead, and each such
+    fold increments ``obs_labels_dropped_total`` — so misuse degrades to
+    one coarse series plus an alarm, never to unbounded registry growth.
+    """
+
+    def __init__(self, max_label_sets: Optional[int] = DEFAULT_MAX_LABEL_SETS):
         self._metrics: dict[tuple, Any] = {}
         self._lock = threading.Lock()
+        self._label_set_counts: dict[str, int] = {}
+        self._help: dict[str, str] = {}
+        self.max_label_sets = max_label_sets
 
     def _get_or_create(self, factory: Callable, name: str, labels: dict):
         key = (name, tuple(sorted(labels.items())))
@@ -200,8 +255,34 @@ class MetricsRegistry:
             with self._lock:
                 metric = self._metrics.get(key)
                 if metric is None:
+                    if (
+                        labels
+                        and self.max_label_sets is not None
+                        and self._label_set_counts.get(name, 0)
+                        >= self.max_label_sets
+                    ):
+                        return self._overflow_locked(factory, name)
                     metric = factory(name, key[1])
                     self._metrics[key] = metric
+                    if labels:
+                        self._label_set_counts[name] = (
+                            self._label_set_counts.get(name, 0) + 1
+                        )
+        return metric
+
+    def _overflow_locked(self, factory: Callable, name: str):
+        """Cap hit (lock held): count the drop and return the shared
+        overflow series for *name*."""
+        dropped = self._metrics.get(("obs_labels_dropped_total", ()))
+        if dropped is None:
+            dropped = Counter("obs_labels_dropped_total", ())
+            self._metrics[("obs_labels_dropped_total", ())] = dropped
+        dropped.inc()
+        key = (name, _OVERFLOW_LABELS)
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = factory(name, _OVERFLOW_LABELS)
+            self._metrics[key] = metric
         return metric
 
     def counter(self, name: str, **labels) -> Counter:
@@ -212,6 +293,15 @@ class MetricsRegistry:
 
     def histogram(self, name: str, **labels) -> Histogram:
         return self._get_or_create(Histogram, name, labels)
+
+    # -- help text -----------------------------------------------------------
+
+    def describe(self, name: str, help_text: str) -> None:
+        """Register a ``# HELP`` line for *name* (exposition only)."""
+        self._help[name] = help_text
+
+    def help_for(self, name: str) -> Optional[str]:
+        return self._help.get(name)
 
     def collect(self) -> Iterator[Any]:
         """All metrics, sorted by (name, labels) for stable output."""
@@ -271,6 +361,11 @@ def gauge(name: str, **labels) -> Gauge:
 
 def histogram(name: str, **labels) -> Histogram:
     return REGISTRY.histogram(name, **labels)
+
+
+def describe(name: str, help_text: str) -> None:
+    """Register a ``# HELP`` line for *name* in the default registry."""
+    REGISTRY.describe(name, help_text)
 
 
 def timed_call(fn: Callable, *args, metric: Optional[Histogram] = None, **kwargs):

@@ -1,9 +1,17 @@
 """Slow-query log: queries slower than a configurable threshold are kept
-in a bounded ring for post-hoc inspection (shell command ``.slowlog``).
+in a bounded ring for post-hoc inspection (shell command ``.slowlog``,
+wire op ``slowlog``).
 
 Disabled by default (``threshold = None``); recording is guarded by the
 caller (:mod:`repro.query.engine`) so the fast path pays one attribute
 check when the log is off.
+
+Entries carry the **correlation ids** of the request that produced them
+(``trace_id``, ``session_id``, ``request_id`` — filled from the ambient
+trace context when not passed explicitly), so a slow remote query links
+straight back to its stitched client/server trace, and each recorded
+entry is mirrored into the structured event log as a ``slow_query``
+event.
 """
 
 from __future__ import annotations
@@ -11,6 +19,9 @@ from __future__ import annotations
 import time
 from collections import deque
 from typing import Optional
+
+from repro.obs import events as obs_events
+from repro.obs import tracing
 
 __all__ = [
     "THRESHOLD",
@@ -39,17 +50,40 @@ def get_threshold() -> Optional[float]:
     return THRESHOLD
 
 
-def record(text: str, seconds: float, rows: int = 0) -> bool:
-    """Record *text* if it crossed the threshold; returns True when kept."""
+def record(
+    text: str,
+    seconds: float,
+    rows: int = 0,
+    phases: Optional[dict] = None,
+    **correlation,
+) -> bool:
+    """Record *text* if it crossed the threshold; returns True when kept.
+
+    ``phases`` maps phase name → seconds (queue/execute/serialize on the
+    server, parse/optimize/execute in the engine); ``correlation`` may
+    pass ``trace_id``/``session_id``/``request_id`` explicitly — anything
+    not passed is filled from the ambient trace context.
+    """
     if THRESHOLD is None or seconds < THRESHOLD:
         return False
-    _ENTRIES.append(
-        {
-            "query": " ".join(text.split())[:500],
-            "seconds": seconds,
-            "rows": rows,
-            "wall_time": time.time(),
-        }
+    for key, value in tracing.current_correlation().items():
+        correlation.setdefault(key, value)
+    entry = {
+        "query": " ".join(text.split())[:500],
+        "seconds": seconds,
+        "rows": rows,
+        "wall_time": time.time(),
+    }
+    if phases:
+        entry["phases"] = dict(phases)
+    entry.update(correlation)
+    _ENTRIES.append(entry)
+    obs_events.emit(
+        "slow_query",
+        query=entry["query"],
+        seconds=round(seconds, 6),
+        rows=rows,
+        **correlation,
     )
     return True
 

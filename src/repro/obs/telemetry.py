@@ -1,0 +1,182 @@
+"""Live telemetry endpoint: a dependency-free asyncio HTTP server.
+
+Serves the observability surface of a running process over plain
+HTTP/1.1 so a server is inspectable with ``curl`` or scraped by
+Prometheus without going through the wire protocol (or the shell):
+
+* ``GET /metrics``  — Prometheus text exposition of the metrics registry
+  (``text/plain; version=0.0.4; charset=utf-8``);
+* ``GET /healthz``  — liveness JSON: ``{"ok": true, ...}`` plus whatever
+  the host's health provider reports (uptime, draining, sessions);
+* ``GET /stats``    — the host's stats document plus a full JSON metrics
+  snapshot;
+* ``GET /events``   — the structured event log's recent entries
+  (``?n=50`` limits, ``?kind=slow_query`` filters).
+
+The implementation is deliberately minimal: one request per connection
+(``Connection: close``), GET only, no TLS — it binds to loopback by
+default and exists for scrapes and health probes, not as a public API.
+:class:`repro.server.server.ReproServer` starts one alongside its wire
+port when constructed with ``telemetry_port=``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Callable, Optional
+from urllib.parse import parse_qs, urlsplit
+
+from repro.obs import events as obs_events
+from repro.obs import metrics as obs_metrics
+from repro.obs.export import prometheus_text
+
+__all__ = ["PROMETHEUS_CONTENT_TYPE", "TelemetryEndpoint"]
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_MAX_REQUEST_BYTES = 16 * 1024
+
+
+class TelemetryEndpoint:
+    """One HTTP listener exposing metrics/health/stats/events.
+
+    ``stats_provider`` / ``health_provider`` are zero-argument callables
+    returning JSON-safe dicts (the wire server passes its own); both are
+    optional so the endpoint also works standalone in embedded processes.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        registry: Optional[Any] = None,
+        stats_provider: Optional[Callable[[], dict]] = None,
+        health_provider: Optional[Callable[[], dict]] = None,
+    ):
+        self.host = host
+        self.port = port
+        self.registry = registry if registry is not None else obs_metrics.REGISTRY
+        self.stats_provider = stats_provider
+        self.health_provider = health_provider
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and serve; ``port=0`` picks a free port, returned here."""
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.address
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------- serving --
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await reader.readline()
+            if not request_line or len(request_line) > _MAX_REQUEST_BYTES:
+                return
+            # Drain headers up to the blank line; the routes take no body.
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                if len(line) > _MAX_REQUEST_BYTES:
+                    return
+            parts = request_line.decode("latin-1").split()
+            if len(parts) < 2:
+                await self._respond(writer, 400, "text/plain", b"bad request\n")
+                return
+            method, target = parts[0], parts[1]
+            if method != "GET":
+                await self._respond(
+                    writer, 405, "text/plain", b"method not allowed\n"
+                )
+                return
+            status, content_type, body = self._route(target)
+            await self._respond(writer, status, content_type, body)
+            if obs_metrics.ENABLED:
+                obs_metrics.counter(
+                    "telemetry_requests_total",
+                    path=urlsplit(target).path or "/",
+                ).inc()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+        finally:
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    def _route(self, target: str) -> tuple[int, str, bytes]:
+        split = urlsplit(target)
+        path = split.path or "/"
+        query = parse_qs(split.query)
+        if path == "/metrics":
+            text = prometheus_text(self.registry)
+            return 200, PROMETHEUS_CONTENT_TYPE, (text + "\n").encode("utf-8")
+        if path == "/healthz":
+            payload: dict = {"ok": True}
+            if self.health_provider is not None:
+                try:
+                    payload.update(self.health_provider())
+                except Exception as error:
+                    payload = {"ok": False, "error": str(error)}
+            status = 200 if payload.get("ok") else 503
+            return status, "application/json", _json_bytes(payload)
+        if path == "/stats":
+            payload = {"metrics": self.registry.snapshot()}
+            if self.stats_provider is not None:
+                try:
+                    payload["server"] = self.stats_provider()
+                except Exception as error:
+                    payload["server"] = {"error": str(error)}
+            return 200, "application/json", _json_bytes(payload)
+        if path == "/events":
+            limit = _int_param(query, "n")
+            kind = (query.get("kind") or [None])[0]
+            entries = obs_events.tail(limit, kind=kind)
+            return 200, "application/json", _json_bytes({"events": entries})
+        return 404, "text/plain", b"not found: /metrics /healthz /stats /events\n"
+
+    @staticmethod
+    async def _respond(
+        writer: asyncio.StreamWriter, status: int, content_type: str, body: bytes
+    ) -> None:
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                  405: "Method Not Allowed", 503: "Service Unavailable"}
+        head = (
+            f"HTTP/1.1 {status} {reason.get(status, 'OK')}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+
+def _json_bytes(payload: dict) -> bytes:
+    return (json.dumps(payload, default=str, sort_keys=True) + "\n").encode("utf-8")
+
+
+def _int_param(query: dict, name: str) -> Optional[int]:
+    values = query.get(name)
+    if not values:
+        return None
+    try:
+        return int(values[0])
+    except ValueError:
+        return None

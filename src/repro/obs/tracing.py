@@ -1,5 +1,5 @@
 """Context-var span tracer: nested wall-time spans with parent/child
-attribution.
+attribution and **distributed trace identity**.
 
 ``with span("query.parse"):`` opens a span under whatever span is current
 in this execution context (:mod:`contextvars`, so concurrent queries on
@@ -7,14 +7,32 @@ different threads/tasks never cross-attribute). Finished root spans land
 in the global :data:`TRACER` ring; the shell's ``.trace on`` prints the
 tree after every query.
 
+Every active span carries a W3C-traceparent-style identity: a 32-hex
+``trace_id`` shared by the whole request tree and a 16-hex ``span_id`` of
+its own. Identity crosses two boundaries the plain context-var mechanism
+cannot:
+
+* **processes** — a remote peer's ``(trace_id, parent_span_id)`` is
+  adopted with :func:`adopt`; spans opened inside continue the remote
+  trace instead of starting a fresh one. An adopted remote parent also
+  *forces* span creation even when tracing is globally disabled, so a
+  server records spans exactly for the requests that asked for them.
+* **threads** — :func:`capture` snapshots the current span and remote
+  parent so a thread-pool worker can re-activate them (``with
+  handoff:``). Without the explicit handoff, work bridged onto an
+  executor thread starts from an empty context and its spans are
+  orphaned.
+
 Tracing is **off** by default and the disabled path allocates nothing:
 :func:`span` returns a shared no-op context manager without creating a
-``Span``.
+``Span`` (unless a remote parent forces the request to be traced).
 """
 
 from __future__ import annotations
 
 import contextvars
+import random
+import re
 import time
 from collections import deque
 from typing import Optional
@@ -25,18 +43,46 @@ __all__ = [
     "disable",
     "is_enabled",
     "Span",
+    "SpanContext",
     "span",
+    "forced_span",
     "current_span",
+    "current_context",
+    "current_correlation",
+    "adopt",
+    "capture",
+    "TraceHandoff",
+    "new_trace_id",
+    "new_span_id",
+    "format_traceparent",
+    "parse_traceparent",
     "Tracer",
     "TRACER",
     "last_trace",
     "format_span",
+    "span_summary",
+    "format_summary",
 ]
 
 ENABLED = False
 
 _current: contextvars.ContextVar[Optional["Span"]] = contextvars.ContextVar(
     "repro_obs_span", default=None
+)
+
+#: Trace identity adopted from a remote peer (set via :func:`adopt`); the
+#: next root span continues this trace instead of starting its own.
+_remote_parent: contextvars.ContextVar[Optional["SpanContext"]] = (
+    contextvars.ContextVar("repro_obs_remote_parent", default=None)
+)
+
+#: ID source — speed over cryptographic strength: ids only need to be
+#: unique enough to correlate, and uuid4's per-call urandom syscall would
+#: be the most expensive part of opening a span.
+_ids = random.Random()
+
+_TRACEPARENT = re.compile(
+    r"^00-([0-9a-f]{32})-([0-9a-f]{16})-[0-9a-f]{2}$"
 )
 
 
@@ -54,17 +100,73 @@ def is_enabled() -> bool:
     return ENABLED
 
 
+def new_trace_id() -> str:
+    """A fresh 32-hex (128-bit) trace id."""
+    return f"{_ids.getrandbits(128):032x}"
+
+
+def new_span_id() -> str:
+    """A fresh 16-hex (64-bit) span id."""
+    return f"{_ids.getrandbits(64):016x}"
+
+
+class SpanContext:
+    """The portable identity of a span: what crosses the wire (and the
+    thread pool) so a child opened elsewhere lands in the same trace."""
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id: str, span_id: str):
+        self.trace_id = trace_id
+        self.span_id = span_id
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, SpanContext)
+            and self.trace_id == other.trace_id
+            and self.span_id == other.span_id
+        )
+
+    def __repr__(self) -> str:
+        return f"<SpanContext {self.trace_id}/{self.span_id}>"
+
+
+def format_traceparent(context: SpanContext) -> str:
+    """W3C ``traceparent`` header for *context* (version 00, sampled)."""
+    return f"00-{context.trace_id}-{context.span_id}-01"
+
+
+def parse_traceparent(text: str) -> Optional[SpanContext]:
+    """Parse a W3C ``traceparent`` header; None when malformed."""
+    match = _TRACEPARENT.match(text.strip().lower()) if isinstance(text, str) else None
+    if match is None:
+        return None
+    return SpanContext(match.group(1), match.group(2))
+
+
 class Span:
     """One timed region. ``children`` are spans opened while this one was
     current; ``duration`` is wall seconds (0.0 while still open)."""
 
-    __slots__ = ("name", "attrs", "start", "end", "children", "parent")
+    __slots__ = ("name", "attrs", "start", "end", "children", "parent",
+                 "trace_id", "span_id", "parent_span_id")
 
     def __init__(self, name: str, attrs: Optional[dict] = None,
-                 parent: Optional["Span"] = None):
+                 parent: Optional["Span"] = None,
+                 remote_parent: Optional[SpanContext] = None):
         self.name = name
         self.attrs = attrs or {}
         self.parent = parent
+        self.span_id = new_span_id()
+        if parent is not None:
+            self.trace_id = parent.trace_id
+            self.parent_span_id = parent.span_id
+        elif remote_parent is not None:
+            self.trace_id = remote_parent.trace_id
+            self.parent_span_id = remote_parent.span_id
+        else:
+            self.trace_id = new_trace_id()
+            self.parent_span_id = None
         self.start = time.perf_counter()
         self.end: Optional[float] = None
         self.children: list[Span] = []
@@ -72,6 +174,10 @@ class Span:
     @property
     def duration(self) -> float:
         return (self.end - self.start) if self.end is not None else 0.0
+
+    @property
+    def context(self) -> SpanContext:
+        return SpanContext(self.trace_id, self.span_id)
 
     def set(self, **attrs) -> None:
         """Attach attributes after the span opened (row counts etc.)."""
@@ -103,7 +209,12 @@ class _ActiveSpan:
     __slots__ = ("_span", "_token")
 
     def __init__(self, name: str, attrs: dict):
-        self._span = Span(name, attrs, parent=_current.get())
+        self._span = Span(
+            name,
+            attrs,
+            parent=_current.get(),
+            remote_parent=_remote_parent.get(),
+        )
         self._token = None
 
     def __enter__(self) -> Span:
@@ -139,14 +250,115 @@ _NOOP = _NoopSpan()
 
 
 def span(name: str, **attrs):
-    """Open a nested span (or a shared no-op when tracing is disabled)."""
-    if not ENABLED:
+    """Open a nested span (or a shared no-op when tracing is disabled).
+
+    A remote parent adopted via :func:`adopt` forces the span on even
+    with tracing globally disabled — a request that arrived carrying
+    trace context is, by definition, one somebody wants traced."""
+    if not ENABLED and _remote_parent.get() is None:
         return _NOOP
+    return _ActiveSpan(name, attrs)
+
+
+def forced_span(name: str, **attrs):
+    """Open a real span regardless of the global flag (client-side trace
+    stitching uses this to trace one request on demand)."""
     return _ActiveSpan(name, attrs)
 
 
 def current_span() -> Optional[Span]:
     return _current.get()
+
+
+def current_context() -> Optional[SpanContext]:
+    """The identity a child opened *now* would join: the current span's
+    context, else the adopted remote parent, else None."""
+    here = _current.get()
+    if here is not None:
+        return here.context
+    return _remote_parent.get()
+
+
+def current_correlation() -> dict:
+    """Correlation ids for log/event records: ``trace_id`` plus any
+    ``session_id``/``request_id`` attributes found walking up the current
+    span chain. Empty when nothing is active."""
+    here = _current.get()
+    out: dict = {}
+    if here is None:
+        remote = _remote_parent.get()
+        if remote is not None:
+            out["trace_id"] = remote.trace_id
+        return out
+    out["trace_id"] = here.trace_id
+    node: Optional[Span] = here
+    while node is not None:
+        for key in ("session_id", "request_id"):
+            if key not in out and key in node.attrs:
+                out[key] = node.attrs[key]
+        node = node.parent
+    return out
+
+
+class adopt:
+    """``with adopt(context):`` — continue a remote peer's trace.  Spans
+    opened inside (with no local parent) join ``context.trace_id`` as
+    children of ``context.span_id``, and are created even when tracing is
+    globally disabled.  ``adopt(None)`` is a no-op wrapper."""
+
+    __slots__ = ("_context", "_token")
+
+    def __init__(self, context: Optional[SpanContext]):
+        self._context = context
+        self._token = None
+
+    def __enter__(self) -> Optional[SpanContext]:
+        if self._context is not None:
+            self._token = _remote_parent.set(self._context)
+        return self._context
+
+    def __exit__(self, *exc_info) -> None:
+        if self._token is not None:
+            _remote_parent.reset(self._token)
+            self._token = None
+
+
+class TraceHandoff:
+    """Snapshot of the active trace context, for explicit cross-thread
+    propagation (:func:`capture` on the submitting side, ``with handoff:``
+    on the worker). Context-vars are per-thread, so without this a
+    thread-pool worker's spans would be orphan roots."""
+
+    __slots__ = ("_span", "_remote", "_span_token", "_remote_token")
+
+    def __init__(self, span_: Optional[Span], remote: Optional[SpanContext]):
+        self._span = span_
+        self._remote = remote
+        self._span_token = None
+        self._remote_token = None
+
+    def __enter__(self) -> "TraceHandoff":
+        self._span_token = _current.set(self._span)
+        if self._remote is not None:
+            self._remote_token = _remote_parent.set(self._remote)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        _current.reset(self._span_token)
+        self._span_token = None
+        if self._remote_token is not None:
+            _remote_parent.reset(self._remote_token)
+            self._remote_token = None
+
+    def run(self, fn, *args, **kwargs):
+        """Run ``fn`` under the captured context (worker-thread side)."""
+        with self:
+            return fn(*args, **kwargs)
+
+
+def capture() -> TraceHandoff:
+    """Snapshot the current span + remote parent for another thread."""
+    return TraceHandoff(_current.get(), _remote_parent.get())
 
 
 def last_trace() -> Optional[Span]:
@@ -163,4 +375,33 @@ def format_span(root: Span, indent: int = 0) -> str:
     lines = [f"{pad}{root.name}  {root.duration * 1000:.3f} ms{attrs}"]
     for child in root.children:
         lines.append(format_span(child, indent + 1))
+    return "\n".join(lines)
+
+
+def span_summary(root: Span) -> dict:
+    """JSON-safe tree of one finished span: what the server returns over
+    the wire so the client can stitch a cross-process trace."""
+    return {
+        "name": root.name,
+        "trace_id": root.trace_id,
+        "span_id": root.span_id,
+        "parent_span_id": root.parent_span_id,
+        "duration_ms": round(root.duration * 1000, 4),
+        "attrs": dict(root.attrs),
+        "children": [span_summary(child) for child in root.children],
+    }
+
+
+def format_summary(node: dict, indent: int = 0) -> str:
+    """Indented tree over :func:`span_summary` dicts (local or remote)."""
+    pad = "  " * indent
+    attrs = node.get("attrs") or {}
+    attr_text = (
+        " " + " ".join(f"{key}={value!r}" for key, value in attrs.items())
+        if attrs
+        else ""
+    )
+    lines = [f"{pad}{node.get('name')}  {node.get('duration_ms', 0.0):.3f} ms{attr_text}"]
+    for child in node.get("children") or []:
+        lines.append(format_summary(child, indent + 1))
     return "\n".join(lines)

@@ -390,7 +390,16 @@ def run_query(
         )
         metrics.counter("query_rows_returned_total").inc(len(result.rows))
     if slowlog.THRESHOLD is not None:
-        slowlog.record(text, elapsed, rows=len(result.rows))
+        slowlog.record(
+            text,
+            elapsed,
+            rows=len(result.rows),
+            phases={
+                "parse": parse_seconds,
+                "optimize": optimize_seconds,
+                "execute": execute_seconds,
+            },
+        )
     if analyze:
         result.op_stats = plan_module.analyzed_op_stats(ctx.probes)
         result.analyzed = render_analyzed_plan(query, ctx.probes, elapsed)
@@ -413,7 +422,8 @@ class QueryCursor:
     (``query_open``/``cursor_next``) are thin shims over this class.
     """
 
-    __slots__ = ("text", "_ctx", "_batches", "_buffer", "_exhausted")
+    __slots__ = ("text", "_ctx", "_batches", "_buffer", "_exhausted",
+                 "_execute_seconds", "_slow_recorded")
 
     def __init__(self, ctx: ExecContext, batches, text: str):
         self.text = text
@@ -421,6 +431,11 @@ class QueryCursor:
         self._batches = batches
         self._buffer: list = []
         self._exhausted = False
+        #: Cumulative pipeline time across every next_batch pull — the
+        #: honest "how slow was this query" measure for a stream, which
+        #: excludes the consumer's think time between fetches.
+        self._execute_seconds = 0.0
+        self._slow_recorded = False
 
     @property
     def stats(self) -> dict:
@@ -435,15 +450,19 @@ class QueryCursor:
     def next_batch(self, n: int = DEFAULT_BATCH_SIZE) -> list:
         """Up to *n* result rows; ``[]`` once the query is exhausted."""
         n = max(int(n), 1)
+        pull_started = time.perf_counter()
         while len(self._buffer) < n and not self._exhausted:
             try:
                 self._buffer.extend(next(self._batches))
             except StopIteration:
                 self._exhausted = True
+        self._execute_seconds += time.perf_counter() - pull_started
         if len(self._buffer) <= n:
             out, self._buffer = self._buffer, []
         else:
             out, self._buffer = self._buffer[:n], self._buffer[n:]
+        if self._exhausted and not self._buffer:
+            self._record_slow()
         return out
 
     def fetch_all(self) -> list:
@@ -462,11 +481,26 @@ class QueryCursor:
                 return
             yield from batch
 
+    def _record_slow(self) -> None:
+        """Slow-query log entry for a finished (or abandoned) stream —
+        :func:`run_query` records eagerly; cursors record once, when the
+        last batch is pulled or the cursor is closed."""
+        if self._slow_recorded or slowlog.THRESHOLD is None:
+            return
+        self._slow_recorded = True
+        slowlog.record(
+            self.text,
+            self._execute_seconds,
+            rows=self._ctx.stats.get("rows_returned", 0),
+            phases={"execute": self._execute_seconds},
+        )
+
     def close(self) -> None:
         """Stop the query: drop buffered rows and close the pipeline
         (source cursors release via their ``finally`` blocks)."""
         self._exhausted = True
         self._buffer = []
+        self._record_slow()
         close = getattr(self._batches, "close", None)
         if close is not None:
             close()

@@ -103,6 +103,7 @@ class ExecContext:
             "index_lookups": 0,
             "indexes_used": [],
             "rows_returned": 0,
+            "batches": 0,
             "writes": 0,
             "hash_join_builds": 0,
             "plan_cached": False,
@@ -1053,7 +1054,10 @@ def _run_pipeline(ctx: ExecContext, query: ast.Query, initial_frame: dict):
 
 def execute(ctx: ExecContext, query: ast.Query) -> Result:
     """Run an optimized query and package the result."""
-    rows, _writes = _run_pipeline(ctx, query, {})
+    rows: list = []
+    for batch in _execute_batches(ctx, query, {}):
+        rows.extend(batch)
+        ctx.stats["batches"] += 1
     ctx.stats["rows_returned"] = len(rows)
     return Result(rows=rows, stats=ctx.stats)
 
@@ -1065,4 +1069,5 @@ def execute_stream(ctx: ExecContext, query: ast.Query) -> Iterator[list]:
     cursor abandoned mid-stream reports how far it actually got."""
     for batch in _execute_batches(ctx, query, {}):
         ctx.stats["rows_returned"] += len(batch)
+        ctx.stats["batches"] += 1
         yield batch

@@ -7,12 +7,21 @@ framing; what differs is the payload shape:
 * **Request** — ``{"id": N, "op": "query", "params": {...}}``.  ``id`` is a
   client-chosen correlation number echoed back verbatim; ``params`` carries
   op-specific arguments (bind variables ride inside ``params.bind_vars`` as
-  plain JSON values).
-* **Success response** — ``{"id": N, "ok": true, "result": {...}}``.
+  plain JSON values).  An optional top-level ``"trace"`` object —
+  ``{"trace_id": <32 hex>, "parent_span_id": <16 hex>}``, W3C-traceparent
+  style — propagates the client's trace context: the server continues that
+  trace for the request and returns its span tree.  Peers that predate
+  tracing simply ignore the extra key, so propagation needs no protocol
+  version bump (the server advertises ``features: ["trace", ...]`` in the
+  handshake so clients can tell).
+* **Success response** — ``{"id": N, "ok": true, "result": {...}}``; when
+  the request carried trace context, also ``"trace": {<span summary
+  tree>}`` (see :func:`repro.obs.tracing.span_summary`).
 * **Error response** — ``{"id": N, "ok": false, "error": {"code": C,
   "message": M, "details": {...}}}`` where ``C`` is a stable code from
   :mod:`repro.errors`; the client re-raises the matching class via
-  :func:`repro.errors.error_for_code`.
+  :func:`repro.errors.error_for_code`.  Error responses to traced
+  requests carry the ``"trace"`` key too.
 * **Handshake** — immediately after accepting a connection the server sends
   one unsolicited frame ``{"hello": {"server": "repro", "version": ...,
   "protocol": 1, "session": S}}`` (or an error frame with
@@ -54,7 +63,9 @@ __all__ = [
     "write_frame",
     "read_frame_async",
     "write_frame_async",
+    "write_payload_async",
     "request",
+    "parse_trace_context",
     "ok_response",
     "error_response",
     "raise_wire_error",
@@ -194,11 +205,11 @@ async def read_frame_async(
     return decode_payload(body)
 
 
-async def write_frame_async(writer: asyncio.StreamWriter, payload: dict) -> int:
-    """Send one frame through a stream writer; returns bytes written."""
+async def write_payload_async(writer: asyncio.StreamWriter, data: bytes) -> int:
+    """Send an already-encoded frame (callers that time serialization
+    separately encode first, then write here); returns bytes written."""
     if FP_FRAME_WRITE.armed:
         FP_FRAME_WRITE.check()
-    data = encode_frame(payload)
     writer.write(data)
     await writer.drain()
     if obs_metrics.ENABLED:
@@ -206,13 +217,38 @@ async def write_frame_async(writer: asyncio.StreamWriter, payload: dict) -> int:
     return len(data)
 
 
+async def write_frame_async(writer: asyncio.StreamWriter, payload: dict) -> int:
+    """Send one frame through a stream writer; returns bytes written."""
+    return await write_payload_async(writer, encode_frame(payload))
+
+
 # ---------------------------------------------------------------------------
 # Payload shapes
 # ---------------------------------------------------------------------------
 
 
-def request(request_id: int, op: str, **params: Any) -> dict:
-    return {"id": request_id, "op": op, "params": params}
+def request(
+    request_id: int, op: str, trace: Optional[dict] = None, **params: Any
+) -> dict:
+    payload = {"id": request_id, "op": op, "params": params}
+    if trace is not None:
+        payload["trace"] = trace
+    return payload
+
+
+def parse_trace_context(frame: dict):
+    """The :class:`repro.obs.tracing.SpanContext` a request frame carries,
+    or None (absent or malformed — a bad trace never fails the request)."""
+    trace = frame.get("trace")
+    if not isinstance(trace, dict):
+        return None
+    trace_id = trace.get("trace_id")
+    parent = trace.get("parent_span_id")
+    if not isinstance(trace_id, str) or not isinstance(parent, str):
+        return None
+    from repro.obs.tracing import SpanContext
+
+    return SpanContext(trace_id.lower(), parent.lower())
 
 
 def ok_response(request_id: Optional[int], result: Any) -> dict:

@@ -60,16 +60,33 @@ from repro.errors import (
     SimulatedCrash,
     code_of,
 )
+from repro.obs import events as obs_events
 from repro.obs import metrics as obs_metrics
-from repro.obs import tracing
+from repro.obs import slowlog, tracing
+from repro.obs.telemetry import TelemetryEndpoint
 from repro.server import protocol
 from repro.server.session import Session
 
 __all__ = ["ReproServer"]
 
 #: Ops answered inline on the event loop even while draining, so a client
-#: can still observe a shutting-down server.
-_ALWAYS_ALLOWED = frozenset({"ping", "stats", "info"})
+#: can still observe a shutting-down server (the observability ops are
+#: here precisely because a draining server is when you want them most).
+_ALWAYS_ALLOWED = frozenset(
+    {"ping", "stats", "info", "trace_dump", "slowlog", "events"}
+)
+
+obs_metrics.describe(
+    "server_request_phase_seconds",
+    "Per-request wall seconds by phase: queue (executor wait), "
+    "execute (engine work), serialize (response encoding)",
+)
+obs_metrics.describe(
+    "server_request_seconds", "End-to-end wall seconds per wire request"
+)
+obs_metrics.describe(
+    "server_requests_total", "Wire requests dispatched, by op"
+)
 
 
 class _EagerCursor:
@@ -96,6 +113,11 @@ class _EagerCursor:
     def close(self) -> None:
         self._rows = []
         self._pos = 0
+
+
+def _phases_ms(phases: dict) -> dict:
+    """Phase seconds → milliseconds, rounded for wire stats."""
+    return {name: round(seconds * 1000, 3) for name, seconds in phases.items()}
 
 
 def _merge_limit(requested, session_value, host_default):
@@ -125,6 +147,8 @@ class ReproServer:
         max_cursors_per_session: int = 16,
         cursor_idle_timeout: float = 300.0,
         cursor_chunk_rows: int = 1024,
+        telemetry_port: Optional[int] = None,
+        telemetry_host: Optional[str] = None,
     ):
         self.db = db
         self.host = host
@@ -138,6 +162,10 @@ class ReproServer:
         self.max_cursors_per_session = max(int(max_cursors_per_session), 1)
         self.cursor_idle_timeout = float(cursor_idle_timeout)
         self.cursor_chunk_rows = max(int(cursor_chunk_rows), 1)
+        #: HTTP telemetry sidecar (``/metrics``, ``/healthz``, ``/stats``,
+        #: ``/events``); ``None`` disables it, ``0`` binds an OS-picked port.
+        self.telemetry_port = telemetry_port
+        self.telemetry_host = telemetry_host if telemetry_host is not None else host
 
         self._server: Optional[asyncio.AbstractServer] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -151,6 +179,7 @@ class ReproServer:
         self._started_at = time.time()
         self._thread: Optional[threading.Thread] = None
         self._reaper: Optional[asyncio.Task] = None
+        self._telemetry: Optional[TelemetryEndpoint] = None
 
     # ------------------------------------------------------------ lifecycle --
 
@@ -183,7 +212,22 @@ class ReproServer:
         )
         self.port = self._server.sockets[0].getsockname()[1]
         self._reaper = self._loop.create_task(self._reap_idle_cursors())
+        if self.telemetry_port is not None:
+            self._telemetry = TelemetryEndpoint(
+                host=self.telemetry_host,
+                port=self.telemetry_port,
+                stats_provider=self._stats_payload,
+                health_provider=self._health_payload,
+            )
+            await self._telemetry.start()
         return self.address
+
+    @property
+    def telemetry_address(self) -> Optional[tuple[str, int]]:
+        """(host, port) of the HTTP telemetry endpoint, or None."""
+        if self._telemetry is None:
+            return None
+        return (self._telemetry.host, self._telemetry.port)
 
     async def _reap_idle_cursors(self) -> None:
         """Background sweep closing cursors idle past
@@ -195,7 +239,18 @@ class ReproServer:
             now = time.monotonic()
             reaped = 0
             for session, _writer in list(self._sessions.values()):
-                reaped += session.reap_idle_cursors(now, self.cursor_idle_timeout)
+                entries = session.reap_idle_cursors(now, self.cursor_idle_timeout)
+                reaped += len(entries)
+                for entry in entries:
+                    obs_events.emit(
+                        "cursor_reaped",
+                        session_id=session.session_id,
+                        cursor=entry.cursor_id,
+                        fetches=entry.fetches,
+                        idle_seconds=round(now - entry.last_used_at, 3),
+                        trace_id=entry.trace_id,
+                        query=entry.text,
+                    )
             if reaped and obs_metrics.ENABLED:
                 obs_metrics.counter("server_cursors_reaped_total").inc(reaped)
 
@@ -212,6 +267,12 @@ class ReproServer:
     async def shutdown(self, drain: bool = True) -> None:
         """Stop accepting, drain in-flight queries, checkpoint, tear down."""
         self._draining = True
+        obs_events.emit(
+            "drain_begin",
+            sessions=len(self._sessions),
+            inflight=self._inflight,
+            drain=drain,
+        )
         if self._reaper is not None:
             self._reaper.cancel()
             self._reaper = None
@@ -224,21 +285,34 @@ class ReproServer:
                 await asyncio.wait_for(
                     self._drained.wait(), timeout=self.drain_timeout
                 )
+                obs_events.emit("drain_inflight_complete", inflight=0)
             except asyncio.TimeoutError:
-                pass  # bounded patience: surviving queries die with the loop
+                # bounded patience: surviving queries die with the loop
+                obs_events.emit(
+                    "drain_timeout",
+                    inflight=self._inflight,
+                    drain_timeout=self.drain_timeout,
+                )
         # Open streaming cursors cannot outlive the server: close them so
         # their pipelines release store cursors; mid-stream clients get
         # ServerShutdownError on their next cursor_next (the drain gate).
+        closed_cursors = 0
         for session, _writer in list(self._sessions.values()):
-            session.close_cursors()
+            closed_cursors += session.close_cursors()
+        if closed_cursors:
+            obs_events.emit("drain_cursors_closed", closed=closed_cursors)
         # Transactions stranded by sessions that never said commit: roll
         # them back so their locks and intents don't outlive the server.
+        aborted_txns = 0
         for session, _writer in list(self._sessions.values()):
             if session.txn is not None:
                 try:
                     self.db.abort(session.take_txn("shutdown"))
+                    aborted_txns += 1
                 except Exception:
                     pass
+        if aborted_txns:
+            obs_events.emit("drain_txns_aborted", aborted=aborted_txns)
         if self.checkpoint_path is not None:
             try:
                 await asyncio.get_running_loop().run_in_executor(
@@ -269,9 +343,15 @@ class ReproServer:
             self._conn_tasks.clear()
         if obs_metrics.ENABLED:
             obs_metrics.gauge("server_sessions_active").set(0)
+        if self._telemetry is not None:
+            # Last out: the health endpoint stays scrapeable through the
+            # whole drain (it reports ``draining: true``).
+            await self._telemetry.stop()
+            self._telemetry = None
         if self._executor is not None:
             self._executor.shutdown(wait=drain)
             self._executor = None
+        obs_events.emit("drain_complete")
 
     def request_stop(self) -> None:
         """Thread-safe: ask the serving loop to shut down."""
@@ -329,6 +409,9 @@ class ReproServer:
             "server": "repro",
             "version": __version__,
             "protocol": protocol.PROTOCOL_VERSION,
+            #: Compatible capabilities layered on protocol v1; clients use
+            #: this (not the version) to decide what extras to send.
+            "features": ["trace", "events", "telemetry"],
             "limits": {
                 "max_sessions": self.max_sessions,
                 "max_inflight": self.max_inflight,
@@ -341,7 +424,32 @@ class ReproServer:
         }
         if session is not None:
             info["session"] = session.session_id
+        if self._telemetry is not None:
+            info["telemetry"] = {
+                "host": self._telemetry.host,
+                "port": self._telemetry.port,
+            }
         return info
+
+    def _stats_payload(self) -> dict:
+        return {
+            "uptime_seconds": round(time.time() - self._started_at, 3),
+            "draining": self._draining,
+            "inflight": self._inflight,
+            "sessions": [
+                entry[0].describe() for entry in self._sessions.values()
+            ],
+            "limits": self._server_info()["limits"],
+        }
+
+    def _health_payload(self) -> dict:
+        return {
+            "ok": True,
+            "draining": self._draining,
+            "uptime_seconds": round(time.time() - self._started_at, 3),
+            "sessions": len(self._sessions),
+            "inflight": self._inflight,
+        }
 
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -364,6 +472,13 @@ class ReproServer:
                 )
                 if obs_metrics.ENABLED:
                     obs_metrics.counter("server_overload_rejections_total").inc()
+                obs_events.emit(
+                    "admission_rejected",
+                    reason="session_limit",
+                    peer=peer,
+                    sessions=len(self._sessions),
+                    max_sessions=self.max_sessions,
+                )
             try:
                 await protocol.write_frame_async(
                     writer, protocol.error_response(None, error)
@@ -430,8 +545,14 @@ class ReproServer:
         op = frame.get("op")
         params = frame.get("params") or {}
         session.requests += 1
+        request_seq = session.requests
         session.last_op = op if isinstance(op, str) else None
+        # A request carrying trace context is *continued* here: the server
+        # span adopts the client's trace/parent ids, so client and server
+        # trees stitch into one distributed trace keyed by trace_id.
+        trace_ctx = protocol.parse_trace_context(frame)
         started = time.perf_counter()
+        server_span = None
         try:
             if not isinstance(op, str) or not op:
                 raise ProtocolError(f"request frame without a valid op: {frame!r}")
@@ -439,10 +560,14 @@ class ReproServer:
                 raise ProtocolError("request params must be a JSON object")
             if obs_metrics.ENABLED:
                 obs_metrics.counter("server_requests_total", op=op).inc()
-            with tracing.span(
-                "server.request", op=op, session=session.session_id
-            ):
-                result = await self._execute_op(session, op, params)
+            with tracing.adopt(trace_ctx):
+                with tracing.span(
+                    "server.request",
+                    op=op,
+                    session_id=session.session_id,
+                    request_id=request_seq,
+                ) as server_span:
+                    result = await self._execute_op(session, op, params)
             payload = protocol.ok_response(request_id, result)
         except SimulatedCrash:
             raise
@@ -453,11 +578,23 @@ class ReproServer:
                     "server_errors_total", code=code_of(error)
                 ).inc()
             payload = protocol.error_response(request_id, error)
-        await protocol.write_frame_async(writer, payload)
+        if trace_ctx is not None and server_span is not None:
+            # Error responses carry the span tree too — a failed request
+            # is the one you most want to see attributed.
+            payload["trace"] = tracing.span_summary(server_span)
+        serialize_started = time.perf_counter()
+        data = protocol.encode_frame(payload)
+        serialize_seconds = time.perf_counter() - serialize_started
+        if server_span is not None:
+            server_span.set(serialize_ms=round(serialize_seconds * 1000, 3))
+        await protocol.write_payload_async(writer, data)
         if obs_metrics.ENABLED:
             obs_metrics.histogram("server_request_seconds").observe(
                 time.perf_counter() - started
             )
+            obs_metrics.histogram(
+                "server_request_phase_seconds", phase="serialize"
+            ).observe(serialize_seconds)
 
     async def _execute_op(self, session: Session, op: str, params: dict) -> Any:
         if self._draining and op not in _ALWAYS_ALLOWED:
@@ -469,14 +606,32 @@ class ReproServer:
         if op == "info":
             return self._server_info(session)
         if op == "stats":
+            return self._stats_payload()
+        if op == "trace_dump":
+            roots = list(tracing.TRACER.roots)
+            limit = params.get("n")
+            if isinstance(limit, int) and limit > 0:
+                roots = roots[-limit:]
+            return {"traces": [tracing.span_summary(root) for root in roots]}
+        if op == "slowlog":
+            if "threshold_ms" in params:
+                value = params["threshold_ms"]
+                slowlog.set_threshold(
+                    None if value is None else float(value) / 1000.0
+                )
+            threshold = slowlog.get_threshold()
             return {
-                "uptime_seconds": round(time.time() - self._started_at, 3),
-                "draining": self._draining,
-                "inflight": self._inflight,
-                "sessions": [
-                    entry[0].describe() for entry in self._sessions.values()
-                ],
-                "limits": self._server_info()["limits"],
+                "threshold_ms": None if threshold is None else threshold * 1000.0,
+                "entries": slowlog.entries(),
+            }
+        if op == "events":
+            limit = params.get("n")
+            kind = params.get("kind")
+            return {
+                "events": obs_events.tail(
+                    limit if isinstance(limit, int) else None,
+                    kind=kind if isinstance(kind, str) else None,
+                )
             }
         if op == "query":
             return await self._op_query(session, params)
@@ -583,10 +738,17 @@ class ReproServer:
                 batch_size=params.get("batch_size"),
             )
 
-        result = await self._run_blocking(work)
-        response = {"rows": result.rows, "stats": result.stats}
+        phases: dict = {}
+        result = await self._run_blocking(work, phases=phases)
+        stats = dict(result.stats)
+        stats["server_phases"] = _phases_ms(phases)
+        response = {"rows": result.rows, "stats": stats}
         if result.analyzed is not None:
-            response["analyzed"] = result.analyzed
+            response["analyzed"] = result.analyzed + (
+                f"\nServer: queue-wait {phases.get('queue', 0.0) * 1000:.3f} ms"
+                f" · execute {phases.get('execute', 0.0) * 1000:.3f} ms"
+                f" (session {session.session_id}, request {session.requests})"
+            )
         return response
 
     # ------------------------------------------------- streaming cursors ----
@@ -642,29 +804,36 @@ class ReproServer:
                 cursor.close()
                 raise
 
-        cursor, rows = await self._run_blocking(work)
+        phases: dict = {}
+        cursor, rows = await self._run_blocking(work, phases=phases)
         if cursor.exhausted:
             cursor.close()
+            stats = dict(cursor.stats)
+            stats["server_phases"] = _phases_ms(phases)
             return {
                 "cursor": None,
                 "rows": rows,
                 "has_more": False,
-                "stats": dict(cursor.stats),
+                "stats": stats,
             }
+        context = tracing.current_context()
         try:
             entry = session.add_cursor(
-                cursor, chunk_rows, text, self.max_cursors_per_session
+                cursor, chunk_rows, text, self.max_cursors_per_session,
+                trace_id=context.trace_id if context is not None else None,
             )
         except Exception:
             cursor.close()
             raise
         if obs_metrics.ENABLED:
             obs_metrics.counter("server_cursors_opened_total").inc()
+        stats = dict(cursor.stats)
+        stats["server_phases"] = _phases_ms(phases)
         return {
             "cursor": entry.cursor_id,
             "rows": rows,
             "has_more": True,
-            "stats": dict(cursor.stats),
+            "stats": stats,
         }
 
     async def _op_cursor_next(self, session: Session, params: dict) -> dict:
@@ -673,15 +842,24 @@ class ReproServer:
             raise ProtocolError("cursor_next needs an integer 'cursor'")
         entry = session.get_cursor(cursor_id)
         entry.touch()
+        entry.fetches += 1
+        here = tracing.current_span()
+        if here is not None:
+            here.set(cursor=entry.cursor_id, fetch=entry.fetches)
+        phases: dict = {}
         try:
             rows = await self._run_blocking(
-                lambda: entry.cursor.next_batch(entry.chunk_rows)
+                lambda: entry.cursor.next_batch(entry.chunk_rows),
+                phases=phases,
             )
         except Exception:
             # A failed stream has no resumable state to keep.
             session.pop_cursor(entry.cursor_id)
             entry.close()
             raise
+        stats = dict(entry.cursor.stats)
+        stats["cursor_fetches"] = entry.fetches
+        stats["server_phases"] = _phases_ms(phases)
         if entry.cursor.exhausted:
             session.pop_cursor(entry.cursor_id)
             entry.close()
@@ -689,13 +867,13 @@ class ReproServer:
                 "cursor": None,
                 "rows": rows,
                 "has_more": False,
-                "stats": dict(entry.cursor.stats),
+                "stats": stats,
             }
         return {
             "cursor": entry.cursor_id,
             "rows": rows,
             "has_more": True,
-            "stats": dict(entry.cursor.stats),
+            "stats": stats,
         }
 
     def _op_cursor_close(self, session: Session, params: dict) -> dict:
@@ -709,12 +887,30 @@ class ReproServer:
 
     # ------------------------------------------------- executor bridge ------
 
-    async def _run_blocking(self, work) -> Any:
-        """Run *work* on the thread pool with queue-depth admission control."""
+    async def _run_blocking(
+        self, work, phases: Optional[dict] = None
+    ) -> Any:
+        """Run *work* on the thread pool with queue-depth admission control.
+
+        The submitting task's trace context is handed to the worker thread
+        explicitly (:func:`repro.obs.tracing.capture`) — context-vars are
+        per-thread, so without the handoff every span the engine opens on
+        the worker would be an orphan root instead of a child of
+        ``server.request``.  Queue wait (submit → worker pickup) and
+        execution are measured separately; *phases* (when given) receives
+        both in seconds, and each lands in
+        ``server_request_phase_seconds{phase=}``.
+        """
         budget = self.max_inflight + self.queue_depth
         if self._inflight >= budget:
             if obs_metrics.ENABLED:
                 obs_metrics.counter("server_overload_rejections_total").inc()
+            obs_events.emit(
+                "admission_rejected",
+                reason="queue_full",
+                inflight=self._inflight,
+                budget=budget,
+            )
             raise ServerOverloadedError(
                 f"{self._inflight} requests in flight or queued "
                 f"(budget {budget}: {self.max_inflight} workers + "
@@ -726,13 +922,38 @@ class ReproServer:
         self._drained.clear()
         if obs_metrics.ENABLED:
             obs_metrics.gauge("server_inflight_queries").set(self._inflight)
+        handoff = tracing.capture()
+        measured: dict = {}
+        submitted = time.perf_counter()
+
+        def bridged():
+            picked_up = time.perf_counter()
+            measured["queue"] = picked_up - submitted
+            try:
+                return handoff.run(work)
+            finally:
+                measured["execute"] = time.perf_counter() - picked_up
+
         try:
             return await asyncio.get_running_loop().run_in_executor(
-                self._executor, work
+                self._executor, bridged
             )
         finally:
             self._inflight -= 1
             if obs_metrics.ENABLED:
                 obs_metrics.gauge("server_inflight_queries").set(self._inflight)
+                if measured:
+                    for phase in ("queue", "execute"):
+                        obs_metrics.histogram(
+                            "server_request_phase_seconds", phase=phase
+                        ).observe(measured.get(phase, 0.0))
             if self._inflight == 0:
                 self._drained.set()
+            here = tracing.current_span()
+            if here is not None and measured:
+                here.set(
+                    queue_ms=round(measured.get("queue", 0.0) * 1000, 3),
+                    execute_ms=round(measured.get("execute", 0.0) * 1000, 3),
+                )
+            if phases is not None:
+                phases.update(measured)

@@ -47,16 +47,22 @@ class ServerCursor:
     listings."""
 
     __slots__ = ("cursor_id", "cursor", "chunk_rows", "created_at",
-                 "last_used_at", "text")
+                 "last_used_at", "text", "fetches", "trace_id")
 
     def __init__(self, cursor_id: int, cursor: Any, chunk_rows: int,
-                 text: str, now: Optional[float] = None):
+                 text: str, now: Optional[float] = None,
+                 trace_id: Optional[str] = None):
         self.cursor_id = cursor_id
         self.cursor = cursor
         self.chunk_rows = max(int(chunk_rows), 1)
         self.created_at = time.monotonic() if now is None else now
         self.last_used_at = self.created_at
         self.text = text
+        #: ``cursor_next`` calls served so far (the opening chunk is 0).
+        self.fetches = 0
+        #: Trace the stream was opened under, so every later fetch (and
+        #: the reaper) correlates back to one distributed trace.
+        self.trace_id = trace_id
 
     def touch(self, now: Optional[float] = None) -> None:
         self.last_used_at = time.monotonic() if now is None else now
@@ -72,6 +78,7 @@ class ServerCursor:
             "cursor": self.cursor_id,
             "chunk_rows": self.chunk_rows,
             "idle_seconds": round(time.monotonic() - self.last_used_at, 3),
+            "fetches": self.fetches,
             "text": self.text,
         }
 
@@ -150,7 +157,7 @@ class Session:
     # -- cursors -------------------------------------------------------------
 
     def add_cursor(self, cursor: Any, chunk_rows: int, text: str,
-                   limit: int) -> "ServerCursor":
+                   limit: int, trace_id: Optional[str] = None) -> "ServerCursor":
         """Register an engine cursor; raises :class:`CursorLimitError` at
         the per-session cap (the caller must close *cursor* on raise)."""
         if len(self.cursors) >= limit:
@@ -158,7 +165,9 @@ class Session:
                 f"session {self.session_id} already holds {len(self.cursors)} "
                 f"open cursors (limit {limit}) — close or drain one first"
             )
-        entry = ServerCursor(next(self._cursor_ids), cursor, chunk_rows, text)
+        entry = ServerCursor(
+            next(self._cursor_ids), cursor, chunk_rows, text, trace_id=trace_id
+        )
         self.cursors[entry.cursor_id] = entry
         return entry
 
@@ -184,18 +193,23 @@ class Session:
         self.cursors.clear()
         return closed
 
-    def reap_idle_cursors(self, now: float, idle_timeout: float) -> int:
-        """Close cursors idle longer than *idle_timeout*; returns the count."""
+    def reap_idle_cursors(
+        self, now: float, idle_timeout: float
+    ) -> list["ServerCursor"]:
+        """Close cursors idle longer than *idle_timeout*; returns the
+        reaped entries (so the caller can count and log them)."""
         stale = [
             cursor_id
             for cursor_id, entry in self.cursors.items()
             if now - entry.last_used_at > idle_timeout
         ]
+        reaped: list[ServerCursor] = []
         for cursor_id in stale:
             entry = self.cursors.pop(cursor_id, None)
             if entry is not None:
                 entry.close()
-        return len(stale)
+                reaped.append(entry)
+        return reaped
 
     # -- introspection -------------------------------------------------------
 

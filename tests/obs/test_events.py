@@ -1,0 +1,121 @@
+"""Structured event log: ring semantics, correlation stamping, the
+JSON-lines file sink, and the kill switch."""
+
+import json
+
+import pytest
+
+from repro.obs import events, tracing
+
+
+@pytest.fixture
+def log():
+    return events.EventLog(capacity=8)
+
+
+class TestRing:
+    def test_emit_and_tail(self, log):
+        log.emit("slow_query", query="FOR d IN docs RETURN d", seconds=0.5)
+        log.emit("cursor_reaped", cursor=3)
+        tail = log.tail()
+        assert [event["kind"] for event in tail] == ["slow_query", "cursor_reaped"]
+        assert tail[0]["query"] == "FOR d IN docs RETURN d"
+        assert all("ts" in event for event in tail)
+
+    def test_tail_filters_and_limits(self, log):
+        for index in range(5):
+            log.emit("a", index=index)
+            log.emit("b", index=index)
+        # Ring capacity 8 retains a1,b1 … a4,b4 of the 10 emitted.
+        only_a = log.tail(kind="a")
+        assert [event["index"] for event in only_a] == [1, 2, 3, 4]
+        assert all(event["kind"] == "a" for event in only_a)
+        last_two = log.tail(2, kind="a")
+        assert [event["index"] for event in last_two] == [3, 4]
+
+    def test_ring_is_bounded(self, log):
+        for index in range(20):
+            log.emit("tick", index=index)
+        tail = log.tail()
+        assert len(tail) == 8
+        assert tail[0]["index"] == 12  # oldest retained
+        assert log.emitted == 20
+
+    def test_clear_and_len(self, log):
+        log.emit("x")
+        assert len(log) == 1
+        log.clear()
+        assert len(log) == 0
+
+
+class TestCorrelation:
+    def test_events_inherit_ambient_trace_ids(self, log):
+        tracing.enable()
+        try:
+            with tracing.span("server.request", session_id=4, request_id=9):
+                event = log.emit("admission_rejected", reason="queue_full")
+        finally:
+            tracing.disable()
+            tracing.TRACER.clear()
+        assert event["session_id"] == 4
+        assert event["request_id"] == 9
+        assert len(event["trace_id"]) == 32
+        assert event["reason"] == "queue_full"
+
+    def test_explicit_ids_win_over_ambient(self, log):
+        tracing.enable()
+        try:
+            with tracing.span("server.request", session_id=4):
+                event = log.emit("cursor_reaped", session_id=99)
+        finally:
+            tracing.disable()
+            tracing.TRACER.clear()
+        assert event["session_id"] == 99
+
+
+class TestFileSink:
+    def test_sink_writes_json_lines(self, log, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log.attach_file(str(path))
+        log.emit("drain_begin", sessions=2)
+        log.emit("drain_complete")
+        assert log.detach_file() == str(path)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == 2
+        records = [json.loads(line) for line in lines]
+        assert records[0]["kind"] == "drain_begin"
+        assert records[0]["sessions"] == 2
+        assert records[1]["kind"] == "drain_complete"
+
+    def test_detached_log_stops_writing(self, log, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log.attach_file(str(path))
+        log.emit("first")
+        log.detach_file()
+        log.emit("second")
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == 1
+
+    def test_broken_sink_never_raises(self, log, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log.attach_file(str(path))
+        log._sink.close()  # simulate the descriptor dying under us
+        log.emit("survives")  # must not raise
+        assert log.dropped_writes == 1
+        assert log.tail()[-1]["kind"] == "survives"  # ring still has it
+        log._sink = None
+        log.detach_file()
+
+
+class TestGlobalSwitch:
+    def test_disable_suppresses_emission(self):
+        events.clear()
+        events.disable()
+        try:
+            assert events.emit("ignored") is None
+            assert events.tail() == []
+        finally:
+            events.enable()
+        events.emit("recorded")
+        assert events.tail()[-1]["kind"] == "recorded"
+        events.clear()

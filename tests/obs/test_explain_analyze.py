@@ -156,6 +156,52 @@ class TestSlowLog:
             slowlog.set_threshold(None)
             slowlog.clear()
 
+    def test_streamed_cursor_records_on_exhaustion(self):
+        """The lazy cursor path must feed the slow-query log too — rows
+        stream out over many pulls, so the entry lands once, when the
+        stream drains, carrying the cumulative pipeline time."""
+        from repro.obs import slowlog
+        from repro.query.engine import open_query_cursor
+
+        db = MultiModelDB()
+        db.create_collection("docs")
+        for index in range(10):
+            db.collection("docs").insert({"x": index})
+        slowlog.set_threshold(0.0)
+        try:
+            cursor = open_query_cursor(db, "FOR d IN docs RETURN d.x")
+            assert cursor.next_batch(3)  # partial drain: nothing recorded
+            assert not slowlog.entries()
+            cursor.fetch_all()
+            entries = slowlog.entries()
+            assert len(entries) == 1
+            assert entries[0]["rows"] == 10
+            assert entries[0]["phases"]["execute"] >= 0
+        finally:
+            slowlog.set_threshold(None)
+            slowlog.clear()
+
+    def test_abandoned_cursor_records_on_close(self):
+        from repro.obs import slowlog
+        from repro.query.engine import open_query_cursor
+
+        db = MultiModelDB()
+        db.create_collection("docs")
+        for index in range(10):
+            db.collection("docs").insert({"x": index})
+        slowlog.set_threshold(0.0)
+        try:
+            cursor = open_query_cursor(db, "FOR d IN docs RETURN d.x")
+            cursor.next_batch(3)
+            cursor.close()
+            entries = slowlog.entries()
+            assert len(entries) == 1  # recorded exactly once
+            cursor.close()
+            assert len(slowlog.entries()) == 1
+        finally:
+            slowlog.set_threshold(None)
+            slowlog.clear()
+
     def test_shell_slowlog_command(self):
         from repro.obs import slowlog
 

@@ -83,10 +83,14 @@ class TestExporters:
         registry.counter("queries_total").inc(3)
         registry.histogram("query_seconds", phase="parse").observe(0.25)
         text = export.prometheus_text(registry)
+        assert "# HELP queries_total" in text
         assert "# TYPE queries_total counter" in text
         assert "queries_total 3" in text
-        assert 'query_seconds{phase="parse",quantile="0.5"} 0.25' in text
+        assert "# TYPE query_seconds histogram" in text
+        assert 'query_seconds_bucket{phase="parse",le="0.25"} 1' in text
+        assert 'query_seconds_bucket{phase="parse",le="+Inf"} 1' in text
         assert 'query_seconds_count{phase="parse"} 1' in text
+        assert 'query_seconds_sum{phase="parse"} 0.25' in text
 
     def test_json_dump_round_trips(self, registry):
         registry.counter("c", model="kv").inc()

@@ -1,0 +1,184 @@
+"""Prometheus exposition correctness and the label-cardinality cap.
+
+The exposition tests run twice: once against a private registry (pure
+function), and once against a **live scrape** of the HTTP telemetry
+endpoint of a running server — the output Prometheus itself would see.
+"""
+
+import http.client
+
+import pytest
+
+from repro.cli import make_demo_db
+from repro.obs import metrics as obs_metrics
+from repro.obs.export import escape_label_value, prometheus_text
+from repro.obs.metrics import DEFAULT_MAX_LABEL_SETS, MetricsRegistry
+from repro.obs.telemetry import PROMETHEUS_CONTENT_TYPE
+from repro.server import ReproServer
+
+
+def _parse_series(text):
+    """{metric{labels}: value} for every sample line (ignores # lines)."""
+    out = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        out[name] = float(value)
+    return out
+
+
+class TestExposition:
+    def test_help_and_type_precede_samples(self):
+        registry = MetricsRegistry()
+        registry.describe("wire_requests_total", "Requests by op.")
+        registry.counter("wire_requests_total", op="query").inc(3)
+        lines = prometheus_text(registry).splitlines()
+        assert lines[0] == "# HELP wire_requests_total Requests by op."
+        assert lines[1] == "# TYPE wire_requests_total counter"
+        assert lines[2] == 'wire_requests_total{op="query"} 3'
+
+    def test_undescribed_metric_gets_a_fallback_help(self):
+        registry = MetricsRegistry()
+        registry.gauge("mystery_gauge").set(7)
+        text = prometheus_text(registry)
+        assert "# HELP mystery_gauge" in text
+        assert "# TYPE mystery_gauge gauge" in text
+
+    def test_header_emitted_once_per_name_across_label_sets(self):
+        registry = MetricsRegistry()
+        registry.counter("ops_total", op="a").inc()
+        registry.counter("ops_total", op="b").inc()
+        text = prometheus_text(registry)
+        assert text.count("# TYPE ops_total counter") == 1
+
+    def test_label_values_are_escaped(self):
+        assert escape_label_value('say "hi"\n\\done') == 'say \\"hi\\"\\n\\\\done'
+        registry = MetricsRegistry()
+        registry.counter("q_total", text='FOR d IN "x"\nRETURN d').inc()
+        series = _parse_series(prometheus_text(registry))
+        assert 'q_total{text="FOR d IN \\"x\\"\\nRETURN d"}' in series
+
+    def test_histogram_buckets_are_cumulative_and_end_at_inf(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat_seconds", op="q")
+        for value in (0.0004, 0.0004, 0.002, 0.2, 42.0):
+            hist.observe(value)
+        series = _parse_series(prometheus_text(registry))
+        bounds = [f"{b:g}" for b in hist.buckets] + ["+Inf"]
+        cumulative = [
+            series[f'lat_seconds_bucket{{op="q",le="{le}"}}'] for le in bounds
+        ]
+        assert cumulative == sorted(cumulative)  # monotone non-decreasing
+        assert cumulative[-1] == 5  # +Inf == _count
+        assert series['lat_seconds_count{op="q"}'] == 5
+        assert series['lat_seconds_bucket{op="q",le="0.0005"}'] == 2
+        assert abs(series['lat_seconds_sum{op="q"}'] - 42.2028) < 1e-9
+
+
+class TestLabelCardinalityCap:
+    def test_default_cap_is_active_on_the_global_registry(self):
+        assert obs_metrics.REGISTRY.max_label_sets == DEFAULT_MAX_LABEL_SETS
+
+    def test_overflow_folds_and_counts_drops(self):
+        registry = MetricsRegistry(max_label_sets=3)
+        for index in range(3):
+            registry.counter("chatty_total", session=str(index)).inc()
+        overflowed = registry.counter("chatty_total", session="3")
+        assert dict(overflowed.labels) == {"overflow": "true"}
+        registry.counter("chatty_total", session="4").inc()
+        assert overflowed is registry.counter("chatty_total", session="4")
+        assert registry.counter("obs_labels_dropped_total").value == 3
+        # 3 real series + 1 overflow series + the drop counter itself.
+        assert len(registry) == 5
+
+    def test_unlabeled_series_and_other_names_are_unaffected(self):
+        registry = MetricsRegistry(max_label_sets=1)
+        registry.counter("a_total", k="1").inc()
+        registry.counter("a_total", k="2").inc()  # folds
+        quiet = registry.counter("b_total", k="1")  # different name: fine
+        bare = registry.counter("a_total")  # unlabeled: never capped
+        assert dict(quiet.labels) == {"k": "1"}
+        assert dict(bare.labels) == {}
+
+    def test_existing_series_survive_the_cap(self):
+        registry = MetricsRegistry(max_label_sets=1)
+        first = registry.counter("c_total", k="1")
+        first.inc(5)
+        registry.counter("c_total", k="2").inc()  # folds
+        assert registry.counter("c_total", k="1") is first
+        assert first.value == 5
+
+    def test_cap_disabled_with_none(self):
+        registry = MetricsRegistry(max_label_sets=None)
+        for index in range(200):
+            registry.counter("wide_total", k=str(index)).inc()
+        assert registry.total("obs_labels_dropped_total") == 0
+        assert len(registry) == 200
+
+
+@pytest.fixture(scope="module")
+def scraped():
+    """One live scrape of /metrics from a running server (status, headers,
+    body) after it has served a query."""
+    from repro.client import ReproClient
+
+    server = ReproServer(make_demo_db(scale_factor=1), port=0, telemetry_port=0)
+    server.start_in_thread()
+    try:
+        with ReproClient(port=server.port, sleep=None) as client:
+            client.query("FOR c IN customers RETURN c.id")
+        host, port = server.telemetry_address
+        # Scrape twice: the second body includes the telemetry counter
+        # incremented by the first (one request per connection).
+        for _ in range(2):
+            conn = http.client.HTTPConnection(host, port, timeout=5)
+            conn.request("GET", "/metrics")
+            response = conn.getresponse()
+            body = response.read().decode("utf-8")
+            conn.close()
+        yield response.status, dict(response.getheaders()), body
+    finally:
+        server.stop()
+
+
+class TestLiveScrape:
+    def test_status_and_content_type(self, scraped):
+        status, headers, _body = scraped
+        assert status == 200
+        assert headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+
+    def test_every_sample_has_help_and_type(self, scraped):
+        _status, _headers, body = scraped
+        helped, typed = set(), set()
+        for line in body.splitlines():
+            if line.startswith("# HELP "):
+                helped.add(line.split()[2])
+            elif line.startswith("# TYPE "):
+                typed.add(line.split()[2])
+            elif line:
+                name = line.split("{")[0].split(" ")[0]
+                for suffix in ("_bucket", "_sum", "_count"):
+                    if name.endswith(suffix) and name[: -len(suffix)] in typed:
+                        name = name[: -len(suffix)]
+                        break
+                assert name in helped, f"sample {name} missing # HELP"
+                assert name in typed, f"sample {name} missing # TYPE"
+
+    def test_request_phase_histogram_is_present_and_cumulative(self, scraped):
+        _status, _headers, body = scraped
+        series = _parse_series(body)
+        for phase in ("queue", "execute", "serialize"):
+            key = f'server_request_phase_seconds_bucket{{phase="{phase}",le="+Inf"}}'
+            assert key in series, f"missing phase series: {phase}"
+            assert series[key] >= 1
+            assert (
+                series[f'server_request_phase_seconds_count{{phase="{phase}"}}']
+                == series[key]
+            )
+
+    def test_wire_and_server_counters_reflect_the_query(self, scraped):
+        _status, _headers, body = scraped
+        series = _parse_series(body)
+        assert series['server_requests_total{op="query_open"}'] >= 1
+        assert series['telemetry_requests_total{path="/metrics"}'] >= 1

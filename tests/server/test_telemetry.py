@@ -1,0 +1,120 @@
+"""HTTP telemetry sidecar of a running wire server: /metrics, /healthz,
+/stats, /events, and the protocol edges (404, non-GET)."""
+
+import http.client
+import json
+
+import pytest
+
+from repro.cli import make_demo_db
+from repro.client import ReproClient
+from repro.obs import events as obs_events
+from repro.obs.telemetry import PROMETHEUS_CONTENT_TYPE
+from repro.server import ReproServer
+
+
+@pytest.fixture(scope="module")
+def telemetry_server():
+    server = ReproServer(make_demo_db(scale_factor=1), port=0, telemetry_port=0)
+    server.start_in_thread()
+    with ReproClient(port=server.port, sleep=None) as client:
+        client.query("FOR c IN customers RETURN c.id").fetch_all()
+    yield server
+    server.stop()
+
+
+def _get(server, target, method="GET"):
+    host, port = server.telemetry_address
+    conn = http.client.HTTPConnection(host, port, timeout=5)
+    try:
+        conn.request(method, target)
+        response = conn.getresponse()
+        return response.status, dict(response.getheaders()), response.read()
+    finally:
+        conn.close()
+
+
+class TestRoutes:
+    def test_metrics_scrape(self, telemetry_server):
+        status, headers, body = _get(telemetry_server, "/metrics")
+        assert status == 200
+        assert headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+        text = body.decode("utf-8")
+        assert "# TYPE server_requests_total counter" in text
+        assert "server_request_phase_seconds_bucket" in text
+
+    def test_healthz(self, telemetry_server):
+        status, headers, body = _get(telemetry_server, "/healthz")
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        payload = json.loads(body)
+        assert payload["ok"] is True
+        assert payload["draining"] is False
+        assert payload["sessions"] >= 0
+        assert payload["uptime_seconds"] >= 0
+
+    def test_stats_includes_server_document_and_metrics(self, telemetry_server):
+        status, _headers, body = _get(telemetry_server, "/stats")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["server"]["draining"] is False
+        assert payload["server"]["limits"]["max_sessions"] >= 1
+        assert "server_requests_total" in payload["metrics"]
+
+    def test_events_with_limit_and_kind(self, telemetry_server):
+        obs_events.emit("slow_query", query="q1", seconds=9.9)
+        obs_events.emit("cursor_reaped", cursor=1)
+        status, _headers, body = _get(telemetry_server, "/events?n=50")
+        assert status == 200
+        kinds = {event["kind"] for event in json.loads(body)["events"]}
+        assert {"slow_query", "cursor_reaped"} <= kinds
+        _status, _headers, body = _get(
+            telemetry_server, "/events?n=50&kind=slow_query"
+        )
+        events = json.loads(body)["events"]
+        assert events
+        assert all(event["kind"] == "slow_query" for event in events)
+
+    def test_unknown_path_is_404(self, telemetry_server):
+        status, _headers, body = _get(telemetry_server, "/nope")
+        assert status == 404
+        assert b"/metrics" in body  # the 404 advertises the routes
+
+    def test_non_get_is_405(self, telemetry_server):
+        status, _headers, _body = _get(telemetry_server, "/metrics", method="POST")
+        assert status == 405
+
+
+class TestWiring:
+    def test_handshake_advertises_the_endpoint(self, telemetry_server):
+        with ReproClient(port=telemetry_server.port, sleep=None) as client:
+            info = client.server_info
+            assert "telemetry" in info["features"]
+            host, port = telemetry_server.telemetry_address
+            assert info["telemetry"] == {"host": host, "port": port}
+
+    def test_no_telemetry_without_the_port(self):
+        server = ReproServer(make_demo_db(scale_factor=1), port=0)
+        server.start_in_thread()
+        try:
+            assert server.telemetry_address is None
+            with ReproClient(port=server.port, sleep=None) as client:
+                assert "telemetry" not in client.server_info
+        finally:
+            server.stop()
+
+    def test_endpoint_stops_with_the_server(self):
+        server = ReproServer(
+            make_demo_db(scale_factor=1), port=0, telemetry_port=0
+        )
+        server.start_in_thread()
+        address = server.telemetry_address
+        server.stop()
+        assert address is not None
+        with pytest.raises(OSError):
+            conn = http.client.HTTPConnection(*address, timeout=2)
+            try:
+                conn.request("GET", "/healthz")
+                conn.getresponse()
+            finally:
+                conn.close()
