@@ -59,6 +59,7 @@ MMQL shell commands:
   .plancache [clear|size N]
                         show (or clear/resize) the query plan cache
   .batch [N]            show / set the default execution batch size
+  .columnar [on|off]    show / toggle columnar segment scans (+ segment stats)
   .trace [on|off]       print a span tree after each query
   .events [N] [KIND]    tail the structured event log (optionally filtered)
   .slowlog [MS|off]     show the slow-query log / set its threshold in ms
@@ -138,6 +139,9 @@ def run_statement(db: MultiModelDB, statement: str, out: IO, state: dict) -> Non
             "plan_cache_misses_total",
             "plan_cache_evictions_total",
             "hash_join_builds_total",
+            "columnar_segments_pruned_total",
+            "columnar_kernel_rows_total",
+            "columnar_segment_rebuilds_total",
             "model_ops_total",
             "txn_commits_total",
             "wal_appends_total",
@@ -242,6 +246,26 @@ def run_statement(db: MultiModelDB, statement: str, out: IO, state: dict) -> Non
             return
         db.batch_size = width
         print(f"  batch size set to {db.batch_size}", file=out)
+        return
+    if statement.startswith(".columnar"):
+        argument = statement[len(".columnar"):].strip().lower()
+        if argument == "on":
+            db.columnar = True
+        elif argument == "off":
+            db.columnar = False
+        elif argument:
+            print("  usage: .columnar [on|off]", file=out)
+            return
+        status = "on" if getattr(db, "columnar", True) else "off"
+        segment_stats = db.context.segments.stats()
+        print(
+            f"  columnar scans {status} — {segment_stats['segments']} "
+            f"segments / {segment_stats['rows']} rows over "
+            f"{segment_stats['namespaces']} namespaces "
+            f"({segment_stats['rebuilds']} rebuilds, "
+            f"{segment_stats['appends']} tail appends)",
+            file=out,
+        )
         return
     if statement.startswith(".trace"):
         from repro.obs import tracing

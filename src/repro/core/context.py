@@ -19,6 +19,7 @@ from repro.core.cursor import IteratorScanCursor, ScanCursor
 from repro.errors import UnknownCollectionError
 from repro.indexes.manager import IndexManager
 from repro.storage.log import CentralLog, LogOp
+from repro.storage.segments import SegmentManager
 from repro.storage.views import ColumnView, RowView
 from repro.txn.consistency import ConsistencyPolicy
 from repro.txn.manager import Transaction, TransactionManager
@@ -33,6 +34,9 @@ class EngineContext:
         self.log = CentralLog()
         self.rows = RowView(self.log)
         self.columns = ColumnView(self.log)
+        #: Columnar segments + zone maps for registered (relational /
+        #: wide-column) namespaces — the analytic scan format.
+        self.segments = SegmentManager(self.log, self.rows)
         self.transactions = TransactionManager(self.log, lock_timeout=lock_timeout)
         self.indexes = IndexManager(self.log, self.rows)
         self.consistency = ConsistencyPolicy()

@@ -16,7 +16,9 @@ batched protocol:
 
 Every model store exposes ``scan_cursor(txn=None)`` (see the per-store
 overrides); the legacy iteration methods survive as thin compat shims that
-emit :class:`PendingDeprecationWarning` via :func:`warn_deprecated_scan`.
+emit :class:`DeprecationWarning` via :func:`warn_deprecated_scan` (promoted
+from :class:`PendingDeprecationWarning` one release after the cursor
+protocol landed — the shims are next to go).
 """
 
 from __future__ import annotations
@@ -121,7 +123,7 @@ def warn_deprecated_scan(old: str, new: str = "scan_cursor()") -> None:
     """One-liner used by the legacy iteration shims on every store."""
     warnings.warn(
         f"{old} is deprecated; use {new} (the unified ScanCursor protocol)",
-        PendingDeprecationWarning,
+        DeprecationWarning,
         stacklevel=3,
     )
 

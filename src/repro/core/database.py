@@ -49,6 +49,7 @@ class MultiModelDB:
         lock_timeout: float = 5.0,
         plan_cache_size: int = 128,
         batch_size: int = 256,
+        columnar: bool = True,
     ):
         from repro.query.engine import PlanCache, QueryGuardrails
 
@@ -57,6 +58,11 @@ class MultiModelDB:
         #: pipeline batch); per-query ``batch_size`` overrides it and
         #: ``guardrails.max_batch_size`` caps both.
         self.batch_size = max(int(batch_size), 1)
+        #: Default columnar-scan switch: relational/wide-column scans run
+        #: over typed column segments with zone-map pruning when on;
+        #: per-query ``columnar=`` overrides it.  Results are identical
+        #: either way — this is purely a physical-plan choice.
+        self.columnar = bool(columnar)
         self._catalog: dict[str, tuple[str, Any]] = {}
         #: Serializes catalog DDL (``_register``/``drop``) against lookups:
         #: the network server runs sessions on a thread pool, and a DDL
@@ -298,6 +304,7 @@ class MultiModelDB:
         timeout: Optional[float] = None,
         max_rows: Optional[int] = None,
         batch_size: Optional[int] = None,
+        columnar: Optional[bool] = None,
     ):
         """Run an MMQL query; returns a :class:`repro.query.executor.Result`.
 
@@ -311,8 +318,9 @@ class MultiModelDB:
         to ``self.guardrails``, which is disabled by default.
 
         ``batch_size`` overrides the vectorization width for this query
-        (default ``self.batch_size``); results are identical at any
-        width."""
+        (default ``self.batch_size``); ``columnar`` overrides the
+        columnar-scan switch (default ``self.columnar``); results are
+        identical at any width and on either scan path."""
         from repro.query.engine import run_query
 
         return run_query(
@@ -324,6 +332,7 @@ class MultiModelDB:
             timeout=timeout,
             max_rows=max_rows,
             batch_size=batch_size,
+            columnar=columnar,
         )
 
     def query_cursor(
@@ -334,6 +343,7 @@ class MultiModelDB:
         timeout: Optional[float] = None,
         max_rows: Optional[int] = None,
         batch_size: Optional[int] = None,
+        columnar: Optional[bool] = None,
     ):
         """Open a lazy :class:`repro.query.engine.QueryCursor` over an MMQL
         query: rows stream out through ``next_batch(n)``/iteration instead
@@ -349,6 +359,7 @@ class MultiModelDB:
             timeout=timeout,
             max_rows=max_rows,
             batch_size=batch_size,
+            columnar=columnar,
         )
 
     def explain(self, text: str, bind_vars: Optional[dict] = None) -> str:

@@ -32,6 +32,7 @@ cost per query.
 from __future__ import annotations
 
 import re
+from array import array
 from typing import Any, Callable
 
 from repro.core import datamodel
@@ -44,6 +45,10 @@ __all__ = [
     "compile_expr",
     "compile_filter_batch",
     "compile_projection_batch",
+    "compile_filter_columnar",
+    "compile_projection_columnar",
+    "extract_zone_predicates",
+    "columnar_attr",
     "compiles_fully",
     "CompiledFn",
     "BatchFn",
@@ -378,3 +383,234 @@ def _compile_binop(expr: ast.BinOp) -> CompiledFn:
         raise ExecutionError(f"unknown operator {op!r}")
 
     return unknown
+
+
+# ---------------------------------------------------------------------------
+# Columnar kernels (segment scans — see repro.storage.segments)
+# ---------------------------------------------------------------------------
+#
+# These lower the hot operator shapes onto ColumnBatch: filter predicates
+# evaluate column-at-a-time into a selection vector, projections read one
+# column directly.  A kernel factory returns None when the expression shape
+# is not columnar (the executor then pivots to rows); a kernel *call*
+# returns None when the batch at hand lacks the column (per-segment
+# fallback).  Either way semantics are identical to the row path — the
+# kernels reimplement datamodel.compare's total order, with a direct
+# numeric fast path when both sides are guaranteed numbers.
+
+_EMPTY_FRAME: dict = {}
+
+#: Comparison flipped to keep the column on the left (``5 < c.x`` becomes
+#: ``c.x > 5``).
+_FLIP = {"==": "==", "!=": "!=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+def columnar_attr(expr: ast.Expr, var: str) -> Any:
+    """The column name when *expr* is a single attribute access on *var*
+    (``var.column``), else None."""
+    if (
+        isinstance(expr, ast.AttrAccess)
+        and isinstance(expr.subject, ast.VarRef)
+        and expr.subject.name == var
+    ):
+        return expr.attribute
+    return None
+
+
+def _constant_fn(expr: ast.Expr):
+    """Compiled value fn for frame-independent expressions, else None."""
+    if isinstance(expr, (ast.Literal, ast.BindVar)):
+        return _compile(expr)
+    return None
+
+
+def _conjuncts(condition: ast.Expr) -> list:
+    out: list = []
+    stack = [condition]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.BinOp) and node.op == "AND":
+            stack.append(node.right)
+            stack.append(node.left)
+        else:
+            out.append(node)
+    return out
+
+
+def _column_comparison(node: ast.Expr, var: str):
+    """``(column, op, value_fn)`` when *node* is ``var.col <op> constant``
+    (either orientation), else None."""
+    if not (isinstance(node, ast.BinOp) and node.op in _FLIP):
+        return None
+    column = columnar_attr(node.left, var)
+    value_fn = _constant_fn(node.right)
+    if column is not None and value_fn is not None:
+        return (column, node.op, value_fn)
+    column = columnar_attr(node.right, var)
+    value_fn = _constant_fn(node.left)
+    if column is not None and value_fn is not None:
+        return (column, _FLIP[node.op], value_fn)
+    return None
+
+
+def extract_zone_predicates(condition: ast.Expr, var: str) -> list:
+    """Zone-map-prunable conjuncts of a FILTER condition.
+
+    Returns ``[(column, op, value_fn), …]`` for every top-level AND
+    conjunct of the form ``var.column <op> constant`` with *op* in
+    ``== < <= > >=`` (``!=`` can never prune a min/max range).  The
+    FILTER itself still runs in full — pruning only skips segments whose
+    zone range makes a conjunct unsatisfiable, so any conjuncts this
+    function cannot express are simply not used for pruning."""
+    predicates = []
+    for node in _conjuncts(condition):
+        found = _column_comparison(node, var)
+        if found is not None and found[1] != "!=":
+            predicates.append(found)
+    return predicates
+
+
+def _cmp_kernel(column_name: str, op: str, value_fn: CompiledFn):
+    """Selection-vector kernel for one ``column <op> constant`` conjunct.
+
+    Typed int/float arrays compare against numeric constants directly
+    (NULL handled by position set: NULL sorts *below* every number, so
+    ``<``/``<=``/``!=`` keep null rows and ``==``/``>``/``>=`` drop
+    them — exactly datamodel.compare's verdict); everything else goes
+    through the full model comparison per value."""
+    verdict = _COMPARISONS[op]
+
+    def kernel(ctx, segment, indices):
+        column = segment.columns.get(column_name)
+        if column is None:
+            return None
+        constant = value_fn(ctx, _EMPTY_FRAME)
+        nulls = segment.nulls.get(column_name)
+        if (
+            isinstance(column, array)
+            and isinstance(constant, (int, float))
+            and not isinstance(constant, bool)
+        ):
+            if not nulls:
+                if op == "==":
+                    return [i for i in indices if column[i] == constant]
+                if op == "!=":
+                    return [i for i in indices if column[i] != constant]
+                if op == "<":
+                    return [i for i in indices if column[i] < constant]
+                if op == "<=":
+                    return [i for i in indices if column[i] <= constant]
+                if op == ">":
+                    return [i for i in indices if column[i] > constant]
+                return [i for i in indices if column[i] >= constant]
+            if op == "==":
+                return [
+                    i for i in indices
+                    if i not in nulls and column[i] == constant
+                ]
+            if op == "!=":
+                return [
+                    i for i in indices
+                    if i in nulls or column[i] != constant
+                ]
+            if op == "<":
+                return [
+                    i for i in indices
+                    if i in nulls or column[i] < constant
+                ]
+            if op == "<=":
+                return [
+                    i for i in indices
+                    if i in nulls or column[i] <= constant
+                ]
+            if op == ">":
+                return [
+                    i for i in indices
+                    if i not in nulls and column[i] > constant
+                ]
+            return [
+                i for i in indices
+                if i not in nulls and column[i] >= constant
+            ]
+        compare = _compare
+        if nulls:
+            return [
+                i
+                for i in indices
+                if verdict(
+                    compare(None if i in nulls else column[i], constant)
+                )
+            ]
+        return [i for i in indices if verdict(compare(column[i], constant))]
+
+    return kernel
+
+
+def compile_filter_columnar(condition: ast.Expr, var: str):
+    """Lower a FILTER condition into a columnar selection kernel
+    ``fn(ctx, batch) -> selected_indices | None``.
+
+    Supported shape: an AND-chain where every conjunct compares one
+    column of *var* against a constant.  Returns None (compile-time
+    fallback) for anything else; the kernel itself returns None
+    (run-time fallback) when a segment lacks one of the columns."""
+    kernels = []
+    for node in _conjuncts(condition):
+        found = _column_comparison(node, var)
+        if found is None:
+            return None
+        kernels.append(_cmp_kernel(*found))
+    if not kernels:
+        return None
+    if len(kernels) == 1:
+        single = kernels[0]
+
+        def filter_one(ctx, batch):
+            return single(ctx, batch.segment, batch.indices())
+
+        return filter_one
+
+    def filter_columnar(ctx, batch):
+        segment = batch.segment
+        indices = batch.indices()
+        for kernel in kernels:
+            indices = kernel(ctx, segment, indices)
+            if indices is None:
+                return None
+            if not indices:
+                break
+        return indices
+
+    return filter_columnar
+
+
+def compile_projection_columnar(expr: ast.Expr, var: str):
+    """Lower a RETURN projection into ``fn(ctx, batch) -> values | None``.
+
+    Two shapes stay columnar: the whole row (``RETURN var`` — the stored
+    record dicts, no frame copies) and a single column
+    (``RETURN var.column`` — read straight out of the typed array)."""
+    if isinstance(expr, ast.VarRef) and expr.name == var:
+
+        def project_rows(ctx, batch):
+            stored = batch.segment.rows
+            return [stored[i] for i in batch.indices()]
+
+        return project_rows
+    column_name = columnar_attr(expr, var)
+    if column_name is None:
+        return None
+
+    def project_column(ctx, batch):
+        segment = batch.segment
+        column = segment.columns.get(column_name)
+        if column is None:
+            return None
+        nulls = segment.nulls.get(column_name)
+        if not nulls:
+            return [column[i] for i in batch.indices()]
+        return [
+            None if i in nulls else column[i] for i in batch.indices()
+        ]
+
+    return project_column

@@ -287,6 +287,7 @@ def run_query(
     timeout: Optional[float] = None,
     max_rows: Optional[int] = None,
     batch_size: Optional[int] = None,
+    columnar: Optional[bool] = None,
 ) -> Result:
     """Parse, optimize and execute an MMQL query against *db*.
 
@@ -299,6 +300,11 @@ def run_query(
     (default: ``db.batch_size``, clamped to
     ``db.guardrails.max_batch_size``); results are identical at any
     width, only the amortization changes.
+
+    ``columnar`` overrides the columnar-scan switch for this query
+    (default: ``db.columnar``, which defaults to on).  Columnar scans
+    serve registered relational/wide-column stores from typed column
+    segments with zone-map pruning; results are identical either way.
 
     ``timeout`` (seconds) and ``max_rows`` are the query guardrails: when
     set, execution raises :class:`QueryTimeoutError` past the deadline or
@@ -352,6 +358,11 @@ def run_query(
                 txn=txn,
                 analyze=analyze,
                 batch_size=_effective_batch_size(db, batch_size),
+                columnar=(
+                    bool(getattr(db, "columnar", True))
+                    if columnar is None
+                    else bool(columnar)
+                ),
             )
             if timeout is not None:
                 ctx.timeout = float(timeout)
@@ -402,7 +413,9 @@ def run_query(
         )
     if analyze:
         result.op_stats = plan_module.analyzed_op_stats(ctx.probes)
-        result.analyzed = render_analyzed_plan(query, ctx.probes, elapsed)
+        result.analyzed = render_analyzed_plan(
+            query, ctx.probes, elapsed, ctx.stats
+        )
         result.analyzed += (
             "\nPlan: served from plan cache"
             if plan_cached
@@ -521,6 +534,7 @@ def open_query_cursor(
     timeout: Optional[float] = None,
     max_rows: Optional[int] = None,
     batch_size: Optional[int] = None,
+    columnar: Optional[bool] = None,
 ) -> QueryCursor:
     """Open a :class:`QueryCursor` over an MMQL query: same planning path
     as :func:`run_query` (guardrail defaults, plan cache, DDL-version
@@ -563,6 +577,11 @@ def open_query_cursor(
         bind_vars=bind_vars or {},
         txn=txn,
         batch_size=_effective_batch_size(db, batch_size),
+        columnar=(
+            bool(getattr(db, "columnar", True))
+            if columnar is None
+            else bool(columnar)
+        ),
     )
     if timeout is not None:
         ctx.timeout = float(timeout)

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import re
 import time
+from array import array
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Optional
 
@@ -31,18 +32,25 @@ from repro.core.cursor import DEFAULT_BATCH_SIZE, open_scan_cursor
 from repro.errors import (
     BindError,
     ExecutionError,
+    FunctionError,
     QueryTimeoutError,
     ResourceExhaustedError,
+    UnknownCollectionError,
 )
 from repro.obs import metrics as obs_metrics
 from repro.query import ast
 from repro.query.compile import (
+    columnar_attr,
     compile_expr,
     compile_filter_batch,
+    compile_filter_columnar,
     compile_projection_batch,
+    compile_projection_columnar,
+    extract_zone_predicates,
 )
 from repro.query.functions import call_function
 from repro.query.plan import HashJoinOp, IndexScanOp
+from repro.storage.segments import ColumnBatch, segment_may_match
 
 __all__ = ["ExecContext", "OpProbe", "Result", "execute", "execute_stream"]
 
@@ -92,6 +100,11 @@ class ExecContext:
     txn: Any = None
     analyze: bool = False
     batch_size: int = DEFAULT_BATCH_SIZE
+    #: Columnar execution switch: catalog scans of segment-registered
+    #: stores emit :class:`ColumnBatch`es (typed-array kernels, zone-map
+    #: pruning) instead of frame batches.  Off inside transactions —
+    #: segments reflect latest-committed state, not a snapshot.
+    columnar: bool = True
     deadline: Optional[float] = None
     timeout: Optional[float] = None
     max_rows: Optional[int] = None
@@ -107,6 +120,10 @@ class ExecContext:
             "writes": 0,
             "hash_join_builds": 0,
             "plan_cached": False,
+            "segments_scanned": 0,
+            "segments_pruned": 0,
+            "columnar_batches": 0,
+            "columnar_kernel_rows": 0,
         }
     )
 
@@ -121,12 +138,14 @@ class OpProbe:
     a chain, so upstream work happens inside downstream pulls).
     ``batches_out`` counts the batches the operator emitted — with
     vectorized execution the rows/batches ratio shows the effective
-    batch width."""
+    batch width.  ``columnar_batches`` counts how many of those stayed
+    in columnar form (EXPLAIN ANALYZE renders ``columnar=yes``)."""
 
     operation: Any
     rows_out: int = 0
     seconds: float = 0.0
     batches_out: int = 0
+    columnar_batches: int = 0
 
 
 def _probed(batches: Iterator[list], probe: OpProbe) -> Iterator[list]:
@@ -142,6 +161,8 @@ def _probed(batches: Iterator[list], probe: OpProbe) -> Iterator[list]:
         probe.seconds += perf_counter() - start
         probe.rows_out += len(batch)
         probe.batches_out += 1
+        if type(batch) is ColumnBatch:
+            probe.columnar_batches += 1
         yield batch
 
 
@@ -389,6 +410,348 @@ def _chunked(values: list, width: int) -> Iterator[list]:
 
 
 # ---------------------------------------------------------------------------
+# Columnar scan path (segments + zone maps — see repro.storage.segments)
+# ---------------------------------------------------------------------------
+
+
+_UNSET = object()
+
+#: Aggregate functions with running accumulators (everything else buffers
+#: its inputs per group and calls the library function once at the end).
+_AGG_MODES = {
+    "COUNT": "count",
+    "LENGTH": "count",
+    "SUM": "sum",
+    "MIN": "min",
+    "MAX": "max",
+    "AVG": "avg",
+}
+
+
+def _attach_zone_sources(query: ast.Query) -> None:
+    """Pre-pass: hand each plain FOR scan the conditions of the FILTERs
+    immediately following it (filter pushdown makes them adjacent), so
+    the scan can consult zone maps and skip whole segments.  Memoized on
+    the query object — plans are cached and re-executed."""
+    if getattr(query, "_zone_attached", False):
+        return
+    operations = query.operations
+    for position, operation in enumerate(operations):
+        if type(operation) is not ast.ForOp:
+            continue
+        conditions = []
+        for follower in operations[position + 1:]:
+            if not isinstance(follower, ast.FilterOp):
+                break
+            conditions.append(follower.condition)
+        operation._zone_conditions = tuple(conditions)
+    query._zone_attached = True
+
+
+def _zone_bounds(ctx, operation: ast.ForOp, frame: dict) -> list:
+    """``(column, op, value)`` triples usable for zone pruning on this
+    scan, constants evaluated once per scan."""
+    predicates = getattr(operation, "_c_zone", None)
+    if predicates is None:
+        predicates = []
+        for condition in getattr(operation, "_zone_conditions", ()):
+            predicates.extend(
+                extract_zone_predicates(condition, operation.var)
+            )
+        operation._c_zone = predicates
+    return [
+        (column, op, value_fn(ctx, frame))
+        for column, op, value_fn in predicates
+    ]
+
+
+def _columnar_segments(ctx, name: str):
+    """``(segment, row_count)`` pairs when *name* is a catalog store with
+    registered columnar segments, else None (row path — which also owns
+    reporting unknown names)."""
+    try:
+        store = ctx.db.resolve(name)
+    except UnknownCollectionError:
+        return None
+    namespace = getattr(store, "namespace", None)
+    if namespace is None:
+        return None
+    return ctx.db.context.segments.segments_for_scan(namespace)
+
+
+def _columnar_for(ctx, operation: ast.ForOp, frame: dict, pairs):
+    """Emit one :class:`ColumnBatch` per surviving segment, consulting
+    the zone maps first: a segment whose min/max range cannot satisfy a
+    pushed-down conjunct is skipped without touching its rows."""
+    bounds = _zone_bounds(ctx, operation, frame)
+    var = operation.var
+    pruned = 0
+    for segment, length in pairs:
+        if bounds and not all(
+            segment_may_match(segment, column, op, value)
+            for column, op, value in bounds
+        ):
+            pruned += 1
+            continue
+        ctx.stats["segments_scanned"] += 1
+        ctx.stats["scanned"] += length
+        ctx.stats["columnar_batches"] += 1
+        if ctx.deadline is not None:
+            _check_deadline(ctx)
+        yield ColumnBatch(var, frame, segment, length)
+    if pruned:
+        ctx.stats["segments_pruned"] += pruned
+        if obs_metrics.ENABLED:
+            obs_metrics.counter("columnar_segments_pruned_total").inc(pruned)
+
+
+def _columnar_slot(operation, slot: str, var: str, factory, expr):
+    """Per-(operation, var) memo for columnar kernel compilation.  None
+    is a valid, cached "not columnar" verdict — hence the _UNSET probe."""
+    cache = getattr(operation, slot, None)
+    if cache is None:
+        cache = {}
+        setattr(operation, slot, cache)
+    kernel = cache.get(var, _UNSET)
+    if kernel is _UNSET:
+        kernel = factory(expr, var)
+        cache[var] = kernel
+    return kernel
+
+
+def _group_token(value: Any) -> Any:
+    """Hashable group key under the model's equality: cheap scalar fast
+    path (1 and 1.0 unify, booleans stay distinct from numbers), model
+    hash for containers.  Both the row and the columnar COLLECT paths
+    tokenize through here, so groups merge across mixed batch kinds."""
+    value_type = type(value)
+    if value_type is str or value is None:
+        return value
+    if value_type is bool:
+        return ("$bool", value)
+    if value_type is int:
+        return value
+    if value_type is float:
+        return int(value) if value.is_integer() else value
+    return ("$hash", datamodel.hash_value(value))
+
+
+def _new_group(key_values: list, agg_specs: list) -> dict:
+    aggs: list = []
+    for _name, _func, mode, _arg_fn in agg_specs:
+        if mode in ("count", "sum"):
+            aggs.append(0)
+        elif mode == "avg":
+            aggs.append([0, 0])
+        elif mode == "buffer":
+            aggs.append([])
+        else:  # min / max
+            aggs.append(_UNSET)
+    return {"keys": dict(key_values), "count": 0, "members": [], "aggs": aggs}
+
+
+def _agg_add(aggs: list, position: int, mode: str, func: str, value) -> None:
+    """Fold one input into a running accumulator.  Streamable aggregates
+    keep O(groups) state; only library functions without a running form
+    (UNIQUE, …) still buffer their inputs."""
+    if mode == "count":
+        # COUNT is LENGTH of the input array — NULLs count.
+        aggs[position] += 1
+        return
+    if mode == "buffer":
+        aggs[position].append(value)
+        return
+    if value is None:
+        return
+    if datamodel.type_of(value) is not datamodel.TypeTag.NUMBER:
+        # Same verdict and message _numbers() would have produced had the
+        # inputs been buffered and aggregated at the end.
+        raise FunctionError(
+            f"{func}: array contains a {datamodel.type_name(value)}"
+        )
+    if mode == "sum":
+        aggs[position] += value
+    elif mode == "avg":
+        state = aggs[position]
+        state[0] += value
+        state[1] += 1
+    elif mode == "min":
+        current = aggs[position]
+        if current is _UNSET or value < current:
+            aggs[position] = value
+    else:  # max
+        current = aggs[position]
+        if current is _UNSET or value > current:
+            aggs[position] = value
+
+
+def _agg_final(ctx, state, mode: str, func: str):
+    if mode == "buffer":
+        return call_function(ctx, func, [state])
+    if mode == "avg":
+        return state[0] / state[1] if state[1] else None
+    if mode in ("min", "max"):
+        return None if state is _UNSET else state
+    return state
+
+
+def _collect_plan(operation: ast.CollectOp, var: str):
+    """``(group_columns, agg_columns)`` when every group key and every
+    non-COUNT aggregate input is a plain ``var.column`` access, else
+    None.  COUNT counts rows whatever its input evaluates to, so its
+    argument never needs a column."""
+    cache = getattr(operation, "_cc_collect", None)
+    if cache is None:
+        cache = {}
+        operation._cc_collect = cache
+    plan = cache.get(var, _UNSET)
+    if plan is not _UNSET:
+        return plan
+
+    def build():
+        group_columns = []
+        for name, expr in operation.groups:
+            column = columnar_attr(expr, var)
+            if column is None:
+                return None
+            group_columns.append((name, column))
+        agg_columns: list = []
+        for _name, func, arg in operation.aggregates:
+            if _AGG_MODES.get(func.upper()) == "count":
+                agg_columns.append(None)
+                continue
+            column = columnar_attr(arg, var)
+            if column is None:
+                return None
+            agg_columns.append(column)
+        return (group_columns, agg_columns)
+
+    plan = build()
+    cache[var] = plan
+    return plan
+
+
+def _collect_columnar(
+    ctx, operation: ast.CollectOp, batch, agg_specs, groups, order
+) -> bool:
+    """Fold one ColumnBatch into the COLLECT state without building row
+    frames: group-key columns are read directly and tokenized once per
+    row, aggregate inputs come straight from the typed arrays.  Returns
+    False when the shape is not columnar (the caller pivots to rows)."""
+    plan = _collect_plan(operation, batch.var)
+    if plan is None:
+        return False
+    total = len(batch)
+    if total == 0:
+        return True
+    group_columns, agg_columns = plan
+    segment = batch.segment
+    columns = segment.columns
+    nulls_map = segment.nulls
+    ctx.stats["columnar_kernel_rows"] += total
+    if obs_metrics.ENABLED:
+        obs_metrics.counter(
+            "columnar_kernel_rows_total", kernel="collect"
+        ).inc(total)
+    if not group_columns:
+        # Global aggregate: one group; whole-column builtins (C loops)
+        # when a typed, null-free column is fully selected.
+        group = groups.get(())
+        if group is None:
+            group = _new_group([], agg_specs)
+            groups[()] = group
+            order.append(())
+        group["count"] += total
+        aggs = group["aggs"]
+        full = batch.selection is None
+        for position, (_name, func, mode, _arg_fn) in enumerate(agg_specs):
+            if mode == "count":
+                aggs[position] += total
+                continue
+            column_name = agg_columns[position]
+            column = columns.get(column_name)
+            nulls = nulls_map.get(column_name)
+            if (
+                full
+                and not nulls
+                and isinstance(column, array)
+                and mode != "buffer"
+            ):
+                data = (
+                    column
+                    if len(column) == batch.length
+                    else column[:batch.length]
+                )
+                if mode == "sum":
+                    aggs[position] += sum(data)
+                elif mode == "avg":
+                    state = aggs[position]
+                    state[0] += sum(data)
+                    state[1] += len(data)
+                else:
+                    extreme = min(data) if mode == "min" else max(data)
+                    current = aggs[position]
+                    if (
+                        current is _UNSET
+                        or (mode == "min" and extreme < current)
+                        or (mode == "max" and extreme > current)
+                    ):
+                        aggs[position] = extreme
+                continue
+            for i in batch.indices():
+                value = (
+                    None
+                    if column is None or (nulls and i in nulls)
+                    else column[i]
+                )
+                _agg_add(aggs, position, mode, func, value)
+        return True
+    key_readers = [
+        (name, columns.get(column), nulls_map.get(column))
+        for name, column in group_columns
+    ]
+    agg_readers: list = []
+    for position, (_name, _func, mode, _arg_fn) in enumerate(agg_specs):
+        if mode == "count":
+            agg_readers.append(None)
+        else:
+            column_name = agg_columns[position]
+            agg_readers.append(
+                (columns.get(column_name), nulls_map.get(column_name))
+            )
+    group_token = _group_token
+    for i in batch.indices():
+        key_values = [
+            (
+                name,
+                None
+                if column is None or (nulls and i in nulls)
+                else column[i],
+            )
+            for name, column, nulls in key_readers
+        ]
+        token = tuple(group_token(value) for _name, value in key_values)
+        group = groups.get(token)
+        if group is None:
+            group = _new_group(key_values, agg_specs)
+            groups[token] = group
+            order.append(token)
+        group["count"] += 1
+        aggs = group["aggs"]
+        for position, (_name, func, mode, _arg_fn) in enumerate(agg_specs):
+            reader = agg_readers[position]
+            if reader is None:
+                aggs[position] += 1
+                continue
+            column, nulls = reader
+            value = (
+                None if column is None or (nulls and i in nulls) else column[i]
+            )
+            _agg_add(aggs, position, mode, func, value)
+    return True
+
+
+# ---------------------------------------------------------------------------
 # Operation pipeline (batch in, batch out)
 # ---------------------------------------------------------------------------
 
@@ -403,7 +766,18 @@ def _apply_for(ctx, operation: ast.ForOp, batches):
         for frame in batch:
             if source_is_name and operation.source.name not in frame:
                 # a catalog name (collections shadowable by variables):
-                # consume the store cursor batch-at-a-time.
+                # columnar segments when the store maintains them (zone
+                # maps prune inside; transactions need snapshot reads so
+                # they take the row path), else the store cursor
+                # batch-at-a-time.
+                if ctx.columnar and ctx.txn is None:
+                    pairs = _columnar_segments(ctx, operation.source.name)
+                    if pairs is not None:
+                        if out:
+                            yield out
+                            out = []
+                        yield from _columnar_for(ctx, operation, frame, pairs)
+                        continue
                 for source_batch in _source_batches(ctx, operation.source.name):
                     for value in source_batch:
                         child = dict(frame)
@@ -649,6 +1023,33 @@ def _apply_filter(ctx, operation: ast.FilterOp, batches):
         operation, "_cb_condition", operation.condition, compile_filter_batch
     )
     for batch in batches:
+        if type(batch) is ColumnBatch:
+            kernel = _columnar_slot(
+                operation,
+                "_cc_filters",
+                batch.var,
+                compile_filter_columnar,
+                operation.condition,
+            )
+            selection = kernel(ctx, batch) if kernel is not None else None
+            if selection is not None:
+                # Vectorized: the kernel narrowed the selection vector
+                # column-at-a-time; the batch stays columnar downstream.
+                total = len(batch)
+                ctx.stats["columnar_kernel_rows"] += total
+                if obs_metrics.ENABLED:
+                    obs_metrics.counter(
+                        "columnar_kernel_rows_total", kernel="filter"
+                    ).inc(total)
+                dropped = total - len(selection)
+                if dropped:
+                    ctx.stats["filtered_out"] += dropped
+                if selection:
+                    yield batch.with_selection(selection)
+                continue
+            batch = batch.to_rows()
+            if not batch:
+                continue
         kept = predicate(ctx, batch)
         dropped = len(batch) - len(kept)
         if dropped:
@@ -730,38 +1131,56 @@ def _apply_limit(ctx, operation: ast.LimitOp, batches):
 
 
 def _apply_collect(ctx, operation: ast.CollectOp, batches):
-    from repro.query.functions import call_function
+    """Group + aggregate, a pipeline breaker.
 
+    Streamable aggregates (COUNT/SUM/MIN/MAX/AVG) fold into running
+    accumulators — memory stays O(groups), not O(rows); only library
+    functions without a running form (UNIQUE, …) and ``INTO`` member
+    lists still buffer.  ColumnBatches whose group keys and aggregate
+    inputs are plain column reads are folded without building frames
+    (:func:`_collect_columnar`); both paths share :func:`_group_token`,
+    so groups merge correctly across mixed batch kinds."""
     group_fns = getattr(operation, "_c_groups", None)
     if group_fns is None:
         group_fns = [
             (name, compile_expr(expr)) for name, expr in operation.groups
         ]
         operation._c_groups = group_fns
-    agg_fns = getattr(operation, "_c_aggregates", None)
-    if agg_fns is None:
-        agg_fns = [compile_expr(arg) for _name, _func, arg in operation.aggregates]
-        operation._c_aggregates = agg_fns
+    agg_specs = getattr(operation, "_c_agg_specs", None)
+    if agg_specs is None:
+        agg_specs = []
+        for name, func, arg in operation.aggregates:
+            func = func.upper()
+            agg_specs.append(
+                (name, func, _AGG_MODES.get(func, "buffer"), compile_expr(arg))
+            )
+        operation._c_agg_specs = agg_specs
 
-    groups: dict[int, dict] = {}
-    order: list[int] = []
+    into = operation.into
+    groups: dict = {}
+    order: list = []
     for batch in batches:
+        if (
+            type(batch) is ColumnBatch
+            and not into
+            and _collect_columnar(
+                ctx, operation, batch, agg_specs, groups, order
+            )
+        ):
+            continue
         for frame in batch:
             key_values = [(name, fn(ctx, frame)) for name, fn in group_fns]
-            token = datamodel.hash_value([value for _name, value in key_values])
-            if token not in groups:
-                groups[token] = {
-                    "keys": dict(key_values),
-                    "count": 0,
-                    "members": [],
-                    "aggregate_inputs": [[] for _ in operation.aggregates],
-                }
+            token = tuple(_group_token(value) for _name, value in key_values)
+            group = groups.get(token)
+            if group is None:
+                group = _new_group(key_values, agg_specs)
+                groups[token] = group
                 order.append(token)
-            group = groups[token]
             group["count"] += 1
-            for position, arg_fn in enumerate(agg_fns):
-                group["aggregate_inputs"][position].append(arg_fn(ctx, frame))
-            if operation.into:
+            aggs = group["aggs"]
+            for position, (_name, func, mode, arg_fn) in enumerate(agg_specs):
+                _agg_add(aggs, position, mode, func, arg_fn(ctx, frame))
+            if into:
                 group["members"].append(
                     {
                         name: value
@@ -774,14 +1193,13 @@ def _apply_collect(ctx, operation: ast.CollectOp, batches):
     for token in order:
         group = groups[token]
         frame = dict(group["keys"])
-        for position, (name, func, _arg) in enumerate(operation.aggregates):
-            frame[name] = call_function(
-                ctx, func, [group["aggregate_inputs"][position]]
-            )
+        aggs = group["aggs"]
+        for position, (name, func, mode, _arg_fn) in enumerate(agg_specs):
+            frame[name] = _agg_final(ctx, aggs[position], mode, func)
         if operation.count_into:
             frame[operation.count_into] = group["count"]
-        if operation.into:
-            frame[operation.into] = group["members"]
+        if into:
+            frame[into] = group["members"]
         out.append(frame)
         if len(out) >= width:
             yield out
@@ -933,6 +1351,7 @@ def _open_pipeline(ctx: ExecContext, query: ast.Query, initial_frame: dict):
     RETURN/DML operation (or None for a headless pipeline) and *probes*
     is the probe list when this is the outermost EXPLAIN ANALYZE
     pipeline, else None."""
+    _attach_zone_sources(query)
     batches: Iterator[list] = iter([[initial_frame]])
     # Only the outermost pipeline is probed: subqueries run inside a parent
     # operator and their cost is already charged to it.
@@ -983,7 +1402,25 @@ def _return_batches(ctx: ExecContext, operation: ast.ReturnOp, batches, probes):
     for batch in batches:
         if ctx.deadline is not None:
             _check_deadline(ctx)
-        values = project(ctx, batch)
+        values = None
+        if type(batch) is ColumnBatch:
+            kernel = _columnar_slot(
+                operation,
+                "_cc_project",
+                batch.var,
+                compile_projection_columnar,
+                operation.expr,
+            )
+            if kernel is not None:
+                values = kernel(ctx, batch)
+                if values is not None:
+                    ctx.stats["columnar_kernel_rows"] += len(values)
+                    if obs_metrics.ENABLED:
+                        obs_metrics.counter(
+                            "columnar_kernel_rows_total", kernel="project"
+                        ).inc(len(values))
+        if values is None:
+            values = project(ctx, batch)
         if seen is not None:
             kept = []
             for value in values:

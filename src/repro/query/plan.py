@@ -220,6 +220,7 @@ def analyzed_op_stats(probes: list) -> list[dict]:
                 "rows_in": previous_rows,
                 "rows_out": probe.rows_out,
                 "batches_out": getattr(probe, "batches_out", 0),
+                "columnar_batches": getattr(probe, "columnar_batches", 0),
                 "seconds": probe.seconds,
                 "self_seconds": max(0.0, probe.seconds - previous_seconds),
             }
@@ -230,20 +231,39 @@ def analyzed_op_stats(probes: list) -> list[dict]:
 
 
 def render_analyzed_plan(
-    query: ast.Query, probes: list, total_seconds: float
+    query: ast.Query,
+    probes: list,
+    total_seconds: float,
+    query_stats: Optional[dict] = None,
 ) -> str:
     """The physical plan annotated with actual rows and wall-time per
-    operator (EXPLAIN ANALYZE output)."""
+    operator (EXPLAIN ANALYZE output).
+
+    Operators that emitted columnar batches are flagged ``columnar=yes``;
+    when the execution touched the segment store at all, a ``Columnar:``
+    summary line reports segments scanned, segments pruned by zone maps,
+    and rows that went through vectorized kernels."""
     stats = analyzed_op_stats(probes)
     lines = []
     for indent, (operation, entry) in enumerate(zip(query.operations, stats)):
         op_lines = _operation_lines(operation, indent)
+        columnar = " columnar=yes" if entry["columnar_batches"] else ""
         op_lines[0] += (
             f"  [rows in={entry['rows_in']} out={entry['rows_out']} "
-            f"batches={entry['batches_out']} "
+            f"batches={entry['batches_out']}{columnar} "
             f"self={entry['self_seconds'] * 1000:.3f} ms "
             f"cum={entry['seconds'] * 1000:.3f} ms]"
         )
         lines.extend(op_lines)
+    if query_stats is not None and (
+        query_stats.get("segments_scanned")
+        or query_stats.get("segments_pruned")
+        or query_stats.get("columnar_kernel_rows")
+    ):
+        lines.append(
+            f"Columnar: segments_scanned={query_stats['segments_scanned']} "
+            f"segments_pruned={query_stats['segments_pruned']} "
+            f"kernel_rows={query_stats['columnar_kernel_rows']}"
+        )
     lines.append(f"Execution time: {total_seconds * 1000:.3f} ms")
     return "\n".join(lines)

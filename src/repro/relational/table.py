@@ -28,6 +28,9 @@ class Table(BaseStore):
     def __init__(self, context: EngineContext, schema: TableSchema):
         super().__init__(context, schema.name)
         self.schema = schema
+        # Rows are dense (admit_row fills every schema column), so every
+        # column is worth a typed segment + zone map.
+        context.segments.register(self.namespace, schema.column_names)
 
     # -- DML -----------------------------------------------------------------
 

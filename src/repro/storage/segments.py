@@ -1,0 +1,435 @@
+"""Columnar segments with zone maps — the analytic storage format.
+
+The batched executor (PR 5) removed per-row *pipeline* overhead, but its
+batches are still lists of per-row frame dicts: every scanned row pays a
+``dict(frame)`` copy and every aggregate pays a compiled-closure call.
+This module adds the storage half of the fix, the "specialized engine per
+workload class" the tutorial's challenge #5 asks for:
+
+* each registered namespace (relational and wide-column tables) is
+  decomposed into fixed-size **column segments** (:data:`SEGMENT_ROWS`
+  rows).  Inside a segment every column is a typed ``array`` (``'q'`` for
+  int-only columns, ``'d'`` for float-only) or a plain object list for
+  strings/mixed values, plus a null set and per-segment **min/max zone
+  maps** under the engine's cross-type total order
+  (:func:`repro.core.datamodel.compare` — NULL sorts lowest, so pruning
+  stays conservative for NULL and mixed-type columns);
+* a :class:`ColumnBatch` carries (segment, selection vector) through the
+  executor pipeline next to ordinary row batches; operators that do not
+  understand columns get an exact lazy :meth:`ColumnBatch.to_rows` pivot
+  — segments keep references to the *stored* row dicts, so the pivot
+  reproduces precisely what a row scan would have produced.
+
+Maintenance follows the central-log architecture: :class:`SegmentManager`
+is a :class:`repro.storage.views.StorageView` subscriber, so it only sees
+**committed** entries.  INSERTs append incrementally to the tail segment
+(degrading a typed column to an object list when a value no longer fits);
+UPDATE/DELETE mark the namespace dirty and the next scan rebuilds from
+the row view — which also makes recovery free: after a WAL replay the
+row view is authoritative and the first scan rebuilds the segments from
+it.
+"""
+
+from __future__ import annotations
+
+import threading
+from array import array
+from typing import Any, Iterable, Optional
+
+from repro.core import datamodel
+from repro.obs import metrics as obs_metrics
+from repro.storage.log import CentralLog, LogEntry, LogOp
+from repro.storage.views import RowView, StorageView
+
+__all__ = [
+    "SEGMENT_ROWS",
+    "ColumnSegment",
+    "ColumnBatch",
+    "SegmentManager",
+    "segment_may_match",
+]
+
+#: Rows per segment: small enough that a pruned segment skips real work,
+#: large enough that the per-segment bookkeeping (zone-map check, batch
+#: object) amortizes to noise over the typed-array kernels.
+SEGMENT_ROWS = 1024
+
+#: Column storage kinds.
+_KIND_INT = "q"
+_KIND_FLOAT = "d"
+_KIND_OBJECT = "obj"
+
+_MISSING = object()
+
+obs_metrics.describe(
+    "columnar_segment_rebuilds_total",
+    "Columnar segment rebuilds from the row view (after update/delete).",
+)
+obs_metrics.describe(
+    "columnar_segments_pruned_total",
+    "Segments skipped entirely by zone-map pruning.",
+)
+obs_metrics.describe(
+    "columnar_kernel_rows_total",
+    "Rows processed by vectorized columnar kernels, by kernel type.",
+)
+
+
+def _classify(values: list) -> str:
+    """Pick the storage kind for a freshly built column."""
+    kind: Optional[str] = None
+    for value in values:
+        if value is None:
+            continue
+        value_type = type(value)
+        if value_type is int:
+            candidate = _KIND_INT
+        elif value_type is float:
+            candidate = _KIND_FLOAT
+        else:
+            return _KIND_OBJECT
+        if kind is None:
+            kind = candidate
+        elif kind != candidate:
+            # Mixed int/float stays an object list so stored values round-
+            # trip exactly (1 stays int, 1.0 stays float).
+            return _KIND_OBJECT
+    return kind if kind is not None else _KIND_OBJECT
+
+
+class ColumnSegment:
+    """One fixed-size run of rows, decomposed per column.
+
+    ``rows`` holds the *stored* record dicts (the same objects the row
+    view holds), which is what makes :meth:`ColumnBatch.to_rows` exact.
+    ``columns[name]`` is an ``array('q')``/``array('d')`` (nulls stored as
+    a 0 sentinel, tracked in ``nulls[name]``) or a plain list;
+    ``zone_min``/``zone_max`` cover **all** values of the column
+    including NULLs, under the model total order."""
+
+    __slots__ = ("rows", "columns", "kinds", "nulls", "zone_min", "zone_max")
+
+    def __init__(self, rows: list, column_names: Iterable[str]):
+        self.rows = rows
+        self.columns: dict[str, Any] = {}
+        self.kinds: dict[str, str] = {}
+        self.nulls: dict[str, set] = {}
+        self.zone_min: dict[str, Any] = {}
+        self.zone_max: dict[str, Any] = {}
+        sort_key = datamodel.SortKey
+        for name in column_names:
+            values = [row.get(name) for row in rows]
+            kind = _classify(values)
+            if kind == _KIND_OBJECT:
+                column: Any = values
+            else:
+                try:
+                    column = array(
+                        kind,
+                        [0 if value is None else value for value in values],
+                    )
+                except OverflowError:
+                    # An int outside the 64-bit range: keep objects.
+                    kind = _KIND_OBJECT
+                    column = values
+            nulls = {
+                position
+                for position, value in enumerate(values)
+                if value is None
+            }
+            self.columns[name] = column
+            self.kinds[name] = kind
+            if nulls:
+                self.nulls[name] = nulls
+            if values:
+                self.zone_min[name] = min(values, key=sort_key)
+                self.zone_max[name] = max(values, key=sort_key)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def _degrade(self, name: str) -> list:
+        """Convert a typed column to an object list (a value arrived that
+        no longer fits the array type)."""
+        column = self.columns[name]
+        nulls = self.nulls.get(name, ())
+        values = [
+            None if position in nulls else value
+            for position, value in enumerate(column)
+        ]
+        self.columns[name] = values
+        self.kinds[name] = _KIND_OBJECT
+        return values
+
+    def append(self, row: dict) -> None:
+        """Append one stored row, maintaining columns and zone maps."""
+        position = len(self.rows)
+        self.rows.append(row)
+        compare = datamodel.compare
+        for name, column in self.columns.items():
+            value = row.get(name)
+            kind = self.kinds[name]
+            if value is None:
+                self.nulls.setdefault(name, set()).add(position)
+                column.append(0 if kind != _KIND_OBJECT else None)
+            elif kind == _KIND_INT and type(value) is int:
+                try:
+                    column.append(value)
+                except OverflowError:
+                    self._degrade(name).append(value)
+            elif kind == _KIND_FLOAT and type(value) is float:
+                column.append(value)
+            elif kind == _KIND_OBJECT:
+                column.append(value)
+            else:
+                self._degrade(name).append(value)
+            if name not in self.zone_min:
+                self.zone_min[name] = value
+                self.zone_max[name] = value
+            else:
+                if compare(value, self.zone_min[name]) < 0:
+                    self.zone_min[name] = value
+                if compare(value, self.zone_max[name]) > 0:
+                    self.zone_max[name] = value
+
+
+def segment_may_match(
+    segment: ColumnSegment, column: str, op: str, value: Any
+) -> bool:
+    """Conservative zone-map check: ``False`` only when **no** row of the
+    segment can satisfy ``column <op> value`` under the model total order.
+
+    NULL has the lowest type tag, so a column containing NULLs gets
+    ``zone_min == None`` — which correctly keeps the segment alive for
+    ``<``/``<=`` predicates (NULL compares below every number) and lets
+    ``>``/``>=``/``==`` prune through NULLs."""
+    zone_min = segment.zone_min.get(column, _MISSING)
+    if zone_min is _MISSING:
+        return True
+    compare = datamodel.compare
+    low = compare(zone_min, value)
+    high = compare(segment.zone_max[column], value)
+    if op == "==":
+        return low <= 0 <= high
+    if op == ">":
+        return high > 0
+    if op == ">=":
+        return high >= 0
+    if op == "<":
+        return low < 0
+    if op == "<=":
+        return low <= 0
+    return True
+
+
+class ColumnBatch:
+    """A pipeline batch in columnar form: one segment view plus an
+    optional selection vector (row positions that survived filtering).
+
+    Columnar-aware operators (filter kernels, COLLECT aggregates, RETURN
+    projections) read the typed columns directly; everything else —
+    probes, SORT, LIMIT slicing, nested FOR, DML — falls back through the
+    sequence protocol, which pivots lazily (and exactly) to the row
+    frames a row scan would have produced."""
+
+    __slots__ = ("var", "base", "segment", "length", "selection", "_rows")
+
+    def __init__(
+        self,
+        var: str,
+        base: dict,
+        segment: ColumnSegment,
+        length: int,
+        selection: Optional[list] = None,
+    ):
+        self.var = var
+        self.base = base
+        self.segment = segment
+        #: Row count captured at scan time — the tail segment may grow
+        #: concurrently; positions >= length are never read.
+        self.length = length
+        self.selection = selection
+        self._rows: Optional[list] = None
+
+    def indices(self):
+        """Selected row positions, scan order."""
+        if self.selection is None:
+            return range(self.length)
+        return self.selection
+
+    def with_selection(self, selection: list) -> "ColumnBatch":
+        return ColumnBatch(
+            self.var, self.base, self.segment, self.length, selection
+        )
+
+    def to_rows(self) -> list:
+        """Pivot to ordinary frame batches (cached).  Exact: the stored
+        row dicts are reused, so sparse wide-column rows, nested values
+        and object identity all match the row-scan path."""
+        rows = self._rows
+        if rows is None:
+            stored = self.segment.rows
+            var = self.var
+            base = self.base
+            if base:
+                rows = []
+                for position in self.indices():
+                    frame = dict(base)
+                    frame[var] = stored[position]
+                    rows.append(frame)
+            else:
+                rows = [{var: stored[position]} for position in self.indices()]
+            self._rows = rows
+        return rows
+
+    def __len__(self) -> int:
+        if self.selection is None:
+            return self.length
+        return len(self.selection)
+
+    def __iter__(self):
+        return iter(self.to_rows())
+
+    def __getitem__(self, item):
+        return self.to_rows()[item]
+
+
+class _Namespace:
+    __slots__ = ("column_names", "segments", "dirty", "rebuilds", "appends")
+
+    def __init__(self, column_names: tuple):
+        self.column_names = column_names
+        self.segments: list[ColumnSegment] = []
+        #: Dirty until the first scan builds the segments; set again by
+        #: UPDATE/DELETE (lazy rebuild keeps random writes cheap).
+        self.dirty = True
+        self.rebuilds = 0
+        self.appends = 0
+
+
+class SegmentManager(StorageView):
+    """Maintains columnar segments for registered namespaces from the
+    central log (commit-time entries only, like every storage view).
+
+    * ``register(namespace, columns)`` — called by the relational and
+      wide-column stores at creation; the first scan builds segments from
+      the row view (so registering over existing data, or after a WAL
+      replay, just works).
+    * INSERT appends to the tail segment incrementally (zone maps update
+      in place); UPDATE/DELETE mark the namespace dirty and the next scan
+      rebuilds; DROP resets.
+    * ``segments_for_scan`` returns a snapshot list of
+      ``(segment, row_count)`` pairs — the captured count shields readers
+      from concurrent tail appends.
+    """
+
+    name = "segments"
+
+    def __init__(
+        self,
+        log: CentralLog,
+        rows: RowView,
+        segment_rows: int = SEGMENT_ROWS,
+    ):
+        self._rows = rows
+        self._spaces: dict[str, _Namespace] = {}
+        self._lock = threading.RLock()
+        self.segment_rows = max(int(segment_rows), 1)
+        super().__init__(log, subscribe=True)
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, namespace: str, column_names: Iterable[str]) -> None:
+        """(Re)register a namespace for columnar maintenance."""
+        with self._lock:
+            self._spaces[namespace] = _Namespace(tuple(column_names))
+
+    def registered(self, namespace: str) -> bool:
+        return namespace in self._spaces
+
+    # -- log maintenance ---------------------------------------------------
+
+    def _apply_data(self, entry: LogEntry) -> None:
+        space = self._spaces.get(entry.namespace)
+        if space is None:
+            return
+        with self._lock:
+            if entry.op is LogOp.INSERT and not space.dirty:
+                self._append(space, entry.value)
+            else:
+                # UPDATE/DELETE (or an INSERT before the first build):
+                # positions shift or values change in place — rebuild
+                # lazily on the next scan.
+                space.dirty = True
+
+    def _drop_namespace(self, namespace: str) -> None:
+        space = self._spaces.get(namespace)
+        if space is None:
+            return
+        with self._lock:
+            space.segments = []
+            space.dirty = True
+
+    def _append(self, space: _Namespace, row: Any) -> None:
+        if not isinstance(row, dict):
+            space.dirty = True
+            return
+        segments = space.segments
+        if not segments or len(segments[-1]) >= self.segment_rows:
+            segments.append(ColumnSegment([], space.column_names))
+        segments[-1].append(row)
+        space.appends += 1
+
+    # -- scanning ----------------------------------------------------------
+
+    def _rebuild(self, namespace: str, space: _Namespace) -> None:
+        rows = [value for _key, value in self._rows.scan(namespace)]
+        width = self.segment_rows
+        space.segments = [
+            ColumnSegment(rows[start:start + width], space.column_names)
+            for start in range(0, len(rows), width)
+        ]
+        space.dirty = False
+        space.rebuilds += 1
+        if obs_metrics.ENABLED:
+            obs_metrics.counter("columnar_segment_rebuilds_total").inc()
+
+    def segments_for_scan(
+        self, namespace: str
+    ) -> Optional[list[tuple[ColumnSegment, int]]]:
+        """Snapshot of ``(segment, captured_row_count)`` pairs for a scan,
+        or ``None`` when the namespace is not registered.  Rebuilds first
+        when dirty."""
+        with self._lock:
+            space = self._spaces.get(namespace)
+            if space is None:
+                return None
+            if space.dirty:
+                self._rebuild(namespace, space)
+            return [
+                (segment, len(segment))
+                for segment in space.segments
+                if len(segment)
+            ]
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "namespaces": len(self._spaces),
+                "segments": sum(
+                    len(space.segments) for space in self._spaces.values()
+                ),
+                "rows": sum(
+                    len(segment)
+                    for space in self._spaces.values()
+                    for segment in space.segments
+                ),
+                "rebuilds": sum(
+                    space.rebuilds for space in self._spaces.values()
+                ),
+                "appends": sum(
+                    space.appends for space in self._spaces.values()
+                ),
+            }

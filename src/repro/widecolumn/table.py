@@ -125,6 +125,10 @@ class WideColumnTable(BaseStore):
             raise SchemaError(f"primary key {primary_key!r} is not a column")
         self.columns = {column.name: column for column in columns}
         self.primary_key = primary_key
+        # Sparse rows: a column a row never set reads as NULL, which is
+        # exactly how the segment builder records it (null set + NULL in
+        # the zone map), so columnar scans match the row path.
+        context.segments.register(self.namespace, list(self.columns))
 
     # -- writes ---------------------------------------------------------------
 

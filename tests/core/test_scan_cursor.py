@@ -200,17 +200,25 @@ class TestDeprecatedShims:
             ),
         ]
 
-    def test_every_shim_warns_pending_deprecation(self, full_db):
+    def test_every_shim_warns_deprecation(self, full_db):
+        # Promoted from PendingDeprecationWarning: one release in, the
+        # shims now emit the real thing (and pytest.warns is exact about
+        # subclasses, so this also pins the class).
         for label, call in self._legacy_calls(full_db):
-            with pytest.warns(PendingDeprecationWarning, match="deprecated"):
+            with pytest.warns(DeprecationWarning, match="deprecated") as record:
                 rows = call()
             assert len(rows) >= 1, label
+            assert all(
+                issubclass(warning.category, DeprecationWarning)
+                and not issubclass(warning.category, PendingDeprecationWarning)
+                for warning in record
+            ), label
 
     def test_shim_rows_match_cursor_rows(self, full_db):
         import warnings
 
         with warnings.catch_warnings():
-            warnings.simplefilter("ignore", PendingDeprecationWarning)
+            warnings.simplefilter("ignore", DeprecationWarning)
             assert list(full_db.collection("orders").all()) == list(
                 full_db.collection("orders").scan_cursor()
             )

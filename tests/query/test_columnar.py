@@ -1,0 +1,279 @@
+"""Columnar execution through the query engine: zone-map pruning, the
+EXPLAIN ANALYZE surface, NULL comparison semantics, vectorized kernel
+equivalence, obs counters, and the transaction fallback (PR 7)."""
+
+import pytest
+
+from repro import Column, ColumnType, MultiModelDB, TableSchema
+from repro.obs import metrics as obs_metrics
+
+ROWS = 5000  # five segments at the default SEGMENT_ROWS=1024
+
+
+@pytest.fixture(scope="module")
+def db():
+    db = MultiModelDB()
+    db.create_table(
+        TableSchema(
+            "readings",
+            [
+                Column("id", ColumnType.INTEGER, nullable=False),
+                Column("city", ColumnType.STRING),
+                Column("value", ColumnType.FLOAT),
+            ],
+            primary_key="id",
+        )
+    )
+    table = db.table("readings")
+    cities = ["oslo", "lima", None, "pune"]
+    for index in range(ROWS):
+        table.insert(
+            {
+                "id": index,  # clustered: zone maps partition the id range
+                "city": cities[index % 4],
+                "value": None if index % 7 == 0 else (index % 40) * 0.25,
+            }
+        )
+    return db
+
+
+class TestZoneMapPruningThroughTheEngine:
+    def test_selective_range_prunes_segments(self, db):
+        result = db.query(
+            "FOR r IN readings FILTER r.id >= 100 AND r.id < 200 "
+            "COLLECT AGGREGATE n = COUNT(r.id) RETURN n"
+        )
+        assert result.rows == [100]
+        assert result.stats["segments_pruned"] >= 3
+        assert result.stats["segments_scanned"] >= 1
+        # Pruning means the scan volume is bounded by one segment, not
+        # the table.
+        assert result.stats["scanned"] < ROWS
+
+    def test_unselective_scan_prunes_nothing(self, db):
+        result = db.query(
+            "FOR r IN readings COLLECT AGGREGATE n = COUNT(r.id) RETURN n"
+        )
+        assert result.rows == [ROWS]
+        assert result.stats["segments_pruned"] == 0
+        assert result.stats["scanned"] == ROWS
+
+    def test_equality_on_the_clustered_key_prunes_to_one_segment(self, db):
+        result = db.query(
+            "FOR r IN readings FILTER r.id == 4999 RETURN r.city"
+        )
+        assert result.rows == ["pune"]
+        assert result.stats["segments_scanned"] == 1
+        assert result.stats["segments_pruned"] >= 4
+
+    def test_row_path_never_prunes(self, db):
+        on = db.query(
+            "FOR r IN readings FILTER r.id < 50 RETURN r.id", columnar=True
+        )
+        off = db.query(
+            "FOR r IN readings FILTER r.id < 50 RETURN r.id", columnar=False
+        )
+        assert on.rows == off.rows
+        assert on.stats["segments_pruned"] >= 1
+        assert off.stats["segments_pruned"] == 0
+        assert off.stats["scanned"] == ROWS
+
+
+class TestExplainAnalyzeSurface:
+    def test_annotations_present_when_columnar(self, db):
+        result = db.query(
+            "EXPLAIN ANALYZE FOR r IN readings "
+            "FILTER r.id >= 4000 AND r.id < 4100 "
+            "COLLECT AGGREGATE total = SUM(r.value) RETURN total"
+        )
+        assert " columnar=yes" in result.analyzed
+        assert "segments_pruned=" in result.analyzed
+        assert "kernel_rows=" in result.analyzed
+        entries = {p["operator"]: p for p in result.op_stats}
+        assert entries["ForOp"]["columnar_batches"] >= 1
+        assert entries["FilterOp"]["columnar_batches"] >= 1
+
+    def test_annotations_absent_on_the_row_path(self, db):
+        result = db.query(
+            "FOR r IN readings FILTER r.id < 10 RETURN r.id",
+            analyze=True,
+            columnar=False,
+        )
+        assert " columnar=yes" not in result.analyzed
+        assert "segments_pruned=" not in result.analyzed
+        assert all(p["columnar_batches"] == 0 for p in result.op_stats)
+
+
+class TestNullComparisonSemantics:
+    """NULL sorts below every number in the model total order; the
+    vectorized comparison kernels and the zone maps must both honor it."""
+
+    @pytest.mark.parametrize(
+        "condition",
+        [
+            "r.value < 1",  # keeps NULL rows
+            "r.value <= 0",  # keeps NULL rows
+            "r.value == 0",  # drops NULL rows
+            "r.value != 0",  # keeps NULL rows
+            "r.value > 9",  # drops NULL rows
+            "r.value >= 9.75",  # drops NULL rows
+        ],
+    )
+    def test_kernels_match_row_predicates(self, db, condition):
+        text = f"FOR r IN readings FILTER {condition} RETURN r.id"
+        on = db.query(text, columnar=True)
+        off = db.query(text, columnar=False)
+        assert on.rows == off.rows, condition
+
+    def test_null_rows_survive_less_than(self, db):
+        rows = db.query(
+            "FOR r IN readings FILTER r.value < 0.25 "
+            "RETURN {id: r.id, value: r.value}"
+        ).rows
+        assert any(row["value"] is None for row in rows)
+        assert any(row["value"] == 0.0 for row in rows)
+        assert all(
+            row["value"] is None or row["value"] < 0.25 for row in rows
+        )
+
+
+class TestKernelEquivalence:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            # projection kernel: RETURN var.column straight off the array
+            "FOR r IN readings FILTER r.id < 30 RETURN r.value",
+            # projection of the stored row dicts
+            "FOR r IN readings FILTER r.id < 30 RETURN r",
+            # conjunctive filter kernel chain
+            "FOR r IN readings FILTER r.id >= 10 AND r.id < 40 "
+            "AND r.value > 2 RETURN r.id",
+            # grouped aggregate kernel over a NULL-bearing string column
+            "FOR r IN readings COLLECT city = r.city "
+            "AGGREGATE total = SUM(r.value), hi = MAX(r.value) "
+            "RETURN {city, total, hi}",
+        ],
+    )
+    def test_columnar_equals_row_path(self, db, text):
+        assert (
+            db.query(text, columnar=True).rows
+            == db.query(text, columnar=False).rows
+        )
+
+    def test_non_columnar_operators_pivot_exactly(self, db):
+        # SORT and LIMIT are row-path operators: the ColumnBatch pivots
+        # lazily and the result must match the pure row path.
+        text = (
+            "FOR r IN readings FILTER r.id < 100 "
+            "SORT r.value DESC LIMIT 7 RETURN {id: r.id, value: r.value}"
+        )
+        assert (
+            db.query(text, columnar=True).rows
+            == db.query(text, columnar=False).rows
+        )
+
+
+class TestObsCounters:
+    def test_pruning_and_kernel_counters_advance(self, db):
+        pruned = obs_metrics.counter("columnar_segments_pruned_total")
+        kernel = obs_metrics.counter(
+            "columnar_kernel_rows_total", kernel="filter"
+        )
+        pruned_before, kernel_before = pruned.value, kernel.value
+        db.query("FOR r IN readings FILTER r.id >= 4500 RETURN r.id")
+        assert pruned.value > pruned_before
+        assert kernel.value > kernel_before
+
+    def test_rebuild_counter_advances(self):
+        rebuilds = obs_metrics.counter("columnar_segment_rebuilds_total")
+        before = rebuilds.value
+        db = MultiModelDB()
+        db.create_table(
+            TableSchema(
+                "tiny",
+                [Column("id", ColumnType.INTEGER, nullable=False)],
+                primary_key="id",
+            )
+        )
+        db.table("tiny").insert({"id": 1})
+        db.query("FOR t IN tiny RETURN t.id")
+        assert rebuilds.value > before
+
+
+class TestTransactionFallback:
+    def test_txn_reads_use_the_row_path(self, db):
+        txn = db.begin()
+        try:
+            result = db.query(
+                "FOR r IN readings FILTER r.id < 10 RETURN r.id", txn=txn
+            )
+            assert result.rows == list(range(10))
+            assert result.stats["segments_scanned"] == 0
+            assert result.stats["columnar_batches"] == 0
+        finally:
+            db.abort(txn)
+
+    def test_txn_sees_its_own_uncommitted_writes(self, db):
+        txn = db.begin()
+        try:
+            db.table("readings").insert(
+                {"id": 999999, "city": "mine", "value": 1.0}, txn=txn
+            )
+            inside = db.query(
+                "FOR r IN readings FILTER r.id == 999999 RETURN r.city",
+                txn=txn,
+            )
+            outside = db.query(
+                "FOR r IN readings FILTER r.id == 999999 RETURN r.city"
+            )
+            assert inside.rows == ["mine"]
+            assert outside.rows == []
+        finally:
+            db.abort(txn)
+
+    def test_committed_writes_reach_the_columnar_path(self):
+        db = MultiModelDB()
+        db.create_table(
+            TableSchema(
+                "ledger",
+                [
+                    Column("id", ColumnType.INTEGER, nullable=False),
+                    Column("amount", ColumnType.INTEGER),
+                ],
+                primary_key="id",
+            )
+        )
+        txn = db.begin()
+        db.table("ledger").insert({"id": 1, "amount": 10}, txn=txn)
+        db.table("ledger").insert({"id": 2, "amount": 32}, txn=txn)
+        db.commit(txn)
+        result = db.query(
+            "FOR l IN ledger COLLECT AGGREGATE s = SUM(l.amount) RETURN s"
+        )
+        assert result.rows == [42]
+        assert result.stats["segments_scanned"] >= 1
+
+
+class TestSessionKnob:
+    def test_database_level_toggle(self):
+        db = MultiModelDB(columnar=False)
+        db.create_table(
+            TableSchema(
+                "knob",
+                [Column("id", ColumnType.INTEGER, nullable=False)],
+                primary_key="id",
+            )
+        )
+        db.table("knob").insert({"id": 1})
+        off = db.query("FOR k IN knob RETURN k.id")
+        assert off.stats["segments_scanned"] == 0
+        # Per-query override beats the session default, both directions.
+        on = db.query("FOR k IN knob RETURN k.id", columnar=True)
+        assert on.stats["segments_scanned"] == 1
+        db.columnar = True
+        assert (
+            db.query("FOR k IN knob RETURN k.id", columnar=False).stats[
+                "segments_scanned"
+            ]
+            == 0
+        )
