@@ -148,6 +148,10 @@ def run_statement(db: MultiModelDB, statement: str, out: IO, state: dict) -> Non
             "fault_injections_total",
             "recovery_runs_total",
             "query_timeouts_total",
+            "wal_records_shipped_total",
+            "failover_total",
+            "repl_ack_timeouts_total",
+            "server_cursors_reaped_total",
         ):
             print(f"    {metric_name}: {registry.total(metric_name)}", file=out)
         cache = getattr(db, "plan_cache", None)
@@ -493,6 +497,7 @@ Remote MMQL shell commands:
   .set [timeout S|off] [max_rows N|off]
                         session guardrail overrides (host caps still apply)
   .server               server stats: sessions, in-flight, limits
+  .replicas             replication status: role, watermarks, subscribers
   .info                 server handshake info (version, protocol, limits)
   .trace <query>        run the query traced; print the stitched
                         client+server span tree (one trace across every
@@ -532,6 +537,37 @@ def run_remote_statement(client, statement: str, out: IO, state: dict) -> None:
                     f"requests={entry['requests']} in_txn={entry['in_txn']}",
                     file=out,
                 )
+            return
+        if statement == ".replicas":
+            status = client._call("repl_status")
+            role = status.get("role", "?")
+            print(
+                f"  role {role}, last_lsn {status.get('last_lsn')}",
+                file=out,
+            )
+            if role == "replica":
+                print(
+                    f"  primary {status.get('primary')} "
+                    f"connected={status.get('connected')} "
+                    f"applied={status.get('applied_lsn')} "
+                    f"received={status.get('received_lsn')}",
+                    file=out,
+                )
+            else:
+                print(
+                    f"  ack_replication: {status.get('ack_replication')}",
+                    file=out,
+                )
+                subscribers = status.get("subscribers") or []
+                if not subscribers:
+                    print("  no subscribed replicas", file=out)
+                for entry in subscribers:
+                    print(
+                        f"  replica {entry.get('peer')} "
+                        f"shipped={entry.get('shipped_lsn')} "
+                        f"acked={entry.get('acked_lsn')}",
+                        file=out,
+                    )
             return
         if statement == ".info":
             for key, value in client.info().items():
@@ -735,10 +771,35 @@ def serve_main(argv: Optional[list[str]] = None) -> int:
         "port (0 picks a free one)",
     )
     parser.add_argument(
+        "--replica-of", metavar="HOST:PORT",
+        help="start as a read replica: subscribe to this primary's WAL "
+        "stream and refuse writes (docs/SERVER.md#replication)",
+    )
+    parser.add_argument(
+        "--ack-replication", type=int, default=0, metavar="K",
+        help="semi-sync: a write confirms only after K replicas "
+        "acknowledged its LSN (0 = asynchronous, the default)",
+    )
+    parser.add_argument(
+        "--ack-timeout", type=float, default=5.0, metavar="S",
+        help="how long a semi-sync write waits for replica acks before "
+        "failing with a REPLICATION error",
+    )
+    parser.add_argument(
         "--events-file", metavar="PATH",
         help="append structured events to PATH as JSON lines",
     )
     args = parser.parse_args(argv)
+
+    if args.replica_of is not None:
+        host_part, _, port_part = args.replica_of.rpartition(":")
+        if not host_part or not port_part.isdigit():
+            parser.error("--replica-of expects HOST:PORT")
+        if args.demo is not None or args.wal:
+            parser.error(
+                "--replica-of populates the database from the primary's "
+                "WAL stream; --demo/--wal do not combine with it"
+            )
 
     if args.demo is not None:
         db = make_demo_db(args.demo)
@@ -769,14 +830,27 @@ def serve_main(argv: Optional[list[str]] = None) -> int:
         queue_depth=args.queue_depth,
         checkpoint_path=args.checkpoint,
         telemetry_port=args.telemetry_port,
+        replica_of=args.replica_of,
+        ack_replication=args.ack_replication,
+        ack_timeout=args.ack_timeout,
     )
     host, port = server.start_in_thread()
+    role = (
+        f"replica of {args.replica_of}" if args.replica_of else "primary"
+    )
     print(
-        f"repro {__version__} serving on {host}:{port} "
+        f"repro {__version__} serving on {host}:{port} as {role} "
         f"(max {args.max_sessions} sessions, {args.max_inflight} workers; "
         "Ctrl-C for graceful drain)",
         file=sys.stdout,
     )
+    if args.ack_replication:
+        print(
+            f"semi-sync replication: writes wait for "
+            f"{args.ack_replication} replica ack(s), "
+            f"timeout {args.ack_timeout:g}s",
+            file=sys.stdout,
+        )
     if server.telemetry_address is not None:
         telemetry_host, telemetry_port = server.telemetry_address
         print(

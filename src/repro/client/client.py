@@ -246,6 +246,9 @@ class ReproClient:
         retries: int = 3,
         auto_reconnect: bool = True,
         backoff_base: float = 0.05,
+        retry_jitter: bool = True,
+        retry_max_elapsed: Optional[float] = None,
+        retry_seed: Optional[int] = None,
         sleep=time.sleep,
         trace: Optional[bool] = None,
     ):
@@ -256,6 +259,12 @@ class ReproClient:
         self.retries = max(int(retries), 1)
         self.auto_reconnect = auto_reconnect
         self.backoff_base = backoff_base
+        #: Full-jitter reconnect backoff (decorrelates a thundering herd of
+        #: clients re-dialing a restarted server); ``retry_max_elapsed``
+        #: bounds total wall-clock spent retrying one call.
+        self.retry_jitter = retry_jitter
+        self.retry_max_elapsed = retry_max_elapsed
+        self.retry_seed = retry_seed
         self._sleep = sleep  # None disables backoff delays (tests)
         self._sock: Optional[socket.socket] = None
         self._lock = threading.RLock()
@@ -435,16 +444,22 @@ class ReproClient:
                     self.connect()
                 try:
                     return self._roundtrip(op, params, trace=trace)
-                except (ConnectionError, OSError, socket.timeout):
+                except (ConnectionError, OSError, socket.timeout, ProtocolError):
+                    # ProtocolError counts as transport here: a torn hello,
+                    # a truncated frame, or a duplicated response leaves the
+                    # stream desynchronized — only a fresh dial recovers it.
                     self._teardown()
                     raise
 
             return retry_with_backoff(
                 attempt,
                 attempts=self.retries,
-                retry_on=(ConnectionError, OSError),
+                retry_on=(ConnectionError, OSError, ProtocolError),
                 base_delay=self.backoff_base,
                 sleep=self._sleep,
+                jitter=self.retry_jitter,
+                max_elapsed=self.retry_max_elapsed,
+                seed=self.retry_seed,
             )
 
     def _cursor_call(

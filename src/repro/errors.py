@@ -354,6 +354,41 @@ class CursorLimitError(ServerOverloadedError):
 
 
 # ---------------------------------------------------------------------------
+# Replication / failover
+# ---------------------------------------------------------------------------
+
+
+class ReplicationError(ServerError):
+    """Base class for replication failures (subscription, shipping,
+    apply, or a semi-sync acknowledgement that never arrived)."""
+
+    code = "REPLICATION"
+
+
+class NotPrimaryError(ReplicationError):
+    """A write (or transaction) was sent to a **replica**.  Replicas apply
+    the primary's WAL stream and serve reads only; the client should
+    re-route the statement to the current primary.  ``details`` may carry
+    the primary address the replica is following."""
+
+    code = "NOT_PRIMARY"
+
+    def __init__(self, message: str, primary: Optional[str] = None):
+        super().__init__(message)
+        self.primary = primary
+
+
+class FailoverInProgressError(ReplicationError):
+    """The replica-set router is mid-failover: the old primary is gone and
+    a replacement has not been promoted yet.  Non-transactional work is
+    retried transparently; transactional work gets this error because the
+    server-side transaction died with the old primary and silently
+    retargeting would lie about it."""
+
+    code = "FAILOVER_IN_PROGRESS"
+
+
+# ---------------------------------------------------------------------------
 # Benchmark / workload
 # ---------------------------------------------------------------------------
 

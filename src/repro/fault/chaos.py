@@ -1,0 +1,373 @@
+"""Network chaos harness: replication + failover under injected faults.
+
+The crash-torture harness (:mod:`repro.fault.harness`) proves one node's
+durability.  This harness proves the *topology's*: it stands up a real
+primary with N real read replicas (every node a full :class:`ReproServer`
+on a loopback port), drives a seeded mixed workload through the
+:class:`~repro.replication.router.ReplicaSet` router, injects network
+faults at the wire-frame failpoints (``server.frame_write``,
+``server.frame_read``, ``client.frame_write``, ``client.frame_read``)
+with the effects from :data:`repro.fault.registry.NET_EFFECTS`, then
+**kills the primary without warning** mid-stream and lets the router fail
+over.  After the dust settles it checks four invariants:
+
+1. **Committed writes survive** — every write the router confirmed before
+   or after the kill is present on the post-failover primary.
+2. **No duplicate apply** — no replica's applier ever noted divergence
+   (a duplicated or re-delivered frame must be absorbed by the
+   ``received_lsn`` filter, never applied twice).
+3. **Read equivalence** — once caught up (``repl_wait`` to the new
+   primary's watermark), every surviving replica's full table scan equals
+   the primary's.
+4. **Failover happened** — the router promoted a replica and kept
+   serving; the workload saw typed errors only, never a hang.
+
+Every run is reproducible from its seed: the workload, the fault
+schedule, and the kill point all derive from one ``random.Random(seed)``.
+Chaos events are recorded on the report (and can be dumped as JSON for CI
+artifacts via :func:`ChaosReport.dump`).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import FailoverInProgressError, ReplicationError
+from repro.fault.registry import FAILPOINTS
+from repro.obs import events as obs_events
+
+__all__ = ["ChaosReport", "chaos_run"]
+
+#: Wire-level failpoint sites the scheduler may arm.
+_NET_SITES = (
+    "server.frame_write",
+    "server.frame_read",
+    "client.frame_write",
+    "client.frame_read",
+)
+
+#: Effects safe to sprinkle while the workload runs.  ``partition`` is
+#: excluded from the random schedule — an unhealable total partition
+#: starves the run; the dedicated tests cover it deterministically.
+_SCHEDULED_EFFECTS = ("drop_conn", "delay", "truncate_frame", "duplicate_frame")
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one chaos run (one seed, one topology)."""
+
+    seed: int
+    replicas: int
+    writes_attempted: int = 0
+    writes_confirmed: int = 0
+    reads_served: int = 0
+    faults_armed: list = field(default_factory=list)
+    failovers: int = 0
+    killed_primary: Optional[str] = None
+    promoted: Optional[str] = None
+    events: list = field(default_factory=list)
+    errors: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def note(self, kind: str, **detail) -> None:
+        self.events.append({"ts": round(time.time(), 3), "kind": kind, **detail})
+
+    def summary(self) -> str:
+        status = "ok" if self.ok else "FAIL"
+        return (
+            f"[{status}] seed={self.seed} replicas={self.replicas} "
+            f"writes={self.writes_confirmed}/{self.writes_attempted} "
+            f"reads={self.reads_served} faults={len(self.faults_armed)} "
+            f"failovers={self.failovers} errors={self.errors or '-'}"
+        )
+
+    def dump(self, path: str) -> None:
+        """Write the chaos event log (this run's schedule + the engine's
+        own observability events) as JSON — the CI artifact on failure."""
+        payload = {
+            "seed": self.seed,
+            "summary": self.summary(),
+            "errors": self.errors,
+            "faults_armed": self.faults_armed,
+            "chaos_events": self.events,
+            "engine_events": obs_events.tail(500),
+        }
+        with open(path, "w", encoding="utf-8") as sink:
+            json.dump(payload, sink, indent=2, default=str)
+
+
+def _make_db():
+    from repro import MultiModelDB
+
+    db = MultiModelDB()
+    db.create_collection("kv")
+    return db
+
+
+def _disarm_net_sites() -> None:
+    for site in _NET_SITES:
+        FAILPOINTS.disarm(site)
+
+
+def chaos_run(
+    seed: int,
+    replicas: int = 2,
+    writes: int = 60,
+    fault_rounds: int = 4,
+    kill_primary: bool = True,
+    ship_interval: float = 0.01,
+    heartbeat_interval: float = 0.1,
+    settle_timeout: float = 10.0,
+) -> ChaosReport:
+    """One chaos run: topology up, seeded workload + fault schedule,
+    primary kill, failover, invariant checks.  Returns the report; it is
+    the caller's job to assert :attr:`ChaosReport.ok`.
+
+    The primary runs **semi-sync** (``ack_replication=1``): a write is
+    "confirmed" only once at least one replica acknowledged it, which is
+    the precondition for the committed-survive invariant — promotion
+    picks the most-caught-up replica, and the acknowledged prefix is by
+    construction at or below its watermark."""
+    from repro.replication import ReplicaSet
+    from repro.server.server import ReproServer
+
+    rng = random.Random(seed)
+    report = ChaosReport(seed=seed, replicas=replicas)
+    servers: list = []
+    router = None
+    confirmed: dict = {}  # key -> value the router confirmed written
+
+    #: Typed outcomes the workload absorbs and reports instead of dying:
+    #: a refused semi-sync write or a mid-failover statement is the
+    #: system being honest, not the harness failing.
+    tolerated = (ReplicationError, FailoverInProgressError)
+
+    def upsert(key: str, value: int) -> None:
+        report.writes_attempted += 1
+        router.query(
+            "UPSERT {_key: @k} INSERT {_key: @k, v: @v} "
+            "UPDATE {v: @v} INTO kv",
+            {"k": key, "v": value},
+        )
+        confirmed[key] = value
+        report.writes_confirmed += 1
+
+    def read(level: str) -> None:
+        rows = router.query(
+            "FOR d IN kv RETURN d", consistency=level
+        ).rows
+        report.reads_served += 1
+        # A read may trail the confirmed map (bounded waits only for the
+        # router's last-seen LSN), but it must never invent keys.
+        extra = {row["_key"] for row in rows} - set(confirmed)
+        if extra:
+            report.errors.append(
+                f"{level} read returned keys never written: {sorted(extra)}"
+            )
+
+    try:
+        primary = ReproServer(
+            _make_db(), port=0,
+            ship_interval=ship_interval,
+            heartbeat_interval=heartbeat_interval,
+            ack_replication=1,
+            ack_timeout=settle_timeout,
+        )
+        primary.start_in_thread()
+        servers.append(primary)
+        for _ in range(replicas):
+            node = ReproServer(
+                _make_db(), port=0,
+                replica_of=f"127.0.0.1:{primary.port}",
+                ship_interval=ship_interval,
+                heartbeat_interval=heartbeat_interval,
+                ack_replication=1,  # applies if this node gets promoted
+                ack_timeout=settle_timeout,
+            )
+            node.start_in_thread()
+            servers.append(node)
+        report.note(
+            "topology_up",
+            primary=primary.port,
+            replicas=[node.port for node in servers[1:]],
+        )
+        router = ReplicaSet(
+            ("127.0.0.1", primary.port),
+            [("127.0.0.1", node.port) for node in servers[1:]],
+            retries=5,
+            retry_seed=seed,
+            retry_max_elapsed=5.0,
+        )
+
+        # Semi-sync gates writes on replica acks, so the workload waits
+        # for every replica to subscribe before the first statement.
+        deadline = time.monotonic() + settle_timeout
+        while time.monotonic() < deadline:
+            status = router._client(router.primary_address)._call("repl_status")
+            if len(status.get("subscribers") or ()) >= replicas:
+                break
+            time.sleep(0.02)
+        else:
+            report.errors.append(
+                f"replicas never subscribed within {settle_timeout}s"
+            )
+            return report
+
+        # -- phase 1: clean base load ------------------------------------
+        base = writes // 3
+        for index in range(base):
+            upsert(f"k{rng.randint(0, 19)}", index)
+
+        # -- phase 2: writes and reads under network fire ----------------
+        mid = writes - base
+        fault_at = sorted(
+            rng.sample(range(mid), min(fault_rounds, mid))
+        )
+        for index in range(mid):
+            if fault_at and index == fault_at[0]:
+                fault_at.pop(0)
+                site = rng.choice(_NET_SITES)
+                effect = rng.choice(_SCHEDULED_EFFECTS)
+                trigger = f"prob:{rng.choice((0.02, 0.05, 0.1))}"
+                FAILPOINTS.arm(site, trigger, effect, seed=rng.randint(0, 2**31))
+                report.faults_armed.append(
+                    {"site": site, "trigger": trigger, "effect": effect}
+                )
+                report.note("fault_armed", site=site, trigger=trigger,
+                            effect=effect)
+            try:
+                upsert(f"k{rng.randint(0, 19)}", base + index)
+            except tolerated as error:
+                report.note("write_refused", error=type(error).__name__)
+            if rng.random() < 0.3:
+                try:
+                    read(rng.choice(("eventual", "bounded")))
+                except tolerated as error:
+                    report.note("read_refused", error=type(error).__name__)
+
+        # The streaming layer survived the fire; disarm so the kill and
+        # the settle phase measure failover, not residual packet loss.
+        _disarm_net_sites()
+        report.note("faults_disarmed")
+
+        # -- phase 3: kill the current primary mid-stream ----------------
+        if kill_primary:
+            # Chaos in phase 2 may already have moved the crown; kill
+            # whoever wears it *now* — that is the interesting victim.
+            current = router.primary_address
+            victim = next(
+                (s for s in servers if s.port == current[1]), primary
+            )
+            report.killed_primary = f"127.0.0.1:{victim.port}"
+            failovers_before = router.failovers
+            victim.kill()
+            report.note("primary_killed", address=report.killed_primary)
+            for index in range(writes // 3):
+                key, value = f"p{rng.randint(0, 9)}", index
+                for attempt in range(8):
+                    try:
+                        upsert(key, value)
+                        break
+                    except tolerated as error:
+                        report.note(
+                            "write_refused", error=type(error).__name__,
+                            attempt=attempt,
+                        )
+                        time.sleep(0.1)
+                else:
+                    report.errors.append(
+                        f"write of {key!r} never succeeded after failover"
+                    )
+                    break
+            report.failovers = router.failovers
+            report.promoted = "%s:%s" % router.primary_address
+            if router.failovers <= failovers_before:
+                report.errors.append(
+                    "primary was killed but the router never failed over"
+                )
+            if router.primary_address == current:
+                report.errors.append(
+                    "router still points at the killed primary"
+                )
+
+        # -- phase 4: settle and check invariants ------------------------
+        primary_addr = router.primary_address
+        primary_client = router._client(primary_addr)
+        head = primary_client._call("repl_status")
+        head_lsn = head.get("last_lsn", 0)
+        truth = {
+            row["_key"]: row["v"]
+            for row in router.query(
+                "FOR d IN kv RETURN d", consistency="strong"
+            ).rows
+        }
+        missing = {
+            key: value for key, value in confirmed.items()
+            if truth.get(key) != value
+        }
+        if missing:
+            report.errors.append(
+                f"confirmed writes lost after failover: {missing!r}"
+            )
+        for addr in router.replica_addresses:
+            label = f"{addr[0]}:{addr[1]}"
+            if label == report.killed_primary:
+                continue  # a corpse readopted via a stale NOT_PRIMARY hint
+            client = router._client(addr)
+            try:
+                waited = client._call(
+                    "repl_wait", lsn=head_lsn, timeout=settle_timeout
+                )
+                status = client._call("repl_status")
+            except Exception as error:
+                report.errors.append(
+                    f"replica {label} unreachable at settle: "
+                    f"{type(error).__name__}"
+                )
+                continue
+            if status.get("diverged"):
+                report.errors.append(
+                    f"replica {label} noted apply divergence "
+                    "(duplicate or misaligned record)"
+                )
+            if not waited.get("reached"):
+                report.errors.append(
+                    f"replica {label} never caught up to lsn {head_lsn} "
+                    f"within {settle_timeout}s "
+                    f"(applied {waited.get('applied_lsn')})"
+                )
+                continue
+            replica_state = {
+                row["_key"]: row["v"]
+                for row in client.query("FOR d IN kv RETURN d").rows
+            }
+            if replica_state != truth:
+                report.errors.append(
+                    f"replica {label} state diverges from primary after "
+                    f"catch-up: {len(replica_state)} rows vs {len(truth)}"
+                )
+        report.note("settled", primary=f"{primary_addr[0]}:{primary_addr[1]}",
+                    rows=len(truth), last_lsn=head_lsn)
+    except Exception as error:  # harness bug or unplanned explosion
+        report.errors.append(
+            f"chaos run blew up: {type(error).__name__}: {error}"
+        )
+    finally:
+        _disarm_net_sites()
+        if router is not None:
+            router.close()
+        for server in servers:
+            try:
+                if server._kill:
+                    continue
+                server.stop(timeout=5.0)
+            except Exception:
+                pass
+    return report

@@ -1,0 +1,204 @@
+"""Network fault shim: wire-frame send/receive with injectable failures.
+
+The wire protocol (:mod:`repro.server.protocol`) routes every frame
+boundary — client socket writes/reads and server stream writes/reads —
+through these helpers, so an armed failpoint can make a *specific* frame
+suffer a realistic network failure:
+
+===============  ===========================================================
+effect           behaviour at a frame boundary
+===============  ===========================================================
+drop_conn        sever the connection (RST-style) — the peer sees a reset
+delay            stall the frame for ``DELAY_SECONDS`` before delivering it
+truncate_frame   deliver a prefix of the frame, then sever the connection
+                 (the peer sees EOF mid-frame → ``ProtocolError``)
+duplicate_frame  deliver the frame twice (a retransmission bug / replayed
+                 packet — receivers must be idempotent)
+partition        refuse to touch the wire at all (host unreachable); keeps
+                 refusing for as long as the trigger keeps firing
+error            sever the connection, like ``drop_conn``
+crash            raise :class:`SimulatedCrash` (torture-harness territory)
+===============  ===========================================================
+
+Read-side sites cannot truncate or duplicate what the peer sent, so
+``truncate_frame``/``duplicate_frame`` degrade to ``drop_conn`` there.
+Every helper falls through to the plain operation when the failpoint is
+disarmed; sites additionally guard on ``fp.armed`` so the common path
+costs one attribute load.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import errno
+import socket
+import time
+from typing import Optional
+
+from repro.errors import SimulatedCrash
+from repro.fault.registry import Failpoint
+
+__all__ = [
+    "DELAY_SECONDS",
+    "send_bytes",
+    "recv_gate",
+    "send_bytes_async",
+    "recv_gate_async",
+]
+
+#: How long the ``delay`` effect stalls a frame.  Short enough that armed
+#: test suites stay fast, long enough to reorder against concurrent
+#: traffic and to trip tight heartbeat timeouts when armed ``every:1``.
+DELAY_SECONDS = 0.05
+
+
+def _reset_error(site: str) -> ConnectionResetError:
+    return ConnectionResetError(
+        errno.ECONNRESET, f"Connection reset by peer (injected at {site})"
+    )
+
+
+def _partition_error(site: str) -> OSError:
+    return OSError(
+        errno.EHOSTUNREACH, f"No route to host (injected partition at {site})"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Blocking (client-side) paths
+# ---------------------------------------------------------------------------
+
+
+def send_bytes(sock: socket.socket, data: bytes,
+               fp: Optional[Failpoint] = None) -> None:
+    """``sock.sendall(data)`` with the armed effect of *fp* applied."""
+    if fp is not None and fp.armed:
+        effect = fp.fires()
+        if effect == "crash":
+            raise SimulatedCrash(fp.name)
+        if effect == "partition":
+            raise _partition_error(fp.name)
+        if effect in ("drop_conn", "error"):
+            try:
+                sock.close()
+            except OSError:
+                pass
+            raise _reset_error(fp.name)
+        if effect == "truncate_frame":
+            try:
+                sock.sendall(data[: max(1, len(data) // 2)])
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+            raise _reset_error(fp.name)
+        if effect == "delay":
+            time.sleep(DELAY_SECONDS)
+        elif effect == "duplicate_frame":
+            sock.sendall(data)  # once here, once below
+        # any other effect (torn/bitflip/enospc) degrades to drop_conn:
+        elif effect is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+            raise _reset_error(fp.name)
+    sock.sendall(data)
+
+
+def recv_gate(sock: socket.socket, fp: Optional[Failpoint] = None) -> None:
+    """Gate before a blocking frame read; read-side effects sever or stall
+    the connection (one cannot truncate what the peer already sent)."""
+    if fp is None or not fp.armed:
+        return
+    effect = fp.fires()
+    if effect is None:
+        return
+    if effect == "crash":
+        raise SimulatedCrash(fp.name)
+    if effect == "partition":
+        raise _partition_error(fp.name)
+    if effect == "delay":
+        time.sleep(DELAY_SECONDS)
+        return
+    try:
+        sock.close()
+    except OSError:
+        pass
+    raise _reset_error(fp.name)
+
+
+# ---------------------------------------------------------------------------
+# Async (server-side) paths
+# ---------------------------------------------------------------------------
+
+
+async def send_bytes_async(writer: asyncio.StreamWriter, data: bytes,
+                           fp: Optional[Failpoint] = None) -> None:
+    """``writer.write(data); await drain()`` with the armed effect applied."""
+    if fp is not None and fp.armed:
+        effect = fp.fires()
+        if effect == "crash":
+            raise SimulatedCrash(fp.name)
+        if effect == "partition":
+            raise _partition_error(fp.name)
+        if effect in ("drop_conn", "error"):
+            _abort_writer(writer)
+            raise _reset_error(fp.name)
+        if effect == "truncate_frame":
+            writer.write(data[: max(1, len(data) // 2)])
+            try:
+                await writer.drain()
+            except OSError:
+                pass
+            _close_writer(writer)
+            raise _reset_error(fp.name)
+        if effect == "delay":
+            await asyncio.sleep(DELAY_SECONDS)
+        elif effect == "duplicate_frame":
+            writer.write(data)
+        elif effect is not None:
+            _abort_writer(writer)
+            raise _reset_error(fp.name)
+    writer.write(data)
+    await writer.drain()
+
+
+async def recv_gate_async(fp: Optional[Failpoint] = None) -> None:
+    """Gate before an async frame read (the stream itself is severed by the
+    caller catching the raised error)."""
+    if fp is None or not fp.armed:
+        return
+    effect = fp.fires()
+    if effect is None:
+        return
+    if effect == "crash":
+        raise SimulatedCrash(fp.name)
+    if effect == "partition":
+        raise _partition_error(fp.name)
+    if effect == "delay":
+        await asyncio.sleep(DELAY_SECONDS)
+        return
+    raise _reset_error(fp.name)
+
+
+def _abort_writer(writer: asyncio.StreamWriter) -> None:
+    """RST-style teardown: unread buffered data is discarded, like a real
+    connection reset (``close()`` would flush, which a reset does not)."""
+    transport = writer.transport
+    try:
+        if transport is not None:
+            transport.abort()
+        else:
+            writer.close()
+    except Exception:
+        pass
+
+
+def _close_writer(writer: asyncio.StreamWriter) -> None:
+    try:
+        writer.close()
+    except Exception:
+        pass

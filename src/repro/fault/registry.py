@@ -38,6 +38,8 @@ from repro.obs import metrics as obs_metrics
 
 __all__ = [
     "EFFECTS",
+    "IO_EFFECTS",
+    "NET_EFFECTS",
     "Failpoint",
     "FailpointRegistry",
     "FAILPOINTS",
@@ -49,8 +51,17 @@ __all__ = [
 
 #: Effects a failpoint can be armed with.  ``crash``/``error`` work at any
 #: site; the I/O effects only make sense at sites routed through
-#: :mod:`repro.fault.io` (elsewhere they degrade to ``error``).
-EFFECTS = ("crash", "error", "torn", "bitflip", "enospc")
+#: :mod:`repro.fault.io` and the network effects at sites routed through
+#: :mod:`repro.fault.net` (elsewhere they degrade to ``error``).
+IO_EFFECTS = ("torn", "bitflip", "enospc")
+
+#: Network-layer effects, interpreted by the wire-frame shim
+#: (:mod:`repro.fault.net`): sever the connection, stall it, deliver a
+#: truncated or duplicated frame, or behave like a network partition.
+NET_EFFECTS = ("drop_conn", "delay", "truncate_frame", "duplicate_frame",
+               "partition")
+
+EFFECTS = ("crash", "error") + IO_EFFECTS + NET_EFFECTS
 
 
 class Failpoint:

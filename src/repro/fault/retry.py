@@ -4,10 +4,23 @@ A deliberately small helper: the polyglot workload uses it to model the
 application-level retry loop a client would wrap around a store that can
 suffer transient failures.  The sleep function is injectable so tests and
 benchmarks never actually wait.
+
+Two guardrails keep the loop honest under real contention:
+
+* **Full jitter** (``jitter=True``) draws each delay uniformly from
+  ``[0, base_delay * 2**attempt]`` instead of sleeping the deterministic
+  cap — the AWS "full jitter" scheme that de-synchronizes a thundering
+  herd of clients all retrying the same failed primary.  The RNG is
+  seeded (``seed``) so a failing run is still reproducible.
+* **``max_elapsed``** bounds the *total* wall-clock spent, attempts and
+  sleeps included.  Without it, generous attempt counts can blow through
+  query guardrail timeouts; with it, the loop gives up as soon as the
+  next backoff sleep would cross the deadline.
 """
 
 from __future__ import annotations
 
+import random
 import time
 from typing import Any, Callable, Optional
 
@@ -22,12 +35,14 @@ class RetryExhaustedError(InjectedFaultError):
 
     code = "FAULT_RETRY_EXHAUSTED"
 
-    def __init__(self, attempts: int, last_error: BaseException):
+    def __init__(self, attempts: int, last_error: BaseException,
+                 elapsed: float = 0.0):
         super().__init__(
             f"gave up after {attempts} attempt(s): {last_error}"
         )
         self.attempts = attempts
         self.last_error = last_error
+        self.elapsed = elapsed
 
 
 def retry_with_backoff(
@@ -37,22 +52,41 @@ def retry_with_backoff(
     base_delay: float = 0.01,
     max_delay: float = 1.0,
     sleep: Optional[Callable[[float], None]] = time.sleep,
+    jitter: bool = False,
+    max_elapsed: Optional[float] = None,
+    seed: Optional[int] = None,
+    clock: Callable[[], float] = time.monotonic,
 ) -> Any:
     """Call ``work(attempt)`` (0-based attempt index) until it succeeds.
 
     Retries on *retry_on* exceptions with exponential backoff
     (``base_delay * 2**attempt``, capped at *max_delay*); any other
-    exception propagates immediately.  After *attempts* failures raises
-    :class:`RetryExhaustedError` chaining the last one.  Passing the attempt
-    index lets callers regenerate per-attempt state (e.g. a fresh
+    exception propagates immediately.  With ``jitter=True`` each delay is
+    instead drawn uniformly from ``[0, cap]`` (full jitter; deterministic
+    under *seed*).  ``max_elapsed`` is a wall-clock deadline measured by
+    *clock* from the first attempt: when a retry (including its backoff
+    sleep) would start past the deadline, the loop gives up early.  After
+    *attempts* failures — or a blown deadline — raises
+    :class:`RetryExhaustedError` chaining the last error.  Passing the
+    attempt index lets callers regenerate per-attempt state (e.g. a fresh
     idempotency key).  ``sleep=None`` disables the delay entirely.
     """
     if attempts < 1:
         raise ValueError("attempts must be >= 1")
+    rng = random.Random(0 if seed is None else seed) if jitter else None
+    started = clock()
     last_error: Optional[BaseException] = None
+    made = 0
     for attempt in range(attempts):
-        if attempt and sleep is not None:
-            sleep(min(base_delay * (2 ** (attempt - 1)), max_delay))
+        if attempt:
+            delay = min(base_delay * (2 ** (attempt - 1)), max_delay)
+            if rng is not None:
+                delay = rng.uniform(0.0, delay)
+            if max_elapsed is not None and (clock() - started) + delay > max_elapsed:
+                break
+            if sleep is not None and delay > 0.0:
+                sleep(delay)
+        made += 1
         try:
             result = work(attempt)
         except retry_on as error:
@@ -61,4 +95,4 @@ def retry_with_backoff(
                 obs_metrics.counter("fault_retries_total").inc()
             continue
         return result
-    raise RetryExhaustedError(attempts, last_error)
+    raise RetryExhaustedError(made, last_error, elapsed=clock() - started)

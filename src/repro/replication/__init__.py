@@ -1,0 +1,92 @@
+"""WAL-shipping replication: primary → N read replicas, client failover.
+
+The ROADMAP's "millions of users" target needs reads to scale past one
+node and the service to survive losing that node.  This package provides
+both halves on top of the existing single-node engine:
+
+* **Shipping** — a primary :class:`~repro.server.server.ReproServer`
+  streams its central-log entries (the same records its WAL shadows) to
+  subscribed replicas as unsolicited ``{"ship": ...}`` frames on the
+  ordinary wire protocol; :class:`~repro.replication.hub.ReplicationHub`
+  keeps the per-subscriber bookkeeping and the semi-sync ack state.
+* **Applying** — each replica runs a
+  :class:`~repro.replication.replica.WalPuller` background thread whose
+  :class:`~repro.replication.apply.ReplicationApplier` replays committed
+  transactions into the replica's own :class:`MultiModelDB` through the
+  central log — exactly the path crash recovery uses — and tracks
+  ``received``/``applied`` LSN watermarks keyed by *primary* LSNs.
+* **Routing** — :class:`~repro.replication.router.ReplicaSet` is the
+  client-side entry point: it sends writes and ``strong`` reads to the
+  primary, load-balances ``eventual`` reads across replicas, makes
+  ``bounded`` reads wait for a replica watermark, and on primary loss
+  promotes the most-caught-up replica and retries non-transactional work.
+
+Replicas are provisioned with the same DDL as the primary (DDL is not
+replicated); from then on the shipped stream keeps primary and replica
+logs LSN-aligned, which is what makes promotion seamless — a promoted
+replica's log continues in the same LSN space its peers already track.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from functools import lru_cache
+
+from repro.query import ast as _ast
+
+__all__ = [
+    "ReplicationApplier",
+    "ReplicationHub",
+    "ReplicaSet",
+    "WalPuller",
+    "statement_writes",
+]
+
+#: AST operations that mutate data; anything else is a read.
+_WRITE_NODES = (
+    _ast.InsertOp,
+    _ast.UpdateOp,
+    _ast.RemoveOp,
+    _ast.ReplaceOp,
+    _ast.UpsertOp,
+)
+
+
+def _contains_write(node) -> bool:
+    if isinstance(node, _WRITE_NODES):
+        return True
+    if dataclasses.is_dataclass(node) and not isinstance(node, type):
+        return any(
+            _contains_write(getattr(node, field.name))
+            for field in dataclasses.fields(node)
+        )
+    if isinstance(node, (list, tuple)):
+        return any(_contains_write(item) for item in node)
+    if isinstance(node, dict):
+        return any(_contains_write(value) for value in node.values())
+    return False
+
+
+@lru_cache(maxsize=1024)
+def statement_writes(text: str) -> bool:
+    """Does this MMQL statement mutate data (INSERT/UPDATE/REMOVE/REPLACE/
+    UPSERT anywhere in its AST, subqueries included)?
+
+    Used for routing (writes go to the primary) and for the replica-side
+    ``NOT_PRIMARY`` gate.  A statement that does not parse is treated as a
+    read — the engine will raise the real parse error with full position
+    info, which beats a routing-layer guess.
+    """
+    from repro.query.parser import parse
+
+    try:
+        query = parse(text)
+    except Exception:
+        return False
+    return _contains_write(query)
+
+
+from repro.replication.apply import ReplicationApplier  # noqa: E402
+from repro.replication.hub import ReplicationHub  # noqa: E402
+from repro.replication.replica import WalPuller  # noqa: E402
+from repro.replication.router import ReplicaSet  # noqa: E402

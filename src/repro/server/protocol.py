@@ -32,9 +32,14 @@ Values that are not JSON-native (dates, bytes reprs, …) are serialized with
 rows.
 
 Failpoints ``server.frame_read`` / ``server.frame_write`` sit on the
-server-side frame boundary so the torture suite can sever or corrupt the
-stream mid-conversation (``error`` effect → the connection is dropped,
-which is exactly what a torn TCP stream looks like to the peer).
+server-side frame boundary, and ``client.frame_read`` /
+``client.frame_write`` on the client side, so the torture and chaos
+suites can sever, stall, truncate or duplicate the stream
+mid-conversation.  All four route through :mod:`repro.fault.net`, which
+interprets the network effects (``drop_conn``, ``delay``,
+``truncate_frame``, ``duplicate_frame``, ``partition``); the plain
+``error`` effect still behaves as before — the connection is dropped,
+which is exactly what a torn TCP stream looks like to the peer.
 """
 
 from __future__ import annotations
@@ -51,6 +56,7 @@ from repro.errors import (
     error_details,
     error_for_code,
 )
+from repro.fault import net as fault_net
 from repro.fault import registry as fault_registry
 from repro.obs import metrics as obs_metrics
 
@@ -84,11 +90,19 @@ _HEADER = struct.Struct(">I")
 
 FP_FRAME_READ = fault_registry.register(
     "server.frame_read",
-    "server-side wire frame read (error => connection drop mid-read)",
+    "server-side wire frame read (net effects; error => connection drop)",
 )
 FP_FRAME_WRITE = fault_registry.register(
     "server.frame_write",
-    "server-side wire frame write (error => connection drop mid-write)",
+    "server-side wire frame write (net effects; error => connection drop)",
+)
+FP_CLIENT_READ = fault_registry.register(
+    "client.frame_read",
+    "client-side wire frame read (net effects; error => connection drop)",
+)
+FP_CLIENT_WRITE = fault_registry.register(
+    "client.frame_write",
+    "client-side wire frame write (net effects; error => connection drop)",
 )
 
 
@@ -136,7 +150,7 @@ def _check_length(length: int, max_frame: int) -> None:
 def write_frame(sock: socket.socket, payload: dict) -> int:
     """Send one frame; returns the bytes written."""
     data = encode_frame(payload)
-    sock.sendall(data)
+    fault_net.send_bytes(sock, data, FP_CLIENT_WRITE)
     return len(data)
 
 
@@ -162,6 +176,8 @@ def read_frame(
     sock: socket.socket, max_frame: int = MAX_FRAME_BYTES
 ) -> Optional[dict]:
     """Read one frame; None on clean EOF before any header byte."""
+    if FP_CLIENT_READ.armed:
+        fault_net.recv_gate(sock, FP_CLIENT_READ)
     header = _recv_exact(sock, _HEADER.size)
     if header is None:
         return None
@@ -183,7 +199,7 @@ async def read_frame_async(
 ) -> Optional[dict]:
     """Read one frame from a stream reader; None on clean EOF."""
     if FP_FRAME_READ.armed:
-        FP_FRAME_READ.check()
+        await fault_net.recv_gate_async(FP_FRAME_READ)
     try:
         header = await reader.readexactly(_HEADER.size)
     except asyncio.IncompleteReadError as error:
@@ -209,9 +225,10 @@ async def write_payload_async(writer: asyncio.StreamWriter, data: bytes) -> int:
     """Send an already-encoded frame (callers that time serialization
     separately encode first, then write here); returns bytes written."""
     if FP_FRAME_WRITE.armed:
-        FP_FRAME_WRITE.check()
-    writer.write(data)
-    await writer.drain()
+        await fault_net.send_bytes_async(writer, data, FP_FRAME_WRITE)
+    else:
+        writer.write(data)
+        await writer.drain()
     if obs_metrics.ENABLED:
         obs_metrics.counter("server_bytes_written_total").inc(len(data))
     return len(data)

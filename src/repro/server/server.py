@@ -44,6 +44,7 @@ positively-acknowledged commit is durable in the WAL.
 from __future__ import annotations
 
 import asyncio
+import json
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -53,7 +54,10 @@ from repro import __version__
 from repro.errors import (
     CursorLimitError,
     InjectedFaultError,
+    NotPrimaryError,
     ProtocolError,
+    ReplicationError,
+    ReproError,
     ServerOverloadedError,
     ServerShutdownError,
     SessionStateError,
@@ -64,8 +68,12 @@ from repro.obs import events as obs_events
 from repro.obs import metrics as obs_metrics
 from repro.obs import slowlog, tracing
 from repro.obs.telemetry import TelemetryEndpoint
+from repro.replication import statement_writes
+from repro.replication.apply import ReplicationApplier
+from repro.replication.hub import ReplicationHub
 from repro.server import protocol
 from repro.server.session import Session
+from repro.storage.wal import entry_to_record
 
 __all__ = ["ReproServer"]
 
@@ -73,8 +81,12 @@ __all__ = ["ReproServer"]
 #: can still observe a shutting-down server (the observability ops are
 #: here precisely because a draining server is when you want them most).
 _ALWAYS_ALLOWED = frozenset(
-    {"ping", "stats", "info", "trace_dump", "slowlog", "events"}
+    {"ping", "stats", "info", "trace_dump", "slowlog", "events", "repl_status"}
 )
+
+#: Records per ship frame — bounds frame size while a far-behind replica
+#: catches up (the rest goes out on the next loop iteration).
+_SHIP_BATCH = 512
 
 obs_metrics.describe(
     "server_request_phase_seconds",
@@ -86,6 +98,22 @@ obs_metrics.describe(
 )
 obs_metrics.describe(
     "server_requests_total", "Wire requests dispatched, by op"
+)
+obs_metrics.describe(
+    "wal_records_shipped_total", "WAL records shipped to replica subscribers"
+)
+obs_metrics.describe(
+    "wal_records_applied_total", "Shipped WAL records applied, by replica"
+)
+obs_metrics.describe(
+    "replication_lag_seconds",
+    "Age of the newest ship frame a replica has applied, by replica",
+)
+obs_metrics.describe(
+    "replication_applied_lsn", "Replica applied-LSN watermark, by replica"
+)
+obs_metrics.describe(
+    "failover_total", "Primary failovers performed by ReplicaSet routers"
 )
 
 
@@ -149,6 +177,11 @@ class ReproServer:
         cursor_chunk_rows: int = 1024,
         telemetry_port: Optional[int] = None,
         telemetry_host: Optional[str] = None,
+        replica_of: Optional[Any] = None,
+        ack_replication: int = 0,
+        ack_timeout: float = 5.0,
+        ship_interval: float = 0.02,
+        heartbeat_interval: float = 0.5,
     ):
         self.db = db
         self.host = host
@@ -166,6 +199,15 @@ class ReproServer:
         #: ``/events``); ``None`` disables it, ``0`` binds an OS-picked port.
         self.telemetry_port = telemetry_port
         self.telemetry_host = telemetry_host if telemetry_host is not None else host
+        #: ``"host:port"`` of the primary this server replicates, or None
+        #: (= this server is a primary).  Cleared by the ``promote`` op.
+        self.replica_of = self._normalize_upstream(replica_of)
+        #: Semi-sync: block write responses until this many subscribers
+        #: acked the write's LSN (0 = fully asynchronous replication).
+        self.ack_replication = max(int(ack_replication), 0)
+        self.ack_timeout = float(ack_timeout)
+        self.ship_interval = float(ship_interval)
+        self.heartbeat_interval = float(heartbeat_interval)
 
         self._server: Optional[asyncio.AbstractServer] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -180,6 +222,28 @@ class ReproServer:
         self._thread: Optional[threading.Thread] = None
         self._reaper: Optional[asyncio.Task] = None
         self._telemetry: Optional[TelemetryEndpoint] = None
+        self._hub = ReplicationHub()
+        self._applier: Optional[ReplicationApplier] = None
+        self._puller: Optional[WalPuller] = None
+        self._kill = False
+
+    @staticmethod
+    def _normalize_upstream(replica_of: Optional[Any]) -> Optional[str]:
+        if replica_of is None:
+            return None
+        if isinstance(replica_of, (tuple, list)) and len(replica_of) == 2:
+            return f"{replica_of[0]}:{int(replica_of[1])}"
+        text = str(replica_of)
+        host, _, port = text.rpartition(":")
+        if not host or not port.isdigit():
+            raise ValueError(
+                f"replica_of must be 'host:port' or (host, port), got {text!r}"
+            )
+        return text
+
+    @property
+    def role(self) -> str:
+        return "replica" if self.replica_of is not None else "primary"
 
     # ------------------------------------------------------------ lifecycle --
 
@@ -212,6 +276,22 @@ class ReproServer:
         )
         self.port = self._server.sockets[0].getsockname()[1]
         self._reaper = self._loop.create_task(self._reap_idle_cursors())
+        if self.replica_of is not None:
+            # Imported here, not at module scope: replica.py speaks the wire
+            # protocol, so a top-level import would be circular.
+            from repro.replication.replica import WalPuller
+
+            upstream_host, _, upstream_port = self.replica_of.rpartition(":")
+            self._applier = ReplicationApplier(
+                self.db, name=f"{self.host}:{self.port}"
+            )
+            self._puller = WalPuller(
+                self._applier,
+                upstream_host,
+                int(upstream_port),
+                heartbeat_timeout=max(self.heartbeat_interval * 4, 1.0),
+            )
+            self._puller.start()
         if self.telemetry_port is not None:
             self._telemetry = TelemetryEndpoint(
                 host=self.telemetry_host,
@@ -262,7 +342,7 @@ class ReproServer:
         try:
             await self._stop_requested.wait()
         finally:
-            await self.shutdown()
+            await self.shutdown(drain=not self._kill)
 
     async def shutdown(self, drain: bool = True) -> None:
         """Stop accepting, drain in-flight queries, checkpoint, tear down."""
@@ -276,6 +356,12 @@ class ReproServer:
         if self._reaper is not None:
             self._reaper.cancel()
             self._reaper = None
+        if self._puller is not None:
+            # Sets the stop flag and severs the socket; the daemon thread
+            # exits on its own (no join — this is the event loop).
+            puller, self._puller = self._puller, None
+            puller.stop(join_timeout=None)
+        self._hub.shutdown()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -313,7 +399,7 @@ class ReproServer:
                     pass
         if aborted_txns:
             obs_events.emit("drain_txns_aborted", aborted=aborted_txns)
-        if self.checkpoint_path is not None:
+        if self.checkpoint_path is not None and not self._kill:
             try:
                 await asyncio.get_running_loop().run_in_executor(
                     None, self.db.checkpoint, self.checkpoint_path
@@ -395,6 +481,41 @@ class ReproServer:
             self._thread.join(timeout=timeout)
             self._thread = None
 
+    def kill(self, timeout: float = 5.0) -> None:
+        """Thread-safe **unclean** stop, for the chaos harness: abort every
+        live transport (clients and subscribers see a connection reset, as
+        with a power cut), then tear the loop down with no drain and no
+        checkpoint.  Whatever the WAL holds is what recovery — and the
+        replicas — get."""
+        self._kill = True
+        obs_events.emit("server_killed", host=self.host, port=self.port)
+        if self._puller is not None:
+            self._puller.stop(join_timeout=0.5)
+        loop = self._loop
+        if loop is not None:
+
+            def _die() -> None:
+                self._draining = True
+                for _session, writer in list(self._sessions.values()):
+                    transport = writer.transport
+                    try:
+                        if transport is not None:
+                            transport.abort()
+                        else:
+                            writer.close()
+                    except Exception:
+                        pass
+                if self._stop_requested is not None:
+                    self._stop_requested.set()
+
+            try:
+                loop.call_soon_threadsafe(_die)
+            except RuntimeError:
+                pass  # loop already gone
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+
     def __enter__(self) -> "ReproServer":
         self.start_in_thread()
         return self
@@ -411,7 +532,8 @@ class ReproServer:
             "protocol": protocol.PROTOCOL_VERSION,
             #: Compatible capabilities layered on protocol v1; clients use
             #: this (not the version) to decide what extras to send.
-            "features": ["trace", "events", "telemetry"],
+            "features": ["trace", "events", "telemetry", "replication"],
+            "role": self.role,
             "limits": {
                 "max_sessions": self.max_sessions,
                 "max_inflight": self.max_inflight,
@@ -422,6 +544,8 @@ class ReproServer:
                 "cursor_chunk_rows": self.cursor_chunk_rows,
             },
         }
+        if self.replica_of is not None:
+            info["replica_of"] = self.replica_of
         if session is not None:
             info["session"] = session.session_id
         if self._telemetry is not None:
@@ -440,6 +564,21 @@ class ReproServer:
                 entry[0].describe() for entry in self._sessions.values()
             ],
             "limits": self._server_info()["limits"],
+            "replication": self._repl_status(),
+        }
+
+    def _repl_status(self) -> dict:
+        log = self.db.context.log
+        if self.replica_of is not None and self._puller is not None:
+            status = self._puller.describe()
+            status.update({"role": "replica", "last_lsn": log.last_lsn})
+            return status
+        return {
+            "role": "primary",
+            "last_lsn": log.last_lsn,
+            "applied_lsn": log.last_lsn,
+            "ack_replication": self.ack_replication,
+            "subscribers": self._hub.describe(),
         }
 
     def _health_payload(self) -> dict:
@@ -504,6 +643,13 @@ class ReproServer:
                     break
                 if frame is None:
                     break  # clean EOF
+                if "op" not in frame and isinstance(frame.get("ack"), dict):
+                    # Fire-and-forget replication acknowledgement from a
+                    # subscribed replica — no response frame.
+                    await self._hub.record_ack(
+                        session.session_id, frame["ack"].get("lsn")
+                    )
+                    continue
                 try:
                     await self._dispatch(session, writer, frame)
                 except (
@@ -516,10 +662,26 @@ class ReproServer:
                     break  # response could not be delivered
         except SimulatedCrash:
             raise  # torture harness territory: nothing here may survive it
+        except (ProtocolError, InjectedFaultError, ConnectionError, OSError):
+            pass  # transport died (hello write, injected fault): clean up
         finally:
             # The connection owns its cursors: a vanished client must not
-            # leave lazy pipelines (and their store cursors) behind.
-            session.close_cursors()
+            # leave lazy pipelines (and their store cursors) behind.  These
+            # count as reaped — an abrupt socket close is the involuntary
+            # twin of the idle-timeout sweep.
+            reaped_cursors = session.close_cursors()
+            if reaped_cursors:
+                if obs_metrics.ENABLED:
+                    obs_metrics.counter("server_cursors_reaped_total").inc(
+                        reaped_cursors
+                    )
+                obs_events.emit(
+                    "cursors_reaped_on_disconnect",
+                    session_id=session.session_id,
+                    peer=session.peer,
+                    closed=reaped_cursors,
+                )
+            self._hub.unsubscribe(session.session_id)
             if session.txn is not None:
                 # The client vanished mid-transaction: roll it back.
                 try:
@@ -601,6 +763,8 @@ class ReproServer:
             raise ServerShutdownError(
                 f"server is draining; {op!r} rejected (reconnect elsewhere)"
             )
+        if self.replica_of is not None:
+            self._reject_writes_on_replica(op, params)
         if op == "ping":
             return {"pong": True}
         if op == "info":
@@ -634,9 +798,13 @@ class ReproServer:
                 )
             }
         if op == "query":
-            return await self._op_query(session, params)
+            result = await self._op_query(session, params)
+            await self._semi_sync_gate(session, params)
+            return result
         if op == "query_open":
-            return await self._op_query_open(session, params)
+            result = await self._op_query_open(session, params)
+            await self._semi_sync_gate(session, params)
+            return result
         if op == "cursor_next":
             return await self._op_cursor_next(session, params)
         if op == "cursor_close":
@@ -667,7 +835,13 @@ class ReproServer:
                     except Exception:
                         pass
                 raise
-            return {"txn": txn.txn_id, "committed": True}
+            committed_lsn = self.db.context.log.last_lsn
+            if self.ack_replication > 0:
+                await self._hub.wait_for_acks(
+                    committed_lsn, self.ack_replication, self.ack_timeout
+                )
+            return {"txn": txn.txn_id, "committed": True,
+                    "last_lsn": committed_lsn}
         if op == "abort":
             txn = session.take_txn("abort")
             await self._run_blocking(lambda: self.db.abort(txn))
@@ -687,7 +861,236 @@ class ReproServer:
                 raise ProtocolError("set_consistency needs 'name' and 'level'")
             self.db.set_consistency(name, level)
             return {"name": name, "level": str(level)}
+        if op == "wal_subscribe":
+            return self._op_wal_subscribe(session, params)
+        if op == "repl_status":
+            return self._repl_status()
+        if op == "repl_wait":
+            return await self._op_repl_wait(params)
+        if op == "promote":
+            return await self._op_promote()
+        if op == "repoint":
+            return self._op_repoint(params)
         raise ProtocolError(f"unknown op {op!r}")
+
+    # ------------------------------------------------------- replication ----
+
+    def _reject_writes_on_replica(self, op: str, params: dict) -> None:
+        """Replicas serve reads only; anything that would mutate state (or
+        open a transaction that could) is the primary's job."""
+        if op in ("begin", "commit", "abort"):
+            raise NotPrimaryError(
+                f"{op!r} refused: this server is a read replica of "
+                f"{self.replica_of} — transactions belong on the primary",
+                primary=self.replica_of,
+            )
+        if op in ("query", "query_open"):
+            text = params.get("text")
+            if isinstance(text, str) and statement_writes(text):
+                raise NotPrimaryError(
+                    "write statement refused: this server is a read replica "
+                    f"of {self.replica_of} — send writes to the primary",
+                    primary=self.replica_of,
+                )
+
+    async def _semi_sync_gate(self, session: Session, params: dict) -> None:
+        """Semi-sync replication: hold a *write's* response until
+        ``ack_replication`` subscribers acked its LSN.  Reads pass through;
+        statements inside an open transaction publish nothing until commit,
+        so the gate for those sits on the ``commit`` op instead."""
+        if self.ack_replication <= 0 or session.in_txn:
+            return
+        text = params.get("text")
+        if not isinstance(text, str) or not statement_writes(text):
+            return
+        await self._hub.wait_for_acks(
+            self.db.context.log.last_lsn, self.ack_replication, self.ack_timeout
+        )
+
+    def _op_wal_subscribe(self, session: Session, params: dict) -> dict:
+        from_lsn = params.get("from_lsn", 0)
+        if not isinstance(from_lsn, int) or from_lsn < 0:
+            raise ProtocolError("wal_subscribe needs a non-negative 'from_lsn'")
+        entry = self._sessions.get(session.session_id)
+        if entry is None:
+            raise SessionStateError("session is gone")
+        writer = entry[1]
+        subscriber = self._hub.subscribe(session.session_id, session.peer, from_lsn)
+        subscriber.task = self._loop.create_task(
+            self._ship_loop(subscriber, writer)
+        )
+        return {
+            "subscribed": True,
+            "from_lsn": from_lsn,
+            "last_lsn": self.db.context.log.last_lsn,
+            "heartbeat_interval": self.heartbeat_interval,
+            "catalog": self._describe_catalog(),
+        }
+
+    def _describe_catalog(self) -> list:
+        """JSON-safe catalog snapshot shipped with every ``wal_subscribe``
+        response.  DDL is not logged (the central log carries data ops
+        only), so this snapshot is the replica's "base backup": the
+        puller materializes any object it is missing before applying
+        records.  Schema-carrying kinds (relational and wide-column
+        tables) include enough of their definition to recreate them;
+        objects whose schema does not round-trip JSON (e.g. wide-column
+        UDTs) are shipped kind-only and skipped by the replica."""
+        entries = []
+        for name, kind in self.db.catalog().items():
+            entry: dict = {"name": name, "kind": kind}
+            try:
+                if kind == "table":
+                    schema = self.db.table(name).schema
+                    entry["schema"] = {
+                        "primary_key": schema.primary_key,
+                        "columns": [
+                            {
+                                "name": column.name,
+                                "type": column.type,
+                                "nullable": column.nullable,
+                                "default": column.default,
+                            }
+                            for column in schema.columns
+                        ],
+                    }
+                elif kind == "wide":
+                    table = self.db.wide_table(name)
+                    entry["schema"] = {
+                        "primary_key": table.primary_key,
+                        "columns": [
+                            {"name": column.name, "spec": column.spec}
+                            for column in table.columns.values()
+                        ],
+                    }
+                if "schema" in entry:
+                    json.dumps(entry["schema"])  # must survive the wire
+            except (TypeError, ValueError, ReproError):
+                entry.pop("schema", None)
+            entries.append(entry)
+        return entries
+
+    async def _ship_loop(self, subscriber, writer) -> None:
+        """Stream log entries past the subscriber's watermark as
+        ``{"ship": ...}`` frames; empty frames are heartbeats.  Any wire
+        failure ends the subscription — the replica's puller reconnects
+        and re-subscribes from its own watermark."""
+        log = self.db.context.log
+        last_sent = 0.0
+        try:
+            while not self._draining:
+                now = self._loop.time()
+                records: list = []
+                if log.last_lsn > subscriber.shipped_lsn:
+                    for entry in log.entries_since(subscriber.shipped_lsn):
+                        records.append(entry_to_record(entry))
+                        if len(records) >= _SHIP_BATCH:
+                            break
+                if records:
+                    subscriber.shipped_lsn = records[-1]["lsn"]
+                    await protocol.write_frame_async(
+                        writer,
+                        {
+                            "ship": {
+                                "records": records,
+                                "last_lsn": subscriber.shipped_lsn,
+                                "ts": time.time(),
+                            }
+                        },
+                    )
+                    if obs_metrics.ENABLED:
+                        obs_metrics.counter("wal_records_shipped_total").inc(
+                            len(records)
+                        )
+                    last_sent = now
+                    continue  # drain the backlog before sleeping
+                if now - last_sent >= self.heartbeat_interval:
+                    await protocol.write_frame_async(
+                        writer,
+                        {
+                            "ship": {
+                                "records": [],
+                                "last_lsn": log.last_lsn,
+                                "ts": time.time(),
+                            }
+                        },
+                    )
+                    last_sent = now
+                await asyncio.sleep(self.ship_interval)
+        except asyncio.CancelledError:
+            raise
+        except Exception:
+            pass  # wire is gone (or injected fault): subscription over
+        finally:
+            subscriber.task = None
+            self._hub.unsubscribe(subscriber.session_id)
+
+    async def _op_repl_wait(self, params: dict) -> dict:
+        lsn = params.get("lsn", 0)
+        if not isinstance(lsn, int) or lsn < 0:
+            raise ProtocolError("repl_wait needs a non-negative integer 'lsn'")
+        timeout = params.get("timeout", 5.0)
+        try:
+            timeout = max(float(timeout), 0.0)
+        except (TypeError, ValueError):
+            raise ProtocolError("repl_wait 'timeout' must be a number")
+        deadline = self._loop.time() + timeout
+        while True:
+            applied = (
+                self._applier.applied_lsn
+                if self._applier is not None and self.replica_of is not None
+                else self.db.context.log.last_lsn
+            )
+            if applied >= lsn:
+                return {"applied_lsn": applied, "reached": True}
+            if self._loop.time() >= deadline or self._draining:
+                return {"applied_lsn": applied, "reached": False}
+            await asyncio.sleep(0.01)
+
+    async def _op_promote(self) -> dict:
+        log = self.db.context.log
+        if self.replica_of is None:
+            return {"promoted": False, "role": "primary",
+                    "last_lsn": log.last_lsn}
+        upstream = self.replica_of
+        # Accept writes first, then tear the subscription down — the
+        # severed socket stops any in-flight batch racing the promotion.
+        self.replica_of = None
+        puller, self._puller = self._puller, None
+        if puller is not None:
+            await self._run_blocking(lambda: puller.stop(join_timeout=2.0))
+        dropped = 0
+        if self._applier is not None:
+            # An open block's COMMIT never arrived: the dead primary never
+            # committed it, so dropping it mirrors crash recovery.
+            dropped = self._applier.reset_pending()
+        obs_events.emit(
+            "replica_promoted",
+            server=f"{self.host}:{self.port}",
+            was_replica_of=upstream,
+            last_lsn=log.last_lsn,
+            dropped_uncommitted=dropped,
+        )
+        return {
+            "promoted": True,
+            "was_replica_of": upstream,
+            "last_lsn": log.last_lsn,
+            "dropped_uncommitted": dropped,
+        }
+
+    def _op_repoint(self, params: dict) -> dict:
+        host = params.get("host")
+        port = params.get("port")
+        if not isinstance(host, str) or not isinstance(port, int):
+            raise ProtocolError("repoint needs string 'host' and integer 'port'")
+        if self.replica_of is None or self._puller is None:
+            raise ReplicationError(
+                "repoint refused: this server is a primary (did you mean to "
+                "promote it, or repoint one of its replicas?)"
+            )
+        self.replica_of = f"{host}:{port}"
+        self._puller.retarget(host, port)
+        return {"repointed": True, "primary": self.replica_of}
 
     @staticmethod
     def _required_text(params: dict) -> str:
@@ -742,6 +1145,7 @@ class ReproServer:
         result = await self._run_blocking(work, phases=phases)
         stats = dict(result.stats)
         stats["server_phases"] = _phases_ms(phases)
+        stats["last_lsn"] = self.db.context.log.last_lsn
         response = {"rows": result.rows, "stats": stats}
         if result.analyzed is not None:
             response["analyzed"] = result.analyzed + (
@@ -810,6 +1214,7 @@ class ReproServer:
             cursor.close()
             stats = dict(cursor.stats)
             stats["server_phases"] = _phases_ms(phases)
+            stats["last_lsn"] = self.db.context.log.last_lsn
             return {
                 "cursor": None,
                 "rows": rows,
@@ -829,6 +1234,7 @@ class ReproServer:
             obs_metrics.counter("server_cursors_opened_total").inc()
         stats = dict(cursor.stats)
         stats["server_phases"] = _phases_ms(phases)
+        stats["last_lsn"] = self.db.context.log.last_lsn
         return {
             "cursor": entry.cursor_id,
             "rows": rows,
@@ -860,6 +1266,7 @@ class ReproServer:
         stats = dict(entry.cursor.stats)
         stats["cursor_fetches"] = entry.fetches
         stats["server_phases"] = _phases_ms(phases)
+        stats["last_lsn"] = self.db.context.log.last_lsn
         if entry.cursor.exhausted:
             session.pop_cursor(entry.cursor_id)
             entry.close()

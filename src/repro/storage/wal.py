@@ -8,8 +8,11 @@ log from the file by redoing exactly the operations of committed
 transactions — uncommitted tails are discarded (redo-only, no undo needed,
 because views are rebuilt from scratch on recovery).
 
-Records are length-free JSON lines with a checksum field; a torn final line
-(simulated crash mid-write) is detected and dropped.
+Records are length-free JSON lines prefixed with a CRC32 checksum; a torn
+final line (simulated crash mid-write) is detected and dropped.  Early seed
+WALs predate the checksum prefix and are plain JSON lines — the read path
+still accepts those (parsed, but with no integrity check to offer), so an
+upgraded engine can recover a pre-checksum data directory in place.
 """
 
 from __future__ import annotations
@@ -27,7 +30,7 @@ from repro.fault import registry as fault_registry
 from repro.obs import metrics as obs_metrics
 from repro.storage.log import CentralLog, LogOp
 
-__all__ = ["WriteAheadLog", "recover", "replay_into"]
+__all__ = ["WriteAheadLog", "entry_to_record", "recover", "replay_into"]
 
 # Module-level metric handles: created once, cheap to touch, survive
 # registry resets.
@@ -36,6 +39,7 @@ _WAL_FSYNCS = obs_metrics.counter("wal_fsyncs_total")
 _WAL_APPEND_SECONDS = obs_metrics.histogram("wal_append_seconds")
 _WAL_REPLAYED = obs_metrics.counter("wal_records_replayed_total")
 _RECOVERY_RUNS = obs_metrics.counter("recovery_runs_total")
+_WAL_CRC_FAILURES = obs_metrics.counter("wal_crc_failures_total")
 
 # Failpoint sites on the WAL durability path (see docs/ROBUSTNESS.md).
 _FP_APPEND_WRITE = fault_registry.register(
@@ -191,6 +195,14 @@ class WriteAheadLog:
 
     @staticmethod
     def _parse_line(line: str) -> Optional[dict]:
+        if line.startswith("{"):
+            # Legacy checksum-less record (pre-CRC seed WAL): nothing to
+            # verify, but a parseable object is still a valid record.
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                return None
+            return record if isinstance(record, dict) else None
         parts = line.split(" ", 1)
         if len(parts) != 2 or len(parts[0]) != 8:
             return None
@@ -199,11 +211,29 @@ class WriteAheadLog:
         except ValueError:
             return None
         if zlib.crc32(parts[1].encode("utf-8")) != checksum:
+            if obs_metrics.ENABLED:
+                _WAL_CRC_FAILURES.inc()
             return None
         try:
-            return json.loads(parts[1])
+            record = json.loads(parts[1])
         except json.JSONDecodeError:
             return None
+        return record if isinstance(record, dict) else None
+
+
+def entry_to_record(entry) -> dict:
+    """A :class:`~repro.storage.log.LogEntry` as the JSON-safe WAL-record
+    dict the wire ships (the same shape :meth:`WriteAheadLog.append` logs
+    and :func:`replay_into` consumes)."""
+    return {
+        "lsn": entry.lsn,
+        "txn": entry.txn_id,
+        "op": entry.op.value,
+        "ns": entry.namespace,
+        "key": entry.key,
+        "value": entry.value,
+        "before": entry.before,
+    }
 
 
 def replay_into(path: str, log: CentralLog) -> tuple[int, int]:

@@ -205,7 +205,11 @@ class TestIoShim:
             assert len(corrupted) == len(text)
 
     def test_effects_tuple_is_the_public_contract(self):
-        assert EFFECTS == ("crash", "error", "torn", "bitflip", "enospc")
+        assert EFFECTS == (
+            "crash", "error", "torn", "bitflip", "enospc",
+            "drop_conn", "delay", "truncate_frame", "duplicate_frame",
+            "partition",
+        )
 
 
 class TestCommitPublishRollback:

@@ -64,3 +64,82 @@ class TestRetry:
     def test_zero_attempts_rejected(self):
         with pytest.raises(ValueError):
             retry_with_backoff(lambda attempt: None, attempts=0)
+
+
+class TestJitterAndDeadline:
+    def test_full_jitter_draws_within_cap_and_is_seeded(self):
+        def delays_for(seed):
+            delays = []
+
+            def always_fails(attempt):
+                raise OSError("io")
+
+            with pytest.raises(RetryExhaustedError):
+                retry_with_backoff(
+                    always_fails,
+                    attempts=5,
+                    base_delay=0.1,
+                    max_delay=0.3,
+                    sleep=delays.append,
+                    jitter=True,
+                    seed=seed,
+                )
+            return delays
+
+        first = delays_for(7)
+        assert first == delays_for(7)  # reproducible under a seed
+        assert first != delays_for(8)  # and actually seed-dependent
+        for delay, cap in zip(first, [0.1, 0.2, 0.3, 0.3]):
+            assert 0.0 <= delay <= cap  # full jitter: uniform in [0, cap]
+
+    def test_max_elapsed_stops_before_attempts_exhaust(self):
+        now = [0.0]
+
+        def clock():
+            return now[0]
+
+        def sleep(delay):
+            now[0] += delay
+
+        def always_fails(attempt):
+            now[0] += 1.0  # each attempt costs a second of wall clock
+            raise OSError("io")
+
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            retry_with_backoff(
+                always_fails,
+                attempts=10,
+                base_delay=0.5,
+                max_delay=0.5,
+                sleep=sleep,
+                max_elapsed=2.0,
+                clock=clock,
+            )
+        # attempt 0 (1s) + sleep 0.5 + attempt 1 (1s) = 2.5s; the next
+        # retry would start past the 2.0s deadline, so only 2 ran.
+        assert excinfo.value.attempts == 2
+        assert excinfo.value.elapsed >= 2.0
+
+    def test_max_elapsed_reports_elapsed_and_last_error(self):
+        now = [0.0]
+
+        def always_fails(attempt):
+            now[0] += 5.0
+            raise InjectedFaultError("slow failure")
+
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            retry_with_backoff(
+                always_fails,
+                attempts=4,
+                sleep=None,
+                max_elapsed=1.0,
+                clock=lambda: now[0],
+            )
+        assert excinfo.value.attempts == 1
+        assert "slow failure" in str(excinfo.value.last_error)
+
+    def test_success_within_deadline_unaffected(self):
+        result = retry_with_backoff(
+            lambda attempt: "ok", max_elapsed=0.001, jitter=True, seed=1
+        )
+        assert result == "ok"

@@ -66,6 +66,11 @@ class TestRemoteStatements:
         output, _state = _run(client, ".info")
         assert "version" in output
 
+    def test_replicas_on_plain_primary(self, client):
+        output, _state = _run(client, ".replicas")
+        assert "role primary" in output
+        assert "no subscribed replicas" in output
+
     def test_quit_and_unknown(self, client):
         _output, state = _run(client, ".quit")
         assert state["done"]
@@ -75,6 +80,7 @@ class TestRemoteStatements:
     def test_help(self, client):
         output, _state = _run(client, ".help")
         assert ".server" in output
+        assert ".replicas" in output
 
 
 class TestRemoteRepl:
