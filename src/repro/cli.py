@@ -152,6 +152,9 @@ def run_statement(db: MultiModelDB, statement: str, out: IO, state: dict) -> Non
             "failover_total",
             "repl_ack_timeouts_total",
             "server_cursors_reaped_total",
+            "cluster_fanout_queries_total",
+            "cluster_single_shard_queries_total",
+            "cluster_merge_rows_total",
         ):
             print(f"    {metric_name}: {registry.total(metric_name)}", file=out)
         cache = getattr(db, "plan_cache", None)
@@ -498,6 +501,8 @@ Remote MMQL shell commands:
                         session guardrail overrides (host caps still apply)
   .server               server stats: sessions, in-flight, limits
   .replicas             replication status: role, watermarks, subscribers
+  .shards               cluster topology: shard roster, placements,
+                        per-shard reachability (cluster connections only)
   .info                 server handshake info (version, protocol, limits)
   .trace <query>        run the query traced; print the stitched
                         client+server span tree (one trace across every
@@ -572,6 +577,33 @@ def run_remote_statement(client, statement: str, out: IO, state: dict) -> None:
         if statement == ".info":
             for key, value in client.info().items():
                 print(f"  {key}: {value}", file=out)
+            return
+        if statement == ".shards":
+            shards_status = getattr(client, "shards_status", None)
+            if shards_status is None:
+                print(
+                    "  not a cluster connection — reconnect with "
+                    "`connect --cluster MAP|HOST:PORT`",
+                    file=out,
+                )
+                return
+            for entry in shards_status():
+                replicas = ", ".join(entry["replicas"]) or "none"
+                health = "up" if entry["alive"] else "UNREACHABLE"
+                print(
+                    f"  shard {entry['shard_id']}: primary "
+                    f"{entry['primary']} ({health}), replicas: {replicas}",
+                    file=out,
+                )
+            info = client.info()
+            print(
+                f"  map v{info['map_version']}, placements: "
+                + ", ".join(
+                    f"{name}={mode}"
+                    for name, mode in info["placements"].items()
+                ),
+                file=out,
+            )
             return
         if statement.startswith(".begin"):
             isolation = statement[len(".begin"):].strip() or "snapshot"
@@ -691,6 +723,13 @@ def run_remote_statement(client, statement: str, out: IO, state: dict) -> None:
     except ReproError as error:
         print(f"error [{error.code}]: {error}", file=out)
         return
+    except AttributeError:
+        print(
+            f"  {statement.split()[0]!r} is not available on this "
+            "connection type",
+            file=out,
+        )
+        return
     except (ConnectionError, OSError, ValueError) as error:
         print(f"error: {error}", file=out)
         return
@@ -789,7 +828,29 @@ def serve_main(argv: Optional[list[str]] = None) -> int:
         "--events-file", metavar="PATH",
         help="append structured events to PATH as JSON lines",
     )
+    parser.add_argument(
+        "--cluster", metavar="MAP.json",
+        help="join a sharded cluster: path to the shard-map JSON "
+        "(docs/SERVER.md#cluster); requires --shard-id",
+    )
+    parser.add_argument(
+        "--shard-id", type=int, metavar="N",
+        help="this server's shard id in the --cluster map",
+    )
     args = parser.parse_args(argv)
+
+    if (args.cluster is None) != (args.shard_id is None):
+        parser.error("--cluster and --shard-id go together")
+    shard_map = None
+    if args.cluster is not None:
+        from repro.cluster.shardmap import ShardMap
+
+        shard_map = ShardMap.load(args.cluster)
+        if args.shard_id not in shard_map.all_shard_ids():
+            parser.error(
+                f"--shard-id {args.shard_id} is not in the map "
+                f"(shards: {shard_map.all_shard_ids()})"
+            )
 
     if args.replica_of is not None:
         host_part, _, port_part = args.replica_of.rpartition(":")
@@ -802,7 +863,24 @@ def serve_main(argv: Optional[list[str]] = None) -> int:
             )
 
     if args.demo is not None:
-        db = make_demo_db(args.demo)
+        if shard_map is not None:
+            # A cluster shard loads only its slice of the demo data set.
+            from repro.cluster.bootstrap import load_sharded_unibench
+            from repro.unibench.generator import generate
+
+            stand_ins = [
+                MultiModelDB() for _ in range(shard_map.num_shards)
+            ]
+            load_sharded_unibench(
+                stand_ins,
+                generate(scale_factor=args.demo, seed=42),
+                shard_map,
+            )
+            db = stand_ins[
+                shard_map.all_shard_ids().index(args.shard_id)
+            ]
+        else:
+            db = make_demo_db(args.demo)
     else:
         db = MultiModelDB()
     if args.wal:
@@ -833,11 +911,15 @@ def serve_main(argv: Optional[list[str]] = None) -> int:
         replica_of=args.replica_of,
         ack_replication=args.ack_replication,
         ack_timeout=args.ack_timeout,
+        shard_id=args.shard_id,
+        shard_map=shard_map,
     )
     host, port = server.start_in_thread()
     role = (
         f"replica of {args.replica_of}" if args.replica_of else "primary"
     )
+    if args.shard_id is not None:
+        role += f", shard {args.shard_id} of {shard_map.num_shards}"
     print(
         f"repro {__version__} serving on {host}:{port} as {role} "
         f"(max {args.max_sessions} sessions, {args.max_inflight} workers; "
@@ -888,15 +970,37 @@ def connect_main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument("--port", type=int, default=DEFAULT_PORT)
     parser.add_argument("-c", "--command", help="run one query and exit")
     parser.add_argument("-f", "--file", help="run a ;-separated script")
+    parser.add_argument(
+        "--cluster", metavar="MAP|HOST:PORT",
+        help="connect to a sharded cluster: a shard-map JSON file, or "
+        "any shard's address to fetch the map from",
+    )
     args = parser.parse_args(argv)
 
-    try:
-        client = ReproClient(host=args.host, port=args.port)
-        client.connect()
-    except (ConnectionError, OSError) as error:
-        print(f"error: cannot reach {args.host}:{args.port}: {error}",
-              file=sys.stderr)
-        return 1
+    if args.cluster is not None:
+        import os
+
+        from repro.cluster.client import ClusterClient
+        from repro.cluster.shardmap import ShardMap
+
+        try:
+            if os.path.exists(args.cluster):
+                client = ClusterClient(ShardMap.load(args.cluster))
+            else:
+                client = ClusterClient(seed=args.cluster)
+            client.connect()
+        except (ConnectionError, OSError, ReproError) as error:
+            print(f"error: cannot join cluster {args.cluster}: {error}",
+                  file=sys.stderr)
+            return 1
+    else:
+        try:
+            client = ReproClient(host=args.host, port=args.port)
+            client.connect()
+        except (ConnectionError, OSError) as error:
+            print(f"error: cannot reach {args.host}:{args.port}: {error}",
+                  file=sys.stderr)
+            return 1
     with client:
         state: dict = {"done": False}
         if args.command:
@@ -908,13 +1012,22 @@ def connect_main(argv: Optional[list[str]] = None) -> int:
             for statement in script.split(";"):
                 run_remote_statement(client, statement, sys.stdout, state)
             return 0
-        info = client.server_info or {}
-        print(
-            f"connected to repro {info.get('version')} at "
-            f"{args.host}:{args.port} (session {info.get('session')}) — "
-            ".help for commands",
-            file=sys.stdout,
-        )
+        if args.cluster is not None:
+            info = client.info()
+            print(
+                f"connected to a {info['shards']}-shard cluster "
+                f"(map v{info['map_version']}) — .help for commands, "
+                ".shards for the roster",
+                file=sys.stdout,
+            )
+        else:
+            info = client.server_info or {}
+            print(
+                f"connected to repro {info.get('version')} at "
+                f"{args.host}:{args.port} (session {info.get('session')}) — "
+                ".help for commands",
+                file=sys.stdout,
+            )
         remote_repl(client, sys.stdin, sys.stdout)
     return 0
 

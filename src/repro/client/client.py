@@ -276,6 +276,10 @@ class ReproClient:
         self.trace = trace
         #: The most recently completed :class:`StitchedTrace`, if any.
         self.last_trace: Optional[StitchedTrace] = None
+        #: When set (by a cluster coordinator), every query ships this
+        #: shard-map version so a re-provisioned shard can answer
+        #: SHARD_MAP_STALE instead of serving a stale topology.
+        self.shard_map_version: Optional[int] = None
 
     # ------------------------------------------------------------ lifecycle --
 
@@ -503,9 +507,16 @@ class ReproClient:
         ``trace=True`` traces this one statement (client RPCs + server
         span trees, stitched across every fetch of a streamed result into
         :attr:`last_trace` / ``cursor.trace``) regardless of the client's
-        default policy."""
-        stitched = self._new_trace(force=trace)
+        default policy.  Passing an existing :class:`StitchedTrace`
+        instance joins this statement onto it — the cluster coordinator
+        uses that to stitch a whole scatter into one trace."""
+        if isinstance(trace, StitchedTrace):
+            stitched: Optional[StitchedTrace] = trace
+        else:
+            stitched = self._new_trace(force=trace)
         params: dict[str, Any] = {"text": text, "bind_vars": bind_vars or {}}
+        if self.shard_map_version is not None:
+            params["shard_map_version"] = self.shard_map_version
         if timeout is not None:
             params["timeout"] = timeout
         if max_rows is not None:
@@ -537,6 +548,11 @@ class ReproClient:
 
     def explain(self, text: str) -> str:
         return self._call("explain", text=text)["plan"]
+
+    def shard_map(self) -> dict:
+        """Fetch the shard's cluster topology (``shard_id`` +
+        ``shard_map`` JSON); raises ``CLUSTER`` on non-cluster servers."""
+        return self._call("shard_map")
 
     def begin(self, isolation: str = "snapshot") -> int:
         result = self._call("begin", isolation=isolation)

@@ -1,0 +1,300 @@
+"""Provision a sharded cluster: DDL everywhere, rows where they belong.
+
+Mirrors :func:`repro.unibench.generator.load_into_multimodel` exactly —
+same schemas, same indexes — but routes every row through the shard
+map's placements: hash-partitioned rows land only on their owner shard,
+reference rows land on every shard.  DDL (and index DDL) is applied to
+*all* shards regardless of placement, so any shard can run any aligned
+statement.
+
+Also provides :func:`start_cluster`, the in-process harness the tests,
+the chaos runs and CI's cluster-smoke job share: N
+:class:`~repro.server.server.ReproServer` shards (optionally one with a
+read replica) on OS-picked ports, a matching versioned
+:class:`~repro.cluster.shardmap.ShardMap`, and a
+:class:`~repro.cluster.client.ClusterClient` wired to it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.cluster.shardmap import ShardMap, StorePlacement, demo_placements
+
+__all__ = [
+    "load_sharded_unibench",
+    "make_demo_shard_map",
+    "start_cluster",
+    "ClusterHandle",
+]
+
+
+def _owner(shard_map: ShardMap, store: str, value) -> Optional[int]:
+    """Owner shard for one row's partition value, or None = everywhere."""
+    if shard_map.is_hashed(store):
+        return shard_map.owner(store, value)
+    return None
+
+
+def _route(shard_map: ShardMap, store: str, value, sinks: list, apply) -> None:
+    owner = _owner(shard_map, store, value)
+    for shard_id, sink in enumerate(sinks):
+        if owner is None or owner == shard_id:
+            apply(sink)
+
+
+def load_sharded_unibench(
+    dbs: list,
+    data,
+    shard_map: ShardMap,
+    with_indexes: bool = True,
+) -> None:
+    """Populate one :class:`MultiModelDB` per shard from *data*.
+
+    ``dbs[i]`` receives shard ``i``'s slice; ``len(dbs)`` must equal
+    ``shard_map.num_shards``."""
+    from repro.relational.schema import Column, ColumnType, TableSchema
+
+    if len(dbs) != shard_map.num_shards:
+        raise ValueError(
+            f"{len(dbs)} databases for {shard_map.num_shards} shards"
+        )
+
+    tables = []
+    for db in dbs:
+        db.create_table(
+            TableSchema(
+                "customers",
+                [
+                    Column("id", ColumnType.INTEGER, nullable=False),
+                    Column("name", ColumnType.STRING, nullable=False),
+                    Column("city", ColumnType.STRING),
+                    Column("credit_limit", ColumnType.INTEGER),
+                ],
+                primary_key="id",
+            )
+        )
+        tables.append(db.table("customers"))
+    key = shard_map.placement("customers").partition_key or "id"
+    for row in data.customers:
+        _route(
+            shard_map, "customers", row.get(key), tables,
+            lambda table, row=row: table.insert(row),
+        )
+
+    # The social graph: vertices and edges follow the store's placement
+    # (reference in the demo profile — every shard gets the whole graph,
+    # which is what keeps traversals shard-local).
+    if shard_map.is_hashed("social"):
+        raise NotImplementedError(
+            "hash-partitioned graphs are not provisioned by this loader"
+        )
+    for db in dbs:
+        social = db.create_graph("social")
+        for row in data.customers:
+            social.add_vertex(str(row["id"]), {"name": row["name"]})
+        for source, target in data.knows_edges:
+            social.add_edge(source, target, label="knows")
+
+    products = [db.create_collection("products") for db in dbs]
+    key = shard_map.placement("products").partition_key or "_key"
+    for product in data.products:
+        _route(
+            shard_map, "products", product.get(key), products,
+            lambda sink, product=product: sink.insert(product),
+        )
+
+    orders = [db.create_collection("orders") for db in dbs]
+    key = shard_map.placement("orders").partition_key or "_key"
+    for order in data.orders:
+        _route(
+            shard_map, "orders", order.get(key), orders,
+            lambda sink, order=order: sink.insert(order),
+        )
+
+    carts = [db.create_bucket("cart") for db in dbs]
+    for customer_id, order_no in data.carts.items():
+        _route(
+            shard_map, "cart", customer_id, carts,
+            lambda sink, k=customer_id, v=order_no: sink.put(k, v),
+        )
+
+    feedback = [db.create_collection("feedback") for db in dbs]
+    key = shard_map.placement("feedback").partition_key or "_key"
+    for review in data.feedback:
+        _route(
+            shard_map, "feedback", review.get(key), feedback,
+            lambda sink, review=review: sink.insert(review),
+        )
+
+    if shard_map.is_hashed("vendors"):
+        raise NotImplementedError(
+            "hash-partitioned triple stores are not provisioned by this "
+            "loader"
+        )
+    for db in dbs:
+        db.create_triple_store("vendors").add_many(data.vendor_triples)
+
+    if with_indexes:
+        for db, order_sink, product_sink, feedback_sink in zip(
+            dbs, orders, products, feedback
+        ):
+            order_sink.create_index("Order_no", kind="hash")
+            order_sink.create_index("customer_id", kind="hash")
+            product_sink.create_index("category", kind="hash")
+            feedback_sink.create_index("product_no", kind="hash")
+            db.context.indexes.create_index(
+                feedback_sink.namespace, ("text",), kind="fulltext",
+                name="feedback_text",
+            )
+
+
+def make_demo_shard_map(
+    addresses: list,
+    replicas: Optional[dict] = None,
+    version: int = 1,
+) -> ShardMap:
+    """A demo-profile map over *addresses* (``host:port`` per shard)."""
+    shards = []
+    for shard_id, address in enumerate(addresses):
+        shards.append(
+            {
+                "shard_id": shard_id,
+                "primary": address,
+                "replicas": list((replicas or {}).get(shard_id, ())),
+            }
+        )
+    return ShardMap(shards, demo_placements(), version=version)
+
+
+class ClusterHandle:
+    """Everything :func:`start_cluster` stood up, torn down in one call."""
+
+    def __init__(self, servers, replica_servers, shard_map, dbs):
+        self.servers = servers
+        self.replica_servers = replica_servers
+        self.shard_map = shard_map
+        self.dbs = dbs
+
+    def client(self, **options) -> Any:
+        from repro.cluster.client import ClusterClient
+
+        return ClusterClient(self.shard_map, **options)
+
+    def stop(self) -> None:
+        for server in self.replica_servers + self.servers:
+            try:
+                server.stop()
+            except Exception:
+                pass
+
+    def __enter__(self) -> "ClusterHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def start_cluster(
+    num_shards: int = 3,
+    data: Any = None,
+    scale_factor: int = 1,
+    seed: int = 42,
+    replica_for: Optional[int] = None,
+    placements: Optional[dict] = None,
+    with_indexes: bool = True,
+    **server_options: Any,
+) -> ClusterHandle:
+    """Start *num_shards* in-process shard servers holding the UniBench
+    data set, sliced by the demo placement profile.
+
+    ``replica_for`` optionally attaches one WAL-shipping read replica to
+    that shard (exercising the full ReplicaSet path under the
+    coordinator).  Returns a :class:`ClusterHandle`."""
+    from repro.core.database import MultiModelDB
+    from repro.server.server import ReproServer
+    from repro.unibench.generator import generate
+
+    if data is None:
+        data = generate(scale_factor=scale_factor, seed=seed)
+    store_placements = {
+        name: (
+            placement
+            if isinstance(placement, StorePlacement)
+            else StorePlacement(
+                placement.get("mode"),
+                placement.get("partition_key"),
+                placement.get("primary_key"),
+            )
+        )
+        for name, placement in (placements or demo_placements()).items()
+    }
+    # Provision on a placeholder map (addresses unknown until bind); the
+    # partition assignment only depends on num_shards + placements, which
+    # don't change when the real addresses are filled in.
+    routing_map = ShardMap(
+        [f"pending:{9000 + shard_id}" for shard_id in range(num_shards)],
+        store_placements,
+    )
+    dbs = [MultiModelDB() for _ in range(num_shards)]
+    load_sharded_unibench(dbs, data, routing_map, with_indexes=with_indexes)
+
+    servers = []
+    addresses = []
+    try:
+        for shard_id, db in enumerate(dbs):
+            server = ReproServer(
+                db, port=0, shard_id=shard_id, **server_options
+            )
+            server.start_in_thread()
+            servers.append(server)
+            addresses.append(f"{server.host}:{server.port}")
+        replica_servers = []
+        replicas: dict = {}
+        if replica_for is not None:
+            replica_db = _provision_replica_db(
+                data, routing_map, replica_for, with_indexes
+            )
+            replica = ReproServer(
+                replica_db,
+                port=0,
+                shard_id=replica_for,
+                replica_of=addresses[replica_for],
+                **server_options,
+            )
+            replica.start_in_thread()
+            replica_servers.append(replica)
+            replicas[replica_for] = [f"{replica.host}:{replica.port}"]
+        shard_map = ShardMap(
+            [
+                {
+                    "shard_id": shard_id,
+                    "primary": address,
+                    "replicas": replicas.get(shard_id, []),
+                }
+                for shard_id, address in enumerate(addresses)
+            ],
+            store_placements,
+        )
+        for server in servers + replica_servers:
+            server.shard_map = shard_map
+        return ClusterHandle(servers, replica_servers, shard_map, dbs)
+    except BaseException:
+        for server in servers:
+            try:
+                server.stop()
+            except Exception:
+                pass
+        raise
+
+
+def _provision_replica_db(data, routing_map, shard_id, with_indexes):
+    """A fresh database holding exactly shard *shard_id*'s slice —
+    replicas are provisioned like their primary (DDL + snapshot), then
+    the WAL stream keeps them converged."""
+    from repro.core.database import MultiModelDB
+
+    stand_ins = [MultiModelDB() for _ in range(routing_map.num_shards)]
+    load_sharded_unibench(stand_ins, data, routing_map,
+                          with_indexes=with_indexes)
+    return stand_ins[shard_id]

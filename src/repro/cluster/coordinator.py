@@ -1,0 +1,1681 @@
+"""The scatter-gather MMQL coordinator.
+
+The coordinator turns one MMQL statement into per-shard statements plus a
+merge step, using only information that is *static* per query: the shard
+map's placements and the statement's AST.  The planning model:
+
+* Every frame produced while executing a pipeline is **located**: it
+  exists on exactly one shard (because some hash-partitioned FOR bound a
+  row that lives there) or on every shard identically (reference data and
+  broadcast frames).  A query segment is shippable to all shards when
+  every hash-store access inside it is **aligned** — reachable from the
+  segment's anchor partition value through equality predicates — so that
+  each shard computes exactly the assignments whose located rows it owns.
+* When an access is *not* aligned (Q1's ``FOR o IN orders FILTER
+  o.Order_no == order_no``), the pipeline is **cut**: the prefix runs
+  scattered, the coordinator gathers the surviving variable frames, and
+  the suffix is broadcast to every shard as ``FOR __cluster_f IN
+  @__cluster_frames …`` — the unaligned FOR localizes again because each
+  matching row exists on one shard only.
+* A terminal COLLECT in a multi-shard segment is split: shards compute
+  partial aggregates (the PR 7 accumulator shapes: count/sum fold by
+  addition, min/max by comparison, avg ships ``[sum, count]`` as two SUM
+  partials), the coordinator combines groups, and any post-COLLECT
+  operations are evaluated locally with the real executor over the
+  combined groups.
+* A terminal SORT in a multi-shard segment becomes a k-way heap merge on
+  the shipped sort keys; ``RETURN DISTINCT`` de-duplicates globally with
+  the executor's own group-token canonicalization.
+
+Single-shard fast path: when the anchor store's partition key is bound by
+an equality predicate to a literal or bind parameter, the whole statement
+routes to the owning shard (``fan_out=1``).  DML routes to the owning
+shard when the partition value is statically evaluable, broadcasts
+otherwise (UPDATE/REMOVE/REPLACE are self-locating: a shard that does not
+hold the key no-ops).
+
+Statements the placement model cannot execute correctly raise
+:class:`~repro.errors.ClusterUnsupportedError` — an honest refusal
+instead of a silently partial answer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import (
+    ClusterError,
+    ClusterUnsupportedError,
+    ReproError,
+    ShardMapStaleError,
+    ShardUnavailableError,
+)
+from repro.obs import metrics as obs_metrics
+from repro.query import ast
+from repro.query.executor import _group_token
+from repro.query.parser import parse
+from repro.query.unparse import unparse, unparse_expr
+from repro.core.datamodel import compare
+
+from repro.cluster.shardmap import ShardMap
+
+__all__ = ["Coordinator", "ClusterPlan", "SegmentPlan", "ClusterResult"]
+
+#: Reserved identifier prefix for coordinator-generated variables.
+_PREFIX = "__cluster_"
+
+#: Functions whose first argument names a store (a string literal in
+#: every supported plan); maps function → the store kind family used for
+#: placement checks.
+_STORE_FUNCS = {
+    "DOCUMENT": "keyed",
+    "KV_GET": "kv",
+    "KV_KEYS": "kv_all",
+    "NEIGHBORS": "graph",
+    "TRAVERSE": "graph",
+    "SHORTEST_PATH": "graph",
+    "EDGES": "graph",
+    "XPATH": "tree",
+    "RDF_MATCH": "triple",
+    "GEO_WINDOW": "spatial",
+    "GEO_NEAREST": "spatial",
+}
+
+#: Aggregate functions with a distributive/algebraic partial form.
+_SPLITTABLE_AGGS = ("COUNT", "LENGTH", "SUM", "MIN", "MAX", "AVG")
+
+_WRITE_NODES = (
+    ast.InsertOp,
+    ast.UpdateOp,
+    ast.RemoveOp,
+    ast.ReplaceOp,
+    ast.UpsertOp,
+)
+
+obs_metrics.describe(
+    "cluster_fanout_queries_total",
+    "Statements the coordinator scattered to more than one shard",
+)
+obs_metrics.describe(
+    "cluster_single_shard_queries_total",
+    "Statements the coordinator routed to exactly one shard",
+)
+obs_metrics.describe(
+    "cluster_merge_rows_total",
+    "Rows that flowed through the coordinator's merge stage",
+)
+obs_metrics.describe(
+    "cluster_shard_errors_total",
+    "Per-shard failures observed during scatter-gather",
+)
+
+
+# ---------------------------------------------------------------------------
+# Plan data model
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SegmentPlan:
+    """One shippable slice of the pipeline."""
+
+    ops: list
+    multi: bool  # scatter to every shard vs. one shard
+    pinned: Optional[int] = None  # single-shard target when known
+    anchor_var: Optional[str] = None
+    input_vars: list = field(default_factory=list)
+    output_vars: Optional[list] = None  # None = final segment
+    statement: Optional[str] = None  # rendered shard-side MMQL
+    merge: dict = field(default_factory=dict)
+
+    @property
+    def final(self) -> bool:
+        return self.output_vars is None
+
+
+@dataclass
+class ClusterPlan:
+    """What the coordinator decided for one statement."""
+
+    kind: str  # "read" | "dml"
+    strategy: str
+    segments: list = field(default_factory=list)
+    dml: Optional[dict] = None
+    fan_out: int = 1
+
+    def describe(self, shard_map: ShardMap) -> str:
+        lines = [
+            f"cluster plan [strategy={self.strategy} fan_out={self.fan_out} "
+            f"shards={shard_map.num_shards} map_version={shard_map.version}]"
+        ]
+        if self.dml is not None:
+            target = self.dml.get("shard")
+            where = (
+                f"shard {target}" if target is not None
+                else f"all {shard_map.num_shards} shards"
+            )
+            lines.append(f"  dml → {where}: {self.dml['statement']}")
+            return "\n".join(lines)
+        for index, segment in enumerate(self.segments):
+            if segment.multi:
+                where = f"scatter({shard_map.num_shards})"
+            elif segment.pinned is not None:
+                where = f"shard {segment.pinned}"
+            else:
+                where = "any single shard"
+            merge = segment.merge.get("kind", "rows")
+            lines.append(f"  segment {index} [{where} merge={merge}]")
+            lines.append(f"    {segment.statement}")
+            post = segment.merge.get("post_ops")
+            if post:
+                rendered = " ".join(
+                    _operation_text(op) for op in post
+                )
+                lines.append(f"    coordinator: {rendered}")
+        return "\n".join(lines)
+
+
+def _operation_text(op) -> str:
+    from repro.query.unparse import _operation
+
+    return _operation(op)
+
+
+class ClusterResult:
+    """Result of a coordinated statement — quacks like the client's
+    :class:`~repro.client.client.ResultCursor` (``rows``, ``stats``,
+    ``analyzed``, ``fetch_all``)."""
+
+    def __init__(self, rows, stats, analyzed=None, trace=None):
+        self.rows = rows
+        self.stats = stats
+        self.analyzed = analyzed
+        self.trace = trace
+
+    def fetch_all(self) -> list:
+        return self.rows
+
+    def __iter__(self):
+        return iter(self.rows)
+
+
+# ---------------------------------------------------------------------------
+# AST helpers
+# ---------------------------------------------------------------------------
+
+
+def _conjuncts(condition) -> list:
+    if isinstance(condition, ast.BinOp) and condition.op == "AND":
+        return _conjuncts(condition.left) + _conjuncts(condition.right)
+    return [condition]
+
+
+def _static_value(expr, binds: dict):
+    """Evaluate an expression without a database; returns ``(ok, value)``."""
+    if isinstance(expr, ast.Literal):
+        return True, expr.value
+    if isinstance(expr, ast.BindVar):
+        if binds is not None and expr.name in binds:
+            return True, binds[expr.name]
+        return False, None
+    if isinstance(expr, ast.ObjectLiteral):
+        out = {}
+        for key, value in expr.items:
+            ok, evaluated = _static_value(value, binds)
+            if not ok:
+                return False, None
+            out[key] = evaluated
+        return True, out
+    if isinstance(expr, ast.ArrayLiteral):
+        out = []
+        for item in expr.items:
+            ok, evaluated = _static_value(item, binds)
+            if not ok:
+                return False, None
+            out.append(evaluated)
+        return True, out
+    return False, None
+
+
+def _walk_exprs(node):
+    """Every expression hanging off one operation (not recursing into
+    subquery *operations* — callers handle SubQuery explicitly)."""
+    if isinstance(node, ast.ForOp):
+        yield node.source
+    elif isinstance(node, (ast.TraversalOp,)):
+        yield node.start
+    elif isinstance(node, ast.ShortestPathOp):
+        yield node.start
+        yield node.goal
+    elif isinstance(node, ast.FilterOp):
+        yield node.condition
+    elif isinstance(node, ast.LetOp):
+        yield node.value
+    elif isinstance(node, ast.SortOp):
+        for key in node.keys:
+            yield key.expr
+    elif isinstance(node, ast.CollectOp):
+        for _name, expr in node.groups:
+            yield expr
+        for _name, _func, arg in node.aggregates:
+            yield arg
+    elif isinstance(node, ast.ReturnOp):
+        yield node.expr
+    elif isinstance(node, ast.InsertOp):
+        yield node.document
+    elif isinstance(node, ast.UpdateOp):
+        yield node.key
+        yield node.changes
+    elif isinstance(node, ast.RemoveOp):
+        yield node.key
+    elif isinstance(node, ast.ReplaceOp):
+        yield node.key
+        yield node.document
+    elif isinstance(node, ast.UpsertOp):
+        yield node.search
+        yield node.insert_doc
+        yield node.update_patch
+
+
+def _subexprs(expr):
+    """The expression and every nested expression, subqueries excluded
+    (yielded as :class:`ast.SubQuery` nodes for the caller to recurse)."""
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if node is None:
+            continue
+        yield node
+        if isinstance(node, ast.SubQuery):
+            continue  # caller recurses with scope rules
+        if isinstance(node, (ast.AttrAccess, ast.Expansion, ast.InlineFilter)):
+            stack.append(node.subject)
+            if isinstance(node, ast.Expansion) and node.suffix is not None:
+                stack.append(node.suffix)
+            if isinstance(node, ast.InlineFilter):
+                stack.append(node.condition)
+        elif isinstance(node, ast.IndexAccess):
+            stack.extend((node.subject, node.index))
+        elif isinstance(node, ast.FuncCall):
+            stack.extend(node.args)
+        elif isinstance(node, ast.UnaryOp):
+            stack.append(node.operand)
+        elif isinstance(node, ast.BinOp):
+            stack.extend((node.left, node.right))
+        elif isinstance(node, ast.RangeExpr):
+            stack.extend((node.low, node.high))
+        elif isinstance(node, ast.ArrayLiteral):
+            stack.extend(node.items)
+        elif isinstance(node, ast.ObjectLiteral):
+            stack.extend(value for _key, value in node.items)
+        elif isinstance(node, ast.Ternary):
+            stack.extend((node.condition, node.then, node.otherwise))
+
+
+def _deep_exprs(ops):
+    """Every expression node under *ops*, subquery bodies included."""
+    pending = list(ops)
+    while pending:
+        op = pending.pop()
+        for expr in _walk_exprs(op):
+            for node in _subexprs(expr):
+                yield node
+                if isinstance(node, ast.SubQuery):
+                    pending.extend(node.query.operations)
+
+
+def _rewrite_tree(node, table):
+    """Structurally replace expressions: any subtree equal to a *table*
+    key becomes its value.  Frozen dataclasses make equality the exact
+    match predicate; untouched branches are returned as-is."""
+    if dataclasses.is_dataclass(node) and not isinstance(node, type):
+        for old, new in table:
+            if node == old:
+                return new
+        changes = {}
+        for field in dataclasses.fields(node):
+            value = getattr(node, field.name)
+            rewritten = _rewrite_tree(value, table)
+            if rewritten is not value:
+                changes[field.name] = rewritten
+        return dataclasses.replace(node, **changes) if changes else node
+    if isinstance(node, tuple):
+        rewritten = tuple(_rewrite_tree(item, table) for item in node)
+        return rewritten if rewritten != node else node
+    if isinstance(node, list):
+        rewritten = [_rewrite_tree(item, table) for item in node]
+        return rewritten if rewritten != node else node
+    return node
+
+
+def _member_arg(suffix, frame_vars: set):
+    """Turn an expansion suffix over INTO-member frames (``$CURRENT.o.
+    total``) into the per-row expression a shard can aggregate *before*
+    shipping (``o.total``) — the member frame's fields are exactly the
+    variables bound upstream of the COLLECT.  Returns None when the
+    suffix cannot be localized (nested element scopes, bare ``$CURRENT``,
+    unknown frame fields)."""
+    if suffix is None:
+        return None
+    for node in _subexprs(suffix):
+        if isinstance(node, (ast.Expansion, ast.InlineFilter, ast.SubQuery)):
+            return None  # inner scopes rebind $CURRENT
+    roots = [
+        node
+        for node in _subexprs(suffix)
+        if isinstance(node, ast.AttrAccess)
+        and node.subject == ast.VarRef("$CURRENT")
+    ]
+    if not roots or any(
+        root.attribute not in frame_vars for root in roots
+    ):
+        return None
+    member = _rewrite_tree(
+        suffix, [(root, ast.VarRef(root.attribute)) for root in roots]
+    )
+    if any(
+        isinstance(node, ast.VarRef) and node.name == "$CURRENT"
+        for node in _subexprs(member)
+    ):
+        return None
+    return member
+
+
+def _bound_vars(op) -> list:
+    if isinstance(op, ast.ForOp):
+        return [op.var]
+    if isinstance(op, ast.TraversalOp):
+        return [op.var] + ([op.edge_var] if op.edge_var else [])
+    if isinstance(op, ast.ShortestPathOp):
+        return [op.var]
+    if isinstance(op, ast.LetOp):
+        return [op.var]
+    if isinstance(op, ast.CollectOp):
+        names = [name for name, _expr in op.groups]
+        names += [name for name, _func, _arg in op.aggregates]
+        if op.count_into:
+            names.append(op.count_into)
+        if op.into:
+            names.append(op.into)
+        return names
+    return []
+
+
+def _free_vars_expr(expr, bound: set, out: set) -> None:
+    for node in _subexprs(expr):
+        if isinstance(node, ast.VarRef):
+            if node.name not in bound and node.name != "$CURRENT":
+                out.add(node.name)
+        elif isinstance(node, ast.SubQuery):
+            _free_vars_ops(node.query.operations, set(bound), out)
+
+
+def _free_vars_ops(ops, bound: set, out: set) -> None:
+    for op in ops:
+        if isinstance(op, ast.ForOp):
+            # The source may be a store name rather than a variable; a
+            # store name is never "free" — the shard resolves it.
+            if not isinstance(op.source, ast.VarRef):
+                _free_vars_expr(op.source, bound, out)
+            bound.add(op.var)
+            continue
+        for expr in _walk_exprs(op):
+            _free_vars_expr(expr, bound, out)
+        bound.update(_bound_vars(op))
+
+
+def _free_vars(ops, bound_candidates: list) -> list:
+    """Which of *bound_candidates* do *ops* actually consume?  ForOp
+    sources get special treatment: a VarRef source counts as a use when
+    it names a candidate (array loop over an earlier variable)."""
+    used: set = set()
+    bound: set = set()
+    for op in ops:
+        if isinstance(op, ast.ForOp) and isinstance(op.source, ast.VarRef):
+            if op.source.name not in bound:
+                used.add(op.source.name)
+            bound.add(op.var)
+            continue
+        for expr in _walk_exprs(op):
+            _free_vars_expr(expr, bound, used)
+        bound.update(_bound_vars(op))
+    return [name for name in bound_candidates if name in used]
+
+
+# ---------------------------------------------------------------------------
+# The coordinator
+# ---------------------------------------------------------------------------
+
+
+class Coordinator:
+    """Plans and executes MMQL statements against a sharded topology.
+
+    Transport-agnostic: ``execute`` takes a *runner* callable
+    ``runner(shard_id, text, bind_vars, analyze, consistency, trace) ->
+    (rows, stats, analyzed)`` — the :class:`ClusterClient` supplies one
+    backed by per-shard replica sets over the wire protocol."""
+
+    def __init__(self, shard_map: ShardMap):
+        self.shard_map = shard_map
+        self._rr = 0
+        self._rr_lock = threading.Lock()
+        self._local_db = None  # lazily-created store-free evaluator
+        self._pool = None  # lazily-created scatter thread pool
+        self._pool_lock = threading.Lock()
+
+    def close(self) -> None:
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False)
+                self._pool = None
+
+    # -- planning --------------------------------------------------------
+
+    def plan(self, text: str, bind_vars: Optional[dict] = None) -> ClusterPlan:
+        query = parse(text)
+        binds = bind_vars or {}
+        terminal = query.operations[-1] if query.operations else None
+        if isinstance(terminal, _WRITE_NODES):
+            return self._plan_dml(query, binds)
+        if any(
+            self._contains_write_subquery(op) for op in query.operations
+        ):
+            raise ClusterUnsupportedError(
+                "writes inside subqueries cannot be routed across shards"
+            )
+        return self._plan_read(query, binds)
+
+    def _contains_write_subquery(self, op) -> bool:
+        for expr in _walk_exprs(op):
+            for node in _subexprs(expr):
+                if isinstance(node, ast.SubQuery):
+                    sub_ops = node.query.operations
+                    if any(isinstance(o, _WRITE_NODES) for o in sub_ops):
+                        return True
+                    if any(
+                        self._contains_write_subquery(o) for o in sub_ops
+                    ):
+                        return True
+        return False
+
+    # .. read planning ...................................................
+
+    def _plan_read(self, query: ast.Query, binds: dict) -> ClusterPlan:
+        segments = self._segment(query.operations, binds)
+        self._render_segments(segments, binds)
+        multi_any = any(segment.multi for segment in segments)
+        fan_out = self.shard_map.num_shards if multi_any else 1
+        if len(segments) == 1 and segments[0].pinned is not None:
+            strategy = "single_shard"
+        elif not multi_any:
+            strategy = "reference"
+        elif len(segments) == 1:
+            strategy = "scatter"
+        else:
+            strategy = "multi_segment"
+        return ClusterPlan(
+            kind="read",
+            strategy=strategy,
+            segments=segments,
+            fan_out=fan_out,
+        )
+
+    def _segment(self, ops: list, binds: dict) -> list:
+        """Split the pipeline at unaligned hash-store FORs."""
+        segments: list[SegmentPlan] = []
+        current: list = []
+        anchor: Optional[list] = None  # exprs equal to the partition value
+        anchor_var: Optional[str] = None
+        multi = False
+        pinned: set = set()
+        bound: set = set()
+
+        def close() -> None:
+            nonlocal current, anchor, anchor_var, multi, pinned
+            segment = SegmentPlan(
+                ops=current,
+                multi=multi,
+                pinned=self._pin(pinned) if not multi else None,
+                anchor_var=anchor_var,
+            )
+            segments.append(segment)
+            current = []
+            anchor = None
+            anchor_var = None
+            multi = False
+            pinned = set()
+
+        index = 0
+        while index < len(ops):
+            op = ops[index]
+            if isinstance(op, ast.ForOp) and self._store_of(op, bound):
+                store = op.source.name
+                placement = self.shard_map.placement(store)
+                if placement.mode == "hash":
+                    partition_attr = ast.AttrAccess(
+                        ast.VarRef(op.var), placement.partition_key
+                    )
+                    if anchor is None:
+                        anchor = [partition_attr]
+                        anchor_var = op.var
+                        multi = True
+                    elif self._aligned_ahead(
+                        partition_attr, anchor, ops[index + 1:]
+                    ):
+                        anchor.append(partition_attr)
+                    else:
+                        # Cut: gather frames, broadcast the suffix.
+                        close()
+                        anchor = [partition_attr]
+                        anchor_var = op.var
+                        multi = True
+                bound.add(op.var)
+                current.append(op)
+                index += 1
+                continue
+            if isinstance(op, (ast.TraversalOp, ast.ShortestPathOp)):
+                if self.shard_map.is_hashed(op.graph):
+                    raise ClusterUnsupportedError(
+                        f"graph {op.graph!r} is hash-partitioned; "
+                        "traversals need a reference placement"
+                    )
+            if isinstance(op, ast.CollectOp) and multi:
+                # Merge point: partials on the shards, combine + evaluate
+                # the (store-free) remainder at the coordinator.
+                post_ops = ops[index + 1:]
+                self._require_store_free(
+                    post_ops, bound | set(_bound_vars(op))
+                )
+                current.append(op)
+                segment = SegmentPlan(
+                    ops=current,
+                    multi=True,
+                    anchor_var=anchor_var,
+                )
+                segment.merge = {"kind": "collect", "post_ops": post_ops}
+                segments.append(segment)
+                return self._finish_segments(segments, ops)
+            # Expression-level store accesses (DOCUMENT/KV_GET/…).
+            for expr in _walk_exprs(op):
+                self._check_expr(expr, anchor, binds, pinned, bound, multi)
+            if isinstance(op, ast.LetOp) and anchor is not None:
+                if any(op.value == known for known in anchor):
+                    anchor.append(ast.VarRef(op.var))
+            if isinstance(op, ast.FilterOp) and anchor is not None:
+                for conjunct in _conjuncts(op.condition):
+                    if (
+                        isinstance(conjunct, ast.BinOp)
+                        and conjunct.op == "=="
+                    ):
+                        for left, right in (
+                            (conjunct.left, conjunct.right),
+                            (conjunct.right, conjunct.left),
+                        ):
+                            if any(right == known for known in anchor) and not any(
+                                left == known for known in anchor
+                            ):
+                                anchor.append(left)
+            if isinstance(op, ast.LimitOp) and multi:
+                tail = ops[index + 1:]
+                if not all(isinstance(o, ast.ReturnOp) for o in tail):
+                    raise ClusterUnsupportedError(
+                        "LIMIT before further pipeline stages cannot be "
+                        "applied per shard; move it to the end of the query"
+                    )
+            bound.update(_bound_vars(op))
+            current.append(op)
+            index += 1
+        segment = SegmentPlan(
+            ops=current,
+            multi=multi,
+            pinned=self._pin(pinned) if not multi else None,
+            anchor_var=anchor_var,
+        )
+        segments.append(segment)
+        return self._finish_segments(segments, ops)
+
+    def _finish_segments(self, segments: list, ops: list) -> list:
+        """Assign fast-path pins and inter-segment frame variables."""
+        # Single-shard fast path: the anchor partition key is bound by a
+        # top-level equality to a static value.
+        if len(segments) == 1 and segments[0].multi:
+            segments[0].pinned = None  # resolved during render with binds
+        # Live variables across each cut: a variable reaches segment k+1
+        # only through segment k's output frames, so the candidates are
+        # the segment's own bindings plus whatever was shipped into it.
+        for position, segment in enumerate(segments[:-1]):
+            later_ops: list = []
+            for later in segments[position + 1:]:
+                later_ops.extend(later.ops)
+                post = later.merge.get("post_ops")
+                if post:
+                    later_ops.extend(post)
+            candidates: list = list(segment.input_vars)
+            for op in segment.ops:
+                for name in _bound_vars(op):
+                    if name not in candidates:
+                        candidates.append(name)
+            live = _free_vars(later_ops, candidates)
+            segment.output_vars = live
+            segments[position + 1].input_vars = live
+        return segments
+
+    def _pin(self, pinned: set) -> Optional[int]:
+        if not pinned:
+            return None
+        if len(pinned) > 1:
+            raise ClusterUnsupportedError(
+                "statement pins keys on different shards; split it or "
+                "use a scatter-friendly predicate"
+            )
+        return next(iter(pinned))
+
+    def _store_of(self, op: ast.ForOp, bound: set) -> bool:
+        return (
+            isinstance(op.source, ast.VarRef)
+            and op.source.name not in bound
+        )
+
+    def _aligned_ahead(self, partition_attr, anchor, ops_ahead) -> bool:
+        """Is there an unconditional equality linking *partition_attr* to
+        the anchor set in the ops ahead (before the pipeline re-shapes)?"""
+        known = list(anchor)
+        for op in ops_ahead:
+            if isinstance(op, ast.FilterOp):
+                for conjunct in _conjuncts(op.condition):
+                    if (
+                        isinstance(conjunct, ast.BinOp)
+                        and conjunct.op == "=="
+                    ):
+                        sides = (conjunct.left, conjunct.right)
+                        for one, other in (sides, sides[::-1]):
+                            if one == partition_attr and any(
+                                other == expr for expr in known
+                            ):
+                                return True
+            elif isinstance(op, (ast.CollectOp, ast.LimitOp)):
+                return False
+        return False
+
+    def _check_expr(
+        self, expr, anchor, binds, pinned: set, bound: set, multi: bool
+    ) -> None:
+        for node in _subexprs(expr):
+            if isinstance(node, ast.SubQuery):
+                self._check_subquery(node.query, anchor, binds, pinned, bound)
+            elif isinstance(node, ast.FuncCall):
+                self._check_store_func(node, anchor, binds, pinned)
+
+    def _check_store_func(self, node, anchor, binds, pinned: set) -> None:
+        if node.name == "FULLTEXT":
+            raise ClusterUnsupportedError(
+                "FULLTEXT cannot be routed (the coordinator cannot map an "
+                "index name to a store placement); run it per shard"
+            )
+        family = _STORE_FUNCS.get(node.name)
+        if family is None or not node.args:
+            return
+        store_arg = node.args[0]
+        if not isinstance(store_arg, ast.Literal) or not isinstance(
+            store_arg.value, str
+        ):
+            raise ClusterUnsupportedError(
+                f"{node.name} needs a literal store name under a cluster"
+            )
+        store = store_arg.value
+        placement = self.shard_map.placement(store)
+        if placement.mode != "hash":
+            return
+        if family in ("graph", "tree", "triple", "spatial", "kv_all"):
+            raise ClusterUnsupportedError(
+                f"{node.name} on hash-partitioned store {store!r} needs a "
+                "global view; declare it as a reference store"
+            )
+        # Point lookups route by the store's *primary* key; that only
+        # determines a shard when it doubles as the partition key (KV
+        # buckets partition on the key itself, so they always qualify).
+        if family == "keyed" and not placement.key_routable:
+            raise ClusterUnsupportedError(
+                f"{node.name} on {store!r} looks up by "
+                f"{placement.primary_key or '_key'!r} but the store is "
+                f"partitioned by {placement.partition_key!r}; the owner "
+                "shard cannot be derived from the lookup key"
+            )
+        key_expr = node.args[1] if len(node.args) > 1 else None
+        if key_expr is not None and anchor is not None and any(
+            key_expr == known for known in anchor
+        ):
+            return  # aligned: the frame already lives on the owner shard
+        if key_expr is not None:
+            ok, value = _static_value(key_expr, binds)
+            if ok:
+                pinned.add(self.shard_map.owner(store, value))
+                return
+        raise ClusterUnsupportedError(
+            f"{node.name}({store!r}, …) key is neither aligned with the "
+            "segment's partition value nor statically evaluable"
+        )
+
+    def _check_subquery(self, query, anchor, binds, pinned: set, bound) -> None:
+        """Subqueries run per frame on the frame's shard: hash FORs inside
+        must align with the enclosing anchor (cuts are impossible here)."""
+        local_anchor = list(anchor) if anchor else None
+        local_bound = set(bound)
+        ops = query.operations
+        for index, op in enumerate(ops):
+            if isinstance(op, ast.ForOp) and self._store_of(op, local_bound):
+                store = op.source.name
+                placement = self.shard_map.placement(store)
+                if placement.mode == "hash":
+                    partition_attr = ast.AttrAccess(
+                        ast.VarRef(op.var), placement.partition_key
+                    )
+                    if local_anchor is None or not self._aligned_ahead(
+                        partition_attr, local_anchor, ops[index + 1:]
+                    ):
+                        raise ClusterUnsupportedError(
+                            f"subquery over hash-partitioned {store!r} is "
+                            "not aligned with the enclosing partition value"
+                        )
+                    local_anchor.append(partition_attr)
+                local_bound.add(op.var)
+                continue
+            if isinstance(op, (ast.TraversalOp, ast.ShortestPathOp)):
+                if self.shard_map.is_hashed(op.graph):
+                    raise ClusterUnsupportedError(
+                        f"graph {op.graph!r} is hash-partitioned; "
+                        "traversals need a reference placement"
+                    )
+            for expr in _walk_exprs(op):
+                self._check_expr(
+                    expr, local_anchor, binds, pinned, local_bound, False
+                )
+            if isinstance(op, ast.LetOp) and local_anchor is not None:
+                if any(op.value == known for known in local_anchor):
+                    local_anchor.append(ast.VarRef(op.var))
+            local_bound.update(_bound_vars(op))
+
+    def _require_store_free(self, ops, bound: set) -> None:
+        local_bound = set(bound)
+        for op in ops:
+            if isinstance(op, ast.ForOp) and self._store_of(op, local_bound):
+                raise ClusterUnsupportedError(
+                    "pipeline stages after a distributed COLLECT must not "
+                    "touch stores"
+                )
+            if isinstance(op, (ast.TraversalOp, ast.ShortestPathOp)):
+                raise ClusterUnsupportedError(
+                    "pipeline stages after a distributed COLLECT must not "
+                    "touch stores"
+                )
+            for expr in _walk_exprs(op):
+                for node in _subexprs(expr):
+                    if isinstance(node, ast.FuncCall) and node.name in (
+                        set(_STORE_FUNCS) | {"FULLTEXT"}
+                    ):
+                        raise ClusterUnsupportedError(
+                            "pipeline stages after a distributed COLLECT "
+                            "must not touch stores"
+                        )
+                    if isinstance(node, ast.SubQuery):
+                        self._require_store_free(
+                            node.query.operations, local_bound
+                        )
+            local_bound.update(_bound_vars(op))
+
+    # .. rendering .......................................................
+
+    def _render_segments(self, segments: list, binds: dict) -> None:
+        for segment in segments:
+            prefix = self._input_prefix(segment)
+            if not segment.final:
+                wrapper = ast.ReturnOp(
+                    ast.ObjectLiteral(
+                        tuple(
+                            (name, ast.VarRef(name))
+                            for name in segment.output_vars
+                        )
+                    ),
+                    distinct=False,
+                )
+                segment.statement = unparse(
+                    ast.Query(prefix + segment.ops + [wrapper])
+                )
+                segment.merge = {"kind": "frames"}
+                continue
+            self._render_final(segment, prefix, binds)
+
+    def _input_prefix(self, segment: SegmentPlan) -> list:
+        if not segment.input_vars:
+            return []
+        frame_var = _PREFIX + "f"
+        prefix: list = [
+            ast.ForOp(frame_var, ast.BindVar(_PREFIX + "frames"))
+        ]
+        prefix += [
+            ast.LetOp(name, ast.AttrAccess(ast.VarRef(frame_var), name))
+            for name in segment.input_vars
+        ]
+        return prefix
+
+    def _render_final(self, segment, prefix, binds) -> None:
+        ops = segment.ops
+        if not segment.multi:
+            segment.statement = unparse(ast.Query(prefix + ops))
+            segment.merge = {"kind": "rows"}
+            return
+        # Fast path: anchored scatter whose partition key is statically
+        # equality-bound routes to the owner and ships verbatim.
+        pinned = self._fast_path_shard(segment, binds)
+        if pinned is not None:
+            segment.multi = False
+            segment.pinned = pinned
+            segment.statement = unparse(ast.Query(prefix + ops))
+            segment.merge = {"kind": "rows"}
+            return
+        if segment.merge.get("kind") == "collect":
+            self._render_collect(segment, prefix)
+            return
+        # Tail analysis: [SORT] [LIMIT] RETURN.
+        terminal = ops[-1] if ops else None
+        if not isinstance(terminal, ast.ReturnOp):
+            # Headless pipeline (no RETURN): nothing to merge.
+            segment.statement = unparse(ast.Query(prefix + ops))
+            segment.merge = {"kind": "concat", "headless": True}
+            return
+        body = ops[:-1]
+        limit: Optional[ast.LimitOp] = None
+        sort: Optional[ast.SortOp] = None
+        if body and isinstance(body[-1], ast.LimitOp):
+            limit = body[-1]
+            body = body[:-1]
+        if body and isinstance(body[-1], ast.SortOp):
+            sort = body[-1]
+            body = body[:-1]
+        if sort is not None:
+            shard_ops = list(body) + [sort]
+            if limit is not None:
+                shard_ops.append(ast.LimitOp(0, limit.offset + limit.count))
+            wrapper = ast.ReturnOp(
+                ast.ObjectLiteral(
+                    (
+                        (
+                            _PREFIX + "k",
+                            ast.ArrayLiteral(
+                                tuple(key.expr for key in sort.keys)
+                            ),
+                        ),
+                        (_PREFIX + "v", terminal.expr),
+                    )
+                ),
+                distinct=terminal.distinct,
+            )
+            segment.statement = unparse(
+                ast.Query(prefix + shard_ops + [wrapper])
+            )
+            segment.merge = {
+                "kind": "sort",
+                "ascending": [key.ascending for key in sort.keys],
+                "offset": limit.offset if limit else 0,
+                "count": limit.count if limit else None,
+                "distinct": terminal.distinct,
+            }
+            return
+        shard_ops = list(body)
+        if limit is not None:
+            shard_ops.append(ast.LimitOp(0, limit.offset + limit.count))
+        shard_ops.append(terminal)
+        segment.statement = unparse(ast.Query(prefix + shard_ops))
+        segment.merge = {
+            "kind": "concat",
+            "offset": limit.offset if limit else 0,
+            "count": limit.count if limit else None,
+            "distinct": terminal.distinct,
+        }
+
+    def _fast_path_shard(self, segment, binds) -> Optional[int]:
+        if segment.anchor_var is None:
+            return None
+        anchor_store = None
+        for op in segment.ops:
+            if isinstance(op, ast.ForOp) and op.var == segment.anchor_var:
+                anchor_store = (
+                    op.source.name
+                    if isinstance(op.source, ast.VarRef)
+                    else None
+                )
+                break
+        if anchor_store is None or not self.shard_map.is_hashed(anchor_store):
+            return None
+        partition_attr = ast.AttrAccess(
+            ast.VarRef(segment.anchor_var),
+            self.shard_map.placement(anchor_store).partition_key,
+        )
+        for op in segment.ops:
+            if not isinstance(op, ast.FilterOp):
+                continue
+            for conjunct in _conjuncts(op.condition):
+                if not (
+                    isinstance(conjunct, ast.BinOp) and conjunct.op == "=="
+                ):
+                    continue
+                sides = (conjunct.left, conjunct.right)
+                for one, other in (sides, sides[::-1]):
+                    if one == partition_attr:
+                        ok, value = _static_value(other, binds)
+                        if ok:
+                            return self.shard_map.owner(anchor_store, value)
+        return None
+
+    def _render_collect(self, segment, prefix) -> None:
+        collect = segment.ops[-1]
+        assert isinstance(collect, ast.CollectOp)
+        body = segment.ops[:-1]
+        group_names = [name for name, _expr in collect.groups]
+        agg_plan: list = []  # (name, func) or (name, "AVG", sum_name, n_name)
+        shard_aggregates: list = []
+        for position, (name, func, arg) in enumerate(collect.aggregates):
+            func = func.upper()
+            if func not in _SPLITTABLE_AGGS:
+                raise ClusterUnsupportedError(
+                    f"AGGREGATE {func} has no distributive partial form; "
+                    "COLLECT it on a single shard or use INTO + a local "
+                    "expression"
+                )
+            if func == "AVG":
+                sum_name = f"{_PREFIX}a{position}_s"
+                n_name = f"{_PREFIX}a{position}_n"
+                shard_aggregates.append((sum_name, "SUM", arg))
+                shard_aggregates.append(
+                    (
+                        n_name,
+                        "SUM",
+                        ast.Ternary(
+                            ast.BinOp("==", arg, ast.Literal(None)),
+                            ast.Literal(0),
+                            ast.Literal(1),
+                        ),
+                    )
+                )
+                agg_plan.append((name, "AVG", sum_name, n_name))
+            else:
+                shard_aggregates.append((name, func, arg))
+                agg_plan.append((name, func))
+        # INTO-member elision: when the coordinator-side remainder only
+        # consumes ``members`` through splittable aggregates, ship the
+        # per-shard partials and drop the member frames from the wire —
+        # the difference between shipping every grouped row and shipping
+        # one number per group per shard.
+        into = collect.into
+        post_ops = segment.merge.get("post_ops") or []
+        if into and post_ops:
+            frame_vars = set(segment.input_vars or ())
+            for op in body:
+                frame_vars.update(_bound_vars(op))
+            split = self._split_into_aggregates(
+                into, post_ops, frame_vars, len(collect.aggregates)
+            )
+            if split is not None:
+                extra_aggs, extra_plan, post_ops = split
+                shard_aggregates.extend(extra_aggs)
+                agg_plan.extend(extra_plan)
+                segment.merge["post_ops"] = post_ops
+                into = None
+        shard_collect = ast.CollectOp(
+            list(collect.groups),
+            collect.count_into,
+            into,
+            shard_aggregates,
+        )
+        fields: list = [
+            (
+                _PREFIX + "k",
+                ast.ArrayLiteral(
+                    tuple(ast.VarRef(name) for name in group_names)
+                ),
+            )
+        ]
+        for entry in agg_plan:
+            if entry[1] == "AVG":
+                fields.append((entry[2], ast.VarRef(entry[2])))
+                fields.append((entry[3], ast.VarRef(entry[3])))
+            else:
+                fields.append((entry[0], ast.VarRef(entry[0])))
+        if collect.count_into:
+            fields.append((collect.count_into, ast.VarRef(collect.count_into)))
+        if into:
+            fields.append((into, ast.VarRef(into)))
+        wrapper = ast.ReturnOp(ast.ObjectLiteral(tuple(fields)))
+        segment.statement = unparse(
+            ast.Query(prefix + body + [shard_collect, wrapper])
+        )
+        segment.merge.update(
+            {
+                "kind": "collect",
+                "groups": group_names,
+                "aggs": agg_plan,
+                "count_into": collect.count_into,
+                "into": into,
+            }
+        )
+
+    def _split_into_aggregates(
+        self, into: str, post_ops: list, frame_vars: set, offset: int
+    ):
+        """Rewrite ``AGG(members[*].path)`` uses in the post-COLLECT
+        remainder into per-shard AGGREGATE partials.  Returns
+        ``(shard_aggregates, agg_plan, rewritten_post_ops)`` or None when
+        any use of *into* resists the rewrite (then the member frames
+        ship as before)."""
+        candidates: dict = {}
+        for node in _deep_exprs(post_ops):
+            if not isinstance(node, ast.FuncCall) or len(node.args) != 1:
+                continue
+            func = node.name.upper()
+            if func not in _SPLITTABLE_AGGS:
+                continue
+            arg = node.args[0]
+            if (
+                isinstance(arg, ast.Expansion)
+                and arg.subject == ast.VarRef(into)
+            ):
+                candidates.setdefault(node)
+            elif arg == ast.VarRef(into) and func in ("COUNT", "LENGTH"):
+                candidates.setdefault(node)
+        if not candidates:
+            return None
+        table: list = []
+        extra_aggs: list = []
+        extra_plan: list = []
+        for position, call in enumerate(candidates, start=offset):
+            func = call.name.upper()
+            arg = call.args[0]
+            if isinstance(arg, ast.Expansion):
+                member = _member_arg(arg.suffix, frame_vars)
+                if member is None:
+                    return None
+            else:
+                member = ast.Literal(1)  # COUNT/LENGTH of the group
+            name = f"{_PREFIX}m{position}"
+            if func == "AVG":
+                sum_name, n_name = f"{name}_s", f"{name}_n"
+                extra_aggs.append((sum_name, "SUM", member))
+                extra_aggs.append(
+                    (
+                        n_name,
+                        "SUM",
+                        ast.Ternary(
+                            ast.BinOp("==", member, ast.Literal(None)),
+                            ast.Literal(0),
+                            ast.Literal(1),
+                        ),
+                    )
+                )
+                extra_plan.append((name, "AVG", sum_name, n_name))
+            elif func in ("COUNT", "LENGTH"):
+                extra_aggs.append((name, "LENGTH", member))
+                extra_plan.append((name, "LENGTH"))
+            else:
+                extra_aggs.append((name, func, member))
+                extra_plan.append((name, func))
+            table.append((call, ast.VarRef(name)))
+        rewritten = [_rewrite_tree(op, table) for op in post_ops]
+        if into in _free_vars(rewritten, [into]):
+            return None  # members consumed beyond splittable aggregates
+        return extra_aggs, extra_plan, rewritten
+
+    # -- execution -------------------------------------------------------
+
+    def execute(
+        self,
+        plan: ClusterPlan,
+        bind_vars: Optional[dict],
+        runner: Callable,
+        analyze: bool = False,
+        consistency: Optional[str] = None,
+        trace: Any = None,
+    ) -> ClusterResult:
+        binds = dict(bind_vars or {})
+        if plan.kind == "dml":
+            return self._execute_dml(plan, binds, runner, consistency, trace)
+        return self._execute_read(
+            plan, binds, runner, analyze, consistency, trace
+        )
+
+    def _next_single_shard(self) -> int:
+        with self._rr_lock:
+            shard = self.shard_map.all_shard_ids()[
+                self._rr % self.shard_map.num_shards
+            ]
+            self._rr += 1
+        return shard
+
+    def _scatter(
+        self, shard_ids, statement, binds, runner, analyze, consistency, trace
+    ):
+        """Run one statement on many shards concurrently; returns
+        ``{shard_id: (rows, stats, analyzed)}`` or raises."""
+        results: dict = {}
+        errors: dict = {}
+
+        def one(shard_id: int) -> None:
+            try:
+                results[shard_id] = runner(
+                    shard_id, statement, binds,
+                    analyze=analyze, consistency=consistency, trace=trace,
+                )
+            except BaseException as error:  # noqa: BLE001 - sorted below
+                errors[shard_id] = error
+
+        if len(shard_ids) == 1:
+            one(shard_ids[0])
+        else:
+            # A persistent pool, not per-query threads: scatter happens on
+            # every fan-out statement, and thread spawn is pure overhead.
+            # The calling thread takes one shard itself, so a query always
+            # progresses even when the pool is busy with other statements.
+            with self._pool_lock:
+                pool = self._pool
+                if pool is None:
+                    from concurrent.futures import ThreadPoolExecutor
+
+                    pool = self._pool = ThreadPoolExecutor(
+                        max_workers=max(2, 2 * self.shard_map.num_shards),
+                        thread_name_prefix="cluster-scatter",
+                    )
+            futures = [
+                pool.submit(one, shard_id) for shard_id in shard_ids[1:]
+            ]
+            one(shard_ids[0])
+            for future in futures:
+                future.result()  # `one` captures; this only joins
+        if errors:
+            self._raise_scatter_errors(errors)
+        return results
+
+    def _raise_scatter_errors(self, errors: dict) -> None:
+        if obs_metrics.ENABLED:
+            obs_metrics.counter("cluster_shard_errors_total").inc(len(errors))
+        for shard_id, error in sorted(errors.items()):
+            if isinstance(error, ShardMapStaleError):
+                raise error
+        for shard_id, error in sorted(errors.items()):
+            if isinstance(error, ReproError):
+                raise error
+        shard_id, error = sorted(errors.items())[0]
+        raise ShardUnavailableError(
+            f"shard {shard_id} failed during scatter: "
+            f"{type(error).__name__}: {error}",
+            shard=shard_id,
+        ) from error
+
+    def _execute_read(
+        self, plan, binds, runner, analyze, consistency, trace
+    ) -> ClusterResult:
+        frames: Optional[list] = None
+        stats_total: dict = {}
+        analyzed_parts: list = []
+        rows: list = []
+        fan_out_seen = 1
+        for position, segment in enumerate(plan.segments):
+            seg_binds = dict(binds)
+            if segment.input_vars:
+                seg_binds[_PREFIX + "frames"] = frames or []
+            if segment.multi:
+                shard_ids = self.shard_map.all_shard_ids()
+            else:
+                shard_ids = [
+                    segment.pinned
+                    if segment.pinned is not None
+                    else self._next_single_shard()
+                ]
+            fan_out_seen = max(fan_out_seen, len(shard_ids))
+            results = self._scatter(
+                shard_ids, segment.statement, seg_binds, runner,
+                analyze, consistency, trace,
+            )
+            self._fold_stats(stats_total, results)
+            if analyze:
+                for shard_id in sorted(results):
+                    shard_analyzed = results[shard_id][2]
+                    if shard_analyzed:
+                        analyzed_parts.append(
+                            (position, shard_id, shard_analyzed)
+                        )
+            ordered = [results[shard_id] for shard_id in sorted(results)]
+            if not segment.final:
+                frames = [
+                    row for result in ordered for row in result[0]
+                ]
+                continue
+            rows = self._merge_final(segment, ordered, binds)
+        merged = len(rows)
+        if obs_metrics.ENABLED:
+            if fan_out_seen > 1:
+                obs_metrics.counter("cluster_fanout_queries_total").inc()
+            else:
+                obs_metrics.counter("cluster_single_shard_queries_total").inc()
+            obs_metrics.counter("cluster_merge_rows_total").inc(merged)
+        stats = self._final_stats(stats_total, plan, fan_out_seen, merged)
+        analyzed = (
+            self._render_analyzed(plan, analyzed_parts, fan_out_seen, merged)
+            if analyze
+            else None
+        )
+        return ClusterResult(rows, stats, analyzed=analyzed, trace=trace)
+
+    def _fold_stats(self, total: dict, results: dict) -> None:
+        for rows, stats, _analyzed in results.values():
+            for key, value in (stats or {}).items():
+                if isinstance(value, bool) or not isinstance(
+                    value, (int, float)
+                ):
+                    continue
+                total[key] = total.get(key, 0) + value
+
+    def _final_stats(self, total, plan, fan_out, merged) -> dict:
+        stats = dict(total)
+        stats.setdefault("scanned", 0)
+        stats.setdefault("index_lookups", 0)
+        stats["rows_returned"] = merged
+        stats["fan_out"] = fan_out
+        stats["cluster_strategy"] = plan.strategy
+        stats["cluster_segments"] = len(plan.segments) or 1
+        stats["merged_rows"] = merged
+        return stats
+
+    def _render_analyzed(self, plan, parts, fan_out, merged) -> str:
+        lines = [
+            f"cluster {plan.strategy} [fan_out={fan_out} "
+            f"shards={self.shard_map.num_shards} "
+            f"segments={len(plan.segments) or 1} merged_rows={merged}]"
+        ]
+        for position, shard_id, text in parts:
+            lines.append(f"  segment {position} shard {shard_id}:")
+            for line in text.splitlines():
+                lines.append(f"    {line}")
+        return "\n".join(lines)
+
+    # .. merge implementations ...........................................
+
+    def _merge_final(self, segment, ordered, binds) -> list:
+        merge = segment.merge
+        kind = merge.get("kind", "rows")
+        if kind == "rows":
+            return list(ordered[0][0])
+        if kind == "concat":
+            rows = [row for result in ordered for row in result[0]]
+            if merge.get("distinct"):
+                rows = _dedupe(rows)
+            count = merge.get("count")
+            if count is not None:
+                offset = merge.get("offset", 0)
+                rows = rows[offset:offset + count]
+            return rows
+        if kind == "sort":
+            return self._merge_sorted(segment, ordered)
+        if kind == "collect":
+            return self._merge_collect(segment, ordered, binds)
+        raise ClusterError(f"unknown merge kind {kind!r}")
+
+    def _merge_sorted(self, segment, ordered) -> list:
+        merge = segment.merge
+        ascending = merge["ascending"]
+        streams = [result[0] for result in ordered]
+        merged = _kway_merge(streams, ascending)
+        rows = [row[_PREFIX + "v"] for row in merged]
+        if merge.get("distinct"):
+            rows = _dedupe(rows)
+        count = merge.get("count")
+        if count is not None:
+            offset = merge.get("offset", 0)
+            rows = rows[offset:offset + count]
+        return rows
+
+    def _merge_collect(self, segment, ordered, binds) -> list:
+        merge = segment.merge
+        group_names = merge["groups"]
+        agg_plan = merge["aggs"]
+        count_into = merge.get("count_into")
+        into = merge.get("into")
+        combined: dict = {}
+        order: list = []
+        for rows, _stats, _analyzed in ordered:
+            for row in rows:
+                keys = row.get(_PREFIX + "k") or []
+                token = tuple(_group_token(value) for value in keys)
+                state = combined.get(token)
+                if state is None:
+                    state = {
+                        "keys": keys,
+                        "count": 0,
+                        "members": [],
+                        "aggs": {},
+                    }
+                    combined[token] = state
+                    order.append(token)
+                if count_into:
+                    state["count"] += row.get(count_into) or 0
+                if into:
+                    state["members"].extend(row.get(into) or [])
+                for entry in agg_plan:
+                    name = entry[0]
+                    slot = state["aggs"]
+                    if entry[1] == "AVG":
+                        partial = slot.setdefault(name, [0, 0])
+                        partial[0] += row.get(entry[2]) or 0
+                        partial[1] += row.get(entry[3]) or 0
+                    elif entry[1] in ("COUNT", "LENGTH"):
+                        slot[name] = (slot.get(name) or 0) + (
+                            row.get(name) or 0
+                        )
+                    elif entry[1] == "SUM":
+                        slot[name] = (slot.get(name) or 0) + (
+                            row.get(name) or 0
+                        )
+                    elif entry[1] in ("MIN", "MAX"):
+                        value = row.get(name)
+                        if value is None:
+                            continue
+                        current = slot.get(name)
+                        if current is None:
+                            slot[name] = value
+                        elif entry[1] == "MIN":
+                            slot[name] = (
+                                value if compare(value, current) < 0
+                                else current
+                            )
+                        else:
+                            slot[name] = (
+                                value if compare(value, current) > 0
+                                else current
+                            )
+        group_frames: list = []
+        for token in order:
+            state = combined[token]
+            frame = dict(zip(group_names, state["keys"]))
+            for entry in agg_plan:
+                name = entry[0]
+                if entry[1] == "AVG":
+                    partial = state["aggs"].get(name) or [0, 0]
+                    frame[name] = (
+                        partial[0] / partial[1] if partial[1] else None
+                    )
+                else:
+                    value = state["aggs"].get(name)
+                    if entry[1] in ("COUNT", "LENGTH", "SUM"):
+                        frame[name] = value or 0
+                    else:
+                        frame[name] = value
+            if count_into:
+                frame[count_into] = state["count"]
+            if into:
+                frame[into] = state["members"]
+            group_frames.append(frame)
+        post_ops = merge.get("post_ops") or []
+        if not post_ops:
+            return []
+        exports = list(group_frames[0].keys()) if group_frames else (
+            group_names
+            + [entry[0] for entry in agg_plan]
+            + ([count_into] if count_into else [])
+            + ([into] if into else [])
+        )
+        return self._local_eval(exports, group_frames, post_ops, binds)
+
+    def _local_eval(self, exports, frames, post_ops, binds) -> list:
+        """Evaluate store-free pipeline ops at the coordinator with the
+        *real* executor (an empty embedded engine), so expression, sort
+        and aggregate semantics are identical to a shard's."""
+        if self._local_db is None:
+            from repro.core.database import MultiModelDB
+
+            self._local_db = MultiModelDB()
+        group_var = _PREFIX + "g"
+        ops: list = [ast.ForOp(group_var, ast.BindVar(_PREFIX + "groups"))]
+        ops += [
+            ast.LetOp(name, ast.AttrAccess(ast.VarRef(group_var), name))
+            for name in exports
+        ]
+        ops += list(post_ops)
+        text = unparse(ast.Query(ops))
+        local_binds = dict(binds)
+        local_binds[_PREFIX + "groups"] = frames
+        return self._local_db.query(text, local_binds).rows
+
+    # .. DML .............................................................
+
+    def _plan_dml(self, query: ast.Query, binds: dict) -> ClusterPlan:
+        ops = query.operations
+        terminal = ops[-1]
+        text = unparse(query)
+        if len(ops) == 1:
+            return self._plan_standalone_dml(terminal, text, binds)
+        # Pipeline DML: plan the prefix like a read; the terminal rides in
+        # the last segment.  Self-locating statements (UPDATE/REMOVE/
+        # REPLACE, where a non-owning shard no-ops) are safe to scatter;
+        # INSERT/UPSERT would duplicate rows.
+        placement = self.shard_map.placement(terminal.target)
+        if isinstance(terminal, (ast.InsertOp, ast.UpsertOp)):
+            raise ClusterUnsupportedError(
+                f"{type(terminal).__name__.replace('Op', '').upper()} with "
+                "a pipeline prefix cannot be routed to owner shards; "
+                "issue per-document statements instead"
+            )
+        segments = self._segment(ops[:-1], binds)
+        segments[-1].ops = segments[-1].ops + [terminal]
+        if placement.mode == "reference" and any(
+            segment.multi for segment in segments
+        ):
+            # Frames reaching the DML differ per shard only if a hash FOR
+            # anchored some segment — then each shard would patch its
+            # reference copy differently.
+            raise ClusterUnsupportedError(
+                f"DML on reference store {terminal.target!r} driven by a "
+                "hash-partitioned pipeline would diverge the replicas"
+            )
+        if placement.mode == "reference":
+            # Reference data + reference-only pipeline: every shard must
+            # apply the identical statement to stay in sync.
+            for segment in segments:
+                segment.multi = True
+                segment.pinned = None
+        self._render_segments(segments, binds)
+        final = segments[-1]
+        final.merge = {"kind": "concat", "headless": False}
+        fan_out = (
+            self.shard_map.num_shards
+            if any(segment.multi for segment in segments)
+            else 1
+        )
+        return ClusterPlan(
+            kind="read",  # executes through the segment machinery
+            strategy="dml_scatter" if fan_out > 1 else "dml_single",
+            segments=segments,
+            fan_out=fan_out,
+        )
+
+    def _plan_standalone_dml(self, op, text: str, binds: dict) -> ClusterPlan:
+        placement = self.shard_map.placement(op.target)
+        if placement.mode == "reference":
+            return ClusterPlan(
+                kind="dml",
+                strategy="dml_broadcast",
+                dml={
+                    "statement": text,
+                    "shard": None,
+                    "reference": True,
+                },
+                fan_out=self.shard_map.num_shards,
+            )
+        partition_key = placement.partition_key
+        shard: Optional[int] = None
+        if isinstance(op, ast.InsertOp):
+            ok, document = _static_value(op.document, binds)
+            if not ok or not isinstance(document, dict):
+                raise ClusterUnsupportedError(
+                    f"INSERT into hash-partitioned {op.target!r} needs a "
+                    "statically evaluable document to pick the owner shard"
+                )
+            shard = self.shard_map.owner(
+                op.target, document.get(partition_key)
+            )
+        elif isinstance(op, ast.UpsertOp):
+            ok, search = _static_value(op.search, binds)
+            if ok and isinstance(search, dict) and partition_key in search:
+                shard = self.shard_map.owner(op.target, search[partition_key])
+            else:
+                raise ClusterUnsupportedError(
+                    f"UPSERT into hash-partitioned {op.target!r} needs the "
+                    f"partition key {partition_key!r} in a statically "
+                    "evaluable search document"
+                )
+        else:  # UPDATE / REMOVE / REPLACE by key
+            ok, key = _static_value(op.key, binds)
+            if ok and isinstance(key, dict):
+                ok = partition_key in key
+                key = key.get(partition_key)
+            if ok and placement.key_routable:
+                # The store's primary key doubles as the partition key, so
+                # the key value routes directly.
+                shard = self.shard_map.owner(op.target, key)
+        if shard is not None:
+            return ClusterPlan(
+                kind="dml",
+                strategy="dml_routed",
+                dml={"statement": text, "shard": shard, "reference": False},
+                fan_out=1,
+            )
+        # Partitioned on an attribute the statement does not bind: let
+        # every shard try — the owner applies it, the rest no-op.
+        return ClusterPlan(
+            kind="dml",
+            strategy="dml_broadcast",
+            dml={"statement": text, "shard": None, "reference": False},
+            fan_out=self.shard_map.num_shards,
+        )
+
+    def _execute_dml(
+        self, plan, binds, runner, consistency, trace
+    ) -> ClusterResult:
+        info = plan.dml
+        if info["shard"] is not None:
+            shard_ids = [info["shard"]]
+        else:
+            shard_ids = self.shard_map.all_shard_ids()
+        try:
+            results = self._scatter(
+                shard_ids, info["statement"], binds, runner,
+                False, consistency, trace,
+            )
+        except ReproError:
+            if info["reference"] and len(shard_ids) > 1:
+                raise ClusterError(
+                    "broadcast DML failed on some shards; reference store "
+                    "copies may have diverged — re-issue the statement"
+                )
+            raise
+        stats_total: dict = {}
+        self._fold_stats(stats_total, results)
+        rows = [
+            row
+            for shard_id in sorted(results)
+            for row in results[shard_id][0]
+        ]
+        if info["reference"] and len(shard_ids) > 1 and rows:
+            # Every shard applied the same statement; report one copy.
+            per_shard = len(results[sorted(results)[0]][0])
+            rows = rows[:per_shard]
+            if "writes" in stats_total:
+                total_writes = stats_total["writes"]
+                stats_total["writes"] = total_writes // len(shard_ids)
+        if obs_metrics.ENABLED:
+            if len(shard_ids) > 1:
+                obs_metrics.counter("cluster_fanout_queries_total").inc()
+            else:
+                obs_metrics.counter("cluster_single_shard_queries_total").inc()
+        stats = self._final_stats(stats_total, plan, len(shard_ids), len(rows))
+        return ClusterResult(rows, stats, trace=trace)
+
+
+# ---------------------------------------------------------------------------
+# Merge helpers
+# ---------------------------------------------------------------------------
+
+
+class _MergeKey:
+    """Heap key for the k-way merge: the engine's cross-type total order
+    per sort key, direction-aware, with (shard, position) tie-breaks for
+    determinism."""
+
+    __slots__ = ("keys", "ascending", "tie")
+
+    def __init__(self, keys, ascending, tie):
+        self.keys = keys
+        self.ascending = ascending
+        self.tie = tie
+
+    def __lt__(self, other: "_MergeKey") -> bool:
+        for mine, theirs, ascending in zip(
+            self.keys, other.keys, self.ascending
+        ):
+            verdict = compare(mine, theirs)
+            if verdict:
+                return verdict < 0 if ascending else verdict > 0
+        return self.tie < other.tie
+
+
+def _kway_merge(streams: list, ascending: list) -> list:
+    import heapq
+
+    key_field = _PREFIX + "k"
+    heap = []
+    for shard_index, rows in enumerate(streams):
+        if rows:
+            row = rows[0]
+            heap.append(
+                (
+                    _MergeKey(
+                        row.get(key_field) or [], ascending, (shard_index, 0)
+                    ),
+                    shard_index,
+                    0,
+                )
+            )
+    heapq.heapify(heap)
+    merged: list = []
+    while heap:
+        _key, shard_index, position = heapq.heappop(heap)
+        rows = streams[shard_index]
+        merged.append(rows[position])
+        following = position + 1
+        if following < len(rows):
+            row = rows[following]
+            heapq.heappush(
+                heap,
+                (
+                    _MergeKey(
+                        row.get(key_field) or [],
+                        ascending,
+                        (shard_index, following),
+                    ),
+                    shard_index,
+                    following,
+                ),
+            )
+    return merged
+
+
+def _dedupe(rows: list) -> list:
+    seen: set = set()
+    out: list = []
+    for row in rows:
+        token = _group_token(row)
+        if token in seen:
+            continue
+        seen.add(token)
+        out.append(row)
+    return out

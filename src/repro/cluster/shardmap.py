@@ -1,0 +1,254 @@
+"""Shard topology: which shard owns which slice of which store.
+
+A :class:`ShardMap` is the cluster's one piece of shared configuration:
+the shard roster (primary + replica addresses per shard) and a
+**placement** per store.  Two placement modes cover the multi-model
+catalog:
+
+* ``hash`` — the store's keyspace is partitioned: a row lives on exactly
+  one shard, chosen by a stability-pinned hash of its **partition key**
+  (a declared attribute for tables/collections, the key itself for
+  KV buckets).  Scatter reads touch every shard; a query that binds the
+  partition key with an equality predicate routes to one.
+* ``reference`` — the store is fully replicated on every shard (the
+  classic small-dimension-table treatment).  Reads are served by any one
+  shard; writes broadcast to all.
+
+The hash is **pinned**: md5 over a canonicalized scalar rendering
+(``1``, ``1.0`` and ``"1"`` co-locate, booleans stay distinct), so the
+row→shard assignment survives interpreter restarts and Python upgrades —
+``hash()`` randomization can never silently reshuffle a cluster.
+
+The map carries a ``version``; every coordinator request ships the
+version it planned against, and a shard configured with a different one
+answers ``SHARD_MAP_STALE`` so the client refetches (``shard_map`` op)
+and replans instead of routing rows with a dead topology.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ClusterError
+
+__all__ = ["ShardMap", "ShardEntry", "StorePlacement", "demo_placements"]
+
+#: Placement assumed for stores the map does not mention: replicate
+#: everywhere.  Broadcast writes keep every shard's copy identical, and
+#: any single shard can answer reads — correct by construction, just not
+#: partitioned.
+DEFAULT_MODE = "reference"
+
+
+@dataclass(frozen=True)
+class StorePlacement:
+    """How one store's data is laid out across the shards."""
+
+    mode: str  # "hash" | "reference"
+    partition_key: Optional[str] = None  # attribute name (hash mode only)
+    #: The store's primary lookup key (``_key`` for collections, the
+    #: declared pk for tables).  When it equals ``partition_key``, point
+    #: lookups (``DOCUMENT``, ``UPDATE key``) route straight to the owner.
+    primary_key: Optional[str] = None
+
+    def __post_init__(self):
+        if self.mode not in ("hash", "reference"):
+            raise ClusterError(f"unknown placement mode {self.mode!r}")
+        if self.mode == "hash" and not self.partition_key:
+            raise ClusterError("hash placement needs a partition_key")
+
+    @property
+    def key_routable(self) -> bool:
+        """True when the primary key doubles as the partition key, so a
+        primary-key value alone determines the owner shard."""
+        return (
+            self.mode == "hash"
+            and self.primary_key is not None
+            and self.primary_key == self.partition_key
+        )
+
+
+@dataclass
+class ShardEntry:
+    """One shard: its id, primary address, and optional replica
+    addresses (each shard is a PR-8 replica set of its own)."""
+
+    shard_id: int
+    primary: str  # "host:port"
+    replicas: tuple = ()
+
+
+def _canonical(value) -> str:
+    """Stable scalar rendering for partition hashing.  Numeric values and
+    their string spellings co-locate (customer ``id`` 1 joins cart key
+    ``"1"``); booleans are tagged so ``True`` never collides with ``1``."""
+    if isinstance(value, bool):
+        return f"b:{int(value)}"
+    if isinstance(value, float) and value.is_integer():
+        value = int(value)
+    if isinstance(value, (int, float)):
+        return str(value)
+    if isinstance(value, str):
+        stripped = value.strip()
+        try:
+            return _canonical(int(stripped))
+        except ValueError:
+            pass
+        try:
+            return _canonical(float(stripped))
+        except ValueError:
+            pass
+        return value
+    # Containers and exotica: JSON with sorted keys is deterministic.
+    return json.dumps(value, sort_keys=True, default=str)
+
+
+def partition_hash(value) -> int:
+    """The pinned 32-bit partition hash of one key value."""
+    digest = hashlib.md5(_canonical(value).encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+class ShardMap:
+    """Versioned shard topology + per-store placements."""
+
+    def __init__(
+        self,
+        shards: list,
+        placements: Optional[dict] = None,
+        version: int = 1,
+    ):
+        if not shards:
+            raise ClusterError("a shard map needs at least one shard")
+        entries = []
+        for index, shard in enumerate(shards):
+            if isinstance(shard, ShardEntry):
+                entries.append(shard)
+            elif isinstance(shard, str):
+                entries.append(ShardEntry(index, shard))
+            else:
+                entries.append(
+                    ShardEntry(
+                        int(shard.get("shard_id", index)),
+                        shard["primary"],
+                        tuple(shard.get("replicas") or ()),
+                    )
+                )
+        self.shards = entries
+        self.placements: dict[str, StorePlacement] = {}
+        for name, placement in (placements or {}).items():
+            if not isinstance(placement, StorePlacement):
+                placement = StorePlacement(
+                    placement.get("mode", DEFAULT_MODE),
+                    placement.get("partition_key"),
+                    placement.get("primary_key"),
+                )
+            self.placements[name] = placement
+        self.version = int(version)
+
+    # -- lookups ---------------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def placement(self, store: str) -> StorePlacement:
+        return self.placements.get(store) or StorePlacement(DEFAULT_MODE)
+
+    def is_hashed(self, store: str) -> bool:
+        return self.placement(store).mode == "hash"
+
+    def owner(self, store: str, value) -> int:
+        """Shard id owning *value* of *store*'s partition key."""
+        placement = self.placement(store)
+        if placement.mode != "hash":
+            raise ClusterError(
+                f"store {store!r} is not hash-partitioned; every shard "
+                "holds it"
+            )
+        return partition_hash(value) % self.num_shards
+
+    def all_shard_ids(self) -> list[int]:
+        return [entry.shard_id for entry in self.shards]
+
+    def entry(self, shard_id: int) -> ShardEntry:
+        for candidate in self.shards:
+            if candidate.shard_id == shard_id:
+                return candidate
+        raise ClusterError(f"no shard {shard_id} in this map")
+
+    # -- persistence -----------------------------------------------------
+
+    def to_json(self) -> dict:
+        return {
+            "version": self.version,
+            "shards": [
+                {
+                    "shard_id": entry.shard_id,
+                    "primary": entry.primary,
+                    "replicas": list(entry.replicas),
+                }
+                for entry in self.shards
+            ],
+            "placements": {
+                name: {
+                    "mode": placement.mode,
+                    "partition_key": placement.partition_key,
+                    "primary_key": placement.primary_key,
+                }
+                for name, placement in sorted(self.placements.items())
+            },
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "ShardMap":
+        return cls(
+            payload.get("shards") or [],
+            payload.get("placements") or {},
+            payload.get("version", 1),
+        )
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as sink:
+            json.dump(self.to_json(), sink, indent=2, sort_keys=True)
+            sink.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "ShardMap":
+        with open(path, "r", encoding="utf-8") as source:
+            return cls.from_json(json.load(source))
+
+    def bumped(self, shards: Optional[list] = None) -> "ShardMap":
+        """A new map (version + 1), optionally with a new shard roster."""
+        rebuilt = ShardMap.from_json(self.to_json())
+        if shards is not None:
+            rebuilt.shards = ShardMap(shards).shards
+        rebuilt.version = self.version + 1
+        return rebuilt
+
+    def __repr__(self) -> str:
+        return (
+            f"<ShardMap v{self.version} shards={self.num_shards} "
+            f"stores={len(self.placements)}>"
+        )
+
+
+def demo_placements() -> dict:
+    """The UniBench placement profile: the big co-partitionable stores
+    hash on the keys the workload joins through (customers↔orders on the
+    customer id, products↔feedback on the product number); the small
+    cross-cutting stores — the social graph, the cart KV bucket, the
+    vendor triples — replicate as reference data so traversals and
+    per-friend lookups stay shard-local."""
+    return {
+        "customers": StorePlacement("hash", "id", primary_key="id"),
+        "orders": StorePlacement("hash", "customer_id", primary_key="_key"),
+        "products": StorePlacement("hash", "product_no", primary_key="_key"),
+        "feedback": StorePlacement("hash", "product_no", primary_key="_key"),
+        "cart": StorePlacement("reference"),
+        "social": StorePlacement("reference"),
+        "vendors": StorePlacement("reference"),
+    }

@@ -389,6 +389,52 @@ class FailoverInProgressError(ReplicationError):
 
 
 # ---------------------------------------------------------------------------
+# Cluster / sharding
+# ---------------------------------------------------------------------------
+
+
+class ClusterError(ServerError):
+    """Base class for sharded-cluster failures (coordinator planning,
+    scatter-gather execution, shard routing, topology)."""
+
+    code = "CLUSTER"
+
+
+class ShardMapStaleError(ClusterError):
+    """The client presented a shard-map version that does not match the
+    topology this shard was configured with.  The client must refetch the
+    map (``shard_map`` op) and retry; ``details`` carries the server's
+    ``version`` so the client can tell *who* is behind."""
+
+    code = "SHARD_MAP_STALE"
+
+    def __init__(self, message: str, version: Optional[int] = None):
+        super().__init__(message)
+        self.version = version
+
+
+class ShardUnavailableError(ClusterError):
+    """A shard (including all of its replicas) could not be reached while
+    executing a scattered statement.  The statement's result is undefined
+    for reads and per-shard for DML; the coordinator surfaces this instead
+    of returning a silently partial answer."""
+
+    code = "SHARD_UNAVAILABLE"
+
+    def __init__(self, message: str, shard: Optional[int] = None):
+        super().__init__(message)
+        self.shard = shard
+
+
+class ClusterUnsupportedError(ClusterError):
+    """The statement is valid MMQL but the coordinator cannot run it
+    against a sharded topology (e.g. interactive multi-statement
+    transactions, which would need distributed commit)."""
+
+    code = "CLUSTER_UNSUPPORTED"
+
+
+# ---------------------------------------------------------------------------
 # Benchmark / workload
 # ---------------------------------------------------------------------------
 

@@ -40,7 +40,7 @@ from repro.errors import FailoverInProgressError, ReplicationError
 from repro.fault.registry import FAILPOINTS
 from repro.obs import events as obs_events
 
-__all__ = ["ChaosReport", "chaos_run"]
+__all__ = ["ChaosReport", "ClusterChaosReport", "chaos_run", "cluster_chaos_run"]
 
 #: Wire-level failpoint sites the scheduler may arm.
 _NET_SITES = (
@@ -109,6 +109,27 @@ def _make_db():
     db = MultiModelDB()
     db.create_collection("kv")
     return db
+
+
+@dataclass
+class ClusterChaosReport(ChaosReport):
+    """Outcome of one *cluster* chaos run (shard kill under scatter)."""
+
+    shards: int = 0
+    killed_shard: Optional[int] = None
+    writes_refused: int = 0
+    reads_refused: int = 0
+
+    def summary(self) -> str:
+        status = "ok" if self.ok else "FAIL"
+        return (
+            f"[{status}] seed={self.seed} shards={self.shards} "
+            f"replicas={self.replicas} "
+            f"writes={self.writes_confirmed}/{self.writes_attempted} "
+            f"(refused {self.writes_refused}) reads={self.reads_served} "
+            f"(refused {self.reads_refused}) faults={len(self.faults_armed)} "
+            f"killed_shard={self.killed_shard} errors={self.errors or '-'}"
+        )
 
 
 def _disarm_net_sites() -> None:
@@ -363,6 +384,357 @@ def chaos_run(
         _disarm_net_sites()
         if router is not None:
             router.close()
+        for server in servers:
+            try:
+                if server._kill:
+                    continue
+                server.stop(timeout=5.0)
+            except Exception:
+                pass
+    return report
+
+
+def cluster_chaos_run(
+    seed: int,
+    shards: int = 3,
+    writes: int = 60,
+    fault_rounds: int = 3,
+    kill_shard: bool = True,
+    replica_for: Optional[int] = None,
+    ship_interval: float = 0.01,
+    heartbeat_interval: float = 0.1,
+    settle_timeout: float = 10.0,
+) -> ClusterChaosReport:
+    """One *cluster* chaos run: N shard servers, a seeded routed-write +
+    scatter-read workload through :class:`~repro.cluster.ClusterClient`
+    under network fire, then **one shard killed without warning**.
+
+    The workload collection is hash-partitioned **by ``_key``**, so every
+    UPSERT routes to exactly one shard — a write either commits whole on
+    its owner or fails whole, which is what makes the invariants sharp:
+
+    1. **No silent partial results** — once a shard is down, a scatter
+       read raises a typed error (:class:`ShardUnavailableError` /
+       :class:`FailoverInProgressError`); it never returns the surviving
+       shards' rows as if they were the whole answer.
+    2. **Surviving shards keep serving** — writes owned by live shards
+       succeed; only writes owned by the dead shard are refused.
+    3. **State = confirmed writes** — each surviving shard holds exactly
+       the confirmed values it owns, and never a key that was never
+       written.
+    4. **Replica failover under the coordinator** — with ``replica_for``
+       set, the killed shard is the replicated one: its replica set
+       promotes, and scatter reads recover without a map change.
+    """
+    from repro.client.client import ReproClient
+    from repro.cluster.client import ClusterClient
+    from repro.cluster.shardmap import ShardMap, StorePlacement
+    from repro.errors import (
+        ClusterError,
+        ShardUnavailableError,
+    )
+    from repro.server.server import ReproServer
+
+    rng = random.Random(seed)
+    report = ClusterChaosReport(
+        seed=seed,
+        replicas=1 if replica_for is not None else 0,
+        shards=shards,
+    )
+    servers: list = []
+    replica_server = None
+    client = None
+    confirmed: dict = {}   # key -> value the coordinator confirmed written
+    attempted: set = set()  # every key ever sent, confirmed or not
+
+    tolerated = (
+        ShardUnavailableError,
+        ClusterError,
+        FailoverInProgressError,
+        ReplicationError,
+    )
+
+    def upsert(key: str, value: int) -> None:
+        report.writes_attempted += 1
+        attempted.add(key)
+        try:
+            client.query(
+                "UPSERT {_key: @k} INSERT {_key: @k, v: @v} "
+                "UPDATE {v: @v} INTO kv",
+                {"k": key, "v": value},
+            )
+        except tolerated:
+            # The write may or may not have applied before the fault; we
+            # no longer know this key's value, so it leaves the oracle.
+            confirmed.pop(key, None)
+            report.writes_refused += 1
+            raise
+        confirmed[key] = value
+        report.writes_confirmed += 1
+
+    def scatter_read() -> list:
+        rows = client.query("FOR d IN kv RETURN d").rows
+        report.reads_served += 1
+        extra = {row["_key"] for row in rows} - attempted
+        if extra:
+            report.errors.append(
+                f"scatter read returned keys never written: {sorted(extra)}"
+            )
+        return rows
+
+    try:
+        for shard_id in range(shards):
+            options = {}
+            if replica_for == shard_id:
+                # Semi-sync on the replicated shard: a confirmed write is
+                # on the replica by construction, so promotion loses
+                # nothing the oracle remembers.
+                options = {"ack_replication": 1, "ack_timeout": settle_timeout}
+            server = ReproServer(
+                _make_db(), port=0, shard_id=shard_id,
+                ship_interval=ship_interval,
+                heartbeat_interval=heartbeat_interval,
+                **options,
+            )
+            server.start_in_thread()
+            servers.append(server)
+        replicas: dict = {}
+        if replica_for is not None:
+            replica_server = ReproServer(
+                _make_db(), port=0, shard_id=replica_for,
+                replica_of=f"127.0.0.1:{servers[replica_for].port}",
+                ship_interval=ship_interval,
+                heartbeat_interval=heartbeat_interval,
+            )
+            replica_server.start_in_thread()
+            servers.append(replica_server)
+            replicas[replica_for] = [
+                f"127.0.0.1:{replica_server.port}"
+            ]
+        shard_map = ShardMap(
+            [
+                {
+                    "shard_id": shard_id,
+                    "primary": f"127.0.0.1:{servers[shard_id].port}",
+                    "replicas": replicas.get(shard_id, []),
+                }
+                for shard_id in range(shards)
+            ],
+            {"kv": StorePlacement("hash", "_key", "_key")},
+        )
+        for server in servers:
+            server.shard_map = shard_map
+        report.note(
+            "topology_up",
+            shards=[server.port for server in servers[:shards]],
+            replica=replica_server.port if replica_server else None,
+        )
+        client = ClusterClient(shard_map)
+        client.connect()
+
+        if replica_for is not None:
+            # Semi-sync gates the replicated shard's writes on its
+            # replica's ack; wait for the subscription before phase 1.
+            with ReproClient(
+                "127.0.0.1", servers[replica_for].port
+            ) as probe:
+                deadline = time.monotonic() + settle_timeout
+                while time.monotonic() < deadline:
+                    status = probe._call("repl_status")
+                    if status.get("subscribers"):
+                        break
+                    time.sleep(0.02)
+                else:
+                    report.errors.append(
+                        f"shard {replica_for}'s replica never subscribed "
+                        f"within {settle_timeout}s"
+                    )
+                    return report
+
+        # -- phase 1: clean base load ------------------------------------
+        base = writes // 3
+        for index in range(base):
+            upsert(f"k{rng.randint(0, 29)}", index)
+        scatter_read()
+
+        # -- phase 2: routed writes + scatter reads under network fire ---
+        mid = writes - base
+        fault_at = sorted(rng.sample(range(mid), min(fault_rounds, mid)))
+        for index in range(mid):
+            if fault_at and index == fault_at[0]:
+                fault_at.pop(0)
+                site = rng.choice(_NET_SITES)
+                effect = rng.choice(_SCHEDULED_EFFECTS)
+                trigger = f"prob:{rng.choice((0.02, 0.05))}"
+                FAILPOINTS.arm(site, trigger, effect, seed=rng.randint(0, 2**31))
+                report.faults_armed.append(
+                    {"site": site, "trigger": trigger, "effect": effect}
+                )
+                report.note("fault_armed", site=site, trigger=trigger,
+                            effect=effect)
+            try:
+                upsert(f"k{rng.randint(0, 29)}", base + index)
+            except tolerated as error:
+                report.note("write_refused", error=type(error).__name__)
+            if rng.random() < 0.3:
+                try:
+                    scatter_read()
+                except tolerated as error:
+                    report.reads_refused += 1
+                    report.note("read_refused", error=type(error).__name__)
+
+        _disarm_net_sites()
+        report.note("faults_disarmed")
+
+        # -- phase 3: kill one shard's primary mid-stream ----------------
+        if kill_shard:
+            victim = (
+                replica_for if replica_for is not None
+                else rng.randrange(shards)
+            )
+            report.killed_shard = victim
+            report.killed_primary = f"127.0.0.1:{servers[victim].port}"
+            servers[victim].kill()
+            report.note("shard_killed", shard=victim,
+                        address=report.killed_primary)
+
+            dead = {victim} if replica_for is None else set()
+            for index in range(writes // 3):
+                key = f"p{rng.randint(0, 19)}"
+                owner = shard_map.owner("kv", key)
+                if owner in dead:
+                    # Invariant 2: the dead shard's keyspace is refused
+                    # with a typed error — quickly, not after a hang.
+                    try:
+                        upsert(key, index)
+                    except tolerated as error:
+                        report.note("dead_shard_write_refused", key=key,
+                                    error=type(error).__name__)
+                    else:
+                        report.errors.append(
+                            f"write of {key!r} (owned by dead shard "
+                            f"{owner}) was confirmed"
+                        )
+                    continue
+                for attempt in range(8):
+                    try:
+                        upsert(key, index)
+                        break
+                    except tolerated as error:
+                        report.note(
+                            "write_refused", key=key, attempt=attempt,
+                            error=type(error).__name__,
+                        )
+                        time.sleep(0.1)
+                else:
+                    report.errors.append(
+                        f"write of {key!r} (owned by live shard {owner}) "
+                        "never succeeded after the kill"
+                    )
+                    break
+
+            if replica_for is not None:
+                # Invariant 4: the replica set under the coordinator
+                # promotes, and scatter reads recover on the same map.
+                deadline = time.monotonic() + settle_timeout
+                recovered = False
+                while time.monotonic() < deadline:
+                    try:
+                        scatter_read()
+                        recovered = True
+                        break
+                    except tolerated as error:
+                        report.reads_refused += 1
+                        report.note("read_refused",
+                                    error=type(error).__name__)
+                        time.sleep(0.2)
+                if not recovered:
+                    report.errors.append(
+                        "scatter reads never recovered after the "
+                        "replicated shard's primary was killed"
+                    )
+                router = client._replica_set(victim)
+                report.failovers = router.failovers
+                report.promoted = "%s:%s" % router.primary_address
+                if not router.failovers:
+                    report.errors.append(
+                        "shard primary was killed but its replica set "
+                        "never failed over"
+                    )
+            else:
+                # Invariant 1: no silent partials — the scatter must
+                # raise, not answer with a subset of the shards.
+                try:
+                    rows = client.query("FOR d IN kv RETURN d").rows
+                except tolerated as error:
+                    report.reads_refused += 1
+                    report.note("post_kill_read_refused",
+                                error=type(error).__name__)
+                else:
+                    report.errors.append(
+                        "scatter read over a dead shard returned "
+                        f"{len(rows)} rows instead of a typed error"
+                    )
+
+        # -- phase 4: settle and check invariant 3 -----------------------
+        for shard_id in range(shards):
+            if shard_id == report.killed_shard and replica_for is None:
+                continue
+            expected = {
+                key: value for key, value in confirmed.items()
+                if shard_map.owner("kv", key) == shard_id
+            }
+            try:
+                if shard_id == report.killed_shard:
+                    # Read through the promoted replica.
+                    rows = client._replica_set(shard_id).query(
+                        "FOR d IN kv RETURN d"
+                    ).fetch_all()
+                else:
+                    with ReproClient(
+                        "127.0.0.1", servers[shard_id].port
+                    ) as direct:
+                        rows = direct.query("FOR d IN kv RETURN d").rows
+            except Exception as error:
+                report.errors.append(
+                    f"shard {shard_id} unreachable at settle: "
+                    f"{type(error).__name__}"
+                )
+                continue
+            state = {row["_key"]: row["v"] for row in rows}
+            lost = {
+                key: value for key, value in expected.items()
+                if state.get(key) != value
+            }
+            if lost:
+                report.errors.append(
+                    f"shard {shard_id} lost confirmed writes: {lost!r}"
+                )
+            misrouted = {
+                key for key in state
+                if shard_map.owner("kv", key) != shard_id
+            }
+            if misrouted:
+                report.errors.append(
+                    f"shard {shard_id} holds keys it does not own: "
+                    f"{sorted(misrouted)}"
+                )
+            invented = set(state) - attempted
+            if invented:
+                report.errors.append(
+                    f"shard {shard_id} holds keys never written: "
+                    f"{sorted(invented)}"
+                )
+            report.note("shard_settled", shard=shard_id, rows=len(state),
+                        expected=len(expected))
+    except Exception as error:  # harness bug or unplanned explosion
+        report.errors.append(
+            f"cluster chaos run blew up: {type(error).__name__}: {error}"
+        )
+    finally:
+        _disarm_net_sites()
+        if client is not None:
+            client.close()
         for server in servers:
             try:
                 if server._kill:

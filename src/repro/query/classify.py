@@ -1,0 +1,60 @@
+"""Statement classification: does an MMQL statement write?
+
+Both distributed routers need the same verdict for the same text — the
+replica-set router (writes go to the primary, reads may fan to replicas)
+and the cluster coordinator (writes route to owning shards, reads may
+scatter).  Hoisted here so there is exactly one classifier and one cache;
+``repro.replication`` re-exports it for backwards compatibility.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from functools import lru_cache
+
+from repro.query import ast as _ast
+
+__all__ = ["statement_writes"]
+
+#: AST operations that mutate data; anything else is a read.
+_WRITE_NODES = (
+    _ast.InsertOp,
+    _ast.UpdateOp,
+    _ast.RemoveOp,
+    _ast.ReplaceOp,
+    _ast.UpsertOp,
+)
+
+
+def _contains_write(node) -> bool:
+    if isinstance(node, _WRITE_NODES):
+        return True
+    if dataclasses.is_dataclass(node) and not isinstance(node, type):
+        return any(
+            _contains_write(getattr(node, field.name))
+            for field in dataclasses.fields(node)
+        )
+    if isinstance(node, (list, tuple)):
+        return any(_contains_write(item) for item in node)
+    if isinstance(node, dict):
+        return any(_contains_write(value) for value in node.values())
+    return False
+
+
+@lru_cache(maxsize=1024)
+def statement_writes(text: str) -> bool:
+    """Does this MMQL statement mutate data (INSERT/UPDATE/REMOVE/REPLACE/
+    UPSERT anywhere in its AST, subqueries included)?
+
+    Used for routing (writes go to the primary / owning shard) and for the
+    replica-side ``NOT_PRIMARY`` gate.  A statement that does not parse is
+    treated as a read — the engine will raise the real parse error with
+    full position info, which beats a routing-layer guess.
+    """
+    from repro.query.parser import parse
+
+    try:
+        query = parse(text)
+    except Exception:
+        return False
+    return _contains_write(query)

@@ -29,10 +29,12 @@ replica's log continues in the same LSN space its peers already track.
 
 from __future__ import annotations
 
-import dataclasses
-from functools import lru_cache
+from repro.query.classify import statement_writes
 
-from repro.query import ast as _ast
+from repro.replication.apply import ReplicationApplier
+from repro.replication.hub import ReplicationHub
+from repro.replication.replica import WalPuller
+from repro.replication.router import ReplicaSet
 
 __all__ = [
     "ReplicationApplier",
@@ -41,52 +43,3 @@ __all__ = [
     "WalPuller",
     "statement_writes",
 ]
-
-#: AST operations that mutate data; anything else is a read.
-_WRITE_NODES = (
-    _ast.InsertOp,
-    _ast.UpdateOp,
-    _ast.RemoveOp,
-    _ast.ReplaceOp,
-    _ast.UpsertOp,
-)
-
-
-def _contains_write(node) -> bool:
-    if isinstance(node, _WRITE_NODES):
-        return True
-    if dataclasses.is_dataclass(node) and not isinstance(node, type):
-        return any(
-            _contains_write(getattr(node, field.name))
-            for field in dataclasses.fields(node)
-        )
-    if isinstance(node, (list, tuple)):
-        return any(_contains_write(item) for item in node)
-    if isinstance(node, dict):
-        return any(_contains_write(value) for value in node.values())
-    return False
-
-
-@lru_cache(maxsize=1024)
-def statement_writes(text: str) -> bool:
-    """Does this MMQL statement mutate data (INSERT/UPDATE/REMOVE/REPLACE/
-    UPSERT anywhere in its AST, subqueries included)?
-
-    Used for routing (writes go to the primary) and for the replica-side
-    ``NOT_PRIMARY`` gate.  A statement that does not parse is treated as a
-    read — the engine will raise the real parse error with full position
-    info, which beats a routing-layer guess.
-    """
-    from repro.query.parser import parse
-
-    try:
-        query = parse(text)
-    except Exception:
-        return False
-    return _contains_write(query)
-
-
-from repro.replication.apply import ReplicationApplier  # noqa: E402
-from repro.replication.hub import ReplicationHub  # noqa: E402
-from repro.replication.replica import WalPuller  # noqa: E402
-from repro.replication.router import ReplicaSet  # noqa: E402

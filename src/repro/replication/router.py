@@ -4,7 +4,7 @@ The application-facing half of replication: one object that owns a
 :class:`~repro.client.client.ReproClient` per node and decides, per
 statement, where it runs:
 
-* **writes** (detected with :func:`repro.replication.statement_writes`)
+* **writes** (detected with :func:`repro.query.classify.statement_writes`)
   and **strong** reads → the primary, always;
 * **eventual** reads → round-robin across replicas (primary as fallback
   when none is reachable) — lowest latency, no freshness promise;
@@ -41,7 +41,7 @@ from repro.errors import FailoverInProgressError, NotPrimaryError
 from repro.fault.retry import RetryExhaustedError
 from repro.obs import events as obs_events
 from repro.obs import metrics as obs_metrics
-from repro.replication import statement_writes
+from repro.query.classify import statement_writes
 
 __all__ = ["ReplicaSet"]
 

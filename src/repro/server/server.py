@@ -52,6 +52,7 @@ from typing import Any, Optional
 
 from repro import __version__
 from repro.errors import (
+    ClusterError,
     CursorLimitError,
     InjectedFaultError,
     NotPrimaryError,
@@ -61,6 +62,7 @@ from repro.errors import (
     ServerOverloadedError,
     ServerShutdownError,
     SessionStateError,
+    ShardMapStaleError,
     SimulatedCrash,
     code_of,
 )
@@ -68,7 +70,7 @@ from repro.obs import events as obs_events
 from repro.obs import metrics as obs_metrics
 from repro.obs import slowlog, tracing
 from repro.obs.telemetry import TelemetryEndpoint
-from repro.replication import statement_writes
+from repro.query.classify import statement_writes
 from repro.replication.apply import ReplicationApplier
 from repro.replication.hub import ReplicationHub
 from repro.server import protocol
@@ -182,6 +184,8 @@ class ReproServer:
         ack_timeout: float = 5.0,
         ship_interval: float = 0.02,
         heartbeat_interval: float = 0.5,
+        shard_id: Optional[int] = None,
+        shard_map: Optional[Any] = None,
     ):
         self.db = db
         self.host = host
@@ -208,6 +212,16 @@ class ReproServer:
         self.ack_timeout = float(ack_timeout)
         self.ship_interval = float(ship_interval)
         self.heartbeat_interval = float(heartbeat_interval)
+        #: Cluster membership: this server's shard id and the topology it
+        #: was provisioned with.  A coordinator ships the map version it
+        #: planned against; a mismatch answers SHARD_MAP_STALE so the
+        #: client refetches instead of routing rows with a dead topology.
+        self.shard_id = None if shard_id is None else int(shard_id)
+        if shard_map is not None and not hasattr(shard_map, "to_json"):
+            from repro.cluster.shardmap import ShardMap
+
+            shard_map = ShardMap.from_json(shard_map)
+        self.shard_map = shard_map
 
         self._server: Optional[asyncio.AbstractServer] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -532,7 +546,9 @@ class ReproServer:
             "protocol": protocol.PROTOCOL_VERSION,
             #: Compatible capabilities layered on protocol v1; clients use
             #: this (not the version) to decide what extras to send.
-            "features": ["trace", "events", "telemetry", "replication"],
+            "features": [
+                "trace", "events", "telemetry", "replication", "cluster",
+            ],
             "role": self.role,
             "limits": {
                 "max_sessions": self.max_sessions,
@@ -546,6 +562,15 @@ class ReproServer:
         }
         if self.replica_of is not None:
             info["replica_of"] = self.replica_of
+        if self.shard_id is not None:
+            info["shard"] = {
+                "shard_id": self.shard_id,
+                "map_version": (
+                    self.shard_map.version
+                    if self.shard_map is not None
+                    else None
+                ),
+            }
         if session is not None:
             info["session"] = session.session_id
         if self._telemetry is not None:
@@ -797,11 +822,22 @@ class ReproServer:
                     kind=kind if isinstance(kind, str) else None,
                 )
             }
+        if op == "shard_map":
+            if self.shard_map is None:
+                raise ClusterError(
+                    "this server is not part of a cluster (no shard map)"
+                )
+            return {
+                "shard_id": self.shard_id,
+                "shard_map": self.shard_map.to_json(),
+            }
         if op == "query":
+            self._check_shard_map(params)
             result = await self._op_query(session, params)
             await self._semi_sync_gate(session, params)
             return result
         if op == "query_open":
+            self._check_shard_map(params)
             result = await self._op_query_open(session, params)
             await self._semi_sync_gate(session, params)
             return result
@@ -1120,6 +1156,18 @@ class ReproServer:
         if not isinstance(bind_vars, dict):
             raise ProtocolError("bind_vars must be a JSON object")
         return text, bind_vars
+
+    def _check_shard_map(self, params: dict) -> None:
+        """Reject statements planned against a different topology."""
+        planned = params.get("shard_map_version")
+        if planned is None or self.shard_map is None:
+            return
+        if int(planned) != self.shard_map.version:
+            raise ShardMapStaleError(
+                f"statement planned against shard map v{planned}, this "
+                f"shard runs v{self.shard_map.version} — refetch the map",
+                version=self.shard_map.version,
+            )
 
     async def _op_query(self, session: Session, params: dict) -> dict:
         text, bind_vars = self._query_inputs(params)

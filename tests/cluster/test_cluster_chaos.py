@@ -1,0 +1,41 @@
+"""Cluster chaos: shard kill mid-scatter, under seeded network fire.
+
+One fixed seed per topology keeps CI deterministic; the CI job also
+runs a randomized seed (echoed in the log) for coverage drift.
+"""
+
+from repro.fault.chaos import cluster_chaos_run
+
+
+def test_shard_kill_without_replica_fails_typed_and_survivors_serve():
+    report = cluster_chaos_run(seed=1234, shards=3)
+    assert report.ok, report.summary()
+    assert report.killed_shard is not None
+    assert report.writes_confirmed > 0
+    # The dead shard's keyspace was refused at least once post-kill.
+    assert any(
+        event["kind"] == "dead_shard_write_refused"
+        for event in report.events
+    )
+
+
+def test_shard_kill_with_replica_fails_over_under_the_coordinator():
+    report = cluster_chaos_run(seed=77, shards=3, replica_for=1)
+    assert report.ok, report.summary()
+    assert report.failovers >= 1
+    assert report.promoted is not None
+    assert report.promoted != report.killed_primary
+
+
+def test_report_dump_is_json(tmp_path):
+    report = cluster_chaos_run(
+        seed=5, shards=2, writes=12, fault_rounds=1, kill_shard=False
+    )
+    assert report.ok, report.summary()
+    path = tmp_path / "chaos-cluster.json"
+    report.dump(str(path))
+    import json
+
+    payload = json.loads(path.read_text())
+    assert payload["seed"] == 5
+    assert "chaos_events" in payload

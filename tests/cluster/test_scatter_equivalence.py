@@ -1,0 +1,96 @@
+"""Satellite: scatter-gather equivalence against the embedded engine.
+
+The whole cluster tier stands on one promise: a statement answered by N
+shards returns the *same rows* the embedded engine returns on the same
+data.  These tests run Workload B (Q1–Q5, the cross-model mix: graph
+hop + KV + document join, aggregate pipelines, sorted scans) against an
+embedded database, a 1-shard cluster and a 3-shard cluster built from
+the identical generated data set, and compare row-for-row.
+
+Ordered queries (Q3 sorts its groups, Q4 k-way-merges on product_no)
+must match exactly; unordered queries are compared as multisets — shard
+interleaving is allowed to permute them, nothing more.
+"""
+
+import json
+
+import pytest
+
+from repro import MultiModelDB
+from repro.cluster import start_cluster
+from repro.unibench.generator import generate, load_into_multimodel
+from repro.unibench.workloads import QUERIES_B, workload_b_remote
+
+#: Queries whose statements impose a total order on the result.
+ORDERED = {"Q3", "Q4"}
+
+
+def _canon(rows, ordered):
+    if ordered:
+        return [json.dumps(row, sort_keys=True, default=str) for row in rows]
+    return sorted(
+        json.dumps(row, sort_keys=True, default=str) for row in rows
+    )
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate(scale_factor=1, seed=11)
+
+
+@pytest.fixture(scope="module")
+def embedded(data):
+    db = MultiModelDB()
+    load_into_multimodel(db, data)
+    return db
+
+
+@pytest.fixture(scope="module", params=[1, 3], ids=["1shard", "3shards"])
+def cluster(request, data):
+    with start_cluster(num_shards=request.param, data=data) as handle:
+        with handle.client() as client:
+            yield client
+
+
+@pytest.mark.parametrize("query_id", sorted(QUERIES_B))
+def test_cluster_rows_equal_embedded_rows(query_id, embedded, cluster):
+    expected = workload_b_remote(embedded, query_id).rows
+    got = workload_b_remote(cluster, query_id).rows
+    ordered = query_id in ORDERED
+    assert _canon(got, ordered) == _canon(expected, ordered), query_id
+    assert len(got) > 0, f"{query_id} returned nothing — vacuous equivalence"
+
+
+def test_explain_analyze_surfaces_the_fan_out(cluster):
+    text, binds = QUERIES_B["Q2"]
+    result = cluster.query("EXPLAIN ANALYZE " + text, binds)
+    shards = cluster.shard_map.num_shards
+    assert f"fan_out={shards}" in result.analyzed
+    assert result.stats["fan_out"] == shards
+    # Per-shard execution reports ride along under the cluster header.
+    assert result.analyzed.count("segment 0 shard ") == shards
+
+
+def test_explain_analyze_stats_are_compatible_with_embedded(
+    embedded, cluster
+):
+    text, binds = QUERIES_B["Q2"]
+    expected = embedded.query(text, binds)
+    result = cluster.query(text, binds, analyze=True)
+    # The cluster's scanned total is the sum over shards of partitioned
+    # scans — it must equal the embedded engine's scan of the same rows.
+    assert result.stats["scanned"] == expected.stats["scanned"]
+    assert result.stats["rows_returned"] == len(expected.rows)
+
+
+def test_partition_key_equality_proves_fan_out_one(cluster):
+    plan = cluster.explain(
+        "FOR c IN customers FILTER c.id == @id RETURN c.name", {"id": 3}
+    )
+    assert "fan_out=1" in plan
+    result = cluster.query(
+        "EXPLAIN ANALYZE FOR c IN customers FILTER c.id == @id "
+        "RETURN c.name",
+        {"id": 3},
+    )
+    assert "fan_out=1" in result.analyzed

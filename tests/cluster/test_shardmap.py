@@ -1,0 +1,126 @@
+"""The shard map: hash stability, canonicalization, topology plumbing.
+
+The partition hash is pinned to exact values: it decides which shard
+owns which row, so a "refactor" that changes it silently orphans every
+row already placed.  If one of these pins ever fails, the hash changed —
+that is a data-migration event, not a test to update.
+"""
+
+import pytest
+
+from repro.cluster.shardmap import (
+    ShardMap,
+    StorePlacement,
+    demo_placements,
+    partition_hash,
+)
+
+#: Exact, frozen outputs of the partition hash (md5, first 4 bytes, BE).
+#: A list, not a dict: True/1 and False/0 are distinct pins but equal
+#: dict keys.
+PINNED = [
+    (0, 3486326916),
+    (1, 3301589560),
+    (2, 3357438605),
+    (42, 2714814184),
+    (None, 933635484),
+    (True, 1690591343),
+    (False, 1053692278),
+    ("Prague", 2802910466),
+    ("k7", 35250935),
+]
+
+
+@pytest.mark.parametrize(
+    "value,expected", PINNED, ids=[repr(value) for value, _ in PINNED]
+)
+def test_partition_hash_is_pinned(value, expected):
+    assert partition_hash(value) == expected
+
+
+def test_numeric_and_string_forms_of_a_key_co_locate():
+    # '1', 1 and 1.0 are the same logical key across models (a graph
+    # vertex id is a string, the relational pk an integer) — they must
+    # land on the same shard or cross-model joins stop being local.
+    assert partition_hash(1) == partition_hash("1") == partition_hash(1.0)
+    assert partition_hash(42) == partition_hash("42")
+
+
+def test_booleans_do_not_collapse_into_integers():
+    assert partition_hash(True) != partition_hash(1)
+    assert partition_hash(False) != partition_hash(0)
+
+
+def _map(num_shards=3, version=1):
+    return ShardMap(
+        [f"127.0.0.1:{9000 + index}" for index in range(num_shards)],
+        demo_placements(),
+        version=version,
+    )
+
+
+def test_owner_is_hash_mod_shards():
+    shard_map = _map(3)
+    for value in ("k1", 17, "Prague"):
+        assert shard_map.owner("customers", value) == (
+            partition_hash(value) % 3
+        )
+
+
+def test_entry_and_shape():
+    shard_map = _map(3)
+    assert shard_map.num_shards == 3
+    assert shard_map.all_shard_ids() == [0, 1, 2]
+    entry = shard_map.entry(1)
+    assert entry.shard_id == 1
+    assert entry.primary == "127.0.0.1:9001"
+    assert list(entry.replicas) == []
+
+
+def test_demo_placements_modes():
+    placements = demo_placements()
+    assert placements["customers"].mode == "hash"
+    assert placements["customers"].partition_key == "id"
+    assert placements["social"].mode == "reference"
+    assert placements["vendors"].mode == "reference"
+    assert placements["cart"].mode == "reference"
+
+
+def test_key_routable_requires_partitioning_by_the_primary_key():
+    assert StorePlacement("hash", "_key", "_key").key_routable
+    assert StorePlacement("hash", "id", "id").key_routable
+    # Partitioned by customer_id but addressed by _key: a by-key UPDATE
+    # cannot be routed to one shard.
+    assert not StorePlacement("hash", "customer_id", "_key").key_routable
+    assert not StorePlacement("reference", None, None).key_routable
+
+
+def test_json_round_trip(tmp_path):
+    shard_map = _map(3, version=7)
+    clone = ShardMap.from_json(shard_map.to_json())
+    assert clone.version == 7
+    assert clone.num_shards == 3
+    assert clone.entry(2).primary == shard_map.entry(2).primary
+    for store in demo_placements():
+        assert clone.placement(store).mode == shard_map.placement(store).mode
+        assert (
+            clone.placement(store).partition_key
+            == shard_map.placement(store).partition_key
+        )
+    # Same routing decisions after the round trip.
+    for value in range(20):
+        assert clone.owner("orders", value) == shard_map.owner("orders", value)
+
+    path = tmp_path / "map.json"
+    shard_map.save(str(path))
+    loaded = ShardMap.load(str(path))
+    assert loaded.version == 7
+    assert loaded.entry(0).primary == shard_map.entry(0).primary
+
+
+def test_bumped_increments_the_version_and_keeps_placements():
+    shard_map = _map(3, version=1)
+    bumped = shard_map.bumped()
+    assert bumped.version == 2
+    assert shard_map.version == 1  # the original is untouched
+    assert bumped.placement("customers").partition_key == "id"

@@ -1,0 +1,67 @@
+"""Verdict pinning for the shared statement classifier.
+
+Both distributed routers — the replica-set router and the cluster
+coordinator — route on :func:`repro.query.classify.statement_writes`.
+These tests pin the verdict for every DML form (including writes buried
+in subqueries) so a parser or classifier change that flips one shows up
+as a routing regression here, not as a write silently landing on a
+replica or the wrong shard.
+"""
+
+import pytest
+
+from repro.query.classify import statement_writes
+from repro.replication import statement_writes as reexported
+from repro.unibench.workloads import QUERIES_B
+
+WRITES = [
+    "INSERT {_key: 'a', v: 1} INTO kv",
+    "UPDATE 'a' WITH {v: 2} IN kv",
+    "REMOVE 'a' IN kv",
+    "REPLACE 'a' WITH {v: 3} IN kv",
+    "UPSERT {_key: 'a'} INSERT {_key: 'a', v: 4} UPDATE {v: 4} INTO kv",
+    "FOR d IN kv FILTER d.v > 1 UPDATE d._key WITH {v: 0} IN kv",
+    "FOR d IN kv REMOVE d._key IN kv",
+    "FOR d IN kv REPLACE d._key WITH {v: d.v} IN kv",
+    "FOR c IN customers INSERT {name: c.name} INTO audit",
+    # A write buried in a subquery is still a write — the routers must
+    # send the whole statement to the primary / owning shards.
+    "LET moved = (FOR d IN kv INSERT {v: d.v} INTO archive) RETURN moved",
+    "FOR c IN customers LET n = (FOR d IN kv REMOVE d._key IN kv) RETURN c",
+]
+
+READS = [
+    "RETURN 1",
+    "FOR d IN kv RETURN d",
+    "FOR c IN customers FILTER c.id == 1 RETURN c",
+    "FOR o IN orders COLLECT c = o.customer_id WITH COUNT INTO n "
+    "RETURN {c, n}",
+    "FOR c IN customers LET friends = (FOR f IN 1..1 OUTBOUND c._key "
+    "GRAPH 'social' RETURN f) RETURN friends",
+]
+
+
+@pytest.mark.parametrize("text", WRITES)
+def test_writes_classify_as_writes(text):
+    assert statement_writes(text) is True
+
+
+@pytest.mark.parametrize("text", READS)
+def test_reads_classify_as_reads(text):
+    assert statement_writes(text) is False
+
+
+@pytest.mark.parametrize("query_id", sorted(QUERIES_B))
+def test_workload_b_is_read_only(query_id):
+    text, _ = QUERIES_B[query_id]
+    assert statement_writes(text) is False
+
+
+def test_unparseable_text_is_treated_as_a_read():
+    # The engine raises the real parse error with position info; the
+    # routing layer must not pre-empt it with a guess.
+    assert statement_writes("THIS IS NOT MMQL (") is False
+
+
+def test_replication_reexport_is_the_same_callable():
+    assert reexported is statement_writes
