@@ -53,7 +53,9 @@ MMQL shell commands:
   .catalog              list collections/tables/graphs/buckets/stores
   .dbstats              record counts, indexes, log, txn and metric counters
   .explain <query>      show the optimized plan without executing
-  .advise <query>       recommend indexes for a query's predicates
+  .advise [query]       recommend indexes (runtime near-miss log, or a query)
+  .rules [list|on NAME|off NAME]
+                        list / toggle optimizer rewrite rules
   .stats                statistics of the last query
   .metrics [json]       dump the engine metrics registry (Prometheus text)
   .plancache [clear|size N]
@@ -419,20 +421,55 @@ def run_statement(db: MultiModelDB, statement: str, out: IO, state: dict) -> Non
         return
     if statement.startswith(".advise"):
         query_text = statement[len(".advise"):].strip()
-        if not query_text:
-            print("  usage: .advise <query>", file=out)
-            return
         from repro.query.advisor import advise
 
         try:
-            recommendations = advise(db, [query_text])
+            # Bare ``.advise`` reads the optimizer's runtime near-miss log;
+            # with a query argument it also analyzes that statement.
+            recommendations = advise(db, [query_text] if query_text else None)
         except ReproError as error:
             print(f"error: {error}", file=out)
             return
         if not recommendations:
-            print("  no new indexes would help this query", file=out)
+            if query_text:
+                print("  no new indexes would help this query", file=out)
+            else:
+                print(
+                    "  no suggestions recorded yet — run some queries, "
+                    "or pass a query: .advise <query>",
+                    file=out,
+                )
         for recommendation in recommendations:
             print(f"  {recommendation.describe()}", file=out)
+        return
+    if statement.startswith(".rules"):
+        argument = statement[len(".rules"):].strip()
+        from repro.query.rules import REGISTRY
+
+        toggles = db.optimizer_rules
+        if not argument or argument == "list":
+            for rule in REGISTRY:
+                state_word = (
+                    "on" if toggles.is_enabled(rule.name) else "OFF"
+                )
+                print(
+                    f"  [{state_word:>3}] {rule.name}: {rule.description}",
+                    file=out,
+                )
+            return
+        parts = argument.split()
+        if len(parts) == 2 and parts[0] in ("on", "off"):
+            try:
+                if parts[0] == "on":
+                    toggles.enable(parts[1])
+                else:
+                    toggles.disable(parts[1])
+            except KeyError as error:
+                print(f"error: {error.args[0]}", file=out)
+                return
+            print(f"  {parts[1]} -> {parts[0]}", file=out)
+            return
+        print("  usage: .rules [list|on NAME|off NAME]", file=out)
         return
     if statement.startswith("."):
         print(f"unknown command {statement.split()[0]!r}; try .help", file=out)

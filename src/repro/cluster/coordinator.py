@@ -56,6 +56,7 @@ from repro.errors import (
 from repro.obs import metrics as obs_metrics
 from repro.query import ast
 from repro.query.executor import _group_token
+from repro.query.optimizer import optimize
 from repro.query.parser import parse
 from repro.query.unparse import unparse, unparse_expr
 from repro.core.datamodel import compare
@@ -486,6 +487,12 @@ class Coordinator:
             raise ClusterUnsupportedError(
                 "writes inside subqueries cannot be routed across shards"
             )
+        # Coordinator-side rewrite: only the *ast-safe* rules run here
+        # (constant folding, predicate split, filter pushdown) — they emit
+        # pure AST that unparses back to MMQL text for the shards.
+        # Physical rules (index selection, decorrelation, hash joins) fire
+        # shard-locally where the indexes live.
+        query = optimize(query, None, ast_only=True)
         return self._plan_read(query, binds)
 
     def _contains_write_subquery(self, op) -> bool:

@@ -52,6 +52,8 @@ class MultiModelDB:
         columnar: bool = True,
     ):
         from repro.query.engine import PlanCache, QueryGuardrails
+        from repro.query.rules import RuleToggles, SuggestionLog
+        from repro.query.statistics import StatisticsStore
 
         self.context = EngineContext(lock_timeout=lock_timeout)
         #: Default vectorization width for query execution (frames per
@@ -79,6 +81,15 @@ class MultiModelDB:
         #: Default query limits (timeout seconds / max result rows); both
         #: ``None`` — i.e. disabled — unless the deployment opts in.
         self.guardrails = QueryGuardrails()
+        #: Observed cardinality feedback (EXPLAIN ANALYZE actuals); its
+        #: ``version`` joins the plan-cache validity stamp.
+        self.statistics = StatisticsStore()
+        #: Per-database rewrite-rule switchboard; the disabled-set
+        #: fingerprint joins the plan-cache key.
+        self.optimizer_rules = RuleToggles()
+        #: Near-miss index suggestions recorded by the rewrite rules
+        #: (surfaced by the advisor and the shell's ``.advise``).
+        self.index_suggestions = SuggestionLog()
 
     # ------------------------------------------------------------------ DDL --
 

@@ -89,14 +89,32 @@ def _walk_exprs(expr: ast.Expr):
         yield from _walk_exprs(child)
 
 
-def advise(db, workload: list[str]) -> list[Recommendation]:
+def advise(
+    db, workload: Optional[list[str]] = None
+) -> list[Recommendation]:
     """Analyze a workload; returns recommendations, most impactful first.
 
     Queries that fail to parse raise :class:`QueryError` (a workload file
     with a typo should be loud, not silently under-advised).
+
+    With no *workload*, the advisor reads the rewrite rules' runtime
+    near-miss log (``db.index_suggestions``) instead: every optimization
+    that *almost* produced an index scan or an indexed semi-join build
+    recorded what index it was missing, so the advisor works from live
+    traffic without a workload file.  Passing a workload merges both.
     """
     opportunities: Counter = Counter()
-    for text in workload:
+    suggestions = getattr(db, "index_suggestions", None)
+    if suggestions is not None:
+        for suggestion, count in suggestions.entries():
+            try:
+                namespace = db.resolve(suggestion.source).namespace
+            except Exception:
+                continue
+            if db.context.indexes.find(namespace, suggestion.path, "point"):
+                continue  # created since the suggestion was recorded
+            opportunities[(suggestion.source, suggestion.path)] += count
+    for text in workload or ():
         query = parse(text)
         for for_op, filter_op in _walk_operations(query):
             source_name = for_op.source.name

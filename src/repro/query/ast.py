@@ -330,6 +330,11 @@ class UpsertOp(Operation):
 @dataclass
 class Query:
     operations: list[Operation] = field(default_factory=list)
+    #: Names of the optimizer rules that rewrote this plan, in firing
+    #: order (EXPLAIN's ``Rules fired:`` line).  Excluded from equality so
+    #: the fixpoint engine's did-anything-change comparison sees only the
+    #: operations.
+    rules_fired: tuple = field(default=(), compare=False)
 
     def __iter__(self):
         return iter(self.operations)

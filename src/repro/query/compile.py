@@ -50,6 +50,7 @@ __all__ = [
     "extract_zone_predicates",
     "columnar_attr",
     "compiles_fully",
+    "fallback_node_counts",
     "CompiledFn",
     "BatchFn",
 ]
@@ -96,11 +97,81 @@ def compiles_fully(expr: ast.Expr) -> bool:
     return True
 
 
+#: Expression-bearing attributes across logical and physical operations.
+_EXPR_ATTRS = (
+    "source",
+    "condition",
+    "value",
+    "expr",
+    "start",
+    "goal",
+    "key",
+    "changes",
+    "document",
+    "search",
+    "insert_doc",
+    "update_patch",
+    "probe",
+    "residual",
+)
+
+
+def _operation_exprs(operation) -> list:
+    """Every expression hanging off one operation (logical or physical)."""
+    out = []
+    for attr in _EXPR_ATTRS:
+        value = getattr(operation, attr, None)
+        if isinstance(value, ast.Expr):
+            out.append(value)
+    for spec in getattr(operation, "keys", None) or ():
+        expr = getattr(spec, "expr", None)
+        if isinstance(expr, ast.Expr):
+            out.append(expr)
+    for _name, expr in getattr(operation, "groups", None) or ():
+        if isinstance(expr, ast.Expr):
+            out.append(expr)
+    for _name, _fn, expr in getattr(operation, "aggregates", None) or ():
+        if isinstance(expr, ast.Expr):
+            out.append(expr)
+    return out
+
+
+def fallback_node_counts(query) -> dict[str, int]:
+    """Per-node-type count of interpreter fallbacks a plan will compile
+    with: the *maximal* non-native subtree roots across every operation's
+    expressions (matching how :func:`_compile` delegates — one fallback
+    closure per maximal uncompilable subtree, siblings stay compiled).
+    EXPLAIN ANALYZE renders this as the ``Compile fallbacks:`` line."""
+    counts: dict[str, int] = {}
+    stack: list = []
+    for operation in query.operations:
+        stack.extend(_operation_exprs(operation))
+        inner = getattr(operation, "query", None)
+        if inner is not None and hasattr(inner, "operations"):
+            for name, count in fallback_node_counts(inner).items():
+                counts[name] = counts.get(name, 0) + count
+    while stack:
+        node = stack.pop()
+        if isinstance(node, _NATIVE_NODES):
+            stack.extend(node.children())
+        else:
+            name = type(node).__name__
+            counts[name] = counts.get(name, 0) + 1
+    return counts
+
+
 def _interpreted(expr: ast.Expr) -> CompiledFn:
-    """Per-subtree fallback: delegate this node to the interpreter."""
+    """Per-subtree fallback: delegate this node to the interpreter.
+
+    The ``node=`` label names the AST node type that forced the fallback
+    (SubQuery / Expansion / InlineFilter today), so the metrics endpoint
+    shows exactly which shapes are still interpreter-bound — the future
+    rewrite-rule targets."""
     if obs_metrics.ENABLED:
         obs_metrics.counter(
-            "expr_compile_total", outcome="fallback"
+            "expr_compile_total",
+            outcome="fallback",
+            node=type(expr).__name__,
         ).inc()
 
     def fallback(ctx, frame):

@@ -146,7 +146,12 @@ class PlanCache:
         self.invalidations = 0
 
     @staticmethod
-    def key(text: str, bind_vars: Optional[dict], optimized: bool) -> tuple:
+    def key(
+        text: str,
+        bind_vars: Optional[dict],
+        optimized: bool,
+        config: tuple = (),
+    ) -> tuple:
         shape = tuple(
             sorted(
                 (name, int(datamodel.type_of(value)))
@@ -156,7 +161,9 @@ class PlanCache:
         # Leading/trailing whitespace never changes the plan (an EXPLAIN
         # ANALYZE prefix strip leaves one behind); interior whitespace can
         # sit inside string literals, so only the ends are normalized.
-        return (text.strip(), shape, optimized)
+        # ``config`` is the optimizer-rule fingerprint: the same text
+        # planned under different rule toggles is a different plan.
+        return (text.strip(), shape, optimized, config)
 
     def get(self, key: tuple, versions: tuple) -> Optional[Any]:
         with self._lock:
@@ -252,11 +259,25 @@ class PlanCache:
 
 
 def _ddl_versions(db: Any) -> tuple:
-    """(catalog version, index version) — the plan-validity stamp."""
+    """(catalog version, index version, statistics version) — the
+    plan-validity stamp.  The statistics version makes the cardinality
+    feedback loop close: when EXPLAIN ANALYZE materially moves an
+    estimate, plans built on the stale numbers stop validating and the
+    next execution re-optimizes with the learned statistics."""
     catalog_version = getattr(db, "catalog_version", 0)
     context = getattr(db, "context", None)
     index_version = getattr(getattr(context, "indexes", None), "version", 0)
-    return (catalog_version, index_version)
+    stats_version = getattr(getattr(db, "statistics", None), "version", 0)
+    return (catalog_version, index_version, stats_version)
+
+
+def _plan_config(db: Any) -> tuple:
+    """Optimizer-configuration component of the plan-cache key: the
+    fingerprint of the database's rule toggles (disabled-rule names)."""
+    toggles = getattr(db, "optimizer_rules", None)
+    if toggles is None:
+        return ()
+    return toggles.fingerprint()
 
 
 def _effective_batch_size(db: Any, batch_size: Optional[int]) -> int:
@@ -334,7 +355,9 @@ def run_query(
         try:
             query = None
             if cache is not None:
-                cache_key = PlanCache.key(text, bind_vars, optimize_query)
+                cache_key = PlanCache.key(
+                    text, bind_vars, optimize_query, _plan_config(db)
+                )
                 versions = _ddl_versions(db)
                 query = cache.get(cache_key, versions)
                 plan_cached = query is not None
@@ -412,10 +435,40 @@ def run_query(
             },
         )
     if analyze:
+        statistics = getattr(db, "statistics", None)
+        if statistics is not None:
+            from repro.query.statistics import (
+                annotate_estimates,
+                record_feedback,
+            )
+
+            version_before = statistics.version
+            record_feedback(statistics, ctx.probes)
+            if (
+                statistics.version != version_before
+                and cache is not None
+                and cache_key is not None
+            ):
+                # The feedback just invalidated every cached plan stamped
+                # with the old statistics version — including this one.
+                # Refresh *this* plan's estimates with the learned numbers
+                # and re-stamp it, so the query that produced the feedback
+                # immediately benefits instead of paying a re-plan.
+                annotate_estimates(query, db)
+                cache.put(cache_key, query, _ddl_versions(db))
         result.op_stats = plan_module.analyzed_op_stats(ctx.probes)
         result.analyzed = render_analyzed_plan(
             query, ctx.probes, elapsed, ctx.stats
         )
+        fired = getattr(query, "rules_fired", ())
+        result.analyzed += "\nRules fired: " + (", ".join(fired) or "(none)")
+        from repro.query.compile import fallback_node_counts
+
+        fallbacks = fallback_node_counts(query)
+        if fallbacks:
+            result.analyzed += "\nCompile fallbacks: " + ", ".join(
+                f"{node}={count}" for node, count in sorted(fallbacks.items())
+            )
         result.analyzed += (
             "\nPlan: served from plan cache"
             if plan_cached
@@ -560,7 +613,9 @@ def open_query_cursor(
     plan_cached = False
     query = None
     if cache is not None:
-        cache_key = PlanCache.key(text, bind_vars, optimize_query)
+        cache_key = PlanCache.key(
+            text, bind_vars, optimize_query, _plan_config(db)
+        )
         versions = _ddl_versions(db)
         query = cache.get(cache_key, versions)
         plan_cached = query is not None
@@ -611,6 +666,8 @@ def explain_query(db: Any, text: str, bind_vars: Optional[dict] = None) -> str:
         )
     query = optimize(parse(text), db)
     rendered = render_plan(query)
+    fired = getattr(query, "rules_fired", ())
+    rendered += "\nRules fired: " + (", ".join(fired) or "(none)")
     cache: Optional[PlanCache] = getattr(db, "plan_cache", None)
     if cache is not None:
         hits = cache.peek_text(text, _ddl_versions(db))

@@ -49,7 +49,13 @@ from repro.query.compile import (
     extract_zone_predicates,
 )
 from repro.query.functions import call_function
-from repro.query.plan import HashJoinOp, IndexScanOp
+from repro.query.plan import (
+    AntiJoinOp,
+    HashJoinOp,
+    IndexScanOp,
+    MaterializeOp,
+    SemiJoinOp,
+)
 from repro.storage.segments import ColumnBatch, segment_may_match
 
 __all__ = ["ExecContext", "OpProbe", "Result", "execute", "execute_stream"]
@@ -109,6 +115,10 @@ class ExecContext:
     timeout: Optional[float] = None
     max_rows: Optional[int] = None
     probes: list = field(default_factory=list)
+    #: Shared results of :class:`MaterializeOp` nodes, keyed by plan-node
+    #: identity — computed at most once per execution, so every frame of
+    #: every batch reads the same row list.
+    materialized: dict = field(default_factory=dict)
     stats: dict = field(
         default_factory=lambda: {
             "scanned": 0,
@@ -119,6 +129,8 @@ class ExecContext:
             "batches": 0,
             "writes": 0,
             "hash_join_builds": 0,
+            "semi_join_builds": 0,
+            "materialized_subqueries": 0,
             "plan_cached": False,
             "segments_scanned": 0,
             "segments_pruned": 0,
@@ -978,6 +990,88 @@ def _apply_hash_join(ctx, operation: HashJoinOp, batches):
         yield out
 
 
+def _apply_semi_join(ctx, operation: SemiJoinOp, batches, anti: bool = False):
+    """Existence probe against a lazily-built hash table — the
+    decorrelated form of ``FILTER LENGTH((FOR x IN coll …)) > 0``.
+
+    The build side is the named collection keyed on ``build_path``
+    (txn-aware via :func:`_iter_source`, so snapshot reads stay correct);
+    each outer frame passes **unchanged** iff some build row equals the
+    per-frame probe (``compare() == 0`` confirmation — hash collisions
+    cannot leak, and the model's ``1 == 1.0`` / ``null == null`` match
+    semantics are exactly the subquery filter's) and satisfies the
+    residual with the inner variable bound.  ``anti=True`` inverts the
+    verdict (``LENGTH(…) == 0``).  Nothing is bound downstream."""
+    probe_fn = _compiled(operation, "_c_probe", operation.probe)
+    residual_fn = (
+        _compiled(operation, "_c_residual", operation.residual)
+        if operation.residual is not None
+        else None
+    )
+    hash_value = datamodel.hash_value
+    compare = datamodel.compare
+    truthy = datamodel.truthy
+    build_path = operation.build_path
+    var = operation.var
+    table: Optional[dict] = None
+    for batch in batches:
+        if table is None:
+            table = {}
+            for record in _iter_source(ctx, operation.source_name):
+                key = datamodel.deep_get(record, build_path)
+                table.setdefault(hash_value(key), []).append((key, record))
+            ctx.stats["semi_join_builds"] += 1
+            if obs_metrics.ENABLED:
+                obs_metrics.counter("semi_join_builds_total").inc()
+        out = []
+        for frame in batch:
+            probe = probe_fn(ctx, frame)
+            matched = False
+            for key, record in table.get(hash_value(probe), ()):
+                if compare(key, probe) != 0:
+                    continue
+                if residual_fn is not None:
+                    child = dict(frame)
+                    child[var] = record
+                    if not truthy(residual_fn(ctx, child)):
+                        continue
+                matched = True
+                break
+            if matched != anti:
+                out.append(frame)
+            else:
+                ctx.stats["filtered_out"] += 1
+        if out:
+            yield out
+
+
+def _apply_anti_join(ctx, operation: AntiJoinOp, batches):
+    return _apply_semi_join(ctx, operation, batches, anti=True)
+
+
+def _apply_materialize(ctx, operation: MaterializeOp, batches):
+    """Bind the subquery's rows — computed once per execution, shared —
+    into every frame (the rewritten form of an uncorrelated
+    ``LET var = (subquery)``).  The rewrite only fires on read-only
+    statements, so sharing one evaluation cannot observe different
+    states; bind parameters vary per execution, hence the per-context
+    (not per-plan) cache."""
+    var = operation.var
+    token = id(operation)
+    for batch in batches:
+        rows = ctx.materialized.get(token)
+        if rows is None:
+            rows, _writes = _run_pipeline(ctx, operation.query, {})
+            ctx.materialized[token] = rows
+            ctx.stats["materialized_subqueries"] += 1
+        out = []
+        for frame in batch:
+            child = dict(frame)
+            child[var] = rows
+            out.append(child)
+        yield out
+
+
 def _coerce_vertex_key(value, what: str) -> str:
     if isinstance(value, dict):
         value = value.get("_key")
@@ -1333,6 +1427,10 @@ _DML_APPLIERS = {
 _BATCH_APPLIERS = (
     (IndexScanOp, _apply_index_scan),
     (HashJoinOp, _apply_hash_join),
+    # AntiJoinOp subclasses SemiJoinOp — the anti entry must come first.
+    (AntiJoinOp, _apply_anti_join),
+    (SemiJoinOp, _apply_semi_join),
+    (MaterializeOp, _apply_materialize),
     (ast.ForOp, _apply_for),
     (ast.TraversalOp, _apply_traversal),
     (ast.ShortestPathOp, _apply_shortest_path),

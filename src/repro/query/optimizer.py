@@ -1,20 +1,21 @@
-"""Rule-based query optimizer.
+"""Rule-based query optimizer: a fixpoint engine over the rule registry.
 
-Three classic rewrites, each observable in EXPLAIN output and measured by
-the optimizer benchmark:
+The rewrites themselves live in two places: this module keeps the four
+classic transformation functions (constant folding, filter pushdown,
+index selection, hash joins — each still importable and independently
+callable, as the ablation tests rely on), while :mod:`repro.query.rules`
+wraps them — plus the subquery rewrites (decorrelation, shared LET
+materialization) and predicate splitting — into a named, toggleable
+:data:`~repro.query.rules.REGISTRY`.
 
-1. **Constant folding** — pure arithmetic/boolean subtrees collapse to
-   literals.
-2. **Filter pushdown** — a FILTER moves directly after the earliest
-   operation that binds all variables it references, so non-matching rows
-   leave the pipeline as soon as possible.
-3. **Index selection** (slides 78-82) — ``FOR x IN coll`` immediately
-   followed by ``FILTER x.path == constant`` becomes an
-   :class:`repro.query.plan.IndexScanOp` when the catalog has a point index
-   on that path; remaining conjuncts stay as a residual filter.
-
-The rules are deliberately independent functions so the ablation benchmark
-can toggle them one at a time.
+:func:`optimize` drives that registry to a **fixpoint**: rules apply in
+registry order, and passes repeat until no rule changes the plan (bounded
+by ``rules.MAX_PASSES``).  The names of the rules that fired land on
+``query.rules_fired`` for EXPLAIN's ``Rules fired:`` line, and — when the
+database carries a :class:`repro.query.statistics.StatisticsStore` — the
+final plan is annotated with per-operator cardinality estimates that
+EXPLAIN ANALYZE compares against actuals (Q-error), closing the feedback
+loop.
 """
 
 from __future__ import annotations
@@ -23,7 +24,7 @@ import dataclasses
 from typing import Any, Optional
 
 from repro.query import ast
-from repro.query.plan import HashJoinOp, IndexScanOp
+from repro.query.plan import HashJoinOp, IndexScanOp, MaterializeOp, SemiJoinOp
 
 __all__ = [
     "optimize",
@@ -264,6 +265,10 @@ def _operation_binds(operation: ast.Operation) -> set[str]:
         return {operation.var}
     if isinstance(operation, (IndexScanOp, HashJoinOp)):
         return {operation.var}
+    if isinstance(operation, MaterializeOp):
+        return {operation.var}
+    # Semi/anti joins bind nothing: only existence is observable, the
+    # inner variable never escapes.
     if isinstance(operation, ast.LetOp):
         return {operation.var}
     if isinstance(operation, ast.CollectOp):
@@ -311,7 +316,14 @@ def push_down_filters(query: ast.Query) -> ast.Query:
                     target = earlier_index + 1
                     break
             del blocked
-            if target < index:
+            # Only move when the hop crosses a non-FILTER operation:
+            # reordering a filter past sibling filters is semantically a
+            # no-op, and attempting it makes two filters that share a
+            # binder swap places forever.
+            if target < index and any(
+                not isinstance(operations[between], ast.FilterOp)
+                for between in range(target, index)
+            ):
                 operations.pop(index)
                 operations.insert(target, operation)
                 changed = True
@@ -530,6 +542,16 @@ def _try_hash_join(
 # ---------------------------------------------------------------------------
 
 
+#: Legacy keyword → registry rule names (pre-registry callers and the
+#: older ablation tests pass ``optimize(query, db, hash_joins=False)``).
+_LEGACY_TOGGLES = {
+    "fold": ("constant_folding",),
+    "pushdown": ("filter_pushdown", "predicate_split"),
+    "indexes": ("index_selection",),
+    "hash_joins": ("hash_join",),
+}
+
+
 def optimize(
     query: ast.Query,
     db,
@@ -537,20 +559,70 @@ def optimize(
     pushdown: bool = True,
     indexes: bool = True,
     hash_joins: bool = True,
+    disabled=None,
+    ast_only: bool = False,
 ) -> ast.Query:
-    """Apply the rule pipeline (each rule optional, for ablations).
+    """Drive the rule registry to a fixpoint over *query*.
 
-    Hash-join building runs last: index selection gets first pick (an
-    index nested-loop probe needs no build and stays current under
-    writes), so only scan+filter pairs no index can serve become hash
-    joins."""
+    Rules apply in registry order (normalization → subquery rewrites →
+    access paths; hash joins run last so index selection gets first pick:
+    an index nested-loop probe needs no build and stays current under
+    writes), repeating until a full pass changes nothing.
+
+    Toggles compose from three sources: the legacy boolean kwargs, the
+    explicit ``disabled`` iterable of rule names, and the database's
+    ``optimizer_rules`` (:class:`repro.query.rules.RuleToggles`).  A
+    disabled rule never fires — the ablation suite proves result parity
+    for every single-rule ablation.
+
+    ``ast_only=True`` applies only the AST-safe subset (folding,
+    predicate split, pushdown): the output is guaranteed re-parseable
+    through :mod:`repro.query.unparse`, which is what the cluster
+    coordinator needs before segmenting a statement for shards.  Rules
+    that inspect the catalog are likewise skipped when *db* is None.
+
+    The names of the rules that fired are recorded on
+    ``query.rules_fired`` (EXPLAIN renders them); with a database
+    attached, the final plan is annotated with cardinality estimates fed
+    by the statistics store's observed feedback.
+    """
+    from repro.query import rules as rules_module
+    from repro.query.statistics import annotate_estimates
+
+    off = set(disabled or ())
+    legacy = {
+        "fold": fold,
+        "pushdown": pushdown,
+        "indexes": indexes,
+        "hash_joins": hash_joins,
+    }
+    for keyword, names in _LEGACY_TOGGLES.items():
+        if not legacy[keyword]:
+            off.update(names)
+    toggles = getattr(db, "optimizer_rules", None)
+    if toggles is not None:
+        off |= set(toggles.disabled)
+    context = rules_module.RuleContext(db=db)
     optimized = query
-    if fold:
-        optimized = fold_constants(optimized)
-    if pushdown:
-        optimized = push_down_filters(optimized)
-    if indexes:
-        optimized = select_indexes(optimized, db)
-    if hash_joins:
-        optimized = build_hash_joins(optimized, db)
+    for _pass in range(rules_module.MAX_PASSES):
+        changed = False
+        for rule in rules_module.REGISTRY:
+            if rule.name in off:
+                continue
+            if not rule.ast_safe and (ast_only or db is None):
+                continue
+            rewritten = rule.rewrite(optimized, context)
+            if rewritten is not optimized and rewritten != optimized:
+                optimized = rewritten
+                changed = True
+                if rule.name not in context.fired:
+                    context.fired.append(rule.name)
+        if not changed:
+            break
+    if optimized is query:
+        # Never hand back the caller's object with mutated metadata.
+        optimized = ast.Query(list(query.operations))
+    optimized.rules_fired = tuple(context.fired)
+    if db is not None and not ast_only:
+        annotate_estimates(optimized, db)
     return optimized

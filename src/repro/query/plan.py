@@ -16,6 +16,9 @@ from repro.query import ast
 __all__ = [
     "IndexScanOp",
     "HashJoinOp",
+    "SemiJoinOp",
+    "AntiJoinOp",
+    "MaterializeOp",
     "render_plan",
     "analyzed_op_stats",
     "render_analyzed_plan",
@@ -66,6 +69,47 @@ class HashJoinOp(ast.Operation):
     probe: ast.Expr
     residual: Optional[ast.Expr] = None
     original_condition: Optional[ast.Expr] = None
+
+
+@dataclass
+class SemiJoinOp(ast.Operation):
+    """An existence-tested correlated subquery (``FILTER LENGTH((FOR x IN
+    coll FILTER x.path == probe … RETURN e)) > 0``) rewritten into a hash
+    semi join by the ``decorrelate_subquery`` rule.
+
+    The executor builds a hash table over ``source_name`` keyed on
+    ``build_path`` once (lazily), then per outer frame passes the frame
+    **unchanged** iff some build row matches ``probe`` (confirmed with
+    ``compare() == 0``, so hash collisions and the model's ``1 == 1.0`` /
+    ``null == null`` semantics behave exactly like the subquery filter
+    did) and satisfies ``residual`` with ``var`` bound to the candidate.
+    Nothing is bound downstream — only existence is observable, which is
+    what makes the rewrite safe for any side-effect-free RETURN."""
+
+    var: str
+    source_name: str
+    build_path: tuple
+    probe: ast.Expr
+    residual: Optional[ast.Expr] = None
+    original_condition: Optional[ast.Expr] = None
+
+
+@dataclass
+class AntiJoinOp(SemiJoinOp):
+    """The ``LENGTH(…) == 0`` twin of :class:`SemiJoinOp`: frames pass
+    when **no** build row matches."""
+
+
+@dataclass
+class MaterializeOp(ast.Operation):
+    """``LET var = (uncorrelated subquery)`` rewritten by the
+    ``materialize_let`` rule: the executor runs ``query`` once per
+    top-level execution (keyed on the plan node in ``ctx.materialized``)
+    and binds the shared row list into every frame, instead of
+    re-executing the subquery for each outer row."""
+
+    var: str
+    query: ast.Query
 
 
 def _expr_text(expr: ast.Expr) -> str:
@@ -128,6 +172,22 @@ def _operation_lines(operation: ast.Operation, indent: int) -> list[str]:
         if operation.residual is not None:
             lines.append(f"{pad}  Residual: {_expr_text(operation.residual)}")
         return lines
+    if isinstance(operation, AntiJoinOp) or isinstance(operation, SemiJoinOp):
+        word = "AntiJoin" if isinstance(operation, AntiJoinOp) else "SemiJoin"
+        lines = [
+            f"{pad}{word} EXISTS({operation.var} IN {operation.source_name}) "
+            f"ON {'.'.join(operation.build_path)} == "
+            f"{_expr_text(operation.probe)} "
+            f"(build: hash table over {operation.source_name})"
+        ]
+        if operation.residual is not None:
+            lines.append(f"{pad}  Residual: {_expr_text(operation.residual)}")
+        return lines
+    if isinstance(operation, MaterializeOp):
+        return [
+            f"{pad}Materialize {operation.var} = (subquery) "
+            f"(computed once, shared across frames)"
+        ]
     if isinstance(operation, ast.ForOp):
         return [f"{pad}Scan {operation.var} IN {_expr_text(operation.source)}"]
     if isinstance(operation, ast.TraversalOp):
@@ -213,18 +273,26 @@ def analyzed_op_stats(probes: list) -> list[dict]:
     for probe in probes:
         operation = probe.operation
         label = _operation_lines(operation, 0)[0].strip()
-        stats.append(
-            {
-                "operator": type(operation).__name__,
-                "label": label,
-                "rows_in": previous_rows,
-                "rows_out": probe.rows_out,
-                "batches_out": getattr(probe, "batches_out", 0),
-                "columnar_batches": getattr(probe, "columnar_batches", 0),
-                "seconds": probe.seconds,
-                "self_seconds": max(0.0, probe.seconds - previous_seconds),
-            }
-        )
+        entry = {
+            "operator": type(operation).__name__,
+            "label": label,
+            "rows_in": previous_rows,
+            "rows_out": probe.rows_out,
+            "batches_out": getattr(probe, "batches_out", 0),
+            "columnar_batches": getattr(probe, "columnar_batches", 0),
+            "seconds": probe.seconds,
+            "self_seconds": max(0.0, probe.seconds - previous_seconds),
+        }
+        estimated = getattr(operation, "_est_rows", None)
+        if estimated is not None:
+            # Smoothed Q-error: max of over-/under-estimation factor,
+            # +1 on both sides so empty results stay finite.
+            entry["est_rows"] = estimated
+            entry["q_error"] = max(
+                (estimated + 1) / (probe.rows_out + 1),
+                (probe.rows_out + 1) / (estimated + 1),
+            )
+        stats.append(entry)
         previous_rows = probe.rows_out
         previous_seconds = max(previous_seconds, probe.seconds)
     return stats
@@ -248,8 +316,14 @@ def render_analyzed_plan(
     for indent, (operation, entry) in enumerate(zip(query.operations, stats)):
         op_lines = _operation_lines(operation, indent)
         columnar = " columnar=yes" if entry["columnar_batches"] else ""
+        estimate = ""
+        if "est_rows" in entry:
+            estimate = (
+                f" est={entry['est_rows']} q_error={entry['q_error']:.2f}"
+            )
         op_lines[0] += (
-            f"  [rows in={entry['rows_in']} out={entry['rows_out']} "
+            f"  [rows in={entry['rows_in']} out={entry['rows_out']}"
+            f"{estimate} "
             f"batches={entry['batches_out']}{columnar} "
             f"self={entry['self_seconds'] * 1000:.3f} ms "
             f"cum={entry['seconds'] * 1000:.3f} ms]"

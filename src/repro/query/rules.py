@@ -1,0 +1,718 @@
+"""Rewrite-rule registry for the MMQL optimizer.
+
+The optimizer used to be four hand-ordered function calls; it is now a
+**registry of rules** applied to a fixpoint by :func:`repro.query.
+optimizer.optimize`.  Each rule is a named match+rewrite pair:
+
+* ``rewrite(query, ctx)`` returns a rewritten :class:`ast.Query` (or the
+  input unchanged when the rule does not apply) — rules never mutate the
+  input plan;
+* the ``name`` is what EXPLAIN's ``Rules fired:`` line reports and what
+  :class:`RuleToggles` / the ablation suite toggle;
+* ``ast_safe`` marks rules whose output is still pure AST (re-parseable
+  through :mod:`repro.query.unparse`).  The cluster coordinator replans
+  with only these before segmenting, since shard statements travel as
+  text; physical rules (index scans, joins) fire shard-locally.
+
+Registry order is the application order within one fixpoint pass:
+normalization first (folding, predicate split, pushdown), then the
+subquery rewrites (decorrelation, materialization), then access-path
+selection (indexes before hash joins, so an index nested-loop keeps
+first pick).
+
+Rules also drive the index advisor: when a rewrite *almost* fires — the
+predicate shape matches but no index exists — the rule records an
+:class:`IndexSuggestion` on the database (``db.index_suggestions``),
+surfaced by ``advise(db)`` and the shell's ``.advise``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.query import ast
+from repro.query.optimizer import (
+    _MULTI_FRAME_OPS,
+    _attr_path,
+    _equality_conjuncts,
+    _is_probe_value,
+    _operation_binds,
+    _operation_reads,
+    _variables_in,
+    build_hash_joins,
+    fold_constants,
+    push_down_filters,
+    select_indexes,
+)
+from repro.query.plan import AntiJoinOp, MaterializeOp, SemiJoinOp
+
+__all__ = [
+    "Rule",
+    "RuleContext",
+    "RuleToggles",
+    "IndexSuggestion",
+    "SuggestionLog",
+    "REGISTRY",
+    "rule_names",
+    "MAX_PASSES",
+]
+
+#: Fixpoint bound — every current rule is idempotent, so passes converge
+#: in two or three iterations; the cap is a runaway backstop.
+MAX_PASSES = 10
+
+
+# ---------------------------------------------------------------------------
+# Registry plumbing
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IndexSuggestion:
+    """A near-miss recorded by a rule: the predicate shape matched but no
+    index could serve it."""
+
+    source: str
+    path: tuple
+    rule: str
+    reason: str
+
+    def describe(self) -> str:
+        dotted = ".".join(self.path)
+        return (
+            f"CREATE hash INDEX ON {self.source}({dotted})  "
+            f"-- {self.reason} [{self.rule}]"
+        )
+
+
+class SuggestionLog:
+    """Bounded, deduplicated log of :class:`IndexSuggestion`s, hung off
+    the database (``db.index_suggestions``).  Thread-safe: the optimizer
+    runs on server worker threads."""
+
+    def __init__(self, capacity: int = 256):
+        self.capacity = max(int(capacity), 1)
+        self._entries: "OrderedDict[tuple, list]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def record(self, suggestion: IndexSuggestion) -> None:
+        key = (suggestion.source, suggestion.path, suggestion.rule)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._entries[key] = [suggestion, 1]
+                while len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+            else:
+                entry[1] += 1
+
+    def entries(self) -> list[tuple[IndexSuggestion, int]]:
+        with self._lock:
+            return [
+                (suggestion, count)
+                for suggestion, count in self._entries.values()
+            ]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+@dataclass
+class RuleContext:
+    """What a rule sees besides the plan: the database (None for
+    ast-only replanning, e.g. on the cluster coordinator) and the
+    suggestion hook."""
+
+    db: Any = None
+    fired: list = field(default_factory=list)
+
+    def suggest(self, source: str, path: tuple, rule: str, reason: str) -> None:
+        log = getattr(self.db, "index_suggestions", None)
+        if log is not None:
+            log.record(IndexSuggestion(source, tuple(path), rule, reason))
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One rewrite: ``rewrite(query, ctx) -> ast.Query``.
+
+    ``ast_safe`` rules emit pure AST (unparseable back to MMQL text) and
+    need no database — they are the subset the cluster coordinator may
+    apply before shipping statements to shards."""
+
+    name: str
+    description: str
+    rewrite: Callable[[ast.Query, RuleContext], ast.Query]
+    ast_safe: bool = False
+
+
+class RuleToggles:
+    """Per-database rule switches (``db.optimizer_rules``), used by the
+    ablation suite and by operators chasing a bad plan.
+
+    The :func:`fingerprint` participates in the plan-cache key, so
+    toggling a rule never serves a plan built under a different
+    configuration (the cache-key bugfix this PR pins)."""
+
+    def __init__(self):
+        self._disabled: set[str] = set()
+
+    @property
+    def disabled(self) -> frozenset:
+        return frozenset(self._disabled)
+
+    def disable(self, name: str) -> None:
+        if name not in rule_names():
+            raise KeyError(f"unknown optimizer rule {name!r}")
+        self._disabled.add(name)
+
+    def enable(self, name: str) -> None:
+        self._disabled.discard(name)
+
+    def is_enabled(self, name: str) -> bool:
+        return name not in self._disabled
+
+    def fingerprint(self) -> tuple:
+        """Sorted disabled-rule names — the plan-cache key component."""
+        return tuple(sorted(self._disabled))
+
+    def __repr__(self) -> str:
+        return f"RuleToggles(disabled={sorted(self._disabled)})"
+
+
+# ---------------------------------------------------------------------------
+# Helpers shared by the new rules
+# ---------------------------------------------------------------------------
+
+
+_WRITE_OPS = (
+    ast.InsertOp,
+    ast.UpdateOp,
+    ast.RemoveOp,
+    ast.ReplaceOp,
+    ast.UpsertOp,
+)
+
+
+def _contains_writes(query: ast.Query) -> bool:
+    """True when the query (or any nested subquery) performs DML."""
+    for operation in query.operations:
+        if isinstance(operation, _WRITE_OPS):
+            return True
+        for expr in _operation_subqueries(operation):
+            if _contains_writes(expr.query):
+                return True
+    return False
+
+
+def _operation_subqueries(operation: ast.Operation):
+    """Every :class:`ast.SubQuery` reachable from an operation's
+    expressions."""
+    stack: list = []
+    for attr in ("source", "condition", "value", "expr", "start", "goal",
+                 "key", "changes", "document", "search", "insert_doc",
+                 "update_patch", "probe", "residual"):
+        node = getattr(operation, attr, None)
+        if isinstance(node, ast.Expr):
+            stack.append(node)
+    if isinstance(operation, ast.SortOp):
+        stack.extend(key.expr for key in operation.keys)
+    if isinstance(operation, ast.CollectOp):
+        stack.extend(expr for _name, expr in operation.groups)
+        stack.extend(arg for _name, _func, arg in operation.aggregates)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.SubQuery):
+            yield node
+            for inner in node.query.operations:
+                yield from _operation_subqueries(inner)
+        else:
+            stack.extend(node.children())
+
+
+def _free_vars(query: ast.Query) -> set[str]:
+    """Variables a (sub)query reads from its enclosing scope: reads not
+    bound by an earlier operation of the query itself."""
+    free: set[str] = set()
+    bound: set[str] = set()
+    for operation in query.operations:
+        free |= _operation_reads(operation) - bound
+        bound |= _operation_binds(operation)
+    return free
+
+
+def _and_join(conjuncts: list) -> Optional[ast.Expr]:
+    joined = None
+    for part in conjuncts:
+        joined = part if joined is None else ast.BinOp("AND", joined, part)
+    return joined
+
+
+# ---------------------------------------------------------------------------
+# Rule: predicate split
+# ---------------------------------------------------------------------------
+
+
+def _split_filter(condition: ast.Expr) -> Optional[list[ast.Expr]]:
+    """Group the AND-conjuncts of one FILTER by the variable set each
+    needs; >1 group means the filter can split so pushdown can move each
+    part independently (e.g. the scan-var half of a mixed scan/traversal
+    predicate slides down into the scan, where zone maps and index
+    selection see it).  Same-variable conjuncts stay together, so index
+    selection keeps its residual behavior."""
+    conjuncts = _equality_conjuncts(condition)
+    if len(conjuncts) < 2:
+        return None
+    groups: "OrderedDict[frozenset, list]" = OrderedDict()
+    for conjunct in conjuncts:
+        groups.setdefault(frozenset(_variables_in(conjunct)), []).append(
+            conjunct
+        )
+    if len(groups) < 2:
+        return None
+    return [_and_join(parts) for parts in groups.values()]
+
+
+def _rule_predicate_split(query: ast.Query, ctx: RuleContext) -> ast.Query:
+    operations: list = []
+    changed = False
+    for operation in query.operations:
+        if isinstance(operation, ast.FilterOp):
+            parts = _split_filter(operation.condition)
+            if parts is not None:
+                operations.extend(ast.FilterOp(part) for part in parts)
+                changed = True
+                continue
+        operations.append(operation)
+    return ast.Query(operations) if changed else query
+
+
+# ---------------------------------------------------------------------------
+# Rule: correlated subquery decorrelation (semi/anti join)
+# ---------------------------------------------------------------------------
+
+
+#: ``LENGTH(subq) <op> <n>`` forms that test pure existence.  Keys are the
+#: normalized (operator, literal) with the call on the left.
+_EXISTENCE_TESTS = {
+    (">", 0): "semi",
+    (">=", 1): "semi",
+    ("!=", 0): "semi",
+    ("==", 0): "anti",
+    ("<", 1): "anti",
+    ("<=", 0): "anti",
+}
+
+_MIRRORED = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "==": "==", "!=": "!="}
+
+_COUNT_FUNCS = {"LENGTH", "COUNT"}
+
+
+def _existence_test(conjunct: ast.Expr) -> Optional[tuple]:
+    """``(argument, "semi"|"anti")`` when *conjunct* is an existence test
+    over ``LENGTH(...)``/``COUNT(...)``, else None."""
+    if not isinstance(conjunct, ast.BinOp):
+        return None
+    op, left, right = conjunct.op, conjunct.left, conjunct.right
+    if isinstance(left, ast.Literal):
+        op, left, right = _MIRRORED.get(op, op), right, left
+    if (
+        not isinstance(left, ast.FuncCall)
+        or left.name.upper() not in _COUNT_FUNCS
+        or len(left.args) != 1
+        or not isinstance(right, ast.Literal)
+        or isinstance(right.value, bool)
+        or not isinstance(right.value, int)
+    ):
+        return None
+    kind = _EXISTENCE_TESTS.get((op, right.value))
+    if kind is None:
+        return None
+    return left.args[0], kind
+
+
+_SAFE_RETURN_NODES = (
+    ast.Literal,
+    ast.VarRef,
+    ast.BindVar,
+    ast.AttrAccess,
+    ast.IndexAccess,
+    ast.ArrayLiteral,
+    ast.ObjectLiteral,
+)
+
+
+def _safe_return_expr(expr: ast.Expr) -> bool:
+    """The decorrelated plan never evaluates the subquery's RETURN, so it
+    must be an expression that could not have raised (no function calls,
+    arithmetic, or nested subqueries)."""
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if not isinstance(node, _SAFE_RETURN_NODES):
+            return False
+        stack.extend(node.children())
+    return True
+
+
+def _match_semi_join(
+    subquery: ast.Query, kind: str, bound: set, ctx: RuleContext
+) -> Optional[ast.Operation]:
+    """Build a Semi/AntiJoinOp from an existence-tested subquery of shape
+    ``FOR x IN coll FILTER … RETURN safe-expr`` with an equality conjunct
+    ``x.path == probe`` (probe independent of x — typically the outer
+    correlation)."""
+    operations = subquery.operations
+    if len(operations) < 2:
+        return None
+    head, tail = operations[0], operations[-1]
+    if (
+        not isinstance(head, ast.ForOp)
+        or not isinstance(head.source, ast.VarRef)
+        or head.source.name in bound
+    ):
+        return None
+    if not isinstance(tail, ast.ReturnOp) or not _safe_return_expr(tail.expr):
+        return None
+    middle = operations[1:-1]
+    if not all(isinstance(op, ast.FilterOp) for op in middle):
+        return None
+    if _contains_writes(subquery):
+        return None
+    if ctx.db is not None:
+        try:
+            ctx.db.resolve(head.source.name)
+        except Exception:
+            return None
+    conjuncts: list = []
+    for op in middle:
+        conjuncts.extend(_equality_conjuncts(op.condition))
+    for position, conjunct in enumerate(conjuncts):
+        if not (isinstance(conjunct, ast.BinOp) and conjunct.op == "=="):
+            continue
+        for path_side, probe_side in (
+            (conjunct.left, conjunct.right),
+            (conjunct.right, conjunct.left),
+        ):
+            path = _attr_path(path_side, head.var)
+            if path is None or not _is_probe_value(probe_side, head.var):
+                continue
+            residual = _and_join(
+                conjuncts[:position] + conjuncts[position + 1:]
+            )
+            op_type = SemiJoinOp if kind == "semi" else AntiJoinOp
+            joined = op_type(
+                var=head.var,
+                source_name=head.source.name,
+                build_path=path,
+                probe=probe_side,
+                residual=residual,
+                original_condition=_and_join(conjuncts),
+            )
+            _suggest_build_index(joined, ctx)
+            return joined
+    return None
+
+
+def _suggest_build_index(operation, ctx: RuleContext) -> None:
+    """Decorrelation fired on an unindexed build path: a point index
+    would let index selection serve the inner side directly."""
+    db = ctx.db
+    if db is None:
+        return
+    try:
+        namespace = db.resolve(operation.source_name).namespace
+        existing = db.context.indexes.find(
+            namespace, operation.build_path, "point"
+        )
+    except Exception:
+        return
+    if existing is None:
+        ctx.suggest(
+            operation.source_name,
+            operation.build_path,
+            "decorrelate_subquery",
+            "decorrelated subquery builds a hash table over this path on "
+            "every query; an index would serve it directly",
+        )
+
+
+def _rule_decorrelate(query: ast.Query, ctx: RuleContext) -> ast.Query:
+    """Correlated existence subqueries → hash semi/anti joins.
+
+    Two source shapes:
+
+    * inline — ``FILTER LENGTH((FOR x IN coll FILTER … RETURN e)) > 0``;
+    * via LET — ``LET v = (FOR x IN coll …)`` … ``FILTER LENGTH(v) > 0``
+      with ``v`` used nowhere else.
+
+    Executed naively the inner FOR rescans ``coll`` once per outer row;
+    the join op builds one hash table and probes it per frame.  Only the
+    existence of a match is observable (the RETURN value never escapes),
+    so result parity holds for any safe RETURN expression."""
+    operations = list(query.operations)
+    changed = False
+    guard = len(operations) + 1
+    while guard:
+        guard -= 1
+        rewrote = False
+        bound: set = set()
+        let_values: dict[str, tuple[int, ast.SubQuery]] = {}
+        for index, operation in enumerate(operations):
+            if isinstance(operation, ast.LetOp) and isinstance(
+                operation.value, ast.SubQuery
+            ):
+                let_values[operation.var] = (index, operation.value)
+            if not isinstance(operation, ast.FilterOp):
+                bound |= _operation_binds(operation)
+                continue
+            conjuncts = _equality_conjuncts(operation.condition)
+            for position, conjunct in enumerate(conjuncts):
+                test = _existence_test(conjunct)
+                if test is None:
+                    continue
+                argument, kind = test
+                let_index = None
+                if isinstance(argument, ast.SubQuery):
+                    subquery = argument.query
+                elif (
+                    isinstance(argument, ast.VarRef)
+                    and argument.name in let_values
+                ):
+                    let_index, let_subquery = let_values[argument.name]
+                    subquery = let_subquery.query
+                    if not _let_var_is_private(
+                        operations, argument.name, let_index, index, position
+                    ):
+                        continue
+                else:
+                    continue
+                let_bound = set(bound)
+                if let_index is not None:
+                    # The subquery's scope is where the LET ran, not
+                    # where the filter tests it.
+                    let_bound = set()
+                    for earlier in operations[:let_index]:
+                        let_bound |= _operation_binds(earlier)
+                joined = _match_semi_join(subquery, kind, let_bound, ctx)
+                if joined is None:
+                    continue
+                rest = _and_join(conjuncts[:position] + conjuncts[position + 1:])
+                replacement: list = [joined]
+                if rest is not None:
+                    replacement.append(ast.FilterOp(rest))
+                operations[index:index + 1] = replacement
+                if let_index is not None:
+                    del operations[let_index]
+                rewrote = changed = True
+                break
+            if rewrote:
+                break
+            bound |= _operation_binds(operation)
+        if not rewrote:
+            break
+    return ast.Query(operations) if changed else query
+
+
+def _let_var_is_private(
+    operations: list, var: str, let_index: int, filter_index: int,
+    conjunct_position: int,
+) -> bool:
+    """True when *var* (a LET of a subquery) is read only by the
+    existence-test conjunct — the precondition for dropping the LET."""
+    for index, operation in enumerate(operations):
+        if index == let_index:
+            continue
+        if index == filter_index:
+            conjuncts = _equality_conjuncts(operation.condition)
+            for position, conjunct in enumerate(conjuncts):
+                if position == conjunct_position:
+                    continue
+                if var in _variables_in(conjunct):
+                    return False
+            continue
+        if var in _operation_reads(operation):
+            return False
+        if var in _operation_binds(operation):
+            # Rebound downstream — shadowing, leave it alone.
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Rule: shared LET-subquery materialization
+# ---------------------------------------------------------------------------
+
+
+def _rule_materialize_let(query: ast.Query, ctx: RuleContext) -> ast.Query:
+    """Uncorrelated ``LET v = (subquery)`` after a multi-frame operation
+    → :class:`MaterializeOp`: the executor computes the rows **once per
+    query** and shares them across every downstream frame, instead of
+    re-running the subquery per frame.
+
+    Guards: the subquery must read no variable bound upstream (else it is
+    genuinely correlated), and the whole statement must be read-only —
+    re-execution of a subquery after DML could observe its own writes,
+    and a one-shot materialization must not change that story because
+    there is none to change."""
+    if _contains_writes(query):
+        return query
+    operations = list(query.operations)
+    changed = False
+    multi_frame = False
+    bound: set = set()
+    for index, operation in enumerate(operations):
+        if (
+            multi_frame
+            and isinstance(operation, ast.LetOp)
+            and isinstance(operation.value, ast.SubQuery)
+            and not (_free_vars(operation.value.query) & bound)
+        ):
+            operations[index] = MaterializeOp(
+                var=operation.var, query=operation.value.query
+            )
+            changed = True
+            bound.add(operation.var)
+            continue
+        if isinstance(operation, _MULTI_FRAME_OPS):
+            multi_frame = True
+        bound |= _operation_binds(operation)
+    return ast.Query(operations) if changed else query
+
+
+# ---------------------------------------------------------------------------
+# Rule wrappers for the classic rewrites
+# ---------------------------------------------------------------------------
+
+
+def _rule_constant_folding(query: ast.Query, ctx: RuleContext) -> ast.Query:
+    return fold_constants(query)
+
+
+def _rule_filter_pushdown(query: ast.Query, ctx: RuleContext) -> ast.Query:
+    return push_down_filters(query)
+
+
+def _rule_index_selection(query: ast.Query, ctx: RuleContext) -> ast.Query:
+    rewritten = select_indexes(query, ctx.db)
+    _suggest_scan_near_misses(rewritten, ctx)
+    return rewritten
+
+
+def _rule_hash_join(query: ast.Query, ctx: RuleContext) -> ast.Query:
+    return build_hash_joins(query, ctx.db)
+
+
+def _suggest_scan_near_misses(query: ast.Query, ctx: RuleContext) -> None:
+    """Every FOR+FILTER equality pair still present after index selection
+    is a near miss (a servable pair would have become an IndexScanOp):
+    record the missing index."""
+    db = ctx.db
+    if db is None:
+        return
+    operations = query.operations
+    for index, operation in enumerate(operations):
+        if not (
+            isinstance(operation, ast.ForOp)
+            and isinstance(operation.source, ast.VarRef)
+        ):
+            continue
+        follower = operations[index + 1] if index + 1 < len(operations) else None
+        if not isinstance(follower, ast.FilterOp):
+            continue
+        source_name = operation.source.name
+        try:
+            namespace = db.resolve(source_name).namespace
+        except Exception:
+            continue
+        for conjunct in _equality_conjuncts(follower.condition):
+            if not (isinstance(conjunct, ast.BinOp) and conjunct.op == "=="):
+                continue
+            for path_side, value_side in (
+                (conjunct.left, conjunct.right),
+                (conjunct.right, conjunct.left),
+            ):
+                path = _attr_path(path_side, operation.var)
+                if path is None or not _is_probe_value(
+                    value_side, operation.var
+                ):
+                    continue
+                try:
+                    if db.context.indexes.find(namespace, path, "point"):
+                        continue
+                except Exception:
+                    continue
+                ctx.suggest(
+                    source_name,
+                    path,
+                    "index_selection",
+                    "equality predicate matched but no point index exists",
+                )
+
+
+# ---------------------------------------------------------------------------
+# The registry
+# ---------------------------------------------------------------------------
+
+
+REGISTRY: tuple[Rule, ...] = (
+    Rule(
+        name="constant_folding",
+        description="collapse pure arithmetic/boolean subtrees to literals",
+        rewrite=_rule_constant_folding,
+        ast_safe=True,
+    ),
+    Rule(
+        name="predicate_split",
+        description=(
+            "split mixed-variable AND filters so each part can push down "
+            "independently (through traversals into index/zone-map scans)"
+        ),
+        rewrite=_rule_predicate_split,
+        ast_safe=True,
+    ),
+    Rule(
+        name="filter_pushdown",
+        description="move each FILTER just after the op binding its inputs",
+        rewrite=_rule_filter_pushdown,
+        ast_safe=True,
+    ),
+    Rule(
+        name="decorrelate_subquery",
+        description=(
+            "existence-tested correlated subqueries become hash "
+            "semi/anti joins"
+        ),
+        rewrite=_rule_decorrelate,
+    ),
+    Rule(
+        name="materialize_let",
+        description=(
+            "uncorrelated LET subqueries materialize once per query "
+            "instead of once per frame"
+        ),
+        rewrite=_rule_materialize_let,
+    ),
+    Rule(
+        name="index_selection",
+        description="scan+equality-filter pairs probe point indexes",
+        rewrite=_rule_index_selection,
+    ),
+    Rule(
+        name="hash_join",
+        description="correlated inner scans become hash joins",
+        rewrite=_rule_hash_join,
+    ),
+)
+
+
+def rule_names() -> tuple[str, ...]:
+    return tuple(rule.name for rule in REGISTRY)

@@ -74,9 +74,29 @@ class TestRunStatement:
         )
         assert "no new indexes" in output
 
-    def test_advise_usage(self, demo_db):
+    def test_advise_bare_reads_runtime_log(self, demo_db):
+        # Bare .advise reads the optimizer's near-miss suggestion log.
         output, _state = _run(demo_db, ".advise")
-        assert "usage" in output
+        assert "no suggestions recorded yet" in output
+        # A scan+filter query with no serving index records a near miss...
+        _run(
+            demo_db,
+            "FOR c IN customers FILTER c.city == 'Prague' RETURN c",
+        )
+        # ...which bare .advise then surfaces.
+        output, _state = _run(demo_db, ".advise")
+        assert "customers(city)" in output
+
+    def test_rules_list_and_toggle(self, demo_db):
+        output, _state = _run(demo_db, ".rules")
+        assert "hash_join" in output and "decorrelate_subquery" in output
+        output, _state = _run(demo_db, ".rules off hash_join")
+        assert "hash_join -> off" in output
+        assert "hash_join" in demo_db.optimizer_rules.disabled
+        output, _state = _run(demo_db, ".rules on hash_join")
+        assert "hash_join" not in demo_db.optimizer_rules.disabled
+        output, _state = _run(demo_db, ".rules off nonsense")
+        assert "error" in output
 
     def test_unknown_command(self, demo_db):
         output, _state = _run(demo_db, ".bogus")

@@ -130,3 +130,76 @@ class TestExplainIndicator:
         stats_before = db.plan_cache.stats()
         db.explain(QUERY)
         assert db.plan_cache.stats() == stats_before
+
+
+class TestRuleConfigKeying:
+    """The cache-key bugfix: the optimizer-rule configuration is part of
+    the plan-cache key, so toggling a rule never serves a plan built
+    under a different configuration."""
+
+    JOIN = (
+        "FOR a IN docs FOR b IN docs "
+        "FILTER b.n == a.n RETURN {x: a.n, y: b.city}"
+    )
+
+    def test_toggle_gets_distinct_entry(self, db):
+        from repro.query.plan import HashJoinOp
+
+        db.query(self.JOIN)
+        key_default = PlanCache.key(
+            self.JOIN, None, True, db.optimizer_rules.fingerprint()
+        )
+        plan_default = db.plan_cache._entries[key_default]["plan"]
+        assert any(
+            isinstance(op, HashJoinOp) for op in plan_default.operations
+        )
+        db.optimizer_rules.disable("hash_join")
+        db.query(self.JOIN)
+        key_disabled = PlanCache.key(
+            self.JOIN, None, True, db.optimizer_rules.fingerprint()
+        )
+        assert key_disabled != key_default
+        plan_disabled = db.plan_cache._entries[key_disabled]["plan"]
+        assert not any(
+            isinstance(op, HashJoinOp) for op in plan_disabled.operations
+        )
+        # Both entries live side by side; re-enabling hits the old one.
+        db.optimizer_rules.enable("hash_join")
+        before = db.plan_cache.stats()["hits"]
+        db.query(self.JOIN)
+        assert db.plan_cache.stats()["hits"] == before + 1
+
+    def test_toggled_plan_actually_differs(self, db):
+        first = db.query(self.JOIN).rows
+        db.optimizer_rules.disable("hash_join")
+        second = db.query(self.JOIN).rows
+        normalize = lambda rows: sorted(map(repr, rows))  # noqa: E731
+        assert normalize(first) == normalize(second)
+
+
+class TestStatisticsInvalidation:
+    def test_stats_version_in_ddl_stamp(self, db):
+        from repro.query.engine import _ddl_versions
+
+        before = _ddl_versions(db)
+        db.statistics.observe_cardinality("docs", 10)
+        after = _ddl_versions(db)
+        assert before != after
+        assert after[2] == db.statistics.version
+
+    def test_material_stats_move_invalidates_plan(self, db):
+        db.query(QUERY, {"low": 5})
+        invalidations = db.plan_cache.stats()["invalidations"]
+        # A materially different observation bumps the stats version…
+        db.statistics.observe_cardinality("docs", 10)
+        db.statistics.observe_cardinality("docs", 10_000)
+        db.query(QUERY, {"low": 5})
+        # …which drops the stale entry on next lookup.
+        assert db.plan_cache.stats()["invalidations"] == invalidations + 1
+
+    def test_analyze_feedback_restamps_own_plan(self, db):
+        db.query("EXPLAIN ANALYZE " + QUERY, {"low": 5})
+        second = db.query("EXPLAIN ANALYZE " + QUERY, {"low": 5})
+        # The run that produced the feedback re-stamped its own plan, so
+        # the repeat run still hits the cache.
+        assert second.stats["plan_cached"] is True
